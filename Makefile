@@ -1,0 +1,24 @@
+# Convenience targets; dune does the real work.
+
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart figure1 power_limits custom_soc greedy_anomaly \
+	          software_test model_validation custom_program fault_tolerance \
+	          paper_flow; do \
+	  echo "== examples/$$e =="; dune exec examples/$$e.exe || exit 1; \
+	done
+
+clean:
+	dune clean

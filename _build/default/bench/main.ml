@@ -1,0 +1,619 @@
+(* Benchmark and reproduction harness.
+
+   Two jobs:
+
+   1. Regenerate every experimental artefact of the paper (DESIGN.md's
+      experiment index): the three Figure-1 panels, the headline
+      reduction percentages, and the ablations A1-A4.  The series are
+      printed so the output can be diffed against EXPERIMENTS.md.
+
+   2. Register one Bechamel timing benchmark per experiment, so the
+      cost of the planner itself is tracked. *)
+
+module Itc02 = Nocplan_itc02
+module Noc = Nocplan_noc
+module Proc = Nocplan_proc
+module Core = Nocplan_core
+open Core
+
+let section title =
+  Fmt.pr "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* A2: NoC characterization (paper flow, step 1)                      *)
+
+let noc_characterization () =
+  section "A2: NoC characterization (flit-level simulator)";
+  let topology = Noc.Topology.make ~width:5 ~height:5 in
+  let latency = Noc.Latency.hermes_like in
+  let config = Noc.Flit_sim.config topology latency in
+  let timing = Noc.Characterize.measure_timing config in
+  Fmt.pr "true parameters:     %a@." Noc.Latency.pp latency;
+  Fmt.pr "measured on the sim: %a@." Noc.Characterize.pp_timing timing;
+  let power =
+    Noc.Characterize.measure_power config (Noc.Traffic.spec ~packets:400 ())
+  in
+  Fmt.pr "mean stream power (random size/payload packets): %a@." Noc.Power.pp
+    power
+
+(* ------------------------------------------------------------------ *)
+(* A3: processor characterization (paper flow, step 2)                *)
+
+let processor_characterization () =
+  section "A3: processor test-application characterization (ISS)";
+  List.iter
+    (fun p -> Fmt.pr "%a@.@." Proc.Processor.pp p)
+    [ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ];
+  Fmt.pr
+    "paper's assumption: \"the processor takes 10 clock cycles to generate a \
+     test pattern\" — measured Leon BIST: %d cycles/pattern@."
+    (Proc.Processor.generation_overhead (Proc.Processor.leon ~id:1)
+       Proc.Processor.Bist)
+
+(* ------------------------------------------------------------------ *)
+(* F1a-F1c: Figure 1                                                  *)
+
+let figure1_panel name system =
+  section (Printf.sprintf "F1: Figure 1 panel — %s" name);
+  let unconstrained = Planner.reuse_sweep system in
+  let constrained =
+    Planner.reuse_sweep ~power_limit_pct:Experiments.binding_power_pct system
+  in
+  Fmt.pr "power limit for the constrained series: %.0f%% of total core power@."
+    Experiments.binding_power_pct;
+  print_string (Report.figure1_table ~unconstrained ~constrained);
+  Fmt.pr "@.";
+  print_string
+    (Report.ascii_chart
+       [ ("no power limit", unconstrained);
+         ( Printf.sprintf "power %.0f%%" Experiments.binding_power_pct,
+           constrained ) ]);
+  (unconstrained, constrained)
+
+(* ------------------------------------------------------------------ *)
+(* T1: headline reductions                                            *)
+
+let headline_table results =
+  section "T1: headline test-time reductions (paper: d695 28%, p93791 44%, 37% under power)";
+  List.iter
+    (fun (name, (unconstrained, constrained)) ->
+      let free = Report.headline unconstrained in
+      let limited = Report.headline constrained in
+      Fmt.pr "%-14s unconstrained: %5.1f%% (reuse %d)   power-limited: %5.1f%% (reuse %d)@."
+        name free.Report.reduction_pct free.Report.best_reuse
+        limited.Report.reduction_pct limited.Report.best_reuse)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* A1: greedy anomaly vs look-ahead                                   *)
+
+let monotonicity_violations (s : Planner.sweep) =
+  let rec go = function
+    | (a : Planner.point) :: (b :: _ as rest) ->
+        (if b.Planner.makespan > a.Planner.makespan then 1 else 0) + go rest
+    | [ _ ] | [] -> 0
+  in
+  go s.Planner.points
+
+let greedy_vs_lookahead () =
+  section "A1: greedy anomaly on p22810_leon (paper section 3) vs look-ahead";
+  let system = Experiments.p22810_leon () in
+  let greedy = Planner.reuse_sweep system in
+  let lookahead = Planner.reuse_sweep ~policy:Scheduler.Lookahead system in
+  print_string
+    (Report.comparison_table ~label_a:"greedy (paper)" ~label_b:"lookahead"
+       greedy lookahead);
+  Fmt.pr "monotonicity violations: greedy %d, lookahead %d@."
+    (monotonicity_violations greedy)
+    (monotonicity_violations lookahead)
+
+(* ------------------------------------------------------------------ *)
+(* A4: power-limit sensitivity                                        *)
+
+let power_sensitivity () =
+  section "A4: power-limit sensitivity (d695_leon, full reuse)";
+  let system = Experiments.d695_leon () in
+  let points =
+    Planner.power_sweep ~reuse:6
+      ~pcts:[ 100.0; 50.0; 40.0; 30.0; 25.0; 20.0 ]
+      system
+  in
+  Fmt.pr "%-10s %-12s %-12s@." "limit %" "makespan" "peak power";
+  List.iter
+    (fun (pct, (p : Planner.point)) ->
+      Fmt.pr "%-10.0f %-12d %-12.1f@." pct p.Planner.makespan
+        p.Planner.peak_power)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* A5: number of external interfaces                                  *)
+
+let io_port_sensitivity () =
+  section "A5: external interface count (d695_leon, 1..4 port pairs)";
+  Fmt.pr "%-8s %-12s %-12s %-10s@." "ports" "baseline" "best" "reduction";
+  List.iter
+    (fun ports ->
+      let system = Experiments.d695_leon_with_io ~ports in
+      let h = Report.headline (Planner.reuse_sweep system) in
+      Fmt.pr "%-8d %-12d %-12d %-10.1f@." ports h.Report.baseline
+        h.Report.best_makespan h.Report.reduction_pct)
+    [ 1; 2; 3; 4 ];
+  Fmt.pr
+    "@.more external pins shrink the baseline, so the relative value of \
+     processor reuse drops — the pin-cost economics the paper argues.@."
+
+(* ------------------------------------------------------------------ *)
+(* A6: processor placement                                            *)
+
+let placement_sensitivity () =
+  section "A6: processor placement (d695_leon arrangements)";
+  Fmt.pr "%-10s %-12s %-12s %-10s@." "placement" "baseline" "best" "reduction";
+  List.iter
+    (fun a ->
+      let system = Experiments.d695_leon_arranged a in
+      let h = Report.headline (Planner.reuse_sweep system) in
+      Fmt.pr "%-10s %-12d %-12d %-10.1f@."
+        (Experiments.arrangement_name a)
+        h.Report.baseline h.Report.best_makespan h.Report.reduction_pct)
+    [ Experiments.Spread; Experiments.Corners; Experiments.Center ]
+
+(* ------------------------------------------------------------------ *)
+(* A7: greedy optimality gap on small instances                       *)
+
+let optimality_gap () =
+  section "A7: greedy vs certified optimum (branch and bound, small systems)";
+  let small n_procs =
+    let soc =
+      Nocplan_itc02.Soc.make ~name:(Printf.sprintf "small%d" n_procs)
+        ~modules:
+          [
+            Nocplan_itc02.Module_def.make ~id:1 ~name:"a" ~inputs:8 ~outputs:8
+              ~scan_chains:[ 16; 16 ] ~patterns:10 ();
+            Nocplan_itc02.Module_def.make ~id:2 ~name:"b" ~inputs:16
+              ~outputs:4 ~scan_chains:[] ~patterns:25 ();
+            Nocplan_itc02.Module_def.make ~id:3 ~name:"c" ~inputs:10
+              ~outputs:40 ~scan_chains:[ 100; 90; 80 ] ~patterns:60 ();
+            Nocplan_itc02.Module_def.make ~id:4 ~name:"d" ~inputs:20
+              ~outputs:20 ~scan_chains:[ 40; 40 ] ~patterns:30 ();
+          ]
+    in
+    System.build ~soc
+      ~topology:(Noc.Topology.make ~width:3 ~height:3)
+      ~processors:(List.init n_procs (fun _ -> Proc.Processor.leon ~id:1))
+      ~io_inputs:[ Noc.Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Noc.Coord.make ~x:2 ~y:2 ]
+      ()
+  in
+  Fmt.pr "%-8s %-10s %-10s %-8s %-8s@." "procs" "greedy" "optimal" "gap%"
+    "nodes";
+  List.iter
+    (fun n ->
+      let system = small n in
+      let greedy =
+        (Scheduler.run system (Scheduler.config ~reuse:n ())).Schedule.makespan
+      in
+      let r = Exhaustive.schedule ~reuse:n system in
+      Fmt.pr "%-8d %-10d %-10d %-8.2f %-8d%s@." n greedy
+        r.Exhaustive.schedule.Schedule.makespan
+        (100.0
+        *. (1.0
+           -. float_of_int r.Exhaustive.schedule.Schedule.makespan
+              /. float_of_int greedy))
+        r.Exhaustive.nodes
+        (if r.Exhaustive.exact then "" else " (budget hit)"))
+    [ 0; 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* A8: cost model vs flit-level simulation                            *)
+
+let model_validation () =
+  section "A8: analytic cost model vs flit-level replay (downscaled d695_leon)";
+  let system =
+    Schedule_sim.downscale ~max_patterns:20 (Experiments.d695_leon ())
+  in
+  List.iter
+    (fun reuse ->
+      let sched = Planner.schedule ~reuse system in
+      let r = Schedule_sim.replay system sched in
+      Fmt.pr "reuse %d: worst slack %d cycles, max sim/analytic ratio %.3f@."
+        reuse r.Schedule_sim.worst_slack r.Schedule_sim.max_ratio)
+    [ 0; 3; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* A9: preemption                                                     *)
+
+let preemption () =
+  section "A9: preemptive scheduling (session splitting, d695_leon, full reuse)";
+  let system = Experiments.d695_leon () in
+  Fmt.pr "%-20s %-14s %-14s@." "max sessions" "no power limit"
+    (Printf.sprintf "power %.0f%%" Experiments.binding_power_pct);
+  let limit =
+    Some (System.power_limit_of_pct system ~pct:Experiments.binding_power_pct)
+  in
+  List.iter
+    (fun max_sessions ->
+      let free =
+        Preemptive.schedule system
+          (Preemptive.config ~max_sessions ~reuse:6 ())
+      in
+      let limited =
+        Preemptive.schedule system
+          (Preemptive.config ~power_limit:limit ~max_sessions ~reuse:6 ())
+      in
+      Fmt.pr "%-20d %-14d %-14d@." max_sessions free.Preemptive.makespan
+        limited.Preemptive.makespan)
+    [ 1; 2; 3; 5 ];
+  Fmt.pr
+    "@.splitting does not pay here: every session re-pays setup, path fill \
+     and drain, and the fixed chunking fragments the resource timeline — \
+     evidence for the paper's non-preemptive choice under this cost model.@."
+
+(* ------------------------------------------------------------------ *)
+(* A10: flit width (TAM width)                                        *)
+
+let flit_width_sweep () =
+  section "A10: NoC flit width as TAM width (d695_leon)";
+  Fmt.pr "%-8s %-12s %-12s %-10s@." "flits" "baseline" "best" "reduction";
+  List.iter
+    (fun width ->
+      let system = Experiments.d695_leon_flit ~width in
+      let h = Report.headline (Planner.reuse_sweep system) in
+      Fmt.pr "%-8d %-12d %-12d %-10.1f@." width h.Report.baseline
+        h.Report.best_makespan h.Report.reduction_pct)
+    [ 8; 16; 32; 64 ];
+  Fmt.pr
+    "@.wider flits shorten every wrapper chain (the classic ITC'02 \
+     TAM-width curve); the relative reuse gain is stable across widths.@."
+
+(* ------------------------------------------------------------------ *)
+(* A11: link failures                                                 *)
+
+let fault_sweep () =
+  section "A11: planning around failed NoC channels (d695_leon, full reuse)";
+  Fmt.pr "%-10s %-12s %-12s@." "failures" "makespan" "vs fault-free";
+  let fault_free =
+    (Planner.schedule ~reuse:6 (Experiments.d695_leon ())).Schedule.makespan
+  in
+  List.iter
+    (fun failures ->
+      let system = Experiments.d695_leon_faulty ~failures ~seed:0xFA17L in
+      match Planner.schedule ~reuse:6 system with
+      | sched ->
+          Fmt.pr "%-10d %-12d %+.1f%%@." failures sched.Schedule.makespan
+            (100.0
+            *. (float_of_int sched.Schedule.makespan
+                /. float_of_int fault_free
+               -. 1.0))
+      | exception Scheduler.Unschedulable _ ->
+          Fmt.pr "%-10d %-12s (a core is unreachable under XY routing)@."
+            failures "infeasible")
+    [ 0; 1; 2; 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A15: processor reuse across the whole ITC'02 corpus               *)
+
+let corpus_sweep () =
+  section "A15: reuse gains across the full ITC'02 corpus (4 Leons each)";
+  Fmt.pr "%-10s %-8s %-12s %-12s %-10s@." "benchmark" "modules" "baseline"
+    "best" "reduction";
+  List.iter
+    (fun soc ->
+      let modules = Itc02.Soc.module_count soc + 4 in
+      let side = int_of_float (ceil (sqrt (float_of_int modules))) in
+      let topology = Noc.Topology.make ~width:side ~height:side in
+      let system =
+        System.build ~soc ~topology
+          ~processors:(List.init 4 (fun _ -> Proc.Processor.leon ~id:1))
+          ~io_inputs:[ Noc.Coord.make ~x:0 ~y:0 ]
+          ~io_outputs:[ Noc.Coord.make ~x:(side - 1) ~y:(side - 1) ]
+          ()
+      in
+      let h = Report.headline (Planner.reuse_sweep system) in
+      Fmt.pr "%-10s %-8d %-12d %-12d %-10.1f@." soc.Itc02.Soc.name
+        (Itc02.Soc.module_count soc)
+        h.Report.baseline h.Report.best_makespan h.Report.reduction_pct)
+    (Itc02.Benchmarks.all ())
+
+(* ------------------------------------------------------------------ *)
+(* A19: fault coverage of the software BIST patterns                  *)
+
+let coverage_curve () =
+  section "A19: stuck-at coverage growth of the software BIST LFSR";
+  let cut = Proc.Coverage.cut ~seed:3L ~inputs:64 ~outputs:32 in
+  let patterns =
+    Proc.Coverage.lfsr_patterns ~seed:0xACE1 ~inputs:64 ~count:128
+  in
+  let curve = Proc.Coverage.run cut ~patterns in
+  Fmt.pr "%-10s %-10s@." "patterns" "coverage";
+  List.iteri
+    (fun i detected ->
+      let n = i + 1 in
+      if List.mem n [ 1; 2; 4; 8; 16; 32; 64; 128 ] then
+        Fmt.pr "%-10d %.3f@." n
+          (float_of_int detected /. float_of_int curve.Proc.Coverage.total_faults))
+    curve.Proc.Coverage.detected;
+  Fmt.pr
+    "@.the classical pseudo-random curve: most faults fall in the first \
+     dozen patterns, a resistant tail saturates — grounding the hundreds of \
+     patterns the benchmark cores specify.@."
+
+(* ------------------------------------------------------------------ *)
+(* A18: energy under power limits                                     *)
+
+let energy_tradeoff () =
+  section "A18: time/peak-power/energy trade-off (d695_leon, full reuse)";
+  let system = Experiments.d695_leon () in
+  Fmt.pr "%-10s %-12s %-12s %-14s %-14s@." "limit %" "makespan" "peak power"
+    "total energy" "avg power";
+  List.iter
+    (fun pct ->
+      let sched = Planner.schedule ~power_limit_pct:pct ~reuse:6 system in
+      let m = Metrics.of_schedule system ~reuse:6 sched in
+      Fmt.pr "%-10.0f %-12d %-12.1f %-14.3e %-14.1f@." pct
+        m.Metrics.makespan m.Metrics.peak_power m.Metrics.total_energy
+        m.Metrics.average_power)
+    [ 100.0; 30.0; 25.0; 20.0 ];
+  Fmt.pr
+    "@.tight limits stretch the schedule and cap the peak, while the energy \
+     (the work to be done) stays essentially constant — power limiting is a \
+     scheduling, not an energy, lever.@."
+
+(* ------------------------------------------------------------------ *)
+(* A17: assumed vs measured test-data compression                     *)
+
+let compression_measurement () =
+  section
+    "A17: decompression memory — assumed run-length vs measured on \
+     synthesized ATPG-like data (d695)";
+  let system = Experiments.d695_leon () in
+  Fmt.pr "%-10s %-12s %-12s %-10s@." "core" "estimate" "measured" "ratio";
+  List.iter
+    (fun (m : Itc02.Module_def.t) ->
+      let id = m.Itc02.Module_def.id in
+      if not (System.is_processor_module system id) then begin
+        let estimate = Test_access.decompression_footprint system ~module_id:id in
+        let measured =
+          Test_access.decompression_footprint_measured system ~module_id:id
+        in
+        Fmt.pr "%-10s %-12d %-12d %-10.2f@." m.Itc02.Module_def.name estimate
+          measured
+          (float_of_int estimate /. float_of_int measured)
+      end)
+    system.System.soc.Itc02.Soc.modules;
+  (* On the big benchmark the difference decides which cores a
+     small-memory processor can serve at all. *)
+  let big = Experiments.p93791_leon () in
+  let cuts =
+    List.filter
+      (fun (m : Itc02.Module_def.t) ->
+        not (System.is_processor_module big m.Itc02.Module_def.id))
+      big.System.soc.Itc02.Soc.modules
+  in
+  let count f =
+    List.length
+      (List.filter
+         (fun (m : Itc02.Module_def.t) -> f m.Itc02.Module_def.id <= 8_192)
+         cuts)
+  in
+  Fmt.pr
+    "@.p93791 cores fitting Plasma's 8k-word memory: %d of %d by the \
+     estimate, %d of %d measured — the conservative estimate under-uses \
+     small-memory processors.@."
+    (count (fun id -> Test_access.decompression_footprint big ~module_id:id))
+    (List.length cuts)
+    (count (fun id ->
+         Test_access.decompression_footprint_measured big ~module_id:id))
+    (List.length cuts)
+
+(* ------------------------------------------------------------------ *)
+(* A16: adaptive re-planning after a mid-session fault                *)
+
+let replanning () =
+  section "A16: adaptive re-planning after a mid-session channel failure";
+  let system = Experiments.d695_leon () in
+  let sched = Planner.schedule ~reuse:6 system in
+  let failed =
+    [
+      Noc.Link.channel (Noc.Coord.make ~x:1 ~y:0) (Noc.Coord.make ~x:2 ~y:0);
+      Noc.Link.channel (Noc.Coord.make ~x:2 ~y:1) (Noc.Coord.make ~x:2 ~y:0);
+    ]
+  in
+  Fmt.pr "fault-free makespan: %d@." sched.Schedule.makespan;
+  Fmt.pr "%-12s %-8s %-8s %-12s %-10s@." "event at" "kept" "voided"
+    "new makespan" "penalty";
+  List.iter
+    (fun pct ->
+      let at = sched.Schedule.makespan * pct / 100 in
+      match Replan.after_fault ~reuse:6 ~at ~failed system sched with
+      | r ->
+          Fmt.pr "%-12d %-8d %-8d %-12d %+.1f%%@." at
+            (List.length r.Replan.kept)
+            (List.length r.Replan.voided)
+            r.Replan.makespan
+            (100.0
+            *. (float_of_int r.Replan.makespan
+                /. float_of_int sched.Schedule.makespan
+               -. 1.0))
+      | exception Scheduler.Unschedulable _ ->
+          Fmt.pr "%-12d %-8s (remaining cores unreachable)@." at "-")
+    [ 10; 30; 50; 70; 90 ]
+
+(* ------------------------------------------------------------------ *)
+(* A14: mesh vs torus                                                 *)
+
+let mesh_vs_torus () =
+  section "A14: mesh vs torus topology (same placements, wraparound channels)";
+  Fmt.pr "%-14s %-22s %-22s@." "system" "mesh base/best" "torus base/best";
+  List.iter
+    (fun (name, system) ->
+      let torus = Experiments.torus_variant system in
+      let h_mesh = Report.headline (Planner.reuse_sweep system) in
+      let h_torus = Report.headline (Planner.reuse_sweep torus) in
+      Fmt.pr "%-14s %9d /%9d  %9d /%9d@." name h_mesh.Report.baseline
+        h_mesh.Report.best_makespan h_torus.Report.baseline
+        h_torus.Report.best_makespan)
+    [
+      ("d695_leon", Experiments.d695_leon ());
+      ("p93791_leon", Experiments.p93791_leon ());
+    ];
+  Fmt.pr
+    "@.wraparound channels shorten path fills and spread conflicts; gains \
+     are modest because the per-pattern cadence, not the fill, dominates.@."
+
+(* ------------------------------------------------------------------ *)
+(* A13: NoC vs shared-bus test access (the paper's motivation)        *)
+
+let bus_vs_noc () =
+  section "A13: NoC vs shared-bus test access (related-work architectures)";
+  Fmt.pr "%-14s %-12s %-14s %-14s %-8s@." "system" "bus (ext)" "bus (proc src)"
+    "NoC (reuse)" "speedup";
+  List.iter
+    (fun (name, system) ->
+      let reuse = List.length system.System.processors in
+      let bus_ext = Bus_baseline.plan system in
+      let bus_proc = Bus_baseline.plan ~use_processor_sources:true system in
+      let noc = (Planner.schedule ~reuse system).Schedule.makespan in
+      Fmt.pr "%-14s %-12d %-14d %-14d %-8.2f@." name
+        bus_ext.Bus_baseline.makespan bus_proc.Bus_baseline.makespan noc
+        (Bus_baseline.speedup system ~noc_makespan:noc bus_ext);
+      ignore bus_proc)
+    [
+      ("d695_leon", Experiments.d695_leon ());
+      ("p22810_leon", Experiments.p22810_leon ());
+      ("p93791_leon", Experiments.p93791_leon ());
+    ];
+  Fmt.pr
+    "@.on a bus, tests serialize and processor reuse buys nothing — the \
+     spatial concurrency of the NoC is what the paper's method exploits.@."
+
+(* ------------------------------------------------------------------ *)
+(* A12: simulated annealing over test orders                          *)
+
+let annealing () =
+  section "A12: scheduler quality ladder (greedy / lookahead / annealed / optimal*)";
+  Fmt.pr "%-14s %-12s %-12s %-12s@." "system" "greedy" "lookahead" "annealed";
+  List.iter
+    (fun (name, system) ->
+      let reuse = List.length system.System.processors in
+      let greedy =
+        (Scheduler.run system (Scheduler.config ~reuse ())).Schedule.makespan
+      in
+      let lookahead =
+        (Scheduler.run system
+           (Scheduler.config ~policy:Scheduler.Lookahead ~reuse ()))
+          .Schedule.makespan
+      in
+      let annealed =
+        (Annealing.schedule ~iterations:250 ~reuse system).Annealing.schedule
+          .Schedule.makespan
+      in
+      Fmt.pr "%-14s %-12d %-12d %-12d@." name greedy lookahead annealed)
+    [
+      ("d695_leon", Experiments.d695_leon ());
+      ("p22810_leon", Experiments.p22810_leon ());
+      ("p93791_leon", Experiments.p93791_leon ());
+    ];
+  Fmt.pr
+    "@.(*) certified optima are only tractable on small fixtures — see A7.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                    *)
+
+let timing_benchmarks systems =
+  let open Bechamel in
+  let open Toolkit in
+  section "Bechamel timings (one Test per experiment)";
+  let sweep_test name system =
+    Test.make ~name (Staged.stage (fun () -> ignore (Planner.reuse_sweep system)))
+  in
+  let tests =
+    List.map (fun (name, system) -> sweep_test ("fig1/" ^ name) system) systems
+    @ [
+        Test.make ~name:"ablation/greedy_vs_lookahead"
+          (Staged.stage (fun () ->
+               ignore
+                 (Planner.reuse_sweep ~policy:Scheduler.Lookahead
+                    (List.assoc "p22810_leon" systems))));
+        Test.make ~name:"ablation/power_sweep"
+          (Staged.stage (fun () ->
+               ignore
+                 (Planner.power_sweep ~reuse:6 ~pcts:[ 50.0; 25.0 ]
+                    (List.assoc "d695_leon" systems))));
+        Test.make ~name:"ablation/noc_characterization"
+          (Staged.stage (fun () ->
+               let topology = Noc.Topology.make ~width:5 ~height:5 in
+               let config =
+                 Noc.Flit_sim.config topology Noc.Latency.hermes_like
+               in
+               ignore (Noc.Characterize.measure_timing config)));
+        Test.make ~name:"ablation/proc_characterization"
+          (Staged.stage (fun () ->
+               ignore
+                 (Proc.Characterization.of_bist ~costs:Proc.Leon.costs
+                    ~power:1.0 ())));
+        Test.make ~name:"headline/baseline_d695"
+          (Staged.stage (fun () ->
+               ignore (Baseline.schedule (List.assoc "d695_leon" systems))));
+      ]
+  in
+  let grouped = Test.make_grouped ~name:"nocplan" ~fmt:"%s %s" tests in
+  let benchmark test =
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let raw = benchmark grouped in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                   ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock) raw
+  in
+  Fmt.pr "%-40s %16s@." "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Fmt.pr "%-40s %16s@." name pretty
+      | Some _ | None -> Fmt.pr "%-40s %16s@." name "n/a")
+    results
+
+let () =
+  Fmt.pr "nocplan reproduction harness@.";
+  noc_characterization ();
+  processor_characterization ();
+  let systems =
+    [
+      ("d695_leon", Experiments.d695_leon ());
+      ("p22810_leon", Experiments.p22810_leon ());
+      ("p93791_leon", Experiments.p93791_leon ());
+    ]
+  in
+  let results =
+    List.map (fun (name, sys) -> (name, figure1_panel name sys)) systems
+  in
+  headline_table results;
+  greedy_vs_lookahead ();
+  power_sensitivity ();
+  io_port_sensitivity ();
+  placement_sensitivity ();
+  optimality_gap ();
+  model_validation ();
+  preemption ();
+  flit_width_sweep ();
+  fault_sweep ();
+  annealing ();
+  bus_vs_noc ();
+  mesh_vs_torus ();
+  corpus_sweep ();
+  replanning ();
+  compression_measurement ();
+  energy_tradeoff ();
+  coverage_curve ();
+  timing_benchmarks systems

@@ -1,0 +1,562 @@
+(* nocplan — NoC-based SoC test planning with processor reuse.
+
+   Command-line front end over the nocplan_core planner: inspect
+   benchmarks, characterize the NoC and the processors, produce single
+   schedules and run the paper's sweeps. *)
+
+module Itc02 = Nocplan_itc02
+module Noc = Nocplan_noc
+module Proc = Nocplan_proc
+module Core = Nocplan_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                            *)
+
+let builtin_systems () = Core.Experiments.all ()
+
+let load_soc spec =
+  match Itc02.Benchmarks.find spec with
+  | Some soc -> Ok soc
+  | None -> (
+      match Itc02.Parser.of_file spec with
+      | Ok soc -> Ok soc
+      | Error e ->
+          Error
+            (Fmt.str "%s is neither a builtin benchmark (%s) nor a readable \
+                      description: %a"
+               spec
+               (String.concat ", " Itc02.Benchmarks.names)
+               Itc02.Parser.pp_error e))
+
+let load_system ~spec ~width ~height ~leons ~plasmas =
+  match List.assoc_opt spec (builtin_systems ()) with
+  | Some system -> Ok system
+  | None -> (
+      match load_soc spec with
+      | Error _ as e -> e
+      | Ok soc ->
+          let processors =
+            List.init leons (fun _ -> Proc.Processor.leon ~id:1)
+            @ List.init plasmas (fun _ -> Proc.Processor.plasma ~id:1)
+          in
+          let modules = Itc02.Soc.module_count soc + leons + plasmas in
+          let width, height =
+            match (width, height) with
+            | Some w, Some h -> (w, h)
+            | _ ->
+                (* Smallest near-square mesh covering one module per
+                   tile when possible. *)
+                let side = int_of_float (ceil (sqrt (float_of_int modules))) in
+                (side, side)
+          in
+          let topology = Noc.Topology.make ~width ~height in
+          let input = Noc.Coord.make ~x:0 ~y:0 in
+          let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
+          Ok
+            (Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
+               ~io_outputs:[ output ] ()))
+
+let system_spec =
+  let doc =
+    "System to plan: a builtin system (d695_leon, p22810_leon, p93791_leon, \
+     *_mixed), any ITC'02 corpus benchmark (u226 .. a586710) or a benchmark \
+     description file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+
+let width_arg =
+  Arg.(value & opt (some int) None & info [ "width" ] ~docv:"W"
+         ~doc:"Mesh width (benchmark/file systems only).")
+
+let height_arg =
+  Arg.(value & opt (some int) None & info [ "height" ] ~docv:"H"
+         ~doc:"Mesh height (benchmark/file systems only).")
+
+let leons_arg =
+  Arg.(value & opt int 4 & info [ "leons" ] ~docv:"N"
+         ~doc:"Leon processors to add (benchmark/file systems only).")
+
+let plasmas_arg =
+  Arg.(value & opt int 0 & info [ "plasmas" ] ~docv:"N"
+         ~doc:"Plasma processors to add (benchmark/file systems only).")
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum [ ("greedy", Core.Scheduler.Greedy); ("lookahead", Core.Scheduler.Lookahead) ]
+  in
+  Arg.(value & opt policy_conv Core.Scheduler.Greedy & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Resource selection policy: greedy (the paper's) or lookahead.")
+
+let application_arg =
+  let application_conv =
+    Arg.enum
+      [ ("bist", Proc.Processor.Bist); ("decompress", Proc.Processor.Decompression) ]
+  in
+  Arg.(value & opt application_conv Proc.Processor.Bist & info [ "application" ] ~docv:"APP"
+         ~doc:"Test application run by reused processors.")
+
+let power_arg =
+  Arg.(value & opt (some float) None & info [ "power" ] ~docv:"PCT"
+         ~doc:"Power limit as a percentage of the sum of all core powers.")
+
+let reuse_arg =
+  Arg.(value & opt (some int) None & info [ "reuse" ] ~docv:"N"
+         ~doc:"Number of processors reused for test (default: all).")
+
+let err msg =
+  `Error (false, msg)
+
+(* ------------------------------------------------------------------ *)
+(* show                                                               *)
+
+let show_cmd =
+  let run spec width height leons plasmas =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system ->
+        Fmt.pr "%a@." Core.System.pp system;
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Describe a system: modules, placement, ports.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                               *)
+
+let plan_cmd =
+  let run spec width height leons plasmas policy application power reuse gantt
+      resources json csv =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        match
+          Core.Planner.schedule ~policy ~application ?power_limit_pct:power
+            ~reuse system
+        with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | sched when json ->
+            print_string (Core.Export.schedule_json system sched);
+            `Ok ()
+        | sched when csv ->
+            print_string (Core.Export.schedule_csv system sched);
+            `Ok ()
+        | sched ->
+            Fmt.pr "%a@." Core.Schedule.pp sched;
+            if gantt then
+              print_string (Core.Gantt.render system sched);
+            if resources then
+              print_string (Core.Gantt.render_resources system ~reuse sched);
+            let power_limit =
+              Option.map
+                (fun pct -> Core.System.power_limit_of_pct system ~pct)
+                power
+            in
+            (match
+               Core.Schedule.validate system ~application ~power_limit ~reuse
+                 sched
+             with
+            | Ok () -> Fmt.pr "schedule validated: ok@."
+            | Error vs ->
+                Fmt.pr "@[<v>schedule INVALID:@,%a@]@."
+                  (Fmt.list ~sep:Fmt.cut Core.Schedule.pp_violation)
+                  vs);
+            `Ok ())
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
+  in
+  let resources_arg =
+    Arg.(value & flag & info [ "resources" ]
+           ~doc:"Render per-resource utilization bars.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the schedule as JSON.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the schedule as CSV.")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+               $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Produce and validate one test schedule.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+
+let stats_cmd =
+  let run spec width height leons plasmas policy application power reuse vcd =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        match
+          Core.Planner.schedule ~policy ~application ?power_limit_pct:power
+            ~reuse system
+        with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | sched ->
+            Fmt.pr "%a@." Core.Metrics.pp
+              (Core.Metrics.of_schedule system ~reuse sched);
+            (match vcd with
+            | Some path ->
+                Core.Vcd.to_file path system ~reuse sched;
+                Fmt.pr "waveform written to %s@." path
+            | None -> ());
+            `Ok ())
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+           ~doc:"Also dump the schedule as a VCD waveform.")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+               $ reuse_arg $ vcd_arg))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Schedule quality metrics (concurrency, utilization, power).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* anneal                                                             *)
+
+let anneal_cmd =
+  let run spec width height leons plasmas power reuse iterations seed =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        let power_limit =
+          Option.map
+            (fun pct -> Core.System.power_limit_of_pct system ~pct)
+            power
+        in
+        match
+          Core.Annealing.schedule ~power_limit ~iterations
+            ~seed:(Int64.of_int seed) ~reuse system
+        with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | r ->
+            Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
+            Fmt.pr
+              "greedy order %d -> annealed %d (%.1f%% better; %d engine \
+               evaluations, %d accepted moves)@."
+              r.Core.Annealing.initial_makespan
+              r.Core.Annealing.schedule.Core.Schedule.makespan
+              (Core.Annealing.improvement_pct r)
+              r.Core.Annealing.evaluations r.Core.Annealing.accepted;
+            `Ok ())
+  in
+  let iterations_arg =
+    Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Annealing iterations (engine evaluations).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5A & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Deterministic search seed.")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
+               $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "anneal"
+       ~doc:"Improve the test order by simulated annealing.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                             *)
+
+let replay_cmd =
+  let run spec width height leons plasmas reuse max_patterns =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        let system = Core.Schedule_sim.downscale ~max_patterns system in
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        match Core.Planner.schedule ~reuse system with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | sched ->
+            let report = Core.Schedule_sim.replay system sched in
+            Fmt.pr "%a@." Core.Schedule_sim.pp_report report;
+            `Ok ())
+  in
+  let max_patterns_arg =
+    Arg.(value & opt int 20 & info [ "max-patterns" ] ~docv:"N"
+           ~doc:"Cap pattern counts before replay (flit-level cost).")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ reuse_arg $ max_patterns_arg))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Cross-validate the cost model: execute a (downscaled) schedule on \
+          the flit-level simulator.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* optimal                                                            *)
+
+let optimal_cmd =
+  let run spec width height leons plasmas power reuse max_nodes =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        let power_limit =
+          Option.map
+            (fun pct -> Core.System.power_limit_of_pct system ~pct)
+            power
+        in
+        match
+          Core.Exhaustive.schedule ~power_limit ~max_nodes ~reuse system
+        with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | r ->
+            let greedy =
+              Core.Scheduler.run system
+                (Core.Scheduler.config ~power_limit ~reuse ())
+            in
+            Fmt.pr "%a@." Core.Schedule.pp r.Core.Exhaustive.schedule;
+            Fmt.pr
+              "greedy %d, branch-and-bound %d (%s, %d nodes expanded)@."
+              greedy.Core.Schedule.makespan
+              r.Core.Exhaustive.schedule.Core.Schedule.makespan
+              (if r.Core.Exhaustive.exact then "optimal"
+               else "node budget exhausted")
+              r.Core.Exhaustive.nodes;
+            `Ok ())
+  in
+  let max_nodes_arg =
+    Arg.(value & opt int 300_000 & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget.")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ power_arg $ reuse_arg $ max_nodes_arg))
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Certified-optimal schedule for small systems (branch and bound).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                              *)
+
+let sweep_cmd =
+  let run spec width height leons plasmas policy application power csv =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> err msg
+    | Ok system -> (
+        match
+          Core.Planner.reuse_sweep ~policy ~application ?power_limit_pct:power
+            system
+        with
+        | exception Core.Scheduler.Unschedulable msg ->
+            err ("unschedulable: " ^ msg)
+        | sweep ->
+            if csv then print_string (Core.Report.sweep_csv sweep)
+            else begin
+              Fmt.pr "%a@." Core.Planner.pp_sweep sweep;
+              Fmt.pr "%a@." Core.Report.pp_headline (Core.Report.headline sweep)
+            end;
+            `Ok ())
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let term =
+    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
+               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+               $ csv_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Test time for every processor-reuse count (Figure 1 series).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* characterize                                                       *)
+
+let characterize_cmd =
+  let run width height =
+    let width = Option.value width ~default:4 in
+    let height = Option.value height ~default:4 in
+    let topology = Noc.Topology.make ~width ~height in
+    let latency = Noc.Latency.hermes_like in
+    let config = Noc.Flit_sim.config topology latency in
+    let timing = Noc.Characterize.measure_timing config in
+    Fmt.pr "NoC (%a, %a):@." Noc.Topology.pp topology Noc.Latency.pp latency;
+    Fmt.pr "  measured on the flit simulator: %a@." Noc.Characterize.pp_timing
+      timing;
+    let power =
+      Noc.Characterize.measure_power config (Noc.Traffic.spec ~packets:500 ())
+    in
+    Fmt.pr "  mean stream power: %a@.@." Noc.Power.pp power;
+    List.iter
+      (fun p -> Fmt.pr "%a@.@." Proc.Processor.pp p)
+      [ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ];
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ width_arg $ height_arg)) in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Measure NoC timing/power and processor test applications.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                           *)
+
+let generate_cmd =
+  let run name seed scan comb cells chains min_patterns max_patterns output =
+    let profile =
+      {
+        Itc02.Data_gen.name;
+        seed = Int64.of_int seed;
+        scan_modules = scan;
+        comb_modules = comb;
+        target_scan_cells = cells;
+        max_chains = chains;
+        min_patterns;
+        max_patterns;
+      }
+    in
+    match Itc02.Data_gen.generate profile with
+    | exception Invalid_argument msg -> err msg
+    | soc -> (
+        match output with
+        | Some path ->
+            Itc02.Printer.to_file path soc;
+            Fmt.pr "%a@.written to %s@." Itc02.Soc.pp_summary soc path;
+            `Ok ()
+        | None ->
+            print_string (Itc02.Printer.to_string soc);
+            `Ok ())
+  in
+  let name_arg =
+    Arg.(value & opt string "synthetic" & info [ "name" ] ~docv:"NAME"
+           ~doc:"Benchmark name.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Deterministic generation seed.")
+  in
+  let scan_arg =
+    Arg.(value & opt int 8 & info [ "scan-modules" ] ~docv:"N"
+           ~doc:"Number of scan-testable cores.")
+  in
+  let comb_arg =
+    Arg.(value & opt int 2 & info [ "comb-modules" ] ~docv:"N"
+           ~doc:"Number of combinational cores.")
+  in
+  let cells_arg =
+    Arg.(value & opt int 10_000 & info [ "scan-cells" ] ~docv:"N"
+           ~doc:"Total scan cells to calibrate to.")
+  in
+  let chains_arg =
+    Arg.(value & opt int 32 & info [ "max-chains" ] ~docv:"N"
+           ~doc:"Upper bound on scan chains per core.")
+  in
+  let min_patterns_arg =
+    Arg.(value & opt int 20 & info [ "min-patterns" ] ~docv:"N"
+           ~doc:"Minimum pattern count per core.")
+  in
+  let max_patterns_arg =
+    Arg.(value & opt int 800 & info [ "max-patterns" ] ~docv:"N"
+           ~doc:"Maximum pattern count per core.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the description to a file instead of stdout.")
+  in
+  let term =
+    Term.(ret (const run $ name_arg $ seed_arg $ scan_arg $ comb_arg
+               $ cells_arg $ chains_arg $ min_patterns_arg $ max_patterns_arg
+               $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a deterministic synthetic benchmark description.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* corpus                                                             *)
+
+let corpus_cmd =
+  let run () =
+    Fmt.pr "%-10s %-8s %-12s %-14s %-12s@." "name" "modules" "scan cells"
+      "test bits" "total power";
+    List.iter
+      (fun soc ->
+        let cells =
+          List.fold_left
+            (fun acc m -> acc + Itc02.Module_def.scan_cells m)
+            0 soc.Itc02.Soc.modules
+        in
+        Fmt.pr "%-10s %-8d %-12d %-14d %-12.1f@." soc.Itc02.Soc.name
+          (Itc02.Soc.module_count soc)
+          cells
+          (Itc02.Soc.total_test_bits soc)
+          (Itc02.Soc.total_test_power soc))
+      (Itc02.Benchmarks.all ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List the embedded ITC'02 benchmark corpus.")
+    Term.(ret (const run $ const ()))
+
+let main =
+  let doc = "test planning for NoC-based SoCs with processor reuse" in
+  Cmd.group
+    (Cmd.info "nocplan" ~version:"1.0.0" ~doc)
+    [
+      show_cmd;
+      plan_cmd;
+      sweep_cmd;
+      characterize_cmd;
+      replay_cmd;
+      optimal_cmd;
+      stats_cmd;
+      anneal_cmd;
+      generate_cmd;
+      corpus_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_program.ml: Fmt List Nocplan_proc Printf

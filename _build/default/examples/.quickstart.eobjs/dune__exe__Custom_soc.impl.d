@@ -1,0 +1,1 @@
+examples/custom_soc.ml: Fmt Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc

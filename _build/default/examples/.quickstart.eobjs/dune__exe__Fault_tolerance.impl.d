@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Fmt Nocplan_core Nocplan_noc Nocplan_proc

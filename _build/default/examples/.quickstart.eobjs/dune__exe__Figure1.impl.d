@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Fmt List Nocplan_core String Sys

@@ -1,0 +1,1 @@
+examples/greedy_anomaly.ml: Fmt Nocplan_core

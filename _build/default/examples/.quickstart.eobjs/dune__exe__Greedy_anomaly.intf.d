@@ -1,0 +1,1 @@
+examples/greedy_anomaly.mli:

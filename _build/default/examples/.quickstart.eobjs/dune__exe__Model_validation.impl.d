@@ -1,0 +1,1 @@
+examples/model_validation.ml: Fmt List Nocplan_core

@@ -1,0 +1,1 @@
+examples/paper_flow.ml: Fmt List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc

@@ -1,0 +1,1 @@
+examples/power_limits.ml: Fmt List Nocplan_core

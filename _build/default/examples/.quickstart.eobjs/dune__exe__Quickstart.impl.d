@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc

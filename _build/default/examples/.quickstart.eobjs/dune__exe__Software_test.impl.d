@@ -1,0 +1,1 @@
+examples/software_test.ml: Array Fmt List Nocplan_proc

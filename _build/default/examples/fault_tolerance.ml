@@ -1,0 +1,56 @@
+(* Planning around a partially failed NoC.
+
+   XY routing is deterministic: if a channel on a test's path is
+   faulty, that (source, CUT, sink) combination simply cannot run.
+   The planner's admission check drops such pairs, so tests detour
+   through other resources — until failures isolate a core, at which
+   point the instance is honestly reported unschedulable.
+
+   Run with: dune exec examples/fault_tolerance.exe *)
+
+module Core = Nocplan_core
+module Noc = Nocplan_noc
+
+let c x y = Noc.Coord.make ~x ~y
+
+let () =
+  let system = Core.Experiments.d695_leon () in
+  let healthy = Core.Planner.schedule ~reuse:6 system in
+  Fmt.pr "fault-free makespan: %d@.@." healthy.Core.Schedule.makespan;
+
+  (* 1. A single failed channel on the main external artery. *)
+  let broken =
+    Core.System.with_failed_links system [ Noc.Link.channel (c 1 0) (c 0 0) ]
+  in
+  let sched = Core.Planner.schedule ~reuse:6 broken in
+  Fmt.pr "with (1,0)->(0,0) failed: %d (%+.1f%%)@." sched.Core.Schedule.makespan
+    (100.0
+    *. (float_of_int sched.Core.Schedule.makespan
+        /. float_of_int healthy.Core.Schedule.makespan
+       -. 1.0));
+  (match
+     Core.Schedule.validate broken ~application:Nocplan_proc.Processor.Bist
+       ~power_limit:None ~reuse:6 sched
+   with
+  | Ok () -> Fmt.pr "  detoured schedule validates (failed link unused)@.@."
+  | Error vs ->
+      Fmt.pr "  INVALID: %a@." (Fmt.list Core.Schedule.pp_violation) vs);
+
+  (* 2. Progressive random failures until the mesh gives out. *)
+  Fmt.pr "progressive random channel failures (seed 0xDEAD):@.";
+  let rec sweep failures =
+    if failures <= 10 then begin
+      let sys =
+        Core.Experiments.d695_leon_faulty ~failures ~seed:0xDEADL
+      in
+      (match Core.Planner.schedule ~reuse:6 sys with
+      | sched ->
+          Fmt.pr "  %2d failed: makespan %d@." failures
+            sched.Core.Schedule.makespan;
+          sweep (failures + 2)
+      | exception Core.Scheduler.Unschedulable _ ->
+          Fmt.pr "  %2d failed: a core is unreachable — test impossible@."
+            failures)
+    end
+  in
+  sweep 0

@@ -1,0 +1,32 @@
+(* Figure 1 of the paper: test time versus the number of processors
+   reused, for the three benchmark systems, with and without a power
+   constraint.
+
+   Run with: dune exec examples/figure1.exe [-- quick]
+   ("quick" restricts to d695_leon). *)
+
+module Core = Nocplan_core
+
+let panel (name, system) =
+  let unconstrained = Core.Planner.reuse_sweep system in
+  let constrained =
+    Core.Planner.reuse_sweep
+      ~power_limit_pct:Core.Experiments.binding_power_pct system
+  in
+  Fmt.pr "=== %s (power limit %.0f%% of total) ===@." name
+    Core.Experiments.binding_power_pct;
+  print_string (Core.Report.figure1_table ~unconstrained ~constrained);
+  Fmt.pr "%a@.@." Core.Report.pp_headline (Core.Report.headline unconstrained)
+
+let () =
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  let systems =
+    if quick then [ ("d695_leon", Core.Experiments.d695_leon ()) ]
+    else
+      [
+        ("d695_leon", Core.Experiments.d695_leon ());
+        ("p22810_leon", Core.Experiments.p22810_leon ());
+        ("p93791_leon", Core.Experiments.p93791_leon ());
+      ]
+  in
+  List.iter panel systems

@@ -1,0 +1,37 @@
+(* Power-constrained test planning: how tight can the power budget get
+   before processor reuse stops paying off?
+
+   "Notice that in a real case, the designer can define any power
+   limit" — this example sweeps the limit from generous to tight on
+   p93791_leon with all eight processors reused, and also shows how
+   the reuse sweep flattens under a binding limit.
+
+   Run with: dune exec examples/power_limits.exe *)
+
+module Core = Nocplan_core
+
+let () =
+  let system = Core.Experiments.p93791_leon () in
+  let reuse = 8 in
+  Fmt.pr "p93791_leon, reuse %d, greedy scheduler@.@." reuse;
+  Fmt.pr "%-12s %-12s %-12s@." "limit (%)" "makespan" "peak power";
+  let points =
+    Core.Planner.power_sweep ~reuse
+      ~pcts:[ 100.0; 50.0; 35.0; 25.0; 20.0; 15.0; 12.0 ]
+      system
+  in
+  List.iter
+    (fun (pct, (p : Core.Planner.point)) ->
+      Fmt.pr "%-12.0f %-12d %-12.1f@." pct p.Core.Planner.makespan
+        p.Core.Planner.peak_power)
+    points;
+
+  (* Under a tight limit, adding processors saturates: the constraint,
+     not the resource pool, bounds parallelism. *)
+  Fmt.pr "@.reuse sweep at a binding %.0f%% limit:@."
+    Core.Experiments.binding_power_pct;
+  let sweep =
+    Core.Planner.reuse_sweep
+      ~power_limit_pct:Core.Experiments.binding_power_pct system
+  in
+  Fmt.pr "%a@." Core.Planner.pp_sweep sweep

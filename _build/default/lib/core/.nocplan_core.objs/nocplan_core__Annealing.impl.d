@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Array Nocplan_itc02 Nocplan_proc Priority Schedule Scheduler

@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Nocplan_proc Schedule Scheduler System

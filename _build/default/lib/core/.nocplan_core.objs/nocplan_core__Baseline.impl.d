@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Nocplan_proc Planner Schedule

@@ -1,0 +1,1 @@
+lib/core/bus_baseline.ml: List Nocplan_itc02 Nocplan_noc Nocplan_proc System

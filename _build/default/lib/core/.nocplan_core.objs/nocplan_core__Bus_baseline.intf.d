@@ -1,0 +1,1 @@
+lib/core/bus_baseline.mli: Nocplan_proc System

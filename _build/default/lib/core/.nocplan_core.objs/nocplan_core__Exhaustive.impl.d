@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Hashtbl List Nocplan_noc Nocplan_proc Resource Schedule Scheduler Stdlib System Test_access

@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Nocplan_proc Schedule System

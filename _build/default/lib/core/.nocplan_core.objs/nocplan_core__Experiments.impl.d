@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array List Nocplan_itc02 Nocplan_noc Nocplan_proc System

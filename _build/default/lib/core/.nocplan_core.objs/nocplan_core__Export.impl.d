@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Char Fmt List Nocplan_itc02 Planner Printf Resource Schedule Scheduler String System

@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Buffer Bytes Fmt List Nocplan_itc02 Printf Resource Schedule System

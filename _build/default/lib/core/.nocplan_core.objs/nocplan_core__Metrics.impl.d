@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float Fmt List Resource Schedule

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Fmt Int List Map Nocplan_noc Printf

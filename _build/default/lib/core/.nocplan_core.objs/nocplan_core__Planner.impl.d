@@ -1,0 +1,1 @@
+lib/core/planner.ml: Domain Float Fmt Fun List Nocplan_itc02 Nocplan_proc Schedule Scheduler System

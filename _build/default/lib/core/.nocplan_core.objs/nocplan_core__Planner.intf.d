@@ -1,0 +1,1 @@
+lib/core/planner.mli: Fmt Nocplan_proc Schedule Scheduler System

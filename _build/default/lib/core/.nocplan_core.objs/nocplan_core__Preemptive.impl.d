@@ -1,0 +1,1 @@
+lib/core/preemptive.ml: Fmt Hashtbl List Nocplan_itc02 Nocplan_noc Nocplan_proc Power_monitor Printf Priority Resource Scheduler Stdlib System Test_access

@@ -1,0 +1,1 @@
+lib/core/priority.ml: List Nocplan_itc02 Nocplan_noc Resource Stdlib System

@@ -1,0 +1,1 @@
+lib/core/replan.ml: Fmt List Nocplan_noc Nocplan_proc Resource Schedule Scheduler System Test_access

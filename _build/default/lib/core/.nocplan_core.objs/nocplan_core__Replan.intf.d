@@ -1,0 +1,1 @@
+lib/core/replan.mli: Fmt Nocplan_noc Nocplan_proc Resource Schedule Scheduler Stdlib System

@@ -1,0 +1,1 @@
+lib/core/resource.ml: Fmt List Nocplan_noc Printf Stdlib System

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Float Fmt List Nocplan_itc02 Nocplan_noc Printf Resource Stdlib System Test_access

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Fmt Nocplan_noc Nocplan_proc Resource System

@@ -1,0 +1,1 @@
+lib/core/schedule_sim.ml: Float Fmt List Nocplan_itc02 Nocplan_noc Nocplan_proc Printf Resource Schedule System

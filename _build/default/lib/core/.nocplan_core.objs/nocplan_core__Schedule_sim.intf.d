@@ -1,0 +1,1 @@
+lib/core/schedule_sim.mli: Fmt Nocplan_proc Schedule System

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Fmt Hashtbl List Logs Nocplan_itc02 Nocplan_noc Nocplan_proc Option Power_monitor Printf Priority Resource Schedule Stdlib System Test_access

@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Fmt Nocplan_proc Schedule System

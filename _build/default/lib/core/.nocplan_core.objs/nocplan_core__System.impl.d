@@ -1,0 +1,1 @@
+lib/core/system.ml: Fmt List Nocplan_itc02 Nocplan_noc Nocplan_proc Option Placement Printf

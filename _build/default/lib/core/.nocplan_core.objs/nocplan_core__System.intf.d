@@ -1,0 +1,1 @@
+lib/core/system.mli: Fmt Nocplan_itc02 Nocplan_noc Nocplan_proc Placement

@@ -1,0 +1,1 @@
+lib/core/test_access.ml: Float Fmt List Nocplan_itc02 Nocplan_noc Nocplan_proc Printf Resource System

@@ -1,0 +1,1 @@
+lib/core/test_access.mli: Fmt Nocplan_noc Nocplan_proc Resource System

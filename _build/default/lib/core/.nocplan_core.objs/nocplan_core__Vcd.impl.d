@@ -1,0 +1,1 @@
+lib/core/vcd.ml: Buffer Char Fmt Hashtbl List Out_channel Printf Resource Schedule Stdlib String

@@ -1,0 +1,1 @@
+lib/core/vcd.mli: Schedule System

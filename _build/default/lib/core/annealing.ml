@@ -1,0 +1,85 @@
+module Rng = Nocplan_itc02.Data_gen.Rng
+
+type result = {
+  schedule : Schedule.t;
+  initial_makespan : int;
+  evaluations : int;
+  accepted : int;
+}
+
+let improvement_pct r =
+  100.0
+  *. (1.0
+     -. float_of_int r.schedule.Schedule.makespan
+        /. float_of_int r.initial_makespan)
+
+let schedule ?(policy = Scheduler.Greedy)
+    ?(application = Nocplan_proc.Processor.Bist) ?(power_limit = None)
+    ?(iterations = 400) ?initial_temperature ?(cooling = 0.99)
+    ?(seed = 0x5AL) ~reuse system =
+  if iterations < 1 then invalid_arg "Annealing.schedule: iterations < 1";
+  if cooling <= 0.0 || cooling > 1.0 then
+    invalid_arg "Annealing.schedule: cooling must be in (0, 1]";
+  let rng = Rng.create seed in
+  let evaluate order =
+    Scheduler.run system
+      (Scheduler.config ~policy ~application ~power_limit ~order ~reuse ())
+  in
+  let initial_order = Array.of_list (Priority.order system ~reuse) in
+  let n = Array.length initial_order in
+  let initial = evaluate (Array.to_list initial_order) in
+  let initial_makespan = initial.Schedule.makespan in
+  let temperature0 =
+    match initial_temperature with
+    | Some t ->
+        if t < 0.0 then invalid_arg "Annealing.schedule: negative temperature";
+        t
+    | None -> 0.02 *. float_of_int initial_makespan
+  in
+  let current_order = Array.copy initial_order in
+  let current = ref initial in
+  let best = ref initial in
+  let evaluations = ref 1 in
+  let accepted = ref 0 in
+  let temperature = ref temperature0 in
+  if n >= 2 then
+    for _ = 1 to iterations do
+      let i = Rng.int rng ~bound:n in
+      let j = Rng.int rng ~bound:n in
+      if i <> j then begin
+        let swap () =
+          let tmp = current_order.(i) in
+          current_order.(i) <- current_order.(j);
+          current_order.(j) <- tmp
+        in
+        swap ();
+        match evaluate (Array.to_list current_order) with
+        | exception Scheduler.Unschedulable _ -> swap () (* revert *)
+        | candidate ->
+            incr evaluations;
+            let delta =
+              float_of_int
+                (candidate.Schedule.makespan - !current.Schedule.makespan)
+            in
+            let accept =
+              delta <= 0.0
+              || !temperature > 0.0
+                 && Rng.float rng < exp (-.delta /. !temperature)
+            in
+            if accept then begin
+              incr accepted;
+              current := candidate;
+              if
+                candidate.Schedule.makespan < !best.Schedule.makespan
+              then best := candidate
+            end
+            else swap () (* revert *)
+      end;
+      temperature := !temperature *. cooling
+    done;
+  {
+    schedule = !best;
+    initial_makespan;
+    evaluations = !evaluations;
+    accepted = !accepted;
+  }

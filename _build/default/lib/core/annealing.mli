@@ -1,0 +1,44 @@
+(** Simulated annealing over test orderings.
+
+    The greedy engine commits cores in a fixed visiting order; the
+    paper derives that order from distances to the resources.  This
+    optimizer searches the order space instead: neighbours swap two
+    positions, each candidate order is evaluated by running the
+    (deterministic) engine, and worse moves are accepted with the usual
+    Metropolis probability under a geometric cooling schedule.
+
+    Sits between the O(ms) greedy heuristic and the exponential
+    {!Exhaustive} search: a few hundred engine evaluations buy most of
+    the available improvement on mid-size systems. *)
+
+type result = {
+  schedule : Schedule.t;  (** best schedule found *)
+  initial_makespan : int;  (** the heuristic-order (greedy) makespan *)
+  evaluations : int;  (** engine runs performed *)
+  accepted : int;  (** moves accepted (including uphill ones) *)
+}
+
+val improvement_pct : result -> float
+(** Reduction of the best makespan relative to the initial one. *)
+
+val schedule :
+  ?policy:Scheduler.policy ->
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit:float option ->
+  ?iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?seed:int64 ->
+  reuse:int ->
+  System.t ->
+  result
+(** Run the search.  Defaults: [Greedy] inner policy, BIST, no power
+    limit, [iterations = 400], [initial_temperature] = 2% of the
+    initial makespan, [cooling = 0.99] per iteration, [seed = 0x5AL].
+    Fully deterministic for fixed arguments.  The result is never worse
+    than the plain heuristic order.
+
+    @raise Scheduler.Unschedulable if even the initial order cannot be
+    scheduled.
+    @raise Invalid_argument for non-positive [iterations], [cooling]
+    outside (0, 1], or negative temperature. *)

@@ -1,0 +1,6 @@
+let schedule ?(application = Nocplan_proc.Processor.Bist) ?power_limit_pct
+    system =
+  Planner.schedule ~application ?power_limit_pct ~reuse:0 system
+
+let makespan ?application ?power_limit_pct system =
+  (schedule ?application ?power_limit_pct system).Schedule.makespan

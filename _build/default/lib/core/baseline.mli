@@ -1,0 +1,20 @@
+(** The comparison baseline: external-tester-only test planning.
+
+    "The results ... demonstrate that increasing the number of
+    processors reused for test reduces the test time {e compared to
+    the test without processor reuse}."  The baseline is the same
+    engine with an empty processor resource pool — every test is fed
+    and drained through the external interfaces. *)
+
+val schedule :
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit_pct:float ->
+  System.t ->
+  Schedule.t
+(** Greedy schedule with [reuse = 0]. *)
+
+val makespan :
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit_pct:float ->
+  System.t ->
+  int

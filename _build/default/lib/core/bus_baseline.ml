@@ -1,0 +1,46 @@
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+module Wrapper = Nocplan_itc02.Wrapper
+module Processor = Nocplan_proc.Processor
+
+type result = { makespan : int; per_module : (int * int) list }
+
+let plan ?(application = Processor.Bist) ?bus_cycle
+    ?(use_processor_sources = false) system =
+  let bus_cycle =
+    match bus_cycle with
+    | Some c ->
+        if c < 1 then invalid_arg "Bus_baseline.plan: bus_cycle must be >= 1";
+        c
+    | None ->
+        Nocplan_noc.Latency.stream_cycle_per_flit system.System.latency
+  in
+  let generation_overhead =
+    if not use_processor_sources then 0
+    else
+      match system.System.processors with
+      | p :: _ ->
+          Processor.generation_overhead p.System.processor application
+      | [] -> 0
+  in
+  let per_module =
+    List.map
+      (fun (m : Module_def.t) ->
+        let wrapper = Wrapper.design ~width:system.System.flit_width m in
+        let words_per_pattern =
+          wrapper.Wrapper.scan_in_max + 1 + wrapper.Wrapper.scan_out_max + 1
+        in
+        let per_pattern =
+          max (Wrapper.pattern_cycles wrapper)
+            (words_per_pattern * bus_cycle)
+          + generation_overhead
+        in
+        (m.Module_def.id, m.Module_def.patterns * per_pattern))
+      system.System.soc.Soc.modules
+  in
+  let makespan = List.fold_left (fun acc (_, d) -> acc + d) 0 per_module in
+  { makespan; per_module }
+
+let speedup _system ~noc_makespan result =
+  if noc_makespan < 1 then invalid_arg "Bus_baseline.speedup: bad makespan";
+  float_of_int result.makespan /. float_of_int noc_makespan

@@ -1,0 +1,39 @@
+(** Bus-based test access — the related-work architecture.
+
+    The approaches the paper improves on (Huang et al., Hwang &
+    Abraham, Amory et al. 2003) reuse an embedded processor on a
+    {e shared bus}: one transfer at a time, no spatial parallelism.
+    This module prices the same systems under a bus TAM so the paper's
+    motivation — NoC concurrency — can be quantified.
+
+    Model: a single arbitrated bus moves one word per [bus_cycle]
+    cycles; a test's stimulus and response words all cross the bus, so
+    per pattern it carries [(si + 1) + (so + 1)] words; the source's
+    generation overhead overlaps bus transfers only up to the usual
+    [max].  Tests are fully serialized on the bus — processors still
+    help by removing nothing but the external interface bottleneck, so
+    processor reuse buys (almost) no time on a bus: exactly the
+    observation that motivates the NoC. *)
+
+type result = {
+  makespan : int;  (** serialized total test time on the bus *)
+  per_module : (int * int) list;  (** (module id, test duration) *)
+}
+
+val plan :
+  ?application:Nocplan_proc.Processor.application ->
+  ?bus_cycle:int ->
+  ?use_processor_sources:bool ->
+  System.t ->
+  result
+(** Price the whole benchmark on a bus.  [bus_cycle] (default: the
+    NoC's flow latency, i.e. equal raw bandwidth) is the cycles per
+    bus word; [use_processor_sources] (default false) adds the
+    generation overhead of a processor source to every pattern,
+    modelling the related-work setups where the processor, not an
+    external tester, feeds the bus.
+    @raise Invalid_argument if [bus_cycle < 1]. *)
+
+val speedup : System.t -> noc_makespan:int -> result -> float
+(** [bus makespan / noc makespan] — how much the NoC's parallelism
+    buys over the serial bus. *)

@@ -1,0 +1,225 @@
+module Link = Nocplan_noc.Link
+module Processor = Nocplan_proc.Processor
+
+type result = { schedule : Schedule.t; exact : bool; nodes : int }
+
+(* Endpoint availability in a search node: [None] means not yet in the
+   pool (untested processor). *)
+type slot = { endpoint : Resource.endpoint; avail : int option }
+
+type node = {
+  time : int;
+  committed : Schedule.entry list;
+  committed_makespan : int;
+  pending : int list;
+  slots : slot list;
+}
+
+let overlapping (a : Schedule.entry) ~start ~finish =
+  a.Schedule.start < finish && start < a.Schedule.finish
+
+let links_free committed links ~start ~finish =
+  let link_set = Link.Set.of_list links in
+  List.for_all
+    (fun (e : Schedule.entry) ->
+      (not (overlapping e ~start ~finish))
+      || List.for_all
+           (fun l -> not (Link.Set.mem l link_set))
+           e.Schedule.links)
+    committed
+
+let power_fits committed ~limit ~start ~finish ~power =
+  match limit with
+  | None -> true
+  | Some limit ->
+      (* The instantaneous sum changes only at entry starts. *)
+      let at time =
+        List.fold_left
+          (fun acc (e : Schedule.entry) ->
+            if e.Schedule.start <= time && time < e.Schedule.finish then
+              acc +. e.Schedule.power
+            else acc)
+          0.0 committed
+      in
+      let candidates =
+        start
+        :: List.filter_map
+             (fun (e : Schedule.entry) ->
+               if e.Schedule.start > start && e.Schedule.start < finish then
+                 Some e.Schedule.start
+               else None)
+             committed
+      in
+      List.for_all (fun t -> at t +. power <= limit +. 1e-9) candidates
+
+let schedule ?(application = Processor.Bist) ?(power_limit = None)
+    ?(max_nodes = 300_000) ~reuse system =
+  let endpoints = Resource.all_endpoints system ~reuse in
+  let cost_cache = Hashtbl.create 64 in
+  let cost module_id source sink =
+    let key = (module_id, source, sink) in
+    match Hashtbl.find_opt cost_cache key with
+    | Some c -> c
+    | None ->
+        let c = Test_access.cost system ~application ~module_id ~source ~sink in
+        Hashtbl.add cost_cache key c;
+        c
+  in
+  (* Cheapest possible duration of each module over all valid pairs:
+     the lower-bound ingredient. *)
+  let best_duration_cache = Hashtbl.create 32 in
+  let best_duration module_id =
+    match Hashtbl.find_opt best_duration_cache module_id with
+    | Some d -> d
+    | None ->
+        let d =
+          List.fold_left
+            (fun acc source ->
+              List.fold_left
+                (fun acc sink ->
+                  if Resource.valid_pair ~source ~sink then
+                    min acc (cost module_id source sink).Test_access.duration
+                  else acc)
+                acc endpoints)
+            max_int endpoints
+        in
+        Hashtbl.add best_duration_cache module_id d;
+        d
+  in
+  (* Seed the incumbent with the greedy solution. *)
+  let incumbent =
+    ref
+      (Scheduler.run system
+         (Scheduler.config ~policy:Scheduler.Greedy ~application ~power_limit
+            ~reuse ()))
+  in
+  let nodes = ref 0 in
+  let exact = ref true in
+  let lower_bound node =
+    List.fold_left
+      (fun acc id -> max acc (node.time + best_duration id))
+      node.committed_makespan node.pending
+  in
+  let update_slots_for_commit slots entry finish =
+    List.map
+      (fun s ->
+        let used =
+          Resource.equal s.endpoint entry.Schedule.source
+          || Resource.equal s.endpoint entry.Schedule.sink
+        in
+        let tested_processor =
+          match s.endpoint with
+          | Resource.Processor id -> id = entry.Schedule.module_id
+          | Resource.External_in _ | Resource.External_out _ -> false
+        in
+        if used || tested_processor then { s with avail = Some finish } else s)
+      slots
+  in
+  let rec explore node =
+    incr nodes;
+    if !nodes > max_nodes then exact := false
+    else if node.pending = [] then begin
+      if node.committed_makespan < !incumbent.Schedule.makespan then
+        incumbent := Schedule.of_entries node.committed
+    end
+    else if lower_bound node < !incumbent.Schedule.makespan then begin
+      (* Moves: start any pending core on any feasible idle pair now. *)
+      let idle =
+        List.filter
+          (fun s -> match s.avail with Some a -> a <= node.time | None -> false)
+          node.slots
+      in
+      let moves =
+        List.concat_map
+          (fun module_id ->
+            List.concat_map
+              (fun src ->
+                List.filter_map
+                  (fun snk ->
+                    if
+                      not
+                        (Test_access.feasible system ~application ~module_id
+                           ~source:src.endpoint ~sink:snk.endpoint)
+                    then None
+                    else
+                      let c = cost module_id src.endpoint snk.endpoint in
+                      let finish = node.time + c.Test_access.duration in
+                      if
+                        links_free node.committed c.Test_access.links
+                          ~start:node.time ~finish
+                        && power_fits node.committed ~limit:power_limit
+                             ~start:node.time ~finish
+                             ~power:c.Test_access.power
+                      then
+                        Some
+                          {
+                            Schedule.module_id;
+                            source = src.endpoint;
+                            sink = snk.endpoint;
+                            start = node.time;
+                            finish;
+                            power = c.Test_access.power;
+                            links = c.Test_access.links;
+                          }
+                      else None)
+                  idle)
+              idle)
+          node.pending
+      in
+      (* Explore promising moves first: shortest completion. *)
+      let moves =
+        List.sort
+          (fun (a : Schedule.entry) b ->
+            Stdlib.compare a.Schedule.finish b.Schedule.finish)
+          moves
+      in
+      List.iter
+        (fun (entry : Schedule.entry) ->
+          let child =
+            {
+              time = node.time;
+              committed = entry :: node.committed;
+              committed_makespan =
+                max node.committed_makespan entry.Schedule.finish;
+              pending =
+                List.filter (fun id -> id <> entry.Schedule.module_id)
+                  node.pending;
+              slots = update_slots_for_commit node.slots entry entry.Schedule.finish;
+            }
+          in
+          explore child)
+        moves;
+      (* Waiting branch: deliberately advance to the next release even
+         though moves may exist (covers delay schedules). *)
+      let next_event =
+        List.fold_left
+          (fun acc s ->
+            match s.avail with
+            | Some a when a > node.time -> (
+                match acc with Some m -> Some (min m a) | None -> Some a)
+            | Some _ | None -> acc)
+          None node.slots
+      in
+      match next_event with
+      | Some t -> explore { node with time = t }
+      | None -> ()
+    end
+  in
+  let initial_slots =
+    List.map
+      (fun endpoint ->
+        match endpoint with
+        | Resource.External_in _ | Resource.External_out _ ->
+            { endpoint; avail = Some 0 }
+        | Resource.Processor _ -> { endpoint; avail = None })
+      endpoints
+  in
+  explore
+    {
+      time = 0;
+      committed = [];
+      committed_makespan = 0;
+      pending = System.module_ids system;
+      slots = initial_slots;
+    };
+  { schedule = !incumbent; exact = !exact; nodes = !nodes }

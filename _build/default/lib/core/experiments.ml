@@ -1,0 +1,175 @@
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+module Processor = Nocplan_proc.Processor
+module Soc = Nocplan_itc02.Soc
+
+let paper_power_pct = 50.0
+let binding_power_pct = 25.0
+
+let corners topology =
+  let open Topology in
+  ( Coord.make ~x:0 ~y:0,
+    Coord.make ~x:(topology.width - 1) ~y:(topology.height - 1) )
+
+(* Processor ids are assigned by [System.build]; the [~id:0] templates
+   here are renumbered there. *)
+let leons n = List.init n (fun _ -> Processor.leon ~id:1)
+
+let mixed n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then Processor.leon ~id:1 else Processor.plasma ~id:1)
+
+let build ~soc ~width ~height ~processors =
+  let topology = Topology.make ~width ~height in
+  let input, output = corners topology in
+  System.build ~soc ~topology ~processors ~io_inputs:[ input ]
+    ~io_outputs:[ output ] ()
+
+let rename suffix soc =
+  Soc.make ~name:(soc.Soc.name ^ suffix) ~modules:soc.Soc.modules
+
+let d695_leon () =
+  build
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_d695.soc ()))
+    ~width:4 ~height:4 ~processors:(leons 6)
+
+let p22810_leon () =
+  build
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_p22810.soc ()))
+    ~width:5 ~height:6 ~processors:(leons 8)
+
+let p93791_leon () =
+  build
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_p93791.soc ()))
+    ~width:5 ~height:5 ~processors:(leons 8)
+
+let d695_mixed () =
+  build
+    ~soc:(rename "_mixed" (Nocplan_itc02.Data_d695.soc ()))
+    ~width:4 ~height:4 ~processors:(mixed 6)
+
+let p22810_mixed () =
+  build
+    ~soc:(rename "_mixed" (Nocplan_itc02.Data_p22810.soc ()))
+    ~width:5 ~height:6 ~processors:(mixed 8)
+
+let p93791_mixed () =
+  build
+    ~soc:(rename "_mixed" (Nocplan_itc02.Data_p93791.soc ()))
+    ~width:5 ~height:5 ~processors:(mixed 8)
+
+let d695_leon_with_io ~ports =
+  let topology = Topology.make ~width:4 ~height:4 in
+  if ports < 1 || ports > topology.Topology.width then
+    invalid_arg "Experiments.d695_leon_with_io: ports out of range";
+  (* Spread the interfaces along opposite edges. *)
+  let edge y =
+    List.init ports (fun i ->
+        let x = i * (topology.Topology.width - 1) / max 1 (ports - 1) in
+        Coord.make ~x:(if ports = 1 then 0 else x) ~y)
+  in
+  System.build
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_d695.soc ()))
+    ~topology ~processors:(leons 6)
+    ~io_inputs:(edge 0)
+    ~io_outputs:(edge (topology.Topology.height - 1))
+    ()
+
+type arrangement = Spread | Corners | Center
+
+let arrangement_name = function
+  | Spread -> "spread"
+  | Corners -> "corners"
+  | Center -> "center"
+
+let d695_leon_arranged arrangement =
+  let topology = Topology.make ~width:4 ~height:4 in
+  let tiles =
+    match arrangement with
+    | Spread -> None
+    | Corners ->
+        (* The six tiles hugging the four corners. *)
+        Some
+          [
+            Coord.make ~x:0 ~y:0;
+            Coord.make ~x:3 ~y:0;
+            Coord.make ~x:0 ~y:3;
+            Coord.make ~x:3 ~y:3;
+            Coord.make ~x:1 ~y:0;
+            Coord.make ~x:0 ~y:1;
+          ]
+    | Center ->
+        Some
+          [
+            Coord.make ~x:1 ~y:1;
+            Coord.make ~x:2 ~y:1;
+            Coord.make ~x:1 ~y:2;
+            Coord.make ~x:2 ~y:2;
+            Coord.make ~x:2 ~y:0;
+            Coord.make ~x:1 ~y:3;
+          ]
+  in
+  let input, output = corners topology in
+  System.build
+    ?processor_tiles:tiles
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_d695.soc ()))
+    ~topology ~processors:(leons 6) ~io_inputs:[ input ]
+    ~io_outputs:[ output ] ()
+
+let d695_leon_flit ~width =
+  let topology = Topology.make ~width:4 ~height:4 in
+  let input, output = corners topology in
+  System.build ~flit_width:width
+    ~soc:(rename "_leon" (Nocplan_itc02.Data_d695.soc ()))
+    ~topology ~processors:(leons 6) ~io_inputs:[ input ]
+    ~io_outputs:[ output ] ()
+
+let torus_variant (system : System.t) =
+  let topology =
+    Topology.torus ~width:system.System.topology.Topology.width
+      ~height:system.System.topology.Topology.height
+  in
+  System.make
+    ~failed_links:(Nocplan_noc.Link.Set.elements system.System.failed_links)
+    ~soc:system.System.soc ~topology ~latency:system.System.latency
+    ~noc_power:system.System.noc_power ~flit_width:system.System.flit_width
+    ~placement:system.System.placement ~processors:system.System.processors
+    ~io_inputs:system.System.io_inputs ~io_outputs:system.System.io_outputs
+    ()
+
+(* All directed inter-router channels of a mesh, in row-major order. *)
+let all_channels topology =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun n -> Nocplan_noc.Link.channel c n)
+        (Topology.neighbors topology c))
+    (Topology.coords topology)
+
+let d695_leon_faulty ~failures ~seed =
+  let system = d695_leon () in
+  let channels = all_channels system.System.topology in
+  if failures < 0 || failures > List.length channels then
+    invalid_arg "Experiments.d695_leon_faulty: failures out of range";
+  let rng = Nocplan_itc02.Data_gen.Rng.create seed in
+  let rec draw chosen remaining n =
+    if n = 0 then chosen
+    else
+      let arr = Array.of_list remaining in
+      let i = Nocplan_itc02.Data_gen.Rng.int rng ~bound:(Array.length arr) in
+      let pick = arr.(i) in
+      draw (pick :: chosen)
+        (List.filter (fun l -> not (Nocplan_noc.Link.equal l pick)) remaining)
+        (n - 1)
+  in
+  System.with_failed_links system (draw [] channels failures)
+
+let all () =
+  [
+    ("d695_leon", d695_leon ());
+    ("p22810_leon", p22810_leon ());
+    ("p93791_leon", p93791_leon ());
+    ("d695_mixed", d695_mixed ());
+    ("p22810_mixed", p22810_mixed ());
+    ("p93791_mixed", p93791_mixed ());
+  ]

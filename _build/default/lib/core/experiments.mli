@@ -1,0 +1,79 @@
+(** The paper's experimental systems.
+
+    "To system, cores representing the Leon and Plasma processors are
+    added.  For d695 system, six processor cores are added, whereas
+    for p22810 and p93791 benchmarks, eight cores are added.  The
+    total number of cores of the new systems is 16, 36, and 40 ...
+    The network dimensions ... are 4x4, 5x6 and 5x5."
+
+    The [_leon] systems (the ones in Figure 1) carry Leon processors
+    only; the [_mixed] variants alternate Leon and Plasma, exercising
+    heterogeneous characterizations.  All systems use two external
+    interfaces: one input port at the north-west corner and one output
+    port at the south-east corner. *)
+
+val d695_leon : unit -> System.t
+(** 10 + 6 cores on a 4x4 mesh. *)
+
+val p22810_leon : unit -> System.t
+(** 28 + 8 cores on a 5x6 mesh. *)
+
+val p93791_leon : unit -> System.t
+(** 32 + 8 cores on a 5x5 mesh. *)
+
+val d695_mixed : unit -> System.t
+val p22810_mixed : unit -> System.t
+val p93791_mixed : unit -> System.t
+
+val all : unit -> (string * System.t) list
+(** All six systems with their names. *)
+
+val d695_leon_with_io : ports:int -> System.t
+(** d695_leon with [ports] external input interfaces along the north
+    edge and [ports] output interfaces along the south edge — the
+    "number and position of the IO ports" knob of the paper's system
+    description.  @raise Invalid_argument unless [1 <= ports <= mesh
+    width]. *)
+
+type arrangement =
+  | Spread  (** evenly spaced over the mesh (the default) *)
+  | Corners  (** packed into the mesh corners, far from the centre *)
+  | Center  (** clustered around the mesh centre *)
+
+val d695_leon_arranged : arrangement -> System.t
+(** d695_leon with its six processors placed per the arrangement —
+    the "position of each core" knob: placement drives both the test
+    priority order and the path conflicts. *)
+
+val arrangement_name : arrangement -> string
+
+val d695_leon_flit : width:int -> System.t
+(** d695_leon at a different NoC flit width — the TAM-width knob: a
+    wider flit means shorter wrapper chains and fewer shift cycles per
+    pattern.  @raise Invalid_argument if [width < 1]. *)
+
+val torus_variant : System.t -> System.t
+(** The same system with the mesh replaced by a torus of the same
+    dimensions — wraparound channels shorten paths; placements, ports
+    and processors are unchanged. *)
+
+val d695_leon_faulty : failures:int -> seed:int64 -> System.t
+(** d695_leon with [failures] distinct inter-router channels marked
+    faulty, drawn deterministically from [seed].  Some draws may make
+    cores unreachable (XY routing cannot detour) — callers should be
+    prepared for {!Scheduler.Unschedulable}.
+    @raise Invalid_argument if [failures] is negative or exceeds the
+    channel count. *)
+
+val paper_power_pct : float
+(** The power limit the paper defines as its example: 50% of the sum
+    of all core powers ("a power limit of 50% indicates that the power
+    limit corresponds to half of the sum of all cores power
+    consumption in test mode"). *)
+
+val binding_power_pct : float
+(** A tighter limit (25%) under which the constraint actually binds on
+    these systems.  Our synthetic toggle-proportional powers are more
+    uniform across cores than the real Philips core powers, so the
+    concurrency-limiting point sits lower than the paper's 50%; see
+    DESIGN.md, "Substitutions". *)

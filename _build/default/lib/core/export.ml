@@ -1,0 +1,78 @@
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let module_name system id =
+  match Soc.find system.System.soc id with
+  | m -> m.Module_def.name
+  | exception Not_found -> "?"
+
+let endpoint_string endpoint = Fmt.str "%a" Resource.pp endpoint
+
+(* Coordinates print as "(x,y)"; keep CSV columns intact. *)
+let endpoint_csv endpoint =
+  String.map (function ',' -> ';' | c -> c) (endpoint_string endpoint)
+
+let schedule_csv system (schedule : Schedule.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "module_id,name,source,sink,start,finish,duration,power\n";
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%d,%d,%d,%.3f\n" e.Schedule.module_id
+           (module_name system e.Schedule.module_id)
+           (endpoint_csv e.Schedule.source)
+           (endpoint_csv e.Schedule.sink)
+           e.Schedule.start e.Schedule.finish
+           (e.Schedule.finish - e.Schedule.start)
+           e.Schedule.power))
+    schedule.Schedule.entries;
+  Buffer.contents buf
+
+(* Minimal RFC 8259 string escaping: the exported strings are ASCII
+   identifiers, but escape defensively. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let entry_json system (e : Schedule.entry) =
+  Printf.sprintf
+    "{\"module\":%d,\"name\":\"%s\",\"source\":\"%s\",\"sink\":\"%s\",\"start\":%d,\"finish\":%d,\"power\":%.3f}"
+    e.Schedule.module_id
+    (json_escape (module_name system e.Schedule.module_id))
+    (json_escape (endpoint_string e.Schedule.source))
+    (json_escape (endpoint_string e.Schedule.sink))
+    e.Schedule.start e.Schedule.finish e.Schedule.power
+
+let schedule_json system (schedule : Schedule.t) =
+  Printf.sprintf "{\"makespan\":%d,\"entries\":[%s]}\n"
+    schedule.Schedule.makespan
+    (String.concat ","
+       (List.map (entry_json system) schedule.Schedule.entries))
+
+let point_json (p : Planner.point) =
+  Printf.sprintf
+    "{\"reuse\":%d,\"makespan\":%d,\"peak_power\":%.3f,\"validated\":%b}"
+    p.Planner.reuse p.Planner.makespan p.Planner.peak_power p.Planner.validated
+
+let sweep_json (sweep : Planner.sweep) =
+  Printf.sprintf
+    "{\"system\":\"%s\",\"policy\":\"%s\",\"power_limit_pct\":%s,\"points\":[%s]}\n"
+    (json_escape sweep.Planner.system_name)
+    (Fmt.str "%a" Scheduler.pp_policy sweep.Planner.policy)
+    (match sweep.Planner.power_limit_pct with
+    | Some pct -> Printf.sprintf "%.2f" pct
+    | None -> "null")
+    (String.concat "," (List.map point_json sweep.Planner.points))

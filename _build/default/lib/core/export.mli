@@ -1,0 +1,19 @@
+(** Machine-readable schedule export for downstream tooling
+    (spreadsheets, waveform annotation, regression diffing). *)
+
+val schedule_csv : System.t -> Schedule.t -> string
+(** One row per entry:
+    [module_id,name,source,sink,start,finish,duration,power]
+    with a header line, sorted by start time. *)
+
+val schedule_json : System.t -> Schedule.t -> string
+(** The schedule as a JSON object:
+    {v
+    { "makespan": ..., "entries": [ { "module": ..., "name": ...,
+      "source": ..., "sink": ..., "start": ..., "finish": ...,
+      "power": ... }, ... ] }
+    v}
+    Strings are escaped per RFC 8259. *)
+
+val sweep_json : Planner.sweep -> string
+(** A sweep as JSON: system, policy, power limit and the points. *)

@@ -1,0 +1,73 @@
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let bucket ~width ~makespan time =
+  if makespan = 0 then 0
+  else min (width - 1) (time * width / makespan)
+
+let bar ~width ~makespan ~start ~finish ch =
+  let row = Bytes.make width '.' in
+  let first = bucket ~width ~makespan start in
+  let last = bucket ~width ~makespan (max start (finish - 1)) in
+  for i = first to last do
+    Bytes.set row i ch
+  done;
+  Bytes.to_string row
+
+let render ?(width = 72) system (schedule : Schedule.t) =
+  let makespan = max 1 schedule.Schedule.makespan in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0 .. %d (one column = %d cycles)\n"
+       schedule.Schedule.makespan
+       (max 1 (makespan / width)));
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let name =
+        match Soc.find system.System.soc e.Schedule.module_id with
+        | m -> m.Module_def.name
+        | exception Not_found -> "?"
+      in
+      let ch =
+        if System.is_processor_module system e.Schedule.module_id then '#'
+        else '='
+      in
+      Buffer.add_string buf
+        (Fmt.str "%12s %3d |%s| %a->%a\n" name e.Schedule.module_id
+           (bar ~width ~makespan ~start:e.Schedule.start
+              ~finish:e.Schedule.finish ch)
+           Resource.pp e.Schedule.source Resource.pp e.Schedule.sink))
+    schedule.Schedule.entries;
+  Buffer.contents buf
+
+let render_resources ?(width = 72) system ~reuse (schedule : Schedule.t) =
+  let makespan = max 1 schedule.Schedule.makespan in
+  let endpoints = Resource.all_endpoints system ~reuse in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun endpoint ->
+      let row = Bytes.make width '.' in
+      List.iter
+        (fun (e : Schedule.entry) ->
+          let serves =
+            Resource.equal e.Schedule.source endpoint
+            || Resource.equal e.Schedule.sink endpoint
+          in
+          if serves then begin
+            let first = bucket ~width ~makespan e.Schedule.start in
+            let last =
+              bucket ~width ~makespan
+                (max e.Schedule.start (e.Schedule.finish - 1))
+            in
+            for i = first to last do
+              Bytes.set row i '='
+            done
+          end)
+        schedule.Schedule.entries;
+      let busy = Schedule.resource_busy_time schedule endpoint in
+      let label = Fmt.str "%a" Resource.pp endpoint in
+      Buffer.add_string buf
+        (Printf.sprintf "%14s |%s| %3.0f%%\n" label (Bytes.to_string row)
+           (100.0 *. float_of_int busy /. float_of_int makespan)))
+    endpoints;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** ASCII Gantt rendering of a schedule.
+
+    One row per module, time flowing left to right, the bar annotated
+    with the resources serving the test.  Intended for terminal
+    inspection of small systems and for the examples. *)
+
+val render : ?width:int -> System.t -> Schedule.t -> string
+(** [render ~width system schedule] scales the makespan to [width]
+    characters (default 72).  Rows are ordered by start time. *)
+
+val render_resources : ?width:int -> System.t -> reuse:int -> Schedule.t -> string
+(** One row per resource endpoint instead: shows utilization and idle
+    gaps of the external interfaces and reused processors. *)

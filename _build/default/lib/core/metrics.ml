@@ -1,0 +1,86 @@
+type t = {
+  makespan : int;
+  total_test_time : int;
+  average_concurrency : float;
+  peak_concurrency : int;
+  peak_power : float;
+  average_power : float;
+  total_energy : float;
+  utilization : (Resource.endpoint * float) list;
+  external_share : float;
+}
+
+let duration (e : Schedule.entry) = e.Schedule.finish - e.Schedule.start
+
+(* Step-function maxima are attained at interval starts. *)
+let peak_over entries ~value =
+  List.fold_left
+    (fun acc (e : Schedule.entry) ->
+      let at =
+        List.fold_left
+          (fun acc (e' : Schedule.entry) ->
+            if
+              e'.Schedule.start <= e.Schedule.start
+              && e.Schedule.start < e'.Schedule.finish
+            then acc +. value e'
+            else acc)
+          0.0 entries
+      in
+      Float.max acc at)
+    0.0 entries
+
+let of_schedule system ~reuse (schedule : Schedule.t) =
+  let entries = schedule.Schedule.entries in
+  let makespan = schedule.Schedule.makespan in
+  let total_test_time = List.fold_left (fun acc e -> acc + duration e) 0 entries in
+  let span = float_of_int (max 1 makespan) in
+  let energy =
+    List.fold_left
+      (fun acc (e : Schedule.entry) ->
+        acc +. (e.Schedule.power *. float_of_int (duration e)))
+      0.0 entries
+  in
+  let uses_external (e : Schedule.entry) =
+    let ext = function
+      | Resource.External_in _ | Resource.External_out _ -> true
+      | Resource.Processor _ -> false
+    in
+    ext e.Schedule.source || ext e.Schedule.sink
+  in
+  let external_time =
+    List.fold_left
+      (fun acc e -> if uses_external e then acc + duration e else acc)
+      0 entries
+  in
+  {
+    makespan;
+    total_test_time;
+    average_concurrency = float_of_int total_test_time /. span;
+    peak_concurrency =
+      int_of_float (peak_over entries ~value:(fun _ -> 1.0));
+    peak_power = peak_over entries ~value:(fun e -> e.Schedule.power);
+    average_power = energy /. span;
+    total_energy = energy;
+    utilization =
+      List.map
+        (fun endpoint ->
+          ( endpoint,
+            float_of_int (Schedule.resource_busy_time schedule endpoint)
+            /. span ))
+        (Resource.all_endpoints system ~reuse);
+    external_share =
+      (if total_test_time = 0 then 0.0
+       else float_of_int external_time /. float_of_int total_test_time);
+  }
+
+let pp ppf m =
+  let pp_util ppf (endpoint, u) =
+    Fmt.pf ppf "%a %.0f%%" Resource.pp endpoint (100.0 *. u)
+  in
+  Fmt.pf ppf
+    "@[<v>makespan %d, busy test time %d@,concurrency: avg %.2f, peak %d@,power: avg %.1f, peak %.1f@,external share of test time: %.0f%%@,utilization: @[<hov>%a@]@]"
+    m.makespan m.total_test_time m.average_concurrency m.peak_concurrency
+    m.average_power m.peak_power
+    (100.0 *. m.external_share)
+    (Fmt.list ~sep:Fmt.comma pp_util)
+    m.utilization

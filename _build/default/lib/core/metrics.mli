@@ -1,0 +1,26 @@
+(** Schedule quality metrics beyond the makespan.
+
+    The paper reports only total test time; these figures explain
+    {e why} a plan is fast or slow: how parallel it is, how hard each
+    resource works, and how much of the work the external tester still
+    carries (the pin-cost the method is trying to avoid). *)
+
+type t = {
+  makespan : int;
+  total_test_time : int;  (** sum of all entry durations *)
+  average_concurrency : float;  (** [total_test_time / makespan] *)
+  peak_concurrency : int;  (** most tests running at one instant *)
+  peak_power : float;
+  average_power : float;  (** energy over the makespan *)
+  total_energy : float;  (** sum over tests of power x duration *)
+  utilization : (Resource.endpoint * float) list;
+      (** per endpoint: busy cycles / makespan, in endpoint order *)
+  external_share : float;
+      (** fraction of total test time with an external endpoint on
+          either side — 1.0 for the no-reuse baseline *)
+}
+
+val of_schedule : System.t -> reuse:int -> Schedule.t -> t
+(** Compute all metrics.  An empty schedule yields zeros. *)
+
+val pp : t Fmt.t

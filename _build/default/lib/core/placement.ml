@@ -1,0 +1,62 @@
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+
+module Int_map = Map.Make (Int)
+
+type t = { by_module : Coord.t Int_map.t }
+
+let of_assoc topology assignments =
+  if assignments = [] then invalid_arg "Placement.of_assoc: empty placement";
+  let by_module =
+    List.fold_left
+      (fun map (id, coord) ->
+        if not (Topology.in_bounds topology coord) then
+          invalid_arg
+            (Fmt.str "Placement.of_assoc: module %d at %a is out of bounds" id
+               Coord.pp coord);
+        if Int_map.mem id map then
+          invalid_arg
+            (Printf.sprintf "Placement.of_assoc: module %d placed twice" id);
+        Int_map.add id coord map)
+      Int_map.empty assignments
+  in
+  { by_module }
+
+let spread topology ~pinned ids =
+  let pinned_ids = List.map fst pinned in
+  List.iter
+    (fun id ->
+      if List.mem id pinned_ids then
+        invalid_arg
+          (Printf.sprintf "Placement.spread: module %d both pinned and free" id))
+    ids;
+  let pinned_coords = List.map snd pinned in
+  let free_tiles =
+    List.filter
+      (fun c -> not (List.exists (Coord.equal c) pinned_coords))
+      (Topology.coords topology)
+  in
+  let tiles = if free_tiles = [] then Topology.coords topology else free_tiles in
+  let tile_count = List.length tiles in
+  let tile_array = Array.of_list tiles in
+  let placed =
+    List.mapi (fun i id -> (id, tile_array.(i mod tile_count))) ids
+  in
+  of_assoc topology (pinned @ placed)
+
+let coord t id = Int_map.find id t.by_module
+let mem t id = Int_map.mem id t.by_module
+
+let modules_at t c =
+  Int_map.fold
+    (fun id coord acc -> if Coord.equal coord c then id :: acc else acc)
+    t.by_module []
+  |> List.rev
+
+let module_ids t = List.map fst (Int_map.bindings t.by_module)
+
+let pp ppf t =
+  let pp_binding ppf (id, c) = Fmt.pf ppf "%d@@%a" id Coord.pp c in
+  Fmt.pf ppf "@[<hov>%a@]"
+    (Fmt.list ~sep:Fmt.sp pp_binding)
+    (Int_map.bindings t.by_module)

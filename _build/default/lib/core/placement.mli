@@ -1,0 +1,34 @@
+(** Mapping of benchmark modules to mesh tiles.
+
+    Several modules may share a tile (the paper's larger systems have
+    more cores than routers: p93791's 40 cores sit on a 5x5 grid);
+    sharing is physical — concurrent tests of co-located cores contend
+    for the tile's local inject/eject ports and the reservation
+    calendar serializes them. *)
+
+type t
+
+val of_assoc : Nocplan_noc.Topology.t -> (int * Nocplan_noc.Coord.t) list -> t
+(** [of_assoc topology assignments] builds a placement.
+    @raise Invalid_argument if a coordinate is out of bounds, a module
+    id appears twice, or the list is empty. *)
+
+val spread :
+  Nocplan_noc.Topology.t ->
+  pinned:(int * Nocplan_noc.Coord.t) list ->
+  int list ->
+  t
+(** [spread topology ~pinned ids] places the [pinned] modules at their
+    given tiles and distributes [ids] round-robin over the remaining
+    tiles (over all tiles when every tile is pinned), in row-major
+    order.  Used by the experiment builders: processors are pinned to
+    evenly spaced tiles, CUTs fill the rest.
+    @raise Invalid_argument on out-of-bounds pins or duplicate ids. *)
+
+val coord : t -> int -> Nocplan_noc.Coord.t
+(** @raise Not_found if the module is not placed. *)
+
+val mem : t -> int -> bool
+val modules_at : t -> Nocplan_noc.Coord.t -> int list
+val module_ids : t -> int list
+val pp : t Fmt.t

@@ -1,0 +1,132 @@
+module Processor = Nocplan_proc.Processor
+
+type point = {
+  reuse : int;
+  makespan : int;
+  peak_power : float;
+  validated : bool;
+}
+
+type sweep = {
+  system_name : string;
+  policy : Scheduler.policy;
+  power_limit_pct : float option;
+  points : point list;
+}
+
+let absolute_limit system = function
+  | None -> None
+  | Some pct -> Some (System.power_limit_of_pct system ~pct)
+
+let run_point system ~policy ~application ~power_limit ~reuse =
+  let config = Scheduler.config ~policy ~application ~power_limit ~reuse () in
+  let sched = Scheduler.run system config in
+  let validated =
+    match
+      Schedule.validate system ~application ~power_limit ~reuse sched
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let peak_power =
+    List.fold_left
+      (fun acc (e : Schedule.entry) ->
+        let at time =
+          List.fold_left
+            (fun acc (e' : Schedule.entry) ->
+              if e'.Schedule.start <= time && time < e'.Schedule.finish then
+                acc +. e'.Schedule.power
+              else acc)
+            0.0 sched.Schedule.entries
+        in
+        Float.max acc (at e.Schedule.start))
+      0.0 sched.Schedule.entries
+  in
+  ({ reuse; makespan = sched.Schedule.makespan; peak_power; validated }, sched)
+
+let schedule ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
+    ?power_limit_pct ~reuse system =
+  let power_limit = absolute_limit system power_limit_pct in
+  snd (run_point system ~policy ~application ~power_limit ~reuse)
+
+let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
+    ?power_limit_pct ?max_reuse ?(domains = 1) system =
+  if domains < 1 then invalid_arg "Planner.reuse_sweep: domains must be >= 1";
+  let max_reuse =
+    match max_reuse with
+    | Some n -> n
+    | None -> List.length system.System.processors
+  in
+  let power_limit = absolute_limit system power_limit_pct in
+  let evaluate reuse =
+    fst (run_point system ~policy ~application ~power_limit ~reuse)
+  in
+  let points =
+    if domains = 1 then List.init (max_reuse + 1) evaluate
+    else begin
+      (* The points are independent: fan them out round-robin over the
+         worker domains and reassemble in order. *)
+      let reuses = List.init (max_reuse + 1) Fun.id in
+      let slices =
+        List.init domains (fun d ->
+            List.filter (fun r -> r mod domains = d) reuses)
+      in
+      let workers =
+        List.map
+          (fun slice ->
+            Domain.spawn (fun () -> List.map (fun r -> (r, evaluate r)) slice))
+          slices
+      in
+      let results = List.concat_map Domain.join workers in
+      List.map
+        (fun r -> List.assoc r results)
+        reuses
+    end
+  in
+  {
+    system_name = system.System.soc.Nocplan_itc02.Soc.name;
+    policy;
+    power_limit_pct;
+    points;
+  }
+
+let power_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
+    ~reuse ~pcts system =
+  List.map
+    (fun pct ->
+      let power_limit = absolute_limit system (Some pct) in
+      (pct, fst (run_point system ~policy ~application ~power_limit ~reuse)))
+    pcts
+
+let reduction_pct ~baseline makespan =
+  if baseline <= 0 then invalid_arg "Planner.reduction_pct: bad baseline";
+  100.0 *. (1.0 -. (float_of_int makespan /. float_of_int baseline))
+
+let best_point sweep =
+  match sweep.points with
+  | [] -> invalid_arg "Planner.best_point: empty sweep"
+  | p :: rest ->
+      List.fold_left
+        (fun best q -> if q.makespan < best.makespan then q else best)
+        p rest
+
+let baseline_point sweep =
+  match List.find_opt (fun p -> p.reuse = 0) sweep.points with
+  | Some p -> p
+  | None -> invalid_arg "Planner.baseline_point: sweep has no reuse=0 point"
+
+let pp_sweep ppf sweep =
+  let baseline = (baseline_point sweep).makespan in
+  let pp_point ppf p =
+    Fmt.pf ppf "@[<h>reuse %2d: makespan %9d  (%+.1f%%)  peak %8.1f  %s@]"
+      p.reuse p.makespan
+      (-.reduction_pct ~baseline p.makespan)
+      p.peak_power
+      (if p.validated then "ok" else "INVALID")
+  in
+  Fmt.pf ppf "@[<v>%s [%a%a]@,%a@]" sweep.system_name Scheduler.pp_policy
+    sweep.policy
+    (Fmt.option (fun ppf pct -> Fmt.pf ppf ", power %.0f%%" pct))
+    sweep.power_limit_pct
+    (Fmt.list ~sep:Fmt.cut pp_point)
+    sweep.points

@@ -1,0 +1,26 @@
+module Coord = Nocplan_noc.Coord
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let resource_tiles system ~reuse =
+  List.map (Resource.coord system) (Resource.all_endpoints system ~reuse)
+
+let distance_to_nearest_resource system ~reuse id =
+  let tile = System.coord_of_module system id in
+  let tiles = resource_tiles system ~reuse in
+  let topology = system.System.topology in
+  List.fold_left
+    (fun acc c -> min acc (Nocplan_noc.Topology.distance topology tile c))
+    max_int tiles
+
+let order system ~reuse =
+  let key id =
+    let m = Soc.find system.System.soc id in
+    ( distance_to_nearest_resource system ~reuse id,
+      -Module_def.test_bits m,
+      id )
+  in
+  System.module_ids system
+  |> List.map (fun id -> (key id, id))
+  |> List.sort (fun (ka, _) (kb, _) -> Stdlib.compare ka kb)
+  |> List.map snd

@@ -1,0 +1,14 @@
+(** Test priority ordering.
+
+    "The position of the CUTs, processors and IO ports determine the
+    order and priority of the test.  The cores closer to IO ports or
+    processors are tested first."  Ties are broken towards larger test
+    volume (finishing long tests early helps the makespan), then by
+    module id for determinism. *)
+
+val distance_to_nearest_resource : System.t -> reuse:int -> int -> int
+(** Manhattan distance from the module's tile to the nearest IO port
+    or reusable-processor tile. *)
+
+val order : System.t -> reuse:int -> int list
+(** All module ids sorted by test priority (highest priority first). *)

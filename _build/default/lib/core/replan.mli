@@ -1,0 +1,57 @@
+(** Adaptive re-planning after a mid-session event.
+
+    A channel diagnosed faulty while the test session is running voids
+    every test in flight across it; the already-completed tests stand.
+    This module salvages a running schedule: keep what finished before
+    the event, void what was in flight, and re-plan the remainder on
+    the degraded NoC — reusing processors whose own tests had already
+    completed without re-testing them. *)
+
+type result = {
+  kept : Schedule.entry list;  (** tests completed before the event *)
+  voided : Schedule.entry list;
+      (** tests in flight at the event: their runs are void and their
+          modules appear again in [replanned] *)
+  replanned : Schedule.entry list;  (** the new plan, starting at [at] *)
+  makespan : int;  (** overall completion: kept + replanned *)
+}
+
+val after_fault :
+  ?policy:Scheduler.policy ->
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit:float option ->
+  reuse:int ->
+  at:int ->
+  failed:Nocplan_noc.Link.t list ->
+  System.t ->
+  Schedule.t ->
+  result
+(** [after_fault ~reuse ~at ~failed system schedule] re-plans
+    [schedule] assuming the [failed] channels died at time [at].
+
+    @raise Scheduler.Unschedulable if the degraded NoC cannot reach
+    some remaining core.
+    @raise Invalid_argument if [at < 0]. *)
+
+type violation =
+  | Coverage of int  (** module not tested exactly once over kept+new *)
+  | Replanned_too_early of Schedule.entry
+  | Replanned_entry_invalid of Schedule.entry
+      (** fails feasibility (route/memory/pair) on the degraded system
+          or disagrees with the cost model *)
+  | Resource_conflict of Resource.endpoint
+  | Link_conflict of Nocplan_noc.Link.t
+  | Processor_not_ready of { user : Schedule.entry; processor_id : int }
+
+val validate :
+  System.t ->
+  application:Nocplan_proc.Processor.application ->
+  reuse:int ->
+  at:int ->
+  failed:Nocplan_noc.Link.t list ->
+  result ->
+  (unit, violation list) Stdlib.result
+(** Independent re-check of a re-planning result. *)
+
+val pp_result : result Fmt.t
+val pp_violation : violation Fmt.t

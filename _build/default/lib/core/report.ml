@@ -1,0 +1,134 @@
+type headline = {
+  system_name : string;
+  baseline : int;
+  best_reuse : int;
+  best_makespan : int;
+  reduction_pct : float;
+}
+
+let headline (sweep : Planner.sweep) =
+  let baseline = (Planner.baseline_point sweep).Planner.makespan in
+  let best = Planner.best_point sweep in
+  {
+    system_name = sweep.Planner.system_name;
+    baseline;
+    best_reuse = best.Planner.reuse;
+    best_makespan = best.Planner.makespan;
+    reduction_pct = Planner.reduction_pct ~baseline best.Planner.makespan;
+  }
+
+let pp_headline ppf h =
+  Fmt.pf ppf
+    "@[<h>%s: baseline %d -> %d with %d processors reused: %.1f%% test time \
+     reduction@]"
+    h.system_name h.baseline h.best_makespan h.best_reuse h.reduction_pct
+
+let sweep_csv (sweep : Planner.sweep) =
+  let baseline = (Planner.baseline_point sweep).Planner.makespan in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "reuse,makespan,reduction_pct,peak_power,validated\n";
+  List.iter
+    (fun (p : Planner.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.2f,%.1f,%b\n" p.Planner.reuse
+           p.Planner.makespan
+           (Planner.reduction_pct ~baseline p.Planner.makespan)
+           p.Planner.peak_power p.Planner.validated))
+    sweep.Planner.points;
+  Buffer.contents buf
+
+let two_series ~title_a ~title_b (a : Planner.sweep) (b : Planner.sweep) =
+  if List.length a.Planner.points <> List.length b.Planner.points then
+    invalid_arg "Report: sweeps have different lengths";
+  let base_a = (Planner.baseline_point a).Planner.makespan in
+  let base_b = (Planner.baseline_point b).Planner.makespan in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s  %22s  %22s\n" "reuse" title_a title_b);
+  List.iter2
+    (fun (pa : Planner.point) (pb : Planner.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d  %12d (%5.1f%%)  %12d (%5.1f%%)\n"
+           pa.Planner.reuse pa.Planner.makespan
+           (Planner.reduction_pct ~baseline:base_a pa.Planner.makespan)
+           pb.Planner.makespan
+           (Planner.reduction_pct ~baseline:base_b pb.Planner.makespan)))
+    a.Planner.points b.Planner.points;
+  Buffer.contents buf
+
+let figure1_table ~unconstrained ~constrained =
+  two_series ~title_a:"no power limit" ~title_b:"power constrained"
+    unconstrained constrained
+
+let comparison_table ~label_a ~label_b a b =
+  two_series ~title_a:label_a ~title_b:label_b a b
+
+let series_glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let ascii_chart ?(height = 16) ?(width = 60) series =
+  if series = [] then invalid_arg "Report.ascii_chart: no series";
+  List.iter
+    (fun (_, s) ->
+      if s.Planner.points = [] then
+        invalid_arg "Report.ascii_chart: empty sweep")
+    series;
+  let all_points =
+    List.concat_map (fun (_, s) -> s.Planner.points) series
+  in
+  let y_min, y_max =
+    List.fold_left
+      (fun (lo, hi) (p : Planner.point) ->
+        (min lo p.Planner.makespan, max hi p.Planner.makespan))
+      (max_int, min_int) all_points
+  in
+  let x_max =
+    List.fold_left
+      (fun acc (p : Planner.point) -> max acc p.Planner.reuse)
+      0 all_points
+  in
+  let span = max 1 (y_max - y_min) in
+  let row_of makespan =
+    (* row 0 is the top of the chart *)
+    (height - 1) - ((makespan - y_min) * (height - 1) / span)
+  in
+  let col_of reuse = reuse * (width - 1) / max 1 x_max in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  List.iteri
+    (fun i (_, s) ->
+      let glyph = series_glyphs.(i mod Array.length series_glyphs) in
+      List.iter
+        (fun (p : Planner.point) ->
+          let row = row_of p.Planner.makespan in
+          let col = col_of p.Planner.reuse in
+          Bytes.set grid.(row) col glyph)
+        s.Planner.points)
+    series;
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then Printf.sprintf "%9d " y_max
+        else if row = height - 1 then Printf.sprintf "%9d " y_min
+        else String.make 10 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Bytes.to_string line);
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 10 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%10s 0%s%d  (processors reused)\n" ""
+       (String.make (width - 2 - String.length (string_of_int x_max)) ' ')
+       x_max);
+  List.iteri
+    (fun i (label, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12s %s\n"
+           (String.make 1 series_glyphs.(i mod Array.length series_glyphs))
+           label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Tabular and CSV reporting of experiment results. *)
+
+type headline = {
+  system_name : string;
+  baseline : int;  (** reuse = 0 makespan *)
+  best_reuse : int;
+  best_makespan : int;
+  reduction_pct : float;
+}
+
+val headline : Planner.sweep -> headline
+(** The quantity the paper quotes in the text: the best reduction over
+    the sweep relative to the no-reuse baseline. *)
+
+val pp_headline : headline Fmt.t
+
+val sweep_csv : Planner.sweep -> string
+(** [reuse,makespan,reduction_pct,peak_power,validated] rows with a
+    header line. *)
+
+val figure1_table :
+  unconstrained:Planner.sweep -> constrained:Planner.sweep -> string
+(** The two series of one Figure-1 panel side by side, aligned on
+    reuse count.
+    @raise Invalid_argument if the sweeps have different lengths. *)
+
+val comparison_table :
+  label_a:string -> label_b:string -> Planner.sweep -> Planner.sweep -> string
+(** Generic two-series table (used for the greedy-vs-lookahead
+    ablation). *)
+
+val ascii_chart :
+  ?height:int -> ?width:int -> (string * Planner.sweep) list -> string
+(** Render sweeps as an ASCII line chart — test time (y) against
+    processors reused (x), the shape of the paper's Figure 1.  Each
+    series is drawn with its own glyph and listed in a legend; the y
+    axis is scaled to the global extremes.  [height] defaults to 16
+    rows, [width] to 60 columns.
+    @raise Invalid_argument if no series is given or a sweep is
+    empty. *)

@@ -1,0 +1,59 @@
+module Coord = Nocplan_noc.Coord
+
+type endpoint =
+  | External_in of Coord.t
+  | External_out of Coord.t
+  | Processor of int
+
+let coord system = function
+  | External_in c | External_out c -> c
+  | Processor id -> (
+      match System.processor_of_module system id with
+      | Some p -> p.System.coord
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Resource.coord: %d is not a processor module" id))
+
+let can_source = function
+  | External_in _ | Processor _ -> true
+  | External_out _ -> false
+
+let can_sink = function
+  | External_out _ | Processor _ -> true
+  | External_in _ -> false
+
+let valid_pair ~source ~sink =
+  can_source source && can_sink sink
+  &&
+  match (source, sink) with
+  | Processor a, Processor b -> a <> b
+  | (External_in _ | External_out _ | Processor _), _ -> true
+
+let all_endpoints system ~reuse =
+  let procs = system.System.processors in
+  if reuse < 0 || reuse > List.length procs then
+    invalid_arg "Resource.all_endpoints: reuse out of range";
+  let reused = List.filteri (fun i _ -> i < reuse) procs in
+  List.map (fun c -> External_in c) system.System.io_inputs
+  @ List.map (fun c -> External_out c) system.System.io_outputs
+  @ List.map (fun p -> Processor p.System.module_id) reused
+
+let compare a b =
+  let tag = function
+    | External_in _ -> 0
+    | External_out _ -> 1
+    | Processor _ -> 2
+  in
+  match (a, b) with
+  | External_in ca, External_in cb | External_out ca, External_out cb ->
+      Coord.compare ca cb
+  | Processor ia, Processor ib -> Stdlib.compare ia ib
+  | (External_in _ | External_out _ | Processor _), _ ->
+      Stdlib.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | External_in c -> Fmt.pf ppf "ext-in%a" Coord.pp c
+  | External_out c -> Fmt.pf ppf "ext-out%a" Coord.pp c
+  | Processor id -> Fmt.pf ppf "proc#%d" id

@@ -1,0 +1,38 @@
+(** Test resource endpoints.
+
+    A test needs a {e source} (delivers stimuli) and a {e sink}
+    (collects responses).  External interfaces provide one of the two
+    roles each; a tested processor can serve either role, one test at
+    a time. *)
+
+type endpoint =
+  | External_in of Nocplan_noc.Coord.t
+      (** external tester stimulus port attached at this router *)
+  | External_out of Nocplan_noc.Coord.t
+      (** external tester response port *)
+  | Processor of int
+      (** a reused processor, identified by its self-test module id *)
+
+val coord : System.t -> endpoint -> Nocplan_noc.Coord.t
+(** Tile of the endpoint. @raise Invalid_argument for a [Processor]
+    endpoint whose id is not a processor of the system. *)
+
+val can_source : endpoint -> bool
+(** [External_in] and [Processor] endpoints can drive stimuli. *)
+
+val can_sink : endpoint -> bool
+(** [External_out] and [Processor] endpoints can collect responses. *)
+
+val valid_pair : source:endpoint -> sink:endpoint -> bool
+(** Role-compatible and not the same processor on both ends (a
+    processor runs one test application at a time). *)
+
+val all_endpoints : System.t -> reuse:int -> endpoint list
+(** Every endpoint of the system when the first [reuse] processors are
+    reusable: IO ports first, then those processors in system order.
+    @raise Invalid_argument if [reuse] is negative or exceeds the
+    processor count. *)
+
+val equal : endpoint -> endpoint -> bool
+val compare : endpoint -> endpoint -> int
+val pp : endpoint Fmt.t

@@ -1,0 +1,255 @@
+module Link = Nocplan_noc.Link
+module Soc = Nocplan_itc02.Soc
+
+type entry = {
+  module_id : int;
+  source : Resource.endpoint;
+  sink : Resource.endpoint;
+  start : int;
+  finish : int;
+  power : float;
+  links : Link.t list;
+}
+
+type t = { entries : entry list; makespan : int }
+
+let of_entries entries =
+  List.iter
+    (fun e ->
+      if e.start < 0 || e.finish < e.start then
+        invalid_arg
+          (Printf.sprintf "Schedule.of_entries: malformed interval on module %d"
+             e.module_id))
+    entries;
+  let entries =
+    List.sort
+      (fun a b -> Stdlib.compare (a.start, a.module_id) (b.start, b.module_id))
+      entries
+  in
+  let makespan = List.fold_left (fun acc e -> max acc e.finish) 0 entries in
+  { entries; makespan }
+
+let entries_for t id = List.filter (fun e -> e.module_id = id) t.entries
+
+type violation =
+  | Unknown_module of int
+  | Module_not_tested of int
+  | Module_tested_twice of int
+  | Invalid_pair of entry
+  | Endpoint_overlap of Resource.endpoint * entry * entry
+  | Link_overlap of Link.t * entry * entry
+  | Power_exceeded of { time : int; total : float; limit : float }
+  | Processor_not_reusable of entry
+  | Processor_used_before_tested of { user : entry; processor_id : int }
+  | Wrong_cost of { entry : entry; expected_duration : int }
+  | Insufficient_memory of entry
+  | Uses_failed_link of entry
+
+let overlapping a b = a.start < b.finish && b.start < a.finish
+
+(* All ordered pairs of distinct entries with overlapping windows. *)
+let overlapping_pairs entries =
+  let rec go acc = function
+    | [] -> acc
+    | e :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc e' ->
+              if overlapping e e' then (e, e') :: acc else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] entries
+
+let check_coverage system t =
+  let ids = System.module_ids system in
+  let missing =
+    List.filter_map
+      (fun id ->
+        match entries_for t id with
+        | [] -> Some (Module_not_tested id)
+        | [ _ ] -> None
+        | _ :: _ :: _ -> Some (Module_tested_twice id))
+      ids
+  in
+  let unknown =
+    List.filter_map
+      (fun e ->
+        if List.mem e.module_id ids then None
+        else Some (Unknown_module e.module_id))
+      t.entries
+  in
+  missing @ unknown
+
+let check_pairs system ~reuse t =
+  let reusable =
+    List.filteri (fun i _ -> i < reuse) system.System.processors
+    |> List.map (fun p -> p.System.module_id)
+  in
+  List.concat_map
+    (fun e ->
+      let invalid =
+        if Resource.valid_pair ~source:e.source ~sink:e.sink then []
+        else [ Invalid_pair e ]
+      in
+      let proc_checks endpoint =
+        match endpoint with
+        | Resource.Processor id ->
+            let not_reusable =
+              if List.mem id reusable then [] else [ Processor_not_reusable e ]
+            in
+            let before_tested =
+              match entries_for t id with
+              | [ pe ] when pe.finish <= e.start -> []
+              | [ _ ] | [] ->
+                  [ Processor_used_before_tested { user = e; processor_id = id } ]
+              | _ :: _ :: _ -> []
+              (* duplicate testing reported by coverage *)
+            in
+            not_reusable @ before_tested
+        | Resource.External_in _ | Resource.External_out _ -> []
+      in
+      invalid @ proc_checks e.source @ proc_checks e.sink)
+    t.entries
+
+let check_exclusivity t =
+  List.concat_map
+    (fun (a, b) ->
+      let endpoint_clashes =
+        List.filter_map
+          (fun (ea, eb) ->
+            if Resource.equal ea eb then Some (Endpoint_overlap (ea, a, b))
+            else None)
+          [
+            (a.source, b.source);
+            (a.source, b.sink);
+            (a.sink, b.source);
+            (a.sink, b.sink);
+          ]
+      in
+      let links_b = Link.Set.of_list b.links in
+      let link_clashes =
+        List.filter_map
+          (fun l ->
+            if Link.Set.mem l links_b then Some (Link_overlap (l, a, b))
+            else None)
+          a.links
+      in
+      endpoint_clashes @ link_clashes)
+    (overlapping_pairs t.entries)
+
+let check_power ~power_limit t =
+  match power_limit with
+  | None -> []
+  | Some limit ->
+      let at time =
+        List.fold_left
+          (fun acc e ->
+            if e.start <= time && time < e.finish then acc +. e.power else acc)
+          0.0 t.entries
+      in
+      List.filter_map
+        (fun e ->
+          let total = at e.start in
+          if total > limit +. 1e-9 then
+            Some (Power_exceeded { time = e.start; total; limit })
+          else None)
+        t.entries
+
+let check_costs system ~application t =
+  List.filter_map
+    (fun e ->
+      match
+        Test_access.cost system ~application ~module_id:e.module_id
+          ~source:e.source ~sink:e.sink
+      with
+      | cost ->
+          if
+            e.finish - e.start <> cost.Test_access.duration
+            || not (Float.equal e.power cost.Test_access.power)
+          then
+            Some (Wrong_cost { entry = e; expected_duration = cost.Test_access.duration })
+          else None
+      | exception Invalid_argument _ -> Some (Invalid_pair e))
+    t.entries
+
+let check_memory system ~application t =
+  List.filter_map
+    (fun e ->
+      match
+        Test_access.memory_feasible system ~application
+          ~module_id:e.module_id ~source:e.source
+      with
+      | true -> None
+      | false -> Some (Insufficient_memory e)
+      | exception Invalid_argument _ -> Some (Unknown_module e.module_id))
+    t.entries
+
+let check_routes system t =
+  List.filter_map
+    (fun e ->
+      match
+        Test_access.route_feasible system ~module_id:e.module_id
+          ~source:e.source ~sink:e.sink
+      with
+      | true -> None
+      | false -> Some (Uses_failed_link e)
+      | exception Invalid_argument _ -> Some (Unknown_module e.module_id))
+    t.entries
+
+let validate system ~application ~power_limit ~reuse t =
+  let violations =
+    check_coverage system t
+    @ check_pairs system ~reuse t
+    @ check_exclusivity t
+    @ check_power ~power_limit t
+    @ check_costs system ~application t
+    @ check_memory system ~application t
+    @ check_routes system t
+  in
+  match violations with [] -> Ok () | vs -> Error vs
+
+let pp_entry ppf e =
+  Fmt.pf ppf "@[<h>[%d,%d) module %d: %a -> %a, power %.1f@]" e.start e.finish
+    e.module_id Resource.pp e.source Resource.pp e.sink e.power
+
+let pp_violation ppf = function
+  | Unknown_module id -> Fmt.pf ppf "unknown module %d" id
+  | Module_not_tested id -> Fmt.pf ppf "module %d never tested" id
+  | Module_tested_twice id -> Fmt.pf ppf "module %d tested more than once" id
+  | Invalid_pair e -> Fmt.pf ppf "invalid source/sink pair: %a" pp_entry e
+  | Endpoint_overlap (r, a, b) ->
+      Fmt.pf ppf "endpoint %a double-booked:@ %a@ vs %a" Resource.pp r pp_entry
+        a pp_entry b
+  | Link_overlap (l, a, b) ->
+      Fmt.pf ppf "link %a double-booked:@ %a@ vs %a" Link.pp l pp_entry a
+        pp_entry b
+  | Power_exceeded { time; total; limit } ->
+      Fmt.pf ppf "power %.1f over limit %.1f at t=%d" total limit time
+  | Processor_not_reusable e ->
+      Fmt.pf ppf "non-reusable processor used: %a" pp_entry e
+  | Processor_used_before_tested { user; processor_id } ->
+      Fmt.pf ppf "processor %d used before tested: %a" processor_id pp_entry
+        user
+  | Wrong_cost { entry; expected_duration } ->
+      Fmt.pf ppf "entry duration %d != cost model %d: %a"
+        (entry.finish - entry.start)
+        expected_duration pp_entry entry
+  | Insufficient_memory e ->
+      Fmt.pf ppf "source memory too small for the test data: %a" pp_entry e
+  | Uses_failed_link e ->
+      Fmt.pf ppf "test path crosses a failed link: %a" pp_entry e
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schedule (makespan %d):@,%a@]" t.makespan
+    (Fmt.list ~sep:Fmt.cut pp_entry)
+    t.entries
+
+let resource_busy_time t endpoint =
+  List.fold_left
+    (fun acc e ->
+      if Resource.equal e.source endpoint || Resource.equal e.sink endpoint
+      then acc + (e.finish - e.start)
+      else acc)
+    0 t.entries

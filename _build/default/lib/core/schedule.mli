@@ -1,0 +1,68 @@
+(** Test schedules and their independent validator.
+
+    A schedule assigns every module of the system a time window, a
+    source, a sink and a NoC path footprint.  The validator re-checks
+    every constraint from scratch — it shares no state with the
+    schedulers, so scheduler bugs cannot hide. *)
+
+type entry = {
+  module_id : int;
+  source : Resource.endpoint;
+  sink : Resource.endpoint;
+  start : int;
+  finish : int;
+  power : float;
+  links : Nocplan_noc.Link.t list;
+}
+
+type t = private {
+  entries : entry list;  (** sorted by [start], then [module_id] *)
+  makespan : int;  (** max finish, 0 for an empty schedule *)
+}
+
+val of_entries : entry list -> t
+(** Sorts entries and computes the makespan.  Structural sanity
+    ([start <= finish], non-negative times) is enforced here;
+    semantic checks are {!validate}'s job.
+    @raise Invalid_argument on malformed intervals. *)
+
+val entries_for : t -> int -> entry list
+(** Entries testing the given module (a valid schedule has exactly
+    one). *)
+
+type violation =
+  | Unknown_module of int
+  | Module_not_tested of int
+  | Module_tested_twice of int
+  | Invalid_pair of entry
+  | Endpoint_overlap of Resource.endpoint * entry * entry
+  | Link_overlap of Nocplan_noc.Link.t * entry * entry
+  | Power_exceeded of { time : int; total : float; limit : float }
+  | Processor_not_reusable of entry
+  | Processor_used_before_tested of { user : entry; processor_id : int }
+  | Wrong_cost of { entry : entry; expected_duration : int }
+  | Insufficient_memory of entry
+      (** the source processor cannot hold the test data the
+          application needs for this core *)
+  | Uses_failed_link of entry
+      (** the XY paths of this test cross a channel marked faulty *)
+
+val validate :
+  System.t ->
+  application:Nocplan_proc.Processor.application ->
+  power_limit:float option ->
+  reuse:int ->
+  t ->
+  (unit, violation list) result
+(** Check that: every module of the system is tested exactly once; all
+    pairs are valid and only reusable processors are used; a processor
+    endpoint is only used after its own test finished; no endpoint and
+    no link carries two overlapping tests; instantaneous power never
+    exceeds the limit; and each entry's duration and power match the
+    {!Test_access} cost model. *)
+
+val pp_violation : violation Fmt.t
+val pp : t Fmt.t
+
+val resource_busy_time : t -> Resource.endpoint -> int
+(** Total cycles the endpoint spends serving tests. *)

@@ -1,0 +1,222 @@
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+module Wrapper = Nocplan_itc02.Wrapper
+module Flit_sim = Nocplan_noc.Flit_sim
+module Packet = Nocplan_noc.Packet
+module Latency = Nocplan_noc.Latency
+module Xy = Nocplan_noc.Xy_routing
+module Processor = Nocplan_proc.Processor
+module Characterization = Nocplan_proc.Characterization
+
+type test_report = {
+  module_id : int;
+  scheduled_start : int;
+  scheduled_finish : int;
+  simulated_finish : int;
+  slack : int;
+}
+
+type report = {
+  tests : test_report list;
+  worst_slack : int;
+  max_ratio : float;
+}
+
+let downscale ~max_patterns system =
+  if max_patterns < 1 then
+    invalid_arg "Schedule_sim.downscale: max_patterns must be >= 1";
+  let cap (m : Module_def.t) =
+    Module_def.make ~bidirs:m.Module_def.bidirs
+      ~test_power:m.Module_def.test_power ?parent:m.Module_def.parent
+      ~id:m.Module_def.id ~name:m.Module_def.name ~inputs:m.Module_def.inputs
+      ~outputs:m.Module_def.outputs ~scan_chains:m.Module_def.scan_chains
+      ~patterns:(min max_patterns m.Module_def.patterns) ()
+  in
+  let soc = Soc.map_modules cap system.System.soc in
+  (* System.make validates each processor's self-test module against
+     the soc, so the placed processors must be rebuilt with equally
+     capped templates. *)
+  let rebuilt_processors =
+    List.map
+      (fun (p : System.placed_processor) ->
+        {
+          p with
+          System.processor =
+            (let pr = p.System.processor in
+             Processor.make
+               ~memory_capacity_words:pr.Processor.memory_capacity_words
+               ~name:pr.Processor.name ~isa_family:pr.Processor.isa_family
+               ~costs:pr.Processor.costs
+               ~power_active:pr.Processor.power_active
+               ~self_test:(cap pr.Processor.self_test) ());
+        })
+      system.System.processors
+  in
+  System.make
+    ~failed_links:(Nocplan_noc.Link.Set.elements system.System.failed_links)
+    ~soc ~topology:system.System.topology
+    ~latency:system.System.latency ~noc_power:system.System.noc_power
+    ~flit_width:system.System.flit_width ~placement:system.System.placement
+    ~processors:rebuilt_processors ~io_inputs:system.System.io_inputs
+    ~io_outputs:system.System.io_outputs ()
+
+(* Per-pattern timing pieces, mirroring Test_access. *)
+let entry_profile system ~application ~src ~snk ~cut (e : Schedule.entry) =
+  let m =
+    match Soc.find system.System.soc e.Schedule.module_id with
+    | m -> m
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Schedule_sim.replay: unknown module %d"
+             e.Schedule.module_id)
+  in
+  let wrapper = Wrapper.design ~width:system.System.flit_width m in
+  let flow = Latency.stream_cycle_per_flit system.System.latency in
+  let gen, setup =
+    match e.Schedule.source with
+    | Resource.External_in _ -> (0, 0)
+    | Resource.External_out _ -> (0, 0)
+    | Resource.Processor id -> (
+        match System.processor_of_module system id with
+        | Some p ->
+            let c =
+              Processor.source_characterization p.System.processor application
+            in
+            ( Processor.generation_overhead p.System.processor application,
+              c.Characterization.setup_cycles )
+        | None -> (0, 0))
+  in
+  let sink_overhead =
+    match e.Schedule.sink with
+    | Resource.Processor id -> (
+        match System.processor_of_module system id with
+        | Some p ->
+            int_of_float
+              (Float.round
+                 p.System.processor.Processor.sink
+                   .Characterization.cycles_per_pattern)
+        | None -> 0)
+    | Resource.External_in _ | Resource.External_out _ -> 0
+  in
+  let routing = system.System.latency.Latency.routing_latency in
+  let flits_in = wrapper.Wrapper.scan_in_max + 1 in
+  let flits_out = wrapper.Wrapper.scan_out_max + 1 in
+  let topology = system.System.topology in
+  let hops_in = Xy.hops topology ~src ~dst:cut in
+  let hops_out = Xy.hops topology ~src:cut ~dst:snk in
+  let transport_in = ((hops_in + 2) * routing) + (flits_in * flow) in
+  let transport_out = ((hops_out + 2) * routing) + (flits_out * flow) in
+  let module Link = Nocplan_noc.Link in
+  let links_in = Link.Set.of_list (Xy.links topology ~src ~dst:cut) in
+  let links_out = Link.Set.of_list (Xy.links topology ~src:cut ~dst:snk) in
+  let transport =
+    if Link.Set.is_empty (Link.Set.inter links_in links_out) then
+      max transport_in transport_out
+    else transport_in + transport_out
+  in
+  let per_pattern =
+    max (Wrapper.pattern_cycles wrapper) transport + gen + sink_overhead
+  in
+  (m, wrapper, per_pattern, setup, flits_in, flits_out)
+
+let replay ?(application = Processor.Bist) system (schedule : Schedule.t) =
+  let next_packet_id = ref 0 in
+  let fresh_id () =
+    let id = !next_packet_id in
+    incr next_packet_id;
+    id
+  in
+  (* Expand every entry into its packet stream, remembering which
+     packet ids carry this test's responses. *)
+  let expansions =
+    List.map
+      (fun (e : Schedule.entry) ->
+        let src = Resource.coord system e.Schedule.source in
+        let snk = Resource.coord system e.Schedule.sink in
+        let cut = System.coord_of_module system e.Schedule.module_id in
+        let m, _wrapper, per_pattern, setup, flits_in, flits_out =
+          entry_profile system ~application ~src ~snk ~cut e
+        in
+        let stimulus_fill =
+          Latency.header_latency system.System.latency
+            ~hops:(Xy.hops system.System.topology ~src ~dst:cut)
+        in
+        let packets =
+          List.concat_map
+            (fun k ->
+              let t_stim = e.Schedule.start + setup + (k * per_pattern) in
+              let stim =
+                Packet.make ~id:(fresh_id ()) ~src ~dst:cut ~flits:flits_in
+                  ~inject_time:t_stim
+              in
+              (* The response for pattern [k] leaves the CUT after the
+                 pattern has been scanned in and captured. *)
+              let t_resp = t_stim + stimulus_fill + per_pattern in
+              let resp =
+                Packet.make ~id:(fresh_id ()) ~src:cut ~dst:snk
+                  ~flits:flits_out ~inject_time:t_resp
+              in
+              [ (stim, false); (resp, true) ])
+            (List.init m.Module_def.patterns (fun k -> k))
+        in
+        (e, packets))
+      schedule.Schedule.entries
+  in
+  let all_packets = List.concat_map (fun (_, ps) -> List.map fst ps) expansions in
+  let config =
+    Flit_sim.config system.System.topology system.System.latency
+  in
+  let result = Flit_sim.run config all_packets in
+  let delivered =
+    List.map
+      (fun (d : Flit_sim.delivery) -> (d.Flit_sim.packet.Packet.id, d))
+      result.Flit_sim.deliveries
+  in
+  let tests =
+    List.map
+      (fun ((e : Schedule.entry), packets) ->
+        let response_ids =
+          List.filter_map
+            (fun ((p : Packet.t), is_response) ->
+              if is_response then Some p.Packet.id else None)
+            packets
+        in
+        let simulated_finish =
+          List.fold_left
+            (fun acc id ->
+              match List.assoc_opt id delivered with
+              | Some d -> max acc d.Flit_sim.delivered_at
+              | None -> acc)
+            0 response_ids
+        in
+        {
+          module_id = e.Schedule.module_id;
+          scheduled_start = e.Schedule.start;
+          scheduled_finish = e.Schedule.finish;
+          simulated_finish;
+          slack = e.Schedule.finish - simulated_finish;
+        })
+      expansions
+  in
+  let worst_slack =
+    List.fold_left (fun acc t -> min acc t.slack) max_int tests
+  in
+  let max_ratio =
+    List.fold_left
+      (fun acc t ->
+        let scheduled = max 1 (t.scheduled_finish - t.scheduled_start) in
+        let simulated = max 1 (t.simulated_finish - t.scheduled_start) in
+        Float.max acc (float_of_int simulated /. float_of_int scheduled))
+      0.0 tests
+  in
+  { tests; worst_slack; max_ratio }
+
+let pp_report ppf r =
+  let pp_test ppf t =
+    Fmt.pf ppf "@[<h>module %3d: scheduled [%d,%d), simulated finish %d (slack %d)@]"
+      t.module_id t.scheduled_start t.scheduled_finish t.simulated_finish
+      t.slack
+  in
+  Fmt.pf ppf "@[<v>%a@,worst slack %d, max sim/analytic ratio %.3f@]"
+    (Fmt.list ~sep:Fmt.cut pp_test)
+    r.tests r.worst_slack r.max_ratio

@@ -1,0 +1,52 @@
+(** Cross-validation of the analytic cost model against the flit-level
+    NoC simulator.
+
+    The planner prices every test with the closed-form {!Test_access}
+    model.  This module {e executes} a schedule instead: each test is
+    expanded into its per-pattern stimulus and response packets, all
+    packets of all concurrent tests are replayed together on
+    {!Nocplan_noc.Flit_sim}, and the simulated completion of every test
+    is compared with the scheduled window.
+
+    Because the flit simulator is cycle-stepped, replay cost grows with
+    the makespan; use [max_patterns] to downscale pattern counts (the
+    per-pattern steady state is what the model must get right, so a few
+    tens of patterns per core suffice). *)
+
+type test_report = {
+  module_id : int;
+  scheduled_start : int;
+  scheduled_finish : int;
+  simulated_finish : int;
+      (** cycle the last response flit of this test was delivered *)
+  slack : int;
+      (** [scheduled_finish - simulated_finish]; negative means the
+          simulation missed the analytic deadline *)
+}
+
+type report = {
+  tests : test_report list;  (** one per schedule entry, by start time *)
+  worst_slack : int;
+  max_ratio : float;
+      (** max over tests of [simulated duration / scheduled duration] *)
+}
+
+val downscale : max_patterns:int -> System.t -> System.t
+(** The same system with every module's pattern count capped — for
+    affordable replay.  @raise Invalid_argument if [max_patterns < 1]. *)
+
+val replay :
+  ?application:Nocplan_proc.Processor.application ->
+  System.t ->
+  Schedule.t ->
+  report
+(** Replay the schedule.  The schedule must belong to the given system
+    (same module ids and placements); entries are expanded as:
+
+    - stimulus packet [k] (scan-in flits + header) injected at the
+      source at [start + setup + k * per_pattern];
+    - response packet [k] injected at the CUT one scan-load later.
+
+    @raise Invalid_argument if an entry references an unknown module. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,246 @@
+module Reservation = Nocplan_noc.Reservation
+module Processor = Nocplan_proc.Processor
+
+let log_src =
+  Logs.Src.create "nocplan.scheduler" ~doc:"Test scheduler decisions"
+
+module Log = (val Logs.src_log log_src)
+
+type policy = Greedy | Lookahead
+
+type config = {
+  policy : policy;
+  application : Processor.application;
+  reuse : int;
+  power_limit : float option;
+  order : int list option;
+  start_time : int;
+  modules : int list option;
+  pretested : int list;
+}
+
+let config ?(policy = Greedy) ?(application = Processor.Bist)
+    ?(power_limit = None) ?order ?(start_time = 0) ?modules
+    ?(pretested = []) ~reuse () =
+  if start_time < 0 then invalid_arg "Scheduler.config: negative start_time";
+  { policy; application; reuse; power_limit; order; start_time; modules; pretested }
+
+exception Unschedulable of string
+
+let pp_policy ppf = function
+  | Greedy -> Fmt.string ppf "greedy"
+  | Lookahead -> Fmt.string ppf "lookahead"
+
+(* Endpoint pool entry: [avail = None] means the endpoint is not in
+   the pool yet (a processor whose own test has not been scheduled);
+   [Some t] means it is (or will be) idle from time [t]. *)
+type slot = { endpoint : Resource.endpoint; mutable avail : int option }
+
+let run system config =
+  let endpoints = Resource.all_endpoints system ~reuse:config.reuse in
+  let slots =
+    List.map
+      (fun endpoint ->
+        match endpoint with
+        | Resource.External_in _ | Resource.External_out _ ->
+            { endpoint; avail = Some config.start_time }
+        | Resource.Processor id ->
+            if List.mem id config.pretested then
+              { endpoint; avail = Some config.start_time }
+            else { endpoint; avail = None })
+      endpoints
+  in
+  let calendar = Reservation.create () in
+  let monitor = Power_monitor.create ~limit:config.power_limit in
+  let committed = ref [] in
+  let wanted =
+    match config.modules with
+    | None -> System.module_ids system
+    | Some ids ->
+        List.iter
+          (fun id ->
+            if not (Nocplan_itc02.Soc.mem system.System.soc id) then
+              invalid_arg
+                (Printf.sprintf "Scheduler.run: unknown module %d" id))
+          ids;
+        List.sort_uniq Stdlib.compare ids
+  in
+  let initial_order =
+    match config.order with
+    | None ->
+        List.filter (fun id -> List.mem id wanted)
+          (Priority.order system ~reuse:config.reuse)
+    | Some order ->
+        if List.sort Stdlib.compare order <> wanted then
+          invalid_arg
+            "Scheduler.run: order must be a permutation of the scheduled \
+             module ids";
+        order
+  in
+  let pending = ref initial_order in
+  (* The cost model is time-invariant, so cache it per assignment: the
+     look-ahead policy evaluates every pair at every event otherwise. *)
+  let cost_cache : (int * Resource.endpoint * Resource.endpoint, Test_access.cost) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let cost module_id ~source ~sink =
+    let key = (module_id, source, sink) in
+    match Hashtbl.find_opt cost_cache key with
+    | Some c -> c
+    | None ->
+        let c =
+          Test_access.cost system ~application:config.application ~module_id
+            ~source ~sink
+        in
+        Hashtbl.add cost_cache key c;
+        c
+  in
+  (* Candidate (source, sink) pairs among the given slots for one
+     core, each with the time both ends are idle.  Pairs rejected by
+     the admission check (role compatibility, faulty links on the XY
+     paths, decompression memory) are dropped here. *)
+  let pairs_of ~module_id slots_subset =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun snk ->
+            if
+              Test_access.feasible system ~application:config.application
+                ~module_id ~source:src.endpoint ~sink:snk.endpoint
+            then
+              match (src.avail, snk.avail) with
+              | Some a, Some b -> Some (src, snk, max a b)
+              | (None | Some _), _ -> None
+            else None)
+          slots_subset)
+      slots_subset
+  in
+  let try_commit ~now module_id (src, snk, _avail) =
+    let c = cost module_id ~source:src.endpoint ~sink:snk.endpoint in
+    let finish = now + c.Test_access.duration in
+    if
+      Reservation.is_free calendar c.Test_access.links ~start:now ~finish
+      && Power_monitor.fits monitor ~start:now ~finish
+           ~power:c.Test_access.power
+    then begin
+      Reservation.reserve calendar ~owner:module_id c.Test_access.links
+        ~start:now ~finish;
+      Power_monitor.add monitor ~start:now ~finish ~power:c.Test_access.power;
+      src.avail <- Some finish;
+      snk.avail <- Some finish;
+      let entry =
+        {
+          Schedule.module_id;
+          source = src.endpoint;
+          sink = snk.endpoint;
+          start = now;
+          finish;
+          power = c.Test_access.power;
+          links = c.Test_access.links;
+        }
+      in
+      committed := entry :: !committed;
+      Log.debug (fun m ->
+          m "t=%d: start module %d on %a -> %a (finish %d, power %.1f)" now
+            module_id Resource.pp src.endpoint Resource.pp snk.endpoint finish
+            c.Test_access.power);
+      (* A freshly tested reusable processor joins the pool when its
+         test completes. *)
+      (match System.processor_of_module system module_id with
+      | Some _ -> (
+          match
+            List.find_opt
+              (fun s -> Resource.equal s.endpoint (Resource.Processor module_id))
+              slots
+          with
+          | Some slot -> slot.avail <- Some finish
+          | None -> (* beyond the reuse horizon: tested but not reused *) ())
+      | None -> ());
+      true
+    end
+    else false
+  in
+  (* One scheduling attempt for one core at time [now].  Returns true
+     if the core was started. *)
+  let attempt_greedy ~now module_id =
+    let idle =
+      List.filter
+        (fun s -> match s.avail with Some a -> a <= now | None -> false)
+        slots
+    in
+    (* "The greedy behavior ... forces it to select the first test
+       interface available": order pairs by how early they became
+       idle. *)
+    let candidates =
+      List.sort
+        (fun (_, _, a) (_, _, b) -> Stdlib.compare a b)
+        (pairs_of ~module_id idle)
+    in
+    List.exists (try_commit ~now module_id) candidates
+  in
+  let attempt_lookahead ~now module_id =
+    let known =
+      List.filter (fun s -> Option.is_some s.avail) slots
+    in
+    let estimated_finish (src, snk, avail) =
+      let c = cost module_id ~source:src.endpoint ~sink:snk.endpoint in
+      max now avail + c.Test_access.duration
+    in
+    let candidates =
+      pairs_of ~module_id known
+      |> List.map (fun pair -> (estimated_finish pair, pair))
+      |> List.sort (fun (fa, _) (fb, _) -> Stdlib.compare fa fb)
+      |> List.map snd
+    in
+    (* Take candidates in completion order; commit the first idle one,
+       but stop as soon as the best remaining pair is still busy —
+       waiting for it beats settling for a worse pair. *)
+    let rec go = function
+      | [] -> false
+      | ((_, _, avail) as pair) :: rest ->
+          if avail > now then false
+          else if try_commit ~now module_id pair then true
+          else go rest
+    in
+    go candidates
+  in
+  let attempt =
+    match config.policy with
+    | Greedy -> attempt_greedy
+    | Lookahead -> attempt_lookahead
+  in
+  let now = ref config.start_time in
+  let guard = ref 0 in
+  while !pending <> [] do
+    incr guard;
+    if !guard > 10_000_000 then
+      raise (Unschedulable "scheduler did not converge");
+    let scheduled, still_pending =
+      List.partition (fun id -> attempt ~now:!now id) !pending
+    in
+    ignore scheduled;
+    pending := still_pending;
+    if !pending <> [] then begin
+      (* Advance to the next endpoint-release event. *)
+      let next =
+        List.fold_left
+          (fun acc s ->
+            match s.avail with
+            | Some a when a > !now -> (
+                match acc with Some m -> Some (min m a) | None -> Some a)
+            | Some _ | None -> acc)
+          None slots
+      in
+      match next with
+      | Some t -> now := t
+      | None ->
+          raise
+            (Unschedulable
+               (Printf.sprintf
+                  "no progress at t=%d with %d cores pending (power limit too \
+                   tight or no resources)"
+                  !now
+                  (List.length !pending)))
+    end
+  done;
+  Schedule.of_entries !committed

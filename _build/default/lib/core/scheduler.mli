@@ -1,0 +1,65 @@
+(** The test planning engine.
+
+    Event-driven list scheduler over the system's resources.  Pending
+    cores are visited in {!Priority} order; a core is started as soon
+    as a role-compatible (source, sink) pair is idle, its XY paths are
+    free for the whole test duration, and the power limit holds.
+    Processor endpoints join the resource pool the moment the
+    processor's own test completes ("a processor is reused for test
+    just after it has been successfully tested").
+
+    Two resource-selection policies:
+
+    - {!Greedy} — the paper's algorithm: among the pairs idle {e right
+      now}, take the first available (ordered by how long they have
+      been idle).  This exhibits the anomaly the paper describes on
+      p22810: a slow processor idle now is preferred over a faster
+      external interface that frees an instant later.
+    - {!Lookahead} — also considers busy endpoints' release times and
+      picks the pair minimizing the estimated completion time; if the
+      best pair is not idle yet, the core waits for it instead of
+      settling for a worse one. *)
+
+type policy = Greedy | Lookahead
+
+type config = {
+  policy : policy;
+  application : Nocplan_proc.Processor.application;
+  reuse : int;  (** how many of the system's processors are reusable *)
+  power_limit : float option;  (** absolute power cap, or [None] *)
+  order : int list option;
+      (** visit pending cores in this order instead of the {!Priority}
+          heuristic — the knob the {!Annealing} optimizer searches *)
+  start_time : int;  (** schedule nothing before this instant *)
+  modules : int list option;
+      (** schedule only these modules (default: all of them) — used by
+          {!Replan} to re-plan the unfinished remainder of a session *)
+  pretested : int list;
+      (** processor module ids already tested before [start_time]:
+          their endpoints are available immediately *)
+}
+
+val config :
+  ?policy:policy ->
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit:float option ->
+  ?order:int list ->
+  ?start_time:int ->
+  ?modules:int list ->
+  ?pretested:int list ->
+  reuse:int ->
+  unit ->
+  config
+(** Defaults: [Greedy], [Bist], no power limit, {!Priority} order,
+    [start_time = 0], all modules, nothing pretested. *)
+
+exception Unschedulable of string
+(** Raised when no progress is possible — e.g. a single core's power
+    alone exceeds the limit. *)
+
+val run : System.t -> config -> Schedule.t
+(** Produce a complete schedule.
+    @raise Unschedulable when the instance is infeasible.
+    @raise Invalid_argument if [reuse] is out of range. *)
+
+val pp_policy : policy Fmt.t

@@ -1,0 +1,152 @@
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+module Latency = Nocplan_noc.Latency
+module Power = Nocplan_noc.Power
+module Processor = Nocplan_proc.Processor
+module Link = Nocplan_noc.Link
+
+type placed_processor = {
+  module_id : int;
+  processor : Processor.t;
+  coord : Coord.t;
+}
+
+type t = {
+  soc : Soc.t;
+  topology : Topology.t;
+  latency : Latency.t;
+  noc_power : Power.t;
+  flit_width : int;
+  placement : Placement.t;
+  processors : placed_processor list;
+  io_inputs : Coord.t list;
+  io_outputs : Coord.t list;
+  failed_links : Link.Set.t;
+}
+
+let make ?(failed_links = []) ~soc ~topology ~latency ~noc_power ~flit_width
+    ~placement ~processors ~io_inputs ~io_outputs () =
+  if flit_width < 1 then invalid_arg "System.make: flit_width must be >= 1";
+  if io_inputs = [] || io_outputs = [] then
+    invalid_arg "System.make: need at least one input and one output port";
+  List.iter
+    (fun c ->
+      if not (Topology.in_bounds topology c) then
+        invalid_arg (Fmt.str "System.make: IO port %a out of bounds" Coord.pp c))
+    (io_inputs @ io_outputs);
+  let soc_ids = Soc.module_ids soc in
+  let placed_ids = Placement.module_ids placement in
+  List.iter
+    (fun id ->
+      if not (List.mem id placed_ids) then
+        invalid_arg (Printf.sprintf "System.make: module %d is unplaced" id))
+    soc_ids;
+  List.iter
+    (fun id ->
+      if not (List.mem id soc_ids) then
+        invalid_arg
+          (Printf.sprintf "System.make: placed id %d is not in the soc" id))
+    placed_ids;
+  List.iter
+    (fun p ->
+      match Soc.find soc p.module_id with
+      | m ->
+          if not (Module_def.equal m (Processor.with_self_test_id p.processor ~id:p.module_id).Processor.self_test)
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "System.make: module %d differs from processor %s self-test"
+                 p.module_id p.processor.Processor.name);
+          if not (Coord.equal (Placement.coord placement p.module_id) p.coord)
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "System.make: processor %d placement disagrees" p.module_id)
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "System.make: processor module %d not in soc"
+               p.module_id))
+    processors;
+  {
+    soc;
+    topology;
+    latency;
+    noc_power;
+    flit_width;
+    placement;
+    processors;
+    io_inputs;
+    io_outputs;
+    failed_links = Link.Set.of_list failed_links;
+  }
+
+(* Evenly spaced tile indices for [n] pins over the mesh, skewed away
+   from the corners where the IO ports usually sit. *)
+let pin_tiles topology n =
+  let count = Topology.router_count topology in
+  let stride = max 1 (count / (n + 1)) in
+  List.init n (fun i -> Topology.of_index topology (((i + 1) * stride) mod count))
+
+let build ?(latency = Latency.hermes_like) ?(noc_power = Power.default)
+    ?(flit_width = 32) ?processor_tiles ~soc ~topology ~processors ~io_inputs
+    ~io_outputs () =
+  let next_id = Soc.max_module_id soc + 1 in
+  let renumbered =
+    List.mapi
+      (fun i p -> Processor.with_self_test_id p ~id:(next_id + i))
+      processors
+  in
+  let soc =
+    Soc.add_modules soc
+      (List.map (fun p -> p.Processor.self_test) renumbered)
+  in
+  let proc_tiles =
+    match processor_tiles with
+    | None -> pin_tiles topology (List.length renumbered)
+    | Some tiles ->
+        if List.length tiles <> List.length renumbered then
+          invalid_arg
+            "System.build: processor_tiles length differs from processors";
+        tiles
+  in
+  let placed =
+    List.map2
+      (fun p coord ->
+        { module_id = p.Processor.self_test.Module_def.id; processor = p; coord })
+      renumbered proc_tiles
+  in
+  let pinned = List.map (fun p -> (p.module_id, p.coord)) placed in
+  let cut_ids =
+    List.filter
+      (fun id -> not (List.mem_assoc id pinned))
+      (Soc.module_ids soc)
+  in
+  let placement = Placement.spread topology ~pinned cut_ids in
+  make ~soc ~topology ~latency ~noc_power ~flit_width ~placement
+    ~processors:placed ~io_inputs ~io_outputs ()
+
+let coord_of_module t id = Placement.coord t.placement id
+
+let processor_of_module t id =
+  List.find_opt (fun p -> p.module_id = id) t.processors
+
+let is_processor_module t id = Option.is_some (processor_of_module t id)
+let module_ids t = Soc.module_ids t.soc
+
+let with_failed_links t links =
+  { t with failed_links = Link.Set.union t.failed_links (Link.Set.of_list links) }
+
+let power_limit_of_pct t ~pct =
+  if pct <= 0.0 then invalid_arg "System.power_limit_of_pct: pct must be > 0";
+  pct /. 100.0 *. Soc.total_test_power t.soc
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>system %s: %a, flit width %d, %d processors, %d in / %d out ports@,%a@,placement: %a@]"
+    t.soc.Soc.name Topology.pp t.topology t.flit_width
+    (List.length t.processors)
+    (List.length t.io_inputs)
+    (List.length t.io_outputs)
+    Soc.pp_summary t.soc Placement.pp t.placement

@@ -1,0 +1,92 @@
+(** The complete system under test: benchmark + NoC + placement +
+    reusable processors + external interfaces.
+
+    This bundles the three information sets the designer feeds the
+    paper's tool: the NoC characterization (topology, routing is
+    implicitly XY, latency and power figures, flit width), the system
+    description (position of every core, processor and IO port), and
+    the processor characterizations carried by {!Nocplan_proc.Processor.t}
+    values. *)
+
+type placed_processor = {
+  module_id : int;  (** id of the processor's self-test module in [soc] *)
+  processor : Nocplan_proc.Processor.t;
+  coord : Nocplan_noc.Coord.t;
+}
+
+type t = private {
+  soc : Nocplan_itc02.Soc.t;
+      (** all modules, including the processors' self-test modules *)
+  topology : Nocplan_noc.Topology.t;
+  latency : Nocplan_noc.Latency.t;
+  noc_power : Nocplan_noc.Power.t;
+  flit_width : int;
+  placement : Placement.t;
+  processors : placed_processor list;
+      (** in reuse order: [reuse = k] makes the first [k] reusable *)
+  io_inputs : Nocplan_noc.Coord.t list;  (** external stimulus ports *)
+  io_outputs : Nocplan_noc.Coord.t list;  (** external response ports *)
+  failed_links : Nocplan_noc.Link.Set.t;
+      (** channels diagnosed faulty: with deterministic XY routing, a
+          test whose path crosses one is infeasible and the planner
+          must pick other resources *)
+}
+
+val make :
+  ?failed_links:Nocplan_noc.Link.t list ->
+  soc:Nocplan_itc02.Soc.t ->
+  topology:Nocplan_noc.Topology.t ->
+  latency:Nocplan_noc.Latency.t ->
+  noc_power:Nocplan_noc.Power.t ->
+  flit_width:int ->
+  placement:Placement.t ->
+  processors:placed_processor list ->
+  io_inputs:Nocplan_noc.Coord.t list ->
+  io_outputs:Nocplan_noc.Coord.t list ->
+  unit ->
+  t
+(** @raise Invalid_argument if: the flit width is [< 1]; some module
+    of [soc] is unplaced or some placed id is not in [soc]; a
+    processor's [module_id] is missing from [soc], its placement
+    disagrees with [placement], or its self-test module differs from
+    [soc]'s; an IO port is out of bounds; or there is not at least one
+    input and one output port. *)
+
+val build :
+  ?latency:Nocplan_noc.Latency.t ->
+  ?noc_power:Nocplan_noc.Power.t ->
+  ?flit_width:int ->
+  ?processor_tiles:Nocplan_noc.Coord.t list ->
+  soc:Nocplan_itc02.Soc.t ->
+  topology:Nocplan_noc.Topology.t ->
+  processors:Nocplan_proc.Processor.t list ->
+  io_inputs:Nocplan_noc.Coord.t list ->
+  io_outputs:Nocplan_noc.Coord.t list ->
+  unit ->
+  t
+(** Convenience constructor used by the experiments: appends each
+    processor's self-test module to [soc] under fresh ids, pins
+    processors to [processor_tiles] (default: evenly spaced tiles),
+    spreads the benchmark cores round-robin over the remaining tiles
+    ({!Placement.spread}).  Defaults: [latency] =
+    {!Nocplan_noc.Latency.hermes_like}, [noc_power] =
+    {!Nocplan_noc.Power.default}, [flit_width] = 32.
+    @raise Invalid_argument if [processor_tiles] is given with a
+    length different from [processors]. *)
+
+val coord_of_module : t -> int -> Nocplan_noc.Coord.t
+(** @raise Not_found for unknown ids. *)
+
+val processor_of_module : t -> int -> placed_processor option
+(** The placed processor whose self-test module has this id, if any. *)
+
+val is_processor_module : t -> int -> bool
+val module_ids : t -> int list
+val power_limit_of_pct : t -> pct:float -> float
+(** [pct] percent of the sum of all module test powers — the paper's
+    power-constraint convention. *)
+
+val with_failed_links : t -> Nocplan_noc.Link.t list -> t
+(** The same system with these channels additionally marked faulty. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,187 @@
+module Module_def = Nocplan_itc02.Module_def
+module Wrapper = Nocplan_itc02.Wrapper
+module Soc = Nocplan_itc02.Soc
+module Xy = Nocplan_noc.Xy_routing
+module Link = Nocplan_noc.Link
+module Latency = Nocplan_noc.Latency
+module Power = Nocplan_noc.Power
+module Coord = Nocplan_noc.Coord
+module Processor = Nocplan_proc.Processor
+module Characterization = Nocplan_proc.Characterization
+
+type cost = {
+  duration : int;
+  power : float;
+  links : Link.t list;
+  routers : int;
+  per_pattern : int;
+}
+
+(* Source-side steady overhead and one-time setup, and the power the
+   endpoint draws. *)
+let source_profile system ~application = function
+  | Resource.External_in _ -> (0, 0, 0.0)
+  | Resource.External_out _ ->
+      invalid_arg "Test_access: External_out cannot source"
+  | Resource.Processor id -> (
+      match System.processor_of_module system id with
+      | None -> invalid_arg "Test_access: source is not a processor"
+      | Some p ->
+          let c = Processor.source_characterization p.System.processor application in
+          ( Processor.generation_overhead p.System.processor application,
+            c.Characterization.setup_cycles,
+            c.Characterization.power ))
+
+let sink_profile system = function
+  | Resource.External_out _ -> (0, 0, 0.0)
+  | Resource.External_in _ -> invalid_arg "Test_access: External_in cannot sink"
+  | Resource.Processor id -> (
+      match System.processor_of_module system id with
+      | None -> invalid_arg "Test_access: sink is not a processor"
+      | Some p ->
+          let c = p.System.processor.Processor.sink in
+          ( int_of_float (Float.round c.Characterization.cycles_per_pattern),
+            c.Characterization.setup_cycles,
+            c.Characterization.power ))
+
+let distinct_routers routes =
+  List.sort_uniq Coord.compare (List.concat routes) |> List.length
+
+let cost ?patterns system ~application ~module_id ~source ~sink =
+  if not (Resource.valid_pair ~source ~sink) then
+    invalid_arg "Test_access.cost: invalid source/sink pair";
+  let m =
+    match Soc.find system.System.soc module_id with
+    | m -> m
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Test_access.cost: unknown module %d" module_id)
+  in
+  let pattern_count =
+    match patterns with
+    | None -> m.Module_def.patterns
+    | Some p ->
+        if p < 1 then invalid_arg "Test_access.cost: patterns must be >= 1";
+        p
+  in
+  let cut = System.coord_of_module system module_id in
+  let src = Resource.coord system source in
+  let snk = Resource.coord system sink in
+  let latency = system.System.latency in
+  let wrapper = Wrapper.design ~width:system.System.flit_width m in
+  (* Transport: one flit per shift cycle per direction, plus a header
+     flit per pattern packet. *)
+  let flits_in = wrapper.Wrapper.scan_in_max + 1 in
+  let flits_out = wrapper.Wrapper.scan_out_max + 1 in
+  let flow = Latency.stream_cycle_per_flit latency in
+  let routing = latency.Latency.routing_latency in
+  let gen_overhead, src_setup, src_power = source_profile system ~application source in
+  let sink_overhead, sink_setup, sink_power = sink_profile system sink in
+  let shift_cycles = Wrapper.pattern_cycles wrapper in
+  let topology = system.System.topology in
+  let hops_in = Xy.hops topology ~src ~dst:cut in
+  let hops_out = Xy.hops topology ~src:cut ~dst:snk in
+  (* Sustainable pattern cadence on a wormhole path, verified against
+     the flit-level simulator by Schedule_sim: under back-to-back
+     packets the successor's header trails the predecessor's tail by
+     the routing setup at every one of the [hops + 2] port/channel
+     crossings, on top of the flits' flow-control slots. *)
+  let transport_in = ((hops_in + 2) * routing) + (flits_in * flow) in
+  let transport_out = ((hops_out + 2) * routing) + (flits_out * flow) in
+  let links_in = Link.Set.of_list (Xy.links topology ~src ~dst:cut) in
+  let links_out = Link.Set.of_list (Xy.links topology ~src:cut ~dst:snk) in
+  let paths_shared = not (Link.Set.is_empty (Link.Set.inter links_in links_out)) in
+  (* If the two paths share a channel, the stimulus and response
+     streams serialize on it and their occupancies add up. *)
+  let transport =
+    if paths_shared then transport_in + transport_out
+    else max transport_in transport_out
+  in
+  let per_pattern =
+    max shift_cycles transport + gen_overhead + sink_overhead
+  in
+  let fill_in = Latency.header_latency latency ~hops:hops_in in
+  let fill_out = Latency.header_latency latency ~hops:hops_out in
+  (* After the last pattern slot the final response still drains
+     through the sink path. *)
+  let drain = flits_out * flow in
+  let duration =
+    src_setup + sink_setup + fill_in + fill_out
+    + (pattern_count * per_pattern)
+    + drain
+  in
+  let route_in = Xy.route topology ~src ~dst:cut in
+  let route_out = Xy.route topology ~src:cut ~dst:snk in
+  let links = Link.Set.elements (Link.Set.union links_in links_out) in
+  let routers = distinct_routers [ route_in; route_out ] in
+  let power =
+    m.Module_def.test_power +. src_power +. sink_power
+    +. Power.stream_power system.System.noc_power ~routers
+  in
+  { duration; power; links; routers; per_pattern }
+
+let assumed_run_length = 4
+
+let decompression_footprint system ~module_id =
+  let m =
+    match Soc.find system.System.soc module_id with
+    | m -> m
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Test_access.decompression_footprint: unknown module %d"
+             module_id)
+  in
+  let wrapper = Wrapper.design ~width:system.System.flit_width m in
+  let words = max 1 (m.Module_def.patterns * (wrapper.Wrapper.scan_in_max + 1)) in
+  Nocplan_proc.Decompress.estimated_memory_words ~words
+    ~mean_run_length:assumed_run_length
+
+let decompression_footprint_measured
+    ?(style = Nocplan_proc.Test_data.Atpg 0.05) ?(seed = 7L) system
+    ~module_id =
+  let m =
+    match Soc.find system.System.soc module_id with
+    | m -> m
+    | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf
+             "Test_access.decompression_footprint_measured: unknown module %d"
+             module_id)
+  in
+  Nocplan_proc.Test_data.measured_memory_words style ~seed
+    ~flit_width:system.System.flit_width m
+
+let memory_feasible system ~application ~module_id ~source =
+  match (application, source) with
+  | Processor.Bist, _
+  | Processor.Decompression, (Resource.External_in _ | Resource.External_out _)
+    ->
+      true
+  | Processor.Decompression, Resource.Processor id -> (
+      match System.processor_of_module system id with
+      | Some p ->
+          decompression_footprint system ~module_id
+          <= Processor.memory_capacity p.System.processor
+      | None -> false)
+
+let route_feasible system ~module_id ~source ~sink =
+  let failed = system.System.failed_links in
+  Link.Set.is_empty failed
+  ||
+  let cut = System.coord_of_module system module_id in
+  let src = Resource.coord system source in
+  let snk = Resource.coord system sink in
+  let topology = system.System.topology in
+  List.for_all
+    (fun l -> not (Link.Set.mem l failed))
+    (Xy.links topology ~src ~dst:cut @ Xy.links topology ~src:cut ~dst:snk)
+
+let feasible system ~application ~module_id ~source ~sink =
+  Resource.valid_pair ~source ~sink
+  && route_feasible system ~module_id ~source ~sink
+  && memory_feasible system ~application ~module_id ~source
+
+let pp_cost ppf c =
+  Fmt.pf ppf
+    "@[<h>cost(duration %d, per-pattern %d, power %.1f, %d links, %d routers)@]"
+    c.duration c.per_pattern c.power (List.length c.links) c.routers

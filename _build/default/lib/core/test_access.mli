@@ -1,0 +1,96 @@
+(** Cost model of one core test over the NoC.
+
+    Testing core [c] from source [s] to sink [k] streams one stimulus
+    packet and one response packet per test pattern along the XY paths
+    [s -> c] and [c -> k].  Patterns are pipelined: the path-fill
+    latency is paid once, and in steady state each pattern costs the
+    maximum of the core's shift time, the two transport times and the
+    source/sink software overheads (zero for the external tester; the
+    measured cycles-per-pattern for a processor — the paper's
+    "processor takes 10 clock cycles to generate a test pattern,
+    while the external tester takes zero"). *)
+
+type cost = {
+  duration : int;  (** cycles from stream start to last response *)
+  power : float;
+      (** instantaneous power while the test runs: CUT + source +
+          sink + occupied routers *)
+  links : Nocplan_noc.Link.t list;
+      (** deduplicated channels of both paths — the reservation
+          footprint *)
+  routers : int;  (** distinct routers the two paths traverse *)
+  per_pattern : int;  (** steady-state cycles per pattern *)
+}
+
+val cost :
+  ?patterns:int ->
+  System.t ->
+  application:Nocplan_proc.Processor.application ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  cost
+(** [patterns] overrides the module's pattern count — used by the
+    preemptive scheduler to price a partial test session (the path
+    fill, setup and drain are paid per session).
+    @raise Invalid_argument if the pair is not {!Resource.valid_pair},
+    the module id is unknown, [patterns < 1], or an endpoint refers to
+    a non-processor module. *)
+
+val assumed_run_length : int
+(** Mean run length assumed when estimating how well a core's test set
+    compresses (matches the default of
+    {!Nocplan_proc.Characterization.of_decompress}). *)
+
+val decompression_footprint : System.t -> module_id:int -> int
+(** Memory words a processor needs to serve this core's full test set
+    through the decompression application: the RLE image of
+    [patterns * scan-in flits] stimulus words plus the program,
+    estimated at {!assumed_run_length}.
+    @raise Invalid_argument on an unknown module. *)
+
+val decompression_footprint_measured :
+  ?style:Nocplan_proc.Test_data.style ->
+  ?seed:int64 ->
+  System.t ->
+  module_id:int ->
+  int
+(** The same footprint, {e measured}: the module's stimulus stream is
+    synthesized ({!Nocplan_proc.Test_data}, default [Atpg 0.05],
+    seed 7) and actually RLE-encoded.  Slower but exact for the
+    synthesized data; the bench harness compares it against the
+    estimate. *)
+
+val route_feasible :
+  System.t ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  bool
+(** Whether the XY paths source->CUT and CUT->sink avoid every link in
+    the system's [failed_links].  Routing is deterministic, so a test
+    whose path crosses a faulty channel simply cannot run; the planner
+    must pick other resources (or the instance is unschedulable). *)
+
+val feasible :
+  System.t ->
+  application:Nocplan_proc.Processor.application ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  bool
+(** [route_feasible && memory_feasible] — the full admission check the
+    schedulers apply to a candidate pair. *)
+
+val memory_feasible :
+  System.t ->
+  application:Nocplan_proc.Processor.application ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  bool
+(** Whether the source can hold the test data the application needs:
+    always true for the external tester and for BIST (the generator is
+    a few words); for decompression, true iff
+    {!decompression_footprint} fits the processor's memory capacity. *)
+
+val pp_cost : cost Fmt.t

@@ -1,0 +1,109 @@
+(* VCD identifier codes: printable ASCII 33..126, shortest-first. *)
+let id_code index =
+  let base = 94 in
+  let rec go index acc =
+    let digit = Char.chr (33 + (index mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if index < base then acc else go ((index / base) - 1) acc
+  in
+  go index ""
+
+let sanitize name =
+  String.map
+    (function
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+    name
+
+let binary_of_int width v =
+  String.init width (fun i ->
+      if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let of_schedule system ~reuse (schedule : Schedule.t) =
+  let endpoints = Resource.all_endpoints system ~reuse in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "$comment nocplan schedule waveform $end\n";
+  out "$timescale 1ns $end\n";
+  out "$scope module nocplan $end\n";
+  let endpoint_codes =
+    List.mapi
+      (fun i endpoint ->
+        let code = id_code i in
+        out "$var reg 16 %s %s $end\n" code
+          (sanitize (Fmt.str "%a" Resource.pp endpoint));
+        (endpoint, code))
+      endpoints
+  in
+  let concurrency_code = id_code (List.length endpoints) in
+  let power_code = id_code (List.length endpoints + 1) in
+  out "$var reg 16 %s concurrent_tests $end\n" concurrency_code;
+  out "$var real 64 %s total_power $end\n" power_code;
+  out "$upscope $end\n$enddefinitions $end\n";
+  (* Event times: all starts and finishes. *)
+  let times =
+    List.concat_map
+      (fun (e : Schedule.entry) -> [ e.Schedule.start; e.Schedule.finish ])
+      schedule.Schedule.entries
+    |> List.cons 0
+    |> List.sort_uniq Stdlib.compare
+  in
+  let serving endpoint time =
+    match
+      List.find_opt
+        (fun (e : Schedule.entry) ->
+          e.Schedule.start <= time
+          && time < e.Schedule.finish
+          && (Resource.equal e.Schedule.source endpoint
+             || Resource.equal e.Schedule.sink endpoint))
+        schedule.Schedule.entries
+    with
+    | Some e -> e.Schedule.module_id
+    | None -> 0
+  in
+  let active time =
+    List.filter
+      (fun (e : Schedule.entry) ->
+        e.Schedule.start <= time && time < e.Schedule.finish)
+      schedule.Schedule.entries
+  in
+  let last : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let emit time code value =
+    match Hashtbl.find_opt last code with
+    | Some v when String.equal v value -> false
+    | Some _ | None ->
+        Hashtbl.replace last code value;
+        ignore time;
+        true
+  in
+  List.iter
+    (fun time ->
+      let changes = Buffer.create 64 in
+      List.iter
+        (fun (endpoint, code) ->
+          let value = binary_of_int 16 (serving endpoint time) in
+          if emit time code value then
+            Buffer.add_string changes (Printf.sprintf "b%s %s\n" value code))
+        endpoint_codes;
+      let concurrent = List.length (active time) in
+      let cvalue = binary_of_int 16 concurrent in
+      if emit time concurrency_code cvalue then
+        Buffer.add_string changes
+          (Printf.sprintf "b%s %s\n" cvalue concurrency_code);
+      let power =
+        List.fold_left
+          (fun acc (e : Schedule.entry) -> acc +. e.Schedule.power)
+          0.0 (active time)
+      in
+      let pvalue = Printf.sprintf "%.3f" power in
+      if emit time power_code pvalue then
+        Buffer.add_string changes (Printf.sprintf "r%s %s\n" pvalue power_code);
+      if Buffer.length changes > 0 then begin
+        out "#%d\n" time;
+        Buffer.add_buffer buf changes
+      end)
+    times;
+  Buffer.contents buf
+
+let to_file path system ~reuse schedule =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (of_schedule system ~reuse schedule))

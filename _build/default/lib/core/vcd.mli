@@ -1,0 +1,14 @@
+(** Value-change-dump (VCD) export of schedules.
+
+    Renders a schedule as a waveform: one 16-bit variable per test
+    resource carrying the id of the module it is currently serving
+    (0 when idle), one 16-bit variable for the number of concurrent
+    tests and one real variable for the instantaneous power.  Open the
+    result in GTKWave or any EDA waveform viewer; one VCD time unit is
+    one test clock cycle. *)
+
+val of_schedule : System.t -> reuse:int -> Schedule.t -> string
+(** The complete VCD document. *)
+
+val to_file : string -> System.t -> reuse:int -> Schedule.t -> unit
+(** Write it to a file. @raise Sys_error on I/O failure. *)

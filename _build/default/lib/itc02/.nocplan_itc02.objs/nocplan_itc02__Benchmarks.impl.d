@@ -1,0 +1,1 @@
+lib/itc02/benchmarks.ml: Data_d695 Data_gen Data_p22810 Data_p93791 List Option

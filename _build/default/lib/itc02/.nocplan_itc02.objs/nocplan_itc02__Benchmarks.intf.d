@@ -1,0 +1,1 @@
+lib/itc02/benchmarks.mli: Data_gen Soc

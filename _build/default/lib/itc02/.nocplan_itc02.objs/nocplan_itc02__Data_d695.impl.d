@@ -1,0 +1,1 @@
+lib/itc02/data_d695.ml: List Module_def Soc

@@ -1,0 +1,1 @@
+lib/itc02/data_gen.ml: Float Int64 List Module_def Printf Soc

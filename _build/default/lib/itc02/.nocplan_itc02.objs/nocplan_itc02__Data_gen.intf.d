@@ -1,0 +1,1 @@
+lib/itc02/data_gen.mli: Soc

@@ -1,0 +1,1 @@
+lib/itc02/data_p22810.ml: Data_gen

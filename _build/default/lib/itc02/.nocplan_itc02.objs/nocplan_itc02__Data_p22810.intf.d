@@ -1,0 +1,1 @@
+lib/itc02/data_p22810.mli: Data_gen Soc

@@ -1,0 +1,1 @@
+lib/itc02/data_p93791.ml: Data_gen

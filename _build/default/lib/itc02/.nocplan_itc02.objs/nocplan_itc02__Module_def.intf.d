@@ -1,0 +1,1 @@
+lib/itc02/module_def.mli: Fmt

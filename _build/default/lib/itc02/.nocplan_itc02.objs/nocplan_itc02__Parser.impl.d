@@ -1,0 +1,1 @@
+lib/itc02/parser.ml: Fmt Format In_channel List Module_def Soc String

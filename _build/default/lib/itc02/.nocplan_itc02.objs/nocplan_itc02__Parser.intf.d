@@ -1,0 +1,1 @@
+lib/itc02/parser.mli: Fmt Soc

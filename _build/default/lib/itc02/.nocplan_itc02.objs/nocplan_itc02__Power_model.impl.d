@@ -1,0 +1,1 @@
+lib/itc02/power_model.ml: Fmt Module_def Soc

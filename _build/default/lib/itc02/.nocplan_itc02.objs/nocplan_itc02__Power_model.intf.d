@@ -1,0 +1,1 @@
+lib/itc02/power_model.mli: Fmt Module_def Soc

@@ -1,0 +1,1 @@
+lib/itc02/printer.ml: Fmt List Module_def Out_channel Soc

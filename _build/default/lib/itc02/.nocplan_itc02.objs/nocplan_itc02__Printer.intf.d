@@ -1,0 +1,1 @@
+lib/itc02/printer.mli: Fmt Module_def Soc

@@ -1,0 +1,1 @@
+lib/itc02/soc.ml: Fmt List Module_def Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/itc02/soc.mli: Fmt Module_def

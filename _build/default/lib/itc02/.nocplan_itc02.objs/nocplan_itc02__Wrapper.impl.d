@@ -1,0 +1,1 @@
+lib/itc02/wrapper.ml: Array Fmt List Module_def Stdlib

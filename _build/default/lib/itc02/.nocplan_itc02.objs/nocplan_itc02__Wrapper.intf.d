@@ -1,0 +1,1 @@
+lib/itc02/wrapper.mli: Fmt Module_def

@@ -1,0 +1,1 @@
+lib/itc02/wrapper_sim.ml: Array List Wrapper

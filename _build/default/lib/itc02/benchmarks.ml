@@ -1,0 +1,137 @@
+(* Calibration notes: module counts are the published ones; the
+   scan-cell targets and pattern ranges set each reconstruction's
+   test-data volume in the published relative order — the tiny academic
+   systems (u226, d281, h953, g1023) well below the Philips parts, the
+   few-large-core donors (f2126, q12710, a586710) dominated by a
+   handful of heavy modules, and t512505 the largest of the set. *)
+
+let reconstructed : (string * Data_gen.profile) list =
+  [
+    ( "u226",
+      {
+        Data_gen.name = "u226";
+        seed = 0x226L;
+        scan_modules = 5;
+        comb_modules = 4;
+        target_scan_cells = 1_500;
+        max_chains = 8;
+        min_patterns = 10;
+        max_patterns = 300;
+      } );
+    ( "d281",
+      {
+        Data_gen.name = "d281";
+        seed = 0x281L;
+        scan_modules = 6;
+        comb_modules = 2;
+        target_scan_cells = 3_800;
+        max_chains = 8;
+        min_patterns = 15;
+        max_patterns = 400;
+      } );
+    ( "h953",
+      {
+        Data_gen.name = "h953";
+        seed = 0x953L;
+        scan_modules = 7;
+        comb_modules = 1;
+        target_scan_cells = 5_500;
+        max_chains = 16;
+        min_patterns = 20;
+        max_patterns = 250;
+      } );
+    ( "g1023",
+      {
+        Data_gen.name = "g1023";
+        seed = 0x1023L;
+        scan_modules = 11;
+        comb_modules = 3;
+        target_scan_cells = 5_400;
+        max_chains = 16;
+        min_patterns = 15;
+        max_patterns = 350;
+      } );
+    ( "f2126",
+      {
+        Data_gen.name = "f2126";
+        seed = 0x2126L;
+        scan_modules = 4;
+        comb_modules = 0;
+        target_scan_cells = 15_000;
+        max_chains = 32;
+        min_patterns = 60;
+        max_patterns = 800;
+      } );
+    ( "q12710",
+      {
+        Data_gen.name = "q12710";
+        seed = 0x12710L;
+        scan_modules = 4;
+        comb_modules = 0;
+        target_scan_cells = 20_000;
+        max_chains = 32;
+        min_patterns = 100;
+        max_patterns = 1_000;
+      } );
+    ( "p34392",
+      {
+        Data_gen.name = "p34392";
+        seed = 0x34392L;
+        scan_modules = 15;
+        comb_modules = 4;
+        target_scan_cells = 23_000;
+        max_chains = 32;
+        min_patterns = 30;
+        max_patterns = 1_000;
+      } );
+    ( "t512505",
+      {
+        Data_gen.name = "t512505";
+        seed = 0x512505L;
+        scan_modules = 27;
+        comb_modules = 4;
+        target_scan_cells = 160_000;
+        max_chains = 46;
+        min_patterns = 40;
+        max_patterns = 1_200;
+      } );
+    ( "a586710",
+      {
+        Data_gen.name = "a586710";
+        seed = 0x586710L;
+        scan_modules = 7;
+        comb_modules = 0;
+        target_scan_cells = 50_000;
+        max_chains = 32;
+        min_patterns = 200;
+        max_patterns = 2_000;
+      } );
+  ]
+
+let names =
+  [
+    "u226"; "d281"; "d695"; "h953"; "g1023"; "f2126"; "q12710"; "p22810";
+    "p34392"; "p93791"; "t512505"; "a586710";
+  ]
+
+let profile name =
+  match name with
+  | "p22810" -> Some Data_p22810.profile
+  | "p93791" -> Some Data_p93791.profile
+  | _ -> List.assoc_opt name reconstructed
+
+let find name =
+  match name with
+  | "d695" -> Some (Data_d695.soc ())
+  | "p22810" -> Some (Data_p22810.soc ())
+  | "p93791" -> Some (Data_p93791.soc ())
+  | _ ->
+      Option.map (fun p -> Data_gen.generate p) (List.assoc_opt name reconstructed)
+
+let all () =
+  List.map
+    (fun name ->
+      match find name with
+      | Some soc -> soc
+      | None -> assert false (* names and find cover the same set *))
+    names

@@ -1,0 +1,25 @@
+(** The full ITC'02 SoC Test Benchmarks corpus.
+
+    Twelve systems were published at ITC 2002 (Marinissen, Iyengar,
+    Chakrabarty): two academic (d695, d281), five Philips (p-prefixed),
+    and five from other donors.  d695 is embedded with its published
+    per-core data ({!Data_d695}); the others are deterministic
+    reconstructions calibrated to the published module counts and
+    relative test-data volumes (see DESIGN.md, "Substitutions").  The
+    corpus gives scheduling experiments a spread of sizes from 4 to 32
+    modules. *)
+
+val names : string list
+(** All benchmark names, in the conventional order: u226, d281, d695,
+    h953, g1023, f2126, q12710, p22810, p34392, p93791, t512505,
+    a586710. *)
+
+val find : string -> Soc.t option
+(** Look a benchmark up by name. *)
+
+val all : unit -> Soc.t list
+(** Every benchmark, in {!names} order.  Deterministic. *)
+
+val profile : string -> Data_gen.profile option
+(** The generation profile of a reconstructed benchmark; [None] for
+    d695 (embedded directly) and unknown names. *)

@@ -1,0 +1,38 @@
+(* Chain lengths: [count] chains of near-equal length totalling
+   [cells], matching the balanced chain structure of the published
+   benchmark within transcription precision. *)
+let chains ~cells ~count =
+  if count = 0 then []
+  else
+    let base = cells / count and extra = cells mod count in
+    List.init count (fun i -> base + if i < extra then 1 else 0)
+
+let core ~id ~name ~inputs ~outputs ?(bidirs = 0) ~cells ~count ~patterns () =
+  Module_def.make ~bidirs ~id ~name ~inputs ~outputs
+    ~scan_chains:(chains ~cells ~count) ~patterns ()
+
+let soc () =
+  Soc.make ~name:"d695"
+    ~modules:
+      [
+        core ~id:1 ~name:"c6288" ~inputs:32 ~outputs:32 ~cells:0 ~count:0
+          ~patterns:12 ();
+        core ~id:2 ~name:"c7552" ~inputs:207 ~outputs:108 ~cells:0 ~count:0
+          ~patterns:73 ();
+        core ~id:3 ~name:"s838" ~inputs:35 ~outputs:2 ~cells:32 ~count:1
+          ~patterns:75 ();
+        core ~id:4 ~name:"s9234" ~inputs:36 ~outputs:39 ~cells:228 ~count:4
+          ~patterns:105 ();
+        core ~id:5 ~name:"s38417" ~inputs:28 ~outputs:106 ~cells:1636
+          ~count:32 ~patterns:68 ();
+        core ~id:6 ~name:"s13207" ~inputs:31 ~outputs:121 ~cells:669 ~count:16
+          ~patterns:234 ();
+        core ~id:7 ~name:"s15850" ~inputs:14 ~outputs:87 ~cells:534 ~count:16
+          ~patterns:95 ();
+        core ~id:8 ~name:"s5378" ~inputs:35 ~outputs:49 ~cells:179 ~count:4
+          ~patterns:97 ();
+        core ~id:9 ~name:"s35932" ~inputs:35 ~outputs:320 ~cells:1728
+          ~count:32 ~patterns:12 ();
+        core ~id:10 ~name:"s38584" ~inputs:38 ~outputs:304 ~cells:1426
+          ~count:32 ~patterns:110 ();
+      ]

@@ -1,0 +1,11 @@
+(** The d695 benchmark of the ITC'02 SoC Test Benchmarks set.
+
+    d695 combines two ISCAS'85 combinational cores and eight ISCAS'89
+    scan cores.  The per-core terminal, scan-chain and pattern counts
+    below follow the values published with the benchmark set and used
+    throughout the TAM-optimization literature. *)
+
+val soc : unit -> Soc.t
+(** The ten-core d695 system.  Rebuilt on each call (cheap); module
+    ids are 1..10 in the conventional order c6288, c7552, s838, s9234,
+    s38417, s13207, s15850, s5378, s35932, s38584. *)

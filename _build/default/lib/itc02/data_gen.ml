@@ -1,0 +1,140 @@
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  (* splitmix64: fast, well-distributed, and trivially reproducible. *)
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int t ~bound =
+    if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+    (* Keep 62 bits so the value fits OCaml's native int on 64-bit
+       platforms. *)
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod bound
+
+  let int_range t ~lo ~hi =
+    if hi < lo then invalid_arg "Rng.int_range: hi < lo";
+    lo + int t ~bound:(hi - lo + 1)
+
+  let float t =
+    let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+    v /. 9007199254740992.0 (* 2^53 *)
+
+  let log_uniform_int t ~lo ~hi =
+    if lo < 1 || hi < lo then invalid_arg "Rng.log_uniform_int: bad range";
+    let log_lo = log (float_of_int lo) and log_hi = log (float_of_int hi) in
+    let x = exp (log_lo +. (float t *. (log_hi -. log_lo))) in
+    max lo (min hi (int_of_float (Float.round x)))
+
+  let bool t p = float t < p
+end
+
+type profile = {
+  name : string;
+  seed : int64;
+  scan_modules : int;
+  comb_modules : int;
+  target_scan_cells : int;
+  max_chains : int;
+  min_patterns : int;
+  max_patterns : int;
+}
+
+(* An intermediate module draw, before scan-volume rescaling. *)
+type draw = {
+  d_name : string;
+  d_inputs : int;
+  d_outputs : int;
+  d_bidirs : int;
+  d_cells : int; (* 0 for combinational *)
+  d_chains : int;
+  d_patterns : int;
+}
+
+let draw_comb rng index =
+  {
+    d_name = Printf.sprintf "comb%d" index;
+    d_inputs = Rng.int_range rng ~lo:20 ~hi:250;
+    d_outputs = Rng.int_range rng ~lo:20 ~hi:250;
+    d_bidirs = (if Rng.bool rng 0.3 then Rng.int_range rng ~lo:1 ~hi:40 else 0);
+    d_cells = 0;
+    d_chains = 0;
+    d_patterns = Rng.log_uniform_int rng ~lo:10 ~hi:200;
+  }
+
+let draw_scan rng index ~max_chains ~min_patterns ~max_patterns =
+  let cells = Rng.log_uniform_int rng ~lo:100 ~hi:20_000 in
+  let chains =
+    max 1 (min max_chains (Rng.int_range rng ~lo:(cells / 800) ~hi:(cells / 100)))
+  in
+  {
+    d_name = Printf.sprintf "scan%d" index;
+    d_inputs = Rng.int_range rng ~lo:10 ~hi:120;
+    d_outputs = Rng.int_range rng ~lo:10 ~hi:150;
+    d_bidirs = (if Rng.bool rng 0.4 then Rng.int_range rng ~lo:1 ~hi:70 else 0);
+    d_cells = cells;
+    d_chains = chains;
+    d_patterns = Rng.log_uniform_int rng ~lo:min_patterns ~hi:max_patterns;
+  }
+
+(* Split [cells] into [chains] near-equal chain lengths. *)
+let chain_lengths ~cells ~chains =
+  if cells = 0 then []
+  else
+    let base = cells / chains and extra = cells mod chains in
+    List.init chains (fun i -> base + if i < extra then 1 else 0)
+
+let to_module ~id ~scale d =
+  let cells =
+    if d.d_cells = 0 then 0
+    else max d.d_chains (int_of_float (Float.round (float_of_int d.d_cells *. scale)))
+  in
+  Module_def.make ~bidirs:d.d_bidirs ~id ~name:d.d_name ~inputs:d.d_inputs
+    ~outputs:d.d_outputs
+    ~scan_chains:(chain_lengths ~cells ~chains:d.d_chains)
+    ~patterns:d.d_patterns ()
+
+let generate profile =
+  if profile.scan_modules < 1 then
+    invalid_arg "Data_gen.generate: need at least one scan module";
+  if profile.comb_modules < 0 then
+    invalid_arg "Data_gen.generate: negative comb_modules";
+  if profile.target_scan_cells < profile.scan_modules then
+    invalid_arg "Data_gen.generate: target_scan_cells too small";
+  if profile.min_patterns < 1 || profile.max_patterns < profile.min_patterns
+  then invalid_arg "Data_gen.generate: bad pattern range";
+  if profile.max_chains < 1 then
+    invalid_arg "Data_gen.generate: max_chains must be >= 1";
+  let rng = Rng.create profile.seed in
+  let scan_draws =
+    List.init profile.scan_modules (fun i ->
+        draw_scan rng (i + 1) ~max_chains:profile.max_chains
+          ~min_patterns:profile.min_patterns
+          ~max_patterns:profile.max_patterns)
+  in
+  let comb_draws =
+    List.init profile.comb_modules (fun i -> draw_comb rng (i + 1))
+  in
+  let raw_cells =
+    List.fold_left (fun acc d -> acc + d.d_cells) 0 scan_draws
+  in
+  let scale = float_of_int profile.target_scan_cells /. float_of_int raw_cells in
+  (* Interleave: one combinational core after every few scan cores, so
+     id order does not correlate with core kind. *)
+  let rec interleave scans combs acc =
+    match (scans, combs) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | s1 :: s2 :: srest, c :: crest ->
+        interleave srest crest (c :: s2 :: s1 :: acc)
+    | [ s ], c :: crest -> interleave [] crest (c :: s :: acc)
+  in
+  let draws = interleave scan_draws comb_draws [] in
+  let modules = List.mapi (fun i d -> to_module ~id:(i + 1) ~scale d) draws in
+  Soc.make ~name:profile.name ~modules

@@ -1,0 +1,58 @@
+(** Deterministic synthetic benchmark generation.
+
+    The p22810 and p93791 per-module data cannot be redistributed
+    here, so those benchmarks are reconstructed: a seeded,
+    self-contained PRNG (splitmix64) draws per-module terminal, scan
+    and pattern counts, and the scan volume is then rescaled so the
+    benchmark's aggregate statistics (module count, combinational
+    fraction, total scan cells) match the published ones.  Generation
+    is fully deterministic: the same profile always yields the same
+    benchmark.  See DESIGN.md, "Substitutions". *)
+
+type profile = {
+  name : string;
+  seed : int64;
+  scan_modules : int;  (** number of scan-testable (sequential) cores *)
+  comb_modules : int;  (** number of combinational (scan-less) cores *)
+  target_scan_cells : int;
+      (** total scan cells the generated benchmark is rescaled to *)
+  max_chains : int;  (** upper bound on scan chains per core *)
+  min_patterns : int;
+  max_patterns : int;  (** log-uniform pattern count range *)
+}
+
+val generate : profile -> Soc.t
+(** Generate the benchmark described by [profile].  Module ids are
+    assigned 1..n with scan and combinational cores interleaved
+    deterministically.
+
+    @raise Invalid_argument if the profile has no modules or
+    non-positive ranges. *)
+
+(** {1 Raw PRNG}
+
+    Exposed for reuse by tests and by the NoC traffic generator; a
+    self-contained splitmix64 so that generated data never depends on
+    the OCaml stdlib [Random] state. *)
+
+module Rng : sig
+  type t
+
+  val create : int64 -> t
+  val int : t -> bound:int -> int
+  (** uniform in [\[0, bound)]; @raise Invalid_argument if [bound <= 0] *)
+
+  val int_range : t -> lo:int -> hi:int -> int
+  (** uniform in [\[lo, hi\]] inclusive; @raise Invalid_argument if
+      [hi < lo] *)
+
+  val float : t -> float
+  (** uniform in [\[0, 1)] *)
+
+  val log_uniform_int : t -> lo:int -> hi:int -> int
+  (** log-uniformly distributed integer in [\[lo, hi\]]; requires
+      [1 <= lo <= hi] *)
+
+  val bool : t -> float -> bool
+  (** [bool rng p] is true with probability [p] *)
+end

@@ -1,0 +1,16 @@
+(* Calibration: 28 modules of which roughly a quarter are
+   combinational logic blocks; about 30k scan cells in total, an order
+   of magnitude above d695 and well below p93791. *)
+let profile : Data_gen.profile =
+  {
+    name = "p22810";
+    seed = 0x22810L;
+    scan_modules = 21;
+    comb_modules = 7;
+    target_scan_cells = 30_000;
+    max_chains = 32;
+    min_patterns = 20;
+    max_patterns = 1_200;
+  }
+
+let soc () = Data_gen.generate profile

@@ -1,0 +1,10 @@
+(** Reconstruction of the p22810 benchmark (Philips, ITC'02 set):
+    28 modules, medium test-data volume.  Per-module data is generated
+    deterministically and rescaled to the published aggregate
+    statistics — see DESIGN.md, "Substitutions". *)
+
+val soc : unit -> Soc.t
+(** The 28-module p22810 reconstruction; deterministic across calls. *)
+
+val profile : Data_gen.profile
+(** The generation profile, exposed so tests can check calibration. *)

@@ -1,0 +1,16 @@
+(* Calibration: 32 modules, scan-dominated; close to 100k scan cells,
+   roughly 3x the volume of p22810, making it the heaviest benchmark
+   of the set as published. *)
+let profile : Data_gen.profile =
+  {
+    name = "p93791";
+    seed = 0x93791L;
+    scan_modules = 26;
+    comb_modules = 6;
+    target_scan_cells = 98_000;
+    max_chains = 46;
+    min_patterns = 30;
+    max_patterns = 900;
+  }
+
+let soc () = Data_gen.generate profile

@@ -1,0 +1,10 @@
+(** Reconstruction of the p93791 benchmark (Philips, ITC'02 set):
+    32 modules, the largest test-data volume of the set.  Per-module
+    data is generated deterministically and rescaled to the published
+    aggregate statistics — see DESIGN.md, "Substitutions". *)
+
+val soc : unit -> Soc.t
+(** The 32-module p93791 reconstruction; deterministic across calls. *)
+
+val profile : Data_gen.profile
+(** The generation profile, exposed so tests can check calibration. *)

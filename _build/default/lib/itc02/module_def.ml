@@ -1,0 +1,61 @@
+type t = {
+  id : int;
+  name : string;
+  inputs : int;
+  outputs : int;
+  bidirs : int;
+  scan_chains : int list;
+  patterns : int;
+  test_power : float;
+  parent : int option;
+}
+
+let estimated_power ~scan_cells ~terminals =
+  0.5 *. float_of_int (scan_cells + terminals)
+
+let make ?(bidirs = 0) ?test_power ?parent ~id ~name ~inputs ~outputs
+    ~scan_chains ~patterns () =
+  if id < 1 then invalid_arg "Module_def.make: id must be >= 1";
+  if inputs < 0 || outputs < 0 || bidirs < 0 then
+    invalid_arg "Module_def.make: negative terminal count";
+  if patterns < 1 then invalid_arg "Module_def.make: patterns must be >= 1";
+  if List.exists (fun len -> len < 1) scan_chains then
+    invalid_arg "Module_def.make: scan chain length must be >= 1";
+  (match parent with
+  | Some p when p = id -> invalid_arg "Module_def.make: module is its own parent"
+  | Some _ | None -> ());
+  let cells = List.fold_left ( + ) 0 scan_chains in
+  let terminals = inputs + outputs + (2 * bidirs) in
+  let test_power =
+    match test_power with
+    | Some p ->
+        if p < 0.0 then invalid_arg "Module_def.make: negative test_power";
+        p
+    | None -> estimated_power ~scan_cells:cells ~terminals
+  in
+  { id; name; inputs; outputs; bidirs; scan_chains; patterns; test_power; parent }
+
+let scan_cells m = List.fold_left ( + ) 0 m.scan_chains
+let is_combinational m = m.scan_chains = []
+let terminals m = m.inputs + m.outputs + (2 * m.bidirs)
+
+let test_bits m =
+  let cells = scan_cells m in
+  let stimuli = m.inputs + m.bidirs + cells in
+  let responses = m.outputs + m.bidirs + cells in
+  m.patterns * (stimuli + responses)
+
+let equal a b =
+  a.id = b.id && String.equal a.name b.name && a.inputs = b.inputs
+  && a.outputs = b.outputs && a.bidirs = b.bidirs
+  && a.scan_chains = b.scan_chains
+  && a.patterns = b.patterns
+  && Float.equal a.test_power b.test_power
+  && a.parent = b.parent
+
+let compare a b = Stdlib.compare (a.id, a.name) (b.id, b.name)
+
+let pp ppf m =
+  Fmt.pf ppf "@[<h>module %d %s: %d in, %d out, %d bidir, %d cells/%d chains, %d patterns, power %.1f@]"
+    m.id m.name m.inputs m.outputs m.bidirs (scan_cells m)
+    (List.length m.scan_chains) m.patterns m.test_power

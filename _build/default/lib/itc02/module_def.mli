@@ -1,0 +1,73 @@
+(** Description of one core (module) of an ITC'02-style system-on-chip
+    test benchmark.
+
+    A module carries the information a core provider ships with the
+    core for test purposes: functional terminal counts, internal scan
+    chains and the size of the test set.  This is the "CUTs
+    characterization" input of the test planning flow. *)
+
+type t = private {
+  id : int;  (** benchmark-unique module identifier, [>= 1] *)
+  name : string;  (** human-readable core name, e.g. ["s38417"] *)
+  inputs : int;  (** functional input terminals *)
+  outputs : int;  (** functional output terminals *)
+  bidirs : int;  (** bidirectional terminals *)
+  scan_chains : int list;  (** internal scan chain lengths, cells *)
+  patterns : int;  (** number of test patterns in the test set *)
+  test_power : float;
+      (** average power drawn while this core is under test, in the
+          arbitrary-but-consistent units used across a benchmark *)
+  parent : int option;
+      (** enclosing module for hierarchical benchmarks (the ITC'02
+          format nests cores); [None] for top-level modules.  The
+          planner flattens the hierarchy, as is conventional in the
+          scheduling literature, but the relation is preserved for
+          format fidelity. *)
+}
+
+val make :
+  ?bidirs:int ->
+  ?test_power:float ->
+  ?parent:int ->
+  id:int ->
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  scan_chains:int list ->
+  patterns:int ->
+  unit ->
+  t
+(** [make ~id ~name ~inputs ~outputs ~scan_chains ~patterns ()] builds
+    a module description.  [bidirs] defaults to [0]; [parent] to
+    [None].  When [test_power] is omitted it defaults to
+    {!estimated_power} of the module, the toggle-proportional estimate
+    conventional in the power-constrained ITC'02 literature.
+
+    @raise Invalid_argument if [id < 1], any terminal count is
+    negative, [patterns < 1], a scan chain length is [< 1], or
+    [parent] equals [id]. *)
+
+val estimated_power : scan_cells:int -> terminals:int -> float
+(** Toggle-proportional power estimate: during scan shifting, every
+    scan cell and terminal may toggle each cycle, so the estimate is
+    proportional to [scan_cells + terminals].  Used as the default
+    [test_power] by {!make}. *)
+
+val scan_cells : t -> int
+(** Total number of internal scan cells. *)
+
+val is_combinational : t -> bool
+(** [true] iff the module has no scan chain. *)
+
+val terminals : t -> int
+(** [inputs + outputs + 2 * bidirs]: terminal count as seen by a
+    wrapper (bidirectionals need a cell on each side). *)
+
+val test_bits : t -> int
+(** Total test data volume in bits: for each pattern, stimuli bits
+    ([inputs + bidirs + scan cells]) plus response bits
+    ([outputs + bidirs + scan cells]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,184 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* One token with the line it came from. *)
+type token = { line : int; text : string }
+
+let tokenize text =
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let tokens = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c)
+                                  (strip_comment line))
+      |> List.iter (fun word ->
+             if word <> "" then
+               tokens := { line = line_no; text = word } :: !tokens))
+    (String.split_on_char '\n' text);
+  List.rev !tokens
+
+let keyword_equal token kw =
+  String.lowercase_ascii token.text = String.lowercase_ascii kw
+
+let int_of_token tok =
+  match int_of_string_opt tok.text with
+  | Some n -> n
+  | None -> fail tok.line "expected an integer, got %S" tok.text
+
+let float_of_token tok =
+  match float_of_string_opt tok.text with
+  | Some f -> f
+  | None -> fail tok.line "expected a number, got %S" tok.text
+
+(* Accumulator for one Module block. *)
+type fields = {
+  mutable inputs : int option;
+  mutable outputs : int option;
+  mutable bidirs : int option;
+  mutable scan_chains : int list option;
+  mutable patterns : int option;
+  mutable power : float option;
+  mutable parent : int option;
+}
+
+let fresh_fields () =
+  {
+    inputs = None;
+    outputs = None;
+    bidirs = None;
+    scan_chains = None;
+    patterns = None;
+    power = None;
+    parent = None;
+  }
+
+let required line what = function
+  | Some v -> v
+  | None -> fail line "module is missing the %s field" what
+
+let rec take n tokens line what =
+  if n = 0 then ([], tokens)
+  else
+    match tokens with
+    | [] -> fail line "unexpected end of input while reading %s" what
+    | tok :: rest ->
+        let taken, remaining = take (n - 1) rest line what in
+        (tok :: taken, remaining)
+
+let set_once tok what slot_value set =
+  match slot_value with
+  | Some _ -> fail tok.line "duplicate %s field" what
+  | None -> set ()
+
+let parse_module_block ~id_tok ~name_tok tokens =
+  let fields = fresh_fields () in
+  let rec loop tokens =
+    match tokens with
+    | [] -> fail id_tok.line "module %s: missing End" name_tok.text
+    | tok :: rest when keyword_equal tok "End" ->
+        let id = int_of_token id_tok in
+        let line = id_tok.line in
+        let m =
+          try
+            Module_def.make
+              ?bidirs:fields.bidirs ?test_power:fields.power
+              ?parent:fields.parent ~id ~name:name_tok.text
+              ~inputs:(required line "Inputs" fields.inputs)
+              ~outputs:(required line "Outputs" fields.outputs)
+              ~scan_chains:(required line "ScanChains" fields.scan_chains)
+              ~patterns:(required line "Patterns" fields.patterns)
+              ()
+          with Invalid_argument msg -> fail line "%s" msg
+        in
+        (m, rest)
+    | tok :: rest when keyword_equal tok "Inputs" ->
+        let v, rest = take 1 rest tok.line "Inputs" in
+        let n = int_of_token (List.hd v) in
+        set_once tok "Inputs" fields.inputs (fun () ->
+            fields.inputs <- Some n);
+        loop rest
+    | tok :: rest when keyword_equal tok "Outputs" ->
+        let v, rest = take 1 rest tok.line "Outputs" in
+        let n = int_of_token (List.hd v) in
+        set_once tok "Outputs" fields.outputs (fun () ->
+            fields.outputs <- Some n);
+        loop rest
+    | tok :: rest when keyword_equal tok "Bidirs" ->
+        let v, rest = take 1 rest tok.line "Bidirs" in
+        let n = int_of_token (List.hd v) in
+        set_once tok "Bidirs" fields.bidirs (fun () ->
+            fields.bidirs <- Some n);
+        loop rest
+    | tok :: rest when keyword_equal tok "Patterns" ->
+        let v, rest = take 1 rest tok.line "Patterns" in
+        let n = int_of_token (List.hd v) in
+        set_once tok "Patterns" fields.patterns (fun () ->
+            fields.patterns <- Some n);
+        loop rest
+    | tok :: rest when keyword_equal tok "Parent" ->
+        let v, rest = take 1 rest tok.line "Parent" in
+        let n = int_of_token (List.hd v) in
+        set_once tok "Parent" fields.parent (fun () ->
+            fields.parent <- Some n);
+        loop rest
+    | tok :: rest when keyword_equal tok "Power" ->
+        let v, rest = take 1 rest tok.line "Power" in
+        let f = float_of_token (List.hd v) in
+        set_once tok "Power" fields.power (fun () -> fields.power <- Some f);
+        loop rest
+    | tok :: rest when keyword_equal tok "ScanChains" ->
+        let count_tok, rest = take 1 rest tok.line "ScanChains" in
+        let count = int_of_token (List.hd count_tok) in
+        if count < 0 then fail tok.line "negative scan chain count";
+        let length_toks, rest = take count rest tok.line "scan chain lengths" in
+        let lengths = List.map int_of_token length_toks in
+        set_once tok "ScanChains" fields.scan_chains (fun () ->
+            fields.scan_chains <- Some lengths);
+        loop rest
+    | tok :: _ -> fail tok.line "unexpected token %S in module block" tok.text
+  in
+  loop tokens
+
+let parse_tokens tokens =
+  match tokens with
+  | soc_kw :: name_tok :: rest when keyword_equal soc_kw "Soc" ->
+      let rec modules_loop acc tokens =
+        match tokens with
+        | [] -> List.rev acc
+        | tok :: id_tok :: name_tok :: rest when keyword_equal tok "Module" ->
+            let m, rest = parse_module_block ~id_tok ~name_tok rest in
+            modules_loop (m :: acc) rest
+        | tok :: _ ->
+            fail tok.line "expected a Module block, got %S" tok.text
+      in
+      let modules = modules_loop [] rest in
+      (try Soc.make ~name:name_tok.text ~modules
+       with Invalid_argument msg -> fail name_tok.line "%s" msg)
+  | tok :: _ -> fail tok.line "expected the Soc keyword, got %S" tok.text
+  | [] -> fail 1 "empty description"
+
+let parse text =
+  match parse_tokens (tokenize text) with
+  | soc -> Ok soc
+  | exception Parse_error e -> Error e
+
+let parse_exn text =
+  match parse text with
+  | Ok soc -> soc
+  | Error e -> failwith (Fmt.str "%a" pp_error e)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error { line = 0; message = msg }

@@ -1,0 +1,37 @@
+(** Parser for the textual benchmark format used by this library.
+
+    The format is a flattened ITC'02-style description:
+
+    {v
+    # comment, to end of line
+    Soc d695
+    Module 1 c6288
+      Inputs 32
+      Outputs 32
+      Bidirs 0              # optional, default 0
+      ScanChains 0          # count, then that many lengths
+      Patterns 12
+      Power 25.0            # optional, default: toggle model
+    End
+    Module 2 c7552
+      ...
+    End
+    v}
+
+    Keywords are case-insensitive; fields inside a [Module] block may
+    appear in any order; [Inputs], [Outputs], [ScanChains] and
+    [Patterns] are mandatory. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Soc.t, error) result
+(** Parse a benchmark from the full text of a description. *)
+
+val parse_exn : string -> Soc.t
+(** Like {!parse} but raises [Failure] with a located message. *)
+
+val of_file : string -> (Soc.t, error) result
+(** Read and parse a description file.  I/O errors are reported as an
+    [error] on line 0. *)
+
+val pp_error : error Fmt.t

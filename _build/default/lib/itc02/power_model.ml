@@ -1,0 +1,30 @@
+type t =
+  | Toggle_proportional of float
+  | Uniform of float
+  | Volume_proportional of float
+
+let default = Toggle_proportional 0.5
+
+let module_power model (m : Module_def.t) =
+  match model with
+  | Toggle_proportional k ->
+      k /. 0.5
+      *. Module_def.estimated_power
+           ~scan_cells:(Module_def.scan_cells m)
+           ~terminals:(Module_def.terminals m)
+  | Uniform p -> p
+  | Volume_proportional k ->
+      k *. float_of_int (Module_def.test_bits m) /. float_of_int m.patterns
+
+let apply model soc =
+  let rebuild (m : Module_def.t) =
+    Module_def.make ~bidirs:m.bidirs ~test_power:(module_power model m)
+      ?parent:m.parent ~id:m.id ~name:m.name ~inputs:m.inputs
+      ~outputs:m.outputs ~scan_chains:m.scan_chains ~patterns:m.patterns ()
+  in
+  Soc.map_modules rebuild soc
+
+let pp ppf = function
+  | Toggle_proportional k -> Fmt.pf ppf "toggle-proportional(%g)" k
+  | Uniform p -> Fmt.pf ppf "uniform(%g)" p
+  | Volume_proportional k -> Fmt.pf ppf "volume-proportional(%g)" k

@@ -1,0 +1,31 @@
+(** Test power models for benchmark modules.
+
+    The original ITC'02 format carries no power information, yet the
+    paper schedules under power constraints defined as a percentage of
+    the sum of all cores' test power.  Following the convention of the
+    power-constrained ITC'02 literature we synthesize per-module power
+    deterministically from the module's size; since the paper's limits
+    are *relative*, only the relative magnitudes matter. *)
+
+type t =
+  | Toggle_proportional of float
+      (** [Toggle_proportional k]: power = [k * (scan_cells +
+          terminals)] — every scan cell and terminal may toggle each
+          shift cycle.  [Toggle_proportional 0.5] is the default model
+          used by {!Module_def.make}. *)
+  | Uniform of float  (** every module draws the same power *)
+  | Volume_proportional of float
+      (** [Volume_proportional k]: power = [k * test_bits / patterns]
+          — proportional to the per-pattern data volume. *)
+
+val default : t
+(** [Toggle_proportional 0.5]. *)
+
+val module_power : t -> Module_def.t -> float
+(** Power of one module under the model. *)
+
+val apply : t -> Soc.t -> Soc.t
+(** Rebuild a benchmark with every module's [test_power] re-derived
+    under the model. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,21 @@
+let pp_parent ppf = function
+  | None -> ()
+  | Some p -> Fmt.pf ppf "@,  Parent %d" p
+
+let pp_module ppf (m : Module_def.t) =
+  Fmt.pf ppf "@[<v>Module %d %s@,  Inputs %d@,  Outputs %d@,  Bidirs %d@,  ScanChains %d%a@,  Patterns %d@,  Power %.17g%a@,End@]"
+    m.id m.name m.inputs m.outputs m.bidirs
+    (List.length m.scan_chains)
+    (Fmt.list ~sep:Fmt.nop (fun ppf len -> Fmt.pf ppf " %d" len))
+    m.scan_chains m.patterns m.test_power pp_parent m.parent
+
+let pp_soc ppf (soc : Soc.t) =
+  Fmt.pf ppf "@[<v>Soc %s@,%a@]" soc.name
+    (Fmt.list ~sep:Fmt.cut pp_module)
+    soc.modules
+
+let to_string soc = Fmt.str "%a@." pp_soc soc
+
+let to_file path soc =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string soc))

@@ -1,0 +1,17 @@
+(** Serializer for the textual benchmark format of {!Parser}.
+
+    [Parser.parse (to_string soc)] round-trips to a benchmark equal to
+    [soc] (powers are printed with enough precision to survive the
+    round trip). *)
+
+val pp_module : Module_def.t Fmt.t
+(** Print one [Module ... End] block. *)
+
+val pp_soc : Soc.t Fmt.t
+(** Print a full description. *)
+
+val to_string : Soc.t -> string
+
+val to_file : string -> Soc.t -> unit
+(** [to_file path soc] writes the description to [path].
+    @raise Sys_error on I/O failure. *)

@@ -1,0 +1,110 @@
+type t = { name : string; modules : Module_def.t list }
+
+let check_no_duplicate_ids modules =
+  let sorted =
+    List.sort Stdlib.compare (List.map (fun (m : Module_def.t) -> m.id) modules)
+  in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if a = b then
+          invalid_arg (Printf.sprintf "Soc: duplicate module id %d" a)
+        else scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan sorted
+
+let check_hierarchy modules =
+  let ids = List.map (fun (m : Module_def.t) -> m.Module_def.id) modules in
+  let parent_of id =
+    (List.find (fun (m : Module_def.t) -> m.Module_def.id = id) modules)
+      .Module_def.parent
+  in
+  List.iter
+    (fun (m : Module_def.t) ->
+      match m.Module_def.parent with
+      | None -> ()
+      | Some p ->
+          if not (List.mem p ids) then
+            invalid_arg
+              (Printf.sprintf "Soc: module %d has unknown parent %d"
+                 m.Module_def.id p);
+          (* Walk up; a cycle would revisit the start before running
+             out of ancestors. *)
+          let rec walk id steps =
+            if steps > List.length ids then
+              invalid_arg
+                (Printf.sprintf "Soc: hierarchy cycle through module %d"
+                   m.Module_def.id)
+            else
+              match parent_of id with
+              | None -> ()
+              | Some up -> walk up (steps + 1)
+          in
+          walk m.Module_def.id 0)
+    modules
+
+let make ~name ~modules =
+  if String.equal name "" then invalid_arg "Soc.make: empty name";
+  if modules = [] then invalid_arg "Soc.make: empty module list";
+  check_no_duplicate_ids modules;
+  check_hierarchy modules;
+  let modules =
+    List.sort
+      (fun (a : Module_def.t) (b : Module_def.t) -> Stdlib.compare a.id b.id)
+      modules
+  in
+  { name; modules }
+
+let children soc id =
+  List.filter_map
+    (fun (m : Module_def.t) ->
+      if m.Module_def.parent = Some id then Some m.Module_def.id else None)
+    soc.modules
+
+let roots soc =
+  List.filter_map
+    (fun (m : Module_def.t) ->
+      if m.Module_def.parent = None then Some m.Module_def.id else None)
+    soc.modules
+
+let hierarchy_depth soc =
+  let rec depth id =
+    match children soc id with
+    | [] -> 1
+    | kids -> 1 + List.fold_left (fun acc k -> max acc (depth k)) 0 kids
+  in
+  List.fold_left (fun acc id -> max acc (depth id)) 0 (roots soc)
+
+let find soc id = List.find (fun (m : Module_def.t) -> m.id = id) soc.modules
+let mem soc id = List.exists (fun (m : Module_def.t) -> m.id = id) soc.modules
+let module_count soc = List.length soc.modules
+let module_ids soc = List.map (fun (m : Module_def.t) -> m.id) soc.modules
+let add_modules soc extra = make ~name:soc.name ~modules:(soc.modules @ extra)
+
+let total_test_power soc =
+  List.fold_left
+    (fun acc (m : Module_def.t) -> acc +. m.test_power)
+    0.0 soc.modules
+
+let total_test_bits soc =
+  List.fold_left (fun acc m -> acc + Module_def.test_bits m) 0 soc.modules
+
+let max_module_id soc =
+  List.fold_left (fun acc (m : Module_def.t) -> max acc m.id) 0 soc.modules
+
+let map_modules f soc =
+  make ~name:soc.name ~modules:(List.map f soc.modules)
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.modules = List.length b.modules
+  && List.for_all2 Module_def.equal a.modules b.modules
+
+let pp ppf soc =
+  Fmt.pf ppf "@[<v>soc %s (%d modules)@,%a@]" soc.name (module_count soc)
+    (Fmt.list ~sep:Fmt.cut Module_def.pp)
+    soc.modules
+
+let pp_summary ppf soc =
+  Fmt.pf ppf "@[<h>%s: %d modules, %d test bits, total power %.1f@]" soc.name
+    (module_count soc) (total_test_bits soc) (total_test_power soc)

@@ -1,0 +1,61 @@
+(** A system-on-chip test benchmark: a named collection of modules.
+
+    Mirrors the structure of the ITC'02 SoC Test Benchmarks: a flat
+    list of cores, each with its test-relevant characterization.  The
+    hierarchy information of the original format is not retained —
+    like most of the test-scheduling literature we treat the module
+    list as flat. *)
+
+type t = private { name : string; modules : Module_def.t list }
+
+val make : name:string -> modules:Module_def.t list -> t
+(** [make ~name ~modules] builds a benchmark.
+
+    @raise Invalid_argument if [modules] is empty, if two modules share
+    an id, if [name] is empty, if a module's parent is not in the
+    benchmark, or if the parent relation has a cycle. *)
+
+val children : t -> int -> int list
+(** Ids of the modules whose [parent] is the given module, ascending. *)
+
+val roots : t -> int list
+(** Ids of the top-level (parentless) modules, ascending. *)
+
+val hierarchy_depth : t -> int
+(** Longest root-to-leaf chain in the parent relation; [1] for a flat
+    benchmark. *)
+
+val find : t -> int -> Module_def.t
+(** [find soc id] returns the module with identifier [id].
+    @raise Not_found if no module has that id. *)
+
+val mem : t -> int -> bool
+val module_count : t -> int
+val module_ids : t -> int list
+(** Ids in ascending order. *)
+
+val add_modules : t -> Module_def.t list -> t
+(** [add_modules soc extra] appends [extra] (e.g. processor cores being
+    added to a benchmark, as the paper does to build d695_leon).
+    @raise Invalid_argument on duplicate ids. *)
+
+val total_test_power : t -> float
+(** Sum of all modules' [test_power]; the paper's power limits are
+    percentages of this value. *)
+
+val total_test_bits : t -> int
+(** Total test data volume of the benchmark. *)
+
+val max_module_id : t -> int
+
+val map_modules : (Module_def.t -> Module_def.t) -> t -> t
+(** Rebuild the benchmark by transforming every module (used e.g. to
+    re-derive test power under a different power model).
+    @raise Invalid_argument if the transform introduces duplicate
+    ids. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val pp_summary : t Fmt.t
+(** One-line summary: name, module count, total volume and power. *)

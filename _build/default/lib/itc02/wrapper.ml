@@ -1,0 +1,71 @@
+type t = { width : int; scan_in_max : int; scan_out_max : int }
+
+(* LPT partition: [chains] are bin loads, mutable during construction.
+   Returns the bin load array. *)
+let lpt_loads ~bins items =
+  let loads = Array.make bins 0 in
+  let place item =
+    let min_idx = ref 0 in
+    for i = 1 to bins - 1 do
+      if loads.(i) < loads.(!min_idx) then min_idx := i
+    done;
+    loads.(!min_idx) <- loads.(!min_idx) + item
+  in
+  List.iter place (List.sort (fun a b -> Stdlib.compare b a) items);
+  loads
+
+(* Distribute [cells] unit cells over [bins] bins already carrying the
+   LPT scan partition; unit cells go to the shortest bin, which for
+   units is equivalent to spreading the excess evenly.  We compute
+   exactly by running LPT with the scan chains followed by unit
+   cells. *)
+let side_loads ~bins ~scan_chains ~cells =
+  let units = List.init cells (fun _ -> 1) in
+  (* LPT sorts by size, so scan chains are placed before unit cells;
+     appending keeps the computation a single LPT run. *)
+  lpt_loads ~bins (scan_chains @ units)
+
+let side_length ~bins ~scan_chains ~cells =
+  Array.fold_left max 0 (side_loads ~bins ~scan_chains ~cells)
+
+let design ~width (m : Module_def.t) =
+  if width < 1 then invalid_arg "Wrapper.design: width must be >= 1";
+  let scan_in_max =
+    side_length ~bins:width ~scan_chains:m.scan_chains
+      ~cells:(m.inputs + m.bidirs)
+  in
+  let scan_out_max =
+    side_length ~bins:width ~scan_chains:m.scan_chains
+      ~cells:(m.outputs + m.bidirs)
+  in
+  { width; scan_in_max; scan_out_max }
+
+type layout = { in_lengths : int list; out_lengths : int list }
+
+let layout ~width (m : Module_def.t) =
+  if width < 1 then invalid_arg "Wrapper.layout: width must be >= 1";
+  {
+    in_lengths =
+      Array.to_list
+        (side_loads ~bins:width ~scan_chains:m.scan_chains
+           ~cells:(m.inputs + m.bidirs));
+    out_lengths =
+      Array.to_list
+        (side_loads ~bins:width ~scan_chains:m.scan_chains
+           ~cells:(m.outputs + m.bidirs));
+  }
+
+let pattern_cycles w = max w.scan_in_max w.scan_out_max + 1
+
+let test_cycles w ~patterns =
+  if patterns < 0 then invalid_arg "Wrapper.test_cycles: negative patterns";
+  ((1 + max w.scan_in_max w.scan_out_max) * patterns)
+  + min w.scan_in_max w.scan_out_max
+
+let equal a b =
+  a.width = b.width && a.scan_in_max = b.scan_in_max
+  && a.scan_out_max = b.scan_out_max
+
+let pp ppf w =
+  Fmt.pf ppf "@[<h>wrapper(width %d, si %d, so %d)@]" w.width w.scan_in_max
+    w.scan_out_max

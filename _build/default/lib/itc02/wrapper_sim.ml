@@ -1,0 +1,136 @@
+(* Each wrapper chain is a shift register modelled as a [bool array]
+   plus a fill pointer; shifting in pushes at the head and drops the
+   oldest bit once full, like real scan cells. *)
+
+type chain = { cells : bool array }
+
+type t = { in_chains : chain list; out_chains : chain list }
+
+let make_chain length = { cells = Array.make (max 0 length) false }
+
+let create (layout : Wrapper.layout) =
+  {
+    in_chains = List.map make_chain layout.Wrapper.in_lengths;
+    out_chains = List.map make_chain layout.Wrapper.out_lengths;
+  }
+
+let chain_cells chains =
+  List.fold_left (fun acc c -> acc + Array.length c.cells) 0 chains
+
+let in_cells t = chain_cells t.in_chains
+let out_cells t = chain_cells t.out_chains
+
+let longest chains =
+  List.fold_left (fun acc c -> max acc (Array.length c.cells)) 0 chains
+
+let shift_in_cycles t = longest t.in_chains
+let shift_out_cycles t = longest t.out_chains
+
+(* Shift one bit into a chain at index 0; every cell moves one place
+   down; the last cell's bit is returned (falls out the far end). *)
+let shift_chain chain bit =
+  let n = Array.length chain.cells in
+  if n = 0 then bit
+  else begin
+    let out = chain.cells.(n - 1) in
+    for i = n - 1 downto 1 do
+      chain.cells.(i) <- chain.cells.(i - 1)
+    done;
+    chain.cells.(0) <- bit;
+    out
+  end
+
+let shift_in t ~flit =
+  if List.length flit < List.length t.in_chains then
+    invalid_arg "Wrapper_sim.shift_in: flit narrower than the chain count";
+  List.iteri
+    (fun i chain -> ignore (shift_chain chain (List.nth flit i)))
+    t.in_chains
+
+(* Pattern order: chain 0's cells first (in scan order: the bit that
+   ends up deepest is shifted first), then chain 1, ... *)
+let load_pattern t bits =
+  if List.length bits <> in_cells t then
+    invalid_arg "Wrapper_sim.load_pattern: wrong pattern size";
+  (* Split per chain. *)
+  let rec split chains bits =
+    match chains with
+    | [] -> []
+    | chain :: rest ->
+        let n = Array.length chain.cells in
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | b :: tl -> take (k - 1) (b :: acc) tl
+        in
+        let mine, others = take n [] bits in
+        mine :: split rest others
+  in
+  let per_chain = split t.in_chains bits in
+  let cycles = shift_in_cycles t in
+  (* Cycle c feeds each chain its next bit; shorter chains are fed
+     padding (false) during the leading cycles so their real bits
+     arrive last and are not shifted out. *)
+  for c = 0 to cycles - 1 do
+    let flit =
+      List.map2
+        (fun chain mine ->
+          let n = Array.length chain.cells in
+          let lead = cycles - n in
+          if c < lead then false else List.nth mine (c - lead))
+        t.in_chains per_chain
+    in
+    shift_in t ~flit
+  done
+
+let stimulus t =
+  List.concat_map
+    (fun chain ->
+      (* cell (n-1) was shifted first: scan order is deepest first. *)
+      List.rev (Array.to_list chain.cells))
+    t.in_chains
+
+let capture t ~response =
+  if List.length response <> out_cells t then
+    invalid_arg "Wrapper_sim.capture: wrong response size";
+  let rec fill chains bits =
+    match chains with
+    | [] -> ()
+    | chain :: rest ->
+        let n = Array.length chain.cells in
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | b :: tl -> take (k - 1) (b :: acc) tl
+        in
+        let mine, others = take n [] bits in
+        List.iteri (fun i b -> chain.cells.(i) <- b) mine;
+        fill rest others
+  in
+  fill t.out_chains response
+
+let shift_out_all t =
+  let cycles = shift_out_cycles t in
+  (* Collect each chain's output bit per cycle; chain order is fixed,
+     so re-assembling per chain recovers capture order. *)
+  let per_cycle =
+    List.init cycles (fun _ ->
+        List.map (fun chain -> shift_chain chain false) t.out_chains)
+    (* List.init evaluates in order; each call shifts once. *)
+  in
+  (* Bit j of chain k appears at cycle (cycles - n_k + ... ): the cell
+     at index n-1 leaves first.  Reconstruct per chain: for a chain of
+     length n, its bits leave during the FIRST n cycles, deepest cell
+     (index n-1) first — i.e. capture index n-1, n-2, ...  Rebuild to
+     capture order 0..n-1. *)
+  List.concat
+    (List.mapi
+       (fun chain_idx chain ->
+         let n = Array.length chain.cells in
+         let leaving =
+           List.filteri (fun cycle _ -> cycle < n) per_cycle
+           |> List.map (fun flit -> List.nth flit chain_idx)
+         in
+         (* leaving = [cell n-1; cell n-2; ...; cell 0] *)
+         List.rev leaving)
+       t.out_chains)

@@ -1,0 +1,53 @@
+(** Bit-level simulation of wrapper scan access.
+
+    The planner's timing model says: at flit width [w], one flit per
+    cycle feeds all wrapper chains in parallel, a pattern is fully
+    loaded after [scan_in_max] cycles, and the previous response is
+    recovered after [scan_out_max] cycles of shifting out.  This
+    module {e performs} that shifting on explicit bit registers, so
+    the timing claims are verified against an executable model (the
+    test suite round-trips patterns through it). *)
+
+type t
+(** A wrapper instance: one shift register per wrapper chain, on both
+    the scan-in and scan-out sides. *)
+
+val create : Wrapper.layout -> t
+(** Fresh wrapper with all cells zero. *)
+
+val in_cells : t -> int
+(** Total scan-in cells (the stimulus bits of one pattern). *)
+
+val out_cells : t -> int
+
+val shift_in_cycles : t -> int
+(** Cycles to load one full pattern: the longest scan-in chain —
+    equals {!Wrapper.t.scan_in_max} for the same design. *)
+
+val shift_out_cycles : t -> int
+
+val shift_in : t -> flit:bool list -> unit
+(** One scan-in cycle: bit [i] of the flit enters wrapper chain [i]
+    (extra flit bits beyond the chain count are padding and ignored;
+    chains already full simply shift, dropping their oldest bit —
+    callers align patterns so this never loses stimulus).
+    @raise Invalid_argument if the flit is narrower than the chain
+    count. *)
+
+val load_pattern : t -> bool list -> unit
+(** Load one whole pattern (a [in_cells]-bit stimulus): packs the bits
+    chain by chain, applies {!shift_in_cycles} shift cycles, and
+    leaves the chains holding exactly the pattern.
+    @raise Invalid_argument on a wrong-sized pattern. *)
+
+val stimulus : t -> bool list
+(** The stimulus bits currently held by the scan-in chains, in the
+    same order {!load_pattern} consumes. *)
+
+val capture : t -> response:bool list -> unit
+(** Capture cycle: latch the core's response into the scan-out
+    chains.  @raise Invalid_argument on a wrong-sized response. *)
+
+val shift_out_all : t -> bool list
+(** Shift the scan-out side empty and return the response bits in
+    capture order — exactly {!shift_out_cycles} cycles' worth. *)

@@ -1,0 +1,1 @@
+lib/noc/characterize.ml: Coord Flit_sim Fmt Latency List Packet Power Topology Traffic Xy_routing

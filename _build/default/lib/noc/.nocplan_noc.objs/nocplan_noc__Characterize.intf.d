@@ -1,0 +1,1 @@
+lib/noc/characterize.mli: Flit_sim Fmt Power Traffic

@@ -1,0 +1,1 @@
+lib/noc/flit_sim.ml: Array Hashtbl Latency Link List Packet Stdlib Topology Xy_routing

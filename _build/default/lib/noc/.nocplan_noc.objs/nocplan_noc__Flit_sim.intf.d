@@ -1,0 +1,1 @@
+lib/noc/flit_sim.mli: Latency Packet Topology

@@ -1,0 +1,1 @@
+lib/noc/link.ml: Coord Fmt Map Set Stdlib

@@ -1,0 +1,1 @@
+lib/noc/link.mli: Coord Fmt Map Set

@@ -1,0 +1,1 @@
+lib/noc/power.ml: Float Fmt

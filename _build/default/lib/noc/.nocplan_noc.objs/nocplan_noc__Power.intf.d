@@ -1,0 +1,1 @@
+lib/noc/power.mli: Fmt

@@ -1,0 +1,1 @@
+lib/noc/reservation.ml: Link List Stdlib

@@ -1,0 +1,1 @@
+lib/noc/reservation.mli: Link

@@ -1,0 +1,1 @@
+lib/noc/traffic.ml: Coord List Nocplan_itc02 Packet Topology

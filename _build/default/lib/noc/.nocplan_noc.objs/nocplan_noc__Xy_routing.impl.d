@@ -1,0 +1,1 @@
+lib/noc/xy_routing.ml: Coord Link List Topology

@@ -1,0 +1,1 @@
+lib/noc/xy_routing.mli: Coord Link Topology

@@ -1,0 +1,73 @@
+type timing = { routing_latency : int; flow_latency : int; residual : int }
+
+let pp_timing ppf t =
+  Fmt.pf ppf "timing(routing %d, flow %d, residual %d)" t.routing_latency
+    t.flow_latency t.residual
+
+(* Latency of one uncontended probe packet through the simulator. *)
+let probe config ~src ~dst ~flits =
+  let packet = Packet.make ~id:0 ~src ~dst ~flits ~inject_time:0 in
+  match (Flit_sim.run config [ packet ]).deliveries with
+  | [ d ] -> Flit_sim.latency d
+  | _ -> assert false
+
+(* A destination at exactly [hops] routed distance from the origin —
+   on a torus the wraparound shortens straight-line picks, so search
+   the coordinate list. *)
+let probe_endpoints config ~hops =
+  let topo = config.Flit_sim.topology in
+  let origin = Coord.make ~x:0 ~y:0 in
+  match
+    List.find_opt
+      (fun c -> Topology.distance topo origin c = hops)
+      (Topology.coords topo)
+  with
+  | Some dst -> (origin, dst)
+  | None -> invalid_arg "Characterize: topology too small for probe" 
+
+let measure_timing config =
+  let lat ~hops ~flits =
+    let src, dst = probe_endpoints config ~hops in
+    probe config ~src ~dst ~flits
+  in
+  (* L(h, f) = (h+1)R + (h+2)F + (f-1)F: two differences recover the
+     two unknowns exactly. *)
+  let l_1_4 = lat ~hops:1 ~flits:4 in
+  let l_1_8 = lat ~hops:1 ~flits:8 in
+  let l_2_4 = lat ~hops:2 ~flits:4 in
+  let flow_latency = (l_1_8 - l_1_4) / 4 in
+  let routing_latency = l_2_4 - l_1_4 - flow_latency in
+  let fitted = Latency.make ~routing_latency ~flow_latency in
+  let residual =
+    let errors =
+      List.concat_map
+        (fun hops ->
+          List.map
+            (fun flits ->
+              abs (lat ~hops ~flits - Latency.packet_latency fitted ~hops ~flits))
+            [ 1; 2; 5; 16 ])
+        [ 1; 2; 3 ]
+    in
+    List.fold_left max 0 errors
+  in
+  { routing_latency; flow_latency; residual }
+
+let measure_power config spec =
+  let packets = Traffic.generate config.Flit_sim.topology spec in
+  let result = Flit_sim.run config packets in
+  let per_router_powers =
+    List.map
+      (fun (d : Flit_sim.delivery) ->
+        let routers =
+          Xy_routing.routers_on_route config.Flit_sim.topology
+            ~src:d.packet.Packet.src ~dst:d.packet.Packet.dst
+        in
+        let active = max 1 (Flit_sim.latency d) in
+        d.energy /. float_of_int (routers * active))
+      result.deliveries
+  in
+  let mean =
+    List.fold_left ( +. ) 0.0 per_router_powers
+    /. float_of_int (List.length per_router_powers)
+  in
+  Power.make ~router_stream_power:mean

@@ -1,0 +1,28 @@
+(** NoC characterization: the first step of the paper's flow.
+
+    The designer "characterizes the NoC in terms of time and power
+    consumption".  Here the characterization target is the flit-level
+    simulator: uncontended probe packets recover the router's routing
+    latency and the channel's flow-control latency, and random traffic
+    yields the mean per-router stream power used by the planner. *)
+
+type timing = {
+  routing_latency : int;
+  flow_latency : int;
+  residual : int;
+      (** worst absolute error of the fitted analytic model against
+          the simulator over the probe set; 0 when the analytic model
+          is exact *)
+}
+
+val measure_timing : Flit_sim.config -> timing
+(** Send single uncontended probe packets of varying hop count and
+    size through the simulator and solve for the two latency
+    parameters.  The mesh must be at least 3 routers wide. *)
+
+val measure_power : Flit_sim.config -> Traffic.spec -> Power.t
+(** Run random traffic and return the mean power one stream adds per
+    traversed router: mean over packets of
+    [energy / (routers_on_route * active_cycles)]. *)
+
+val pp_timing : timing Fmt.t

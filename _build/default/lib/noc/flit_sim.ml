@@ -1,0 +1,229 @@
+type config = {
+  topology : Topology.t;
+  latency : Latency.t;
+  buffer_flits : int;
+  flit_energy : float;
+}
+
+let config ?(buffer_flits = 2) ?(flit_energy = 1.0) topology latency =
+  if buffer_flits < 1 then
+    invalid_arg "Flit_sim.config: buffer_flits must be >= 1";
+  if flit_energy < 0.0 then invalid_arg "Flit_sim.config: negative flit_energy";
+  { topology; latency; buffer_flits; flit_energy }
+
+type delivery = {
+  packet : Packet.t;
+  header_at : int;
+  delivered_at : int;
+  energy : float;
+}
+
+let latency d = d.delivered_at - d.packet.Packet.inject_time
+
+type result = { deliveries : delivery list; cycles : int }
+
+(* Per-channel simulation state.  [holder] is the id of the packet
+   currently owning the channel (wormhole exclusivity), or -1.
+   [busy_until] is the cycle the in-progress flit transfer completes.
+   [occupancy] counts flits sitting in the buffer at the downstream
+   end of the channel. *)
+type chan_state = {
+  mutable holder : int;
+  mutable busy_until : int;
+  mutable occupancy : int;
+  mutable transfer_pending : bool;
+      (* a flit is mid-transfer and will enter the buffer at
+         [busy_until] *)
+}
+
+(* Per-packet simulation state.  [path] is the ordered channel list
+   (Inject, Channel*, Eject).  [crossed.(k)] counts flits that fully
+   crossed channel [k].  [acquired_up_to] is the highest path index
+   this packet's header has acquired. *)
+type pkt_state = {
+  pkt : Packet.t;
+  path : Link.t array;
+  crossed : int array;
+  mutable acquired_up_to : int;
+  mutable header_at : int;
+  mutable delivered_at : int;
+}
+
+let run config packets =
+  let ids = List.map (fun (p : Packet.t) -> p.id) packets in
+  let sorted_ids = List.sort_uniq Stdlib.compare ids in
+  if List.length sorted_ids <> List.length ids then
+    invalid_arg "Flit_sim.run: duplicate packet ids";
+  List.iter
+    (fun (p : Packet.t) ->
+      if
+        (not (Topology.in_bounds config.topology p.src))
+        || not (Topology.in_bounds config.topology p.dst)
+      then invalid_arg "Flit_sim.run: packet endpoint out of bounds")
+    packets;
+  let states =
+    List.map
+      (fun (p : Packet.t) ->
+        let path =
+          Array.of_list
+            (Xy_routing.links config.topology ~src:p.src ~dst:p.dst)
+        in
+        {
+          pkt = p;
+          path;
+          crossed = Array.make (Array.length path) 0;
+          acquired_up_to = -1;
+          header_at = -1;
+          delivered_at = -1;
+        })
+      packets
+  in
+  (* Stable processing order: by injection time then id, so arbitration
+     is deterministic (first-come, lowest id). *)
+  let states =
+    List.sort
+      (fun a b ->
+        Stdlib.compare
+          (a.pkt.Packet.inject_time, a.pkt.Packet.id)
+          (b.pkt.Packet.inject_time, b.pkt.Packet.id))
+      states
+  in
+  let channels : (Link.t, chan_state) Hashtbl.t = Hashtbl.create 64 in
+  let chan link =
+    match Hashtbl.find_opt channels link with
+    | Some c -> c
+    | None ->
+        let c =
+          { holder = -1; busy_until = 0; occupancy = 0; transfer_pending = false }
+        in
+        Hashtbl.add channels link c;
+        c
+  in
+  let total_flit_hops = ref 0 in
+  let all_delivered () = List.for_all (fun s -> s.delivered_at >= 0) states in
+  let now = ref 0 in
+  (* Upstream flit availability for channel [k] of packet [s]: the
+     source (for k = 0, once injection time has come) or the buffer at
+     the downstream end of channel [k-1].  Only evaluated when channel
+     [k] has no transfer in flight, so [crossed.(k)] fully accounts for
+     flits already consumed from that buffer. *)
+  let flits_available s k =
+    if k = 0 then
+      if !now >= s.pkt.Packet.inject_time then
+        s.pkt.Packet.flits - s.crossed.(0)
+      else 0
+    else s.crossed.(k - 1) - s.crossed.(k)
+  in
+  (* Downstream buffer room for channel [k]: the Eject channel drains
+     into the sink (infinite), others into a finite buffer. *)
+  let room s k =
+    if k = Array.length s.path - 1 then max_int
+    else config.buffer_flits - (chan s.path.(k)).occupancy
+  in
+  let step_packet s =
+    if s.delivered_at < 0 then begin
+      let path_len = Array.length s.path in
+      (* 1. Complete finished transfers on every channel this packet
+         holds. *)
+      for k = 0 to s.acquired_up_to do
+        let c = chan s.path.(k) in
+        if c.holder = s.pkt.Packet.id && c.transfer_pending
+           && !now >= c.busy_until
+        then begin
+          c.transfer_pending <- false;
+          s.crossed.(k) <- s.crossed.(k) + 1;
+          if k < path_len - 1 then c.occupancy <- c.occupancy + 1;
+          incr total_flit_hops;
+          if s.crossed.(k) = 1 && k = path_len - 1 then s.header_at <- !now;
+          if s.crossed.(k) = s.pkt.Packet.flits then begin
+            (* Tail passed: release the channel. *)
+            c.holder <- -1;
+            if k = path_len - 1 then s.delivered_at <- !now
+          end
+        end
+      done;
+      (* 2. Try to acquire the next channel for the header. *)
+      if s.acquired_up_to < path_len - 1 then begin
+        let k = s.acquired_up_to + 1 in
+        if flits_available s k > 0 then begin
+          let c = chan s.path.(k) in
+          if c.holder = -1 then begin
+            c.holder <- s.pkt.Packet.id;
+            s.acquired_up_to <- k
+          end
+        end
+      end;
+      (* 3. Start new flit transfers on held, idle channels.  The
+         header flit additionally pays the router's routing latency on
+         each channel acquisition (modelled as part of its transfer
+         time on that channel). *)
+      for k = 0 to s.acquired_up_to do
+        let c = chan s.path.(k) in
+        if
+          c.holder = s.pkt.Packet.id && (not c.transfer_pending)
+          && !now >= c.busy_until
+          && s.crossed.(k) < s.pkt.Packet.flits
+          && flits_available s k > 0
+          && room s k > 0
+        then begin
+          (* The header pays the routing latency at each router it
+             enters: on the inject port and on every inter-router
+             channel, but not on the eject port (leaving the last
+             router is pure flow control). *)
+          let is_header = s.crossed.(k) = 0 in
+          let pays_routing = is_header && k < path_len - 1 in
+          let cost =
+            config.latency.Latency.flow_latency
+            + if pays_routing then config.latency.Latency.routing_latency else 0
+          in
+          (* Consume the flit from the upstream buffer now. *)
+          if k > 0 then begin
+            let up = chan s.path.(k - 1) in
+            up.occupancy <- up.occupancy - 1
+          end;
+          c.transfer_pending <- true;
+          c.busy_until <- !now + cost
+        end
+      done
+    end
+  in
+  let guard = ref 0 in
+  let max_cycles =
+    (* Generous bound: serialized delivery of everything. *)
+    List.fold_left
+      (fun acc s ->
+        acc + s.pkt.Packet.inject_time
+        + Latency.packet_latency config.latency
+            ~hops:
+              (Xy_routing.hops config.topology ~src:s.pkt.Packet.src
+                 ~dst:s.pkt.Packet.dst)
+            ~flits:s.pkt.Packet.flits)
+      1000 states
+    * 4
+  in
+  while not (all_delivered ()) do
+    List.iter step_packet states;
+    incr now;
+    incr guard;
+    if !guard > max_cycles then
+      failwith "Flit_sim.run: simulation did not converge (deadlock?)"
+  done;
+  let finished = !now - 1 in
+  let deliveries =
+    states
+    |> List.map (fun s ->
+           {
+             packet = s.pkt;
+             header_at = s.header_at;
+             delivered_at = s.delivered_at;
+             energy =
+               config.flit_energy
+               *. float_of_int
+                    (s.pkt.Packet.flits
+                    * Xy_routing.routers_on_route config.topology
+                        ~src:s.pkt.Packet.src ~dst:s.pkt.Packet.dst);
+           })
+    |> List.sort (fun a b ->
+           Stdlib.compare a.packet.Packet.id b.packet.Packet.id)
+  in
+  { deliveries; cycles = finished }

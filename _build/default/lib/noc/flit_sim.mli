@@ -1,0 +1,48 @@
+(** Cycle-stepped flit-level simulator of a wormhole-switched mesh.
+
+    This is the executable model behind the "NoC characterization"
+    step of the flow: it moves individual flits through routers with
+    finite buffers, per-router header routing delay and per-channel
+    flow-control delay, and wormhole semantics (a channel is held by
+    one packet from header acquisition until its tail passes; blocked
+    headers keep holding their upstream channels).
+
+    The analytic {!Latency} formulas are validated against this
+    simulator by the test suite and by {!Characterize}. *)
+
+type config = {
+  topology : Topology.t;
+  latency : Latency.t;
+  buffer_flits : int;
+      (** capacity of the flit buffer at the downstream end of every
+          channel; must be [>= 1] *)
+  flit_energy : float;
+      (** energy consumed by one flit crossing one router *)
+}
+
+val config :
+  ?buffer_flits:int -> ?flit_energy:float -> Topology.t -> Latency.t -> config
+(** [buffer_flits] defaults to 2, [flit_energy] to 1.0.
+    @raise Invalid_argument for non-positive buffering or negative
+    energy. *)
+
+type delivery = {
+  packet : Packet.t;
+  header_at : int;  (** cycle the header reached the destination port *)
+  delivered_at : int;  (** cycle the tail flit was ejected *)
+  energy : float;  (** total flit-hop energy of the packet *)
+}
+
+val latency : delivery -> int
+(** [delivered_at - inject_time]. *)
+
+type result = {
+  deliveries : delivery list;  (** one per packet, in packet-id order *)
+  cycles : int;  (** cycle at which the last flit was delivered *)
+}
+
+val run : config -> Packet.t list -> result
+(** Simulate until every packet is delivered.
+
+    @raise Invalid_argument if a packet's endpoints are out of bounds
+    or two packets share an id. *)

@@ -1,0 +1,25 @@
+type t = { routing_latency : int; flow_latency : int }
+
+let make ~routing_latency ~flow_latency =
+  if routing_latency < 0 then
+    invalid_arg "Latency.make: routing_latency must be >= 0";
+  if flow_latency < 1 then invalid_arg "Latency.make: flow_latency must be >= 1";
+  { routing_latency; flow_latency }
+
+let hermes_like = make ~routing_latency:5 ~flow_latency:2
+
+(* A path of [hops] inter-router channels crosses [hops + 1] routers
+   and [hops + 2] ports/channels (local inject, the channels, local
+   eject).  The header pays the routing latency once per router and
+   the flow-control latency once per crossing. *)
+let header_latency t ~hops =
+  if hops < 0 then invalid_arg "Latency.header_latency: negative hops";
+  ((hops + 1) * t.routing_latency) + ((hops + 2) * t.flow_latency)
+
+let packet_latency t ~hops ~flits =
+  if flits < 1 then invalid_arg "Latency.packet_latency: flits must be >= 1";
+  header_latency t ~hops + ((flits - 1) * t.flow_latency)
+
+let stream_cycle_per_flit t = t.flow_latency
+let equal a b = a.routing_latency = b.routing_latency && a.flow_latency = b.flow_latency
+let pp ppf t = Fmt.pf ppf "latency(routing %d, flow %d)" t.routing_latency t.flow_latency

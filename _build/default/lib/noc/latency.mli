@@ -1,0 +1,44 @@
+(** Analytic wormhole timing model.
+
+    The paper characterizes a NoC router by two figures: the {e routing
+    latency} (intra-router cycles to set up the connection through a
+    router) and the {e flow-control latency} (inter-router cycles to
+    move one flit across a channel).  Under wormhole switching with no
+    contention, a packet of [f] flits crossing [h] channels is fully
+    delivered after the header pays the per-router setup on each of the
+    [h+1] routers and the body streams behind it. *)
+
+type t = private {
+  routing_latency : int;  (** cycles per router to route the header *)
+  flow_latency : int;  (** cycles per flit per channel hop *)
+}
+
+val make : routing_latency:int -> flow_latency:int -> t
+(** @raise Invalid_argument unless [routing_latency >= 0] and
+    [flow_latency >= 1]. *)
+
+val hermes_like : t
+(** [routing_latency = 5], [flow_latency = 2]: the figures of the
+    Hermes NoC used by the paper's group (PUCRS). *)
+
+val header_latency : t -> hops:int -> int
+(** Cycles until the header flit reaches the destination local port.
+    A path of [hops] channels crosses [hops + 1] routers (each paying
+    the routing latency) and [hops + 2] ports/channels — local inject,
+    the channels, local eject — each paying the flow-control latency:
+    [(hops + 1) * routing_latency + (hops + 2) * flow_latency].
+    This formula is exact against {!Flit_sim} on an uncontended path;
+    {!Characterize.measure_timing} verifies it.
+    @raise Invalid_argument if [hops < 0]. *)
+
+val packet_latency : t -> hops:int -> flits:int -> int
+(** Cycles until the last flit of an [flits]-flit packet reaches the
+    destination: [header_latency + (flits - 1) * flow_latency].
+    @raise Invalid_argument if [flits < 1] or [hops < 0]. *)
+
+val stream_cycle_per_flit : t -> int
+(** Steady-state cycles between consecutive flits of a pipelined
+    stream: [flow_latency]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,32 @@
+(** Directed channel identities.
+
+    A test stream occupies a sequence of channels: the local injection
+    channel at its source tile, the inter-router channels along the XY
+    path, and the local ejection channel at its destination tile.
+    Channels are the unit of reservation — two concurrent test streams
+    conflict exactly when they share a channel in time. *)
+
+type t =
+  | Inject of Coord.t  (** local port into the router at this tile *)
+  | Channel of Coord.t * Coord.t
+      (** directed inter-router channel [from -> to]; the two
+          coordinates are mesh neighbours *)
+  | Eject of Coord.t  (** local port out of the router at this tile *)
+
+val channel : Coord.t -> Coord.t -> t
+(** A directed channel between two routers.  Adjacency depends on the
+    topology (meshes: unit manhattan distance; tori also have the
+    wraparound channels), so only distinctness is enforced here — the
+    routing layer produces adjacent pairs by construction.
+    @raise Invalid_argument if the coordinates are equal. *)
+
+val routers : t -> Coord.t list
+(** The router(s) this channel touches: one for [Inject]/[Eject], two
+    for [Channel]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  src : Coord.t;
+  dst : Coord.t;
+  flits : int;
+  inject_time : int;
+}
+
+let make ~id ~src ~dst ~flits ~inject_time =
+  if flits < 1 then invalid_arg "Packet.make: flits must be >= 1";
+  if inject_time < 0 then invalid_arg "Packet.make: negative inject_time";
+  { id; src; dst; flits; inject_time }
+
+let equal a b =
+  a.id = b.id && Coord.equal a.src b.src && Coord.equal a.dst b.dst
+  && a.flits = b.flits && a.inject_time = b.inject_time
+
+let pp ppf p =
+  Fmt.pf ppf "packet#%d %a->%a %d flits @@%d" p.id Coord.pp p.src Coord.pp
+    p.dst p.flits p.inject_time

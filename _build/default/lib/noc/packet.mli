@@ -1,0 +1,15 @@
+(** A packet: the unit of traffic in the flit-level simulator. *)
+
+type t = private {
+  id : int;
+  src : Coord.t;
+  dst : Coord.t;
+  flits : int;  (** total flits including the header flit *)
+  inject_time : int;  (** cycle at which the source offers the header *)
+}
+
+val make : id:int -> src:Coord.t -> dst:Coord.t -> flits:int -> inject_time:int -> t
+(** @raise Invalid_argument if [flits < 1] or [inject_time < 0]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,11 @@
+type t = { router_stream_power : float }
+
+let make ~router_stream_power =
+  if router_stream_power < 0.0 then
+    invalid_arg "Power.make: negative router_stream_power";
+  { router_stream_power }
+
+let default = make ~router_stream_power:2.0
+let stream_power t ~routers = float_of_int routers *. t.router_stream_power
+let equal a b = Float.equal a.router_stream_power b.router_stream_power
+let pp ppf t = Fmt.pf ppf "noc-power(%.2f/router)" t.router_stream_power

@@ -1,0 +1,26 @@
+(** NoC power accounting.
+
+    The paper measures "the mean power consumption to send packets of
+    random size and random payload" and adds that value to {e each
+    router the packet passes through}.  We keep the same per-router
+    convention: a test stream crossing [r] routers adds
+    [r * router_stream_power] to the instantaneous power draw for the
+    duration of the stream. *)
+
+type t = private {
+  router_stream_power : float;
+      (** mean power one active stream adds per traversed router *)
+}
+
+val make : router_stream_power:float -> t
+(** @raise Invalid_argument if the value is negative. *)
+
+val default : t
+(** A small default relative to typical core powers, so that NoC power
+    matters under tight limits without dominating. *)
+
+val stream_power : t -> routers:int -> float
+(** Power added by a stream traversing [routers] routers. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

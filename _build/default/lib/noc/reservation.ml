@@ -1,0 +1,80 @@
+type booking = { owner : int; start : int; finish : int }
+type t = { mutable by_link : booking list Link.Map.t }
+
+let create () = { by_link = Link.Map.empty }
+
+let overlaps b ~start ~finish = b.start < finish && start < b.finish
+
+let link_bookings t link =
+  match Link.Map.find_opt link t.by_link with Some bs -> bs | None -> []
+
+let is_free t links ~start ~finish =
+  start >= finish
+  || List.for_all
+       (fun link ->
+         List.for_all
+           (fun b -> not (overlaps b ~start ~finish))
+           (link_bookings t link))
+       links
+
+let conflicts t links ~start ~finish =
+  if start >= finish then []
+  else
+    List.concat_map
+      (fun link ->
+        link_bookings t link
+        |> List.filter (fun b -> overlaps b ~start ~finish)
+        |> List.map (fun b -> (link, b)))
+      links
+
+let insert_sorted b bs =
+  let rec go = function
+    | [] -> [ b ]
+    | hd :: tl ->
+        if b.start <= hd.start then b :: hd :: tl else hd :: go tl
+  in
+  go bs
+
+let reserve t ~owner links ~start ~finish =
+  if start < 0 || finish < start then
+    invalid_arg "Reservation.reserve: bad interval";
+  if not (is_free t links ~start ~finish) then
+    invalid_arg "Reservation.reserve: window is not free";
+  if start < finish then
+    let b = { owner; start; finish } in
+    t.by_link <-
+      List.fold_left
+        (fun map link ->
+          Link.Map.update link
+            (function
+              | Some bs -> Some (insert_sorted b bs) | None -> Some [ b ])
+            map)
+        t.by_link links
+
+let next_free_time t links ~from ~duration =
+  if duration <= 0 then from
+  else
+    (* Candidate start times: [from] and the finish time of every
+       booking on the links; the earliest feasible one wins. *)
+    let candidates =
+      from
+      :: List.concat_map
+           (fun link ->
+             List.filter_map
+               (fun b -> if b.finish > from then Some b.finish else None)
+               (link_bookings t link))
+           links
+    in
+    let feasible =
+      List.filter
+        (fun s -> s >= from && is_free t links ~start:s ~finish:(s + duration))
+        candidates
+    in
+    match feasible with
+    | [] -> invalid_arg "Reservation.next_free_time: no candidate (impossible)"
+    | s :: rest -> List.fold_left min s rest
+
+let bookings t link =
+  List.sort
+    (fun a b -> Stdlib.compare (a.start, a.finish) (b.start, b.finish))
+    (link_bookings t link)

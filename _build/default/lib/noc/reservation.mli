@@ -1,0 +1,38 @@
+(** Time-interval reservation calendar for NoC channels.
+
+    Test streams occupy their XY paths for the whole duration of a
+    test (circuit-style occupancy: the stream of pattern packets is
+    continuous).  The scheduler uses this calendar to decide whether a
+    candidate (source, CUT, sink) assignment is conflict-free and to
+    book it.  Intervals are half-open [[start, finish)]. *)
+
+type t
+
+type booking = {
+  owner : int;  (** scheduler-chosen tag, e.g. the CUT's module id *)
+  start : int;
+  finish : int;
+}
+
+val create : unit -> t
+
+val is_free : t -> Link.t list -> start:int -> finish:int -> bool
+(** No booked interval on any of the links overlaps [[start, finish)].
+    An empty interval ([start >= finish]) is always free. *)
+
+val conflicts : t -> Link.t list -> start:int -> finish:int ->
+  (Link.t * booking) list
+(** All bookings overlapping the window, for diagnostics. *)
+
+val reserve : t -> owner:int -> Link.t list -> start:int -> finish:int -> unit
+(** Book the links for the window.
+    @raise Invalid_argument if [start < 0] or [finish < start], or if
+    the window is not free (callers must check first — booking a
+    conflicting window is a scheduler bug). *)
+
+val next_free_time : t -> Link.t list -> from:int -> duration:int -> int
+(** Earliest [t >= from] such that [[t, t + duration)] is free on all
+    links.  With a finite number of bookings this always exists. *)
+
+val bookings : t -> Link.t -> booking list
+(** Bookings on one link, sorted by start time. *)

@@ -1,0 +1,69 @@
+type kind = Mesh | Torus
+type t = { width : int; height : int; kind : kind }
+
+let create ~kind ~width ~height =
+  if width < 1 || height < 1 then
+    invalid_arg "Topology.make: dimensions must be >= 1";
+  { width; height; kind }
+
+let make ~width ~height = create ~kind:Mesh ~width ~height
+let torus ~width ~height = create ~kind:Torus ~width ~height
+
+let router_count t = t.width * t.height
+
+let in_bounds t (c : Coord.t) =
+  c.x >= 0 && c.x < t.width && c.y >= 0 && c.y < t.height
+
+let coords t =
+  List.concat_map
+    (fun y -> List.init t.width (fun x -> Coord.make ~x ~y))
+    (List.init t.height (fun y -> y))
+
+let neighbors t (c : Coord.t) =
+  if not (in_bounds t c) then invalid_arg "Topology.neighbors: out of bounds";
+  let wrap v size = ((v mod size) + size) mod size in
+  let candidates =
+    match t.kind with
+    | Mesh ->
+        [
+          { Coord.x = c.x - 1; y = c.y };
+          { Coord.x = c.x + 1; y = c.y };
+          { Coord.x = c.x; y = c.y - 1 };
+          { Coord.x = c.x; y = c.y + 1 };
+        ]
+        |> List.filter (in_bounds t)
+    | Torus ->
+        [
+          { Coord.x = wrap (c.x - 1) t.width; y = c.y };
+          { Coord.x = wrap (c.x + 1) t.width; y = c.y };
+          { Coord.x = c.x; y = wrap (c.y - 1) t.height };
+          { Coord.x = c.x; y = wrap (c.y + 1) t.height };
+        ]
+  in
+  (* A 1-wide axis wraps to the router itself; a 2-wide axis reaches
+     the same partner both ways.  Deduplicate and drop self-loops. *)
+  List.sort_uniq Coord.compare candidates
+  |> List.filter (fun n -> not (Coord.equal n c))
+
+let axis_distance ~kind ~size a b =
+  let d = abs (a - b) in
+  match kind with Mesh -> d | Torus -> min d (size - d)
+
+let distance t (a : Coord.t) (b : Coord.t) =
+  axis_distance ~kind:t.kind ~size:t.width a.x b.x
+  + axis_distance ~kind:t.kind ~size:t.height a.y b.y
+
+let index t (c : Coord.t) =
+  if not (in_bounds t c) then invalid_arg "Topology.index: out of bounds";
+  (c.y * t.width) + c.x
+
+let of_index t i =
+  if i < 0 || i >= router_count t then
+    invalid_arg "Topology.of_index: out of range";
+  Coord.make ~x:(i mod t.width) ~y:(i / t.width)
+
+let equal a b = a.width = b.width && a.height = b.height && a.kind = b.kind
+
+let pp ppf t =
+  Fmt.pf ppf "%dx%d %s" t.width t.height
+    (match t.kind with Mesh -> "mesh" | Torus -> "torus")

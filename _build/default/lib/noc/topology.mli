@@ -1,0 +1,43 @@
+(** Grid network topologies: 2-D mesh and 2-D torus.
+
+    The paper's tool supports "NoCs based on grid topology using XY
+    routing"; routers are addressed by {!Coord.t} with [x] in
+    [0..width-1] and [y] in [0..height-1].  The torus variant adds the
+    wraparound channels, shortening worst-case paths — dimension-order
+    routing picks the shorter way around each axis. *)
+
+type kind = Mesh | Torus
+
+type t = private { width : int; height : int; kind : kind }
+
+val make : width:int -> height:int -> t
+(** A mesh. @raise Invalid_argument unless both dimensions are [>= 1]. *)
+
+val torus : width:int -> height:int -> t
+(** A torus. @raise Invalid_argument unless both dimensions are [>= 1]. *)
+
+val router_count : t -> int
+val in_bounds : t -> Coord.t -> bool
+
+val coords : t -> Coord.t list
+(** All router coordinates in row-major order. *)
+
+val neighbors : t -> Coord.t -> Coord.t list
+(** The mesh neighbours of a router; on a torus this includes the
+    wraparound partners (and never duplicates: a 1-wide or 2-wide axis
+    contributes each neighbour once).
+    @raise Invalid_argument if the coordinate is out of bounds. *)
+
+val distance : t -> Coord.t -> Coord.t -> int
+(** Hop count under minimal dimension-ordered routing: the manhattan
+    distance on a mesh; per-axis [min d (size - d)] on a torus. *)
+
+val index : t -> Coord.t -> int
+(** Row-major linearization, for array-backed per-router state.
+    @raise Invalid_argument if out of bounds. *)
+
+val of_index : t -> int -> Coord.t
+(** Inverse of {!index}. @raise Invalid_argument if out of range. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,32 @@
+module Rng = Nocplan_itc02.Data_gen.Rng
+
+type spec = {
+  packets : int;
+  min_flits : int;
+  max_flits : int;
+  max_inject_gap : int;
+  seed : int64;
+}
+
+let spec ?(min_flits = 2) ?(max_flits = 32) ?(max_inject_gap = 20)
+    ?(seed = 0xCAFEL) ~packets () =
+  if packets < 1 then invalid_arg "Traffic.spec: packets must be >= 1";
+  if min_flits < 1 || max_flits < min_flits then
+    invalid_arg "Traffic.spec: bad flit range";
+  if max_inject_gap < 0 then invalid_arg "Traffic.spec: negative inject gap";
+  { packets; min_flits; max_flits; max_inject_gap; seed }
+
+let generate topology s =
+  let rng = Rng.create s.seed in
+  let n = Topology.router_count topology in
+  let random_coord () = Topology.of_index topology (Rng.int rng ~bound:n) in
+  let rec distinct_pair () =
+    let src = random_coord () and dst = random_coord () in
+    if n > 1 && Coord.equal src dst then distinct_pair () else (src, dst)
+  in
+  let time = ref 0 in
+  List.init s.packets (fun id ->
+      let src, dst = distinct_pair () in
+      let flits = Rng.int_range rng ~lo:s.min_flits ~hi:s.max_flits in
+      time := !time + Rng.int_range rng ~lo:0 ~hi:s.max_inject_gap;
+      Packet.make ~id ~src ~dst ~flits ~inject_time:!time)

@@ -1,0 +1,33 @@
+(** Random traffic generation for NoC characterization.
+
+    The paper characterizes NoC power as "the mean power consumption to
+    send packets of random size and random payload"; this module
+    produces such workloads deterministically. *)
+
+type spec = {
+  packets : int;  (** number of packets to generate *)
+  min_flits : int;
+  max_flits : int;  (** uniform packet size range, inclusive *)
+  max_inject_gap : int;
+      (** consecutive injection times differ by a uniform draw in
+          [\[0, max_inject_gap\]] *)
+  seed : int64;
+}
+
+val spec :
+  ?min_flits:int ->
+  ?max_flits:int ->
+  ?max_inject_gap:int ->
+  ?seed:int64 ->
+  packets:int ->
+  unit ->
+  spec
+(** Defaults: [min_flits = 2], [max_flits = 32], [max_inject_gap = 20],
+    [seed = 0xCAFEL].
+    @raise Invalid_argument on an empty or inverted size range or
+    [packets < 1]. *)
+
+val generate : Topology.t -> spec -> Packet.t list
+(** Uniform-random source/destination pairs (always distinct tiles when
+    the mesh has more than one router), sizes and injection times drawn
+    from [spec].  Packet ids are [0 .. packets-1]. *)

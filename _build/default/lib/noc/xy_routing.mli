@@ -1,0 +1,26 @@
+(** Deterministic dimension-ordered (XY) routing.
+
+    Packets travel first along the X dimension to the destination
+    column, then along Y to the destination row — the routing
+    algorithm the paper's tool supports.  On a torus the router takes
+    the shorter way around each axis (ties broken towards increasing
+    coordinate), which is the standard dimension-ordered torus rule. *)
+
+val route : Topology.t -> src:Coord.t -> dst:Coord.t -> Coord.t list
+(** The sequence of routers traversed, inclusive of [src] and [dst].
+    [route t ~src ~dst:src] is [[src]].
+    @raise Invalid_argument if an endpoint is out of bounds. *)
+
+val hops : Topology.t -> src:Coord.t -> dst:Coord.t -> int
+(** Number of inter-router channels on the route, i.e.
+    {!Topology.distance}. *)
+
+val links : Topology.t -> src:Coord.t -> dst:Coord.t -> Link.t list
+(** The full occupied channel list of a stream from the tile at [src]
+    to the tile at [dst]: [Inject src], each inter-router channel in
+    path order, [Eject dst].  When [src = dst] this is
+    [[Inject src; Eject src]] (the stream still crosses the local
+    router). *)
+
+val routers_on_route : Topology.t -> src:Coord.t -> dst:Coord.t -> int
+(** Number of routers a packet traverses: [hops + 1]. *)

@@ -1,0 +1,1 @@
+lib/proc/asm.ml: Buffer Fmt Format Isa List Program String

@@ -1,0 +1,1 @@
+lib/proc/asm.mli: Fmt Program

@@ -1,0 +1,1 @@
+lib/proc/bist.ml: Isa List Program

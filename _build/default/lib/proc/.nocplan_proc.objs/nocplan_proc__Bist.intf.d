@@ -1,0 +1,1 @@
+lib/proc/bist.mli: Program

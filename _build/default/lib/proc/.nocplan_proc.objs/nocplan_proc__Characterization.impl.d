@@ -1,0 +1,1 @@
+lib/proc/characterization.ml: Array Bist Decompress Float Fmt List Machine Program

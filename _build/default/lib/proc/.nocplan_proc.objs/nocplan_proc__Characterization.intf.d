@@ -1,0 +1,1 @@
+lib/proc/characterization.mli: Fmt Machine

@@ -1,0 +1,1 @@
+lib/proc/coverage.ml: Array Bist List Nocplan_itc02

@@ -1,0 +1,1 @@
+lib/proc/decompress.ml: Array Isa List Program

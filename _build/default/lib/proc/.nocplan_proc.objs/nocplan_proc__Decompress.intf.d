@@ -1,0 +1,1 @@
+lib/proc/decompress.mli: Program

@@ -1,0 +1,1 @@
+lib/proc/isa.ml: Fmt List

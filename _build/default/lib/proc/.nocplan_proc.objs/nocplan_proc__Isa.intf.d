@@ -1,0 +1,1 @@
+lib/proc/isa.mli: Fmt

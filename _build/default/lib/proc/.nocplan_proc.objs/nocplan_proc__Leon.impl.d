@@ -1,0 +1,1 @@
+lib/proc/leon.ml: List Machine Nocplan_itc02

@@ -1,0 +1,1 @@
+lib/proc/leon.mli: Machine Nocplan_itc02

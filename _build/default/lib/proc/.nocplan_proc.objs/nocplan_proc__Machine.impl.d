@@ -1,0 +1,1 @@
+lib/proc/machine.ml: Array Isa List Printf Program

@@ -1,0 +1,1 @@
+lib/proc/machine.mli: Program

@@ -1,0 +1,1 @@
+lib/proc/plasma.ml: List Machine Nocplan_itc02

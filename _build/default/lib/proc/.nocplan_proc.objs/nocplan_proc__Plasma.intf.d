@@ -1,0 +1,1 @@
+lib/proc/plasma.mli: Machine Nocplan_itc02

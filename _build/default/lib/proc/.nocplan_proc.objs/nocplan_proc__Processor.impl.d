@@ -1,0 +1,1 @@
+lib/proc/processor.ml: Characterization Float Fmt Leon Machine Nocplan_itc02 Plasma String

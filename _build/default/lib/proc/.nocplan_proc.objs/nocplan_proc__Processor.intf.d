@@ -1,0 +1,1 @@
+lib/proc/processor.mli: Characterization Fmt Machine Nocplan_itc02

@@ -1,0 +1,1 @@
+lib/proc/program.ml: Array Fmt Hashtbl Isa List Printf Result

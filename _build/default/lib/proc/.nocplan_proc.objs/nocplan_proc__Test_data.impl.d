@@ -1,0 +1,1 @@
+lib/proc/test_data.ml: Array Decompress Fmt List Nocplan_itc02 Program

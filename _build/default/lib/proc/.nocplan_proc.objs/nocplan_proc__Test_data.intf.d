@@ -1,0 +1,1 @@
+lib/proc/test_data.mli: Fmt Nocplan_itc02

@@ -1,0 +1,128 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Split one line into lexical atoms: words, numbers, and the
+   punctuation that matters ('(' ')' ':').  Commas are separators. *)
+let atoms_of_line line_text =
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | '(' | ')' | ':' ->
+          flush ();
+          out := String.make 1 c :: !out
+      | c -> Buffer.add_char buf c)
+    line_text;
+  flush ();
+  List.rev !out
+
+let strip_comment line_text =
+  let cut_at idx = String.sub line_text 0 idx in
+  match (String.index_opt line_text '#', String.index_opt line_text ';') with
+  | Some a, Some b -> cut_at (min a b)
+  | Some a, None -> cut_at a
+  | None, Some b -> cut_at b
+  | None, None -> line_text
+
+let register line atom =
+  let atom_l = String.lowercase_ascii atom in
+  if String.length atom_l < 2 || atom_l.[0] <> 'r' then
+    fail line "expected a register (r0..r%d), got %S" (Isa.reg_count - 1) atom
+  else
+    match int_of_string_opt (String.sub atom_l 1 (String.length atom_l - 1)) with
+    | Some r when r >= 0 && r < Isa.reg_count -> r
+    | Some _ | None -> fail line "register out of range: %S" atom
+
+let integer line atom =
+  match int_of_string_opt atom with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" atom
+
+(* load/store operand: off(rbase) split into "off" "(" "rbase" ")" *)
+let mem_operand line = function
+  | [ off; "("; base; ")" ] -> (register line base, integer line off)
+  | atoms ->
+      fail line "expected off(reg), got %S" (String.concat " " atoms)
+
+let instruction line mnemonic operands : string Isa.t =
+  let reg = register line and int = integer line in
+  match (String.lowercase_ascii mnemonic, operands) with
+  | "li", [ rd; imm ] -> Isa.Li (reg rd, int imm)
+  | "mov", [ rd; rs ] -> Isa.Mov (reg rd, reg rs)
+  | "add", [ rd; a; b ] -> Isa.Add (reg rd, reg a, reg b)
+  | "addi", [ rd; rs; imm ] -> Isa.Addi (reg rd, reg rs, int imm)
+  | "sub", [ rd; a; b ] -> Isa.Sub (reg rd, reg a, reg b)
+  | "xor", [ rd; a; b ] -> Isa.Xor (reg rd, reg a, reg b)
+  | "and", [ rd; a; b ] -> Isa.And (reg rd, reg a, reg b)
+  | "or", [ rd; a; b ] -> Isa.Or (reg rd, reg a, reg b)
+  | "shl", [ rd; rs; imm ] -> Isa.Shl (reg rd, reg rs, int imm)
+  | "shr", [ rd; rs; imm ] -> Isa.Shr (reg rd, reg rs, int imm)
+  | "load", rd :: rest -> (
+      match mem_operand line rest with
+      | base, off -> Isa.Load (reg rd, base, off))
+  | "store", rd :: rest -> (
+      match mem_operand line rest with
+      | base, off -> Isa.Store (reg rd, base, off))
+  | "beq", [ a; b; target ] -> Isa.Beq (reg a, reg b, target)
+  | "bne", [ a; b; target ] -> Isa.Bne (reg a, reg b, target)
+  | "blt", [ a; b; target ] -> Isa.Blt (reg a, reg b, target)
+  | "jump", [ target ] -> Isa.Jump target
+  | "send", [ rs ] -> Isa.Send (reg rs)
+  | "recv", [ rd ] -> Isa.Recv (reg rd)
+  | "halt", [] -> Isa.Halt
+  | ( ( "li" | "mov" | "add" | "addi" | "sub" | "xor" | "and" | "or" | "shl"
+      | "shr" | "beq" | "bne" | "blt" | "jump" | "send" | "recv" | "halt" ),
+      _ ) ->
+      fail line "wrong operand count for %s" mnemonic
+  | _, _ -> fail line "unknown mnemonic %S" mnemonic
+
+let parse_line line_no line_text =
+  match atoms_of_line (strip_comment line_text) with
+  | [] -> []
+  | [ name; ":" ] -> [ Program.Label name ]
+  | name :: ":" :: rest ->
+      Program.Label name
+      :: (match rest with
+         | mnemonic :: operands ->
+             [ Program.Instr (instruction line_no mnemonic operands) ]
+         | [] -> [])
+  | mnemonic :: operands ->
+      [ Program.Instr (instruction line_no mnemonic operands) ]
+
+let parse text =
+  match
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line_text -> parse_line (i + 1) line_text)
+    |> List.concat
+  with
+  | stmts -> Ok stmts
+  | exception Parse_error e -> Error e
+
+let parse_program text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok stmts -> (
+      match Program.assemble stmts with
+      | Ok p -> Ok p
+      | Error message -> Error { line = 0; message })
+
+let to_string stmts =
+  let render = function
+    | Program.Label name -> name ^ ":"
+    | Program.Instr instr -> "  " ^ Fmt.str "%a" (Isa.pp Fmt.string) instr
+  in
+  String.concat "\n" (List.map render stmts) ^ "\n"

@@ -1,0 +1,33 @@
+(** Textual assembly for the {!Isa} instruction set.
+
+    Accepts the syntax {!Isa.pp} prints, one statement per line:
+
+    {v
+    # comment (also ';')
+    loop:                 # a label
+      li r1, 42
+      addi r1, r1, -1
+      load r2, 4(r3)
+      store r2, 4(r3)
+      bne r1, r0, loop
+      send r1
+      halt
+    v}
+
+    Mnemonics and register names are case-insensitive; commas are
+    optional separators. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Program.stmt list, error) result
+(** Parse statements without assembling (labels unresolved). *)
+
+val parse_program : string -> (Program.t, error) result
+(** Parse and assemble; assembler errors (duplicate/undefined labels)
+    are reported on line 0. *)
+
+val to_string : Program.stmt list -> string
+(** Render statements in the accepted syntax;
+    [parse (to_string stmts)] round-trips. *)
+
+val pp_error : error Fmt.t

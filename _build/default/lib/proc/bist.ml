@@ -1,0 +1,75 @@
+let default_taps = 0x80200003
+(* x^32 + x^22 + x^2 + x + 1, maximal length, expressed as the XOR
+   mask applied when the shifted-out bit is 1 (Galois form). *)
+
+let word_mask = 0xFFFFFFFF
+
+(* One Galois-LFSR step, the computation the generator program codes. *)
+let lfsr_step ~taps state =
+  let low_bit = state land 1 in
+  let shifted = state lsr 1 in
+  if low_bit = 1 then (shifted lxor taps) land word_mask else shifted
+
+let reference_states ~seed ~taps ~count =
+  if seed = 0 then invalid_arg "Bist.reference_states: zero seed";
+  let rec go state n acc =
+    if n = 0 then List.rev acc
+    else
+      let state = lfsr_step ~taps state in
+      go state (n - 1) (state :: acc)
+  in
+  go (seed land word_mask) count []
+
+(* One MISR step: shift the signature, feed back the taps on overflow,
+   mix in the response word. *)
+let misr_step ~taps signature word =
+  let top_bit = (signature lsr 31) land 1 in
+  let shifted = (signature lsl 1) land word_mask in
+  let folded = if top_bit = 1 then shifted lxor taps else shifted in
+  (folded lxor word) land word_mask
+
+let reference_signature ~taps words =
+  List.fold_left (misr_step ~taps) 0 words
+
+let generator_program ~patterns ~seed ~taps =
+  if patterns < 1 then invalid_arg "Bist.generator_program: patterns < 1";
+  if seed = 0 then invalid_arg "Bist.generator_program: zero seed";
+  let open Isa in
+  Program.assemble_exn
+    [
+      Instr (Li (5, 1));
+      Instr (Li (3, taps));
+      Instr (Li (1, seed));
+      Instr (Li (2, patterns));
+      Label "loop";
+      Instr (And (4, 1, 5));
+      Instr (Shr (1, 1, 1));
+      Instr (Beq (4, 0, "no_feedback"));
+      Instr (Xor (1, 1, 3));
+      Label "no_feedback";
+      Instr (Send 1);
+      Instr (Addi (2, 2, -1));
+      Instr (Bne (2, 0, "loop"));
+      Instr Halt;
+    ]
+
+let sink_program ~words ~taps =
+  if words < 1 then invalid_arg "Bist.sink_program: words < 1";
+  let open Isa in
+  Program.assemble_exn
+    [
+      Instr (Li (3, taps));
+      Instr (Li (1, 0));
+      Instr (Li (2, words));
+      Label "loop";
+      Instr (Recv (4));
+      Instr (Shr (6, 1, 31));
+      Instr (Shl (1, 1, 1));
+      Instr (Beq (6, 0, "no_feedback"));
+      Instr (Xor (1, 1, 3));
+      Label "no_feedback";
+      Instr (Xor (1, 1, 4));
+      Instr (Addi (2, 2, -1));
+      Instr (Bne (2, 0, "loop"));
+      Instr Halt;
+    ]

@@ -1,0 +1,26 @@
+(** Software BIST test applications.
+
+    The generator program emulates pseudo-random BIST logic in
+    software: an LFSR stepped once per pattern, each state sent to the
+    CUT through the network interface.  The sink program compacts
+    responses into a MISR.  Both are the programs the paper's
+    "BIST application" models on the reused processors. *)
+
+val default_taps : int
+(** A maximal-length 32-bit LFSR polynomial (Fibonacci form). *)
+
+val generator_program : patterns:int -> seed:int -> taps:int -> Program.t
+(** Program that sends [patterns] successive LFSR states.
+    @raise Invalid_argument if [patterns < 1] or [seed = 0]. *)
+
+val sink_program : words:int -> taps:int -> Program.t
+(** Program that receives [words] response words and folds them into a
+    MISR signature.  @raise Invalid_argument if [words < 1]. *)
+
+val reference_states : seed:int -> taps:int -> count:int -> int list
+(** Pure reference implementation of the generator's LFSR: the exact
+    word sequence {!generator_program} sends (used to test the
+    program, and usable as a golden pattern source). *)
+
+val reference_signature : taps:int -> int list -> int
+(** Pure reference of the sink's MISR folding over a word list. *)

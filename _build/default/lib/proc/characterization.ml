@@ -1,0 +1,93 @@
+type t = {
+  application : string;
+  cycles_per_pattern : float;
+  setup_cycles : int;
+  memory_words : int;
+  power : float;
+}
+
+(* Measure the per-iteration steady-state cost by differencing two run
+   lengths: run the application for [n] and [2n] iterations, so fixed
+   setup cost cancels out of the slope. *)
+let slope_and_setup ~run n =
+  let c1 = run n and c2 = run (2 * n) in
+  let slope = float_of_int (c2 - c1) /. float_of_int n in
+  let setup =
+    max 0 (c1 - int_of_float (Float.round (slope *. float_of_int n)))
+  in
+  (slope, setup)
+
+let of_bist ?(patterns = 512) ~costs ~power () =
+  if patterns < 1 then invalid_arg "Characterization.of_bist: patterns < 1";
+  let run n =
+    let program =
+      Bist.generator_program ~patterns:n ~seed:0xACE1 ~taps:Bist.default_taps
+    in
+    let stats = Machine.run costs program in
+    assert (stats.Machine.outcome = Machine.Halted);
+    assert (stats.Machine.sent_words = n);
+    stats.Machine.cycles
+  in
+  let cycles_per_pattern, setup_cycles = slope_and_setup ~run patterns in
+  let memory_words =
+    Program.length
+      (Bist.generator_program ~seed:0xACE1 ~taps:Bist.default_taps
+         ~patterns:2)
+  in
+  { application = "bist"; cycles_per_pattern; setup_cycles; memory_words; power }
+
+let of_sink ?(words = 512) ~costs ~power () =
+  if words < 1 then invalid_arg "Characterization.of_sink: words < 1";
+  let run n =
+    let program = Bist.sink_program ~words:n ~taps:Bist.default_taps in
+    let stats = Machine.run costs program in
+    assert (stats.Machine.outcome = Machine.Halted);
+    assert (stats.Machine.received_words = n);
+    stats.Machine.cycles
+  in
+  let cycles_per_pattern, setup_cycles = slope_and_setup ~run words in
+  let memory_words =
+    Program.length (Bist.sink_program ~words:2 ~taps:Bist.default_taps)
+  in
+  { application = "misr-sink"; cycles_per_pattern; setup_cycles; memory_words; power }
+
+let of_decompress ?(words = 512) ?(mean_run_length = 4) ~costs ~power () =
+  if words < 1 then invalid_arg "Characterization.of_decompress: words < 1";
+  if mean_run_length < 1 then
+    invalid_arg "Characterization.of_decompress: mean_run_length < 1";
+  (* A synthetic stream with the requested mean run length: runs of
+     [mean_run_length] distinct words. *)
+  let stream n =
+    List.concat_map
+      (fun i -> List.init mean_run_length (fun _ -> 0x100 + (i land 0xFF)))
+      (List.init (n / mean_run_length) (fun i -> i))
+  in
+  let run n =
+    let image = Decompress.encode (stream n) in
+    let stats =
+      Machine.run ~memory_image:image
+        ~memory_words:(max 4096 (Array.length image + 16))
+        costs Decompress.program
+    in
+    assert (stats.Machine.outcome = Machine.Halted);
+    stats.Machine.cycles
+  in
+  let n = words - (words mod mean_run_length) in
+  let n = max mean_run_length n in
+  let cycles_per_pattern, setup_cycles = slope_and_setup ~run n in
+  let memory_words =
+    Program.length Decompress.program
+    + Array.length (Decompress.encode (stream n))
+  in
+  {
+    application = "decompress";
+    cycles_per_pattern;
+    setup_cycles;
+    memory_words;
+    power;
+  }
+
+let pp ppf c =
+  Fmt.pf ppf
+    "@[<h>%s: %.2f cycles/pattern, setup %d, %d memory words, power %.1f@]"
+    c.application c.cycles_per_pattern c.setup_cycles c.memory_words c.power

@@ -1,0 +1,40 @@
+(** Processor test-application characterization — the second step of
+    the paper's flow.
+
+    "The test application has to be characterized in terms of time,
+    memory requirements and power to each processor in the system
+    reused for test."  The numbers here are {e measured} by running
+    the application programs on the {!Machine} interpreter under the
+    processor's cycle table, not assumed. *)
+
+type t = {
+  application : string;  (** ["bist"], ["misr-sink"] or ["decompress"] *)
+  cycles_per_pattern : float;
+      (** steady-state processor cycles per generated (or consumed)
+          pattern word *)
+  setup_cycles : int;  (** one-time cost before the first pattern *)
+  memory_words : int;  (** program + test-data memory footprint *)
+  power : float;
+      (** power the processor draws while running the application *)
+}
+
+val of_bist :
+  ?patterns:int -> costs:Machine.costs -> power:float -> unit -> t
+(** Characterize the LFSR generator ({!Bist.generator_program}) by
+    running it; [patterns] (default 512) sizes the measurement run. *)
+
+val of_sink : ?words:int -> costs:Machine.costs -> power:float -> unit -> t
+(** Characterize the MISR response sink ({!Bist.sink_program}). *)
+
+val of_decompress :
+  ?words:int ->
+  ?mean_run_length:int ->
+  costs:Machine.costs ->
+  power:float ->
+  unit ->
+  t
+(** Characterize the RLE decompressor on a synthetic stream whose runs
+    have the given mean length (default 4): longer runs amortize the
+    per-run memory accesses over more emitted words. *)
+
+val pp : t Fmt.t

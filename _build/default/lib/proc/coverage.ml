@@ -1,0 +1,109 @@
+module Rng = Nocplan_itc02.Data_gen.Rng
+
+(* Each output bit: XOR of direct taps and AND-pair taps over the
+   stimulus lines.  The AND pairs make detection input-dependent, so
+   coverage accumulates over patterns instead of saturating on the
+   first one. *)
+type output_spec = { direct : int list; and_pairs : (int * int) list }
+type cut = { inputs : int; outputs : output_spec list }
+
+let cut ~seed ~inputs ~outputs =
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Coverage.cut: sizes must be >= 1";
+  let rng = Rng.create seed in
+  let line () = Rng.int rng ~bound:inputs in
+  let output _ =
+    let direct = List.init (1 + Rng.int rng ~bound:3) (fun _ -> line ()) in
+    let and_pairs =
+      List.init (1 + Rng.int rng ~bound:3) (fun _ -> (line (), line ()))
+    in
+    { direct; and_pairs }
+  in
+  { inputs; outputs = List.init outputs output }
+
+let eval_with cut read =
+  List.map
+    (fun spec ->
+      let direct = List.fold_left (fun acc i -> acc <> read i) false spec.direct in
+      List.fold_left
+        (fun acc (a, b) -> acc <> (read a && read b))
+        direct spec.and_pairs)
+    cut.outputs
+
+let apply cut stimulus =
+  if List.length stimulus <> cut.inputs then
+    invalid_arg "Coverage.apply: wrong stimulus size";
+  let bits = Array.of_list stimulus in
+  eval_with cut (fun i -> bits.(i))
+
+type fault = { line : int; stuck_at : bool }
+
+let faults cut =
+  List.concat_map
+    (fun line -> [ { line; stuck_at = false }; { line; stuck_at = true } ])
+    (List.init cut.inputs (fun i -> i))
+
+let detects cut fault stimulus =
+  if List.length stimulus <> cut.inputs then
+    invalid_arg "Coverage.detects: wrong stimulus size";
+  let bits = Array.of_list stimulus in
+  let golden = eval_with cut (fun i -> bits.(i)) in
+  let faulty =
+    eval_with cut (fun i -> if i = fault.line then fault.stuck_at else bits.(i))
+  in
+  golden <> faulty
+
+type curve = { detected : int list; total_faults : int }
+
+let run cut ~patterns =
+  let fault_list = faults cut in
+  let remaining = ref fault_list in
+  let found = ref 0 in
+  let detected =
+    List.map
+      (fun pattern ->
+        let hit, miss =
+          List.partition (fun f -> detects cut f pattern) !remaining
+        in
+        found := !found + List.length hit;
+        remaining := miss;
+        !found)
+      patterns
+  in
+  { detected; total_faults = List.length fault_list }
+
+let coverage curve =
+  if curve.total_faults = 0 then 1.0
+  else
+    let final =
+      match List.rev curve.detected with [] -> 0 | last :: _ -> last
+    in
+    float_of_int final /. float_of_int curve.total_faults
+
+let lfsr_patterns ~seed ~inputs ~count =
+  let words_per_pattern = (inputs + 31) / 32 in
+  let words =
+    Bist.reference_states ~seed ~taps:Bist.default_taps
+      ~count:(count * words_per_pattern)
+  in
+  let bit word i = (word lsr i) land 1 = 1 in
+  let rec chunk acc words =
+    match words with
+    | [] -> List.rev acc
+    | _ ->
+        let rec take k taken rest =
+          if k = 0 then (List.rev taken, rest)
+          else
+            match rest with
+            | [] -> (List.rev taken, [])
+            | w :: tl -> take (k - 1) (w :: taken) tl
+        in
+        let mine, rest = take words_per_pattern [] words in
+        let bits =
+          List.init inputs (fun i ->
+              let word = List.nth mine (i / 32) in
+              bit word (i mod 32))
+        in
+        chunk (bits :: acc) rest
+  in
+  chunk [] words

@@ -1,0 +1,50 @@
+(** Fault-coverage measurement for pattern sources.
+
+    The benchmarks state pattern counts; this module grounds them: a
+    synthetic combinational core (a seeded network of AND/XOR taps) is
+    driven pattern by pattern, a single-stuck-at fault list over its
+    stimulus lines is simulated by forcing each line in turn, and the
+    coverage curve (faults detected after each pattern) is recorded.
+    Used to compare the LFSR BIST stream against other pattern sources
+    — the classical result that pseudo-random coverage grows fast and
+    saturates, with a hard tail of resistant faults. *)
+
+type cut
+(** A synthetic combinational core under test. *)
+
+val cut : seed:int64 -> inputs:int -> outputs:int -> cut
+(** A deterministic random network: every output is the XOR of a few
+    direct input taps and a few AND pairs.
+    @raise Invalid_argument unless both sizes are [>= 1]. *)
+
+val apply : cut -> bool list -> bool list
+(** Evaluate the fault-free core on one stimulus.
+    @raise Invalid_argument on a wrong-sized stimulus. *)
+
+type fault = { line : int; stuck_at : bool }
+(** Single stuck-at fault on a stimulus line. *)
+
+val faults : cut -> fault list
+(** The full single-stuck-at list over the stimulus lines
+    ([2 * inputs] faults). *)
+
+val detects : cut -> fault -> bool list -> bool
+(** Does this stimulus detect the fault (faulty response differs from
+    the fault-free one)? *)
+
+type curve = {
+  detected : int list;
+      (** cumulative faults detected after pattern 1, 2, ... *)
+  total_faults : int;
+}
+
+val run : cut -> patterns:bool list list -> curve
+(** Simulate the pattern set in order. *)
+
+val coverage : curve -> float
+(** Final coverage fraction in [0, 1] ([1.0] for an empty fault
+    list). *)
+
+val lfsr_patterns : seed:int -> inputs:int -> count:int -> bool list list
+(** [count] stimulus vectors drawn from the software BIST LFSR
+    ({!Bist.reference_states}), bit-unpacked to [inputs] lines. *)

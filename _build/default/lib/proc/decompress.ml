@@ -1,0 +1,64 @@
+let max_run = 0x7FFFFFFF
+
+let encode words =
+  let rec runs = function
+    | [] -> []
+    | w :: _ as all ->
+        let rec split n = function
+          | x :: rest when x = w && n < max_run -> split (n + 1) rest
+          | rest -> (n, rest)
+        in
+        let count, rest = split 0 all in
+        (count, w) :: runs rest
+  in
+  let pairs = runs words in
+  let image = Array.make ((2 * List.length pairs) + 1) 0 in
+  List.iteri
+    (fun i (count, w) ->
+      image.(2 * i) <- count;
+      image.((2 * i) + 1) <- w)
+    pairs;
+  image
+
+let decoded_length image =
+  let n = Array.length image in
+  let rec go i acc =
+    if i >= n then invalid_arg "Decompress.decoded_length: unterminated image"
+    else if image.(i) = 0 then acc
+    else if i + 1 >= n then
+      invalid_arg "Decompress.decoded_length: truncated pair"
+    else go (i + 2) (acc + image.(i))
+  in
+  go 0 0
+
+let program =
+  let open Isa in
+  Program.assemble_exn
+    [
+      Instr (Li (1, 0));
+      Label "loop";
+      Instr (Load (2, 1, 0));
+      Instr (Beq (2, 0, "done"));
+      Instr (Load (3, 1, 1));
+      Instr (Addi (1, 1, 2));
+      Label "emit";
+      Instr (Send 3);
+      Instr (Addi (2, 2, -1));
+      Instr (Bne (2, 0, "emit"));
+      Instr (Jump "loop");
+      Label "done";
+      Instr Halt;
+    ]
+
+let estimated_memory_words ~words ~mean_run_length =
+  if words < 1 || mean_run_length < 1 then
+    invalid_arg "Decompress.estimated_memory_words: arguments must be >= 1";
+  let runs = (words + mean_run_length - 1) / mean_run_length in
+  (2 * runs) + 1 + Program.length program
+
+let compression_ratio words =
+  match words with
+  | [] -> 1.0
+  | _ ->
+      float_of_int (List.length words)
+      /. float_of_int (Array.length (encode words))

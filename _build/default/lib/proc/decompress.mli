@@ -1,0 +1,32 @@
+(** Software test-data decompression — the paper's announced
+    extension ("in the near future we will also support
+    decompression").
+
+    The processor reads run-length-encoded test data from its local
+    memory, expands it and sends the expanded words to the CUT.  The
+    attraction over BIST is deterministic (ATPG) patterns at a memory
+    cost proportional to the compressed size. *)
+
+val encode : int list -> int array
+(** Run-length encode a word sequence as [(count, word)] pairs, zero
+    terminated — the memory image {!program} consumes.  Runs longer
+    than [2^31 - 1] are split. *)
+
+val decoded_length : int array -> int
+(** Number of words {!program} will emit for a memory image.
+    @raise Invalid_argument on a malformed (unterminated or odd)
+    image. *)
+
+val program : Program.t
+(** The decompression loop: reads pairs at address 0, sends each word
+    [count] times, halts on a zero count. *)
+
+val compression_ratio : int list -> float
+(** [decoded words / encoded words] of {!encode} on the sequence. *)
+
+val estimated_memory_words : words:int -> mean_run_length:int -> int
+(** Memory footprint of serving a test set of [words] stimulus words
+    through this application, assuming runs of the given mean length:
+    the RLE image (two words per run plus the terminator) plus the
+    program itself.
+    @raise Invalid_argument unless both arguments are [>= 1]. *)

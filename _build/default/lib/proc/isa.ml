@@ -1,0 +1,81 @@
+type reg = int
+
+let reg_count = 32
+
+type 'label t =
+  | Li of reg * int
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Xor of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Shl of reg * reg * int
+  | Shr of reg * reg * int
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Beq of reg * reg * 'label
+  | Bne of reg * reg * 'label
+  | Blt of reg * reg * 'label
+  | Jump of 'label
+  | Send of reg
+  | Recv of reg
+  | Halt
+
+let map_label f = function
+  | Li (rd, imm) -> Li (rd, imm)
+  | Mov (rd, rs) -> Mov (rd, rs)
+  | Add (rd, rs1, rs2) -> Add (rd, rs1, rs2)
+  | Addi (rd, rs, imm) -> Addi (rd, rs, imm)
+  | Sub (rd, rs1, rs2) -> Sub (rd, rs1, rs2)
+  | Xor (rd, rs1, rs2) -> Xor (rd, rs1, rs2)
+  | And (rd, rs1, rs2) -> And (rd, rs1, rs2)
+  | Or (rd, rs1, rs2) -> Or (rd, rs1, rs2)
+  | Shl (rd, rs, imm) -> Shl (rd, rs, imm)
+  | Shr (rd, rs, imm) -> Shr (rd, rs, imm)
+  | Load (rd, rs, off) -> Load (rd, rs, off)
+  | Store (rd, rs, off) -> Store (rd, rs, off)
+  | Beq (r1, r2, l) -> Beq (r1, r2, f l)
+  | Bne (r1, r2, l) -> Bne (r1, r2, f l)
+  | Blt (r1, r2, l) -> Blt (r1, r2, f l)
+  | Jump l -> Jump (f l)
+  | Send rs -> Send rs
+  | Recv rd -> Recv rd
+  | Halt -> Halt
+
+let regs_of = function
+  | Li (rd, _) -> [ rd ]
+  | Mov (a, b) | Shl (a, b, _) | Shr (a, b, _) | Addi (a, b, _)
+  | Load (a, b, _) | Store (a, b, _) ->
+      [ a; b ]
+  | Add (a, b, c) | Sub (a, b, c) | Xor (a, b, c) | And (a, b, c)
+  | Or (a, b, c) ->
+      [ a; b; c ]
+  | Beq (a, b, _) | Bne (a, b, _) | Blt (a, b, _) -> [ a; b ]
+  | Jump _ | Halt -> []
+  | Send r | Recv r -> [ r ]
+
+let check_registers instr =
+  List.for_all (fun r -> r >= 0 && r < reg_count) (regs_of instr)
+
+let pp pp_label ppf = function
+  | Li (rd, imm) -> Fmt.pf ppf "li r%d, %d" rd imm
+  | Mov (rd, rs) -> Fmt.pf ppf "mov r%d, r%d" rd rs
+  | Add (rd, a, b) -> Fmt.pf ppf "add r%d, r%d, r%d" rd a b
+  | Addi (rd, rs, imm) -> Fmt.pf ppf "addi r%d, r%d, %d" rd rs imm
+  | Sub (rd, a, b) -> Fmt.pf ppf "sub r%d, r%d, r%d" rd a b
+  | Xor (rd, a, b) -> Fmt.pf ppf "xor r%d, r%d, r%d" rd a b
+  | And (rd, a, b) -> Fmt.pf ppf "and r%d, r%d, r%d" rd a b
+  | Or (rd, a, b) -> Fmt.pf ppf "or r%d, r%d, r%d" rd a b
+  | Shl (rd, rs, imm) -> Fmt.pf ppf "shl r%d, r%d, %d" rd rs imm
+  | Shr (rd, rs, imm) -> Fmt.pf ppf "shr r%d, r%d, %d" rd rs imm
+  | Load (rd, rs, off) -> Fmt.pf ppf "load r%d, %d(r%d)" rd off rs
+  | Store (rd, rs, off) -> Fmt.pf ppf "store r%d, %d(r%d)" rd off rs
+  | Beq (a, b, l) -> Fmt.pf ppf "beq r%d, r%d, %a" a b pp_label l
+  | Bne (a, b, l) -> Fmt.pf ppf "bne r%d, r%d, %a" a b pp_label l
+  | Blt (a, b, l) -> Fmt.pf ppf "blt r%d, r%d, %a" a b pp_label l
+  | Jump l -> Fmt.pf ppf "jump %a" pp_label l
+  | Send r -> Fmt.pf ppf "send r%d" r
+  | Recv r -> Fmt.pf ppf "recv r%d" r
+  | Halt -> Fmt.pf ppf "halt"

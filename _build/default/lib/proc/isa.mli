@@ -1,0 +1,43 @@
+(** A small load/store instruction set shared by the modelled
+    processors.
+
+    The paper characterizes each reused processor by actually running
+    the test application on it; here the application runs on this ISA
+    interpreted by {!Machine} under a per-processor cycle table
+    ({!Leon}, {!Plasma}).  The ISA is deliberately the common subset of
+    MIPS-I and SPARC V8 that the test programs need, plus [Send]/[Recv]
+    for the network interface register. *)
+
+type reg = int
+(** Register index, 0..31.  Register 0 is hard-wired to zero, as on
+    MIPS; the SPARC %g0 convention is identical. *)
+
+val reg_count : int
+
+type 'label t =
+  | Li of reg * int  (** [rd <- imm] *)
+  | Mov of reg * reg  (** [rd <- rs] *)
+  | Add of reg * reg * reg  (** [rd <- rs1 + rs2] *)
+  | Addi of reg * reg * int  (** [rd <- rs + imm] *)
+  | Sub of reg * reg * reg
+  | Xor of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Shl of reg * reg * int  (** logical shift left by constant *)
+  | Shr of reg * reg * int  (** logical shift right by constant *)
+  | Load of reg * reg * int  (** [rd <- mem.(rs + off)] *)
+  | Store of reg * reg * int  (** [mem.(rs + off) <- rd] *)
+  | Beq of reg * reg * 'label
+  | Bne of reg * reg * 'label
+  | Blt of reg * reg * 'label  (** signed comparison *)
+  | Jump of 'label
+  | Send of reg  (** write [rs] to the network-interface output port *)
+  | Recv of reg  (** read one word from the network-interface input *)
+  | Halt
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+
+val check_registers : 'a t -> bool
+(** All register operands are within [0..reg_count-1]. *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t

@@ -1,0 +1,19 @@
+module Module_def = Nocplan_itc02.Module_def
+
+let costs =
+  Machine.costs ~alu:1 ~load:2 ~store:3 ~branch_taken:2 ~branch_not_taken:1
+    ~jump:2 ~send:3 ~recv:3
+
+let power_active = 120.0
+
+(* Scan structure and pattern count of a Leon-class core: a few
+   thousand flip-flops (integer unit, register windows, control) in 32
+   balanced chains, with the large deterministic pattern set complex
+   processors need. *)
+let self_test ~id =
+  let cells = 2600 and chain_count = 32 in
+  let base = cells / chain_count and extra = cells mod chain_count in
+  Module_def.make ~id ~name:"leon"
+    ~inputs:92 ~outputs:64
+    ~scan_chains:(List.init chain_count (fun i -> base + if i < extra then 1 else 0))
+    ~patterns:420 ()

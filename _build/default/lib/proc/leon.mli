@@ -1,0 +1,21 @@
+(** Cycle and test parameters of the Leon processor (SPARC V8
+    compliant, the synthesizable core from Gaisler used by the paper).
+
+    The cycle table reflects the single-issue 5-stage integer pipeline:
+    single-cycle ALU, 2-cycle loads, 3-cycle stores (SPARC stores
+    occupy the memory stage an extra cycle), and an untaken-delay-slot
+    penalty on taken branches.  It is calibrated so that the software
+    BIST loop costs the ~10 cycles per pattern the paper assumes —
+    {!Processor.leon} measures the actual figure by running the
+    program. *)
+
+val costs : Machine.costs
+
+val power_active : float
+(** Power drawn while the processor runs a test application. *)
+
+val self_test : id:int -> Nocplan_itc02.Module_def.t
+(** The processor itself as a core under test.  Leon is the complex
+    processor of the pair: many scan cells and a large pattern count,
+    so it becomes available as a test resource late ("complex
+    processors ... may be reused for test few times"). *)

@@ -1,0 +1,152 @@
+type costs = {
+  alu : int;
+  load : int;
+  store : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;
+  send : int;
+  recv : int;
+}
+
+let costs ~alu ~load ~store ~branch_taken ~branch_not_taken ~jump ~send ~recv =
+  let all =
+    [ alu; load; store; branch_taken; branch_not_taken; jump; send; recv ]
+  in
+  if List.exists (fun c -> c < 1) all then
+    invalid_arg "Machine.costs: every cost must be >= 1";
+  { alu; load; store; branch_taken; branch_not_taken; jump; send; recv }
+
+type io = { on_send : int -> unit; recv_word : unit -> int }
+
+let null_io = { on_send = (fun _ -> ()); recv_word = (fun () -> 0) }
+
+type outcome = Halted | Fuel_exhausted
+
+type stats = {
+  outcome : outcome;
+  cycles : int;
+  instructions : int;
+  sent_words : int;
+  received_words : int;
+}
+
+let word_mask = 0xFFFFFFFF
+
+(* Sign for 32-bit signed comparison. *)
+let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let run ?(io = null_io) ?(memory_words = 4096) ?memory_image
+    ?(max_cycles = 100_000_000) costs program =
+  let regs = Array.make Isa.reg_count 0 in
+  let memory = Array.make memory_words 0 in
+  (match memory_image with
+  | Some image ->
+      if Array.length image > memory_words then
+        invalid_arg "Machine.run: memory_image larger than memory";
+      Array.blit image 0 memory 0 (Array.length image)
+  | None -> ());
+  let code = program.Program.code in
+  let code_len = Array.length code in
+  let pc = ref 0 in
+  let cycles = ref 0 in
+  let instructions = ref 0 in
+  let sent = ref 0 in
+  let received = ref 0 in
+  let outcome = ref Fuel_exhausted in
+  let get r = if r = 0 then 0 else regs.(r) in
+  let set r v = if r <> 0 then regs.(r) <- v land word_mask in
+  let mem_addr a =
+    if a < 0 || a >= memory_words then
+      invalid_arg (Printf.sprintf "Machine.run: memory access at %d" a)
+    else a
+  in
+  let jump_to target =
+    if target < 0 || target >= code_len then
+      invalid_arg (Printf.sprintf "Machine.run: jump to %d" target)
+    else pc := target
+  in
+  let running = ref true in
+  while !running && !cycles < max_cycles do
+    if !pc < 0 || !pc >= code_len then
+      invalid_arg (Printf.sprintf "Machine.run: pc out of code at %d" !pc);
+    let instr = code.(!pc) in
+    incr instructions;
+    pc := !pc + 1;
+    (match instr with
+    | Isa.Li (rd, imm) ->
+        set rd imm;
+        cycles := !cycles + costs.alu
+    | Isa.Mov (rd, rs) ->
+        set rd (get rs);
+        cycles := !cycles + costs.alu
+    | Isa.Add (rd, a, b) ->
+        set rd (get a + get b);
+        cycles := !cycles + costs.alu
+    | Isa.Addi (rd, rs, imm) ->
+        set rd (get rs + imm);
+        cycles := !cycles + costs.alu
+    | Isa.Sub (rd, a, b) ->
+        set rd (get a - get b);
+        cycles := !cycles + costs.alu
+    | Isa.Xor (rd, a, b) ->
+        set rd (get a lxor get b);
+        cycles := !cycles + costs.alu
+    | Isa.And (rd, a, b) ->
+        set rd (get a land get b);
+        cycles := !cycles + costs.alu
+    | Isa.Or (rd, a, b) ->
+        set rd (get a lor get b);
+        cycles := !cycles + costs.alu
+    | Isa.Shl (rd, rs, imm) ->
+        set rd (get rs lsl imm);
+        cycles := !cycles + costs.alu
+    | Isa.Shr (rd, rs, imm) ->
+        set rd (get rs lsr imm);
+        cycles := !cycles + costs.alu
+    | Isa.Load (rd, rs, off) ->
+        set rd memory.(mem_addr (get rs + off));
+        cycles := !cycles + costs.load
+    | Isa.Store (rd, rs, off) ->
+        memory.(mem_addr (get rs + off)) <- get rd;
+        cycles := !cycles + costs.store
+    | Isa.Beq (a, b, target) ->
+        if get a = get b then begin
+          jump_to target;
+          cycles := !cycles + costs.branch_taken
+        end
+        else cycles := !cycles + costs.branch_not_taken
+    | Isa.Bne (a, b, target) ->
+        if get a <> get b then begin
+          jump_to target;
+          cycles := !cycles + costs.branch_taken
+        end
+        else cycles := !cycles + costs.branch_not_taken
+    | Isa.Blt (a, b, target) ->
+        if signed (get a) < signed (get b) then begin
+          jump_to target;
+          cycles := !cycles + costs.branch_taken
+        end
+        else cycles := !cycles + costs.branch_not_taken
+    | Isa.Jump target ->
+        jump_to target;
+        cycles := !cycles + costs.jump
+    | Isa.Send rs ->
+        io.on_send (get rs);
+        incr sent;
+        cycles := !cycles + costs.send
+    | Isa.Recv rd ->
+        set rd (io.recv_word () land word_mask);
+        incr received;
+        cycles := !cycles + costs.recv
+    | Isa.Halt ->
+        running := false;
+        outcome := Halted)
+  done;
+  {
+    outcome = !outcome;
+    cycles = !cycles;
+    instructions = !instructions;
+    sent_words = !sent;
+    received_words = !received;
+  }

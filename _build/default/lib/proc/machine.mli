@@ -1,0 +1,65 @@
+(** Cycle-counting interpreter for {!Isa} programs.
+
+    The interpreter is deliberately simple — in-order, one instruction
+    at a time — with all micro-architectural difference between the
+    modelled processors captured by the {!costs} table.  Words are
+    32-bit (values are masked to 32 bits on every write). *)
+
+type costs = {
+  alu : int;  (** register-register and register-immediate ALU ops *)
+  load : int;
+  store : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;
+  send : int;  (** write to the network-interface register *)
+  recv : int;
+}
+
+val costs :
+  alu:int ->
+  load:int ->
+  store:int ->
+  branch_taken:int ->
+  branch_not_taken:int ->
+  jump:int ->
+  send:int ->
+  recv:int ->
+  costs
+(** @raise Invalid_argument if any cost is [< 1]. *)
+
+type io = {
+  on_send : int -> unit;  (** called for each [Send]ed word *)
+  recv_word : unit -> int;  (** supplies each [Recv]ed word *)
+}
+
+val null_io : io
+(** Discards sends, supplies zeros. *)
+
+type outcome =
+  | Halted  (** the program executed [Halt] *)
+  | Fuel_exhausted  (** [max_cycles] was reached first *)
+
+type stats = {
+  outcome : outcome;
+  cycles : int;
+  instructions : int;
+  sent_words : int;
+  received_words : int;
+}
+
+val run :
+  ?io:io ->
+  ?memory_words:int ->
+  ?memory_image:int array ->
+  ?max_cycles:int ->
+  costs ->
+  Program.t ->
+  stats
+(** Execute from instruction 0.  [memory_words] defaults to 4096,
+    [max_cycles] to 100 million; [memory_image], when given, is copied
+    into memory starting at address 0 before execution.
+
+    @raise Invalid_argument on a memory access out of bounds, a jump
+    outside the program (both indicate a broken test program), or a
+    [memory_image] larger than memory. *)

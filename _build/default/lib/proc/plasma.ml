@@ -1,0 +1,15 @@
+module Module_def = Nocplan_itc02.Module_def
+
+let costs =
+  Machine.costs ~alu:1 ~load:3 ~store:3 ~branch_taken:3 ~branch_not_taken:1
+    ~jump:3 ~send:3 ~recv:3
+
+let power_active = 70.0
+
+let self_test ~id =
+  let cells = 1100 and chain_count = 16 in
+  let base = cells / chain_count and extra = cells mod chain_count in
+  Module_def.make ~id ~name:"plasma"
+    ~inputs:60 ~outputs:42
+    ~scan_chains:(List.init chain_count (fun i -> base + if i < extra then 1 else 0))
+    ~patterns:180 ()

@@ -1,0 +1,13 @@
+(** Cycle and test parameters of the Plasma processor (MIPS-I
+    compliant, the synthesizable core from opencores.org used by the
+    paper).
+
+    Plasma is a small 2/3-stage implementation without a load delay
+    bypass: loads, stores and taken branches all stall, so its test
+    applications run slower than Leon's — but as the simpler core it
+    needs far fewer patterns for its own test and becomes a reusable
+    test resource earlier. *)
+
+val costs : Machine.costs
+val power_active : float
+val self_test : id:int -> Nocplan_itc02.Module_def.t

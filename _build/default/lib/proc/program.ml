@@ -1,0 +1,60 @@
+type stmt = Label of string | Instr of string Isa.t
+type t = { code : int Isa.t array; source : stmt list }
+
+let assemble stmts =
+  let exception Error of string in
+  try
+    (* Pass 1: label -> instruction index. *)
+    let labels = Hashtbl.create 16 in
+    let count =
+      List.fold_left
+        (fun idx stmt ->
+          match stmt with
+          | Label name ->
+              if Hashtbl.mem labels name then
+                raise (Error (Printf.sprintf "duplicate label %S" name));
+              Hashtbl.add labels name idx;
+              idx
+          | Instr _ -> idx + 1)
+        0 stmts
+    in
+    if count = 0 then raise (Error "empty program");
+    let resolve name =
+      match Hashtbl.find_opt labels name with
+      | Some idx -> idx
+      | None -> raise (Error (Printf.sprintf "undefined label %S" name))
+    in
+    (* Pass 2: emit code with resolved targets. *)
+    let code =
+      List.filter_map
+        (function
+          | Label _ -> None
+          | Instr instr ->
+              if not (Isa.check_registers instr) then
+                raise
+                  (Error
+                     (Fmt.str "register out of range in %a"
+                        (Isa.pp Fmt.string) instr));
+              Some (Isa.map_label resolve instr))
+        stmts
+      |> Array.of_list
+    in
+    Ok { code; source = stmts }
+  with Error msg -> Result.Error msg
+
+let assemble_exn stmts =
+  match assemble stmts with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Program.assemble: " ^ msg)
+
+let length t = Array.length t.code
+
+let pp ppf t =
+  let idx = ref 0 in
+  let pp_stmt ppf = function
+    | Label name -> Fmt.pf ppf "%s:" name
+    | Instr instr ->
+        Fmt.pf ppf "  %3d  %a" !idx (Isa.pp Fmt.string) instr;
+        incr idx
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_stmt) t.source

@@ -1,0 +1,23 @@
+(** Assembly programs: labelled statement lists resolved to
+    branch-target-indexed code. *)
+
+type stmt = Label of string | Instr of string Isa.t
+
+type t = private {
+  code : int Isa.t array;  (** branch targets resolved to code indices *)
+  source : stmt list;  (** the original statements, for listings *)
+}
+
+val assemble : stmt list -> (t, string) result
+(** Resolve labels.  Errors on duplicate labels, references to
+    undefined labels, register operands out of range, or an empty
+    program. *)
+
+val assemble_exn : stmt list -> t
+(** @raise Invalid_argument with the error message of {!assemble}. *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val pp : t Fmt.t
+(** Listing with labels and instruction indices. *)

@@ -1,0 +1,51 @@
+module Module_def = Nocplan_itc02.Module_def
+module Wrapper = Nocplan_itc02.Wrapper
+module Rng = Nocplan_itc02.Data_gen.Rng
+
+type style = Atpg of float | Random
+
+let pp_style ppf = function
+  | Atpg d -> Fmt.pf ppf "atpg(care %.2f)" d
+  | Random -> Fmt.string ppf "random"
+
+
+let stimulus_words style ~seed ~words_per_pattern ~patterns =
+  if words_per_pattern < 1 || patterns < 1 then
+    invalid_arg "Test_data.stimulus_words: non-positive size";
+  (match style with
+  | Atpg d when d < 0.0 || d > 1.0 ->
+      invalid_arg "Test_data.stimulus_words: care density outside [0, 1]"
+  | Atpg _ | Random -> ());
+  let rng = Rng.create seed in
+  let word () =
+    match style with
+    | Random -> Rng.int rng ~bound:0x40000000 lxor (Rng.int rng ~bound:4 lsl 30)
+    | Atpg density ->
+        (* Care bits cluster: a word is either entirely don't-care
+           (zero fill, the common case) or a care word with random
+           content.  This word-level clustering is what makes real
+           ATPG stimulus run-length compressible. *)
+        if Rng.bool rng density then
+          ((Rng.int rng ~bound:0x40000000 lsl 2) lor Rng.int rng ~bound:4)
+          land 0xFFFFFFFF
+        else 0
+  in
+  List.concat_map
+    (fun _ -> List.init words_per_pattern (fun _ -> word ()))
+    (List.init patterns (fun p -> p))
+
+let words_per_pattern ~flit_width m =
+  let wrapper = Wrapper.design ~width:flit_width m in
+  wrapper.Wrapper.scan_in_max + 1
+
+let stream_for style ~seed ~flit_width m =
+  stimulus_words style ~seed
+    ~words_per_pattern:(words_per_pattern ~flit_width m)
+    ~patterns:m.Module_def.patterns
+
+let measured_compression style ~seed ~flit_width m =
+  Decompress.compression_ratio (stream_for style ~seed ~flit_width m)
+
+let measured_memory_words style ~seed ~flit_width m =
+  let image = Decompress.encode (stream_for style ~seed ~flit_width m) in
+  Array.length image + Program.length Decompress.program

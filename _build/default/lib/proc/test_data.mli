@@ -1,0 +1,45 @@
+(** Concrete test-data generation and measured compressibility.
+
+    The planner's memory-feasibility check needs to know how well a
+    core's stimulus data compresses.  Rather than assuming a ratio,
+    this module synthesizes the data and measures it: deterministic
+    ATPG-like pattern sets in which only a sparse fraction of bits are
+    {e care} bits (random) and the rest are zero-filled — the
+    structure that makes real scan data run-length compressible.
+    Fully-random (BIST-like) data is also available as the
+    incompressible extreme. *)
+
+type style =
+  | Atpg of float
+      (** [Atpg care_density]: each stimulus word is a random care
+          word with this probability and all-zero fill otherwise —
+          care bits cluster in real ATPG sets, which is what makes
+          them run-length compressible.  Typical densities are a few
+          percent. *)
+  | Random  (** every bit pseudo-random — BIST-like, incompressible *)
+
+val stimulus_words :
+  style -> seed:int64 -> words_per_pattern:int -> patterns:int -> int list
+(** The flit-width-packed stimulus stream of a whole test set:
+    [patterns * words_per_pattern] 32-bit words, deterministic in
+    [seed].
+    @raise Invalid_argument on non-positive sizes or a care density
+    outside [0, 1]. *)
+
+val stream_for :
+  style -> seed:int64 -> flit_width:int -> Nocplan_itc02.Module_def.t -> int list
+(** The stimulus stream of a module: scan-in flits per pattern are
+    derived from the module's wrapper at [flit_width]. *)
+
+val measured_compression :
+  style -> seed:int64 -> flit_width:int -> Nocplan_itc02.Module_def.t -> float
+(** Run-length compression ratio ({!Decompress.compression_ratio}) of
+    the module's synthesized stimulus stream. *)
+
+val measured_memory_words :
+  style -> seed:int64 -> flit_width:int -> Nocplan_itc02.Module_def.t -> int
+(** Exact memory footprint of serving the module through the
+    decompression application: the actual RLE image of the synthesized
+    stream plus the program. *)
+
+val pp_style : style Fmt.t

@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Fmt List Nocplan_core Nocplan_proc Result Util

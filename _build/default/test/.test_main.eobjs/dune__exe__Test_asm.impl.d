@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest List Nocplan_proc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Fmt List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc Option

@@ -1,0 +1,1 @@
+test/test_bist.ml: Alcotest List Nocplan_proc QCheck2 Stdlib Util

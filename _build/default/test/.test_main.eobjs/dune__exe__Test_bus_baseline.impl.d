@@ -1,0 +1,1 @@
+test/test_bus_baseline.ml: Alcotest List Nocplan_core Util

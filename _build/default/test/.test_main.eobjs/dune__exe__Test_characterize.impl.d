@@ -1,0 +1,1 @@
+test/test_characterize.ml: Alcotest Nocplan_noc Util

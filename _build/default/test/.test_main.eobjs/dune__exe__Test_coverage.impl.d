@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Int64 List Nocplan_proc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Int64 List Nocplan_itc02 QCheck2 Util

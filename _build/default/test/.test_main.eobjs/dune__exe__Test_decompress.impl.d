@@ -1,0 +1,1 @@
+test/test_decompress.ml: Alcotest Array List Nocplan_proc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Fmt List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc Result Util

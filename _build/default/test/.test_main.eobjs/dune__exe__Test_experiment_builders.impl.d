@@ -1,0 +1,1 @@
+test/test_experiment_builders.ml: Alcotest List Nocplan_core Nocplan_noc

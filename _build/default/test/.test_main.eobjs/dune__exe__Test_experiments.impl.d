@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Nocplan_core Nocplan_itc02 Nocplan_noc Printf

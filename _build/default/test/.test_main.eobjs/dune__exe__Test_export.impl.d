@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Char List Nocplan_core Printf String Util

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Fmt List Nocplan_core Nocplan_noc Nocplan_proc Printf Util

@@ -1,0 +1,1 @@
+test/test_flit_sim.ml: Alcotest Float Int64 List Nocplan_noc Printf QCheck2 Util

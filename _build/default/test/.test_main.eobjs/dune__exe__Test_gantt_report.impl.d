@@ -1,0 +1,1 @@
+test/test_gantt_report.ml: Alcotest Float List Nocplan_core Nocplan_proc Printf String Util

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest List Nocplan_core Nocplan_itc02 Nocplan_noc Printf Util

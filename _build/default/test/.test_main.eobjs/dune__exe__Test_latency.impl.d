@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Nocplan_noc QCheck2 Util

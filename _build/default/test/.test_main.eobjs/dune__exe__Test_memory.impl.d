@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Fmt List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_metrics_vcd.ml: Alcotest Filename In_channel List Nocplan_core Printf String Sys Util

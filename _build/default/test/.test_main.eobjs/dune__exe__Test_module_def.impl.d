@@ -1,0 +1,1 @@
+test/test_module_def.ml: Alcotest Float Nocplan_itc02 QCheck2 Util

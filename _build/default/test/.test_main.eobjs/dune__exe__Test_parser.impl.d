@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Filename Fmt List Nocplan_itc02 String Sys Util

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest List Nocplan_core Nocplan_noc Printf QCheck2 Stdlib Util

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Float List Nocplan_core Nocplan_proc Util

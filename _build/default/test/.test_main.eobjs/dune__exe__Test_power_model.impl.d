@@ -1,0 +1,1 @@
+test/test_power_model.ml: Alcotest Float List Nocplan_itc02 Util

@@ -1,0 +1,1 @@
+test/test_power_monitor.ml: Alcotest Float Fun List Nocplan_core QCheck2 Util

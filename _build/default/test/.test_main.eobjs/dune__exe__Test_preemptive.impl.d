@@ -1,0 +1,1 @@
+test/test_preemptive.ml: Alcotest Fmt List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc Printf QCheck2 Result Util

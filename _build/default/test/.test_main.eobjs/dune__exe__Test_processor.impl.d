@@ -1,0 +1,1 @@
+test/test_processor.ml: Alcotest List Nocplan_itc02 Nocplan_proc

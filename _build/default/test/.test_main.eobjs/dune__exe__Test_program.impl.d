@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Fmt Nocplan_proc String

@@ -1,0 +1,1 @@
+test/test_replan.ml: Alcotest Fmt List Nocplan_core Nocplan_noc Nocplan_proc QCheck2 Result Util

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest List Nocplan_core Nocplan_noc Nocplan_proc Util

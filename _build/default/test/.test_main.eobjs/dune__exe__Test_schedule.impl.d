@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Fmt List Nocplan_core Nocplan_noc Nocplan_proc Stdlib Util

@@ -1,0 +1,1 @@
+test/test_schedule_sim.ml: Alcotest List Nocplan_core Nocplan_itc02 Printf Util

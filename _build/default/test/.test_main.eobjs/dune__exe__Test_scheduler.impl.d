@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Fmt List Nocplan_core Nocplan_noc Nocplan_proc Option QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Fun List Nocplan_itc02 Util

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc Util

@@ -1,0 +1,1 @@
+test/test_test_data.ml: Alcotest Array List Nocplan_core Nocplan_itc02 Nocplan_proc Util

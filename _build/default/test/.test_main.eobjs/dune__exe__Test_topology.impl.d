@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Fun List Nocplan_noc Stdlib Util

@@ -1,0 +1,1 @@
+test/test_torus.ml: Alcotest Fmt List Nocplan_core Nocplan_noc Nocplan_proc Printf QCheck2 Util

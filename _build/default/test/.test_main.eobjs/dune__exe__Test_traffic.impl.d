@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Int64 List Nocplan_noc QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest Array List Nocplan_itc02 QCheck2 Stdlib Util

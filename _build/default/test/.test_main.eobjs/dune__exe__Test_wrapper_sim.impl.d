@@ -1,0 +1,1 @@
+test/test_wrapper_sim.ml: Alcotest List Nocplan_itc02 QCheck2 Util

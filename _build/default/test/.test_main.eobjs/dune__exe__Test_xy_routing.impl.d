@@ -1,0 +1,1 @@
+test/test_xy_routing.ml: Alcotest List Nocplan_noc QCheck2 Util

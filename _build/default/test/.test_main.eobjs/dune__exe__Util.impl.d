@@ -1,0 +1,1 @@
+test/util.ml: List Nocplan_core Nocplan_itc02 Nocplan_noc Nocplan_proc Printf QCheck2 QCheck_alcotest

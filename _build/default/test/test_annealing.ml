@@ -1,0 +1,117 @@
+open Util
+module Core = Nocplan_core
+module Annealing = Core.Annealing
+module Scheduler = Core.Scheduler
+module Schedule = Core.Schedule
+module Proc = Nocplan_proc
+
+let test_never_worse_than_greedy () =
+  let sys = small_system () in
+  let greedy = Scheduler.run sys (Scheduler.config ~reuse:1 ()) in
+  let r = Annealing.schedule ~iterations:100 ~reuse:1 sys in
+  Alcotest.(check int) "initial is greedy" greedy.Schedule.makespan
+    r.Annealing.initial_makespan;
+  Alcotest.(check bool) "never worse" true
+    (r.Annealing.schedule.Schedule.makespan <= greedy.Schedule.makespan)
+
+let test_deterministic () =
+  let sys = small_system () in
+  let a = Annealing.schedule ~iterations:60 ~seed:7L ~reuse:1 sys in
+  let b = Annealing.schedule ~iterations:60 ~seed:7L ~reuse:1 sys in
+  Alcotest.(check int) "same result" a.Annealing.schedule.Schedule.makespan
+    b.Annealing.schedule.Schedule.makespan;
+  Alcotest.(check int) "same evaluations" a.Annealing.evaluations
+    b.Annealing.evaluations
+
+let test_result_validates () =
+  let sys = small_system () in
+  let r = Annealing.schedule ~iterations:80 ~reuse:1 sys in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit:None
+      ~reuse:1 r.Annealing.schedule
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
+
+let test_improves_p22810_like_instance () =
+  (* The greedy-order weakness the annealer exploits is strongest on
+     larger heterogeneous systems; on p22810_leon a short run finds a
+     strictly better order. *)
+  let sys = Core.Experiments.p22810_leon () in
+  let r = Annealing.schedule ~iterations:120 ~reuse:8 sys in
+  Alcotest.(check bool) "strict improvement" true
+    (r.Annealing.schedule.Schedule.makespan < r.Annealing.initial_makespan)
+
+let test_with_power_limit () =
+  let sys = small_system () in
+  let power_limit = Some (Core.System.power_limit_of_pct sys ~pct:95.0) in
+  let r = Annealing.schedule ~power_limit ~iterations:50 ~reuse:1 sys in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit
+      ~reuse:1 r.Annealing.schedule
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
+
+let test_parameter_validation () =
+  let sys = small_system () in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Annealing.schedule ~iterations:0 ~reuse:1 sys);
+  expect_invalid (fun () -> Annealing.schedule ~cooling:0.0 ~reuse:1 sys);
+  expect_invalid (fun () -> Annealing.schedule ~cooling:1.5 ~reuse:1 sys);
+  expect_invalid (fun () ->
+      Annealing.schedule ~initial_temperature:(-1.0) ~reuse:1 sys)
+
+let test_custom_order_rejected_if_not_permutation () =
+  let sys = small_system () in
+  match
+    Scheduler.run sys (Scheduler.config ~order:[ 1; 2 ] ~reuse:1 ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "partial order accepted"
+
+let test_custom_order_changes_plan () =
+  (* Reversing the priority order is accepted and yields a valid (if
+     possibly worse) schedule. *)
+  let sys = small_system () in
+  let order = List.rev (Core.Priority.order sys ~reuse:1) in
+  let sched = Scheduler.run sys (Scheduler.config ~order ~reuse:1 ()) in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit:None
+      ~reuse:1 sched
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
+
+let prop_valid_on_random_systems =
+  qcheck ~count:10 "annealed schedules validate" system_gen (fun sys ->
+      let reuse = List.length sys.Core.System.processors in
+      let r = Annealing.schedule ~iterations:30 ~reuse sys in
+      Result.is_ok
+        (Schedule.validate sys ~application:Proc.Processor.Bist
+           ~power_limit:None ~reuse r.Annealing.schedule)
+      && r.Annealing.schedule.Schedule.makespan <= r.Annealing.initial_makespan)
+
+let suite =
+  [
+    Alcotest.test_case "never worse than greedy" `Quick
+      test_never_worse_than_greedy;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "result validates" `Quick test_result_validates;
+    Alcotest.test_case "improves p22810" `Slow
+      test_improves_p22810_like_instance;
+    Alcotest.test_case "with power limit" `Quick test_with_power_limit;
+    Alcotest.test_case "parameter validation" `Quick test_parameter_validation;
+    Alcotest.test_case "order must be a permutation" `Quick
+      test_custom_order_rejected_if_not_permutation;
+    Alcotest.test_case "custom order accepted" `Quick
+      test_custom_order_changes_plan;
+    prop_valid_on_random_systems;
+  ]

@@ -1,0 +1,136 @@
+module Proc = Nocplan_proc
+module Asm = Proc.Asm
+module Program = Proc.Program
+module Machine = Proc.Machine
+module Isa = Proc.Isa
+
+let parse_ok text =
+  match Asm.parse_program text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %a" Asm.pp_error e
+
+let parse_err text =
+  match Asm.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let unit_costs =
+  Machine.costs ~alu:1 ~load:1 ~store:1 ~branch_taken:1 ~branch_not_taken:1
+    ~jump:1 ~send:1 ~recv:1
+
+let run_and_collect program =
+  let sent = ref [] in
+  let io =
+    { Machine.on_send = (fun w -> sent := w :: !sent); recv_word = (fun () -> 0) }
+  in
+  let _ = Machine.run ~io unit_costs program in
+  List.rev !sent
+
+let test_countdown_program () =
+  let program =
+    parse_ok
+      {|
+      # count down from three
+      li r1, 3
+loop: send r1
+      addi r1, r1, -1
+      bne r1, r0, loop
+      halt
+      |}
+  in
+  Alcotest.(check (list int)) "runs" [ 3; 2; 1 ] (run_and_collect program)
+
+let test_memory_syntax () =
+  let program =
+    parse_ok
+      {|
+      li r1, 7
+      store r1, 10(r0)
+      load r2, 10(r0)
+      send r2
+      halt
+      |}
+  in
+  Alcotest.(check (list int)) "load/store operands" [ 7 ] (run_and_collect program)
+
+let test_case_and_commas_flexible () =
+  let program = parse_ok "LI R1, 5\nSEND r1\nHALT" in
+  Alcotest.(check (list int)) "case-insensitive" [ 5 ] (run_and_collect program)
+
+let test_label_on_same_line () =
+  let program = parse_ok "start: li r1, 9\nsend r1\nhalt" in
+  Alcotest.(check (list int)) "label then instr" [ 9 ] (run_and_collect program)
+
+let test_semicolon_comments () =
+  let program = parse_ok "li r1, 2 ; two\nsend r1\nhalt" in
+  Alcotest.(check (list int)) "comment stripped" [ 2 ] (run_and_collect program)
+
+let test_errors () =
+  let check_line expected text =
+    Alcotest.(check int) "error line" expected (parse_err text).Asm.line
+  in
+  check_line 1 "bogus r1";
+  check_line 2 "halt\nli r99, 1";
+  check_line 1 "li r1";
+  check_line 3 "li r1, 1\nsend r1\nload r2, r3";
+  match Asm.parse_program "jump nowhere\nhalt" with
+  | Error e -> Alcotest.(check int) "assembler errors on line 0" 0 e.Asm.line
+  | Ok _ -> Alcotest.fail "undefined label accepted"
+
+let test_roundtrip_builtin_programs () =
+  (* The library's own test applications survive a print/parse loop and
+     behave identically. *)
+  let check_program name (program : Program.t) =
+    let text = Asm.to_string program.Program.source in
+    let reparsed = parse_ok text in
+    Alcotest.(check int) (name ^ " same length") (Program.length program)
+      (Program.length reparsed);
+    Alcotest.(check (list int))
+      (name ^ " same behaviour")
+      (run_and_collect program) (run_and_collect reparsed)
+  in
+  check_program "bist generator"
+    (Proc.Bist.generator_program ~patterns:10 ~seed:0xACE1
+       ~taps:Proc.Bist.default_taps);
+  check_program "decompressor" Proc.Decompress.program
+
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = int_range 0 (Isa.reg_count - 1) in
+  let imm = int_range (-1000) 1000 in
+  oneof
+    [
+      map2 (fun rd i -> Isa.Li (rd, i)) reg imm;
+      map2 (fun rd rs -> Isa.Mov (rd, rs)) reg reg;
+      map3 (fun rd a b -> Isa.Add (rd, a, b)) reg reg reg;
+      map3 (fun rd rs i -> Isa.Addi (rd, rs, i)) reg reg imm;
+      map3 (fun rd a b -> Isa.Xor (rd, a, b)) reg reg reg;
+      map3 (fun rd rs i -> Isa.Shl (rd, rs, i)) reg reg (int_range 0 31);
+      map3 (fun rd rs i -> Isa.Load (rd, rs, i)) reg reg (int_range 0 100);
+      map3 (fun rd rs i -> Isa.Store (rd, rs, i)) reg reg (int_range 0 100);
+      map (fun r -> Isa.Send r) reg;
+      map (fun r -> Isa.Recv r) reg;
+      return Isa.Halt;
+    ]
+
+let prop_roundtrip_random =
+  Util.qcheck ~count:100 "random programs print/parse round-trip"
+    QCheck2.Gen.(list_size (int_range 1 30) instr_gen)
+    (fun instrs ->
+      let stmts = List.map (fun i -> Program.Instr i) instrs in
+      match Asm.parse (Asm.to_string stmts) with
+      | Ok reparsed -> reparsed = stmts
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "countdown program" `Quick test_countdown_program;
+    Alcotest.test_case "memory operands" `Quick test_memory_syntax;
+    Alcotest.test_case "case and commas" `Quick test_case_and_commas_flexible;
+    Alcotest.test_case "label on same line" `Quick test_label_on_same_line;
+    Alcotest.test_case "semicolon comments" `Quick test_semicolon_comments;
+    Alcotest.test_case "errors located" `Quick test_errors;
+    Alcotest.test_case "builtin programs round-trip" `Quick
+      test_roundtrip_builtin_programs;
+    prop_roundtrip_random;
+  ]

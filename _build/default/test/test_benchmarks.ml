@@ -1,0 +1,108 @@
+(* The full ITC'02 corpus. *)
+
+module Benchmarks = Nocplan_itc02.Benchmarks
+module Soc = Nocplan_itc02.Soc
+
+let published_module_counts =
+  [
+    ("u226", 9); ("d281", 8); ("d695", 10); ("h953", 8); ("g1023", 14);
+    ("f2126", 4); ("q12710", 4); ("p22810", 28); ("p34392", 19);
+    ("p93791", 32); ("t512505", 31); ("a586710", 7);
+  ]
+
+let test_corpus_complete () =
+  Alcotest.(check int) "twelve benchmarks" 12 (List.length Benchmarks.names);
+  List.iter
+    (fun name ->
+      match Benchmarks.find name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s missing" name)
+    Benchmarks.names;
+  Alcotest.(check (option bool)) "unknown name" None
+    (Option.map (fun _ -> true) (Benchmarks.find "nonsense"))
+
+let test_module_counts () =
+  List.iter
+    (fun (name, count) ->
+      match Benchmarks.find name with
+      | Some soc -> Alcotest.(check int) name count (Soc.module_count soc)
+      | None -> Alcotest.failf "%s missing" name)
+    published_module_counts
+
+let test_volume_ordering () =
+  (* The published extremes: the academic systems are small; t512505
+     and a586710 carry the largest test sets. *)
+  let volume name =
+    match Benchmarks.find name with
+    | Some soc -> Soc.total_test_bits soc
+    | None -> Alcotest.failf "%s missing" name
+  in
+  Alcotest.(check bool) "u226 smallest of the checked set" true
+    (volume "u226" < volume "d695");
+  Alcotest.(check bool) "p93791 > p22810" true
+    (volume "p93791" > volume "p22810");
+  Alcotest.(check bool) "t512505 > p93791" true
+    (volume "t512505" > volume "p93791");
+  Alcotest.(check bool) "a586710 above p93791" true
+    (volume "a586710" > volume "p93791")
+
+let test_deterministic () =
+  List.iter
+    (fun name ->
+      match (Benchmarks.find name, Benchmarks.find name) with
+      | Some a, Some b ->
+          Alcotest.(check bool) (name ^ " deterministic") true (Soc.equal a b)
+      | _ -> Alcotest.failf "%s missing" name)
+    Benchmarks.names
+
+let test_profiles_exposed () =
+  Alcotest.(check bool) "d695 has no profile (embedded)" true
+    (Benchmarks.profile "d695" = None);
+  List.iter
+    (fun name ->
+      if name <> "d695" then
+        match Benchmarks.profile name with
+        | Some p ->
+            Alcotest.(check string) (name ^ " profile name") name
+              p.Nocplan_itc02.Data_gen.name
+        | None -> Alcotest.failf "%s profile missing" name)
+    Benchmarks.names
+
+let test_all_schedule () =
+  (* Every corpus member plans end-to-end with two Leons on an
+     auto-sized mesh and validates. *)
+  List.iter
+    (fun soc ->
+      let modules = Soc.module_count soc + 2 in
+      let side = int_of_float (ceil (sqrt (float_of_int modules))) in
+      let topology = Nocplan_noc.Topology.make ~width:side ~height:side in
+      let sys =
+        Nocplan_core.System.build ~soc ~topology
+          ~processors:
+            [ Nocplan_proc.Processor.leon ~id:1; Nocplan_proc.Processor.leon ~id:1 ]
+          ~io_inputs:[ Nocplan_noc.Coord.make ~x:0 ~y:0 ]
+          ~io_outputs:[ Nocplan_noc.Coord.make ~x:(side - 1) ~y:(side - 1) ]
+          ()
+      in
+      let sched = Nocplan_core.Planner.schedule ~reuse:2 sys in
+      match
+        Nocplan_core.Schedule.validate sys
+          ~application:Nocplan_proc.Processor.Bist ~power_limit:None ~reuse:2
+          sched
+      with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "%s: %a" soc.Soc.name
+            (Fmt.list Nocplan_core.Schedule.pp_violation)
+            vs)
+    (Benchmarks.all ())
+
+let suite =
+  [
+    Alcotest.test_case "corpus complete" `Quick test_corpus_complete;
+    Alcotest.test_case "published module counts" `Quick test_module_counts;
+    Alcotest.test_case "volume ordering" `Quick test_volume_ordering;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "profiles exposed" `Quick test_profiles_exposed;
+    Alcotest.test_case "whole corpus schedules" `Slow test_all_schedule;
+  ]

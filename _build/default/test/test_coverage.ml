@@ -1,0 +1,92 @@
+(* Fault-coverage measurement of pattern sources. *)
+
+open Util
+module Coverage = Nocplan_proc.Coverage
+
+let cut () = Coverage.cut ~seed:3L ~inputs:32 ~outputs:16
+
+let test_apply_deterministic () =
+  let c = cut () in
+  let stimulus = List.init 32 (fun i -> i mod 3 = 0) in
+  Alcotest.(check (list bool)) "same response"
+    (Coverage.apply c stimulus) (Coverage.apply c stimulus)
+
+let test_fault_list_size () =
+  Alcotest.(check int) "two faults per line" 64
+    (List.length (Coverage.faults (cut ())))
+
+let test_curve_monotone_and_bounded () =
+  let c = cut () in
+  let patterns = Coverage.lfsr_patterns ~seed:0xACE1 ~inputs:32 ~count:60 in
+  let curve = Coverage.run c ~patterns in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone curve.Coverage.detected);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "bounded" true
+        (d >= 0 && d <= curve.Coverage.total_faults))
+    curve.Coverage.detected;
+  Alcotest.(check int) "one point per pattern" 60
+    (List.length curve.Coverage.detected)
+
+let test_random_patterns_reach_high_coverage () =
+  let c = cut () in
+  let patterns = Coverage.lfsr_patterns ~seed:0xACE1 ~inputs:32 ~count:200 in
+  let curve = Coverage.run c ~patterns in
+  Alcotest.(check bool) "above 90%" true (Coverage.coverage curve > 0.9)
+
+let test_detection_semantics () =
+  let c = cut () in
+  let stimulus = List.init 32 (fun i -> i mod 2 = 0) in
+  List.iter
+    (fun fault ->
+      (* A fault whose stuck value equals the applied bit cannot be
+         detected by this pattern (the forced line does not change). *)
+      let applied = List.nth stimulus fault.Coverage.line in
+      if applied = fault.Coverage.stuck_at then
+        Alcotest.(check bool) "same-value fault invisible" false
+          (Coverage.detects c fault stimulus))
+    (Coverage.faults c)
+
+let test_all_zero_pattern_sees_no_stuck_at_zero () =
+  let c = cut () in
+  let zeros = List.init 32 (fun _ -> false) in
+  List.iter
+    (fun (fault : Coverage.fault) ->
+      if fault.Coverage.stuck_at = false then
+        Alcotest.(check bool) "s-a-0 invisible under zeros" false
+          (Coverage.detects c fault zeros))
+    (Coverage.faults c)
+
+let test_lfsr_pattern_shape () =
+  let patterns = Coverage.lfsr_patterns ~seed:1 ~inputs:40 ~count:12 in
+  Alcotest.(check int) "count" 12 (List.length patterns);
+  List.iter
+    (fun p -> Alcotest.(check int) "width" 40 (List.length p))
+    patterns
+
+let prop_curves_deterministic =
+  qcheck ~count:15 "coverage runs are deterministic"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 8 64))
+    (fun (seed, inputs) ->
+      let c = Coverage.cut ~seed:(Int64.of_int seed) ~inputs ~outputs:8 in
+      let patterns = Coverage.lfsr_patterns ~seed:7 ~inputs ~count:20 in
+      Coverage.run c ~patterns = Coverage.run c ~patterns)
+
+let suite =
+  [
+    Alcotest.test_case "apply deterministic" `Quick test_apply_deterministic;
+    Alcotest.test_case "fault list size" `Quick test_fault_list_size;
+    Alcotest.test_case "curve monotone and bounded" `Quick
+      test_curve_monotone_and_bounded;
+    Alcotest.test_case "high coverage reached" `Quick
+      test_random_patterns_reach_high_coverage;
+    Alcotest.test_case "detection semantics" `Quick test_detection_semantics;
+    Alcotest.test_case "all-zero pattern blind to s-a-0" `Quick
+      test_all_zero_pattern_sees_no_stuck_at_zero;
+    Alcotest.test_case "lfsr pattern shape" `Quick test_lfsr_pattern_shape;
+    prop_curves_deterministic;
+  ]

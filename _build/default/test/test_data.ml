@@ -1,0 +1,151 @@
+open Util
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+module Data_gen = Nocplan_itc02.Data_gen
+
+let scan_cells soc =
+  List.fold_left
+    (fun acc m -> acc + Module_def.scan_cells m)
+    0 soc.Soc.modules
+
+let test_d695_structure () =
+  let soc = Nocplan_itc02.Data_d695.soc () in
+  Alcotest.(check int) "10 modules" 10 (Soc.module_count soc);
+  Alcotest.(check string) "name" "d695" soc.Soc.name;
+  (* The two ISCAS'85 cores are combinational, the rest are scan. *)
+  let comb =
+    List.filter Module_def.is_combinational soc.Soc.modules
+    |> List.map (fun (m : Module_def.t) -> m.Module_def.name)
+  in
+  Alcotest.(check (list string)) "combinational cores" [ "c6288"; "c7552" ] comb;
+  (* Published figures within transcription precision. *)
+  let s38417 = Soc.find soc 5 in
+  Alcotest.(check int) "s38417 cells" 1636 (Module_def.scan_cells s38417);
+  Alcotest.(check int) "s38417 patterns" 68 s38417.Module_def.patterns;
+  let total = scan_cells soc in
+  Alcotest.(check bool) "total cells ~6.4k" true
+    (total > 6_000 && total < 7_000)
+
+let test_generated_calibration () =
+  let p22810 = Nocplan_itc02.Data_p22810.soc () in
+  let p93791 = Nocplan_itc02.Data_p93791.soc () in
+  Alcotest.(check int) "p22810 modules" 28 (Soc.module_count p22810);
+  Alcotest.(check int) "p93791 modules" 32 (Soc.module_count p93791);
+  (* Rescaling lands within 1% of the calibration target. *)
+  let close target actual =
+    abs (target - actual) * 100 <= target
+  in
+  Alcotest.(check bool) "p22810 cells calibrated" true
+    (close Nocplan_itc02.Data_p22810.profile.Data_gen.target_scan_cells
+       (scan_cells p22810));
+  Alcotest.(check bool) "p93791 cells calibrated" true
+    (close Nocplan_itc02.Data_p93791.profile.Data_gen.target_scan_cells
+       (scan_cells p93791));
+  (* Volume ordering of the published set. *)
+  let d695 = Nocplan_itc02.Data_d695.soc () in
+  Alcotest.(check bool) "d695 < p22810 < p93791" true
+    (Soc.total_test_bits d695 < Soc.total_test_bits p22810
+    && Soc.total_test_bits p22810 < Soc.total_test_bits p93791)
+
+let test_generation_deterministic () =
+  let a = Nocplan_itc02.Data_p22810.soc () in
+  let b = Nocplan_itc02.Data_p22810.soc () in
+  Alcotest.(check bool) "same benchmark on every call" true (Soc.equal a b)
+
+let test_different_seeds_differ () =
+  let profile = Nocplan_itc02.Data_p22810.profile in
+  let other = Data_gen.generate { profile with Data_gen.seed = 999L } in
+  Alcotest.(check bool) "different seed, different benchmark" false
+    (Soc.equal (Data_gen.generate profile) other)
+
+let test_generate_validation () =
+  let profile = Nocplan_itc02.Data_p22810.profile in
+  let expect_invalid p =
+    match Data_gen.generate p with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid { profile with Data_gen.scan_modules = 0 };
+  expect_invalid { profile with Data_gen.comb_modules = -1 };
+  expect_invalid { profile with Data_gen.min_patterns = 0 };
+  expect_invalid { profile with Data_gen.max_chains = 0 };
+  expect_invalid { profile with Data_gen.target_scan_cells = 1 }
+
+(* --- the PRNG ------------------------------------------------------ *)
+
+let rng_of seed = Data_gen.Rng.create (Int64.of_int seed)
+
+let prop_int_in_bounds =
+  qcheck "Rng.int stays in [0, bound)"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 0 10_000))
+    (fun (bound, seed) ->
+      let rng = rng_of seed in
+      let v = Data_gen.Rng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prop_int_range_in_bounds =
+  qcheck "Rng.int_range stays in [lo, hi]"
+    QCheck2.Gen.(
+      triple (int_range (-1000) 1000) (int_range 0 2000) (int_range 0 10_000))
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = rng_of seed in
+      let v = Data_gen.Rng.int_range rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let prop_float_unit =
+  qcheck "Rng.float stays in [0, 1)" QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let v = Data_gen.Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let prop_log_uniform_in_bounds =
+  qcheck "Rng.log_uniform_int stays in [lo, hi]"
+    QCheck2.Gen.(
+      triple (int_range 1 1000) (int_range 0 100_000) (int_range 0 10_000))
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = rng_of seed in
+      let v = Data_gen.Rng.log_uniform_int rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_rng_deterministic () =
+  let a = rng_of 42 and b = rng_of 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream"
+      (Data_gen.Rng.int a ~bound:1_000_000)
+      (Data_gen.Rng.int b ~bound:1_000_000)
+  done
+
+let test_rng_spread () =
+  (* A coarse uniformity check: over 10k draws of [0, 10), every value
+     appears a plausible number of times. *)
+  let rng = rng_of 7 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Data_gen.Rng.int rng ~bound:10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 800 || c > 1200 then
+        Alcotest.failf "value %d drawn %d times out of 10000" i c)
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "d695 structure" `Quick test_d695_structure;
+    Alcotest.test_case "generated benchmarks calibrated" `Quick
+      test_generated_calibration;
+    Alcotest.test_case "generation deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "seeds matter" `Quick test_different_seeds_differ;
+    Alcotest.test_case "profile validation" `Quick test_generate_validation;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng spread" `Quick test_rng_spread;
+    prop_int_in_bounds;
+    prop_int_range_in_bounds;
+    prop_float_unit;
+    prop_log_uniform_in_bounds;
+  ]

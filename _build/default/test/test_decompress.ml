@@ -1,0 +1,85 @@
+open Util
+module Proc = Nocplan_proc
+module Decompress = Proc.Decompress
+module Machine = Proc.Machine
+
+let replay ?(costs = Proc.Leon.costs) image =
+  let sent = ref [] in
+  let io = { Machine.on_send = (fun w -> sent := w :: !sent); recv_word = (fun () -> 0) } in
+  let stats =
+    Machine.run ~io ~memory_image:image
+      ~memory_words:(max 4096 (Array.length image + 8))
+      costs Decompress.program
+  in
+  (stats, List.rev !sent)
+
+let test_encode_basic () =
+  let image = Decompress.encode [ 7; 7; 7; 9; 9; 7 ] in
+  Alcotest.(check (list int)) "pairs"
+    [ 3; 7; 2; 9; 1; 7; 0 ]
+    (Array.to_list image)
+
+let test_encode_empty () =
+  Alcotest.(check (list int)) "just the terminator" [ 0 ]
+    (Array.to_list (Decompress.encode []))
+
+let test_decoded_length () =
+  let image = Decompress.encode [ 1; 1; 2; 3; 3; 3 ] in
+  Alcotest.(check int) "length" 6 (Decompress.decoded_length image);
+  (match Decompress.decoded_length [| 2; 5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unterminated image accepted");
+  match Decompress.decoded_length [| 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "truncated pair accepted"
+
+let test_program_replays () =
+  let stream = [ 5; 5; 5; 5; 8; 8; 1; 9; 9; 9 ] in
+  let stats, sent = replay (Decompress.encode stream) in
+  Alcotest.(check bool) "halted" true (stats.Machine.outcome = Machine.Halted);
+  Alcotest.(check (list int)) "stream reproduced" stream sent
+
+let test_program_on_empty () =
+  let stats, sent = replay (Decompress.encode []) in
+  Alcotest.(check bool) "halts immediately" true
+    (stats.Machine.outcome = Machine.Halted);
+  Alcotest.(check (list int)) "nothing sent" [] sent
+
+let prop_roundtrip =
+  qcheck "encode/replay round-trips any word stream"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 0xFFFF))
+    (fun stream ->
+      let _, sent = replay (Decompress.encode stream) in
+      sent = stream)
+
+let prop_ratio_at_least_half =
+  (* Worst case (no runs) doubles the size plus terminator. *)
+  qcheck "compression never worse than pair encoding"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 3))
+    (fun stream ->
+      let image = Decompress.encode stream in
+      Array.length image <= (2 * List.length stream) + 1)
+
+let prop_longer_runs_fewer_cycles_per_word =
+  qcheck ~count:20 "longer runs amortize better"
+    QCheck2.Gen.(int_range 1 200)
+    (fun n ->
+      let repeated = List.init (4 * n) (fun _ -> 42) in
+      let distinct = List.init (4 * n) (fun i -> i) in
+      let cycles stream =
+        let stats, _ = replay (Decompress.encode stream) in
+        stats.Machine.cycles
+      in
+      cycles repeated < cycles distinct)
+
+let suite =
+  [
+    Alcotest.test_case "RLE encoding" `Quick test_encode_basic;
+    Alcotest.test_case "empty stream" `Quick test_encode_empty;
+    Alcotest.test_case "decoded length" `Quick test_decoded_length;
+    Alcotest.test_case "program replays the stream" `Quick test_program_replays;
+    Alcotest.test_case "program on empty image" `Quick test_program_on_empty;
+    prop_roundtrip;
+    prop_ratio_at_least_half;
+    prop_longer_runs_fewer_cycles_per_word;
+  ]

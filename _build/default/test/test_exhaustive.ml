@@ -1,0 +1,111 @@
+open Util
+module Core = Nocplan_core
+module Exhaustive = Core.Exhaustive
+module Scheduler = Core.Scheduler
+module Schedule = Core.Schedule
+module Proc = Nocplan_proc
+
+let greedy_makespan ?(power_limit = None) ~reuse sys =
+  (Scheduler.run sys (Scheduler.config ~power_limit ~reuse ())).Schedule.makespan
+
+let test_never_worse_than_greedy () =
+  let sys = small_system () in
+  let r = Exhaustive.schedule ~reuse:1 sys in
+  Alcotest.(check bool) "<= greedy" true
+    (r.Exhaustive.schedule.Schedule.makespan <= greedy_makespan ~reuse:1 sys)
+
+let test_result_validates () =
+  let sys = small_system () in
+  let r = Exhaustive.schedule ~reuse:1 sys in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit:None
+      ~reuse:1 r.Exhaustive.schedule
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
+
+let test_exact_on_small_instance () =
+  let sys = small_system () in
+  let r = Exhaustive.schedule ~reuse:1 sys in
+  Alcotest.(check bool) "search exhausted" true r.Exhaustive.exact;
+  Alcotest.(check bool) "expanded some nodes" true (r.Exhaustive.nodes > 1)
+
+let test_single_core_optimum () =
+  (* One core, one external pair: the optimum is that test's duration,
+     which greedy also achieves — exhaustive must agree exactly. *)
+  let soc =
+    Nocplan_itc02.Soc.make ~name:"one"
+      ~modules:
+        [
+          Nocplan_itc02.Module_def.make ~id:1 ~name:"a" ~inputs:8 ~outputs:8
+            ~scan_chains:[ 32 ] ~patterns:10 ();
+        ]
+  in
+  let sys =
+    Core.System.build ~soc
+      ~topology:(Nocplan_noc.Topology.make ~width:2 ~height:2)
+      ~processors:[]
+      ~io_inputs:[ Nocplan_noc.Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Nocplan_noc.Coord.make ~x:1 ~y:1 ]
+      ()
+  in
+  let r = Exhaustive.schedule ~reuse:0 sys in
+  Alcotest.(check bool) "exact" true r.Exhaustive.exact;
+  Alcotest.(check int) "matches greedy on the trivial instance"
+    (greedy_makespan ~reuse:0 sys)
+    r.Exhaustive.schedule.Schedule.makespan
+
+let test_node_budget_degrades_gracefully () =
+  let sys = small_system () in
+  let r = Exhaustive.schedule ~max_nodes:3 ~reuse:1 sys in
+  Alcotest.(check bool) "not exact" false r.Exhaustive.exact;
+  (* Even with a tiny budget the greedy incumbent is available. *)
+  Alcotest.(check bool) "incumbent no worse than greedy" true
+    (r.Exhaustive.schedule.Schedule.makespan <= greedy_makespan ~reuse:1 sys)
+
+let test_with_power_limit () =
+  let sys = small_system () in
+  let limit = Some (Core.System.power_limit_of_pct sys ~pct:95.0) in
+  let r = Exhaustive.schedule ~power_limit:limit ~reuse:1 sys in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit:limit
+      ~reuse:1 r.Exhaustive.schedule
+  with
+  | Ok () ->
+      Alcotest.(check bool) "<= greedy under same limit" true
+        (r.Exhaustive.schedule.Schedule.makespan
+        <= greedy_makespan ~power_limit:limit ~reuse:1 sys)
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
+
+let prop_never_worse_and_valid =
+  qcheck ~count:8 "exhaustive <= greedy and validates on random systems"
+    system_gen
+    (fun sys ->
+      (* Keep the instance small enough for the search. *)
+      let module_count =
+        Nocplan_itc02.Soc.module_count sys.Core.System.soc
+      in
+      module_count > 6
+      ||
+      let reuse = List.length sys.Core.System.processors in
+      let r = Exhaustive.schedule ~max_nodes:30_000 ~reuse sys in
+      r.Exhaustive.schedule.Schedule.makespan <= greedy_makespan ~reuse sys
+      && Result.is_ok
+           (Schedule.validate sys ~application:Proc.Processor.Bist
+              ~power_limit:None ~reuse r.Exhaustive.schedule))
+
+let suite =
+  [
+    Alcotest.test_case "never worse than greedy" `Quick
+      test_never_worse_than_greedy;
+    Alcotest.test_case "result validates" `Quick test_result_validates;
+    Alcotest.test_case "exact on a small instance" `Quick
+      test_exact_on_small_instance;
+    Alcotest.test_case "single-core optimum" `Quick test_single_core_optimum;
+    Alcotest.test_case "node budget degrades gracefully" `Quick
+      test_node_budget_degrades_gracefully;
+    Alcotest.test_case "with a power limit" `Quick test_with_power_limit;
+    prop_never_worse_and_valid;
+  ]

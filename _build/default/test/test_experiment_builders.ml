@@ -1,0 +1,88 @@
+(* The A5/A6 ablation builders. *)
+
+module Core = Nocplan_core
+module Experiments = Core.Experiments
+module System = Core.System
+module Planner = Core.Planner
+module Coord = Nocplan_noc.Coord
+
+let test_io_ports_count () =
+  List.iter
+    (fun ports ->
+      let sys = Experiments.d695_leon_with_io ~ports in
+      Alcotest.(check int) "inputs" ports (List.length sys.System.io_inputs);
+      Alcotest.(check int) "outputs" ports (List.length sys.System.io_outputs))
+    [ 1; 2; 3; 4 ];
+  match Experiments.d695_leon_with_io ~ports:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 ports accepted"
+
+let test_io_ports_on_opposite_edges () =
+  let sys = Experiments.d695_leon_with_io ~ports:3 in
+  List.iter
+    (fun (c : Coord.t) -> Alcotest.(check int) "north edge" 0 c.Coord.y)
+    sys.System.io_inputs;
+  List.iter
+    (fun (c : Coord.t) -> Alcotest.(check int) "south edge" 3 c.Coord.y)
+    sys.System.io_outputs
+
+let test_io_ports_distinct () =
+  let sys = Experiments.d695_leon_with_io ~ports:4 in
+  let all = sys.System.io_inputs @ sys.System.io_outputs in
+  Alcotest.(check int) "no duplicate ports" (List.length all)
+    (List.length (List.sort_uniq Coord.compare all))
+
+let test_more_ports_never_slower_baseline () =
+  (* With more external pairs, the no-reuse baseline cannot get worse
+     by much; in practice it improves markedly from 1 to 2. *)
+  let baseline ports =
+    (Planner.baseline_point
+       (Planner.reuse_sweep ~max_reuse:0
+          (Experiments.d695_leon_with_io ~ports)))
+      .Planner.makespan
+  in
+  Alcotest.(check bool) "2 ports beat 1" true (baseline 2 < baseline 1)
+
+let test_arrangements_differ () =
+  let tiles a =
+    (Experiments.d695_leon_arranged a).System.processors
+    |> List.map (fun p -> p.System.coord)
+    |> List.sort Coord.compare
+  in
+  Alcotest.(check bool) "corners != center" true
+    (tiles Experiments.Corners <> tiles Experiments.Center)
+
+let test_arrangements_schedule_and_validate () =
+  List.iter
+    (fun a ->
+      let sys = Experiments.d695_leon_arranged a in
+      let sweep = Planner.reuse_sweep ~max_reuse:3 sys in
+      List.iter
+        (fun (p : Planner.point) ->
+          Alcotest.(check bool)
+            (Experiments.arrangement_name a)
+            true p.Planner.validated)
+        sweep.Planner.points)
+    [ Experiments.Spread; Experiments.Corners; Experiments.Center ]
+
+let test_arrangement_names () =
+  Alcotest.(check string) "spread" "spread"
+    (Experiments.arrangement_name Experiments.Spread);
+  Alcotest.(check string) "corners" "corners"
+    (Experiments.arrangement_name Experiments.Corners);
+  Alcotest.(check string) "center" "center"
+    (Experiments.arrangement_name Experiments.Center)
+
+let suite =
+  [
+    Alcotest.test_case "io port counts" `Quick test_io_ports_count;
+    Alcotest.test_case "ports on opposite edges" `Quick
+      test_io_ports_on_opposite_edges;
+    Alcotest.test_case "ports distinct" `Quick test_io_ports_distinct;
+    Alcotest.test_case "more ports help the baseline" `Slow
+      test_more_ports_never_slower_baseline;
+    Alcotest.test_case "arrangements differ" `Quick test_arrangements_differ;
+    Alcotest.test_case "arrangements validate" `Slow
+      test_arrangements_schedule_and_validate;
+    Alcotest.test_case "arrangement names" `Quick test_arrangement_names;
+  ]

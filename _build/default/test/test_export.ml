@@ -1,0 +1,93 @@
+open Util
+module Core = Nocplan_core
+module Export = Core.Export
+module Planner = Core.Planner
+module Schedule = Core.Schedule
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fixture () =
+  let sys = small_system () in
+  (sys, Planner.schedule ~reuse:1 sys)
+
+let test_csv_shape () =
+  let sys, sched = fixture () in
+  let csv = Export.schedule_csv sys sched in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + entries"
+    (1 + List.length sched.Schedule.entries)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "8 columns" 8
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_csv_mentions_names () =
+  let sys, sched = fixture () in
+  let csv = Export.schedule_csv sys sched in
+  Alcotest.(check bool) "core name" true (contains csv "big");
+  Alcotest.(check bool) "endpoint" true (contains csv "ext-in")
+
+(* A tiny structural JSON checker: balanced braces/brackets and no raw
+   control characters — enough to catch broken emission without a full
+   parser dependency. *)
+let json_well_formed s =
+  let depth = ref 0 in
+  let ok = ref true in
+  let in_string = ref false in
+  let escaped = ref false in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false;
+        if Char.code c < 0x20 then ok := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_string
+
+let test_json_well_formed () =
+  let sys, sched = fixture () in
+  Alcotest.(check bool) "schedule json balanced" true
+    (json_well_formed (Export.schedule_json sys sched));
+  let sweep = Planner.reuse_sweep sys in
+  Alcotest.(check bool) "sweep json balanced" true
+    (json_well_formed (Export.sweep_json sweep))
+
+let test_json_fields () =
+  let sys, sched = fixture () in
+  let json = Export.schedule_json sys sched in
+  Alcotest.(check bool) "makespan field" true
+    (contains json (Printf.sprintf "\"makespan\":%d" sched.Schedule.makespan));
+  Alcotest.(check bool) "entries field" true (contains json "\"entries\":[")
+
+let test_sweep_json_null_limit () =
+  let sys, _ = fixture () in
+  let sweep = Planner.reuse_sweep sys in
+  Alcotest.(check bool) "null power limit" true
+    (contains (Export.sweep_json sweep) "\"power_limit_pct\":null");
+  let sweep_p = Planner.reuse_sweep ~power_limit_pct:95.0 sys in
+  Alcotest.(check bool) "numeric power limit" true
+    (contains (Export.sweep_json sweep_p) "\"power_limit_pct\":95.00")
+
+let suite =
+  [
+    Alcotest.test_case "csv shape" `Quick test_csv_shape;
+    Alcotest.test_case "csv content" `Quick test_csv_mentions_names;
+    Alcotest.test_case "json well-formed" `Quick test_json_well_formed;
+    Alcotest.test_case "json fields" `Quick test_json_fields;
+    Alcotest.test_case "sweep json power limit" `Quick
+      test_sweep_json_null_limit;
+  ]

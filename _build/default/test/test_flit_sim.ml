@@ -1,0 +1,157 @@
+open Util
+module Noc = Nocplan_noc
+module Flit_sim = Noc.Flit_sim
+module Packet = Noc.Packet
+module Coord = Noc.Coord
+module Topology = Noc.Topology
+module Latency = Noc.Latency
+module Xy = Noc.Xy_routing
+
+let c x y = Coord.make ~x ~y
+let topo5 = Topology.make ~width:5 ~height:5
+
+let single_latency config ~src ~dst ~flits =
+  let p = Packet.make ~id:0 ~src ~dst ~flits ~inject_time:0 in
+  match (Flit_sim.run config [ p ]).Flit_sim.deliveries with
+  | [ d ] -> Flit_sim.latency d
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_matches_analytic_hermes () =
+  let config = Flit_sim.config topo5 Latency.hermes_like in
+  List.iter
+    (fun (hops, flits) ->
+      let src = c 0 0 and dst = c hops 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "h=%d f=%d" hops flits)
+        (Latency.packet_latency Latency.hermes_like ~hops ~flits)
+        (single_latency config ~src ~dst ~flits))
+    [ (0, 1); (1, 1); (1, 8); (2, 4); (3, 16); (4, 2) ]
+
+let prop_matches_analytic_random =
+  qcheck ~count:60 "uncontended simulator = analytic model"
+    QCheck2.Gen.(
+      pair latency_gen
+        (triple (pair (int_range 0 4) (int_range 0 4))
+           (pair (int_range 0 4) (int_range 0 4))
+           (int_range 1 24)))
+    (fun (latency, ((sx, sy), (dx, dy), flits)) ->
+      let config = Flit_sim.config topo5 latency in
+      let src = c sx sy and dst = c dx dy in
+      let hops = Xy.hops topo5 ~src ~dst in
+      single_latency config ~src ~dst ~flits
+      = Latency.packet_latency latency ~hops ~flits)
+
+let test_inject_time_shifts_delivery () =
+  let config = Flit_sim.config topo5 Latency.hermes_like in
+  let base =
+    let p = Packet.make ~id:0 ~src:(c 0 0) ~dst:(c 2 0) ~flits:4 ~inject_time:0 in
+    (List.hd (Flit_sim.run config [ p ]).Flit_sim.deliveries).Flit_sim.delivered_at
+  in
+  let shifted =
+    let p =
+      Packet.make ~id:0 ~src:(c 0 0) ~dst:(c 2 0) ~flits:4 ~inject_time:100
+    in
+    (List.hd (Flit_sim.run config [ p ]).Flit_sim.deliveries).Flit_sim.delivered_at
+  in
+  Alcotest.(check int) "delivery shifts by inject time" (base + 100) shifted
+
+let test_contention_serializes () =
+  (* Two packets share the channel (1,0)->(2,0); the one injected at
+     the contended router wins, the other is delayed. *)
+  let config = Flit_sim.config topo5 Latency.hermes_like in
+  let a = Packet.make ~id:0 ~src:(c 0 0) ~dst:(c 4 0) ~flits:8 ~inject_time:0 in
+  let b = Packet.make ~id:1 ~src:(c 1 0) ~dst:(c 4 1) ~flits:8 ~inject_time:0 in
+  let r = Flit_sim.run config [ a; b ] in
+  match r.Flit_sim.deliveries with
+  | [ da; db ] ->
+      let unconstrained (p : Packet.t) =
+        Latency.packet_latency Latency.hermes_like
+          ~hops:(Xy.hops topo5 ~src:p.Packet.src ~dst:p.Packet.dst)
+          ~flits:p.Packet.flits
+      in
+      Alcotest.(check int) "b unaffected" (unconstrained b)
+        (Flit_sim.latency db);
+      Alcotest.(check bool) "a delayed" true
+        (Flit_sim.latency da > unconstrained a)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_disjoint_paths_parallel () =
+  (* Packets on disjoint rows are not delayed at all. *)
+  let config = Flit_sim.config topo5 Latency.hermes_like in
+  let mk id y = Packet.make ~id ~src:(c 0 y) ~dst:(c 4 y) ~flits:6 ~inject_time:0 in
+  let packets = List.init 5 (fun y -> mk y y) in
+  let r = Flit_sim.run config packets in
+  let expected =
+    Latency.packet_latency Latency.hermes_like ~hops:4 ~flits:6
+  in
+  List.iter
+    (fun d -> Alcotest.(check int) "undelayed" expected (Flit_sim.latency d))
+    r.Flit_sim.deliveries
+
+let test_duplicate_ids_rejected () =
+  let config = Flit_sim.config topo5 Latency.hermes_like in
+  let p id = Packet.make ~id ~src:(c 0 0) ~dst:(c 1 0) ~flits:1 ~inject_time:0 in
+  match Flit_sim.run config [ p 1; p 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate ids accepted"
+
+let test_out_of_bounds_rejected () =
+  let config = Flit_sim.config (Topology.make ~width:2 ~height:2) Latency.hermes_like in
+  let p = Packet.make ~id:0 ~src:(c 0 0) ~dst:(c 4 0) ~flits:1 ~inject_time:0 in
+  match Flit_sim.run config [ p ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds packet accepted"
+
+let prop_all_delivered =
+  qcheck ~count:30 "every random workload fully delivers"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let spec =
+        Noc.Traffic.spec ~packets:40 ~seed:(Int64.of_int seed) ()
+      in
+      let packets = Noc.Traffic.generate topo5 spec in
+      let config = Flit_sim.config topo5 Latency.hermes_like in
+      let r = Flit_sim.run config packets in
+      List.length r.Flit_sim.deliveries = 40
+      && List.for_all
+           (fun (d : Flit_sim.delivery) ->
+             d.Flit_sim.delivered_at >= d.Flit_sim.header_at
+             && Flit_sim.latency d
+                >= Latency.packet_latency Latency.hermes_like
+                     ~hops:(Xy.hops topo5 ~src:d.Flit_sim.packet.Packet.src
+                              ~dst:d.Flit_sim.packet.Packet.dst)
+                     ~flits:d.Flit_sim.packet.Packet.flits)
+           r.Flit_sim.deliveries)
+
+let prop_energy_formula =
+  qcheck ~count:30 "energy = flit_energy * flits * routers"
+    QCheck2.Gen.(
+      triple (pair (int_range 0 4) (int_range 0 4))
+        (pair (int_range 0 4) (int_range 0 4))
+        (int_range 1 20))
+    (fun ((sx, sy), (dx, dy), flits) ->
+      let config = Flit_sim.config ~flit_energy:2.5 topo5 Latency.hermes_like in
+      let src = c sx sy and dst = c dx dy in
+      let p = Packet.make ~id:0 ~src ~dst ~flits ~inject_time:0 in
+      let d = List.hd (Flit_sim.run config [ p ]).Flit_sim.deliveries in
+      Float.abs
+        (d.Flit_sim.energy
+        -. (2.5 *. float_of_int (flits * Xy.routers_on_route topo5 ~src ~dst)))
+      < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "matches analytic model (hermes)" `Quick
+      test_matches_analytic_hermes;
+    Alcotest.test_case "inject time shifts delivery" `Quick
+      test_inject_time_shifts_delivery;
+    Alcotest.test_case "contention serializes" `Quick test_contention_serializes;
+    Alcotest.test_case "disjoint paths run in parallel" `Quick
+      test_disjoint_paths_parallel;
+    Alcotest.test_case "duplicate ids rejected" `Quick
+      test_duplicate_ids_rejected;
+    Alcotest.test_case "bounds checked" `Quick test_out_of_bounds_rejected;
+    prop_matches_analytic_random;
+    prop_all_delivered;
+    prop_energy_formula;
+  ]

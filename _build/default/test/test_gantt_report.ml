@@ -1,0 +1,111 @@
+open Util
+module Core = Nocplan_core
+module Gantt = Core.Gantt
+module Report = Core.Report
+module Planner = Core.Planner
+module Schedule = Core.Schedule
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fixture () =
+  let sys = small_system () in
+  let sched = Planner.schedule ~reuse:1 sys in
+  (sys, sched)
+
+let test_gantt_renders_all_modules () =
+  let sys, sched = fixture () in
+  let out = Gantt.render sys sched in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row for module %d" e.Schedule.module_id)
+        true
+        (contains out (Printf.sprintf " %d |" e.Schedule.module_id)))
+    sched.Schedule.entries
+
+let test_gantt_row_width () =
+  let sys, sched = fixture () in
+  let out = Gantt.render ~width:40 sys sched in
+  String.split_on_char '\n' out
+  |> List.iter (fun line ->
+         match String.index_opt line '|' with
+         | Some first ->
+             let last = String.rindex line '|' in
+             Alcotest.(check int) "bar width" 40 (last - first - 1)
+         | None -> ())
+
+let test_resource_view_shows_utilization () =
+  let sys, sched = fixture () in
+  let out = Gantt.render_resources sys ~reuse:1 sched in
+  Alcotest.(check bool) "mentions ext-in" true (contains out "ext-in");
+  Alcotest.(check bool) "mentions the processor" true (contains out "proc#");
+  Alcotest.(check bool) "percent column" true (contains out "%")
+
+let test_headline () =
+  let sys = small_system () in
+  let sweep = Planner.reuse_sweep sys in
+  let h = Report.headline sweep in
+  Alcotest.(check int) "baseline from reuse-0"
+    (Planner.baseline_point sweep).Planner.makespan h.Report.baseline;
+  Alcotest.(check bool) "reduction consistent" true
+    (Float.abs
+       (h.Report.reduction_pct
+       -. Planner.reduction_pct ~baseline:h.Report.baseline
+            h.Report.best_makespan)
+    < 1e-9)
+
+let test_csv_shape () =
+  let sys = small_system () in
+  let sweep = Planner.reuse_sweep sys in
+  let csv = Report.sweep_csv sweep in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check int) "header + one line per point"
+    (1 + List.length sweep.Planner.points)
+    (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains (List.hd lines) "reuse,makespan");
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "five columns" 5
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_figure1_table () =
+  let sys = small_system () in
+  let a = Planner.reuse_sweep sys in
+  (* The limit must leave the Leon self-test feasible on this small
+     fixture, where that one test dominates total power. *)
+  let b = Planner.reuse_sweep ~power_limit_pct:95.0 sys in
+  let table = Report.figure1_table ~unconstrained:a ~constrained:b in
+  Alcotest.(check bool) "has both column titles" true
+    (contains table "no power limit" && contains table "power constrained")
+
+let test_mismatched_sweeps_rejected () =
+  let sys =
+    small_system
+      ~processors:[ Nocplan_proc.Processor.leon ~id:1; Nocplan_proc.Processor.leon ~id:1 ]
+      ()
+  in
+  let a = Planner.reuse_sweep sys in
+  let b = Planner.reuse_sweep ~max_reuse:1 sys in
+  match Report.figure1_table ~unconstrained:a ~constrained:b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched sweeps accepted"
+
+let suite =
+  [
+    Alcotest.test_case "gantt renders all modules" `Quick
+      test_gantt_renders_all_modules;
+    Alcotest.test_case "gantt bar width" `Quick test_gantt_row_width;
+    Alcotest.test_case "resource utilization view" `Quick
+      test_resource_view_shows_utilization;
+    Alcotest.test_case "headline" `Quick test_headline;
+    Alcotest.test_case "csv shape" `Quick test_csv_shape;
+    Alcotest.test_case "figure-1 table" `Quick test_figure1_table;
+    Alcotest.test_case "mismatched sweeps" `Quick test_mismatched_sweeps_rejected;
+  ]

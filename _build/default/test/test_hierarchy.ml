@@ -1,0 +1,119 @@
+(* Hierarchical benchmarks: the ITC'02 parent relation. *)
+
+open Util
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+module Parser = Nocplan_itc02.Parser
+module Printer = Nocplan_itc02.Printer
+
+let core ?parent id =
+  Module_def.make ?parent ~id ~name:(Printf.sprintf "m%d" id) ~inputs:4
+    ~outputs:4 ~scan_chains:[ 8 ] ~patterns:5 ()
+
+let nested () =
+  (* 1 is the chip; 2 and 3 sit inside 1; 4 inside 3. *)
+  Soc.make ~name:"h"
+    ~modules:[ core 1; core ~parent:1 2; core ~parent:1 3; core ~parent:3 4 ]
+
+let test_queries () =
+  let soc = nested () in
+  Alcotest.(check (list int)) "roots" [ 1 ] (Soc.roots soc);
+  Alcotest.(check (list int)) "children of 1" [ 2; 3 ] (Soc.children soc 1);
+  Alcotest.(check (list int)) "children of 3" [ 4 ] (Soc.children soc 3);
+  Alcotest.(check (list int)) "leaf has none" [] (Soc.children soc 4);
+  Alcotest.(check int) "depth" 3 (Soc.hierarchy_depth soc)
+
+let test_flat_depth () =
+  Alcotest.(check int) "flat benchmark depth" 1
+    (Soc.hierarchy_depth (small_soc ()))
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* self-parent *)
+  expect_invalid (fun () -> core ~parent:7 7);
+  (* unknown parent *)
+  expect_invalid (fun () ->
+      Soc.make ~name:"h" ~modules:[ core 1; core ~parent:9 2 ]);
+  (* cycle *)
+  expect_invalid (fun () ->
+      Soc.make ~name:"h" ~modules:[ core ~parent:2 1; core ~parent:1 2 ])
+
+let test_parse_and_roundtrip () =
+  let text =
+    {|Soc h
+Module 1 chip
+  Inputs 4
+  Outputs 4
+  ScanChains 0
+  Patterns 1
+End
+Module 2 inner
+  Inputs 4
+  Outputs 4
+  ScanChains 1 8
+  Patterns 5
+  Parent 1
+End|}
+  in
+  let soc =
+    match Parser.parse text with
+    | Ok soc -> soc
+    | Error e -> Alcotest.failf "parse: %a" Parser.pp_error e
+  in
+  Alcotest.(check (list int)) "children" [ 2 ] (Soc.children soc 1);
+  match Parser.parse (Printer.to_string soc) with
+  | Ok soc2 ->
+      Alcotest.(check bool) "round-trips with parents" true (Soc.equal soc soc2)
+  | Error e -> Alcotest.failf "re-parse: %a" Parser.pp_error e
+
+let test_planner_flattens () =
+  (* The planner treats hierarchical benchmarks as flat: every module,
+     nested or not, gets exactly one test. *)
+  let sys =
+    Nocplan_core.System.build ~soc:(nested ())
+      ~topology:(Nocplan_noc.Topology.make ~width:2 ~height:2)
+      ~processors:[]
+      ~io_inputs:[ Nocplan_noc.Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Nocplan_noc.Coord.make ~x:1 ~y:1 ]
+      ()
+  in
+  let sched = Nocplan_core.Planner.schedule ~reuse:0 sys in
+  Alcotest.(check int) "four tests" 4
+    (List.length sched.Nocplan_core.Schedule.entries)
+
+let prop_roundtrip_with_random_parents =
+  qcheck ~count:60 "hierarchical benchmarks round-trip" soc_gen (fun soc ->
+      (* Rebuild the generated flat soc as a chain hierarchy: module i
+         is parented to i-1. *)
+      let modules =
+        List.map
+          (fun (m : Module_def.t) ->
+            let parent =
+              if m.Module_def.id > 1 then Some (m.Module_def.id - 1) else None
+            in
+            Module_def.make ?parent ~bidirs:m.Module_def.bidirs
+              ~test_power:m.Module_def.test_power ~id:m.Module_def.id
+              ~name:m.Module_def.name ~inputs:m.Module_def.inputs
+              ~outputs:m.Module_def.outputs
+              ~scan_chains:m.Module_def.scan_chains
+              ~patterns:m.Module_def.patterns ())
+          soc.Soc.modules
+      in
+      let chained = Soc.make ~name:soc.Soc.name ~modules in
+      match Parser.parse (Printer.to_string chained) with
+      | Ok soc2 -> Soc.equal chained soc2
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "hierarchy queries" `Quick test_queries;
+    Alcotest.test_case "flat depth" `Quick test_flat_depth;
+    Alcotest.test_case "hierarchy validation" `Quick test_validation;
+    Alcotest.test_case "parse and round-trip" `Quick test_parse_and_roundtrip;
+    Alcotest.test_case "planner flattens" `Quick test_planner_flattens;
+    prop_roundtrip_with_random_parents;
+  ]

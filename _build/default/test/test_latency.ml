@@ -1,0 +1,57 @@
+open Util
+module Latency = Nocplan_noc.Latency
+
+let test_hermes_figures () =
+  let l = Latency.hermes_like in
+  Alcotest.(check int) "routing" 5 l.Latency.routing_latency;
+  Alcotest.(check int) "flow" 2 l.Latency.flow_latency
+
+let test_formulas () =
+  let l = Latency.make ~routing_latency:3 ~flow_latency:2 in
+  (* hops=2: 3 routers pay routing (9), 4 crossings pay flow (8). *)
+  Alcotest.(check int) "header" 17 (Latency.header_latency l ~hops:2);
+  Alcotest.(check int) "packet adds (flits-1)*flow" (17 + 6)
+    (Latency.packet_latency l ~hops:2 ~flits:4)
+
+let test_validation () =
+  (match Latency.make ~routing_latency:(-1) ~flow_latency:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative routing accepted");
+  (match Latency.make ~routing_latency:0 ~flow_latency:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero flow accepted");
+  match Latency.packet_latency Latency.hermes_like ~hops:0 ~flits:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero flits accepted"
+
+let prop_monotone_hops =
+  qcheck "latency grows with hops"
+    QCheck2.Gen.(pair latency_gen (pair (int_range 0 20) (int_range 1 50)))
+    (fun (l, (hops, flits)) ->
+      Latency.packet_latency l ~hops:(hops + 1) ~flits
+      > Latency.packet_latency l ~hops ~flits)
+
+let prop_monotone_flits =
+  qcheck "latency grows with flits"
+    QCheck2.Gen.(pair latency_gen (pair (int_range 0 20) (int_range 1 50)))
+    (fun (l, (hops, flits)) ->
+      Latency.packet_latency l ~hops ~flits:(flits + 1)
+      > Latency.packet_latency l ~hops ~flits)
+
+let prop_flit_increment_is_flow =
+  qcheck "each extra flit costs exactly the flow latency"
+    QCheck2.Gen.(pair latency_gen (pair (int_range 0 20) (int_range 1 50)))
+    (fun (l, (hops, flits)) ->
+      Latency.packet_latency l ~hops ~flits:(flits + 1)
+      - Latency.packet_latency l ~hops ~flits
+      = l.Latency.flow_latency)
+
+let suite =
+  [
+    Alcotest.test_case "hermes preset" `Quick test_hermes_figures;
+    Alcotest.test_case "formulas" `Quick test_formulas;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_monotone_hops;
+    prop_monotone_flits;
+    prop_flit_increment_is_flow;
+  ]

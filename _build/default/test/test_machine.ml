@@ -1,0 +1,218 @@
+open Util
+module Proc = Nocplan_proc
+module Isa = Proc.Isa
+module Program = Proc.Program
+module Machine = Proc.Machine
+
+let unit_costs =
+  Machine.costs ~alu:1 ~load:1 ~store:1 ~branch_taken:1 ~branch_not_taken:1
+    ~jump:1 ~send:1 ~recv:1
+
+let assemble = Program.assemble_exn
+
+let run_collect ?(costs = unit_costs) ?memory_image stmts =
+  let sent = ref [] in
+  let io =
+    { Machine.on_send = (fun w -> sent := w :: !sent); recv_word = (fun () -> 0) }
+  in
+  let stats = Machine.run ~io ?memory_image costs (assemble stmts) in
+  (stats, List.rev !sent)
+
+open Isa
+
+let test_arithmetic () =
+  let stats, sent =
+    run_collect
+      [
+        Instr (Li (1, 20));
+        Instr (Li (2, 22));
+        Instr (Add (3, 1, 2));
+        Instr (Send 3);
+        Instr (Sub (4, 1, 2));
+        Instr (Send 4);
+        Instr (Xor (5, 1, 2));
+        Instr (Send 5);
+        Instr (And (6, 1, 2));
+        Instr (Send 6);
+        Instr (Or (7, 1, 2));
+        Instr (Send 7);
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "alu results"
+    [ 42; (20 - 22) land 0xFFFFFFFF; 20 lxor 22; 20 land 22; 20 lor 22 ]
+    sent;
+  Alcotest.(check bool) "halted" true (stats.Machine.outcome = Machine.Halted)
+
+let test_shifts_and_masking () =
+  let _, sent =
+    run_collect
+      [
+        Instr (Li (1, 0x80000001));
+        Instr (Shl (2, 1, 1));
+        Instr (Send 2);
+        (* the top bit must be dropped: 32-bit words *)
+        Instr (Shr (3, 1, 31));
+        Instr (Send 3);
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "masked shift" [ 2; 1 ] sent
+
+let test_register_zero_hardwired () =
+  let _, sent =
+    run_collect
+      [ Instr (Li (0, 99)); Instr (Send 0); Instr (Addi (0, 0, 5)); Instr (Send 0); Instr Halt ]
+  in
+  Alcotest.(check (list int)) "r0 stays zero" [ 0; 0 ] sent
+
+let test_memory () =
+  let _, sent =
+    run_collect
+      [
+        Instr (Li (1, 100));
+        Instr (Li (2, 1234));
+        Instr (Store (2, 1, 5));
+        Instr (Load (3, 1, 5));
+        Instr (Send 3);
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "store/load round-trip" [ 1234 ] sent
+
+let test_memory_image () =
+  let _, sent =
+    run_collect ~memory_image:[| 11; 22; 33 |]
+      [ Instr (Li (1, 0)); Instr (Load (2, 1, 2)); Instr (Send 2); Instr Halt ]
+  in
+  Alcotest.(check (list int)) "preloaded memory" [ 33 ] sent
+
+let test_branches () =
+  let _, sent =
+    run_collect
+      [
+        Instr (Li (1, 3));
+        Label "loop";
+        Instr (Send 1);
+        Instr (Addi (1, 1, -1));
+        Instr (Bne (1, 0, "loop"));
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "loop counts down" [ 3; 2; 1 ] sent
+
+let test_blt_signed () =
+  let _, sent =
+    run_collect
+      [
+        Instr (Li (1, -5));
+        (* stored as 32-bit two's complement *)
+        Instr (Li (2, 3));
+        Instr (Blt (1, 2, "less"));
+        Instr (Send 0);
+        Instr Halt;
+        Label "less";
+        Instr (Li (3, 1));
+        Instr (Send 3);
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "-5 < 3 signed" [ 1 ] sent
+
+let test_cycle_accounting () =
+  let costs =
+    Machine.costs ~alu:2 ~load:4 ~store:5 ~branch_taken:3 ~branch_not_taken:1
+      ~jump:2 ~send:7 ~recv:1
+  in
+  let stats, _ =
+    run_collect ~costs
+      [
+        Instr (Li (1, 1));
+        (* alu: 2 *)
+        Instr (Store (1, 0, 0));
+        (* store: 5 *)
+        Instr (Load (2, 0, 0));
+        (* load: 4 *)
+        Instr (Send 2);
+        (* send: 7 *)
+        Instr (Beq (1, 2, "t"));
+        (* taken: 3 *)
+        Label "t";
+        Instr (Bne (1, 2, "t"));
+        (* not taken: 1 *)
+        Instr Halt;
+      ]
+  in
+  Alcotest.(check int) "cycles" (2 + 5 + 4 + 7 + 3 + 1) stats.Machine.cycles;
+  Alcotest.(check int) "instructions" 7 stats.Machine.instructions
+
+let test_fuel_exhaustion () =
+  let stats, _ =
+    let sent = ref [] in
+    ignore sent;
+    let stats =
+      Machine.run ~max_cycles:100 unit_costs
+        (assemble [ Label "spin"; Instr (Jump "spin") ])
+    in
+    (stats, [])
+  in
+  Alcotest.(check bool) "fuel exhausted" true
+    (stats.Machine.outcome = Machine.Fuel_exhausted);
+  Alcotest.(check bool) "stopped near the limit" true (stats.Machine.cycles >= 100)
+
+let test_memory_bounds () =
+  match
+    Machine.run ~memory_words:16 unit_costs
+      (assemble [ Instr (Li (1, 100)); Instr (Load (2, 1, 0)); Instr Halt ])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds load accepted"
+
+let test_recv () =
+  let values = ref [ 7; 8; 9 ] in
+  let io =
+    {
+      Machine.on_send = ignore;
+      recv_word =
+        (fun () ->
+          match !values with
+          | [] -> 0
+          | v :: rest ->
+              values := rest;
+              v);
+    }
+  in
+  let stats =
+    Machine.run ~io unit_costs
+      (assemble
+         [ Instr (Recv 1); Instr (Recv 2); Instr (Recv 3); Instr Halt ])
+  in
+  Alcotest.(check int) "received words counted" 3 stats.Machine.received_words
+
+let prop_costs_validation =
+  qcheck "non-positive costs rejected" QCheck2.Gen.(int_range (-3) 0)
+    (fun bad ->
+      match
+        Machine.costs ~alu:bad ~load:1 ~store:1 ~branch_taken:1
+          ~branch_not_taken:1 ~jump:1 ~send:1 ~recv:1
+      with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "shifts and 32-bit masking" `Quick
+      test_shifts_and_masking;
+    Alcotest.test_case "register 0 hard-wired" `Quick
+      test_register_zero_hardwired;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "memory image preload" `Quick test_memory_image;
+    Alcotest.test_case "branch loop" `Quick test_branches;
+    Alcotest.test_case "signed comparison" `Quick test_blt_signed;
+    Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "memory bounds" `Quick test_memory_bounds;
+    Alcotest.test_case "recv" `Quick test_recv;
+    prop_costs_validation;
+  ]

@@ -1,0 +1,194 @@
+(* The decompression memory constraint: a processor can only serve a
+   core's deterministic test set if the compressed data fits its local
+   memory. *)
+
+open Util
+module Core = Nocplan_core
+module Test_access = Core.Test_access
+module Resource = Core.Resource
+module System = Core.System
+module Schedule = Core.Schedule
+module Scheduler = Core.Scheduler
+module Proc = Nocplan_proc
+module Decompress = Proc.Decompress
+
+let test_estimated_memory_words () =
+  let base = Decompress.estimated_memory_words ~words:100 ~mean_run_length:4 in
+  (* 25 runs -> 51 image words + program. *)
+  Alcotest.(check int) "image + program" (51 + 10) base;
+  Alcotest.(check bool) "longer runs, less memory" true
+    (Decompress.estimated_memory_words ~words:100 ~mean_run_length:10 < base);
+  match Decompress.estimated_memory_words ~words:0 ~mean_run_length:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero words accepted"
+
+let test_bist_always_feasible () =
+  let sys = small_system () in
+  let proc = Resource.Processor (List.hd sys.System.processors).System.module_id in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "bist fits" true
+        (Test_access.memory_feasible sys ~application:Proc.Processor.Bist
+           ~module_id:id ~source:proc))
+    (System.module_ids sys)
+
+let test_external_always_feasible () =
+  let sys = small_system () in
+  let ein = Resource.External_in (List.hd sys.System.io_inputs) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "external tester has no memory bound" true
+        (Test_access.memory_feasible sys
+           ~application:Proc.Processor.Decompression ~module_id:id ~source:ein))
+    (System.module_ids sys)
+
+(* A processor with almost no memory. *)
+let tiny_memory_processor () =
+  Proc.Processor.make ~memory_capacity_words:64 ~name:"tinyproc"
+    ~isa_family:"MIPS-I" ~costs:Proc.Plasma.costs ~power_active:50.0
+    ~self_test:(Proc.Plasma.self_test ~id:1)
+    ()
+
+let tiny_memory_system () =
+  small_system ~processors:[ tiny_memory_processor () ] ()
+
+let test_capacity_gates_decompression () =
+  let sys = tiny_memory_system () in
+  let proc_id = (List.hd sys.System.processors).System.module_id in
+  let proc = Resource.Processor proc_id in
+  (* The big scan core (module 3) cannot fit in 64 words. *)
+  Alcotest.(check bool) "big core infeasible" false
+    (Test_access.memory_feasible sys
+       ~application:Proc.Processor.Decompression ~module_id:3 ~source:proc);
+  Alcotest.(check bool) "footprint really exceeds capacity" true
+    (Test_access.decompression_footprint sys ~module_id:3 > 64)
+
+let test_scheduler_avoids_infeasible_sources () =
+  (* With a memory-starved processor, a decompression plan must route
+     every oversized core through the external source; the schedule
+     still completes and validates (including the memory check). *)
+  let sys = tiny_memory_system () in
+  let sched =
+    Scheduler.run sys
+      (Scheduler.config ~application:Proc.Processor.Decompression ~reuse:1 ())
+  in
+  (match
+     Schedule.validate sys ~application:Proc.Processor.Decompression
+       ~power_limit:None ~reuse:1 sched
+   with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs);
+  List.iter
+    (fun (e : Schedule.entry) ->
+      match e.Schedule.source with
+      | Resource.Processor _ ->
+          Alcotest.(check bool) "processor-sourced test fits memory" true
+            (Test_access.memory_feasible sys
+               ~application:Proc.Processor.Decompression
+               ~module_id:e.Schedule.module_id ~source:e.Schedule.source)
+      | Resource.External_in _ | Resource.External_out _ -> ())
+    sched.Schedule.entries
+
+let test_validator_catches_memory_violation () =
+  (* Force an oversized core onto the tiny processor and check the
+     validator objects. *)
+  let sys = tiny_memory_system () in
+  let proc_id = (List.hd sys.System.processors).System.module_id in
+  let proc = Resource.Processor proc_id in
+  let eout = Resource.External_out (List.hd sys.System.io_outputs) in
+  let sched =
+    Scheduler.run sys
+      (Scheduler.config ~application:Proc.Processor.Decompression ~reuse:1 ())
+  in
+  let doctored =
+    Schedule.of_entries
+      (List.map
+         (fun (e : Schedule.entry) ->
+           if e.Schedule.module_id = 3 then
+             let c =
+               Test_access.cost sys
+                 ~application:Proc.Processor.Decompression ~module_id:3
+                 ~source:proc ~sink:eout
+             in
+             {
+               e with
+               Schedule.source = proc;
+               Schedule.sink = eout;
+               Schedule.finish = e.Schedule.start + c.Test_access.duration;
+               Schedule.power = c.Test_access.power;
+               Schedule.links = c.Test_access.links;
+             }
+           else e)
+         sched.Schedule.entries)
+  in
+  match
+    Schedule.validate sys ~application:Proc.Processor.Decompression
+      ~power_limit:None ~reuse:1 doctored
+  with
+  | Ok () -> Alcotest.fail "memory violation not caught"
+  | Error vs ->
+      Alcotest.(check bool) "Insufficient_memory reported" true
+        (List.exists
+           (function Schedule.Insufficient_memory _ -> true | _ -> false)
+           vs)
+
+let test_sink_side_unconstrained () =
+  (* The MISR sink needs only its program: a memory-starved processor
+     can still act as a sink under decompression plans. *)
+  let sys = tiny_memory_system () in
+  let proc_id = (List.hd sys.System.processors).System.module_id in
+  Alcotest.(check bool) "sink role feasible" true
+    (Test_access.memory_feasible sys
+       ~application:Proc.Processor.Decompression ~module_id:3
+       ~source:(Resource.External_in (List.hd sys.System.io_inputs)))
+  |> fun () ->
+  (* And the cost model accepts proc-as-sink pairs. *)
+  let c =
+    Test_access.cost sys ~application:Proc.Processor.Decompression
+      ~module_id:3
+      ~source:(Resource.External_in (List.hd sys.System.io_inputs))
+      ~sink:(Resource.Processor proc_id)
+  in
+  Alcotest.(check bool) "cost computed" true (c.Test_access.duration > 0)
+
+let prop_footprint_monotone_in_patterns =
+  qcheck "footprint grows with pattern count"
+    QCheck2.Gen.(int_range 1 50)
+    (fun patterns ->
+      let build patterns =
+        let soc =
+          Nocplan_itc02.Soc.make ~name:"m"
+            ~modules:
+              [
+                Nocplan_itc02.Module_def.make ~id:1 ~name:"a" ~inputs:8
+                  ~outputs:8 ~scan_chains:[ 64 ] ~patterns ();
+              ]
+        in
+        Core.System.build ~soc
+          ~topology:(Nocplan_noc.Topology.make ~width:2 ~height:2)
+          ~processors:[]
+          ~io_inputs:[ Nocplan_noc.Coord.make ~x:0 ~y:0 ]
+          ~io_outputs:[ Nocplan_noc.Coord.make ~x:1 ~y:1 ]
+          ()
+      in
+      Test_access.decompression_footprint (build (patterns + 1)) ~module_id:1
+      >= Test_access.decompression_footprint (build patterns) ~module_id:1)
+
+let suite =
+  [
+    Alcotest.test_case "estimated memory words" `Quick
+      test_estimated_memory_words;
+    Alcotest.test_case "bist always feasible" `Quick test_bist_always_feasible;
+    Alcotest.test_case "external always feasible" `Quick
+      test_external_always_feasible;
+    Alcotest.test_case "capacity gates decompression" `Quick
+      test_capacity_gates_decompression;
+    Alcotest.test_case "scheduler avoids infeasible sources" `Quick
+      test_scheduler_avoids_infeasible_sources;
+    Alcotest.test_case "validator catches memory violations" `Quick
+      test_validator_catches_memory_violation;
+    Alcotest.test_case "sink side unconstrained" `Quick
+      test_sink_side_unconstrained;
+    prop_footprint_monotone_in_patterns;
+  ]

@@ -1,0 +1,128 @@
+open Util
+module Core = Nocplan_core
+module Metrics = Core.Metrics
+module Vcd = Core.Vcd
+module Planner = Core.Planner
+module Schedule = Core.Schedule
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fixture () =
+  let sys = small_system () in
+  (sys, Planner.schedule ~reuse:1 sys)
+
+let test_metrics_consistency () =
+  let sys, sched = fixture () in
+  let m = Metrics.of_schedule sys ~reuse:1 sched in
+  Alcotest.(check int) "makespan" sched.Schedule.makespan m.Metrics.makespan;
+  let manual_total =
+    List.fold_left
+      (fun acc (e : Schedule.entry) ->
+        acc + (e.Schedule.finish - e.Schedule.start))
+      0 sched.Schedule.entries
+  in
+  Alcotest.(check int) "total test time" manual_total m.Metrics.total_test_time;
+  Alcotest.(check bool) "avg concurrency >= 1 when busy" true
+    (m.Metrics.average_concurrency >= 1.0 -. 1e-9
+    || m.Metrics.total_test_time < m.Metrics.makespan);
+  Alcotest.(check bool) "peak >= avg" true
+    (float_of_int m.Metrics.peak_concurrency
+    >= m.Metrics.average_concurrency -. 1e-9);
+  Alcotest.(check bool) "peak power positive" true (m.Metrics.peak_power > 0.0)
+
+let test_baseline_external_share_is_one () =
+  let sys = small_system ~processors:[] () in
+  let sched = Planner.schedule ~reuse:0 sys in
+  let m = Metrics.of_schedule sys ~reuse:0 sched in
+  Alcotest.(check (float 1e-9)) "all external" 1.0 m.Metrics.external_share;
+  (* single pair serializes: concurrency exactly 1 *)
+  Alcotest.(check int) "peak concurrency" 1 m.Metrics.peak_concurrency
+
+let test_reuse_lowers_external_share () =
+  let sys = small_system () in
+  let sched = Planner.schedule ~reuse:1 sys in
+  let m = Metrics.of_schedule sys ~reuse:1 sched in
+  Alcotest.(check bool) "share < 1 with processor pairs" true
+    (m.Metrics.external_share <= 1.0);
+  Alcotest.(check int) "utilization entries = endpoints" 3
+    (List.length m.Metrics.utilization)
+
+let test_utilization_bounds () =
+  let sys, sched = fixture () in
+  let m = Metrics.of_schedule sys ~reuse:1 sched in
+  List.iter
+    (fun (_, u) ->
+      Alcotest.(check bool) "in [0, 1]" true (u >= 0.0 && u <= 1.0 +. 1e-9))
+    m.Metrics.utilization
+
+let test_vcd_structure () =
+  let sys, sched = fixture () in
+  let vcd = Vcd.of_schedule sys ~reuse:1 sched in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains vcd needle))
+    [
+      "$timescale";
+      "$enddefinitions $end";
+      "$var reg 16";
+      "$var real 64";
+      "concurrent_tests";
+      "total_power";
+      "#0";
+      Printf.sprintf "#%d" sched.Schedule.makespan;
+    ]
+
+let test_vcd_monotone_times () =
+  let sys, sched = fixture () in
+  let vcd = Vcd.of_schedule sys ~reuse:1 sched in
+  let times =
+    String.split_on_char '\n' vcd
+    |> List.filter_map (fun line ->
+           if String.length line > 1 && line.[0] = '#' then
+             int_of_string_opt (String.sub line 1 (String.length line - 1))
+           else None)
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "timestamps strictly increase" true (increasing times)
+
+let test_vcd_idle_at_end () =
+  (* At the makespan everything has finished: the document carries a
+     final zero-power record and zeroed resource values. *)
+  let sys, sched = fixture () in
+  let vcd = Vcd.of_schedule sys ~reuse:1 sched in
+  Alcotest.(check bool) "final power is zero" true (contains vcd "r0.000");
+  (* The last timestamped section is the makespan and it zeroes the
+     concurrency counter. *)
+  let marker = Printf.sprintf "#%d" sched.Schedule.makespan in
+  Alcotest.(check bool) "makespan section present" true (contains vcd marker)
+
+let test_vcd_file_roundtrip () =
+  let sys, sched = fixture () in
+  let path = Filename.temp_file "nocplan" ".vcd" in
+  Vcd.to_file path sys ~reuse:1 sched;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check string) "file matches in-memory"
+    (Vcd.of_schedule sys ~reuse:1 sched)
+    content
+
+let suite =
+  [
+    Alcotest.test_case "metrics consistency" `Quick test_metrics_consistency;
+    Alcotest.test_case "baseline is fully external" `Quick
+      test_baseline_external_share_is_one;
+    Alcotest.test_case "reuse and utilization" `Quick
+      test_reuse_lowers_external_share;
+    Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+    Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+    Alcotest.test_case "vcd monotone timestamps" `Quick
+      test_vcd_monotone_times;
+    Alcotest.test_case "vcd ends idle" `Quick test_vcd_idle_at_end;
+    Alcotest.test_case "vcd file round-trip" `Quick test_vcd_file_roundtrip;
+  ]

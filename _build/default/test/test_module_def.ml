@@ -1,0 +1,81 @@
+open Util
+module Module_def = Nocplan_itc02.Module_def
+
+let check = Alcotest.(check int)
+
+let test_make_defaults () =
+  let m =
+    Module_def.make ~id:3 ~name:"x" ~inputs:4 ~outputs:5 ~scan_chains:[ 10; 20 ]
+      ~patterns:7 ()
+  in
+  check "id" 3 m.Module_def.id;
+  check "bidirs default" 0 m.Module_def.bidirs;
+  check "scan cells" 30 (Module_def.scan_cells m);
+  check "terminals" 9 (Module_def.terminals m);
+  Alcotest.(check bool)
+    "default power is the toggle estimate" true
+    (Float.equal m.Module_def.test_power
+       (Module_def.estimated_power ~scan_cells:30 ~terminals:9))
+
+let test_test_bits () =
+  let m =
+    Module_def.make ~bidirs:2 ~id:1 ~name:"x" ~inputs:3 ~outputs:4
+      ~scan_chains:[ 5 ] ~patterns:10 ()
+  in
+  (* stimuli = 3 + 2 + 5 = 10; responses = 4 + 2 + 5 = 11 *)
+  check "test bits" 210 (Module_def.test_bits m)
+
+let test_combinational () =
+  let m =
+    Module_def.make ~id:1 ~name:"c" ~inputs:8 ~outputs:8 ~scan_chains:[]
+      ~patterns:5 ()
+  in
+  Alcotest.(check bool) "combinational" true (Module_def.is_combinational m);
+  check "no scan cells" 0 (Module_def.scan_cells m)
+
+let test_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "id 0" (fun () ->
+      Module_def.make ~id:0 ~name:"x" ~inputs:1 ~outputs:1 ~scan_chains:[]
+        ~patterns:1 ());
+  expect_invalid "negative inputs" (fun () ->
+      Module_def.make ~id:1 ~name:"x" ~inputs:(-1) ~outputs:1 ~scan_chains:[]
+        ~patterns:1 ());
+  expect_invalid "zero patterns" (fun () ->
+      Module_def.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~scan_chains:[]
+        ~patterns:0 ());
+  expect_invalid "zero-length chain" (fun () ->
+      Module_def.make ~id:1 ~name:"x" ~inputs:1 ~outputs:1 ~scan_chains:[ 0 ]
+        ~patterns:1 ());
+  expect_invalid "negative power" (fun () ->
+      Module_def.make ~test_power:(-1.0) ~id:1 ~name:"x" ~inputs:1 ~outputs:1
+        ~scan_chains:[] ~patterns:1 ())
+
+let prop_test_bits_positive =
+  qcheck "test_bits > 0 for any generated module" module_gen (fun m ->
+      Module_def.test_bits m > 0)
+
+let prop_estimated_power_monotone =
+  qcheck "estimated power grows with scan cells"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 1_000))
+    (fun (cells, terminals) ->
+      Module_def.estimated_power ~scan_cells:(cells + 1) ~terminals
+      > Module_def.estimated_power ~scan_cells:cells ~terminals -. 1e-9)
+
+let prop_equal_reflexive =
+  qcheck "equal is reflexive" module_gen (fun m -> Module_def.equal m m)
+
+let suite =
+  [
+    Alcotest.test_case "make fills defaults" `Quick test_make_defaults;
+    Alcotest.test_case "test_bits counts both directions" `Quick test_test_bits;
+    Alcotest.test_case "combinational modules" `Quick test_combinational;
+    Alcotest.test_case "constructor validation" `Quick test_validation;
+    prop_test_bits_positive;
+    prop_estimated_power_monotone;
+    prop_equal_reflexive;
+  ]

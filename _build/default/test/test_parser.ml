@@ -1,0 +1,155 @@
+open Util
+module Parser = Nocplan_itc02.Parser
+module Printer = Nocplan_itc02.Printer
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let parse_ok text =
+  match Parser.parse text with
+  | Ok soc -> soc
+  | Error e -> Alcotest.failf "unexpected parse error: %a" Parser.pp_error e
+
+let parse_err text =
+  match Parser.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let minimal =
+  {|Soc one
+Module 1 core
+  Inputs 4
+  Outputs 2
+  ScanChains 0
+  Patterns 3
+End|}
+
+let test_minimal () =
+  let soc = parse_ok minimal in
+  Alcotest.(check string) "name" "one" soc.Soc.name;
+  let m = Soc.find soc 1 in
+  Alcotest.(check int) "inputs" 4 m.Module_def.inputs;
+  Alcotest.(check int) "patterns" 3 m.Module_def.patterns;
+  Alcotest.(check bool) "no scan" true (Module_def.is_combinational m)
+
+let test_scan_chain_lengths () =
+  let soc =
+    parse_ok
+      {|Soc s
+Module 7 x
+  Inputs 1
+  Outputs 1
+  ScanChains 3 10 20 30
+  Patterns 2
+End|}
+  in
+  Alcotest.(check (list int)) "chains" [ 10; 20; 30 ]
+    (Soc.find soc 7).Module_def.scan_chains
+
+let test_comments_and_case () =
+  let soc =
+    parse_ok
+      {|# header comment
+soc S  # trailing comment
+MODULE 1 a
+  inputs 1
+  OUTPUTS 2   # fields any case
+  scanchains 0
+  patterns 1
+  POWER 7.5
+end|}
+  in
+  let m = Soc.find soc 1 in
+  Alcotest.(check (float 1e-9)) "power" 7.5 m.Module_def.test_power
+
+let test_field_order_irrelevant () =
+  let soc =
+    parse_ok
+      {|Soc s
+Module 1 a
+  Patterns 4
+  ScanChains 1 5
+  Outputs 2
+  Inputs 3
+End|}
+  in
+  let m = Soc.find soc 1 in
+  Alcotest.(check int) "inputs" 3 m.Module_def.inputs;
+  Alcotest.(check int) "patterns" 4 m.Module_def.patterns
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_error text fragment =
+  let e = parse_err text in
+  let msg = Fmt.str "%a" Parser.pp_error e in
+  if not (contains msg fragment) then
+    Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_errors () =
+  expect_error "" "empty";
+  expect_error "Module 1 a" "Soc";
+  expect_error "Soc s\nFoo" "Module";
+  expect_error "Soc s\nModule 1 a\n Inputs 1\nEnd" "missing";
+  expect_error
+    "Soc s\nModule 1 a\nInputs 1\nOutputs 1\nScanChains 0\nPatterns 1\nInputs 2\nEnd"
+    "duplicate";
+  expect_error "Soc s\nModule 1 a\nInputs x\nEnd" "integer";
+  (* A truncated chain-length list swallows the next keyword. *)
+  expect_error "Soc s\nModule 1 a\nInputs 1\nOutputs 1\nScanChains 2 5\nPatterns 1\nEnd"
+    "integer";
+  expect_error
+    "Soc s\nModule 1 a\nInputs 1\nOutputs 1\nScanChains 0\nPatterns 1\nEnd\n\
+     Module 1 b\nInputs 1\nOutputs 1\nScanChains 0\nPatterns 1\nEnd"
+    "duplicate"
+
+let test_error_line_numbers () =
+  let e = parse_err "Soc s\nModule 1 a\n  Inputs oops\nEnd" in
+  Alcotest.(check int) "line of the bad token" 3 e.Parser.line
+
+let prop_roundtrip =
+  qcheck ~count:200 "print/parse round-trips any benchmark" soc_gen (fun soc ->
+      match Parser.parse (Printer.to_string soc) with
+      | Ok soc2 -> Soc.equal soc soc2
+      | Error _ -> false)
+
+let test_builtin_files_roundtrip () =
+  List.iter
+    (fun soc ->
+      match Parser.parse (Printer.to_string soc) with
+      | Ok soc2 ->
+          Alcotest.(check bool)
+            (soc.Soc.name ^ " round-trips")
+            true (Soc.equal soc soc2)
+      | Error e -> Alcotest.failf "%s: %a" soc.Soc.name Parser.pp_error e)
+    [
+      Nocplan_itc02.Data_d695.soc ();
+      Nocplan_itc02.Data_p22810.soc ();
+      Nocplan_itc02.Data_p93791.soc ();
+    ]
+
+let test_of_file () =
+  let path = Filename.temp_file "nocplan" ".soc" in
+  Printer.to_file path (small_soc ());
+  (match Parser.of_file path with
+  | Ok soc -> Alcotest.(check bool) "file round-trip" true (Soc.equal soc (small_soc ()))
+  | Error e -> Alcotest.failf "of_file: %a" Parser.pp_error e);
+  Sys.remove path;
+  match Parser.of_file "/nonexistent/nocplan.soc" with
+  | Ok _ -> Alcotest.fail "missing file parsed"
+  | Error e -> Alcotest.(check int) "io error on line 0" 0 e.Parser.line
+
+let suite =
+  [
+    Alcotest.test_case "minimal description" `Quick test_minimal;
+    Alcotest.test_case "scan chain lengths" `Quick test_scan_chain_lengths;
+    Alcotest.test_case "comments and case" `Quick test_comments_and_case;
+    Alcotest.test_case "field order" `Quick test_field_order_irrelevant;
+    Alcotest.test_case "error cases" `Quick test_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "builtin benchmarks round-trip" `Quick
+      test_builtin_files_roundtrip;
+    Alcotest.test_case "file I/O" `Quick test_of_file;
+    prop_roundtrip;
+  ]

@@ -1,0 +1,85 @@
+open Util
+module Core = Nocplan_core
+module Placement = Core.Placement
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+
+let topo = Topology.make ~width:3 ~height:3
+
+let test_of_assoc () =
+  let p =
+    Placement.of_assoc topo
+      [ (1, Coord.make ~x:0 ~y:0); (2, Coord.make ~x:2 ~y:2) ]
+  in
+  Alcotest.(check bool) "coord" true
+    (Coord.equal (Placement.coord p 1) (Coord.make ~x:0 ~y:0));
+  Alcotest.(check bool) "mem" true (Placement.mem p 2);
+  Alcotest.(check bool) "not mem" false (Placement.mem p 3);
+  Alcotest.(check (list int)) "ids" [ 1; 2 ] (Placement.module_ids p)
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Placement.of_assoc topo []);
+  expect_invalid (fun () ->
+      Placement.of_assoc topo [ (1, Coord.make ~x:5 ~y:0) ]);
+  expect_invalid (fun () ->
+      Placement.of_assoc topo
+        [ (1, Coord.make ~x:0 ~y:0); (1, Coord.make ~x:1 ~y:0) ])
+
+let test_sharing_allowed () =
+  let tile = Coord.make ~x:1 ~y:1 in
+  let p = Placement.of_assoc topo [ (1, tile); (2, tile) ] in
+  Alcotest.(check (list int)) "both modules on the tile" [ 1; 2 ]
+    (List.sort Stdlib.compare (Placement.modules_at p tile))
+
+let test_spread_avoids_pins () =
+  let pin = Coord.make ~x:1 ~y:1 in
+  let p = Placement.spread topo ~pinned:[ (100, pin) ] [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "module %d off the pinned tile" id)
+        false
+        (Coord.equal (Placement.coord p id) pin))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "pin placed" true (Coord.equal (Placement.coord p 100) pin)
+
+let test_spread_wraps () =
+  (* More modules than free tiles: wraps around, sharing tiles. *)
+  let small = Topology.make ~width:2 ~height:1 in
+  let p = Placement.spread small ~pinned:[] [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "all placed" 5 (List.length (Placement.module_ids p))
+
+let test_spread_all_pinned () =
+  (* Degenerate: every tile pinned; free modules still get placed. *)
+  let small = Topology.make ~width:1 ~height:1 in
+  let tile = Coord.make ~x:0 ~y:0 in
+  let p = Placement.spread small ~pinned:[ (9, tile) ] [ 1 ] in
+  Alcotest.(check bool) "placed on the only tile" true
+    (Coord.equal (Placement.coord p 1) tile)
+
+let prop_spread_places_everything =
+  qcheck "spread places every id in bounds"
+    QCheck2.Gen.(pair topology_gen (int_range 1 30))
+    (fun (topo, n) ->
+      let ids = List.init n (fun i -> i + 1) in
+      let p = Placement.spread topo ~pinned:[] ids in
+      List.for_all
+        (fun id -> Topology.in_bounds topo (Placement.coord p id))
+        ids)
+
+let suite =
+  [
+    Alcotest.test_case "of_assoc" `Quick test_of_assoc;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "tile sharing" `Quick test_sharing_allowed;
+    Alcotest.test_case "spread avoids pins" `Quick test_spread_avoids_pins;
+    Alcotest.test_case "spread wraps" `Quick test_spread_wraps;
+    Alcotest.test_case "spread with all tiles pinned" `Quick
+      test_spread_all_pinned;
+    prop_spread_places_everything;
+  ]

@@ -1,0 +1,52 @@
+open Util
+module Power_model = Nocplan_itc02.Power_model
+module Module_def = Nocplan_itc02.Module_def
+module Soc = Nocplan_itc02.Soc
+
+let test_uniform () =
+  let soc = Power_model.apply (Power_model.Uniform 10.0) (small_soc ()) in
+  List.iter
+    (fun (m : Module_def.t) ->
+      Alcotest.(check (float 1e-9)) "uniform power" 10.0 m.Module_def.test_power)
+    soc.Soc.modules
+
+let test_default_matches_make () =
+  (* Applying the default model is a no-op on modules built without an
+     explicit power. *)
+  let soc = small_soc () in
+  let soc2 = Power_model.apply Power_model.default soc in
+  Alcotest.(check bool) "no-op" true (Soc.equal soc soc2)
+
+let test_volume_proportional () =
+  let m = small_module () in
+  let p = Power_model.module_power (Power_model.Volume_proportional 1.0) m in
+  Alcotest.(check (float 1e-6)) "volume per pattern"
+    (float_of_int (Module_def.test_bits m) /. float_of_int m.Module_def.patterns)
+    p
+
+let prop_toggle_scales =
+  qcheck "toggle model scales linearly in k" module_gen (fun m ->
+      let p1 = Power_model.module_power (Power_model.Toggle_proportional 1.0) m in
+      let p2 = Power_model.module_power (Power_model.Toggle_proportional 2.0) m in
+      Float.abs (p2 -. (2.0 *. p1)) < 1e-6)
+
+let prop_apply_preserves_structure =
+  qcheck "apply changes only powers" soc_gen (fun soc ->
+      let soc2 = Power_model.apply (Power_model.Uniform 5.0) soc in
+      List.for_all2
+        (fun (a : Module_def.t) (b : Module_def.t) ->
+          a.Module_def.id = b.Module_def.id
+          && a.Module_def.scan_chains = b.Module_def.scan_chains
+          && a.Module_def.patterns = b.Module_def.patterns)
+        soc.Soc.modules soc2.Soc.modules)
+
+let suite =
+  [
+    Alcotest.test_case "uniform model" `Quick test_uniform;
+    Alcotest.test_case "default model is make's default" `Quick
+      test_default_matches_make;
+    Alcotest.test_case "volume-proportional model" `Quick
+      test_volume_proportional;
+    prop_toggle_scales;
+    prop_apply_preserves_structure;
+  ]

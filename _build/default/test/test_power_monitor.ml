@@ -1,0 +1,92 @@
+open Util
+module Power_monitor = Nocplan_core.Power_monitor
+
+let test_no_limit_always_fits () =
+  let m = Power_monitor.create ~limit:None in
+  Alcotest.(check bool) "fits" true
+    (Power_monitor.fits m ~start:0 ~finish:100 ~power:1e12)
+
+let test_limit_enforced () =
+  let m = Power_monitor.create ~limit:(Some 10.0) in
+  Power_monitor.add m ~start:0 ~finish:50 ~power:6.0;
+  Alcotest.(check bool) "second 6.0 does not fit concurrently" false
+    (Power_monitor.fits m ~start:25 ~finish:75 ~power:6.0);
+  Alcotest.(check bool) "fits after" true
+    (Power_monitor.fits m ~start:50 ~finish:100 ~power:6.0);
+  Power_monitor.add m ~start:50 ~finish:100 ~power:6.0;
+  Alcotest.(check (float 1e-9)) "peak" 6.0 (Power_monitor.peak m)
+
+let test_peak_of_overlaps () =
+  let m = Power_monitor.create ~limit:None in
+  Power_monitor.add m ~start:0 ~finish:10 ~power:1.0;
+  Power_monitor.add m ~start:5 ~finish:15 ~power:2.0;
+  Power_monitor.add m ~start:8 ~finish:9 ~power:4.0;
+  Alcotest.(check (float 1e-9)) "stacked peak" 7.0 (Power_monitor.peak m);
+  Alcotest.(check (float 1e-9)) "power at 6" 3.0 (Power_monitor.power_at m 6);
+  Alcotest.(check (float 1e-9)) "power at 14" 2.0 (Power_monitor.power_at m 14);
+  Alcotest.(check (float 1e-9)) "power at 20" 0.0 (Power_monitor.power_at m 20)
+
+let test_half_open () =
+  let m = Power_monitor.create ~limit:(Some 5.0) in
+  Power_monitor.add m ~start:0 ~finish:10 ~power:5.0;
+  (* The window ends exactly where the next begins: no overlap. *)
+  Alcotest.(check bool) "adjacent fits" true
+    (Power_monitor.fits m ~start:10 ~finish:20 ~power:5.0)
+
+let test_add_over_limit_rejected () =
+  let m = Power_monitor.create ~limit:(Some 1.0) in
+  match Power_monitor.add m ~start:0 ~finish:10 ~power:2.0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "over-limit add accepted"
+
+let test_empty_window () =
+  let m = Power_monitor.create ~limit:(Some 1.0) in
+  Alcotest.(check bool) "empty window fits anything" true
+    (Power_monitor.fits m ~start:5 ~finish:5 ~power:100.0)
+
+let intervals_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 12)
+      (triple (int_range 0 50) (int_range 1 30) (int_range 1 10)))
+
+let prop_fits_respected_by_add =
+  qcheck "greedy adds never exceed the limit" intervals_gen (fun intervals ->
+      let limit = 12.0 in
+      let m = Power_monitor.create ~limit:(Some limit) in
+      List.iter
+        (fun (s, d, p) ->
+          let power = float_of_int p in
+          if Power_monitor.fits m ~start:s ~finish:(s + d) ~power then
+            Power_monitor.add m ~start:s ~finish:(s + d) ~power)
+        intervals;
+      Power_monitor.peak m <= limit +. 1e-6)
+
+let prop_peak_is_max_of_power_at =
+  qcheck "peak equals the max instantaneous power" intervals_gen
+    (fun intervals ->
+      let m = Power_monitor.create ~limit:None in
+      List.iter
+        (fun (s, d, p) ->
+          Power_monitor.add m ~start:s ~finish:(s + d)
+            ~power:(float_of_int p))
+        intervals;
+      let brute =
+        List.fold_left
+          (fun acc t -> Float.max acc (Power_monitor.power_at m t))
+          0.0
+          (List.init 100 Fun.id)
+      in
+      Float.abs (Power_monitor.peak m -. brute) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "no limit" `Quick test_no_limit_always_fits;
+    Alcotest.test_case "limit enforced" `Quick test_limit_enforced;
+    Alcotest.test_case "peak of overlaps" `Quick test_peak_of_overlaps;
+    Alcotest.test_case "half-open windows" `Quick test_half_open;
+    Alcotest.test_case "over-limit add rejected" `Quick
+      test_add_over_limit_rejected;
+    Alcotest.test_case "empty window" `Quick test_empty_window;
+    prop_fits_respected_by_add;
+    prop_peak_is_max_of_power_at;
+  ]

@@ -1,0 +1,71 @@
+open Util
+module Core = Nocplan_core
+module Priority = Core.Priority
+module System = Core.System
+module Coord = Nocplan_noc.Coord
+
+let test_order_is_permutation () =
+  let system = small_system () in
+  let order = Priority.order system ~reuse:1 in
+  Alcotest.(check (list int)) "permutation of module ids"
+    (List.sort Stdlib.compare (System.module_ids system))
+    (List.sort Stdlib.compare order)
+
+let test_closer_first () =
+  let system = small_system () in
+  let order = Priority.order system ~reuse:0 in
+  let distance id = Priority.distance_to_nearest_resource system ~reuse:0 id in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> distance a <= distance b && nondecreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "distances non-decreasing along the order" true
+    (nondecreasing order)
+
+let test_distance_computation () =
+  let system = small_system () in
+  (* IO ports at (0,0) and (2,2) on a 3x3 mesh: every tile is within
+     manhattan distance 2 of one of them. *)
+  List.iter
+    (fun id ->
+      let d = Priority.distance_to_nearest_resource system ~reuse:0 id in
+      Alcotest.(check bool) "within 2" true (d >= 0 && d <= 2))
+    (System.module_ids system)
+
+let test_reuse_extends_resources () =
+  let system = small_system () in
+  (* Adding processor tiles can only shrink distances. *)
+  List.iter
+    (fun id ->
+      let d0 = Priority.distance_to_nearest_resource system ~reuse:0 id in
+      let d1 = Priority.distance_to_nearest_resource system ~reuse:1 id in
+      Alcotest.(check bool) "more resources, closer or equal" true (d1 <= d0))
+    (System.module_ids system)
+
+let prop_ties_broken_by_volume =
+  qcheck ~count:30 "equal distance: larger test volume first" system_gen
+    (fun system ->
+      let reuse = List.length system.Core.System.processors in
+      let order = Priority.order system ~reuse in
+      let dist id = Priority.distance_to_nearest_resource system ~reuse id in
+      let volume id =
+        Nocplan_itc02.Module_def.test_bits
+          (Nocplan_itc02.Soc.find system.Core.System.soc id)
+      in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            (dist a < dist b || (dist a = dist b && volume a >= volume b))
+            && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok order)
+
+let suite =
+  [
+    Alcotest.test_case "order is a permutation" `Quick test_order_is_permutation;
+    Alcotest.test_case "closer cores first" `Quick test_closer_first;
+    Alcotest.test_case "distance values" `Quick test_distance_computation;
+    Alcotest.test_case "reuse shrinks distances" `Quick
+      test_reuse_extends_resources;
+    prop_ties_broken_by_volume;
+  ]

@@ -1,0 +1,71 @@
+module Proc = Nocplan_proc
+module Program = Proc.Program
+module Isa = Proc.Isa
+
+open Isa
+
+let expect_error stmts fragment =
+  match Program.assemble stmts with
+  | Ok _ -> Alcotest.failf "assembled; expected error about %s" fragment
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_label_resolution () =
+  let p =
+    Program.assemble_exn
+      [
+        Instr (Jump "end");
+        Label "mid";
+        Instr Halt;
+        Label "end";
+        Instr (Jump "mid");
+      ]
+  in
+  Alcotest.(check int) "three instructions" 3 (Program.length p);
+  (match p.Program.code.(0) with
+  | Jump 2 -> ()
+  | _ -> Alcotest.fail "forward reference misresolved");
+  match p.Program.code.(2) with
+  | Jump 1 -> ()
+  | _ -> Alcotest.fail "backward reference misresolved"
+
+let test_label_at_end_of_program () =
+  (* A label may point one past the last instruction only if something
+     follows; pointing at index = length is a jump out of code, which
+     the machine rejects at run time, but assembly of a label at the
+     very end referencing nothing is still an undefined-label error if
+     unused... here we check a trailing label that is never referenced
+     is harmless. *)
+  let p =
+    Program.assemble_exn [ Instr Halt; Label "unused_trailer" ]
+  in
+  Alcotest.(check int) "one instruction" 1 (Program.length p)
+
+let test_errors () =
+  expect_error [] "empty";
+  expect_error [ Label "a"; Label "a"; Instr Halt ] "duplicate";
+  expect_error [ Instr (Jump "nowhere") ] "undefined";
+  expect_error [ Instr (Send 40) ] "register"
+
+let test_listing_stable () =
+  let stmts : Program.stmt list =
+    [ Label "l"; Instr (Li (1, 5)); Instr (Bne (1, 0, "l")); Instr Halt ]
+  in
+  let p = Program.assemble_exn stmts in
+  let listing = Fmt.str "%a" Program.pp p in
+  Alcotest.(check bool) "mentions label" true
+    (String.length listing > 0 && String.sub listing 0 2 = "l:")
+
+let suite =
+  [
+    Alcotest.test_case "label resolution" `Quick test_label_resolution;
+    Alcotest.test_case "trailing label" `Quick test_label_at_end_of_program;
+    Alcotest.test_case "assembler errors" `Quick test_errors;
+    Alcotest.test_case "listing" `Quick test_listing_stable;
+  ]

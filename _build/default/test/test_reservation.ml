@@ -1,0 +1,106 @@
+open Util
+module Reservation = Nocplan_noc.Reservation
+module Link = Nocplan_noc.Link
+module Coord = Nocplan_noc.Coord
+
+let c x y = Coord.make ~x ~y
+let l0 = Link.Inject (c 0 0)
+let l1 = Link.channel (c 0 0) (c 1 0)
+let l2 = Link.Eject (c 1 0)
+
+let test_reserve_then_busy () =
+  let r = Reservation.create () in
+  Alcotest.(check bool) "initially free" true
+    (Reservation.is_free r [ l0; l1; l2 ] ~start:0 ~finish:10);
+  Reservation.reserve r ~owner:1 [ l0; l1; l2 ] ~start:0 ~finish:10;
+  Alcotest.(check bool) "now busy" false
+    (Reservation.is_free r [ l1 ] ~start:5 ~finish:6);
+  Alcotest.(check bool) "other window free" true
+    (Reservation.is_free r [ l1 ] ~start:10 ~finish:20);
+  Alcotest.(check bool) "other link free" false
+    (Reservation.is_free r [ l0 ] ~start:9 ~finish:12)
+
+let test_half_open_intervals () =
+  let r = Reservation.create () in
+  Reservation.reserve r ~owner:1 [ l1 ] ~start:0 ~finish:10;
+  Alcotest.(check bool) "adjacent after is free" true
+    (Reservation.is_free r [ l1 ] ~start:10 ~finish:15);
+  Reservation.reserve r ~owner:2 [ l1 ] ~start:10 ~finish:15;
+  Alcotest.(check int) "two bookings" 2 (List.length (Reservation.bookings r l1))
+
+let test_empty_window_always_free () =
+  let r = Reservation.create () in
+  Reservation.reserve r ~owner:1 [ l1 ] ~start:0 ~finish:100;
+  Alcotest.(check bool) "empty window" true
+    (Reservation.is_free r [ l1 ] ~start:50 ~finish:50)
+
+let test_conflicts_reported () =
+  let r = Reservation.create () in
+  Reservation.reserve r ~owner:7 [ l0; l1 ] ~start:5 ~finish:15;
+  let cs = Reservation.conflicts r [ l1; l2 ] ~start:10 ~finish:20 in
+  Alcotest.(check int) "one conflicting link" 1 (List.length cs);
+  (match cs with
+  | [ (link, b) ] ->
+      Alcotest.(check bool) "the channel" true (Link.equal link l1);
+      Alcotest.(check int) "owner" 7 b.Reservation.owner
+  | _ -> Alcotest.fail "unexpected conflicts")
+
+let test_reserve_conflict_rejected () =
+  let r = Reservation.create () in
+  Reservation.reserve r ~owner:1 [ l1 ] ~start:0 ~finish:10;
+  match Reservation.reserve r ~owner:2 [ l1 ] ~start:9 ~finish:11 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "conflicting reserve accepted"
+
+let test_next_free_time () =
+  let r = Reservation.create () in
+  Reservation.reserve r ~owner:1 [ l1 ] ~start:10 ~finish:20;
+  Reservation.reserve r ~owner:2 [ l1 ] ~start:25 ~finish:40;
+  Alcotest.(check int) "fits before first" 0
+    (Reservation.next_free_time r [ l1 ] ~from:0 ~duration:10);
+  Alcotest.(check int) "gap too small, lands after second" 40
+    (Reservation.next_free_time r [ l1 ] ~from:5 ~duration:6);
+  Alcotest.(check int) "fits in the gap" 20
+    (Reservation.next_free_time r [ l1 ] ~from:12 ~duration:5);
+  Alcotest.(check int) "zero duration" 3
+    (Reservation.next_free_time r [ l1 ] ~from:3 ~duration:0)
+
+let interval_gen = QCheck2.Gen.(pair (int_range 0 100) (int_range 1 30))
+
+let prop_next_free_is_free =
+  qcheck "next_free_time returns a free window"
+    QCheck2.Gen.(pair (list_size (int_range 0 8) interval_gen) interval_gen)
+    (fun (bookings, (from, duration)) ->
+      let r = Reservation.create () in
+      List.iteri
+        (fun i (s, d) ->
+          if Reservation.is_free r [ l1 ] ~start:s ~finish:(s + d) then
+            Reservation.reserve r ~owner:i [ l1 ] ~start:s ~finish:(s + d))
+        bookings;
+      let t = Reservation.next_free_time r [ l1 ] ~from ~duration in
+      t >= from && Reservation.is_free r [ l1 ] ~start:t ~finish:(t + duration))
+
+let prop_disjoint_links_independent =
+  qcheck "bookings on one link leave others free"
+    QCheck2.Gen.(list_size (int_range 1 6) interval_gen)
+    (fun bookings ->
+      let r = Reservation.create () in
+      List.iteri
+        (fun i (s, d) ->
+          if Reservation.is_free r [ l0 ] ~start:s ~finish:(s + d) then
+            Reservation.reserve r ~owner:i [ l0 ] ~start:s ~finish:(s + d))
+        bookings;
+      Reservation.is_free r [ l2 ] ~start:0 ~finish:1_000)
+
+let suite =
+  [
+    Alcotest.test_case "reserve makes busy" `Quick test_reserve_then_busy;
+    Alcotest.test_case "half-open intervals" `Quick test_half_open_intervals;
+    Alcotest.test_case "empty window" `Quick test_empty_window_always_free;
+    Alcotest.test_case "conflicts reported" `Quick test_conflicts_reported;
+    Alcotest.test_case "conflicting reserve rejected" `Quick
+      test_reserve_conflict_rejected;
+    Alcotest.test_case "next_free_time" `Quick test_next_free_time;
+    prop_next_free_is_free;
+    prop_disjoint_links_independent;
+  ]

@@ -1,0 +1,78 @@
+open Util
+module Core = Nocplan_core
+module Resource = Core.Resource
+module System = Core.System
+module Coord = Nocplan_noc.Coord
+module Proc = Nocplan_proc
+
+let system () =
+  small_system
+    ~processors:[ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ]
+    ()
+
+let test_roles () =
+  let ein = Resource.External_in (Coord.make ~x:0 ~y:0) in
+  let eout = Resource.External_out (Coord.make ~x:1 ~y:1) in
+  let p = Resource.Processor 4 in
+  Alcotest.(check bool) "ext-in sources" true (Resource.can_source ein);
+  Alcotest.(check bool) "ext-in cannot sink" false (Resource.can_sink ein);
+  Alcotest.(check bool) "ext-out sinks" true (Resource.can_sink eout);
+  Alcotest.(check bool) "ext-out cannot source" false (Resource.can_source eout);
+  Alcotest.(check bool) "processor both" true
+    (Resource.can_source p && Resource.can_sink p)
+
+let test_valid_pairs () =
+  let ein = Resource.External_in (Coord.make ~x:0 ~y:0) in
+  let eout = Resource.External_out (Coord.make ~x:1 ~y:1) in
+  let p4 = Resource.Processor 4 and p5 = Resource.Processor 5 in
+  let check name expected source sink =
+    Alcotest.(check bool) name expected (Resource.valid_pair ~source ~sink)
+  in
+  check "ext/ext" true ein eout;
+  check "ext/proc" true ein p4;
+  check "proc/ext" true p4 eout;
+  check "proc/proc distinct" true p4 p5;
+  check "proc/proc same" false p4 p4;
+  check "out as source" false eout p4;
+  check "in as sink" false p4 ein
+
+let test_all_endpoints_reuse () =
+  let system = system () in
+  let count reuse = List.length (Resource.all_endpoints system ~reuse) in
+  Alcotest.(check int) "reuse 0: just the ports" 2 (count 0);
+  Alcotest.(check int) "reuse 1" 3 (count 1);
+  Alcotest.(check int) "reuse 2" 4 (count 2);
+  (match Resource.all_endpoints system ~reuse:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reuse beyond processor count accepted");
+  match Resource.all_endpoints system ~reuse:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative reuse accepted"
+
+let test_reuse_order_is_system_order () =
+  let system = system () in
+  match Resource.all_endpoints system ~reuse:1 with
+  | [ _; _; Resource.Processor id ] ->
+      Alcotest.(check int) "first processor is the first listed" 4 id
+  | _ -> Alcotest.fail "unexpected endpoint list shape"
+
+let test_coord_of_processor () =
+  let system = system () in
+  let p = List.hd system.System.processors in
+  Alcotest.(check bool) "processor coord" true
+    (Coord.equal
+       (Resource.coord system (Resource.Processor p.System.module_id))
+       p.System.coord);
+  match Resource.coord system (Resource.Processor 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "CUT id accepted as processor endpoint"
+
+let suite =
+  [
+    Alcotest.test_case "endpoint roles" `Quick test_roles;
+    Alcotest.test_case "pair validity" `Quick test_valid_pairs;
+    Alcotest.test_case "all_endpoints respects reuse" `Quick
+      test_all_endpoints_reuse;
+    Alcotest.test_case "reuse order" `Quick test_reuse_order_is_system_order;
+    Alcotest.test_case "processor coordinates" `Quick test_coord_of_processor;
+  ]

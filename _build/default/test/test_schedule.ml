@@ -1,0 +1,234 @@
+open Util
+module Core = Nocplan_core
+module Schedule = Core.Schedule
+module Scheduler = Core.Scheduler
+module Resource = Core.Resource
+module System = Core.System
+module Test_access = Core.Test_access
+module Proc = Nocplan_proc
+
+(* Build a known-good schedule, then corrupt it in controlled ways and
+   check the validator reports the right violation. *)
+
+let system () = small_system ()
+
+let good_schedule sys ~reuse =
+  Scheduler.run sys (Scheduler.config ~reuse ())
+
+let validate ?(reuse = 1) ?(power_limit = None) sys sched =
+  Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit ~reuse
+    sched
+
+let has_violation p = function
+  | Ok () -> false
+  | Error vs -> List.exists p vs
+
+let test_good_schedule_validates () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:1 in
+  match validate sys sched with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "unexpected violations: %a"
+        (Fmt.list Schedule.pp_violation) vs
+
+let drop_first (sched : Schedule.t) =
+  match sched.Schedule.entries with
+  | _ :: rest -> Schedule.of_entries rest
+  | [] -> Alcotest.fail "empty schedule"
+
+let test_missing_module_detected () =
+  let sys = system () in
+  let sched = drop_first (good_schedule sys ~reuse:1) in
+  Alcotest.(check bool) "Module_not_tested reported" true
+    (has_violation
+       (function Schedule.Module_not_tested _ -> true | _ -> false)
+       (validate sys sched))
+
+let test_duplicate_detected () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:1 in
+  let dup = List.hd sched.Schedule.entries in
+  let sched2 = Schedule.of_entries (dup :: sched.Schedule.entries) in
+  Alcotest.(check bool) "Module_tested_twice reported" true
+    (has_violation
+       (function Schedule.Module_tested_twice _ -> true | _ -> false)
+       (validate sys sched2))
+
+let shift_entry_to (e : Schedule.entry) start =
+  {
+    e with
+    Schedule.start;
+    Schedule.finish = start + (e.Schedule.finish - e.Schedule.start);
+  }
+
+let test_endpoint_overlap_detected () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:0 in
+  (* Force all entries to start at 0: the two external endpoints are
+     then shared by overlapping tests. *)
+  let squashed =
+    Schedule.of_entries
+      (List.map (fun e -> shift_entry_to e 0) sched.Schedule.entries)
+  in
+  let result = validate ~reuse:0 sys squashed in
+  Alcotest.(check bool) "Endpoint_overlap reported" true
+    (has_violation
+       (function Schedule.Endpoint_overlap _ -> true | _ -> false)
+       result)
+
+let test_link_overlap_detected () =
+  let sys = system () in
+  (* Two co-located or path-sharing tests at the same time conflict on
+     links even with distinct endpoints; construct one directly. *)
+  let ein = Resource.External_in (List.hd sys.System.io_inputs) in
+  let eout = Resource.External_out (List.hd sys.System.io_outputs) in
+  let proc = Resource.Processor 4 in
+  let cost_of module_id source sink =
+    Test_access.cost sys ~application:Proc.Processor.Bist ~module_id ~source
+      ~sink
+  in
+  (* Test module 1 from ext pair, and module 2 from the processor to
+     the same external output: the eject link at the output port and
+     parts of the XY paths collide when both run at t=0. *)
+  let c1 = cost_of 1 ein eout in
+  let c2 = cost_of 2 proc eout in
+  ignore c2;
+  let entry module_id source sink (c : Test_access.cost) start =
+    {
+      Schedule.module_id;
+      source;
+      sink;
+      start;
+      finish = start + c.Test_access.duration;
+      power = c.Test_access.power;
+      links = c.Test_access.links;
+    }
+  in
+  let proc_test =
+    let cp = cost_of 4 ein eout in
+    entry 4 ein eout cp 1_000_000
+  in
+  let e3 =
+    let c3 = cost_of 3 ein eout in
+    entry 3 ein eout c3 2_000_000
+  in
+  let sched =
+    Schedule.of_entries
+      [ entry 1 ein eout c1 0; entry 2 proc eout c2 0; proc_test; e3 ]
+  in
+  let result = validate ~reuse:1 sys sched in
+  Alcotest.(check bool) "Link_overlap reported" true
+    (has_violation
+       (function Schedule.Link_overlap _ -> true | _ -> false)
+       result);
+  (* the processor is also used (at t=0) before its own test at 1M *)
+  Alcotest.(check bool) "Processor_used_before_tested reported" true
+    (has_violation
+       (function Schedule.Processor_used_before_tested _ -> true | _ -> false)
+       result)
+
+let test_power_violation_detected () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:0 in
+  let result = validate ~reuse:0 ~power_limit:(Some 1.0) sys sched in
+  Alcotest.(check bool) "Power_exceeded reported" true
+    (has_violation
+       (function Schedule.Power_exceeded _ -> true | _ -> false)
+       result)
+
+let test_non_reusable_processor_detected () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:1 in
+  (* Validate the same schedule claiming reuse = 0. *)
+  let result = validate ~reuse:0 sys sched in
+  let uses_proc =
+    List.exists
+      (fun (e : Schedule.entry) ->
+        match (e.Schedule.source, e.Schedule.sink) with
+        | Resource.Processor _, _ | _, Resource.Processor _ -> true
+        | _ -> false)
+      sched.Schedule.entries
+  in
+  if uses_proc then
+    Alcotest.(check bool) "Processor_not_reusable reported" true
+      (has_violation
+         (function Schedule.Processor_not_reusable _ -> true | _ -> false)
+         result)
+
+let test_wrong_cost_detected () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:1 in
+  let stretched =
+    match sched.Schedule.entries with
+    | e :: rest ->
+        Schedule.of_entries ({ e with Schedule.finish = e.Schedule.finish + 1 } :: rest)
+    | [] -> Alcotest.fail "empty"
+  in
+  Alcotest.(check bool) "Wrong_cost reported" true
+    (has_violation
+       (function Schedule.Wrong_cost _ -> true | _ -> false)
+       (validate sys stretched))
+
+let test_of_entries_sorts () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:1 in
+  let shuffled = Schedule.of_entries (List.rev sched.Schedule.entries) in
+  let starts =
+    List.map (fun (e : Schedule.entry) -> e.Schedule.start)
+      shuffled.Schedule.entries
+  in
+  Alcotest.(check (list int)) "sorted by start" (List.sort Stdlib.compare starts)
+    starts;
+  Alcotest.(check int) "same makespan" sched.Schedule.makespan
+    shuffled.Schedule.makespan
+
+let test_malformed_interval_rejected () =
+  match
+    Schedule.of_entries
+      [
+        {
+          Schedule.module_id = 1;
+          source = Resource.External_in (Nocplan_noc.Coord.make ~x:0 ~y:0);
+          sink = Resource.External_out (Nocplan_noc.Coord.make ~x:1 ~y:1);
+          start = 10;
+          finish = 5;
+          power = 1.0;
+          links = [];
+        };
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "finish < start accepted"
+
+let test_resource_busy_time () =
+  let sys = system () in
+  let sched = good_schedule sys ~reuse:0 in
+  let ein = Resource.External_in (List.hd sys.System.io_inputs) in
+  (* With a single external pair every test uses it: busy time equals
+     the sum of durations. *)
+  let total =
+    List.fold_left
+      (fun acc (e : Schedule.entry) -> acc + (e.Schedule.finish - e.Schedule.start))
+      0 sched.Schedule.entries
+  in
+  Alcotest.(check int) "busy time" total (Schedule.resource_busy_time sched ein)
+
+let suite =
+  [
+    Alcotest.test_case "good schedule validates" `Quick
+      test_good_schedule_validates;
+    Alcotest.test_case "missing module" `Quick test_missing_module_detected;
+    Alcotest.test_case "duplicate test" `Quick test_duplicate_detected;
+    Alcotest.test_case "endpoint overlap" `Quick test_endpoint_overlap_detected;
+    Alcotest.test_case "link overlap and precedence" `Quick
+      test_link_overlap_detected;
+    Alcotest.test_case "power violation" `Quick test_power_violation_detected;
+    Alcotest.test_case "non-reusable processor" `Quick
+      test_non_reusable_processor_detected;
+    Alcotest.test_case "wrong cost" `Quick test_wrong_cost_detected;
+    Alcotest.test_case "entries sorted" `Quick test_of_entries_sorts;
+    Alcotest.test_case "malformed interval" `Quick
+      test_malformed_interval_rejected;
+    Alcotest.test_case "resource busy time" `Quick test_resource_busy_time;
+  ]

@@ -1,0 +1,94 @@
+open Util
+module Core = Nocplan_core
+module Schedule_sim = Core.Schedule_sim
+module Schedule = Core.Schedule
+module Planner = Core.Planner
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let downscaled ?(max_patterns = 12) () =
+  Schedule_sim.downscale ~max_patterns (small_system ())
+
+let test_downscale_caps_patterns () =
+  let sys = downscaled ~max_patterns:5 () in
+  List.iter
+    (fun (m : Module_def.t) ->
+      Alcotest.(check bool) "capped" true (m.Module_def.patterns <= 5))
+    sys.Core.System.soc.Soc.modules;
+  match Schedule_sim.downscale ~max_patterns:0 (small_system ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_patterns 0 accepted"
+
+let test_downscale_preserves_structure () =
+  let original = small_system () in
+  let sys = downscaled () in
+  Alcotest.(check int) "same module count"
+    (Soc.module_count original.Core.System.soc)
+    (Soc.module_count sys.Core.System.soc);
+  Alcotest.(check int) "same processors"
+    (List.length original.Core.System.processors)
+    (List.length sys.Core.System.processors)
+
+let test_replay_meets_analytic_deadlines () =
+  (* The core cross-validation: simulated completion never exceeds the
+     scheduled window by more than a whisker, for serialized and for
+     parallel plans. *)
+  List.iter
+    (fun reuse ->
+      let sys = downscaled () in
+      let sched = Planner.schedule ~reuse sys in
+      let r = Schedule_sim.replay sys sched in
+      Alcotest.(check bool)
+        (Printf.sprintf "reuse %d: simulation within schedule (worst %d)"
+           reuse r.Schedule_sim.worst_slack)
+        true
+        (r.Schedule_sim.worst_slack >= 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "reuse %d: ratio <= 1" reuse)
+        true
+        (r.Schedule_sim.max_ratio <= 1.0 +. 1e-9))
+    [ 0; 1 ]
+
+let test_replay_report_complete () =
+  let sys = downscaled () in
+  let sched = Planner.schedule ~reuse:1 sys in
+  let r = Schedule_sim.replay sys sched in
+  Alcotest.(check int) "one report per entry"
+    (List.length sched.Schedule.entries)
+    (List.length r.Schedule_sim.tests);
+  List.iter
+    (fun (t : Schedule_sim.test_report) ->
+      Alcotest.(check bool) "simulated finish positive" true
+        (t.Schedule_sim.simulated_finish > t.Schedule_sim.scheduled_start))
+    r.Schedule_sim.tests
+
+let test_replay_lookahead_schedule () =
+  let sys = downscaled () in
+  let sched = Planner.schedule ~policy:Core.Scheduler.Lookahead ~reuse:1 sys in
+  let r = Schedule_sim.replay sys sched in
+  Alcotest.(check bool) "lookahead schedule also meets deadlines" true
+    (r.Schedule_sim.worst_slack >= 0)
+
+let prop_replay_random_systems =
+  qcheck ~count:10 "random downscaled systems replay within schedule"
+    system_gen
+    (fun sys ->
+      let sys = Schedule_sim.downscale ~max_patterns:6 sys in
+      let reuse = List.length sys.Core.System.processors in
+      let sched = Planner.schedule ~reuse sys in
+      let r = Schedule_sim.replay sys sched in
+      r.Schedule_sim.worst_slack >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "downscale caps patterns" `Quick
+      test_downscale_caps_patterns;
+    Alcotest.test_case "downscale preserves structure" `Quick
+      test_downscale_preserves_structure;
+    Alcotest.test_case "replay meets analytic deadlines" `Slow
+      test_replay_meets_analytic_deadlines;
+    Alcotest.test_case "report complete" `Quick test_replay_report_complete;
+    Alcotest.test_case "replay of lookahead schedules" `Quick
+      test_replay_lookahead_schedule;
+    prop_replay_random_systems;
+  ]

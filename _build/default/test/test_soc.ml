@@ -1,0 +1,64 @@
+open Util
+module Soc = Nocplan_itc02.Soc
+module Module_def = Nocplan_itc02.Module_def
+
+let test_sorted_and_lookup () =
+  let m id = small_module ~id () in
+  let soc = Soc.make ~name:"s" ~modules:[ m 3; m 1; m 2 ] in
+  Alcotest.(check (list int)) "ids sorted" [ 1; 2; 3 ] (Soc.module_ids soc);
+  Alcotest.(check int) "find" 2 (Soc.find soc 2).Module_def.id;
+  Alcotest.(check bool) "mem" true (Soc.mem soc 3);
+  Alcotest.(check bool) "not mem" false (Soc.mem soc 4);
+  Alcotest.check_raises "find missing" Not_found (fun () ->
+      ignore (Soc.find soc 99))
+
+let test_duplicate_rejected () =
+  match
+    Soc.make ~name:"s" ~modules:[ small_module ~id:1 (); small_module ~id:1 () ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate ids accepted"
+
+let test_add_modules () =
+  let soc = small_soc () in
+  let extra = small_module ~id:10 () in
+  let soc2 = Soc.add_modules soc [ extra ] in
+  Alcotest.(check int) "count" (Soc.module_count soc + 1)
+    (Soc.module_count soc2);
+  Alcotest.(check bool) "new module present" true (Soc.mem soc2 10);
+  (match Soc.add_modules soc [ small_module ~id:1 () ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clashing add accepted")
+
+let test_totals () =
+  let soc = small_soc () in
+  let manual_power =
+    List.fold_left
+      (fun acc (m : Module_def.t) -> acc +. m.Module_def.test_power)
+      0.0 soc.Soc.modules
+  in
+  Alcotest.(check (float 1e-9)) "total power" manual_power
+    (Soc.total_test_power soc);
+  let manual_bits =
+    List.fold_left (fun acc m -> acc + Module_def.test_bits m) 0 soc.Soc.modules
+  in
+  Alcotest.(check int) "total bits" manual_bits (Soc.total_test_bits soc)
+
+let prop_max_id =
+  qcheck "max_module_id is the maximum id" soc_gen (fun soc ->
+      Nocplan_itc02.Soc.max_module_id soc
+      = List.fold_left max 0 (Nocplan_itc02.Soc.module_ids soc))
+
+let prop_map_identity =
+  qcheck "map_modules with identity preserves equality" soc_gen (fun soc ->
+      Nocplan_itc02.Soc.equal soc (Nocplan_itc02.Soc.map_modules Fun.id soc))
+
+let suite =
+  [
+    Alcotest.test_case "sorted ids and lookup" `Quick test_sorted_and_lookup;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "add_modules" `Quick test_add_modules;
+    Alcotest.test_case "totals" `Quick test_totals;
+    prop_max_id;
+    prop_map_identity;
+  ]

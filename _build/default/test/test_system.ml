@@ -1,0 +1,119 @@
+open Util
+module Core = Nocplan_core
+module System = Core.System
+module Soc = Nocplan_itc02.Soc
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+module Proc = Nocplan_proc
+
+let test_build_appends_processors () =
+  let system = small_system () in
+  (* 3 benchmark cores + 1 Leon self-test module. *)
+  Alcotest.(check int) "module count" 4 (Soc.module_count system.System.soc);
+  Alcotest.(check int) "one processor" 1 (List.length system.System.processors);
+  let p = List.hd system.System.processors in
+  Alcotest.(check int) "fresh id" 4 p.System.module_id;
+  Alcotest.(check bool) "is processor module" true
+    (System.is_processor_module system 4);
+  Alcotest.(check bool) "cut is not processor module" false
+    (System.is_processor_module system 1)
+
+let test_every_module_placed () =
+  let system = small_system () in
+  List.iter
+    (fun id ->
+      let c = System.coord_of_module system id in
+      Alcotest.(check bool) "in bounds" true
+        (Topology.in_bounds system.System.topology c))
+    (System.module_ids system)
+
+let test_power_limit_pct () =
+  let system = small_system () in
+  let total = Soc.total_test_power system.System.soc in
+  Alcotest.(check (float 1e-9)) "50%" (total /. 2.0)
+    (System.power_limit_of_pct system ~pct:50.0);
+  match System.power_limit_of_pct system ~pct:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0% accepted"
+
+let test_make_validation () =
+  let system = small_system () in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* flit width *)
+  expect_invalid (fun () ->
+      System.make ~soc:system.System.soc ~topology:system.System.topology
+        ~latency:system.System.latency ~noc_power:system.System.noc_power
+        ~flit_width:0 ~placement:system.System.placement
+        ~processors:system.System.processors
+        ~io_inputs:system.System.io_inputs ~io_outputs:system.System.io_outputs ());
+  (* no IO ports *)
+  expect_invalid (fun () ->
+      System.make ~soc:system.System.soc ~topology:system.System.topology
+        ~latency:system.System.latency ~noc_power:system.System.noc_power
+        ~flit_width:32 ~placement:system.System.placement
+        ~processors:system.System.processors ~io_inputs:[]
+        ~io_outputs:system.System.io_outputs ());
+  (* out-of-bounds port *)
+  expect_invalid (fun () ->
+      System.make ~soc:system.System.soc ~topology:system.System.topology
+        ~latency:system.System.latency ~noc_power:system.System.noc_power
+        ~flit_width:32 ~placement:system.System.placement
+        ~processors:system.System.processors
+        ~io_inputs:[ Coord.make ~x:99 ~y:0 ]
+        ~io_outputs:system.System.io_outputs ());
+  (* unplaced module *)
+  expect_invalid (fun () ->
+      let partial =
+        Core.Placement.of_assoc system.System.topology
+          [ (1, Coord.make ~x:0 ~y:0) ]
+      in
+      System.make ~soc:system.System.soc ~topology:system.System.topology
+        ~latency:system.System.latency ~noc_power:system.System.noc_power
+        ~flit_width:32 ~placement:partial
+        ~processors:system.System.processors
+        ~io_inputs:system.System.io_inputs ~io_outputs:system.System.io_outputs
+        ())
+
+let test_processor_lookup () =
+  let system =
+    small_system
+      ~processors:[ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ]
+      ()
+  in
+  let ids = List.map (fun p -> p.System.module_id) system.System.processors in
+  Alcotest.(check (list int)) "sequential fresh ids" [ 4; 5 ] ids;
+  match System.processor_of_module system 5 with
+  | Some p -> Alcotest.(check string) "plasma second" "plasma" p.System.processor.Proc.Processor.name
+  | None -> Alcotest.fail "processor 5 missing"
+
+let prop_build_well_formed =
+  qcheck ~count:40 "System.build output is well-formed" system_gen
+    (fun system ->
+      let ids = System.module_ids system in
+      List.for_all
+        (fun id ->
+          Topology.in_bounds system.System.topology
+            (System.coord_of_module system id))
+        ids
+      && List.for_all
+           (fun p ->
+             Soc.mem system.System.soc p.System.module_id
+             && Coord.equal
+                  (System.coord_of_module system p.System.module_id)
+                  p.System.coord)
+           system.System.processors)
+
+let suite =
+  [
+    Alcotest.test_case "build appends processors" `Quick
+      test_build_appends_processors;
+    Alcotest.test_case "every module placed" `Quick test_every_module_placed;
+    Alcotest.test_case "power limit percentage" `Quick test_power_limit_pct;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "processor lookup" `Quick test_processor_lookup;
+    prop_build_well_formed;
+  ]

@@ -1,0 +1,179 @@
+open Util
+module Core = Nocplan_core
+module Test_access = Core.Test_access
+module Resource = Core.Resource
+module System = Core.System
+module Coord = Nocplan_noc.Coord
+module Link = Nocplan_noc.Link
+module Proc = Nocplan_proc
+
+let system () = small_system ()
+let ein sys = Resource.External_in (List.hd sys.System.io_inputs)
+let eout sys = Resource.External_out (List.hd sys.System.io_outputs)
+let proc sys = Resource.Processor (List.hd sys.System.processors).System.module_id
+
+let cost ?(application = Proc.Processor.Bist) sys ~module_id ~source ~sink =
+  Test_access.cost sys ~application ~module_id ~source ~sink
+
+let test_external_pair_cost () =
+  let sys = system () in
+  let c = cost sys ~module_id:1 ~source:(ein sys) ~sink:(eout sys) in
+  Alcotest.(check bool) "positive duration" true (c.Test_access.duration > 0);
+  Alcotest.(check bool) "positive power" true (c.Test_access.power > 0.0);
+  Alcotest.(check bool) "has links" true (List.length c.Test_access.links >= 2)
+
+let test_processor_source_slower () =
+  (* Same core, same sink: a BIST-sourcing processor adds its
+     generation overhead to every pattern.  Zero routing latency and
+     unit flow latency make the transport term equal to the core's
+     shift time on every path, so the difference is exactly the
+     measured 10-cycle Leon generation overhead. *)
+  let sys =
+    Core.System.build
+      ~latency:(Nocplan_noc.Latency.make ~routing_latency:0 ~flow_latency:1)
+      ~soc:(small_soc ())
+      ~topology:(Nocplan_noc.Topology.make ~width:3 ~height:3)
+      ~processors:[ Proc.Processor.leon ~id:1 ]
+      ~io_inputs:[ Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Coord.make ~x:2 ~y:2 ]
+      ()
+  in
+  (* Module 2 sits on a tile distinct from both ports and the
+     processor, so neither pair shares stimulus/response channels. *)
+  let ext = cost sys ~module_id:2 ~source:(ein sys) ~sink:(eout sys) in
+  let via_proc = cost sys ~module_id:2 ~source:(proc sys) ~sink:(eout sys) in
+  Alcotest.(check bool) "per-pattern slower via processor" true
+    (via_proc.Test_access.per_pattern > ext.Test_access.per_pattern);
+  Alcotest.(check int) "exactly the generation overhead"
+    (ext.Test_access.per_pattern + 10)
+    via_proc.Test_access.per_pattern
+
+let test_power_includes_all_parties () =
+  let sys = system () in
+  let m = Nocplan_itc02.Soc.find sys.System.soc 1 in
+  let c = cost sys ~module_id:1 ~source:(proc sys) ~sink:(eout sys) in
+  let leon = (List.hd sys.System.processors).System.processor in
+  let floor_power =
+    m.Nocplan_itc02.Module_def.test_power
+    +. leon.Proc.Processor.bist.Proc.Characterization.power
+  in
+  Alcotest.(check bool) "core + processor + noc" true
+    (c.Test_access.power > floor_power)
+
+let test_invalid_pairs_rejected () =
+  let sys = system () in
+  (match cost sys ~module_id:1 ~source:(eout sys) ~sink:(ein sys) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "swapped roles accepted");
+  (match cost sys ~module_id:99 ~source:(ein sys) ~sink:(eout sys) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown module accepted");
+  match cost sys ~module_id:1 ~source:(proc sys) ~sink:(proc sys) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "same processor both roles accepted"
+
+let test_links_deduplicated () =
+  let sys = system () in
+  let c = cost sys ~module_id:1 ~source:(ein sys) ~sink:(eout sys) in
+  let sorted = List.sort_uniq Link.compare c.Test_access.links in
+  Alcotest.(check int) "no duplicate links" (List.length sorted)
+    (List.length c.Test_access.links)
+
+let test_duration_scales_with_patterns () =
+  (* Same geometry, more patterns: proportionally longer. *)
+  let soc_of patterns =
+    Nocplan_itc02.Soc.make ~name:"t"
+      ~modules:
+        [
+          Nocplan_itc02.Module_def.make ~id:1 ~name:"a" ~inputs:8 ~outputs:8
+            ~scan_chains:[ 32 ] ~patterns ();
+        ]
+  in
+  let build patterns =
+    Core.System.build ~soc:(soc_of patterns)
+      ~topology:(Nocplan_noc.Topology.make ~width:2 ~height:2)
+      ~processors:[]
+      ~io_inputs:[ Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Coord.make ~x:1 ~y:1 ]
+      ()
+  in
+  let duration patterns =
+    let sys = build patterns in
+    (cost sys ~module_id:1 ~source:(ein sys) ~sink:(eout sys)).Test_access.duration
+  in
+  let d10 = duration 10 and d20 = duration 20 in
+  let per_pattern = d20 - d10 in
+  Alcotest.(check bool) "per-pattern cost constant" true
+    (per_pattern * 10 > (d10 / 2) && d20 > d10)
+
+let test_flit_width_matters () =
+  (* A wider flit shortens the wrapper chains and hence the test. *)
+  let soc =
+    Nocplan_itc02.Soc.make ~name:"t"
+      ~modules:
+        [
+          Nocplan_itc02.Module_def.make ~id:1 ~name:"a" ~inputs:16 ~outputs:16
+            ~scan_chains:[ 64; 64; 64; 64 ] ~patterns:50 ();
+        ]
+  in
+  let build flit_width =
+    Core.System.build ~flit_width ~soc
+      ~topology:(Nocplan_noc.Topology.make ~width:2 ~height:2)
+      ~processors:[]
+      ~io_inputs:[ Coord.make ~x:0 ~y:0 ]
+      ~io_outputs:[ Coord.make ~x:1 ~y:1 ]
+      ()
+  in
+  let duration w =
+    let sys = build w in
+    (cost sys ~module_id:1 ~source:(ein sys) ~sink:(eout sys)).Test_access.duration
+  in
+  (* At width 8 the 16 input cells land on the four chainless wrapper
+     chains, so si stays 64 as at width 32; at width 2 the chains must
+     share wrapper chains and the test stretches. *)
+  Alcotest.(check bool) "wider is faster" true (duration 2 > duration 32)
+
+let prop_cost_well_formed =
+  qcheck ~count:40 "cost is well-formed for every core and pair" system_gen
+    (fun sys ->
+      let endpoints =
+        Resource.all_endpoints sys
+          ~reuse:(List.length sys.System.processors)
+      in
+      let sources = List.filter Resource.can_source endpoints in
+      let sinks = List.filter Resource.can_sink endpoints in
+      List.for_all
+        (fun module_id ->
+          List.for_all
+            (fun source ->
+              List.for_all
+                (fun sink ->
+                  (not (Resource.valid_pair ~source ~sink))
+                  ||
+                  let c =
+                    Test_access.cost sys ~application:Proc.Processor.Bist
+                      ~module_id ~source ~sink
+                  in
+                  c.Test_access.duration > 0
+                  && c.Test_access.power > 0.0
+                  && c.Test_access.per_pattern > 0
+                  && c.Test_access.routers > 0)
+                sinks)
+            sources)
+        (System.module_ids sys))
+
+let suite =
+  [
+    Alcotest.test_case "external pair cost" `Quick test_external_pair_cost;
+    Alcotest.test_case "processor source adds overhead" `Quick
+      test_processor_source_slower;
+    Alcotest.test_case "power includes all parties" `Quick
+      test_power_includes_all_parties;
+    Alcotest.test_case "invalid pairs rejected" `Quick
+      test_invalid_pairs_rejected;
+    Alcotest.test_case "links deduplicated" `Quick test_links_deduplicated;
+    Alcotest.test_case "duration scales with patterns" `Quick
+      test_duration_scales_with_patterns;
+    Alcotest.test_case "flit width matters" `Quick test_flit_width_matters;
+    prop_cost_well_formed;
+  ]

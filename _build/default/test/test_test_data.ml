@@ -1,0 +1,111 @@
+(* Synthesized test data and measured compressibility. *)
+
+module Proc = Nocplan_proc
+module Test_data = Proc.Test_data
+module Decompress = Proc.Decompress
+module Module_def = Nocplan_itc02.Module_def
+
+let module_fixture =
+  Module_def.make ~id:1 ~name:"fix" ~inputs:16 ~outputs:16
+    ~scan_chains:[ 64; 64 ] ~patterns:40 ()
+
+let test_stream_size () =
+  let words =
+    Test_data.stimulus_words (Test_data.Atpg 0.1) ~seed:1L
+      ~words_per_pattern:5 ~patterns:7
+  in
+  Alcotest.(check int) "patterns x words" 35 (List.length words)
+
+let test_deterministic () =
+  let gen () =
+    Test_data.stream_for (Test_data.Atpg 0.05) ~seed:42L ~flit_width:32
+      module_fixture
+  in
+  Alcotest.(check bool) "same stream" true (gen () = gen ())
+
+let test_seed_matters () =
+  let gen seed = Test_data.stream_for Test_data.Random ~seed ~flit_width:32 module_fixture in
+  Alcotest.(check bool) "different seeds differ" true (gen 1L <> gen 2L)
+
+let test_atpg_compresses_random_does_not () =
+  let atpg =
+    Test_data.measured_compression (Test_data.Atpg 0.05) ~seed:1L
+      ~flit_width:32 module_fixture
+  in
+  let random =
+    Test_data.measured_compression Test_data.Random ~seed:1L ~flit_width:32
+      module_fixture
+  in
+  Alcotest.(check bool) "atpg compresses" true (atpg > 2.0);
+  Alcotest.(check bool) "random does not" true (random < 1.0)
+
+let test_density_monotone () =
+  let ratio d =
+    Test_data.measured_compression (Test_data.Atpg d) ~seed:1L ~flit_width:32
+      module_fixture
+  in
+  Alcotest.(check bool) "sparser data compresses better" true
+    (ratio 0.02 > ratio 0.2)
+
+let test_memory_is_encode_plus_program () =
+  let style = Test_data.Atpg 0.05 in
+  let stream = Test_data.stream_for style ~seed:3L ~flit_width:32 module_fixture in
+  let expected =
+    Array.length (Decompress.encode stream)
+    + Proc.Program.length Decompress.program
+  in
+  Alcotest.(check int) "exact footprint" expected
+    (Test_data.measured_memory_words style ~seed:3L ~flit_width:32
+       module_fixture)
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Test_data.stimulus_words (Test_data.Atpg 1.5) ~seed:1L
+        ~words_per_pattern:1 ~patterns:1);
+  expect_invalid (fun () ->
+      Test_data.stimulus_words Test_data.Random ~seed:1L ~words_per_pattern:0
+        ~patterns:1)
+
+let test_words_are_32_bit () =
+  let words =
+    Test_data.stimulus_words Test_data.Random ~seed:5L ~words_per_pattern:10
+      ~patterns:20
+  in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "32-bit" true (w >= 0 && w <= 0xFFFFFFFF))
+    words
+
+let test_measured_footprint_in_cost_layer () =
+  let sys = Util.small_system () in
+  let estimate =
+    Nocplan_core.Test_access.decompression_footprint sys ~module_id:3
+  in
+  let measured =
+    Nocplan_core.Test_access.decompression_footprint_measured sys ~module_id:3
+  in
+  Alcotest.(check bool) "both positive" true (estimate > 0 && measured > 0);
+  (* At care density 0.05 the measured image is smaller than the
+     assumed-run-length-4 estimate. *)
+  Alcotest.(check bool) "measured below estimate" true (measured < estimate)
+
+let suite =
+  [
+    Alcotest.test_case "stream size" `Quick test_stream_size;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed matters" `Quick test_seed_matters;
+    Alcotest.test_case "atpg compresses, random expands" `Quick
+      test_atpg_compresses_random_does_not;
+    Alcotest.test_case "density monotone" `Quick test_density_monotone;
+    Alcotest.test_case "footprint = image + program" `Quick
+      test_memory_is_encode_plus_program;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "32-bit words" `Quick test_words_are_32_bit;
+    Alcotest.test_case "measured footprint in cost layer" `Quick
+      test_measured_footprint_in_cost_layer;
+  ]

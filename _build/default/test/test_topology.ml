@@ -1,0 +1,61 @@
+open Util
+module Topology = Nocplan_noc.Topology
+module Coord = Nocplan_noc.Coord
+
+let test_coord_basics () =
+  let a = Coord.make ~x:1 ~y:2 and b = Coord.make ~x:4 ~y:0 in
+  Alcotest.(check int) "manhattan" 5 (Coord.manhattan a b);
+  Alcotest.(check int) "manhattan symmetric" (Coord.manhattan a b)
+    (Coord.manhattan b a);
+  Alcotest.(check bool) "equal" true (Coord.equal a (Coord.make ~x:1 ~y:2));
+  (match Coord.make ~x:(-1) ~y:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative coord accepted")
+
+let test_topology_basics () =
+  let t = Topology.make ~width:3 ~height:2 in
+  Alcotest.(check int) "router count" 6 (Topology.router_count t);
+  Alcotest.(check int) "coords count" 6 (List.length (Topology.coords t));
+  Alcotest.(check bool) "in bounds" true
+    (Topology.in_bounds t (Coord.make ~x:2 ~y:1));
+  Alcotest.(check bool) "out of bounds" false
+    (Topology.in_bounds t (Coord.make ~x:3 ~y:0))
+
+let test_neighbors () =
+  let t = Topology.make ~width:3 ~height:3 in
+  let count c = List.length (Topology.neighbors t c) in
+  Alcotest.(check int) "corner has 2" 2 (count (Coord.make ~x:0 ~y:0));
+  Alcotest.(check int) "edge has 3" 3 (count (Coord.make ~x:1 ~y:0));
+  Alcotest.(check int) "center has 4" 4 (count (Coord.make ~x:1 ~y:1))
+
+let prop_index_roundtrip =
+  qcheck "index/of_index round-trip" topology_gen (fun t ->
+      List.for_all
+        (fun c ->
+          Coord.equal c (Topology.of_index t (Topology.index t c)))
+        (Topology.coords t))
+
+let prop_indexes_distinct =
+  qcheck "indices are a permutation of 0..n-1" topology_gen (fun t ->
+      let idx = List.map (Topology.index t) (Topology.coords t) in
+      List.sort_uniq Stdlib.compare idx
+      = List.init (Topology.router_count t) Fun.id)
+
+let prop_neighbors_symmetric =
+  qcheck "neighborhood is symmetric" topology_gen (fun t ->
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun n -> List.exists (Coord.equal c) (Topology.neighbors t n))
+            (Topology.neighbors t c))
+        (Topology.coords t))
+
+let suite =
+  [
+    Alcotest.test_case "coord basics" `Quick test_coord_basics;
+    Alcotest.test_case "topology basics" `Quick test_topology_basics;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    prop_index_roundtrip;
+    prop_indexes_distinct;
+    prop_neighbors_symmetric;
+  ]

@@ -1,0 +1,70 @@
+open Util
+module Noc = Nocplan_noc
+module Traffic = Noc.Traffic
+module Packet = Noc.Packet
+module Topology = Noc.Topology
+
+let topo = Topology.make ~width:4 ~height:3
+
+let test_spec_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Traffic.spec ~packets:0 ());
+  expect_invalid (fun () -> Traffic.spec ~packets:1 ~min_flits:0 ());
+  expect_invalid (fun () -> Traffic.spec ~packets:1 ~min_flits:5 ~max_flits:4 ());
+  expect_invalid (fun () -> Traffic.spec ~packets:1 ~max_inject_gap:(-1) ())
+
+let test_deterministic () =
+  let spec = Traffic.spec ~packets:50 ~seed:77L () in
+  let a = Traffic.generate topo spec in
+  let b = Traffic.generate topo spec in
+  Alcotest.(check bool) "same stream" true (List.for_all2 Packet.equal a b)
+
+let prop_well_formed =
+  qcheck "generated packets respect the spec"
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let spec =
+        Traffic.spec ~packets:30 ~min_flits:3 ~max_flits:9
+          ~seed:(Int64.of_int seed) ()
+      in
+      let packets = Traffic.generate topo spec in
+      List.length packets = 30
+      && List.for_all
+           (fun (p : Packet.t) ->
+             p.Packet.flits >= 3 && p.Packet.flits <= 9
+             && Topology.in_bounds topo p.Packet.src
+             && Topology.in_bounds topo p.Packet.dst
+             && (not (Noc.Coord.equal p.Packet.src p.Packet.dst))
+             && p.Packet.inject_time >= 0)
+           packets)
+
+let prop_inject_times_nondecreasing =
+  qcheck "injection times never decrease" QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let spec = Traffic.spec ~packets:40 ~seed:(Int64.of_int seed) () in
+      let packets = Traffic.generate topo spec in
+      let rec ok = function
+        | (a : Packet.t) :: (b :: _ as rest) ->
+            a.Packet.inject_time <= b.Packet.inject_time && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok packets)
+
+let test_single_router_mesh () =
+  (* With one tile, src = dst is unavoidable and allowed. *)
+  let topo1 = Topology.make ~width:1 ~height:1 in
+  let packets = Traffic.generate topo1 (Traffic.spec ~packets:5 ()) in
+  Alcotest.(check int) "generated" 5 (List.length packets)
+
+let suite =
+  [
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "single-router mesh" `Quick test_single_router_mesh;
+    prop_well_formed;
+    prop_inject_times_nondecreasing;
+  ]

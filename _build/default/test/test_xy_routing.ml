@@ -1,0 +1,90 @@
+open Util
+module Xy = Nocplan_noc.Xy_routing
+module Coord = Nocplan_noc.Coord
+module Link = Nocplan_noc.Link
+
+let c x y = Coord.make ~x ~y
+let mesh8 = Nocplan_noc.Topology.make ~width:8 ~height:8
+
+let test_straight_route () =
+  let route = Xy.route mesh8 ~src:(c 0 0) ~dst:(c 3 0) in
+  Alcotest.(check int) "length" 4 (List.length route);
+  Alcotest.(check bool) "starts at src" true (Coord.equal (List.hd route) (c 0 0))
+
+let test_xy_order () =
+  (* X first, then Y: (0,0) -> (2,2) goes through (1,0), (2,0), (2,1). *)
+  let route = Xy.route mesh8 ~src:(c 0 0) ~dst:(c 2 2) in
+  let expected = [ c 0 0; c 1 0; c 2 0; c 2 1; c 2 2 ] in
+  Alcotest.(check bool) "dimension order" true
+    (List.for_all2 Coord.equal route expected)
+
+let test_self_route () =
+  let route = Xy.route mesh8 ~src:(c 1 1) ~dst:(c 1 1) in
+  Alcotest.(check int) "single router" 1 (List.length route);
+  let links = Xy.links mesh8 ~src:(c 1 1) ~dst:(c 1 1) in
+  Alcotest.(check int) "inject + eject" 2 (List.length links)
+
+let test_links_structure () =
+  let links = Xy.links mesh8 ~src:(c 0 0) ~dst:(c 1 1) in
+  match links with
+  | [ Link.Inject a; Link.Channel (b, d); Link.Channel (e, f); Link.Eject g ]
+    ->
+      Alcotest.(check bool) "inject at src" true (Coord.equal a (c 0 0));
+      Alcotest.(check bool) "first hop x" true
+        (Coord.equal b (c 0 0) && Coord.equal d (c 1 0));
+      Alcotest.(check bool) "second hop y" true
+        (Coord.equal e (c 1 0) && Coord.equal f (c 1 1));
+      Alcotest.(check bool) "eject at dst" true (Coord.equal g (c 1 1))
+  | _ -> Alcotest.failf "unexpected link shape (%d links)" (List.length links)
+
+let src_dst_gen =
+  QCheck2.Gen.(
+    let coord = pair (int_range 0 7) (int_range 0 7) in
+    pair coord coord)
+
+let prop_route_length =
+  qcheck "route length = manhattan + 1" src_dst_gen
+    (fun ((sx, sy), (dx, dy)) ->
+      let src = c sx sy and dst = c dx dy in
+      List.length (Xy.route mesh8 ~src ~dst) = Coord.manhattan src dst + 1)
+
+let prop_route_contiguous =
+  qcheck "route steps are unit hops" src_dst_gen (fun ((sx, sy), (dx, dy)) ->
+      let route = Xy.route mesh8 ~src:(c sx sy) ~dst:(c dx dy) in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> Coord.manhattan a b = 1 && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok route)
+
+let prop_route_no_revisit =
+  qcheck "route never revisits a router" src_dst_gen
+    (fun ((sx, sy), (dx, dy)) ->
+      let route = Xy.route mesh8 ~src:(c sx sy) ~dst:(c dx dy) in
+      List.length (List.sort_uniq Coord.compare route) = List.length route)
+
+let prop_links_count =
+  qcheck "links = hops + 2" src_dst_gen (fun ((sx, sy), (dx, dy)) ->
+      let src = c sx sy and dst = c dx dy in
+      List.length (Xy.links mesh8 ~src ~dst) = Xy.hops mesh8 ~src ~dst + 2)
+
+let prop_channels_valid =
+  qcheck "all channels connect neighbours" src_dst_gen
+    (fun ((sx, sy), (dx, dy)) ->
+      Xy.links mesh8 ~src:(c sx sy) ~dst:(c dx dy)
+      |> List.for_all (function
+           | Link.Channel (a, b) -> Coord.manhattan a b = 1
+           | Link.Inject _ | Link.Eject _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "straight route" `Quick test_straight_route;
+    Alcotest.test_case "x before y" `Quick test_xy_order;
+    Alcotest.test_case "self route" `Quick test_self_route;
+    Alcotest.test_case "link structure" `Quick test_links_structure;
+    prop_route_length;
+    prop_route_contiguous;
+    prop_route_no_revisit;
+    prop_links_count;
+    prop_channels_valid;
+  ]

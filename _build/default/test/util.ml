@@ -1,0 +1,105 @@
+(* Shared helpers and QCheck generators for the test suite. *)
+
+module Itc02 = Nocplan_itc02
+module Noc = Nocplan_noc
+module Proc = Nocplan_proc
+module Core = Nocplan_core
+
+let qcheck ?count name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ?count ~name gen prop)
+
+(* --- generators ---------------------------------------------------- *)
+
+open QCheck2.Gen
+
+let scan_chains_gen =
+  let chain = int_range 1 400 in
+  list_size (int_range 0 12) chain
+
+let module_gen =
+  let* id = int_range 1 500 in
+  let* inputs = int_range 0 300 in
+  let* outputs = int_range 0 300 in
+  let* bidirs = int_range 0 30 in
+  let* scan_chains = scan_chains_gen in
+  let* patterns = int_range 1 800 in
+  (* Modules need at least one terminal or scan cell to be testable. *)
+  let inputs = if inputs + outputs + bidirs + List.length scan_chains = 0 then 1 else inputs in
+  return
+    (Itc02.Module_def.make ~bidirs ~id ~name:(Printf.sprintf "m%d" id)
+       ~inputs ~outputs ~scan_chains ~patterns ())
+
+(* A benchmark with distinct, consecutive ids. *)
+let soc_gen =
+  let* n = int_range 1 12 in
+  let* modules = list_repeat n module_gen in
+  let renumbered =
+    List.mapi
+      (fun i (m : Itc02.Module_def.t) ->
+        Itc02.Module_def.make ~bidirs:m.Itc02.Module_def.bidirs
+          ~test_power:m.Itc02.Module_def.test_power ~id:(i + 1)
+          ~name:m.Itc02.Module_def.name ~inputs:m.Itc02.Module_def.inputs
+          ~outputs:m.Itc02.Module_def.outputs
+          ~scan_chains:m.Itc02.Module_def.scan_chains
+          ~patterns:m.Itc02.Module_def.patterns ())
+      modules
+  in
+  return (Itc02.Soc.make ~name:"gen" ~modules:renumbered)
+
+let topology_gen =
+  let* width = int_range 1 6 in
+  let* height = int_range 1 6 in
+  return (Noc.Topology.make ~width ~height)
+
+let coord_in topology =
+  let* x = int_range 0 (topology.Noc.Topology.width - 1) in
+  let* y = int_range 0 (topology.Noc.Topology.height - 1) in
+  return (Noc.Coord.make ~x ~y)
+
+let latency_gen =
+  let* routing_latency = int_range 0 8 in
+  let* flow_latency = int_range 1 4 in
+  return (Noc.Latency.make ~routing_latency ~flow_latency)
+
+(* A small random system suitable for end-to-end scheduler tests. *)
+let system_gen =
+  let* soc = soc_gen in
+  let* width = int_range 2 5 in
+  let* height = int_range 2 5 in
+  let topology = Noc.Topology.make ~width ~height in
+  let* n_leon = int_range 0 2 in
+  let* n_plasma = int_range 0 2 in
+  let processors =
+    List.init n_leon (fun _ -> Proc.Processor.leon ~id:1)
+    @ List.init n_plasma (fun _ -> Proc.Processor.plasma ~id:1)
+  in
+  let input = Noc.Coord.make ~x:0 ~y:0 in
+  let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
+  return
+    (Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
+       ~io_outputs:[ output ] ())
+
+(* --- tiny fixed fixtures ------------------------------------------- *)
+
+let small_module ?(id = 1) ?(patterns = 10) () =
+  Itc02.Module_def.make ~id ~name:"small" ~inputs:8 ~outputs:8
+    ~scan_chains:[ 16; 16 ] ~patterns ()
+
+let small_soc () =
+  Itc02.Soc.make ~name:"tiny"
+    ~modules:
+      [
+        small_module ~id:1 ();
+        Itc02.Module_def.make ~id:2 ~name:"comb" ~inputs:16 ~outputs:4
+          ~scan_chains:[] ~patterns:25 ();
+        Itc02.Module_def.make ~id:3 ~name:"big" ~inputs:10 ~outputs:40
+          ~scan_chains:[ 100; 90; 80 ] ~patterns:60 ();
+      ]
+
+let small_system ?(processors = [ Proc.Processor.leon ~id:1 ]) () =
+  let topology = Noc.Topology.make ~width:3 ~height:3 in
+  Core.System.build ~soc:(small_soc ()) ~topology ~processors
+    ~io_inputs:[ Noc.Coord.make ~x:0 ~y:0 ]
+    ~io_outputs:[ Noc.Coord.make ~x:2 ~y:2 ]
+    ()

@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test bench bench-json check examples clean doc
 
 all: build
 
@@ -12,6 +12,17 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable benchmark artefact only (fast): Figure-1 sweeps,
+# timing vs the recorded seed baseline, written to BENCH_nocplan.json.
+bench-json:
+	dune exec bench/main.exe -- --smoke
+
+# The tier-1 gate plus a benchmark smoke run producing the JSON.
+check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- --smoke
 
 examples:
 	@for e in quickstart figure1 power_limits custom_soc greedy_anomaly \

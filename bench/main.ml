@@ -1,6 +1,6 @@
 (* Benchmark and reproduction harness.
 
-   Two jobs:
+   Three jobs:
 
    1. Regenerate every experimental artefact of the paper (DESIGN.md's
       experiment index): the three Figure-1 panels, the headline
@@ -8,7 +8,14 @@
       printed so the output can be diffed against EXPERIMENTS.md.
 
    2. Register one Bechamel timing benchmark per experiment, so the
-      cost of the planner itself is tracked. *)
+      cost of the planner itself is tracked.
+
+   3. Emit a machine-readable artefact, BENCH_nocplan.json by default:
+      per-experiment wall time, the Figure-1 sweep timing against the
+      recorded seed baseline, and every Figure-1 makespan series.
+
+   Flags: [--smoke] runs only the Figure-1 sweeps and writes the JSON
+   (CI-sized); [--json PATH] redirects the artefact. *)
 
 module Itc02 = Nocplan_itc02
 module Noc = Nocplan_noc
@@ -18,6 +25,15 @@ open Core
 
 let section title =
   Fmt.pr "@.=== %s ===@.@." title
+
+(* Wall time of each experiment, for the JSON artefact. *)
+let experiment_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  experiment_times := (name, Unix.gettimeofday () -. t0) :: !experiment_times;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* A2: NoC characterization (paper flow, step 1)                      *)
@@ -584,10 +600,127 @@ let timing_benchmarks systems =
       | Some _ | None -> Fmt.pr "%-40s %16s@." name "n/a")
     results
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable artefact (BENCH_nocplan.json)                      *)
+
+(* Figure-1 wall time of the SEED scheduler (commit b8727be), recorded
+   on this machine as the minimum of three best-of-3 runs of exactly
+   the protocol in [figure1_timing] below: greedy reuse sweeps of all
+   three systems, unconstrained and power-constrained series.  The
+   current code must beat this by >= 2x (DESIGN.md, Performance). *)
+let seed_figure1_greedy_seconds = 0.1845
+
+(* Time the full Figure-1 production: for each system, one shared
+   access table and both sweeps.  Best of [reps] (the sweeps are
+   deterministic, so only the last rep's panels are kept). *)
+let figure1_timing systems ~reps =
+  let best = ref infinity in
+  let panels = ref [] in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let run =
+      List.map
+        (fun (name, system) ->
+          let access = Test_access.table system in
+          let unconstrained = Planner.reuse_sweep ~access system in
+          let constrained =
+            Planner.reuse_sweep ~access
+              ~power_limit_pct:Experiments.binding_power_pct system
+          in
+          (name, unconstrained, constrained))
+        systems
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    panels := run
+  done;
+  (!best, !panels)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_points buf points =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (p : Planner.point) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf
+        "{\"reuse\": %d, \"makespan\": %d, \"peak_power\": %.3f, \
+         \"validated\": %b}"
+        p.Planner.reuse p.Planner.makespan p.Planner.peak_power
+        p.Planner.validated)
+    points;
+  Buffer.add_char buf ']'
+
+let write_json path ~smoke ~figure1_seconds ~panels =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
+  Printf.bprintf buf
+    "  \"seed_baseline\": {\"figure1_greedy_seconds\": %.4f, \"commit\": \
+     \"b8727be\"},\n"
+    seed_figure1_greedy_seconds;
+  Printf.bprintf buf
+    "  \"figure1\": {\n    \"seconds\": %.4f,\n    \"speedup_vs_seed\": \
+     %.2f,\n    \"power_limit_pct\": %.1f,\n    \"panels\": [\n"
+    figure1_seconds
+    (seed_figure1_greedy_seconds /. figure1_seconds)
+    Experiments.binding_power_pct;
+  List.iteri
+    (fun i (name, (unconstrained : Planner.sweep), (constrained : Planner.sweep)) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf "      {\"system\": \"%s\", \"unconstrained\": "
+        (json_escape name);
+      json_points buf unconstrained.Planner.points;
+      Buffer.add_string buf ", \"power_limited\": ";
+      json_points buf constrained.Planner.points;
+      Buffer.add_char buf '}')
+    panels;
+  Buffer.add_string buf "\n    ]\n  },\n  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf "    {\"name\": \"%s\", \"seconds\": %.4f}"
+        (json_escape name) seconds)
+    (List.rev !experiment_times);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.wrote %s (figure1 %.4f s, %.2fx vs seed %.4f s)@." path
+    figure1_seconds
+    (seed_figure1_greedy_seconds /. figure1_seconds)
+    seed_figure1_greedy_seconds
+
 let () =
-  Fmt.pr "nocplan reproduction harness@.";
-  noc_characterization ();
-  processor_characterization ();
+  let smoke = ref false in
+  let json_path = ref "BENCH_nocplan.json" in
+  Arg.parse
+    [
+      ( "--smoke",
+        Arg.Set smoke,
+        " quick run: Figure-1 sweeps and the JSON artefact only" );
+      ( "--json",
+        Arg.Set_string json_path,
+        "PATH write the machine-readable results there (default \
+         BENCH_nocplan.json)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--smoke] [--json PATH]";
+  Fmt.pr "nocplan reproduction harness%s@."
+    (if !smoke then " (smoke)" else "");
   let systems =
     [
       ("d695_leon", Experiments.d695_leon ());
@@ -595,25 +728,34 @@ let () =
       ("p93791_leon", Experiments.p93791_leon ());
     ]
   in
-  let results =
-    List.map (fun (name, sys) -> (name, figure1_panel name sys)) systems
+  if not !smoke then begin
+    timed "A2:noc_characterization" noc_characterization;
+    timed "A3:processor_characterization" processor_characterization;
+    let results =
+      timed "F1:figure1_panels" (fun () ->
+          List.map (fun (name, sys) -> (name, figure1_panel name sys)) systems)
+    in
+    headline_table results;
+    timed "A1:greedy_vs_lookahead" greedy_vs_lookahead;
+    timed "A4:power_sensitivity" power_sensitivity;
+    timed "A5:io_port_sensitivity" io_port_sensitivity;
+    timed "A6:placement_sensitivity" placement_sensitivity;
+    timed "A7:optimality_gap" optimality_gap;
+    timed "A8:model_validation" model_validation;
+    timed "A9:preemption" preemption;
+    timed "A10:flit_width_sweep" flit_width_sweep;
+    timed "A11:fault_sweep" fault_sweep;
+    timed "A12:annealing" annealing;
+    timed "A13:bus_vs_noc" bus_vs_noc;
+    timed "A14:mesh_vs_torus" mesh_vs_torus;
+    timed "A15:corpus_sweep" corpus_sweep;
+    timed "A16:replanning" replanning;
+    timed "A17:compression_measurement" compression_measurement;
+    timed "A18:energy_tradeoff" energy_tradeoff;
+    timed "A19:coverage_curve" coverage_curve
+  end;
+  if not !smoke then timed "bechamel" (fun () -> timing_benchmarks systems);
+  let figure1_seconds, panels =
+    figure1_timing systems ~reps:(if !smoke then 1 else 3)
   in
-  headline_table results;
-  greedy_vs_lookahead ();
-  power_sensitivity ();
-  io_port_sensitivity ();
-  placement_sensitivity ();
-  optimality_gap ();
-  model_validation ();
-  preemption ();
-  flit_width_sweep ();
-  fault_sweep ();
-  annealing ();
-  bus_vs_noc ();
-  mesh_vs_torus ();
-  corpus_sweep ();
-  replanning ();
-  compression_measurement ();
-  energy_tradeoff ();
-  coverage_curve ();
-  timing_benchmarks systems
+  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels

@@ -21,8 +21,11 @@ let schedule ?(policy = Scheduler.Greedy)
   if cooling <= 0.0 || cooling > 1.0 then
     invalid_arg "Annealing.schedule: cooling must be in (0, 1]";
   let rng = Rng.create seed in
+  (* One access table for all ~[iterations] engine evaluations: the
+     cost model does not depend on the test order being searched. *)
+  let access = Test_access.table ~application system in
   let evaluate order =
-    Scheduler.run system
+    Scheduler.run ~access system
       (Scheduler.config ~policy ~application ~power_limit ~order ~reuse ())
   in
   let initial_order = Array.of_list (Priority.order system ~reuse) in

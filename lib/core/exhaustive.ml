@@ -55,15 +55,11 @@ let power_fits committed ~limit ~start ~finish ~power =
 let schedule ?(application = Processor.Bist) ?(power_limit = None)
     ?(max_nodes = 300_000) ~reuse system =
   let endpoints = Resource.all_endpoints system ~reuse in
-  let cost_cache = Hashtbl.create 64 in
+  (* One precomputed access table serves every node of the search (and
+     the greedy incumbent seed below). *)
+  let access = Test_access.table ~application system in
   let cost module_id source sink =
-    let key = (module_id, source, sink) in
-    match Hashtbl.find_opt cost_cache key with
-    | Some c -> c
-    | None ->
-        let c = Test_access.cost system ~application ~module_id ~source ~sink in
-        Hashtbl.add cost_cache key c;
-        c
+    Test_access.table_cost access ~module_id ~source ~sink
   in
   (* Cheapest possible duration of each module over all valid pairs:
      the lower-bound ingredient. *)
@@ -89,7 +85,7 @@ let schedule ?(application = Processor.Bist) ?(power_limit = None)
   (* Seed the incumbent with the greedy solution. *)
   let incumbent =
     ref
-      (Scheduler.run system
+      (Scheduler.run ~access system
          (Scheduler.config ~policy:Scheduler.Greedy ~application ~power_limit
             ~reuse ()))
   in
@@ -138,7 +134,7 @@ let schedule ?(application = Processor.Bist) ?(power_limit = None)
                   (fun snk ->
                     if
                       not
-                        (Test_access.feasible system ~application ~module_id
+                        (Test_access.table_feasible access ~module_id
                            ~source:src.endpoint ~sink:snk.endpoint)
                     then None
                     else

@@ -29,6 +29,8 @@ let peak_over entries ~value =
       Float.max acc at)
     0.0 entries
 
+let peak_power entries = peak_over entries ~value:(fun e -> e.Schedule.power)
+
 let of_schedule system ~reuse (schedule : Schedule.t) =
   let entries = schedule.Schedule.entries in
   let makespan = schedule.Schedule.makespan in

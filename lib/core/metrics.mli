@@ -23,4 +23,9 @@ type t = {
 val of_schedule : System.t -> reuse:int -> Schedule.t -> t
 (** Compute all metrics.  An empty schedule yields zeros. *)
 
+val peak_power : Schedule.entry list -> float
+(** Peak instantaneous power of the entries alone — the step-function
+    maximum, attained at some entry's start.  The planner records this
+    per sweep point without paying for the full metric set. *)
+
 val pp : t Fmt.t

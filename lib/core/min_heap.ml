@@ -1,0 +1,63 @@
+type t = {
+  mutable keys : int array;
+  mutable values : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Min_heap.create: capacity < 1";
+  { keys = Array.make capacity 0; values = Array.make capacity 0; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+let grow h =
+  let cap = 2 * Array.length h.keys in
+  let keys = Array.make cap 0 and values = Array.make cap 0 in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.values 0 values 0 h.len;
+  h.keys <- keys;
+  h.values <- values
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.values.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.values.(i) <- h.values.(j);
+  h.keys.(j) <- k;
+  h.values.(j) <- v
+
+let push h ~key ~value =
+  if h.len = Array.length h.keys then grow h;
+  h.keys.(h.len) <- key;
+  h.values.(h.len) <- value;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) and value = h.values.(0) in
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.values.(0) <- h.values.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (key, value)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.keys.(0), h.values.(0))

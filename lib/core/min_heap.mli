@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap of [(key, value)] integer pairs.
+
+    The scheduler's event queue: keys are release times, values are
+    slot indices.  Duplicate keys are allowed; entries with equal keys
+    pop in unspecified relative order (the scheduler only cares about
+    the minimum key, and validates popped entries against the current
+    slot state). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap. @raise Invalid_argument if [capacity < 1]. *)
+
+val push : t -> key:int -> value:int -> unit
+(** O(log n) insertion; the backing arrays grow by doubling. *)
+
+val pop : t -> (int * int) option
+(** Remove and return a [(key, value)] pair with the minimal key, or
+    [None] on an empty heap.  O(log n). *)
+
+val peek : t -> (int * int) option
+(** The pair [pop] would return, without removing it.  O(1). *)
+
+val length : t -> int
+val is_empty : t -> bool

@@ -18,30 +18,17 @@ let absolute_limit system = function
   | None -> None
   | Some pct -> Some (System.power_limit_of_pct system ~pct)
 
-let run_point system ~policy ~application ~power_limit ~reuse =
+let run_point ?access system ~policy ~application ~power_limit ~reuse =
   let config = Scheduler.config ~policy ~application ~power_limit ~reuse () in
-  let sched = Scheduler.run system config in
+  let sched = Scheduler.run ?access system config in
   let validated =
     match
-      Schedule.validate system ~application ~power_limit ~reuse sched
+      Schedule.validate ?access system ~application ~power_limit ~reuse sched
     with
     | Ok () -> true
     | Error _ -> false
   in
-  let peak_power =
-    List.fold_left
-      (fun acc (e : Schedule.entry) ->
-        let at time =
-          List.fold_left
-            (fun acc (e' : Schedule.entry) ->
-              if e'.Schedule.start <= time && time < e'.Schedule.finish then
-                acc +. e'.Schedule.power
-              else acc)
-            0.0 sched.Schedule.entries
-        in
-        Float.max acc (at e.Schedule.start))
-      0.0 sched.Schedule.entries
-  in
+  let peak_power = Metrics.peak_power sched.Schedule.entries in
   ({ reuse; makespan = sched.Schedule.makespan; peak_power; validated }, sched)
 
 let schedule ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
@@ -50,7 +37,7 @@ let schedule ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
   snd (run_point system ~policy ~application ~power_limit ~reuse)
 
 let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
-    ?power_limit_pct ?max_reuse ?(domains = 1) system =
+    ?power_limit_pct ?max_reuse ?(domains = 1) ?access system =
   if domains < 1 then invalid_arg "Planner.reuse_sweep: domains must be >= 1";
   let max_reuse =
     match max_reuse with
@@ -58,8 +45,18 @@ let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
     | None -> List.length system.System.processors
   in
   let power_limit = absolute_limit system power_limit_pct in
+  (* One access table serves every point of the sweep: the cost model
+     is reuse- and power-invariant.  The table is immutable, so the
+     Domain fan-out below can share it.  A caller running several
+     sweeps over the same system can pass its own table to share it
+     across them too. *)
+  let access =
+    match access with
+    | Some tbl when Test_access.table_for tbl ~system ~application -> tbl
+    | Some _ | None -> Test_access.table ~application system
+  in
   let evaluate reuse =
-    fst (run_point system ~policy ~application ~power_limit ~reuse)
+    fst (run_point ~access system ~policy ~application ~power_limit ~reuse)
   in
   let points =
     if domains = 1 then List.init (max_reuse + 1) evaluate
@@ -91,11 +88,18 @@ let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
   }
 
 let power_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
-    ~reuse ~pcts system =
+    ?access ~reuse ~pcts system =
+  let access =
+    match access with
+    | Some tbl when Test_access.table_for tbl ~system ~application -> tbl
+    | Some _ | None -> Test_access.table ~application system
+  in
   List.map
     (fun pct ->
       let power_limit = absolute_limit system (Some pct) in
-      (pct, fst (run_point system ~policy ~application ~power_limit ~reuse)))
+      ( pct,
+        fst (run_point ~access system ~policy ~application ~power_limit ~reuse)
+      ))
     pcts
 
 let reduction_pct ~baseline makespan =

@@ -24,6 +24,7 @@ val reuse_sweep :
   ?power_limit_pct:float ->
   ?max_reuse:int ->
   ?domains:int ->
+  ?access:Test_access.table ->
   System.t ->
   sweep
 (** Schedule the system for every reuse count from 0 (baseline:
@@ -37,16 +38,24 @@ val reuse_sweep :
     OCaml domains (the points are independent; the result is identical
     to the sequential sweep).  Worth it only for expensive sweeps on a
     multicore host — domain spawn overhead dominates sub-second
-    sweeps.  @raise Invalid_argument if [domains < 1]. *)
+    sweeps.  @raise Invalid_argument if [domains < 1].
+
+    [access] shares a precomputed {!Test_access.table} across several
+    sweeps of the same system (e.g. an unconstrained and a
+    power-limited series); a table built for a different system or
+    application is ignored and a fresh one built instead, so the
+    result never depends on it. *)
 
 val power_sweep :
   ?policy:Scheduler.policy ->
   ?application:Nocplan_proc.Processor.application ->
+  ?access:Test_access.table ->
   reuse:int ->
   pcts:float list ->
   System.t ->
   (float * point) list
-(** Makespan at a fixed reuse count under each power limit. *)
+(** Makespan at a fixed reuse count under each power limit.  [access]
+    as in {!reuse_sweep}. *)
 
 val reduction_pct : baseline:int -> int -> float
 (** Percentage reduction of [makespan] relative to [baseline]. *)

@@ -157,13 +157,31 @@ let check_power ~power_limit t =
           else None)
         t.entries
 
-let check_costs system ~application t =
+(* Each check below consults the access-cost model through an optional
+   precomputed {!Test_access.table}.  A table lookup that fails (module
+   or endpoint outside the table) falls back to the direct computation,
+   so the reported violations are identical with and without a table —
+   the table is a cache, never an oracle of its own. *)
+
+let check_costs ?access system ~application t =
+  let cost_of e =
+    let direct () =
+      Test_access.cost system ~application ~module_id:e.module_id
+        ~source:e.source ~sink:e.sink
+    in
+    match access with
+    | None -> direct ()
+    | Some tbl -> (
+        match
+          Test_access.table_cost tbl ~module_id:e.module_id ~source:e.source
+            ~sink:e.sink
+        with
+        | c -> c
+        | exception Invalid_argument _ -> direct ())
+  in
   List.filter_map
     (fun e ->
-      match
-        Test_access.cost system ~application ~module_id:e.module_id
-          ~source:e.source ~sink:e.sink
-      with
+      match cost_of e with
       | cost ->
           if
             e.finish - e.start <> cost.Test_access.duration
@@ -174,39 +192,68 @@ let check_costs system ~application t =
       | exception Invalid_argument _ -> Some (Invalid_pair e))
     t.entries
 
-let check_memory system ~application t =
+let check_memory ?access system ~application t =
+  let feasible e =
+    let direct () =
+      Test_access.memory_feasible system ~application ~module_id:e.module_id
+        ~source:e.source
+    in
+    match access with
+    | None -> direct ()
+    | Some tbl -> (
+        match
+          Test_access.table_memory_feasible tbl ~module_id:e.module_id
+            ~source:e.source
+        with
+        | ok -> ok
+        | exception Invalid_argument _ -> direct ())
+  in
   List.filter_map
     (fun e ->
-      match
-        Test_access.memory_feasible system ~application
-          ~module_id:e.module_id ~source:e.source
-      with
+      match feasible e with
       | true -> None
       | false -> Some (Insufficient_memory e)
       | exception Invalid_argument _ -> Some (Unknown_module e.module_id))
     t.entries
 
-let check_routes system t =
+let check_routes ?access system t =
+  let feasible e =
+    let direct () =
+      Test_access.route_feasible system ~module_id:e.module_id
+        ~source:e.source ~sink:e.sink
+    in
+    match access with
+    | None -> direct ()
+    | Some tbl -> (
+        match
+          Test_access.table_route_feasible tbl ~module_id:e.module_id
+            ~source:e.source ~sink:e.sink
+        with
+        | ok -> ok
+        | exception Invalid_argument _ -> direct ())
+  in
   List.filter_map
     (fun e ->
-      match
-        Test_access.route_feasible system ~module_id:e.module_id
-          ~source:e.source ~sink:e.sink
-      with
+      match feasible e with
       | true -> None
       | false -> Some (Uses_failed_link e)
       | exception Invalid_argument _ -> Some (Unknown_module e.module_id))
     t.entries
 
-let validate system ~application ~power_limit ~reuse t =
+let validate ?access system ~application ~power_limit ~reuse t =
+  let access =
+    match access with
+    | Some tbl when Test_access.table_for tbl ~system ~application -> Some tbl
+    | Some _ | None -> None
+  in
   let violations =
     check_coverage system t
     @ check_pairs system ~reuse t
     @ check_exclusivity t
     @ check_power ~power_limit t
-    @ check_costs system ~application t
-    @ check_memory system ~application t
-    @ check_routes system t
+    @ check_costs ?access system ~application t
+    @ check_memory ?access system ~application t
+    @ check_routes ?access system t
   in
   match violations with [] -> Ok () | vs -> Error vs
 

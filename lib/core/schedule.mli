@@ -48,6 +48,7 @@ type violation =
       (** the XY paths of this test cross a channel marked faulty *)
 
 val validate :
+  ?access:Test_access.table ->
   System.t ->
   application:Nocplan_proc.Processor.application ->
   power_limit:float option ->
@@ -59,7 +60,14 @@ val validate :
     endpoint is only used after its own test finished; no endpoint and
     no link carries two overlapping tests; instantaneous power never
     exceeds the limit; and each entry's duration and power match the
-    {!Test_access} cost model. *)
+    {!Test_access} cost model.
+
+    [?access] is a pure cache: a {!Test_access.table} built for this
+    system and application lets the cost/memory/route checks use O(1)
+    lookups instead of recomputing wrapper designs per entry.  A table
+    built for a different system or application is ignored, and any
+    entry the table does not cover falls back to the direct
+    computation, so the verdict never depends on the table. *)
 
 val pp_violation : violation Fmt.t
 val pp : t Fmt.t

@@ -31,24 +31,58 @@ let pp_policy ppf = function
   | Greedy -> Fmt.string ppf "greedy"
   | Lookahead -> Fmt.string ppf "lookahead"
 
-(* Endpoint pool entry: [avail = None] means the endpoint is not in
-   the pool yet (a processor whose own test has not been scheduled);
-   [Some t] means it is (or will be) idle from time [t]. *)
-type slot = { endpoint : Resource.endpoint; mutable avail : int option }
+(* Endpoint availability: [not_pooled] marks an endpoint that is not
+   in the pool yet (a processor whose own test has not been
+   scheduled); otherwise the slot holds the time it is (or will be)
+   idle from. *)
+let not_pooled = -1
 
-let run system config =
-  let endpoints = Resource.all_endpoints system ~reuse:config.reuse in
-  let slots =
-    List.map
-      (fun endpoint ->
-        match endpoint with
-        | Resource.External_in _ | Resource.External_out _ ->
-            { endpoint; avail = Some config.start_time }
-        | Resource.Processor id ->
-            if List.mem id config.pretested then
-              { endpoint; avail = Some config.start_time }
-            else { endpoint; avail = None })
-      endpoints
+let run ?access system config =
+  let table =
+    match access with
+    | Some t ->
+        if not (Test_access.table_for t ~system ~application:config.application)
+        then
+          invalid_arg
+            "Scheduler.run: access table was built for another system or \
+             application";
+        t
+    | None -> Test_access.table ~application:config.application system
+  in
+  let endpoints =
+    Array.of_list (Resource.all_endpoints system ~reuse:config.reuse)
+  in
+  let n = Array.length endpoints in
+  (* Slot index -> table endpoint index, resolved once. *)
+  let tix = Array.map (Test_access.endpoint_id table) endpoints in
+  let pretested = Hashtbl.create (max 1 (List.length config.pretested)) in
+  List.iter (fun id -> Hashtbl.replace pretested id ()) config.pretested;
+  let avail = Array.make (max 1 n) not_pooled in
+  Array.iteri
+    (fun i endpoint ->
+      match endpoint with
+      | Resource.External_in _ | Resource.External_out _ ->
+          avail.(i) <- config.start_time
+      | Resource.Processor id ->
+          if Hashtbl.mem pretested id then avail.(i) <- config.start_time)
+    endpoints;
+  (* Processor module id -> slot index, for the pool-join on test
+     completion. *)
+  let proc_slot = Hashtbl.create (max 1 n) in
+  Array.iteri
+    (fun i endpoint ->
+      match endpoint with
+      | Resource.Processor id -> Hashtbl.replace proc_slot id i
+      | Resource.External_in _ | Resource.External_out _ -> ())
+    endpoints;
+  (* Endpoint-release event queue.  Every future availability time is
+     pushed when assigned; popped entries are validated against the
+     current slot state, so stale (overwritten) times are discarded. *)
+  let releases = Min_heap.create () in
+  let now = ref config.start_time in
+  let set_avail i time =
+    avail.(i) <- time;
+    if time > !now then Min_heap.push releases ~key:time ~value:i
   in
   let calendar = Reservation.create () in
   let monitor = Power_monitor.create ~limit:config.power_limit in
@@ -68,7 +102,10 @@ let run system config =
   let initial_order =
     match config.order with
     | None ->
-        List.filter (fun id -> List.mem id wanted)
+        let wanted_set = Hashtbl.create (List.length wanted) in
+        List.iter (fun id -> Hashtbl.replace wanted_set id ()) wanted;
+        List.filter
+          (fun id -> Hashtbl.mem wanted_set id)
           (Priority.order system ~reuse:config.reuse)
     | Some order ->
         if List.sort Stdlib.compare order <> wanted then
@@ -78,45 +115,8 @@ let run system config =
         order
   in
   let pending = ref initial_order in
-  (* The cost model is time-invariant, so cache it per assignment: the
-     look-ahead policy evaluates every pair at every event otherwise. *)
-  let cost_cache : (int * Resource.endpoint * Resource.endpoint, Test_access.cost) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  let cost module_id ~source ~sink =
-    let key = (module_id, source, sink) in
-    match Hashtbl.find_opt cost_cache key with
-    | Some c -> c
-    | None ->
-        let c =
-          Test_access.cost system ~application:config.application ~module_id
-            ~source ~sink
-        in
-        Hashtbl.add cost_cache key c;
-        c
-  in
-  (* Candidate (source, sink) pairs among the given slots for one
-     core, each with the time both ends are idle.  Pairs rejected by
-     the admission check (role compatibility, faulty links on the XY
-     paths, decompression memory) are dropped here. *)
-  let pairs_of ~module_id slots_subset =
-    List.concat_map
-      (fun src ->
-        List.filter_map
-          (fun snk ->
-            if
-              Test_access.feasible system ~application:config.application
-                ~module_id ~source:src.endpoint ~sink:snk.endpoint
-            then
-              match (src.avail, snk.avail) with
-              | Some a, Some b -> Some (src, snk, max a b)
-              | (None | Some _), _ -> None
-            else None)
-          slots_subset)
-      slots_subset
-  in
-  let try_commit ~now module_id (src, snk, _avail) =
-    let c = cost module_id ~source:src.endpoint ~sink:snk.endpoint in
+  let try_commit ~now module_id row (i, j, _avail) =
+    let c = Test_access.cost_ix table ~row ~src:tix.(i) ~snk:tix.(j) in
     let finish = now + c.Test_access.duration in
     if
       Reservation.is_free calendar c.Test_access.links ~start:now ~finish
@@ -126,13 +126,13 @@ let run system config =
       Reservation.reserve calendar ~owner:module_id c.Test_access.links
         ~start:now ~finish;
       Power_monitor.add monitor ~start:now ~finish ~power:c.Test_access.power;
-      src.avail <- Some finish;
-      snk.avail <- Some finish;
+      set_avail i finish;
+      set_avail j finish;
       let entry =
         {
           Schedule.module_id;
-          source = src.endpoint;
-          sink = snk.endpoint;
+          source = endpoints.(i);
+          sink = endpoints.(j);
           start = now;
           finish;
           power = c.Test_access.power;
@@ -142,54 +142,63 @@ let run system config =
       committed := entry :: !committed;
       Log.debug (fun m ->
           m "t=%d: start module %d on %a -> %a (finish %d, power %.1f)" now
-            module_id Resource.pp src.endpoint Resource.pp snk.endpoint finish
-            c.Test_access.power);
+            module_id Resource.pp endpoints.(i) Resource.pp endpoints.(j)
+            finish c.Test_access.power);
       (* A freshly tested reusable processor joins the pool when its
          test completes. *)
       (match System.processor_of_module system module_id with
       | Some _ -> (
-          match
-            List.find_opt
-              (fun s -> Resource.equal s.endpoint (Resource.Processor module_id))
-              slots
-          with
-          | Some slot -> slot.avail <- Some finish
+          match Hashtbl.find_opt proc_slot module_id with
+          | Some k -> set_avail k finish
           | None -> (* beyond the reuse horizon: tested but not reused *) ())
       | None -> ());
       true
     end
     else false
   in
+  (* Candidate (source, sink) slot pairs for one core among the slots
+     accepted by [eligible], each with the time both ends are idle.
+     Pairs rejected by the admission table (role compatibility, faulty
+     links on the XY paths, decompression memory) are dropped here.
+     Built source-major in slot order, matching the visiting order the
+     greedy tie-break depends on. *)
+  let pairs_of ~row eligible =
+    let candidates = ref [] in
+    for i = n - 1 downto 0 do
+      if eligible avail.(i) then
+        for j = n - 1 downto 0 do
+          if
+            eligible avail.(j)
+            && Test_access.feasible_ix table ~row ~src:tix.(i) ~snk:tix.(j)
+          then candidates := (i, j, max avail.(i) avail.(j)) :: !candidates
+        done
+    done;
+    !candidates
+  in
   (* One scheduling attempt for one core at time [now].  Returns true
      if the core was started. *)
   let attempt_greedy ~now module_id =
-    let idle =
-      List.filter
-        (fun s -> match s.avail with Some a -> a <= now | None -> false)
-        slots
-    in
+    let row = Test_access.module_row table module_id in
     (* "The greedy behavior ... forces it to select the first test
        interface available": order pairs by how early they became
        idle. *)
     let candidates =
-      List.sort
+      List.stable_sort
         (fun (_, _, a) (_, _, b) -> Stdlib.compare a b)
-        (pairs_of ~module_id idle)
+        (pairs_of ~row (fun a -> a <> not_pooled && a <= now))
     in
-    List.exists (try_commit ~now module_id) candidates
+    List.exists (try_commit ~now module_id row) candidates
   in
   let attempt_lookahead ~now module_id =
-    let known =
-      List.filter (fun s -> Option.is_some s.avail) slots
-    in
-    let estimated_finish (src, snk, avail) =
-      let c = cost module_id ~source:src.endpoint ~sink:snk.endpoint in
+    let row = Test_access.module_row table module_id in
+    let estimated_finish (i, j, avail) =
+      let c = Test_access.cost_ix table ~row ~src:tix.(i) ~snk:tix.(j) in
       max now avail + c.Test_access.duration
     in
     let candidates =
-      pairs_of ~module_id known
+      pairs_of ~row (fun a -> a <> not_pooled)
       |> List.map (fun pair -> (estimated_finish pair, pair))
-      |> List.sort (fun (fa, _) (fb, _) -> Stdlib.compare fa fb)
+      |> List.stable_sort (fun (fa, _) (fb, _) -> Stdlib.compare fa fb)
       |> List.map snd
     in
     (* Take candidates in completion order; commit the first idle one,
@@ -199,7 +208,7 @@ let run system config =
       | [] -> false
       | ((_, _, avail) as pair) :: rest ->
           if avail > now then false
-          else if try_commit ~now module_id pair then true
+          else if try_commit ~now module_id row pair then true
           else go rest
     in
     go candidates
@@ -209,7 +218,6 @@ let run system config =
     | Greedy -> attempt_greedy
     | Lookahead -> attempt_lookahead
   in
-  let now = ref config.start_time in
   let guard = ref 0 in
   while !pending <> [] do
     incr guard;
@@ -221,17 +229,17 @@ let run system config =
     ignore scheduled;
     pending := still_pending;
     if !pending <> [] then begin
-      (* Advance to the next endpoint-release event. *)
-      let next =
-        List.fold_left
-          (fun acc s ->
-            match s.avail with
-            | Some a when a > !now -> (
-                match acc with Some m -> Some (min m a) | None -> Some a)
-            | Some _ | None -> acc)
-          None slots
+      (* Advance to the next endpoint-release event: pop until a pair
+         that still matches its slot's availability (later bookings
+         overwrite earlier release times, leaving stale entries). *)
+      let rec next_event () =
+        match Min_heap.pop releases with
+        | None -> None
+        | Some (time, i) ->
+            if time > !now && avail.(i) = time then Some time
+            else next_event ()
       in
-      match next with
+      match next_event () with
       | Some t -> now := t
       | None ->
           raise

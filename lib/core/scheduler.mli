@@ -57,9 +57,17 @@ exception Unschedulable of string
 (** Raised when no progress is possible — e.g. a single core's power
     alone exceeds the limit. *)
 
-val run : System.t -> config -> Schedule.t
+val run : ?access:Test_access.table -> System.t -> config -> Schedule.t
 (** Produce a complete schedule.
+
+    [access] is a precomputed {!Test_access.table} for the same system
+    and application; passing one shares the (time-invariant)
+    feasibility and cost evaluations across runs — the sweep, annealing
+    and branch-and-bound drivers build a single table and reuse it for
+    every evaluation.  Without it, a fresh table is built for this run.
+
     @raise Unschedulable when the instance is infeasible.
-    @raise Invalid_argument if [reuse] is out of range. *)
+    @raise Invalid_argument if [reuse] is out of range, or if [access]
+    was built for a different system or application. *)
 
 val pp_policy : policy Fmt.t

@@ -47,6 +47,117 @@ let sink_profile system = function
 let distinct_routers routes =
   List.sort_uniq Coord.compare (List.concat routes) |> List.length
 
+(* The two halves of a test path, evaluated independently so the table
+   can compute them once per (module, endpoint) instead of once per
+   (module, source, sink) triple.  Transport: one flit per shift cycle
+   per direction, plus a header flit per pattern packet.  The cadence
+   term follows the sustainable wormhole model verified against the
+   flit-level simulator by Schedule_sim: under back-to-back packets the
+   successor's header trails the predecessor's tail by the routing
+   setup at every one of the [hops + 2] port/channel crossings, on top
+   of the flits' flow-control slots. *)
+type source_leg = {
+  gen_overhead : int;
+  src_setup : int;
+  src_power : float;
+  links_in : Link.Set.t;
+  route_in : Coord.t list;
+  fill_in : int;
+  transport_in : int;
+}
+
+type sink_leg = {
+  sink_overhead : int;
+  sink_setup : int;
+  sink_power : float;
+  links_out : Link.Set.t;
+  route_out : Coord.t list;
+  fill_out : int;
+  transport_out : int;
+  drain : int;
+}
+
+let source_leg system ~application ~cut ~flits_in source =
+  let src = Resource.coord system source in
+  let latency = system.System.latency in
+  let flow = Latency.stream_cycle_per_flit latency in
+  let routing = latency.Latency.routing_latency in
+  let topology = system.System.topology in
+  let gen_overhead, src_setup, src_power =
+    source_profile system ~application source
+  in
+  let hops_in = Xy.hops topology ~src ~dst:cut in
+  {
+    gen_overhead;
+    src_setup;
+    src_power;
+    links_in = Link.Set.of_list (Xy.links topology ~src ~dst:cut);
+    route_in = Xy.route topology ~src ~dst:cut;
+    fill_in = Latency.header_latency latency ~hops:hops_in;
+    transport_in = ((hops_in + 2) * routing) + (flits_in * flow);
+  }
+
+let sink_leg system ~cut ~flits_out sink =
+  let snk = Resource.coord system sink in
+  let latency = system.System.latency in
+  let flow = Latency.stream_cycle_per_flit latency in
+  let routing = latency.Latency.routing_latency in
+  let topology = system.System.topology in
+  let sink_overhead, sink_setup, sink_power = sink_profile system sink in
+  let hops_out = Xy.hops topology ~src:cut ~dst:snk in
+  {
+    sink_overhead;
+    sink_setup;
+    sink_power;
+    links_out = Link.Set.of_list (Xy.links topology ~src:cut ~dst:snk);
+    route_out = Xy.route topology ~src:cut ~dst:snk;
+    fill_out = Latency.header_latency latency ~hops:hops_out;
+    transport_out = ((hops_out + 2) * routing) + (flits_out * flow);
+    (* After the last pattern slot the final response still drains
+       through the sink path. *)
+    drain = flits_out * flow;
+  }
+
+let combine_legs system ~m ~shift_cycles ~pattern_count sleg kleg =
+  let paths_shared =
+    not (Link.Set.is_empty (Link.Set.inter sleg.links_in kleg.links_out))
+  in
+  (* If the two paths share a channel, the stimulus and response
+     streams serialize on it and their occupancies add up. *)
+  let transport =
+    if paths_shared then sleg.transport_in + kleg.transport_out
+    else max sleg.transport_in kleg.transport_out
+  in
+  let per_pattern =
+    max shift_cycles transport + sleg.gen_overhead + kleg.sink_overhead
+  in
+  let duration =
+    sleg.src_setup + kleg.sink_setup + sleg.fill_in + kleg.fill_out
+    + (pattern_count * per_pattern)
+    + kleg.drain
+  in
+  let links = Link.Set.elements (Link.Set.union sleg.links_in kleg.links_out) in
+  let routers = distinct_routers [ sleg.route_in; kleg.route_out ] in
+  let power =
+    m.Module_def.test_power +. sleg.src_power +. kleg.sink_power
+    +. Power.stream_power system.System.noc_power ~routers
+  in
+  { duration; power; links; routers; per_pattern }
+
+(* The cost computation with the module record and its wrapper design
+   already in hand — the wrapper is the expensive, per-module part (an
+   LPT partition over every wrapper cell), so {!table} computes it once
+   per module instead of once per (module, source, sink) triple. *)
+let cost_with_wrapper system ~application ~m ~wrapper ~pattern_count ~module_id
+    ~source ~sink =
+  let cut = System.coord_of_module system module_id in
+  let flits_in = wrapper.Wrapper.scan_in_max + 1 in
+  let flits_out = wrapper.Wrapper.scan_out_max + 1 in
+  let shift_cycles = Wrapper.pattern_cycles wrapper in
+  combine_legs system ~m ~shift_cycles ~pattern_count
+    (source_leg system ~application ~cut ~flits_in source)
+    (sink_leg system ~cut ~flits_out sink)
+
 let cost ?patterns system ~application ~module_id ~source ~sink =
   if not (Resource.valid_pair ~source ~sink) then
     invalid_arg "Test_access.cost: invalid source/sink pair";
@@ -64,63 +175,16 @@ let cost ?patterns system ~application ~module_id ~source ~sink =
         if p < 1 then invalid_arg "Test_access.cost: patterns must be >= 1";
         p
   in
-  let cut = System.coord_of_module system module_id in
-  let src = Resource.coord system source in
-  let snk = Resource.coord system sink in
-  let latency = system.System.latency in
   let wrapper = Wrapper.design ~width:system.System.flit_width m in
-  (* Transport: one flit per shift cycle per direction, plus a header
-     flit per pattern packet. *)
-  let flits_in = wrapper.Wrapper.scan_in_max + 1 in
-  let flits_out = wrapper.Wrapper.scan_out_max + 1 in
-  let flow = Latency.stream_cycle_per_flit latency in
-  let routing = latency.Latency.routing_latency in
-  let gen_overhead, src_setup, src_power = source_profile system ~application source in
-  let sink_overhead, sink_setup, sink_power = sink_profile system sink in
-  let shift_cycles = Wrapper.pattern_cycles wrapper in
-  let topology = system.System.topology in
-  let hops_in = Xy.hops topology ~src ~dst:cut in
-  let hops_out = Xy.hops topology ~src:cut ~dst:snk in
-  (* Sustainable pattern cadence on a wormhole path, verified against
-     the flit-level simulator by Schedule_sim: under back-to-back
-     packets the successor's header trails the predecessor's tail by
-     the routing setup at every one of the [hops + 2] port/channel
-     crossings, on top of the flits' flow-control slots. *)
-  let transport_in = ((hops_in + 2) * routing) + (flits_in * flow) in
-  let transport_out = ((hops_out + 2) * routing) + (flits_out * flow) in
-  let links_in = Link.Set.of_list (Xy.links topology ~src ~dst:cut) in
-  let links_out = Link.Set.of_list (Xy.links topology ~src:cut ~dst:snk) in
-  let paths_shared = not (Link.Set.is_empty (Link.Set.inter links_in links_out)) in
-  (* If the two paths share a channel, the stimulus and response
-     streams serialize on it and their occupancies add up. *)
-  let transport =
-    if paths_shared then transport_in + transport_out
-    else max transport_in transport_out
-  in
-  let per_pattern =
-    max shift_cycles transport + gen_overhead + sink_overhead
-  in
-  let fill_in = Latency.header_latency latency ~hops:hops_in in
-  let fill_out = Latency.header_latency latency ~hops:hops_out in
-  (* After the last pattern slot the final response still drains
-     through the sink path. *)
-  let drain = flits_out * flow in
-  let duration =
-    src_setup + sink_setup + fill_in + fill_out
-    + (pattern_count * per_pattern)
-    + drain
-  in
-  let route_in = Xy.route topology ~src ~dst:cut in
-  let route_out = Xy.route topology ~src:cut ~dst:snk in
-  let links = Link.Set.elements (Link.Set.union links_in links_out) in
-  let routers = distinct_routers [ route_in; route_out ] in
-  let power =
-    m.Module_def.test_power +. src_power +. sink_power
-    +. Power.stream_power system.System.noc_power ~routers
-  in
-  { duration; power; links; routers; per_pattern }
+  cost_with_wrapper system ~application ~m ~wrapper ~pattern_count ~module_id
+    ~source ~sink
 
 let assumed_run_length = 4
+
+let decompression_footprint_of_wrapper (m : Module_def.t) wrapper =
+  let words = max 1 (m.Module_def.patterns * (wrapper.Wrapper.scan_in_max + 1)) in
+  Nocplan_proc.Decompress.estimated_memory_words ~words
+    ~mean_run_length:assumed_run_length
 
 let decompression_footprint system ~module_id =
   let m =
@@ -132,9 +196,7 @@ let decompression_footprint system ~module_id =
              module_id)
   in
   let wrapper = Wrapper.design ~width:system.System.flit_width m in
-  let words = max 1 (m.Module_def.patterns * (wrapper.Wrapper.scan_in_max + 1)) in
-  Nocplan_proc.Decompress.estimated_memory_words ~words
-    ~mean_run_length:assumed_run_length
+  decompression_footprint_of_wrapper m wrapper
 
 let decompression_footprint_measured
     ?(style = Nocplan_proc.Test_data.Atpg 0.05) ?(seed = 7L) system
@@ -150,6 +212,17 @@ let decompression_footprint_measured
   in
   Nocplan_proc.Test_data.measured_memory_words style ~seed
     ~flit_width:system.System.flit_width m
+
+let memory_feasible_of_footprint system ~application ~footprint ~source =
+  match (application, source) with
+  | Processor.Bist, _
+  | Processor.Decompression, (Resource.External_in _ | Resource.External_out _)
+    ->
+      true
+  | Processor.Decompression, Resource.Processor id -> (
+      match System.processor_of_module system id with
+      | Some p -> footprint <= Processor.memory_capacity p.System.processor
+      | None -> false)
 
 let memory_feasible system ~application ~module_id ~source =
   match (application, source) with
@@ -180,6 +253,174 @@ let feasible system ~application ~module_id ~source ~sink =
   Resource.valid_pair ~source ~sink
   && route_feasible system ~module_id ~source ~sink
   && memory_feasible system ~application ~module_id ~source
+
+(* ------------------------------------------------------------------ *)
+(* Precomputed access table                                           *)
+
+type table = {
+  table_system : System.t;
+  table_application : Processor.application;
+  endpoints : Resource.endpoint array;
+  endpoint_ids : (Resource.endpoint, int) Hashtbl.t;
+  module_rows : (int, int) Hashtbl.t;
+  width : int;  (** endpoint count — stride of one (module, source) row *)
+  feasible_bits : bool array;  (** row-major [module][source][sink] *)
+  route_bits : bool array;  (** row-major [module][source][sink] *)
+  memory_bits : bool array;  (** row-major [module][source] *)
+  costs : cost option array;  (** [None] on an invalid source/sink pair *)
+}
+
+let table ?(application = Processor.Bist) system =
+  let endpoints =
+    Array.of_list
+      (Resource.all_endpoints system
+         ~reuse:(List.length system.System.processors))
+  in
+  let n = Array.length endpoints in
+  let endpoint_ids = Hashtbl.create (max 1 n) in
+  Array.iteri (fun i e -> Hashtbl.replace endpoint_ids e i) endpoints;
+  let module_ids = System.module_ids system in
+  let module_rows = Hashtbl.create (List.length module_ids) in
+  List.iteri (fun row id -> Hashtbl.replace module_rows id row) module_ids;
+  let cells = List.length module_ids * n * n in
+  let feasible_bits = Array.make cells false in
+  let route_bits = Array.make cells false in
+  let memory_bits = Array.make (List.length module_ids * n) false in
+  let costs = Array.make (max 1 cells) None in
+  let no_failed = Link.Set.is_empty system.System.failed_links in
+  List.iteri
+    (fun row module_id ->
+      let m = Soc.find system.System.soc module_id in
+      (* The expensive per-module invariants, computed once. *)
+      let wrapper = Wrapper.design ~width:system.System.flit_width m in
+      let footprint =
+        match application with
+        | Processor.Bist -> 0
+        | Processor.Decompression -> decompression_footprint_of_wrapper m wrapper
+      in
+      let cut = System.coord_of_module system module_id in
+      let flits_in = wrapper.Wrapper.scan_in_max + 1 in
+      let flits_out = wrapper.Wrapper.scan_out_max + 1 in
+      let shift_cycles = Wrapper.pattern_cycles wrapper in
+      (* Per-endpoint path legs, computed once per (module, endpoint)
+         instead of once per (module, source, sink) triple. *)
+      let source_legs =
+        Array.map
+          (fun e ->
+            if Resource.can_source e then
+              Some (source_leg system ~application ~cut ~flits_in e)
+            else None)
+          endpoints
+      in
+      let sink_legs =
+        Array.map
+          (fun e ->
+            if Resource.can_sink e then Some (sink_leg system ~cut ~flits_out e)
+            else None)
+          endpoints
+      in
+      (* Route survivability of each path leg, for any endpoint — the
+         validator probes arbitrary (source, sink) combinations, so
+         these cover even endpoints that cannot legally play the role. *)
+      let topology = system.System.topology in
+      let link_ok l = not (Link.Set.mem l system.System.failed_links) in
+      let in_route_ok =
+        if no_failed then Array.make n true
+        else
+          Array.map
+            (fun e ->
+              List.for_all link_ok
+                (Xy.links topology ~src:(Resource.coord system e) ~dst:cut))
+            endpoints
+      in
+      let out_route_ok =
+        if no_failed then Array.make n true
+        else
+          Array.map
+            (fun e ->
+              List.for_all link_ok
+                (Xy.links topology ~src:cut ~dst:(Resource.coord system e)))
+            endpoints
+      in
+      let base = row * n * n in
+      Array.iteri
+        (fun si source ->
+          memory_bits.((row * n) + si) <-
+            memory_feasible_of_footprint system ~application ~footprint ~source;
+          Array.iteri
+            (fun ki sink ->
+              let idx = base + (si * n) + ki in
+              route_bits.(idx) <- in_route_ok.(si) && out_route_ok.(ki);
+              if Resource.valid_pair ~source ~sink then begin
+                let sleg = Option.get source_legs.(si) in
+                let kleg = Option.get sink_legs.(ki) in
+                costs.(idx) <-
+                  Some
+                    (combine_legs system ~m ~shift_cycles
+                       ~pattern_count:m.Module_def.patterns sleg kleg);
+                feasible_bits.(idx) <-
+                  route_bits.(idx) && memory_bits.((row * n) + si)
+              end)
+            endpoints)
+        endpoints)
+    module_ids;
+  {
+    table_system = system;
+    table_application = application;
+    endpoints;
+    endpoint_ids;
+    module_rows;
+    width = n;
+    feasible_bits;
+    route_bits;
+    memory_bits;
+    costs;
+  }
+
+let table_for t ~system ~application =
+  t.table_system == system && t.table_application = application
+
+let table_application t = t.table_application
+
+let endpoint_id t endpoint =
+  match Hashtbl.find_opt t.endpoint_ids endpoint with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Fmt.str "Test_access.endpoint_id: %a is not in the table" Resource.pp
+           endpoint)
+
+let module_row t module_id =
+  match Hashtbl.find_opt t.module_rows module_id with
+  | Some row -> row
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Test_access.module_row: unknown module %d" module_id)
+
+let feasible_ix t ~row ~src ~snk =
+  t.feasible_bits.((row * t.width * t.width) + (src * t.width) + snk)
+
+let cost_ix t ~row ~src ~snk =
+  match t.costs.((row * t.width * t.width) + (src * t.width) + snk) with
+  | Some c -> c
+  | None -> invalid_arg "Test_access.cost_ix: invalid source/sink pair"
+
+let table_feasible t ~module_id ~source ~sink =
+  feasible_ix t ~row:(module_row t module_id) ~src:(endpoint_id t source)
+    ~snk:(endpoint_id t sink)
+
+let table_cost t ~module_id ~source ~sink =
+  cost_ix t ~row:(module_row t module_id) ~src:(endpoint_id t source)
+    ~snk:(endpoint_id t sink)
+
+let table_route_feasible t ~module_id ~source ~sink =
+  t.route_bits.(
+    (module_row t module_id * t.width * t.width)
+    + (endpoint_id t source * t.width)
+    + endpoint_id t sink)
+
+let table_memory_feasible t ~module_id ~source =
+  t.memory_bits.((module_row t module_id * t.width) + endpoint_id t source)
 
 let pp_cost ppf c =
   Fmt.pf ppf

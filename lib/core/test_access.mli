@@ -93,4 +93,88 @@ val memory_feasible :
     a few words); for decompression, true iff
     {!decompression_footprint} fits the processor's memory capacity. *)
 
+(** {1 Precomputed access table}
+
+    The cost model is time-invariant: for a fixed system and test
+    application, the feasibility and cost of every (module, source,
+    sink) triple never change while scheduling.  A {!table} evaluates
+    all of them once — including the per-module wrapper design, the
+    expensive part — and the schedulers then answer every query with
+    an array lookup.  One table serves every scheduler run on the same
+    system (all reuse counts, all power limits, all test orders), which
+    is where reuse sweeps, annealing and branch-and-bound spend their
+    time.
+
+    A table is immutable after construction, so it is safe to share
+    across OCaml domains (e.g. {!Planner.reuse_sweep}'s fan-out). *)
+
+type table
+
+val table :
+  ?application:Nocplan_proc.Processor.application -> System.t -> table
+(** Precompute feasibility and cost for every module of the system
+    against every endpoint pair at full reuse (the endpoint set of any
+    smaller reuse count is a subset).  Default application: [Bist]. *)
+
+val table_for :
+  table ->
+  system:System.t ->
+  application:Nocplan_proc.Processor.application ->
+  bool
+(** Whether the table was built for exactly this system (physical
+    equality) and application — the schedulers' sanity check before
+    trusting a caller-supplied table. *)
+
+val table_application : table -> Nocplan_proc.Processor.application
+
+val table_feasible :
+  table ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  bool
+(** Same truth value as {!feasible}, via lookup.
+    @raise Invalid_argument on a module or endpoint the table does not
+    cover. *)
+
+val table_cost :
+  table ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  cost
+(** Same value as {!cost} with the module's own pattern count, via
+    lookup.  @raise Invalid_argument on an invalid pair or an unknown
+    module/endpoint. *)
+
+val table_route_feasible :
+  table ->
+  module_id:int ->
+  source:Resource.endpoint ->
+  sink:Resource.endpoint ->
+  bool
+(** Same truth value as {!route_feasible}, via lookup.
+    @raise Invalid_argument on a module or endpoint the table does not
+    cover. *)
+
+val table_memory_feasible :
+  table -> module_id:int -> source:Resource.endpoint -> bool
+(** Same truth value as {!memory_feasible}, via lookup.
+    @raise Invalid_argument on a module or endpoint the table does not
+    cover. *)
+
+(** {2 Index-level access}
+
+    The scheduler inner loop resolves endpoints and modules to integer
+    indices once, then queries by index. *)
+
+val endpoint_id : table -> Resource.endpoint -> int
+(** @raise Invalid_argument if the endpoint is not in the table. *)
+
+val module_row : table -> int -> int
+(** @raise Invalid_argument on an unknown module id. *)
+
+val feasible_ix : table -> row:int -> src:int -> snk:int -> bool
+val cost_ix : table -> row:int -> src:int -> snk:int -> cost
+
 val pp_cost : cost Fmt.t

@@ -1,20 +1,49 @@
 type booking = { owner : int; start : int; finish : int }
-type t = { mutable by_link : booking list Link.Map.t }
+
+(* Per-link calendar: bookings in parallel growable arrays, sorted by
+   start time.  Reserved intervals never overlap, so the finish times
+   are sorted too and every query reduces to one binary search. *)
+type cal = {
+  mutable starts : int array;
+  mutable finishes : int array;
+  mutable owners : int array;
+  mutable len : int;
+}
+
+type t = { mutable by_link : cal Link.Map.t }
 
 let create () = { by_link = Link.Map.empty }
 
-let overlaps b ~start ~finish = b.start < finish && start < b.finish
+let fresh_cal () =
+  {
+    starts = Array.make 8 0;
+    finishes = Array.make 8 0;
+    owners = Array.make 8 0;
+    len = 0;
+  }
 
-let link_bookings t link =
-  match Link.Map.find_opt link t.by_link with Some bs -> bs | None -> []
+(* Index of the first booking that ends after [time] — the only one
+   that can overlap a window starting at [time].  Binary search over
+   the (sorted) finish times. *)
+let first_ending_after cal time =
+  let lo = ref 0 and hi = ref cal.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cal.finishes.(mid) > time then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let cal_free cal ~start ~finish =
+  let i = first_ending_after cal start in
+  i >= cal.len || cal.starts.(i) >= finish
 
 let is_free t links ~start ~finish =
   start >= finish
   || List.for_all
        (fun link ->
-         List.for_all
-           (fun b -> not (overlaps b ~start ~finish))
-           (link_bookings t link))
+         match Link.Map.find_opt link t.by_link with
+         | None -> true
+         | Some cal -> cal_free cal ~start ~finish)
        links
 
 let conflicts t links ~start ~finish =
@@ -22,18 +51,51 @@ let conflicts t links ~start ~finish =
   else
     List.concat_map
       (fun link ->
-        link_bookings t link
-        |> List.filter (fun b -> overlaps b ~start ~finish)
-        |> List.map (fun b -> (link, b)))
+        match Link.Map.find_opt link t.by_link with
+        | None -> []
+        | Some cal ->
+            let rec go i acc =
+              if i >= cal.len || cal.starts.(i) >= finish then List.rev acc
+              else
+                let b =
+                  {
+                    owner = cal.owners.(i);
+                    start = cal.starts.(i);
+                    finish = cal.finishes.(i);
+                  }
+                in
+                go (i + 1) ((link, b) :: acc)
+            in
+            go (first_ending_after cal start) [])
       links
 
-let insert_sorted b bs =
-  let rec go = function
-    | [] -> [ b ]
-    | hd :: tl ->
-        if b.start <= hd.start then b :: hd :: tl else hd :: go tl
-  in
-  go bs
+let ensure_capacity cal =
+  if cal.len = Array.length cal.starts then begin
+    let cap = 2 * cal.len in
+    let grow a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 cal.len;
+      b
+    in
+    cal.starts <- grow cal.starts;
+    cal.finishes <- grow cal.finishes;
+    cal.owners <- grow cal.owners
+  end
+
+(* Insert into a calendar the window was checked free on.  Everything
+   before the insertion point ends by [start]; everything from it on
+   starts at or after [finish] — sortedness is preserved. *)
+let cal_insert cal ~owner ~start ~finish =
+  ensure_capacity cal;
+  let i = first_ending_after cal start in
+  let tail = cal.len - i in
+  Array.blit cal.starts i cal.starts (i + 1) tail;
+  Array.blit cal.finishes i cal.finishes (i + 1) tail;
+  Array.blit cal.owners i cal.owners (i + 1) tail;
+  cal.starts.(i) <- start;
+  cal.finishes.(i) <- finish;
+  cal.owners.(i) <- owner;
+  cal.len <- cal.len + 1
 
 let reserve t ~owner links ~start ~finish =
   if start < 0 || finish < start then
@@ -41,40 +103,53 @@ let reserve t ~owner links ~start ~finish =
   if not (is_free t links ~start ~finish) then
     invalid_arg "Reservation.reserve: window is not free";
   if start < finish then
-    let b = { owner; start; finish } in
-    t.by_link <-
-      List.fold_left
-        (fun map link ->
-          Link.Map.update link
-            (function
-              | Some bs -> Some (insert_sorted b bs) | None -> Some [ b ])
-            map)
-        t.by_link links
+    List.iter
+      (fun link ->
+        let cal =
+          match Link.Map.find_opt link t.by_link with
+          | Some cal -> cal
+          | None ->
+              let cal = fresh_cal () in
+              t.by_link <- Link.Map.add link cal t.by_link;
+              cal
+        in
+        cal_insert cal ~owner ~start ~finish)
+      links
 
 let next_free_time t links ~from ~duration =
   if duration <= 0 then from
-  else
-    (* Candidate start times: [from] and the finish time of every
-       booking on the links; the earliest feasible one wins. *)
-    let candidates =
-      from
-      :: List.concat_map
-           (fun link ->
-             List.filter_map
-               (fun b -> if b.finish > from then Some b.finish else None)
-               (link_bookings t link))
-           links
-    in
-    let feasible =
-      List.filter
-        (fun s -> s >= from && is_free t links ~start:s ~finish:(s + duration))
-        candidates
-    in
-    match feasible with
-    | [] -> invalid_arg "Reservation.next_free_time: no candidate (impossible)"
-    | s :: rest -> List.fold_left min s rest
+  else begin
+    (* Fixpoint: any booking overlapping the candidate window pushes
+       the candidate to that booking's finish.  Each step discards at
+       least one booking, so it terminates, and any feasible start must
+       be at or past every finish it jumps over — the result is the
+       earliest free time. *)
+    let candidate = ref from in
+    let moved = ref true in
+    while !moved do
+      moved := false;
+      List.iter
+        (fun link ->
+          match Link.Map.find_opt link t.by_link with
+          | None -> ()
+          | Some cal ->
+              let i = first_ending_after cal !candidate in
+              if i < cal.len && cal.starts.(i) < !candidate + duration then begin
+                candidate := cal.finishes.(i);
+                moved := true
+              end)
+        links
+    done;
+    !candidate
+  end
 
 let bookings t link =
-  List.sort
-    (fun a b -> Stdlib.compare (a.start, a.finish) (b.start, b.finish))
-    (link_bookings t link)
+  match Link.Map.find_opt link t.by_link with
+  | None -> []
+  | Some cal ->
+      List.init cal.len (fun i ->
+          {
+            owner = cal.owners.(i);
+            start = cal.starts.(i);
+            finish = cal.finishes.(i);
+          })

@@ -1,0 +1,133 @@
+(* Golden-equivalence suite: the event-driven scheduler core must
+   reproduce, byte for byte, the schedules of the original quadratic
+   implementation (the growth seed, commit b8727be).  The rows below
+   were captured by running that implementation over the three paper
+   systems, every reuse count, with and without the binding power
+   limit, and digesting each schedule's printed form.
+
+   Any intentional change to scheduling behaviour must re-derive this
+   table and say so in the commit. *)
+
+module Core = Nocplan_core
+open Core
+module Processor = Nocplan_proc.Processor
+
+(* (system, power pct, reuse, makespan, validated, MD5 of [Schedule.pp]) *)
+let golden =
+  [
+    ("d695_leon", None, 0, 620313, true, "c472e3218027c28dd57d3007fc667b51");
+    ("d695_leon", None, 1, 620313, true, "165adf1c7aa68a5dc738006f6e6bdead");
+    ("d695_leon", None, 2, 412391, true, "4d485d19b9b9a6efb7b16deb7b5809a5");
+    ("d695_leon", None, 3, 410929, true, "6882954504c7160b76ff8f2269f87b60");
+    ("d695_leon", None, 4, 366065, true, "08ad2940526883b133fb8b8691605cc7");
+    ("d695_leon", None, 5, 360724, true, "a42dce4a648ddee4ff1f7fb167217c52");
+    ("d695_leon", None, 6, 360724, true, "a42dce4a648ddee4ff1f7fb167217c52");
+    ("d695_leon", Some 25.0, 0, 620313, true, "c472e3218027c28dd57d3007fc667b51");
+    ("d695_leon", Some 25.0, 1, 620313, true, "165adf1c7aa68a5dc738006f6e6bdead");
+    ("d695_leon", Some 25.0, 2, 412391, true, "4d485d19b9b9a6efb7b16deb7b5809a5");
+    ("d695_leon", Some 25.0, 3, 410929, true, "6882954504c7160b76ff8f2269f87b60");
+    ("d695_leon", Some 25.0, 4, 391712, true, "b50701883fcddef1e3ea6d5ee0bb7b09");
+    ("d695_leon", Some 25.0, 5, 384783, true, "9dfe8bcf4cea6c1cdbdd80d6f2511a32");
+    ("d695_leon", Some 25.0, 6, 384620, true, "a623068462c9c88bd57dda00c48ceb9b");
+    ("p22810_leon", None, 0, 2859044, true, "1b234ecbdb8d6ddc35bb01d9fbcf604a");
+    ("p22810_leon", None, 1, 2859044, true, "c30c17cbb626ca06d30763ad9c05c62d");
+    ("p22810_leon", None, 2, 1553422, true, "c6c67492c1126e8631f364ce661b0eb9");
+    ("p22810_leon", None, 3, 1570963, true, "0d0cf50c9e8e9d2bacf9d0662ac8d55d");
+    ("p22810_leon", None, 4, 1332840, true, "999353179f3e95069b9dbacb2e988787");
+    ("p22810_leon", None, 5, 1310237, true, "aab61885ba313b6fb452cb0a53c0e201");
+    ("p22810_leon", None, 6, 1078056, true, "4f91759565a4dfa3a080cc9e4261fa38");
+    ("p22810_leon", None, 7, 1080374, true, "c4206a9c01cff4eaf61a79ca2b791bf9");
+    ("p22810_leon", None, 8, 1177753, true, "322857a9c727e7c5bbd95699e943d08e");
+    ("p22810_leon", Some 25.0, 0, 2859044, true, "1b234ecbdb8d6ddc35bb01d9fbcf604a");
+    ("p22810_leon", Some 25.0, 1, 2859044, true, "c30c17cbb626ca06d30763ad9c05c62d");
+    ("p22810_leon", Some 25.0, 2, 1553422, true, "c6c67492c1126e8631f364ce661b0eb9");
+    ("p22810_leon", Some 25.0, 3, 1570963, true, "0d0cf50c9e8e9d2bacf9d0662ac8d55d");
+    ("p22810_leon", Some 25.0, 4, 1332840, true, "999353179f3e95069b9dbacb2e988787");
+    ("p22810_leon", Some 25.0, 5, 1310237, true, "aab61885ba313b6fb452cb0a53c0e201");
+    ("p22810_leon", Some 25.0, 6, 1015756, true, "5fc47353260065aa61ef7469611f53a4");
+    ("p22810_leon", Some 25.0, 7, 1073254, true, "ca49ea621b3b83f6ea45126b57346d07");
+    ("p22810_leon", Some 25.0, 8, 1177859, true, "3307cf48bda7ab4d257a7002aa2efbbc");
+    ("p93791_leon", None, 0, 5068000, true, "8c510d275aff6be024ceaa066509d371");
+    ("p93791_leon", None, 1, 5068000, true, "5038c2fc37a05bde8d40fb0e57521a06");
+    ("p93791_leon", None, 2, 2655267, true, "9644d6cef824fa1d6087884d1952b31b");
+    ("p93791_leon", None, 3, 2712975, true, "ac222fd221a90a7834910ca4f4566d2f");
+    ("p93791_leon", None, 4, 1922375, true, "09568fbcb0f7789898badadcad8149f3");
+    ("p93791_leon", None, 5, 2039072, true, "caa7bd05d16d0edca04a3ba8b328aa58");
+    ("p93791_leon", None, 6, 1713947, true, "ee489f00a1691ba7624be8588f9ef75d");
+    ("p93791_leon", None, 7, 1634182, true, "ca93d7bd26de0c1cab89104d443720ba");
+    ("p93791_leon", None, 8, 1315925, true, "4033219dca476c305a7db75abd72d217");
+    ("p93791_leon", Some 25.0, 0, 5068000, true, "8c510d275aff6be024ceaa066509d371");
+    ("p93791_leon", Some 25.0, 1, 5068000, true, "5038c2fc37a05bde8d40fb0e57521a06");
+    ("p93791_leon", Some 25.0, 2, 2655267, true, "9644d6cef824fa1d6087884d1952b31b");
+    ("p93791_leon", Some 25.0, 3, 2712975, true, "ac222fd221a90a7834910ca4f4566d2f");
+    ("p93791_leon", Some 25.0, 4, 2027251, true, "630e023d98d096355ade52c66ff2c4f3");
+    ("p93791_leon", Some 25.0, 5, 2086524, true, "fd01b721055acf384d3e0b89c7ce4cb0");
+    ("p93791_leon", Some 25.0, 6, 1902098, true, "60ee08027e7695c4b98442eb4679b8a0");
+    ("p93791_leon", Some 25.0, 7, 1710871, true, "5802c5e0e6cdc666a1dfaa78b4583645");
+    ("p93791_leon", Some 25.0, 8, 1538953, true, "210de69daee8301e7b848c6237a60ed0");
+  ]
+
+let digest sched = Digest.to_hex (Digest.string (Fmt.str "%a" Schedule.pp sched))
+
+let systems =
+  lazy
+    [
+      ("d695_leon", Experiments.d695_leon ());
+      ("p22810_leon", Experiments.p22810_leon ());
+      ("p93791_leon", Experiments.p93791_leon ());
+    ]
+
+(* One shared access table per system: the golden check then also
+   exercises cross-run table sharing, the way Planner sweeps use it. *)
+let tables =
+  lazy
+    (List.map
+       (fun (name, system) -> (name, system, Test_access.table system))
+       (Lazy.force systems))
+
+let check_row (name, pct, reuse, makespan, validated, md5) () =
+  let _, system, access =
+    List.find (fun (n, _, _) -> n = name) (Lazy.force tables)
+  in
+  let power_limit =
+    Option.map (fun pct -> System.power_limit_of_pct system ~pct) pct
+  in
+  let sched =
+    Scheduler.run ~access system (Scheduler.config ~power_limit ~reuse ())
+  in
+  Alcotest.(check int) "makespan" makespan sched.Schedule.makespan;
+  Alcotest.(check bool)
+    "validated" validated
+    (match
+       Schedule.validate ~access system ~application:Processor.Bist
+         ~power_limit ~reuse sched
+     with
+    | Ok () -> true
+    | Error _ -> false);
+  Alcotest.(check string) "schedule digest" md5 (digest sched)
+
+(* The table is a pure cache: with and without it, the scheduler must
+   produce identical schedules. *)
+let test_table_is_pure_cache () =
+  List.iter
+    (fun (_, system, access) ->
+      let reuse = List.length system.System.processors in
+      let config = Scheduler.config ~reuse () in
+      Alcotest.(check string)
+        "with == without table"
+        (digest (Scheduler.run system config))
+        (digest (Scheduler.run ~access system config)))
+    (Lazy.force tables)
+
+let suite =
+  Alcotest.test_case "scheduler run with/without table identical" `Quick
+    test_table_is_pure_cache
+  :: List.map
+       (fun ((name, pct, reuse, _, _, _) as row) ->
+         Alcotest.test_case
+           (Printf.sprintf "%s reuse %d%s" name reuse
+              (match pct with
+              | None -> ""
+              | Some p -> Printf.sprintf " power %.0f%%" p))
+           `Quick (check_row row))
+       golden

@@ -17,6 +17,7 @@ let () =
       ("torus", Test_torus.suite);
       ("latency", Test_latency.suite);
       ("reservation", Test_reservation.suite);
+      ("min heap", Test_min_heap.suite);
       ("flit simulator", Test_flit_sim.suite);
       ("traffic", Test_traffic.suite);
       ("noc characterization", Test_characterize.suite);
@@ -35,6 +36,7 @@ let () =
       ("priority", Test_priority.suite);
       ("schedule", Test_schedule.suite);
       ("scheduler", Test_scheduler.suite);
+      ("scheduler golden equivalence", Test_golden.suite);
       ("schedule replay", Test_schedule_sim.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("memory constraint", Test_memory.suite);

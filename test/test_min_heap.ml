@@ -1,0 +1,80 @@
+open Util
+module Min_heap = Nocplan_core.Min_heap
+
+let test_empty () =
+  let h = Min_heap.create () in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Min_heap.length h);
+  Alcotest.(check (option (pair int int))) "pop" None (Min_heap.pop h);
+  Alcotest.(check (option (pair int int))) "peek" None (Min_heap.peek h)
+
+let test_ordering () =
+  let h = Min_heap.create ~capacity:2 () in
+  List.iter
+    (fun (k, v) -> Min_heap.push h ~key:k ~value:v)
+    [ (5, 50); (1, 10); (3, 30); (1, 11); (4, 40) ];
+  Alcotest.(check int) "length" 5 (Min_heap.length h);
+  (* Two entries share key 1 and pop in unspecified relative order, so
+     only the key of the minimum is checked. *)
+  Alcotest.(check (option int)) "peek is min" (Some 1)
+    (Option.map fst (Min_heap.peek h));
+  let keys = ref [] in
+  let rec drain () =
+    match Min_heap.pop h with
+    | Some (k, _) ->
+        keys := k :: !keys;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ]
+    (List.rev !keys);
+  Alcotest.(check bool) "empty again" true (Min_heap.is_empty h)
+
+(* Reference model: pushing any key sequence and draining must produce
+   the keys in sorted order, interleaved pushes and pops included. *)
+let prop_drain_sorted =
+  qcheck "drain yields keys in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 64) (int_range (-100) 100))
+    (fun keys ->
+      let h = Min_heap.create () in
+      List.iteri (fun i k -> Min_heap.push h ~key:k ~value:i) keys;
+      let rec drain acc =
+        match Min_heap.pop h with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let prop_interleaved =
+  qcheck "interleaved push/pop matches a sorted-list model"
+    QCheck2.Gen.(
+      list_size (int_range 0 80)
+        (oneof [ map (fun k -> Some k) (int_range 0 50); return None ]))
+    (fun ops ->
+      let h = Min_heap.create () in
+      (* The model is the multiset of pending keys, kept sorted. *)
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+              Min_heap.push h ~key:k ~value:k;
+              model := List.sort compare (k :: !model);
+              Min_heap.length h = List.length !model
+          | None -> (
+              match (Min_heap.pop h, !model) with
+              | None, [] -> true
+              | Some (k, _), m :: rest ->
+                  model := rest;
+                  k = m
+              | Some _, [] | None, _ :: _ -> false))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering with duplicates" `Quick test_ordering;
+    prop_drain_sorted;
+    prop_interleaved;
+  ]

@@ -92,6 +92,90 @@ let prop_disjoint_links_independent =
         bookings;
       Reservation.is_free r [ l2 ] ~start:0 ~finish:1_000)
 
+(* --- reference model ------------------------------------------------
+   The indexed calendar (sorted intervals + binary search) must agree
+   with the obvious implementation: an unordered list of bookings
+   scanned linearly.  Every query is checked against it. *)
+
+module Model = struct
+  type t = (int * int * int) list (* start, finish, owner *)
+
+  let overlapping ~start ~finish (s, f, _) = start < f && s < finish
+  let is_free m ~start ~finish = not (List.exists (overlapping ~start ~finish) m)
+
+  let conflict_owners m ~start ~finish =
+    List.filter (overlapping ~start ~finish) m
+    |> List.map (fun (_, _, o) -> o)
+    |> List.sort compare
+
+  let next_free_time m ~from ~duration =
+    let rec go t =
+      if is_free m ~start:t ~finish:(t + duration) then t else go (t + 1)
+    in
+    go from
+end
+
+(* Build the calendar and the model from the same booking list,
+   skipping bookings the model says are busy (mirrors how the
+   scheduler only reserves free windows). *)
+let build bookings =
+  let r = Reservation.create () in
+  let model =
+    List.fold_left
+      (fun m (i, (s, d)) ->
+        if Model.is_free m ~start:s ~finish:(s + d) then begin
+          Reservation.reserve r ~owner:i [ l1 ] ~start:s ~finish:(s + d);
+          (s, s + d, i) :: m
+        end
+        else m)
+      []
+      (List.mapi (fun i b -> (i, b)) bookings)
+  in
+  (r, model)
+
+let bookings_gen = QCheck2.Gen.(list_size (int_range 0 12) interval_gen)
+
+let prop_model_is_free =
+  qcheck "is_free matches the naive model"
+    QCheck2.Gen.(pair bookings_gen interval_gen)
+    (fun (bookings, (s, d)) ->
+      let r, model = build bookings in
+      Reservation.is_free r [ l1 ] ~start:s ~finish:(s + d)
+      = Model.is_free model ~start:s ~finish:(s + d))
+
+let prop_model_conflicts =
+  qcheck "conflicts match the naive model"
+    QCheck2.Gen.(pair bookings_gen interval_gen)
+    (fun (bookings, (s, d)) ->
+      let r, model = build bookings in
+      let owners =
+        Reservation.conflicts r [ l1 ] ~start:s ~finish:(s + d)
+        |> List.map (fun (_, b) -> b.Reservation.owner)
+        |> List.sort compare
+      in
+      owners = Model.conflict_owners model ~start:s ~finish:(s + d))
+
+let prop_model_next_free =
+  qcheck "next_free_time matches the naive model"
+    QCheck2.Gen.(pair bookings_gen interval_gen)
+    (fun (bookings, (from, duration)) ->
+      let r, model = build bookings in
+      Reservation.next_free_time r [ l1 ] ~from ~duration
+      = Model.next_free_time model ~from ~duration)
+
+let prop_model_bookings =
+  qcheck "bookings list matches the naive model"
+    bookings_gen
+    (fun bookings ->
+      let r, model = build bookings in
+      let got =
+        Reservation.bookings r l1
+        |> List.map (fun (b : Reservation.booking) ->
+               (b.Reservation.start, b.Reservation.finish, b.Reservation.owner))
+        |> List.sort compare
+      in
+      got = List.sort compare model)
+
 let suite =
   [
     Alcotest.test_case "reserve makes busy" `Quick test_reserve_then_busy;
@@ -103,4 +187,8 @@ let suite =
     Alcotest.test_case "next_free_time" `Quick test_next_free_time;
     prop_next_free_is_free;
     prop_disjoint_links_independent;
+    prop_model_is_free;
+    prop_model_conflicts;
+    prop_model_next_free;
+    prop_model_bookings;
   ]

@@ -601,6 +601,79 @@ let timing_benchmarks systems =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Serve: in-process load generation                                   *)
+
+module Serve = Nocplan_serve
+
+type load_result = {
+  load_requests : int;
+  load_clients : int;
+  load_seconds : float;
+  load_failures : int;  (* responses without "ok": true *)
+  load_stats : Serve.Stats.snapshot;
+}
+
+(* Drive the planning service exactly as a socket client would — same
+   protocol lines, concurrent clients — but in-process, so the numbers
+   measure the service (queue, cache, workers), not connection setup.
+   Requests cycle through the reuse counts of one system: after the
+   first miss every request hits the access-table cache, which is the
+   steady state of a long-running server. *)
+let service_load ~requests ~clients =
+  section
+    (Printf.sprintf "serve: in-process load (%d requests, %d clients)"
+       requests clients);
+  let service = Serve.Service.create ~queue_capacity:(max 64 requests) () in
+  let line i =
+    Printf.sprintf
+      "{\"id\": %d, \"op\": \"plan\", \"system\": \"d695_leon\", \"reuse\": %d}"
+      i (i mod 7)
+  in
+  let failures = Atomic.make 0 in
+  let ok_marker = "\"ok\": true" in
+  let contains_ok resp =
+    let n = String.length resp and m = String.length ok_marker in
+    let rec at i = i + m <= n && (String.sub resp i m = ok_marker || at (i + 1)) in
+    at 0
+  in
+  let worker (offset, count) =
+    for k = 0 to count - 1 do
+      let resp = Serve.Service.request service (line (offset + k)) in
+      if not (contains_ok resp) then Atomic.incr failures
+    done
+  in
+  let per_client = requests / clients and extra = requests mod clients in
+  let slices =
+    List.init clients (fun c ->
+        ( (c * per_client) + min c extra,
+          per_client + if c < extra then 1 else 0 ))
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.map (fun s -> Thread.create worker s) slices in
+  List.iter Thread.join threads;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let stats = Serve.Service.stats service in
+  Serve.Service.shutdown service;
+  Fmt.pr "served %d, failed %d, cache %d hits / %d misses in %.3f s \
+          (%.1f req/s)@."
+    stats.Serve.Stats.served stats.Serve.Stats.failed
+    stats.Serve.Stats.cache_hits stats.Serve.Stats.cache_misses seconds
+    (float_of_int requests /. seconds);
+  (match stats.Serve.Stats.latency with
+  | Some q ->
+      Fmt.pr "latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms@."
+        q.Serve.Stats.p50_ms q.Serve.Stats.p90_ms q.Serve.Stats.p99_ms
+        q.Serve.Stats.max_ms
+  | None -> ());
+  {
+    load_requests = requests;
+    load_clients = clients;
+    load_seconds = seconds;
+    load_failures = Atomic.get failures;
+    load_stats = stats;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artefact (BENCH_nocplan.json)                      *)
 
 (* Figure-1 wall time of the SEED scheduler (commit b8727be), recorded
@@ -664,7 +737,7 @@ let json_points buf points =
     points;
   Buffer.add_char buf ']'
 
-let write_json path ~smoke ~figure1_seconds ~panels =
+let write_json path ~smoke ~figure1_seconds ~panels ~load =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
@@ -688,7 +761,26 @@ let write_json path ~smoke ~figure1_seconds ~panels =
       json_points buf constrained.Planner.points;
       Buffer.add_char buf '}')
     panels;
-  Buffer.add_string buf "\n    ]\n  },\n  \"experiments\": [\n";
+  Buffer.add_string buf "\n    ]\n  },\n";
+  let s = load.load_stats in
+  Printf.bprintf buf
+    "  \"serve\": {\n    \"requests\": %d,\n    \"clients\": %d,\n    \
+     \"seconds\": %.4f,\n    \"requests_per_second\": %.1f,\n    \
+     \"failures\": %d,\n    \"served\": %d,\n    \"cache_hits\": %d,\n    \
+     \"cache_misses\": %d,\n"
+    load.load_requests load.load_clients load.load_seconds
+    (float_of_int load.load_requests /. load.load_seconds)
+    load.load_failures s.Serve.Stats.served s.Serve.Stats.cache_hits
+    s.Serve.Stats.cache_misses;
+  (match s.Serve.Stats.latency with
+  | Some q ->
+      Printf.bprintf buf
+        "    \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
+         \"max\": %.3f}\n"
+        q.Serve.Stats.p50_ms q.Serve.Stats.p90_ms q.Serve.Stats.p99_ms
+        q.Serve.Stats.max_ms
+  | None -> Buffer.add_string buf "    \"latency_ms\": null\n");
+  Buffer.add_string buf "  },\n  \"experiments\": [\n";
   List.iteri
     (fun i (name, seconds) ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -707,18 +799,28 @@ let write_json path ~smoke ~figure1_seconds ~panels =
 let () =
   let smoke = ref false in
   let json_path = ref "BENCH_nocplan.json" in
+  let load_requests = ref None in
+  let load_clients = ref 4 in
   Arg.parse
     [
       ( "--smoke",
         Arg.Set smoke,
-        " quick run: Figure-1 sweeps and the JSON artefact only" );
+        " quick run: Figure-1 sweeps, a small service load and the JSON \
+         artefact only" );
       ( "--json",
         Arg.Set_string json_path,
         "PATH write the machine-readable results there (default \
          BENCH_nocplan.json)" );
+      ( "--load",
+        Arg.Int (fun n -> load_requests := Some n),
+        "N requests for the planning-service load generator (default: 40 \
+         smoke, 200 full)" );
+      ( "--clients",
+        Arg.Set_int load_clients,
+        "N concurrent load-generator clients (default 4)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke] [--json PATH]";
+    "bench [--smoke] [--json PATH] [--load N] [--clients N]";
   Fmt.pr "nocplan reproduction harness%s@."
     (if !smoke then " (smoke)" else "");
   let systems =
@@ -758,4 +860,14 @@ let () =
   let figure1_seconds, panels =
     figure1_timing systems ~reps:(if !smoke then 1 else 3)
   in
-  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels
+  let requests =
+    match !load_requests with
+    | Some n -> max 1 n
+    | None -> if !smoke then 40 else 200
+  in
+  let load =
+    timed "serve:load"
+      (fun () ->
+        service_load ~requests ~clients:(max 1 (min requests !load_clients)))
+  in
+  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load

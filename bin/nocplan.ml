@@ -2,60 +2,67 @@
 
    Command-line front end over the nocplan_core planner: inspect
    benchmarks, characterize the NoC and the processors, produce single
-   schedules and run the paper's sweeps. *)
+   schedules, run the paper's sweeps, and host the concurrent planning
+   service. *)
 
 module Itc02 = Nocplan_itc02
 module Noc = Nocplan_noc
 module Proc = Nocplan_proc
 module Core = Nocplan_core
+module Serve = Nocplan_serve
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes                                                         *)
+
+(* Scripts driving nocplan (CI included) distinguish "you asked for
+   something malformed" from "the instance is infeasible". *)
+let exit_parse = 2
+let exit_unschedulable = 3
+
+let exits =
+  Cmd.Exit.info exit_parse
+    ~doc:
+      "on malformed input: unknown system, unreadable or invalid benchmark \
+       description, invalid generation profile."
+  :: Cmd.Exit.info exit_unschedulable
+       ~doc:"when the planner proves the requested instance unschedulable."
+  :: Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
+
+let parse_fail msg =
+  Fmt.epr "nocplan: %s@." msg;
+  exit_parse
+
+let plan_fail msg =
+  Fmt.epr "nocplan: unschedulable: %s@." msg;
+  exit_unschedulable
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsing                                            *)
 
-let builtin_systems () = Core.Experiments.all ()
-
-let load_soc spec =
-  match Itc02.Benchmarks.find spec with
-  | Some soc -> Ok soc
-  | None -> (
-      match Itc02.Parser.of_file spec with
-      | Ok soc -> Ok soc
-      | Error e ->
-          Error
-            (Fmt.str "%s is neither a builtin benchmark (%s) nor a readable \
-                      description: %a"
-               spec
-               (String.concat ", " Itc02.Benchmarks.names)
-               Itc02.Parser.pp_error e))
-
 let load_system ~spec ~width ~height ~leons ~plasmas =
-  match List.assoc_opt spec (builtin_systems ()) with
-  | Some system -> Ok system
-  | None -> (
-      match load_soc spec with
-      | Error _ as e -> e
-      | Ok soc ->
-          let processors =
-            List.init leons (fun _ -> Proc.Processor.leon ~id:1)
-            @ List.init plasmas (fun _ -> Proc.Processor.plasma ~id:1)
-          in
-          let modules = Itc02.Soc.module_count soc + leons + plasmas in
-          let width, height =
-            match (width, height) with
-            | Some w, Some h -> (w, h)
-            | _ ->
-                (* Smallest near-square mesh covering one module per
-                   tile when possible. *)
-                let side = int_of_float (ceil (sqrt (float_of_int modules))) in
-                (side, side)
-          in
-          let topology = Noc.Topology.make ~width ~height in
-          let input = Noc.Coord.make ~x:0 ~y:0 in
-          let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
-          Ok
-            (Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
-               ~io_outputs:[ output ] ()))
+  (* A spec naming neither a builtin system nor a corpus benchmark may
+     be a description file; its text goes through the same inline path
+     the planning service uses. *)
+  let is_named =
+    Option.is_some (Serve.Sysbuild.builtin_system spec)
+    || Option.is_some (Itc02.Benchmarks.find spec)
+  in
+  if (not is_named) && Sys.file_exists spec then
+    match In_channel.with_open_text spec In_channel.input_all with
+    | text ->
+        Result.map_error
+          (fun e -> Fmt.str "%s: %s" spec e)
+          (Serve.Sysbuild.build
+             { Serve.Sysbuild.system = spec; soc_text = Some text; width;
+               height; leons; plasmas })
+    | exception Sys_error msg -> Error msg
+  else
+    Serve.Sysbuild.build
+      { Serve.Sysbuild.system = spec; soc_text = None; width; height; leons;
+        plasmas }
 
 let system_spec =
   let doc =
@@ -104,25 +111,22 @@ let reuse_arg =
   Arg.(value & opt (some int) None & info [ "reuse" ] ~docv:"N"
          ~doc:"Number of processors reused for test (default: all).")
 
-let err msg =
-  `Error (false, msg)
-
 (* ------------------------------------------------------------------ *)
 (* show                                                               *)
 
 let show_cmd =
   let run spec width height leons plasmas =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system ->
         Fmt.pr "%a@." Core.System.pp system;
-        `Ok ()
+        0
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg)
   in
-  Cmd.v (Cmd.info "show" ~doc:"Describe a system: modules, placement, ports.")
+  Cmd.v (cmd_info "show" ~doc:"Describe a system: modules, placement, ports.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +136,7 @@ let plan_cmd =
   let run spec width height leons plasmas policy application power reuse gantt
       resources json csv =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         let reuse =
           match reuse with
@@ -143,14 +147,13 @@ let plan_cmd =
           Core.Planner.schedule ~policy ~application ?power_limit_pct:power
             ~reuse system
         with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | sched when json ->
             print_string (Core.Export.schedule_json system sched);
-            `Ok ()
+            0
         | sched when csv ->
             print_string (Core.Export.schedule_csv system sched);
-            `Ok ()
+            0
         | sched ->
             Fmt.pr "%a@." Core.Schedule.pp sched;
             if gantt then
@@ -171,7 +174,7 @@ let plan_cmd =
                 Fmt.pr "@[<v>schedule INVALID:@,%a@]@."
                   (Fmt.list ~sep:Fmt.cut Core.Schedule.pp_violation)
                   vs);
-            `Ok ())
+            0)
   in
   let gantt_arg =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
@@ -187,11 +190,11 @@ let plan_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit the schedule as CSV.")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-               $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+          $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg)
   in
-  Cmd.v (Cmd.info "plan" ~doc:"Produce and validate one test schedule.") term
+  Cmd.v (cmd_info "plan" ~doc:"Produce and validate one test schedule.") term
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -199,7 +202,7 @@ let plan_cmd =
 let stats_cmd =
   let run spec width height leons plasmas policy application power reuse vcd =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         let reuse =
           match reuse with
@@ -210,8 +213,7 @@ let stats_cmd =
           Core.Planner.schedule ~policy ~application ?power_limit_pct:power
             ~reuse system
         with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | sched ->
             Fmt.pr "%a@." Core.Metrics.pp
               (Core.Metrics.of_schedule system ~reuse sched);
@@ -220,19 +222,19 @@ let stats_cmd =
                 Core.Vcd.to_file path system ~reuse sched;
                 Fmt.pr "waveform written to %s@." path
             | None -> ());
-            `Ok ())
+            0)
   in
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
            ~doc:"Also dump the schedule as a VCD waveform.")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-               $ reuse_arg $ vcd_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+          $ reuse_arg $ vcd_arg)
   in
   Cmd.v
-    (Cmd.info "stats"
+    (cmd_info "stats"
        ~doc:"Schedule quality metrics (concurrency, utilization, power).")
     term
 
@@ -242,7 +244,7 @@ let stats_cmd =
 let anneal_cmd =
   let run spec width height leons plasmas power reuse iterations seed =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         let reuse =
           match reuse with
@@ -258,8 +260,7 @@ let anneal_cmd =
           Core.Annealing.schedule ~power_limit ~iterations
             ~seed:(Int64.of_int seed) ~reuse system
         with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | r ->
             Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
             Fmt.pr
@@ -269,7 +270,7 @@ let anneal_cmd =
               r.Core.Annealing.schedule.Core.Schedule.makespan
               (Core.Annealing.improvement_pct r)
               r.Core.Annealing.evaluations r.Core.Annealing.accepted;
-            `Ok ())
+            0)
   in
   let iterations_arg =
     Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N"
@@ -280,12 +281,12 @@ let anneal_cmd =
            ~doc:"Deterministic search seed.")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
-               $ seed_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
+          $ seed_arg)
   in
   Cmd.v
-    (Cmd.info "anneal"
+    (cmd_info "anneal"
        ~doc:"Improve the test order by simulated annealing.")
     term
 
@@ -295,7 +296,7 @@ let anneal_cmd =
 let replay_cmd =
   let run spec width height leons plasmas reuse max_patterns =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         let system = Core.Schedule_sim.downscale ~max_patterns system in
         let reuse =
@@ -304,23 +305,22 @@ let replay_cmd =
           | None -> List.length system.Core.System.processors
         in
         match Core.Planner.schedule ~reuse system with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | sched ->
             let report = Core.Schedule_sim.replay system sched in
             Fmt.pr "%a@." Core.Schedule_sim.pp_report report;
-            `Ok ())
+            0)
   in
   let max_patterns_arg =
     Arg.(value & opt int 20 & info [ "max-patterns" ] ~docv:"N"
            ~doc:"Cap pattern counts before replay (flit-level cost).")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ reuse_arg $ max_patterns_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ reuse_arg $ max_patterns_arg)
   in
   Cmd.v
-    (Cmd.info "replay"
+    (cmd_info "replay"
        ~doc:
          "Cross-validate the cost model: execute a (downscaled) schedule on \
           the flit-level simulator.")
@@ -332,7 +332,7 @@ let replay_cmd =
 let optimal_cmd =
   let run spec width height leons plasmas power reuse max_nodes =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         let reuse =
           match reuse with
@@ -347,8 +347,7 @@ let optimal_cmd =
         match
           Core.Exhaustive.schedule ~power_limit ~max_nodes ~reuse system
         with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | r ->
             let greedy =
               Core.Scheduler.run system
@@ -362,18 +361,18 @@ let optimal_cmd =
               (if r.Core.Exhaustive.exact then "optimal"
                else "node budget exhausted")
               r.Core.Exhaustive.nodes;
-            `Ok ())
+            0)
   in
   let max_nodes_arg =
     Arg.(value & opt int 300_000 & info [ "max-nodes" ] ~docv:"N"
            ~doc:"Branch-and-bound node budget.")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ power_arg $ reuse_arg $ max_nodes_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ power_arg $ reuse_arg $ max_nodes_arg)
   in
   Cmd.v
-    (Cmd.info "optimal"
+    (cmd_info "optimal"
        ~doc:"Certified-optimal schedule for small systems (branch and bound).")
     term
 
@@ -383,32 +382,31 @@ let optimal_cmd =
 let sweep_cmd =
   let run spec width height leons plasmas policy application power csv =
     match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> err msg
+    | Error msg -> parse_fail msg
     | Ok system -> (
         match
           Core.Planner.reuse_sweep ~policy ~application ?power_limit_pct:power
             system
         with
-        | exception Core.Scheduler.Unschedulable msg ->
-            err ("unschedulable: " ^ msg)
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | sweep ->
             if csv then print_string (Core.Report.sweep_csv sweep)
             else begin
               Fmt.pr "%a@." Core.Planner.pp_sweep sweep;
               Fmt.pr "%a@." Core.Report.pp_headline (Core.Report.headline sweep)
             end;
-            `Ok ())
+            0)
   in
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
   let term =
-    Term.(ret (const run $ system_spec $ width_arg $ height_arg $ leons_arg
-               $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-               $ csv_arg))
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+          $ csv_arg)
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (cmd_info "sweep"
        ~doc:"Test time for every processor-reuse count (Figure 1 series).")
     term
 
@@ -433,11 +431,11 @@ let characterize_cmd =
     List.iter
       (fun p -> Fmt.pr "%a@.@." Proc.Processor.pp p)
       [ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ];
-    `Ok ()
+    0
   in
-  let term = Term.(ret (const run $ width_arg $ height_arg)) in
+  let term = Term.(const run $ width_arg $ height_arg) in
   Cmd.v
-    (Cmd.info "characterize"
+    (cmd_info "characterize"
        ~doc:"Measure NoC timing/power and processor test applications.")
     term
 
@@ -459,16 +457,16 @@ let generate_cmd =
       }
     in
     match Itc02.Data_gen.generate profile with
-    | exception Invalid_argument msg -> err msg
+    | exception Invalid_argument msg -> parse_fail msg
     | soc -> (
         match output with
         | Some path ->
             Itc02.Printer.to_file path soc;
             Fmt.pr "%a@.written to %s@." Itc02.Soc.pp_summary soc path;
-            `Ok ()
+            0
         | None ->
             print_string (Itc02.Printer.to_string soc);
-            `Ok ())
+            0)
   in
   let name_arg =
     Arg.(value & opt string "synthetic" & info [ "name" ] ~docv:"NAME"
@@ -507,12 +505,12 @@ let generate_cmd =
            ~doc:"Write the description to a file instead of stdout.")
   in
   let term =
-    Term.(ret (const run $ name_arg $ seed_arg $ scan_arg $ comb_arg
-               $ cells_arg $ chains_arg $ min_patterns_arg $ max_patterns_arg
-               $ output_arg))
+    Term.(const run $ name_arg $ seed_arg $ scan_arg $ comb_arg
+          $ cells_arg $ chains_arg $ min_patterns_arg $ max_patterns_arg
+          $ output_arg)
   in
   Cmd.v
-    (Cmd.info "generate"
+    (cmd_info "generate"
        ~doc:"Generate a deterministic synthetic benchmark description.")
     term
 
@@ -536,16 +534,94 @@ let corpus_cmd =
           (Itc02.Soc.total_test_bits soc)
           (Itc02.Soc.total_test_power soc))
       (Itc02.Benchmarks.all ());
-    `Ok ()
+    0
   in
   Cmd.v
-    (Cmd.info "corpus" ~doc:"List the embedded ITC'02 benchmark corpus.")
-    Term.(ret (const run $ const ()))
+    (cmd_info "corpus" ~doc:"List the embedded ITC'02 benchmark corpus.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+
+let serve_cmd =
+  let run socket workers queue cache verbosity =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level
+      (Some
+         (match verbosity with
+         | [] -> Logs.Warning
+         | [ _ ] -> Logs.Info
+         | _ -> Logs.Debug));
+    (match socket with
+    | None ->
+        let service =
+          Serve.Service.create ?workers ~queue_capacity:queue
+            ~cache_capacity:cache ()
+        in
+        Serve.Server.serve_stdio service;
+        Serve.Service.shutdown service
+    | Some path ->
+        (* Take SIGINT/SIGTERM synchronously in a dedicated thread.  A
+           Sys.Signal_handle callback only runs at an OCaml safepoint,
+           and an idle server has every thread blocked in accept or a
+           condition wait — the callback would never fire.  Blocking
+           the signals here, before any worker or handler thread is
+           spawned, makes every descendant inherit the mask. *)
+        ignore (Thread.sigmask SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+        let service =
+          Serve.Service.create ?workers ~queue_capacity:queue
+            ~cache_capacity:cache ()
+        in
+        let listener = Serve.Server.listen service ~path in
+        let _stopper =
+          Thread.create
+            (fun () ->
+              ignore (Thread.wait_signal [ Sys.sigint; Sys.sigterm ]);
+              Serve.Server.stop listener)
+            ()
+        in
+        Serve.Server.wait listener;
+        Serve.Service.shutdown service);
+    0
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
+                 serving stdin/stdout.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains (default: recommended domain count - 1, \
+                 at least 1; clamped to the recommended count).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Job queue capacity; a full queue rejects requests with an \
+                 overload error.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N"
+           ~doc:"Access-table cache capacity (systems retained).")
+  in
+  let verbose_arg =
+    Arg.(value & flag_all & info [ "v"; "verbose" ]
+           ~doc:"Log requests to stderr (repeat for debug logging).")
+  in
+  let term =
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
+          $ verbose_arg)
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Run the concurrent planning service: JSON-lines requests over \
+          stdin/stdout or a Unix-domain socket.")
+    term
 
 let main =
   let doc = "test planning for NoC-based SoCs with processor reuse" in
   Cmd.group
-    (Cmd.info "nocplan" ~version:"1.0.0" ~doc)
+    (Cmd.info "nocplan" ~version:"1.0.0" ~doc ~exits)
     [
       show_cmd;
       plan_cmd;
@@ -557,6 +633,7 @@ let main =
       anneal_cmd;
       generate_cmd;
       corpus_cmd;
+      serve_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -38,7 +38,11 @@ val reuse_sweep :
     OCaml domains (the points are independent; the result is identical
     to the sequential sweep).  Worth it only for expensive sweeps on a
     multicore host — domain spawn overhead dominates sub-second
-    sweeps.  @raise Invalid_argument if [domains < 1].
+    sweeps.  Counts above [Domain.recommended_domain_count ()] are
+    clamped to it: extra domains cannot run in parallel anyway and
+    only add spawn and contention overhead, and the sweep result does
+    not depend on the count.  @raise Invalid_argument if
+    [domains < 1].
 
     [access] shares a precomputed {!Test_access.table} across several
     sweeps of the same system (e.g. an unconstrained and a

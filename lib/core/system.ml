@@ -142,6 +142,62 @@ let power_limit_of_pct t ~pct =
   if pct <= 0.0 then invalid_arg "System.power_limit_of_pct: pct must be > 0";
   pct /. 100.0 *. Soc.total_test_power t.soc
 
+(* Canonical serialization for {!fingerprint}.  Every field that can
+   change the cost model or the schedulers' behaviour is rendered into
+   the buffer in a fixed order; floats use %h (exact hex) so distinct
+   values never collapse. *)
+let fingerprint t =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.bprintf b fmt in
+  let coord (c : Coord.t) = Printf.sprintf "%d.%d" c.Coord.x c.Coord.y in
+  add "soc %s\n" t.soc.Soc.name;
+  List.iter
+    (fun (m : Module_def.t) ->
+      add "m %d %s %d/%d/%d [%s] p%d w%h par%s\n" m.Module_def.id
+        m.Module_def.name m.Module_def.inputs m.Module_def.outputs
+        m.Module_def.bidirs
+        (String.concat "," (List.map string_of_int m.Module_def.scan_chains))
+        m.Module_def.patterns m.Module_def.test_power
+        (match m.Module_def.parent with
+        | None -> "-"
+        | Some p -> string_of_int p))
+    t.soc.Soc.modules;
+  add "topo %s %dx%d\n"
+    (match t.topology.Topology.kind with
+    | Topology.Mesh -> "mesh"
+    | Topology.Torus -> "torus")
+    t.topology.Topology.width t.topology.Topology.height;
+  add "lat %d %d\n" t.latency.Latency.routing_latency
+    t.latency.Latency.flow_latency;
+  add "pow %h\n" t.noc_power.Power.router_stream_power;
+  add "flit %d\n" t.flit_width;
+  List.iter
+    (fun id -> add "at %d %s\n" id (coord (Placement.coord t.placement id)))
+    (List.sort compare (Placement.module_ids t.placement));
+  List.iter
+    (fun p ->
+      let ch (c : Nocplan_proc.Characterization.t) =
+        Printf.sprintf "%s %h %d %d %h"
+          c.Nocplan_proc.Characterization.application
+          c.Nocplan_proc.Characterization.cycles_per_pattern
+          c.Nocplan_proc.Characterization.setup_cycles
+          c.Nocplan_proc.Characterization.memory_words
+          c.Nocplan_proc.Characterization.power
+      in
+      add "proc %d %s %s %s mem%d act%h {%s|%s|%s}\n" p.module_id
+        p.processor.Processor.name p.processor.Processor.isa_family
+        (coord p.coord)
+        p.processor.Processor.memory_capacity_words
+        p.processor.Processor.power_active
+        (ch p.processor.Processor.bist)
+        (ch p.processor.Processor.sink)
+        (ch p.processor.Processor.decompression))
+    t.processors;
+  add "in %s\n" (String.concat " " (List.map coord t.io_inputs));
+  add "out %s\n" (String.concat " " (List.map coord t.io_outputs));
+  Link.Set.iter (fun l -> add "fail %s\n" (Fmt.str "%a" Link.pp l)) t.failed_links;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>system %s: %a, flit width %d, %d processors, %d in / %d out ports@,%a@,placement: %a@]"

@@ -89,4 +89,15 @@ val power_limit_of_pct : t -> pct:float -> float
 val with_failed_links : t -> Nocplan_noc.Link.t list -> t
 (** The same system with these channels additionally marked faulty. *)
 
+val fingerprint : t -> string
+(** Hex digest of a canonical serialization of everything that affects
+    planning: the SoC (every module's terminals, scan chains, patterns,
+    power, hierarchy), the NoC configuration (topology, latency, power,
+    flit width), the placement, the processors (characterizations,
+    memory, placement), the IO ports and the failed links.  Two systems
+    built from the same description hash identically even when they are
+    distinct values — the key the planning service's access-table cache
+    uses ({!Test_access.table} itself demands physical equality, so the
+    cache stores the system alongside its table). *)
+
 val pp : t Fmt.t

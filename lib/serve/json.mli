@@ -1,0 +1,47 @@
+(** Minimal JSON for the planning-service protocol.
+
+    The repository deliberately depends only on the OCaml platform
+    basics (see DESIGN.md, Dependencies), so the service speaks JSON
+    through this ~200-line RFC 8259 subset instead of pulling in a
+    parser dependency: objects, arrays, strings (with escapes and
+    basic-multilingual-plane [\uXXXX] sequences), numbers, booleans
+    and null.  Output is compact (single line, no trailing spaces) and
+    deterministic — object fields print in construction order — so
+    responses can be compared byte-for-byte in tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** pre-rendered JSON spliced verbatim into the output — used to
+          embed {!Nocplan_core.Export} documents without re-parsing.
+          Never produced by {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Trailing non-whitespace is an error.
+    Numbers without [.], [e] or [E] parse as [Int]; everything else as
+    [Float]. *)
+
+val to_string : t -> string
+(** Compact, deterministic rendering.  [Raw] fragments are emitted
+    verbatim; strings are escaped per RFC 8259. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields or non-objects. *)
+
+(** {2 Typed field accessors} — [None] when the field is missing or of
+    the wrong type. *)
+
+val str_field : string -> t -> string option
+val int_field : string -> t -> int option
+val float_field : string -> t -> float option
+(** Accepts both [Int] and [Float] fields. *)
+
+val escape : string -> string
+(** The body of a JSON string literal for [s] (no surrounding
+    quotes). *)

@@ -1,0 +1,160 @@
+module Core = Nocplan_core
+module Proc = Nocplan_proc
+
+let version = 1
+
+type op = Plan | Sweep | Validate | Metrics
+
+type request = {
+  id : Json.t;
+  op : op;
+  spec : Sysbuild.spec option;
+  policy : Core.Scheduler.policy;
+  application : Proc.Processor.application;
+  power_pct : float option;
+  reuse : int option;
+  max_reuse : int option;
+  deadline_ms : float option;
+}
+
+type error_kind = Parse | Unschedulable | Timeout | Overload | Internal
+
+let op_label = function
+  | Plan -> "plan"
+  | Sweep -> "sweep"
+  | Validate -> "validate"
+  | Metrics -> "metrics"
+
+let error_kind_label = function
+  | Parse -> "parse"
+  | Unschedulable -> "unschedulable"
+  | Timeout -> "timeout"
+  | Overload -> "overload"
+  | Internal -> "internal"
+
+let ( let* ) = Result.bind
+
+let parse_request line =
+  let* json = Json.parse line in
+  let* () =
+    match json with
+    | Json.Obj _ -> Ok ()
+    | _ -> Error "request must be a JSON object"
+  in
+  let* () =
+    match Json.member "v" json with
+    | None | Some (Json.Int 1) -> Ok ()
+    | Some v ->
+        Error
+          (Printf.sprintf "unsupported protocol version %s (this server: %d)"
+             (Json.to_string v) version)
+  in
+  let id = Option.value (Json.member "id" json) ~default:Json.Null in
+  let* op =
+    match Json.str_field "op" json with
+    | Some "plan" -> Ok Plan
+    | Some "sweep" -> Ok Sweep
+    | Some "validate" -> Ok Validate
+    | Some "metrics" -> Ok Metrics
+    | Some other -> Error (Printf.sprintf "unknown op %S" other)
+    | None -> Error "missing op field"
+  in
+  let* policy =
+    match Json.str_field "policy" json with
+    | None -> Ok Core.Scheduler.Greedy
+    | Some "greedy" -> Ok Core.Scheduler.Greedy
+    | Some "lookahead" -> Ok Core.Scheduler.Lookahead
+    | Some other -> Error (Printf.sprintf "unknown policy %S" other)
+  in
+  let* application =
+    match Json.str_field "application" json with
+    | None -> Ok Proc.Processor.Bist
+    | Some "bist" -> Ok Proc.Processor.Bist
+    | Some "decompress" -> Ok Proc.Processor.Decompression
+    | Some other -> Error (Printf.sprintf "unknown application %S" other)
+  in
+  let int_opt name =
+    match Json.member name json with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int i) -> Ok (Some i)
+    | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  in
+  let float_opt name =
+    match Json.member name json with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int i) -> Ok (Some (float_of_int i))
+    | Some (Json.Float f) -> Ok (Some f)
+    | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  in
+  let* width = int_opt "width" in
+  let* height = int_opt "height" in
+  let* leons = int_opt "leons" in
+  let* plasmas = int_opt "plasmas" in
+  let* reuse = int_opt "reuse" in
+  let* max_reuse = int_opt "max_reuse" in
+  let* power_pct = float_opt "power_pct" in
+  let* deadline_ms = float_opt "deadline_ms" in
+  let soc_text = Json.str_field "soc" json in
+  let system = Json.str_field "system" json in
+  let* spec =
+    match (op, system, soc_text) with
+    | Metrics, _, _ -> Ok None
+    | _, None, None -> Error "missing system (or inline soc) field"
+    | _, system, soc_text ->
+        Ok
+          (Some
+             {
+               Sysbuild.system = Option.value system ~default:"";
+               soc_text;
+               width;
+               height;
+               leons = Option.value leons ~default:0;
+               plasmas = Option.value plasmas ~default:0;
+             })
+  in
+  Ok
+    {
+      id;
+      op;
+      spec;
+      policy;
+      application;
+      power_pct;
+      reuse;
+      max_reuse;
+      deadline_ms;
+    }
+
+let ok_response ~id ~op ~cache ~elapsed_ms result =
+  let fields =
+    [
+      ("v", Json.Int version);
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("op", Json.String (op_label op));
+    ]
+    @ (match cache with
+      | `Hit -> [ ("cache", Json.String "hit") ]
+      | `Miss -> [ ("cache", Json.String "miss") ]
+      | `None -> [])
+    @ [
+        ("elapsed_ms", Json.Float (Float.round (elapsed_ms *. 1000.) /. 1000.));
+        ("result", result);
+      ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let error_response ~id kind message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int version);
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("kind", Json.String (error_kind_label kind));
+               ("message", Json.String message);
+             ] );
+       ])

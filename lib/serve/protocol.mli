@@ -1,0 +1,76 @@
+(** The planning service's versioned JSON-lines protocol.
+
+    One request per line, one response per line.  Responses carry the
+    request's [id] and may arrive out of order (requests are pipelined
+    through the worker pool), so clients correlate by [id].
+
+    Request fields (protocol version 1):
+    {v
+    { "v": 1,                  // optional, defaults to 1
+      "id": "r1",              // echoed verbatim (any JSON value)
+      "op": "plan",            // plan | sweep | validate | metrics
+      "system": "d695_leon",   // builtin system or corpus benchmark
+      "soc": "Soc x\n...",     // inline description, instead of system
+      "width": 4, "height": 4, // mesh dims (non-builtin systems)
+      "leons": 2, "plasmas": 0,// processors to embed (default 0)
+      "policy": "greedy",      // or "lookahead"
+      "application": "bist",   // or "decompress"
+      "power_pct": 25.0,       // power limit, % of total core power
+      "reuse": 3,              // plan/validate (default: all)
+      "max_reuse": 6,          // sweep (default: all)
+      "deadline_ms": 5000 }    // per-request deadline
+    v}
+
+    Success response:
+    {v
+    { "v": 1, "id": "r1", "ok": true, "op": "plan",
+      "cache": "hit",          // access-table cache: hit | miss
+      "elapsed_ms": 12.5, "result": { ... } }
+    v}
+
+    Error response:
+    {v
+    { "v": 1, "id": "r1", "ok": false,
+      "error": { "kind": "timeout", "message": "..." } }
+    v}
+
+    Error kinds: [parse] (malformed request or system description),
+    [unschedulable] (the planner proved the instance infeasible),
+    [timeout] (deadline exceeded), [overload] (queue full — retry
+    later), [internal]. *)
+
+val version : int
+
+type op = Plan | Sweep | Validate | Metrics
+
+type request = {
+  id : Json.t;  (** echoed verbatim; [Null] when absent *)
+  op : op;
+  spec : Sysbuild.spec option;  (** [None] only for [Metrics] *)
+  policy : Nocplan_core.Scheduler.policy;
+  application : Nocplan_proc.Processor.application;
+  power_pct : float option;
+  reuse : int option;
+  max_reuse : int option;
+  deadline_ms : float option;
+}
+
+val parse_request : string -> (request, string) result
+(** Parse and validate one request line.  Unknown fields are ignored
+    (minor protocol evolutions stay compatible); an unsupported ["v"]
+    is an error. *)
+
+type error_kind = Parse | Unschedulable | Timeout | Overload | Internal
+
+val ok_response :
+  id:Json.t ->
+  op:op ->
+  cache:[ `Hit | `Miss | `None ] ->
+  elapsed_ms:float ->
+  Json.t ->
+  string
+(** Render a success response line (no trailing newline). *)
+
+val error_response : id:Json.t -> error_kind -> string -> string
+val op_label : op -> string
+val error_kind_label : error_kind -> string

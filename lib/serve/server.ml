@@ -1,0 +1,116 @@
+module Log = (val Logs.src_log Service.log_src)
+
+(* ------------------------------------------------------------------ *)
+(* Stdio transport                                                    *)
+
+let serve_stdio service =
+  let out_mutex = Mutex.create () in
+  let respond line =
+    Mutex.lock out_mutex;
+    print_string line;
+    print_newline ();
+    flush stdout;
+    Mutex.unlock out_mutex
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then Service.handle_line service line respond
+     done
+   with End_of_file -> ());
+  Service.drain service
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain socket transport                                       *)
+
+type listener = {
+  fd : Unix.file_descr;
+  path : string;
+  accept_thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let handle_connection service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let out_mutex = Mutex.create () in
+  let closed = Atomic.make false in
+  let respond line =
+    Mutex.lock out_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_mutex)
+      (fun () ->
+        if not (Atomic.get closed) then begin
+          try
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ | Unix.Unix_error _ ->
+            (* Client went away; drop this and subsequent responses. *)
+            Atomic.set closed true
+        end)
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then Service.handle_line service line respond
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (* Give in-flight jobs their chance to respond before the channel
+     dies; the respond closure swallows write failures either way. *)
+  Service.drain service;
+  Atomic.set closed true;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop service ~fd:listen_fd ~stopping () =
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        if Atomic.get stopping then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ())
+        else begin
+          Log.debug (fun m -> m "accepted connection");
+          ignore (Thread.create (handle_connection service) fd);
+          loop ()
+        end
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (e, _, _) ->
+        if not (Atomic.get stopping) then
+          Log.err (fun m -> m "accept failed: %s" (Unix.error_message e))
+  in
+  loop ()
+
+let listen service ~path =
+  (try Sys.signal Sys.sigpipe Sys.Signal_ignore |> ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Log.info (fun m -> m "listening on %s" path);
+  let stopping = Atomic.make false in
+  let accept_thread = Thread.create (accept_loop service ~fd ~stopping) () in
+  { fd; path; accept_thread; stopping }
+
+let stop listener =
+  if not (Atomic.exchange listener.stopping true) then begin
+    (* Wake the blocking accept with a throwaway connection, then pull
+       the socket out from under it. *)
+    (try
+       let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+       (try Unix.connect fd (ADDR_UNIX listener.path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close listener.fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink listener.path with Unix.Unix_error _ | Sys_error _ -> ());
+    Log.info (fun m -> m "listener on %s stopped" listener.path)
+  end
+
+let wait listener = Thread.join listener.accept_thread

@@ -1,0 +1,30 @@
+(** Transports for the planning service: stdio and Unix-domain socket.
+
+    Both speak the JSON-lines protocol of {!Protocol}: one request per
+    line in, one response per line out.  Responses from the worker pool
+    are interleaved as they complete, so they may arrive out of request
+    order — clients correlate by [id]. *)
+
+val serve_stdio : Service.t -> unit
+(** Read request lines from [stdin] until EOF, writing responses to
+    [stdout] (each followed by a newline, flushed).  Drains the
+    service before returning so no admitted request is dropped. *)
+
+type listener
+
+val listen : Service.t -> path:string -> listener
+(** Bind and listen on a Unix-domain socket at [path] (any stale
+    socket file there is removed first), accepting connections on a
+    background thread.  Each connection is handled by its own thread
+    speaking the same line protocol; a client disconnecting mid-burst
+    only loses its own responses.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : listener -> unit
+(** Stop accepting, close the listening socket and remove the socket
+    file.  Established connections are left to finish their in-flight
+    lines.  Idempotent. *)
+
+val wait : listener -> unit
+(** Block until the accept loop has exited (after {!stop}, or a fatal
+    accept error). *)

@@ -1,0 +1,322 @@
+module Core = Nocplan_core
+
+let log_src =
+  Logs.Src.create "nocplan.serve" ~doc:"Planning service requests"
+
+module Log = (val Logs.src_log log_src)
+
+exception Expired
+(* Raised by the cooperative deadline checks below; never escapes
+   [run_job]. *)
+
+type job = {
+  req : Protocol.request;
+  respond : string -> unit;
+  enqueued_at : float;
+  deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+}
+
+type t = {
+  queue : job Job_queue.t;
+  cache : Table_cache.t;
+  stats : Stats.t;
+  mutable workers : unit Domain.t list;
+  (* Requests admitted but not yet responded to, for [drain]. *)
+  pending_mutex : Mutex.t;
+  pending_cond : Condition.t;
+  mutable pending : int;
+  mutable stopped : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                  *)
+
+let snapshot t =
+  Stats.snapshot t.stats ~cache_hits:(Table_cache.hits t.cache)
+    ~cache_misses:(Table_cache.misses t.cache)
+    ~queue_depth:(Job_queue.depth t.queue)
+    ~workers:(List.length t.workers)
+
+(* One sweep point, mirroring Planner.run_point: schedule, re-validate
+   independently, record the peak power. *)
+let point ~access system ~policy ~application ~power_limit ~reuse =
+  let config =
+    Core.Scheduler.config ~policy ~application ~power_limit ~reuse ()
+  in
+  let sched = Core.Scheduler.run ~access system config in
+  let validated =
+    match
+      Core.Schedule.validate ~access system ~application ~power_limit ~reuse
+        sched
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  {
+    Core.Planner.reuse;
+    makespan = sched.Core.Schedule.makespan;
+    peak_power = Core.Metrics.peak_power sched.Core.Schedule.entries;
+    validated;
+  }
+
+let execute t (req : Protocol.request) ~check =
+  match req.op with
+  | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
+  | Protocol.Plan | Protocol.Validate | Protocol.Sweep -> (
+      let spec =
+        match req.spec with
+        | Some s -> s
+        | None -> invalid_arg "Service.execute: planning request without spec"
+      in
+      check ();
+      match Sysbuild.build spec with
+      | Error msg -> Error (Protocol.Parse, msg)
+      | Ok system -> (
+          check ();
+          let system, access, hit =
+            Table_cache.find_or_build t.cache system
+              ~application:req.application
+          in
+          let cache = if hit then `Hit else `Miss in
+          check ();
+          let power_limit =
+            Option.map
+              (fun pct -> Core.System.power_limit_of_pct system ~pct)
+              req.power_pct
+          in
+          let all = List.length system.Core.System.processors in
+          let policy = req.policy and application = req.application in
+          match req.op with
+          | Protocol.Metrics -> assert false
+          | Protocol.Plan ->
+              let reuse = Option.value req.reuse ~default:all in
+              let config =
+                Core.Scheduler.config ~policy ~application ~power_limit ~reuse
+                  ()
+              in
+              let sched = Core.Scheduler.run ~access system config in
+              (* Export documents end in a newline; the protocol is
+                 one line per response, so splice them trimmed. *)
+              Ok
+                ( Json.Raw (String.trim (Core.Export.schedule_json system sched)),
+                  cache )
+          | Protocol.Validate ->
+              let reuse = Option.value req.reuse ~default:all in
+              let config =
+                Core.Scheduler.config ~policy ~application ~power_limit ~reuse
+                  ()
+              in
+              let sched = Core.Scheduler.run ~access system config in
+              check ();
+              let valid, violations =
+                match
+                  Core.Schedule.validate ~access system ~application
+                    ~power_limit ~reuse sched
+                with
+                | Ok () -> (true, [])
+                | Error vs ->
+                    ( false,
+                      List.map
+                        (fun v ->
+                          Json.String
+                            (Fmt.str "%a" Core.Schedule.pp_violation v))
+                        vs )
+              in
+              Ok
+                ( Json.Obj
+                    [
+                      ("valid", Json.Bool valid);
+                      ("makespan", Json.Int sched.Core.Schedule.makespan);
+                      ("violations", Json.List violations);
+                    ],
+                  cache )
+          | Protocol.Sweep ->
+              let max_reuse =
+                min all (Option.value req.max_reuse ~default:all)
+              in
+              let points =
+                List.init (max_reuse + 1) (fun reuse ->
+                    check ();
+                    point ~access system ~policy ~application ~power_limit
+                      ~reuse)
+              in
+              let sweep =
+                {
+                  Core.Planner.system_name =
+                    system.Core.System.soc.Nocplan_itc02.Soc.name;
+                  policy;
+                  power_limit_pct = req.power_pct;
+                  points;
+                }
+              in
+              Ok (Json.Raw (String.trim (Core.Export.sweep_json sweep)), cache)))
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                            *)
+
+let finish_pending t =
+  Mutex.lock t.pending_mutex;
+  t.pending <- t.pending - 1;
+  Condition.broadcast t.pending_cond;
+  Mutex.unlock t.pending_mutex
+
+let run_job t job =
+  let req = job.req in
+  let check () =
+    match job.deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Expired
+    | _ -> ()
+  in
+  let outcome, response =
+    match execute t req ~check with
+    | Ok (result, cache) ->
+        let elapsed_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
+        ( Stats.Served,
+          Protocol.ok_response ~id:req.id ~op:req.op ~cache ~elapsed_ms result
+        )
+    | Error (kind, msg) ->
+        (Stats.Failed, Protocol.error_response ~id:req.id kind msg)
+    | exception Expired ->
+        ( Stats.Timed_out,
+          Protocol.error_response ~id:req.id Protocol.Timeout
+            "deadline exceeded" )
+    | exception Core.Scheduler.Unschedulable msg ->
+        ( Stats.Failed,
+          Protocol.error_response ~id:req.id Protocol.Unschedulable msg )
+    | exception Invalid_argument msg ->
+        (Stats.Failed, Protocol.error_response ~id:req.id Protocol.Parse msg)
+    | exception exn ->
+        ( Stats.Failed,
+          Protocol.error_response ~id:req.id Protocol.Internal
+            (Printexc.to_string exn) )
+  in
+  let latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
+  Stats.record t.stats outcome ~latency_ms;
+  Log.info (fun m ->
+      m "%s %s in %.1f ms" (Protocol.op_label req.op)
+        (match outcome with
+        | Stats.Served -> "served"
+        | Stats.Failed -> "failed"
+        | Stats.Rejected -> "rejected"
+        | Stats.Timed_out -> "timed out")
+        latency_ms);
+  (try job.respond response
+   with exn ->
+     Log.warn (fun m ->
+         m "dropping response (client gone?): %s" (Printexc.to_string exn)));
+  finish_pending t
+
+let worker_loop t () =
+  let rec loop () =
+    match Job_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+        run_job t job;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+
+let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
+  let recommended = Domain.recommended_domain_count () in
+  let workers =
+    match workers with
+    | None -> max 1 (recommended - 1)
+    | Some w ->
+        if w < 1 then invalid_arg "Service.create: workers must be >= 1";
+        (* Same rationale as Planner's domain clamp: oversubscribing
+           domains only adds contention. *)
+        max 1 (min w recommended)
+  in
+  let t =
+    {
+      queue = Job_queue.create ~capacity:queue_capacity;
+      cache = Table_cache.create ~capacity:cache_capacity;
+      stats = Stats.create ();
+      workers = [];
+      pending_mutex = Mutex.create ();
+      pending_cond = Condition.create ();
+      pending = 0;
+      stopped = false;
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  Log.info (fun m ->
+      m "service up: %d workers, queue %d, cache %d" workers queue_capacity
+        cache_capacity);
+  t
+
+let handle_line t line respond =
+  let now = Unix.gettimeofday () in
+  match Protocol.parse_request line with
+  | Error msg ->
+      Stats.record t.stats Stats.Failed ~latency_ms:0.0;
+      Log.warn (fun m -> m "bad request: %s" msg);
+      respond (Protocol.error_response ~id:Json.Null Protocol.Parse msg)
+  | Ok req -> (
+      match req.Protocol.op with
+      | Protocol.Metrics ->
+          (* Served inline so observability survives planner overload. *)
+          let elapsed_ms = (Unix.gettimeofday () -. now) *. 1e3 in
+          Stats.record t.stats Stats.Served ~latency_ms:elapsed_ms;
+          respond
+            (Protocol.ok_response ~id:req.Protocol.id ~op:req.Protocol.op
+               ~cache:`None ~elapsed_ms
+               (Stats.snapshot_json (snapshot t)))
+      | _ ->
+          let deadline =
+            Option.map (fun ms -> now +. (ms /. 1e3)) req.Protocol.deadline_ms
+          in
+          let job = { req; respond; enqueued_at = now; deadline } in
+          Mutex.lock t.pending_mutex;
+          t.pending <- t.pending + 1;
+          Mutex.unlock t.pending_mutex;
+          if not (Job_queue.push t.queue job) then begin
+            finish_pending t;
+            Stats.record t.stats Stats.Rejected ~latency_ms:0.0;
+            Log.warn (fun m ->
+                m "rejecting %s: queue full (depth %d)"
+                  (Protocol.op_label req.Protocol.op)
+                  (Job_queue.depth t.queue));
+            respond
+              (Protocol.error_response ~id:req.Protocol.id Protocol.Overload
+                 "queue full, retry later")
+          end)
+
+let request t line =
+  let result = ref None in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  handle_line t line (fun response ->
+      Mutex.lock mutex;
+      result := Some response;
+      Condition.signal cond;
+      Mutex.unlock mutex);
+  Mutex.lock mutex;
+  while !result = None do
+    Condition.wait cond mutex
+  done;
+  let response = Option.get !result in
+  Mutex.unlock mutex;
+  response
+
+let stats t = snapshot t
+let worker_count t = List.length t.workers
+
+let drain t =
+  Mutex.lock t.pending_mutex;
+  while t.pending > 0 do
+    Condition.wait t.pending_cond t.pending_mutex
+  done;
+  Mutex.unlock t.pending_mutex
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    drain t;
+    Job_queue.close t.queue;
+    List.iter Domain.join t.workers;
+    Log.info (fun m -> m "service stopped")
+  end

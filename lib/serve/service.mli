@@ -1,0 +1,58 @@
+(** The concurrent planning service.
+
+    A long-running engine that turns protocol request lines into
+    response lines: requests are admitted through a bounded
+    {!Job_queue} (backpressure: a full queue answers [overload]
+    immediately) and executed by a pool of OCaml domains sized from
+    [Domain.recommended_domain_count].  Each worker resolves the
+    request's system, fetches or builds the shared access table
+    through the {!Table_cache}, runs the planner and renders the
+    response.
+
+    {b Deadlines.}  A request carrying [deadline_ms] is checked
+    cooperatively: when it is dequeued, after the system is built,
+    after the access table is fetched, and between the per-reuse
+    scheduler runs of a sweep.  An expired request answers a [timeout]
+    error; the worker and the server survive.  A single scheduler run
+    is the cancellation granularity — it is never interrupted
+    mid-flight.
+
+    {b Observability.}  Every response is counted ({!Stats});
+    [metrics] requests are answered inline (never queued, so they
+    cannot be starved by planning traffic) with the current snapshot.
+    Request logging goes to the [nocplan.serve] {!Logs} source. *)
+
+type t
+
+val log_src : Logs.Src.t
+(** The [nocplan.serve] log source, shared with the transports. *)
+
+val create :
+  ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int -> unit -> t
+(** Start the worker pool.  [workers] defaults to
+    [max 1 (Domain.recommended_domain_count () - 1)] (one domain is
+    left to the callers feeding the queue) and is clamped to
+    [Domain.recommended_domain_count ()]; [queue_capacity] defaults to
+    64 (0 is allowed and rejects everything — the backpressure test
+    hook); [cache_capacity] defaults to 8.
+    @raise Invalid_argument on a negative capacity or [workers < 1]. *)
+
+val handle_line : t -> string -> (string -> unit) -> unit
+(** Process one request line.  [respond] is called exactly once with
+    the response line (no newline): synchronously for [metrics],
+    parse errors and overload rejections; from a worker domain
+    otherwise.  [respond] must therefore be thread-safe. *)
+
+val request : t -> string -> string
+(** Blocking convenience wrapper around {!handle_line}: submit and
+    wait for the response. *)
+
+val stats : t -> Stats.snapshot
+val worker_count : t -> int
+
+val drain : t -> unit
+(** Block until every admitted request has been responded to. *)
+
+val shutdown : t -> unit
+(** Drain, stop and join the workers.  The service must not be used
+    afterwards.  Idempotent. *)

@@ -1,0 +1,132 @@
+(* Reservoir size: enough for stable tail quantiles over a smoke run
+   without unbounded growth on a long-lived server. *)
+let reservoir_size = 4096
+
+type t = {
+  mutex : Mutex.t;
+  mutable served : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable timeouts : int;
+  latencies : float array;  (* circular buffer of recent served latencies *)
+  mutable filled : int;  (* entries in use, <= reservoir_size *)
+  mutable next : int;  (* next write position *)
+}
+
+type outcome = Served | Failed | Rejected | Timed_out
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    served = 0;
+    failed = 0;
+    rejected = 0;
+    timeouts = 0;
+    latencies = Array.make reservoir_size 0.0;
+    filled = 0;
+    next = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t outcome ~latency_ms =
+  locked t (fun () ->
+      match outcome with
+      | Served ->
+          t.served <- t.served + 1;
+          t.latencies.(t.next) <- latency_ms;
+          t.next <- (t.next + 1) mod reservoir_size;
+          t.filled <- min (t.filled + 1) reservoir_size
+      | Failed -> t.failed <- t.failed + 1
+      | Rejected -> t.rejected <- t.rejected + 1
+      | Timed_out -> t.timeouts <- t.timeouts + 1)
+
+type quantiles = {
+  count : int;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type snapshot = {
+  served : int;
+  failed : int;
+  rejected : int;
+  timeouts : int;
+  cache_hits : int;
+  cache_misses : int;
+  queue_depth : int;
+  workers : int;
+  latency : quantiles option;
+}
+
+let quantiles_of sorted =
+  let n = Array.length sorted in
+  let at q =
+    (* Nearest-rank quantile on the sorted sample. *)
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+  in
+  {
+    count = n;
+    p50_ms = at 0.50;
+    p90_ms = at 0.90;
+    p99_ms = at 0.99;
+    max_ms = sorted.(n - 1);
+  }
+
+let snapshot t ~cache_hits ~cache_misses ~queue_depth ~workers =
+  locked t (fun () ->
+      let latency =
+        if t.filled = 0 then None
+        else begin
+          let sample = Array.sub t.latencies 0 t.filled in
+          Array.sort compare sample;
+          Some (quantiles_of sample)
+        end
+      in
+      {
+        served = t.served;
+        failed = t.failed;
+        rejected = t.rejected;
+        timeouts = t.timeouts;
+        cache_hits;
+        cache_misses;
+        queue_depth;
+        workers;
+        latency;
+      })
+
+let snapshot_json s =
+  let base =
+    [
+      ("served", Json.Int s.served);
+      ("failed", Json.Int s.failed);
+      ("rejected", Json.Int s.rejected);
+      ("timeouts", Json.Int s.timeouts);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("cache_misses", Json.Int s.cache_misses);
+      ("queue_depth", Json.Int s.queue_depth);
+      ("workers", Json.Int s.workers);
+    ]
+  in
+  let latency =
+    match s.latency with
+    | None -> [ ("latency_ms", Json.Null) ]
+    | Some q ->
+        [
+          ( "latency_ms",
+            Json.Obj
+              [
+                ("count", Json.Int q.count);
+                ("p50", Json.Float q.p50_ms);
+                ("p90", Json.Float q.p90_ms);
+                ("p99", Json.Float q.p99_ms);
+                ("max", Json.Float q.max_ms);
+              ] );
+        ]
+  in
+  Json.Obj (base @ latency)

@@ -1,0 +1,49 @@
+(** Service observability: request counters and latency quantiles.
+
+    Every response the service emits is recorded under one of four
+    outcomes; served requests additionally contribute their
+    end-to-end latency (enqueue to response) to a bounded reservoir of
+    the most recent observations, from which the snapshot computes
+    quantiles.  A snapshot is what the protocol's [metrics] request
+    returns, combined with the cache and queue gauges the service
+    reads at snapshot time. *)
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Served  (** a successful response *)
+  | Failed  (** parse, unschedulable or internal error *)
+  | Rejected  (** bounced by queue backpressure *)
+  | Timed_out  (** deadline exceeded *)
+
+val record : t -> outcome -> latency_ms:float -> unit
+(** Thread-safe.  The latency feeds the quantile reservoir only for
+    [Served]. *)
+
+type quantiles = {
+  count : int;  (** observations currently in the reservoir *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type snapshot = {
+  served : int;
+  failed : int;
+  rejected : int;
+  timeouts : int;
+  cache_hits : int;
+  cache_misses : int;
+  queue_depth : int;
+  workers : int;
+  latency : quantiles option;  (** [None] until a request is served *)
+}
+
+val snapshot :
+  t -> cache_hits:int -> cache_misses:int -> queue_depth:int -> workers:int ->
+  snapshot
+
+val snapshot_json : snapshot -> Json.t

@@ -1,0 +1,71 @@
+module Itc02 = Nocplan_itc02
+module Noc = Nocplan_noc
+module Proc = Nocplan_proc
+module Core = Nocplan_core
+
+type spec = {
+  system : string;
+  soc_text : string option;
+  width : int option;
+  height : int option;
+  leons : int;
+  plasmas : int;
+}
+
+let spec ?soc_text ?width ?height ?(leons = 0) ?(plasmas = 0) system =
+  { system; soc_text; width; height; leons; plasmas }
+
+let builtin_system name = List.assoc_opt name (Core.Experiments.all ())
+
+let assemble ~soc ~width ~height ~leons ~plasmas =
+  if leons < 0 || plasmas < 0 then
+    invalid_arg "Sysbuild.assemble: negative processor count";
+  let processors =
+    List.init leons (fun _ -> Proc.Processor.leon ~id:1)
+    @ List.init plasmas (fun _ -> Proc.Processor.plasma ~id:1)
+  in
+  let modules = Itc02.Soc.module_count soc + leons + plasmas in
+  let width, height =
+    match (width, height) with
+    | Some w, Some h -> (w, h)
+    | _ ->
+        (* Smallest near-square mesh covering one module per tile when
+           possible. *)
+        let side = int_of_float (ceil (sqrt (float_of_int modules))) in
+        (side, side)
+  in
+  let topology = Noc.Topology.make ~width ~height in
+  let input = Noc.Coord.make ~x:0 ~y:0 in
+  let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
+  Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
+    ~io_outputs:[ output ] ()
+
+let build s =
+  let assemble_soc soc =
+    match
+      assemble ~soc ~width:s.width ~height:s.height ~leons:s.leons
+        ~plasmas:s.plasmas
+    with
+    | system -> Ok system
+    | exception Invalid_argument msg -> Error msg
+  in
+  match s.soc_text with
+  | Some text -> (
+      match Itc02.Parser.parse text with
+      | Ok soc -> assemble_soc soc
+      | Error e -> Error (Fmt.str "inline description: %a" Itc02.Parser.pp_error e))
+  | None -> (
+      match builtin_system s.system with
+      | Some system -> Ok system
+      | None -> (
+          match Itc02.Benchmarks.find s.system with
+          | Some soc -> assemble_soc soc
+          | None ->
+              Error
+                (Fmt.str
+                   "%s is neither a builtin system (%s) nor a corpus \
+                    benchmark (%s)"
+                   s.system
+                   (String.concat ", "
+                      (List.map fst (Core.Experiments.all ())))
+                   (String.concat ", " Itc02.Benchmarks.names))))

@@ -1,0 +1,55 @@
+(** Resolving a request's system specification to a {!Nocplan_core.System.t}.
+
+    Both the CLI and the planning service accept the same description
+    of a system under test: a builtin experiment name ([d695_leon],
+    [p22810_mixed], ...), a bare ITC'02 corpus benchmark name plus
+    processors to embed, or an inline benchmark description in the
+    {!Nocplan_itc02.Parser} format.  This module is the single
+    implementation of that resolution, so a request served over the
+    socket builds exactly the system the [nocplan] CLI would. *)
+
+type spec = {
+  system : string;
+      (** builtin system name, corpus benchmark name, or [""] when
+          [soc_text] carries an inline description *)
+  soc_text : string option;
+      (** inline benchmark description; takes precedence over
+          [system] *)
+  width : int option;  (** mesh width; default: smallest near-square *)
+  height : int option;
+  leons : int;  (** Leon processors to embed (non-builtin systems) *)
+  plasmas : int;
+}
+
+val spec :
+  ?soc_text:string ->
+  ?width:int ->
+  ?height:int ->
+  ?leons:int ->
+  ?plasmas:int ->
+  string ->
+  spec
+(** [spec name] with [leons] and [plasmas] defaulting to 0. *)
+
+val builtin_system : string -> Nocplan_core.System.t option
+(** The named builtin experiment system ({!Nocplan_core.Experiments.all}),
+    freshly built. *)
+
+val assemble :
+  soc:Nocplan_itc02.Soc.t ->
+  width:int option ->
+  height:int option ->
+  leons:int ->
+  plasmas:int ->
+  Nocplan_core.System.t
+(** Embed [leons] + [plasmas] processors into [soc] on a mesh sized
+    [width] x [height] (default: the smallest near-square mesh with at
+    least one tile per module), with one input port at the north-west
+    corner and one output port at the south-east corner — the CLI's
+    assembly convention.  @raise Invalid_argument on bad dimensions or
+    negative processor counts. *)
+
+val build : spec -> (Nocplan_core.System.t, string) result
+(** Resolve a spec: inline description if present, else builtin
+    system, else corpus benchmark.  All constructor errors are
+    reported as [Error]. *)

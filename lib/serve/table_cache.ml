@@ -1,0 +1,53 @@
+module Core = Nocplan_core
+module Proc = Nocplan_proc
+
+type entry = {
+  key : string;
+  system : Core.System.t;
+  table : Core.Test_access.table;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable entries : entry list;  (* most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Table_cache.create: capacity must be >= 1";
+  { capacity; mutex = Mutex.create (); entries = []; hits = 0; misses = 0 }
+
+let app_tag = function
+  | Proc.Processor.Bist -> "bist"
+  | Proc.Processor.Decompression -> "decompress"
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_build t system ~application =
+  let key = Core.System.fingerprint system ^ "/" ^ app_tag application in
+  locked t (fun () ->
+      match List.find_opt (fun e -> e.key = key) t.entries with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          (* Move to front. *)
+          t.entries <- e :: List.filter (fun x -> x.key <> key) t.entries;
+          (e.system, e.table, true)
+      | None ->
+          t.misses <- t.misses + 1;
+          let table = Core.Test_access.table ~application system in
+          let e = { key; system; table } in
+          let kept =
+            if List.length t.entries >= t.capacity then
+              List.filteri (fun i _ -> i < t.capacity - 1) t.entries
+            else t.entries
+          in
+          t.entries <- e :: kept;
+          (system, table, false))
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let length t = locked t (fun () -> List.length t.entries)

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Replay a JSON-lines request script against a running nocplan serve
+socket and print the responses.  Used by CI's service smoke step;
+handy for manual poking too:
+
+    nocplan serve --socket /tmp/nocplan.sock &
+    python3 test/serve_replay.py /tmp/nocplan.sock test/serve_smoke.jsonl
+"""
+import socket
+import sys
+
+if len(sys.argv) != 3:
+    sys.exit(f"usage: {sys.argv[0]} SOCKET_PATH REQUEST_SCRIPT")
+
+path, script = sys.argv[1], sys.argv[2]
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.connect(path)
+with open(script, "rb") as f:
+    sock.sendall(f.read())
+# Half-close: the server answers everything in flight, then closes.
+sock.shutdown(socket.SHUT_WR)
+buf = b""
+while True:
+    chunk = sock.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())

@@ -52,4 +52,5 @@ let () =
       ("planner", Test_planner.suite);
       ("experiments", Test_experiments.suite);
       ("gantt and report", Test_gantt_report.suite);
+      ("planning service", Test_serve.suite);
     ]

@@ -1,0 +1,411 @@
+(* The concurrent planning service: protocol, cache, queue, and the
+   socket transport end to end. *)
+
+module Serve = Nocplan_serve
+module Core = Nocplan_core
+module Proc = Nocplan_proc
+module Json = Serve.Json
+
+let d695 () = Option.get (Serve.Sysbuild.builtin_system "d695_leon")
+
+(* --- json ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1, -2, 3.5, \"x\"]";
+      "{\"a\": 1, \"b\": {\"c\": [true, false, null]}}";
+      "\"quote \\\" backslash \\\\ newline \\n unicode \\u00e9\"";
+      "{\"makespan\":412391,\"entries\":[]}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+          let printed = Json.to_string v in
+          match Json.parse printed with
+          | Error e -> Alcotest.failf "reparse %s: %s" printed e
+          | Ok v2 ->
+              Alcotest.(check string)
+                "print is a fixpoint" printed (Json.to_string v2)))
+    cases
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated"; "{\"a\" 1}" ]
+
+(* --- system fingerprint -------------------------------------------- *)
+
+let test_fingerprint_stability () =
+  let a = Util.small_system () and b = Util.small_system () in
+  Alcotest.(check string)
+    "same construction, same digest" (Core.System.fingerprint a)
+    (Core.System.fingerprint b);
+  let c =
+    Util.small_system ~processors:[ Proc.Processor.plasma ~id:1 ] ()
+  in
+  Alcotest.(check bool)
+    "different processors, different digest" false
+    (String.equal (Core.System.fingerprint a) (Core.System.fingerprint c));
+  Alcotest.(check bool)
+    "distinct from the builtin system" false
+    (String.equal (Core.System.fingerprint a) (Core.System.fingerprint (d695 ())))
+
+(* --- access-table cache -------------------------------------------- *)
+
+let test_cache_hit_returns_cached_instance () =
+  let cache = Serve.Table_cache.create ~capacity:2 in
+  let first = Util.small_system () in
+  let sys1, tbl1, hit1 =
+    Serve.Table_cache.find_or_build cache first ~application:Proc.Processor.Bist
+  in
+  Alcotest.(check bool) "first lookup misses" false hit1;
+  Alcotest.(check bool) "miss returns the given system" true (sys1 == first);
+  (* A structurally identical system built elsewhere must map to the
+     SAME cached table and the system it was built for, because the
+     schedulers demand physical equality between the two. *)
+  let twin = Util.small_system () in
+  let sys2, tbl2, hit2 =
+    Serve.Table_cache.find_or_build cache twin ~application:Proc.Processor.Bist
+  in
+  Alcotest.(check bool) "second lookup hits" true hit2;
+  Alcotest.(check bool) "same table instance" true (tbl1 == tbl2);
+  Alcotest.(check bool) "cached system, not the probe" true (sys2 == sys1);
+  Alcotest.(check bool) "table legal for cached system" true
+    (Core.Test_access.table_for tbl2 ~system:sys2
+       ~application:Proc.Processor.Bist);
+  Alcotest.(check int) "one hit" 1 (Serve.Table_cache.hits cache);
+  Alcotest.(check int) "one miss" 1 (Serve.Table_cache.misses cache)
+
+let test_cache_applications_distinct () =
+  let cache = Serve.Table_cache.create ~capacity:4 in
+  let sys = Util.small_system () in
+  let _, _, _ =
+    Serve.Table_cache.find_or_build cache sys ~application:Proc.Processor.Bist
+  in
+  let _, _, hit =
+    Serve.Table_cache.find_or_build cache sys
+      ~application:Proc.Processor.Decompression
+  in
+  Alcotest.(check bool) "other application misses" false hit;
+  Alcotest.(check int) "two entries" 2 (Serve.Table_cache.length cache)
+
+let test_cache_evicts_lru () =
+  let cache = Serve.Table_cache.create ~capacity:2 in
+  let a = Util.small_system () in
+  let b = Util.small_system ~processors:[ Proc.Processor.plasma ~id:1 ] () in
+  let c =
+    Util.small_system
+      ~processors:[ Proc.Processor.leon ~id:1; Proc.Processor.plasma ~id:1 ]
+      ()
+  in
+  let touch sys =
+    let _, _, hit =
+      Serve.Table_cache.find_or_build cache sys
+        ~application:Proc.Processor.Bist
+    in
+    hit
+  in
+  Alcotest.(check bool) "a misses" false (touch a);
+  Alcotest.(check bool) "b misses" false (touch b);
+  Alcotest.(check bool) "a still cached" true (touch a);
+  (* c evicts b (least recently used), not a. *)
+  Alcotest.(check bool) "c misses" false (touch c);
+  Alcotest.(check int) "capacity bound" 2 (Serve.Table_cache.length cache);
+  Alcotest.(check bool) "a survived" true (touch a);
+  Alcotest.(check bool) "b was evicted" false (touch b)
+
+let test_cached_schedule_identical () =
+  (* Planning through the cache twice must give byte-identical JSON to
+     planning directly, miss and hit alike — the cache must never
+     change results. *)
+  let direct_sys = d695 () in
+  let direct =
+    Core.Export.schedule_json direct_sys
+      (Core.Planner.schedule ~reuse:3 direct_sys)
+  in
+  let cache = Serve.Table_cache.create ~capacity:2 in
+  let via_cache () =
+    let sys, access, _ =
+      Serve.Table_cache.find_or_build cache (d695 ())
+        ~application:Proc.Processor.Bist
+    in
+    let sched =
+      Core.Scheduler.run ~access sys (Core.Scheduler.config ~reuse:3 ())
+    in
+    Core.Export.schedule_json sys sched
+  in
+  Alcotest.(check string) "uncached equals direct" direct (via_cache ());
+  Alcotest.(check string) "cached equals direct" direct (via_cache ());
+  Alcotest.(check int) "second run hit" 1 (Serve.Table_cache.hits cache)
+
+(* --- job queue ------------------------------------------------------ *)
+
+let test_queue_fifo_and_bound () =
+  let q = Serve.Job_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Serve.Job_queue.push q 1);
+  Alcotest.(check bool) "push 2" true (Serve.Job_queue.push q 2);
+  Alcotest.(check bool) "push 3 bounces" false (Serve.Job_queue.push q 3);
+  Alcotest.(check int) "depth" 2 (Serve.Job_queue.depth q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Serve.Job_queue.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Serve.Job_queue.pop q);
+  Serve.Job_queue.close q;
+  Alcotest.(check (option int)) "closed pop" None (Serve.Job_queue.pop q);
+  Alcotest.(check bool) "closed push" false (Serve.Job_queue.push q 4)
+
+let test_queue_drains_after_close () =
+  let q = Serve.Job_queue.create ~capacity:4 in
+  ignore (Serve.Job_queue.push q "a");
+  ignore (Serve.Job_queue.push q "b");
+  Serve.Job_queue.close q;
+  Alcotest.(check (option string)) "drain a" (Some "a") (Serve.Job_queue.pop q);
+  Alcotest.(check (option string)) "drain b" (Some "b") (Serve.Job_queue.pop q);
+  Alcotest.(check (option string)) "then closed" None (Serve.Job_queue.pop q)
+
+(* --- protocol ------------------------------------------------------- *)
+
+let parse_err line =
+  match Serve.Protocol.parse_request line with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "accepted %S" line
+
+let test_protocol_validation () =
+  ignore (parse_err "nonsense");
+  ignore (parse_err "[]");
+  ignore (parse_err "{\"op\": \"fly\"}");
+  ignore (parse_err "{\"op\": \"plan\"}");
+  ignore (parse_err "{\"v\": 2, \"op\": \"metrics\"}");
+  ignore (parse_err "{\"op\": \"plan\", \"system\": \"d695_leon\", \"reuse\": \"three\"}");
+  match
+    Serve.Protocol.parse_request
+      "{\"id\": \"r1\", \"op\": \"plan\", \"system\": \"d695_leon\", \
+       \"reuse\": 2, \"power_pct\": 25, \"deadline_ms\": 100}"
+  with
+  | Error e -> Alcotest.failf "rejected valid request: %s" e
+  | Ok req ->
+      Alcotest.(check string) "op" "plan" (Serve.Protocol.op_label req.Serve.Protocol.op);
+      Alcotest.(check (option int)) "reuse" (Some 2) req.Serve.Protocol.reuse;
+      Alcotest.(check (option (float 1e-9))) "power_pct (int accepted)"
+        (Some 25.0) req.Serve.Protocol.power_pct;
+      Alcotest.(check (option (float 1e-9))) "deadline" (Some 100.0)
+        req.Serve.Protocol.deadline_ms
+
+(* --- service (in-process) ------------------------------------------ *)
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %s: %s" name (Json.to_string json)
+
+let parse_response line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "bad response %s: %s" line e
+
+let test_service_overload () =
+  (* Capacity 0: deterministic backpressure — every planning request
+     bounces, metrics stays inline and alive. *)
+  let service = Serve.Service.create ~workers:1 ~queue_capacity:0 () in
+  let resp =
+    parse_response
+      (Serve.Service.request service
+         "{\"id\": 7, \"op\": \"plan\", \"system\": \"d695_leon\"}")
+  in
+  Alcotest.(check bool) "not ok" true (field "ok" resp = Json.Bool false);
+  Alcotest.(check bool) "overload kind" true
+    (field "kind" (field "error" resp) = Json.String "overload");
+  let metrics =
+    parse_response (Serve.Service.request service "{\"op\": \"metrics\"}")
+  in
+  let result = field "result" metrics in
+  Alcotest.(check bool) "rejection counted" true
+    (field "rejected" result = Json.Int 1);
+  Serve.Service.shutdown service
+
+let test_service_unschedulable_kind () =
+  let service = Serve.Service.create ~workers:1 () in
+  let resp =
+    parse_response
+      (Serve.Service.request service
+         "{\"op\": \"plan\", \"system\": \"d695_leon\", \"power_pct\": 0.001}")
+  in
+  Alcotest.(check bool) "unschedulable kind" true
+    (field "kind" (field "error" resp) = Json.String "unschedulable");
+  Serve.Service.shutdown service
+
+(* --- socket transport, end to end ---------------------------------- *)
+
+let socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nocplan-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(workers = 1) f =
+  let service = Serve.Service.create ~workers ~queue_capacity:32 () in
+  let path = socket_path () in
+  let listener = Serve.Server.listen service ~path in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop listener;
+      Serve.Server.wait listener;
+      Serve.Service.shutdown service)
+    (fun () -> f path)
+
+let with_client path f =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f ic oc)
+
+let roundtrip ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  parse_response (input_line ic)
+
+let result_string resp = Json.to_string (field "result" resp)
+
+let test_socket_concurrent_clients_match_direct () =
+  (* Three clients plan the same builtin system at different reuse
+     counts concurrently; every response must be byte-identical to the
+     direct single-shot computation, and by the end the access table
+     must have been built exactly once (metrics cache counters). *)
+  let system = d695 () in
+  let expected reuse =
+    let sched = Core.Planner.schedule ~reuse system in
+    Json.to_string
+      (Result.get_ok (Json.parse (Core.Export.schedule_json system sched)))
+  in
+  with_server (fun path ->
+      let results = Array.make 3 "" in
+      let client reuse =
+        with_client path (fun ic oc ->
+            let resp =
+              roundtrip ic oc
+                (Printf.sprintf
+                   "{\"id\": %d, \"op\": \"plan\", \"system\": \
+                    \"d695_leon\", \"reuse\": %d}"
+                   reuse reuse)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "reuse %d ok" reuse)
+              true
+              (field "ok" resp = Json.Bool true);
+            results.(reuse) <- result_string resp)
+      in
+      let threads = List.init 3 (fun r -> Thread.create client r) in
+      List.iter Thread.join threads;
+      for reuse = 0 to 2 do
+        Alcotest.(check string)
+          (Printf.sprintf "reuse %d matches direct" reuse)
+          (expected reuse) results.(reuse)
+      done;
+      with_client path (fun ic oc ->
+          let metrics = roundtrip ic oc "{\"op\": \"metrics\"}" in
+          let result = field "result" metrics in
+          Alcotest.(check bool) "one table build" true
+            (field "cache_misses" result = Json.Int 1);
+          Alcotest.(check bool) "table shared by later requests" true
+            (field "cache_hits" result = Json.Int 2);
+          Alcotest.(check bool) "all three served" true
+            (field "served" result = Json.Int 4 (* 3 plans + this *))))
+
+let test_socket_sweep_and_validate_match_direct () =
+  let system = d695 () in
+  let expected_sweep =
+    Json.to_string
+      (Result.get_ok
+         (Json.parse
+            (Core.Export.sweep_json
+               (Core.Planner.reuse_sweep ~max_reuse:2 system))))
+  in
+  with_server (fun path ->
+      with_client path (fun ic oc ->
+          let sweep =
+            roundtrip ic oc
+              "{\"op\": \"sweep\", \"system\": \"d695_leon\", \"max_reuse\": 2}"
+          in
+          Alcotest.(check string) "sweep matches direct" expected_sweep
+            (result_string sweep);
+          let cached =
+            roundtrip ic oc
+              "{\"op\": \"sweep\", \"system\": \"d695_leon\", \"max_reuse\": 2}"
+          in
+          Alcotest.(check bool) "second sweep from cache" true
+            (field "cache" cached = Json.String "hit");
+          Alcotest.(check string) "cached sweep byte-identical" expected_sweep
+            (result_string cached);
+          let validate =
+            roundtrip ic oc
+              "{\"op\": \"validate\", \"system\": \"d695_leon\", \"reuse\": 2}"
+          in
+          let result = field "result" validate in
+          Alcotest.(check bool) "schedule valid" true
+            (field "valid" result = Json.Bool true);
+          Alcotest.(check bool) "no violations" true
+            (field "violations" result = Json.List [])))
+
+let test_socket_deadline_does_not_kill_server () =
+  with_server (fun path ->
+      with_client path (fun ic oc ->
+          let expired =
+            roundtrip ic oc
+              "{\"id\": \"t\", \"op\": \"sweep\", \"system\": \
+               \"p93791_leon\", \"deadline_ms\": 0}"
+          in
+          Alcotest.(check bool) "timeout kind" true
+            (field "kind" (field "error" expired) = Json.String "timeout");
+          (* The worker and the connection both survive. *)
+          let after =
+            roundtrip ic oc
+              "{\"id\": \"u\", \"op\": \"plan\", \"system\": \"d695_leon\", \
+               \"reuse\": 1}"
+          in
+          Alcotest.(check bool) "next request served" true
+            (field "ok" after = Json.Bool true);
+          let metrics = roundtrip ic oc "{\"op\": \"metrics\"}" in
+          Alcotest.(check bool) "timeout counted" true
+            (field "timeouts" (field "result" metrics) = Json.Int 1)))
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+    Alcotest.test_case "cache hit returns cached instance" `Quick
+      test_cache_hit_returns_cached_instance;
+    Alcotest.test_case "cache keys include application" `Quick
+      test_cache_applications_distinct;
+    Alcotest.test_case "cache evicts least recently used" `Quick
+      test_cache_evicts_lru;
+    Alcotest.test_case "cached schedules byte-identical" `Quick
+      test_cached_schedule_identical;
+    Alcotest.test_case "job queue fifo and bound" `Quick
+      test_queue_fifo_and_bound;
+    Alcotest.test_case "job queue drains after close" `Quick
+      test_queue_drains_after_close;
+    Alcotest.test_case "protocol validation" `Quick test_protocol_validation;
+    Alcotest.test_case "service overload backpressure" `Quick
+      test_service_overload;
+    Alcotest.test_case "service reports unschedulable" `Quick
+      test_service_unschedulable_kind;
+    Alcotest.test_case "socket: concurrent clients match direct" `Quick
+      test_socket_concurrent_clients_match_direct;
+    Alcotest.test_case "socket: sweep and validate match direct" `Quick
+      test_socket_sweep_and_validate_match_direct;
+    Alcotest.test_case "socket: deadline does not kill server" `Quick
+      test_socket_deadline_does_not_kill_server;
+  ]

@@ -162,6 +162,115 @@ let prop_cost_well_formed =
             sources)
         (System.module_ids sys))
 
+(* --- table fallback paths ------------------------------------------ *)
+
+(* The same modules as [small_soc] under ids no table of the standard
+   fixtures knows, so every table lookup for its schedule misses. *)
+let renumbered_system () =
+  let bump (m : Nocplan_itc02.Module_def.t) =
+    Nocplan_itc02.Module_def.make ~id:(m.Nocplan_itc02.Module_def.id + 100)
+      ~name:m.Nocplan_itc02.Module_def.name
+      ~inputs:m.Nocplan_itc02.Module_def.inputs
+      ~outputs:m.Nocplan_itc02.Module_def.outputs
+      ~scan_chains:m.Nocplan_itc02.Module_def.scan_chains
+      ~patterns:m.Nocplan_itc02.Module_def.patterns ()
+  in
+  let soc =
+    Nocplan_itc02.Soc.make ~name:"tiny-renumbered"
+      ~modules:(List.map bump (small_soc ()).Nocplan_itc02.Soc.modules)
+  in
+  Core.System.build ~soc
+    ~topology:(Nocplan_noc.Topology.make ~width:3 ~height:3)
+    ~processors:[ Proc.Processor.leon ~id:1 ]
+    ~io_inputs:[ Coord.make ~x:0 ~y:0 ]
+    ~io_outputs:[ Coord.make ~x:2 ~y:2 ]
+    ()
+
+let violation_strings = function
+  | Ok () -> []
+  | Error vs ->
+      List.sort String.compare
+        (List.map (Fmt.str "%a" Core.Schedule.pp_violation) vs)
+
+let validate ?access sys sched =
+  violation_strings
+    (Core.Schedule.validate ?access sys ~application:Proc.Processor.Bist
+       ~power_limit:None ~reuse:1 sched)
+
+let test_scheduler_rejects_foreign_table () =
+  let sys = system () in
+  let twin = system () in
+  (* Physically distinct, even though structurally identical. *)
+  (match
+     Core.Scheduler.run
+       ~access:(Test_access.table twin)
+       sys
+       (Core.Scheduler.config ~reuse:1 ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "table of another system accepted");
+  match
+    Core.Scheduler.run
+      ~access:(Test_access.table ~application:Proc.Processor.Decompression sys)
+      sys
+      (Core.Scheduler.config ~reuse:1 ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "table of another application accepted"
+
+let test_validate_falls_back_on_lookup_miss () =
+  (* A table that knows none of the schedule's modules: every lookup
+     raises, validate silently recomputes directly, and the verdict is
+     identical to running without a table — on a valid schedule and on
+     a tampered one alike. *)
+  let foreign_table = Test_access.table (system ()) in
+  let sys = renumbered_system () in
+  let sched = Core.Scheduler.run sys (Core.Scheduler.config ~reuse:1 ()) in
+  Alcotest.(check (list string))
+    "valid schedule: same verdict" (validate sys sched)
+    (validate ~access:foreign_table sys sched);
+  Alcotest.(check (list string)) "and that verdict is clean" []
+    (validate ~access:foreign_table sys sched);
+  let tampered =
+    Core.Schedule.of_entries
+      (List.mapi
+         (fun i (e : Core.Schedule.entry) ->
+           if i = 0 then { e with Core.Schedule.finish = e.Core.Schedule.finish + 7 }
+           else e)
+         sched.Core.Schedule.entries)
+  in
+  let direct = validate sys tampered in
+  Alcotest.(check bool) "tampering detected" true (direct <> []);
+  Alcotest.(check (list string))
+    "tampered schedule: same violations via fallback" direct
+    (validate ~access:foreign_table sys tampered)
+
+let test_validate_with_twin_table_identical () =
+  (* A table from a structurally identical twin passes the lookups and
+     returns the same costs, so the verdict still matches the direct
+     computation (the mli's cache-never-oracle contract). *)
+  let sys = system () in
+  let twin_table = Test_access.table (system ()) in
+  let sched = Core.Scheduler.run sys (Core.Scheduler.config ~reuse:1 ()) in
+  Alcotest.(check (list string))
+    "same verdict through the twin table" (validate sys sched)
+    (validate ~access:twin_table sys sched)
+
+let test_sweep_ignores_mismatched_table () =
+  (* Planner.reuse_sweep treats a foreign table as absent (it rebuilds)
+     rather than failing: the series must equal the tableless run. *)
+  let sys = system () in
+  let foreign = Test_access.table (renumbered_system ()) in
+  let series (s : Core.Planner.sweep) =
+    List.map
+      (fun (p : Core.Planner.point) -> (p.Core.Planner.reuse, p.Core.Planner.makespan))
+      s.Core.Planner.points
+  in
+  Alcotest.(check (list (pair int int)))
+    "identical series"
+    (series (Core.Planner.reuse_sweep sys))
+    (series (Core.Planner.reuse_sweep ~access:foreign sys))
+
 let suite =
   [
     Alcotest.test_case "external pair cost" `Quick test_external_pair_cost;
@@ -175,5 +284,13 @@ let suite =
     Alcotest.test_case "duration scales with patterns" `Quick
       test_duration_scales_with_patterns;
     Alcotest.test_case "flit width matters" `Quick test_flit_width_matters;
+    Alcotest.test_case "scheduler rejects foreign table" `Quick
+      test_scheduler_rejects_foreign_table;
+    Alcotest.test_case "validate falls back on lookup miss" `Quick
+      test_validate_falls_back_on_lookup_miss;
+    Alcotest.test_case "validate via twin table identical" `Quick
+      test_validate_with_twin_table_identical;
+    Alcotest.test_case "sweep ignores mismatched table" `Quick
+      test_sweep_ignores_mismatched_table;
     prop_cost_well_formed;
   ]

@@ -18,11 +18,13 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --smoke
 
-# The tier-1 gate plus a benchmark smoke run producing the JSON.
+# The tier-1 gate plus a benchmark smoke run producing the JSON and
+# checking it against the committed baseline (skip the regression gate
+# with NOCPLAN_BENCH_GATE=off on unrelated machines).
 check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --smoke
+	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:
 	@for e in quickstart figure1 power_limits custom_soc greedy_anomaly \

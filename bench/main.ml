@@ -505,30 +505,59 @@ let bus_vs_noc () =
 (* ------------------------------------------------------------------ *)
 (* A12: simulated annealing over test orders                          *)
 
+type anneal_row = {
+  an_system : string;
+  an_greedy : int;
+  an_lookahead : int;
+  an_annealed : int;
+  an_evaluations : int;
+  an_seconds : float;
+}
+
+(* Filled by [annealing] for the JSON artefact (and the regression
+   gate: seconds within tolerance, makespans equal-or-better). *)
+let anneal_rows : anneal_row list ref = ref []
+
 let annealing () =
   section "A12: scheduler quality ladder (greedy / lookahead / annealed / optimal*)";
-  Fmt.pr "%-14s %-12s %-12s %-12s@." "system" "greedy" "lookahead" "annealed";
-  List.iter
-    (fun (name, system) ->
-      let reuse = List.length system.System.processors in
-      let greedy =
-        (Scheduler.run system (Scheduler.config ~reuse ())).Schedule.makespan
-      in
-      let lookahead =
-        (Scheduler.run system
-           (Scheduler.config ~policy:Scheduler.Lookahead ~reuse ()))
-          .Schedule.makespan
-      in
-      let annealed =
-        (Annealing.schedule ~iterations:250 ~reuse system).Annealing.schedule
-          .Schedule.makespan
-      in
-      Fmt.pr "%-14s %-12d %-12d %-12d@." name greedy lookahead annealed)
-    [
-      ("d695_leon", Experiments.d695_leon ());
-      ("p22810_leon", Experiments.p22810_leon ());
-      ("p93791_leon", Experiments.p93791_leon ());
-    ];
+  Fmt.pr "%-14s %-12s %-12s %-12s %-8s %-10s@." "system" "greedy" "lookahead"
+    "annealed" "evals" "seconds";
+  anneal_rows :=
+    List.map
+      (fun (name, system) ->
+        let reuse = List.length system.System.processors in
+        (* One access table per system, shared by all three ladder
+           rungs (as every search user does via [?access]), so the
+           timed annealing column measures the search itself. *)
+        let access = Test_access.table system in
+        let greedy =
+          (Scheduler.run ~access system (Scheduler.config ~reuse ()))
+            .Schedule.makespan
+        in
+        let lookahead =
+          (Scheduler.run ~access system
+             (Scheduler.config ~policy:Scheduler.Lookahead ~reuse ()))
+            .Schedule.makespan
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Annealing.schedule ~iterations:250 ~access ~reuse system in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let annealed = r.Annealing.schedule.Schedule.makespan in
+        Fmt.pr "%-14s %-12d %-12d %-12d %-8d %-10.4f@." name greedy lookahead
+          annealed r.Annealing.evaluations seconds;
+        {
+          an_system = name;
+          an_greedy = greedy;
+          an_lookahead = lookahead;
+          an_annealed = annealed;
+          an_evaluations = r.Annealing.evaluations;
+          an_seconds = seconds;
+        })
+      [
+        ("d695_leon", Experiments.d695_leon ());
+        ("p22810_leon", Experiments.p22810_leon ());
+        ("p93791_leon", Experiments.p93791_leon ());
+      ];
   Fmt.pr
     "@.(*) certified optima are only tractable on small fixtures — see A7.@."
 
@@ -780,7 +809,17 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load =
         q.Serve.Stats.p50_ms q.Serve.Stats.p90_ms q.Serve.Stats.p99_ms
         q.Serve.Stats.max_ms
   | None -> Buffer.add_string buf "    \"latency_ms\": null\n");
-  Buffer.add_string buf "  },\n  \"experiments\": [\n";
+  Buffer.add_string buf "  },\n  \"annealing\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    {\"system\": \"%s\", \"greedy\": %d, \"lookahead\": %d, \
+         \"annealed\": %d, \"evaluations\": %d, \"seconds\": %.4f}"
+        (json_escape r.an_system) r.an_greedy r.an_lookahead r.an_annealed
+        r.an_evaluations r.an_seconds)
+    !anneal_rows;
+  Buffer.add_string buf "\n  ],\n  \"experiments\": [\n";
   List.iteri
     (fun i (name, seconds) ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -796,9 +835,119 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load =
     (seed_figure1_greedy_seconds /. figure1_seconds)
     seed_figure1_greedy_seconds
 
+(* ------------------------------------------------------------------ *)
+(* Regression gate against a committed baseline artefact               *)
+
+(* Compare this run's wall times against a recorded BENCH_nocplan.json.
+   A timing regresses when it exceeds the baseline by BOTH the relative
+   tolerance (default 25%, NOCPLAN_GATE_TOLERANCE_PCT overrides) and an
+   absolute 50 ms slack (sub-tenth-second experiments jitter).  The
+   annealed makespans are deterministic, so they must be equal or
+   better, with no tolerance.  NOCPLAN_BENCH_GATE=off skips the gate
+   (for machines unrelated to the one that recorded the baseline). *)
+let run_gate ~baseline_path ~figure1_seconds =
+  match Sys.getenv_opt "NOCPLAN_BENCH_GATE" with
+  | Some "off" ->
+      Fmt.pr "@.gate: skipped (NOCPLAN_BENCH_GATE=off)@.";
+      true
+  | _ -> (
+      let tolerance_pct =
+        match Sys.getenv_opt "NOCPLAN_GATE_TOLERANCE_PCT" with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some f when f >= 0.0 -> f
+            | Some _ | None ->
+                Fmt.epr "gate: bad NOCPLAN_GATE_TOLERANCE_PCT %S, using 25@." s;
+                25.0)
+        | None -> 25.0
+      in
+      let contents =
+        let ic = open_in baseline_path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Serve.Json.parse contents with
+      | Error e ->
+          Fmt.epr "gate: cannot parse %s: %s@." baseline_path e;
+          false
+      | Ok baseline ->
+          let failures = ref [] in
+          let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+          let check_seconds name ~base ~fresh =
+            if
+              fresh > base *. (1.0 +. (tolerance_pct /. 100.0))
+              && fresh > base +. 0.05
+            then
+              fail "%s: %.4f s vs baseline %.4f s (> +%.0f%%)" name fresh base
+                tolerance_pct
+            else
+              Fmt.pr "gate: %-24s %.4f s (baseline %.4f s) ok@." name fresh
+                base
+          in
+          (match
+             Option.bind
+               (Serve.Json.member "figure1" baseline)
+               (Serve.Json.float_field "seconds")
+           with
+          | Some base -> check_seconds "figure1" ~base ~fresh:figure1_seconds
+          | None -> fail "baseline lacks figure1.seconds");
+          let baseline_experiment name =
+            match Serve.Json.member "experiments" baseline with
+            | Some (Serve.Json.List entries) ->
+                List.find_map
+                  (fun e ->
+                    if Serve.Json.str_field "name" e = Some name then
+                      Serve.Json.float_field "seconds" e
+                    else None)
+                  entries
+            | Some _ | None -> None
+          in
+          List.iter
+            (fun name ->
+              match
+                (baseline_experiment name, List.assoc_opt name !experiment_times)
+              with
+              | Some base, Some fresh -> check_seconds name ~base ~fresh
+              | None, _ -> fail "baseline lacks experiment %s" name
+              | Some _, None -> fail "this run did not time %s" name)
+            [ "A7:optimality_gap"; "A12:annealing" ];
+          (match Serve.Json.member "annealing" baseline with
+          | Some (Serve.Json.List entries) ->
+              List.iter
+                (fun r ->
+                  match
+                    List.find_map
+                      (fun e ->
+                        if Serve.Json.str_field "system" e = Some r.an_system
+                        then Serve.Json.int_field "annealed" e
+                        else None)
+                      entries
+                  with
+                  | Some base ->
+                      if r.an_annealed > base then
+                        fail
+                          "annealed makespan %s: %d vs baseline %d (must be \
+                           equal or better)"
+                          r.an_system r.an_annealed base
+                      else
+                        Fmt.pr "gate: %-24s makespan %d (baseline %d) ok@."
+                          r.an_system r.an_annealed base
+                  | None -> fail "baseline lacks annealing row %s" r.an_system)
+                !anneal_rows
+          | Some _ | None -> fail "baseline lacks the annealing section");
+          (match !failures with
+          | [] -> Fmt.pr "gate: PASS vs %s@." baseline_path
+          | fs ->
+              Fmt.epr "@.gate: FAIL vs %s@." baseline_path;
+              List.iter (fun m -> Fmt.epr "  - %s@." m) (List.rev fs));
+          !failures = [])
+
 let () =
   let smoke = ref false in
   let json_path = ref "BENCH_nocplan.json" in
+  let gate_path = ref None in
   let load_requests = ref None in
   let load_clients = ref 4 in
   Arg.parse
@@ -818,9 +967,13 @@ let () =
       ( "--clients",
         Arg.Set_int load_clients,
         "N concurrent load-generator clients (default 4)" );
+      ( "--gate",
+        Arg.String (fun p -> gate_path := Some p),
+        "PATH fail (exit 1) if this run regresses >25% against the recorded \
+         baseline artefact" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke] [--json PATH] [--load N] [--clients N]";
+    "bench [--smoke] [--json PATH] [--load N] [--clients N] [--gate BASELINE]";
   Fmt.pr "nocplan reproduction harness%s@."
     (if !smoke then " (smoke)" else "");
   let systems =
@@ -856,6 +1009,11 @@ let () =
     timed "A18:energy_tradeoff" energy_tradeoff;
     timed "A19:coverage_curve" coverage_curve
   end;
+  if !smoke then begin
+    (* The regression gate needs these two timings even in smoke mode. *)
+    timed "A7:optimality_gap" optimality_gap;
+    timed "A12:annealing" annealing
+  end;
   if not !smoke then timed "bechamel" (fun () -> timing_benchmarks systems);
   let figure1_seconds, panels =
     figure1_timing systems ~reps:(if !smoke then 1 else 3)
@@ -870,4 +1028,8 @@ let () =
       (fun () ->
         service_load ~requests ~clients:(max 1 (min requests !load_clients)))
   in
-  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load
+  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load;
+  match !gate_path with
+  | None -> ()
+  | Some baseline_path ->
+      if not (run_gate ~baseline_path ~figure1_seconds) then exit 1

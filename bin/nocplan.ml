@@ -242,7 +242,8 @@ let stats_cmd =
 (* anneal                                                             *)
 
 let anneal_cmd =
-  let run spec width height leons plasmas power reuse iterations seed =
+  let run spec width height leons plasmas power reuse iterations seed chains
+      exchange =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
@@ -258,36 +259,48 @@ let anneal_cmd =
         in
         match
           Core.Annealing.schedule ~power_limit ~iterations
-            ~seed:(Int64.of_int seed) ~reuse system
+            ~seed:(Int64.of_int seed) ~chains ~exchange_period:exchange ~reuse
+            system
         with
         | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
         | r ->
             Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
             Fmt.pr
               "greedy order %d -> annealed %d (%.1f%% better; %d engine \
-               evaluations, %d accepted moves)@."
+               evaluations, %d accepted moves, %d chains, %d exchanges)@."
               r.Core.Annealing.initial_makespan
               r.Core.Annealing.schedule.Core.Schedule.makespan
               (Core.Annealing.improvement_pct r)
-              r.Core.Annealing.evaluations r.Core.Annealing.accepted;
+              r.Core.Annealing.evaluations r.Core.Annealing.accepted
+              r.Core.Annealing.chains r.Core.Annealing.exchanges;
             0)
   in
   let iterations_arg =
     Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N"
-           ~doc:"Annealing iterations (engine evaluations).")
+           ~doc:"Annealing iterations per chain (engine evaluations).")
   in
   let seed_arg =
     Arg.(value & opt int 0x5A & info [ "seed" ] ~docv:"SEED"
            ~doc:"Deterministic search seed.")
   in
+  let chains_arg =
+    Arg.(value & opt int 1 & info [ "chains" ] ~docv:"K"
+           ~doc:"Parallel tempering chains (1 = the sequential annealer).")
+  in
+  let exchange_arg =
+    Arg.(value & opt int 50 & info [ "exchange" ] ~docv:"N"
+           ~doc:"Iterations between best-exchanges across chains.")
+  in
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
-          $ seed_arg)
+          $ seed_arg $ chains_arg $ exchange_arg)
   in
   Cmd.v
     (cmd_info "anneal"
-       ~doc:"Improve the test order by simulated annealing.")
+       ~doc:
+         "Improve the test order by simulated annealing (parallel tempering \
+          with --chains > 1).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -330,7 +343,7 @@ let replay_cmd =
 (* optimal                                                            *)
 
 let optimal_cmd =
-  let run spec width height leons plasmas power reuse max_nodes =
+  let run spec width height leons plasmas power reuse max_nodes orders =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
@@ -344,32 +357,58 @@ let optimal_cmd =
             (fun pct -> Core.System.power_limit_of_pct system ~pct)
             power
         in
-        match
-          Core.Exhaustive.schedule ~power_limit ~max_nodes ~reuse system
-        with
-        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | r ->
-            let greedy =
-              Core.Scheduler.run system
-                (Core.Scheduler.config ~power_limit ~reuse ())
-            in
-            Fmt.pr "%a@." Core.Schedule.pp r.Core.Exhaustive.schedule;
-            Fmt.pr
-              "greedy %d, branch-and-bound %d (%s, %d nodes expanded)@."
-              greedy.Core.Schedule.makespan
-              r.Core.Exhaustive.schedule.Core.Schedule.makespan
-              (if r.Core.Exhaustive.exact then "optimal"
-               else "node budget exhausted")
-              r.Core.Exhaustive.nodes;
-            0)
+        let greedy () =
+          Core.Scheduler.run system
+            (Core.Scheduler.config ~power_limit ~reuse ())
+        in
+        if orders then
+          match
+            Core.Exhaustive.order_search ~power_limit ~max_evals:max_nodes
+              ~reuse system
+          with
+          | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
+          | r ->
+              let greedy = greedy () in
+              Fmt.pr "%a@." Core.Schedule.pp r.Core.Exhaustive.schedule;
+              Fmt.pr
+                "greedy %d, best order %d (%s; %d engine evaluations, %d \
+                 subtrees pruned)@."
+                greedy.Core.Schedule.makespan
+                r.Core.Exhaustive.schedule.Core.Schedule.makespan
+                (if r.Core.Exhaustive.exact then "optimal over orders"
+                 else "evaluation budget exhausted")
+                r.Core.Exhaustive.evaluations r.Core.Exhaustive.pruned;
+              0
+        else
+          match
+            Core.Exhaustive.schedule ~power_limit ~max_nodes ~reuse system
+          with
+          | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
+          | r ->
+              let greedy = greedy () in
+              Fmt.pr "%a@." Core.Schedule.pp r.Core.Exhaustive.schedule;
+              Fmt.pr
+                "greedy %d, branch-and-bound %d (%s, %d nodes expanded)@."
+                greedy.Core.Schedule.makespan
+                r.Core.Exhaustive.schedule.Core.Schedule.makespan
+                (if r.Core.Exhaustive.exact then "optimal"
+                 else "node budget exhausted")
+                r.Core.Exhaustive.nodes;
+              0)
   in
   let max_nodes_arg =
     Arg.(value & opt int 300_000 & info [ "max-nodes" ] ~docv:"N"
-           ~doc:"Branch-and-bound node budget.")
+           ~doc:"Branch-and-bound node budget (engine evaluations with \
+                 $(b,--orders)).")
+  in
+  let orders_arg =
+    Arg.(value & flag & info [ "orders" ]
+           ~doc:"Search the order space (the space annealing samples) with \
+                 prefix-resumed evaluations instead of the schedule space.")
   in
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
-          $ plasmas_arg $ power_arg $ reuse_arg $ max_nodes_arg)
+          $ plasmas_arg $ power_arg $ reuse_arg $ max_nodes_arg $ orders_arg)
   in
   Cmd.v
     (cmd_info "optimal"

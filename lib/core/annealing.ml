@@ -5,6 +5,8 @@ type result = {
   initial_makespan : int;
   evaluations : int;
   accepted : int;
+  chains : int;
+  exchanges : int;
 }
 
 let improvement_pct r =
@@ -13,25 +15,101 @@ let improvement_pct r =
      -. float_of_int r.schedule.Schedule.makespan
         /. float_of_int r.initial_makespan)
 
+(* One tempering chain: its own generator, temperature, order buffer
+   and evaluation cache; traces flow between chains read-only. *)
+type chain = {
+  rng : Rng.t;
+  order : int array;
+  cache : Eval_cache.t;
+  mutable current : Scheduler.trace;
+  mutable best : Scheduler.trace;
+  mutable temperature : float;
+  mutable evaluations : int;
+  mutable accepted : int;
+}
+
+let makespan trace = (Scheduler.trace_schedule trace).Schedule.makespan
+
+(* Deterministic per-chain seed: chain 0 keeps the base seed (so a
+   single chain reproduces the historical sequential results exactly);
+   higher chains offset it by multiples of the splitmix64 golden-ratio
+   increment, decorrelating the streams without any cross-chain
+   coordination. *)
+let chain_seed base c =
+  if c = 0 then base
+  else Int64.add base (Int64.mul (Int64.of_int c) 0x9E3779B97F4A7C15L)
+
+(* [iterations] annealing moves on one chain.  For a single chain this
+   is, move for move, the historical sequential annealer: same
+   generator consumption, same Metropolis rule, same cooling — only
+   the evaluation goes through the prefix cache, which is
+   result-identical to a from-scratch run. *)
+let run_segment ~cooling ch iterations =
+  let n = Array.length ch.order in
+  if n >= 2 then
+    for _ = 1 to iterations do
+      let i = Rng.int ch.rng ~bound:n in
+      let j = Rng.int ch.rng ~bound:n in
+      if i <> j then begin
+        let swap () =
+          let tmp = ch.order.(i) in
+          ch.order.(i) <- ch.order.(j);
+          ch.order.(j) <- tmp
+        in
+        swap ();
+        match Eval_cache.evaluate ch.cache ch.order with
+        | exception Scheduler.Unschedulable _ -> swap () (* revert *)
+        | candidate ->
+            ch.evaluations <- ch.evaluations + 1;
+            let delta =
+              float_of_int (makespan candidate - makespan ch.current)
+            in
+            let accept =
+              delta <= 0.0
+              || ch.temperature > 0.0
+                 && Rng.float ch.rng < exp (-.delta /. ch.temperature)
+            in
+            if accept then begin
+              ch.accepted <- ch.accepted + 1;
+              ch.current <- candidate;
+              if makespan candidate < makespan ch.best then
+                ch.best <- candidate
+            end
+            else swap () (* revert *)
+      end;
+      ch.temperature <- ch.temperature *. cooling
+    done
+
 let schedule ?(policy = Scheduler.Greedy)
     ?(application = Nocplan_proc.Processor.Bist) ?(power_limit = None)
     ?(iterations = 400) ?initial_temperature ?(cooling = 0.99)
-    ?(seed = 0x5AL) ~reuse system =
+    ?(seed = 0x5AL) ?(chains = 1) ?(exchange_period = 50) ?access ~reuse
+    system =
   if iterations < 1 then invalid_arg "Annealing.schedule: iterations < 1";
   if cooling <= 0.0 || cooling > 1.0 then
     invalid_arg "Annealing.schedule: cooling must be in (0, 1]";
-  let rng = Rng.create seed in
-  (* One access table for all ~[iterations] engine evaluations: the
-     cost model does not depend on the test order being searched. *)
-  let access = Test_access.table ~application system in
-  let evaluate order =
-    Scheduler.run ~access system
-      (Scheduler.config ~policy ~application ~power_limit ~order ~reuse ())
+  if chains < 1 then invalid_arg "Annealing.schedule: chains < 1";
+  if exchange_period < 1 then
+    invalid_arg "Annealing.schedule: exchange_period < 1";
+  (* One access table for all engine evaluations across every chain:
+     the cost model does not depend on the test order being searched,
+     and the table is immutable, so the Domain fan-out can share it. *)
+  let access =
+    match access with
+    | Some tbl when Test_access.table_for tbl ~system ~application -> tbl
+    | Some _ | None -> Test_access.table ~application system
+  in
+  let base_config =
+    Scheduler.config ~policy ~application ~power_limit ~reuse ()
   in
   let initial_order = Array.of_list (Priority.order system ~reuse) in
   let n = Array.length initial_order in
-  let initial = evaluate (Array.to_list initial_order) in
-  let initial_makespan = initial.Schedule.makespan in
+  (* One shared initial evaluation seeds every chain's cache. *)
+  let initial =
+    Scheduler.run_traced ~access system
+      { base_config with Scheduler.order = Some (Array.to_list initial_order) }
+  in
+  let initial_makespan = makespan initial in
   let temperature0 =
     match initial_temperature with
     | Some t ->
@@ -39,50 +117,76 @@ let schedule ?(policy = Scheduler.Greedy)
         t
     | None -> 0.02 *. float_of_int initial_makespan
   in
-  let current_order = Array.copy initial_order in
-  let current = ref initial in
-  let best = ref initial in
-  let evaluations = ref 1 in
-  let accepted = ref 0 in
-  let temperature = ref temperature0 in
-  if n >= 2 then
-    for _ = 1 to iterations do
-      let i = Rng.int rng ~bound:n in
-      let j = Rng.int rng ~bound:n in
-      if i <> j then begin
-        let swap () =
-          let tmp = current_order.(i) in
-          current_order.(i) <- current_order.(j);
-          current_order.(j) <- tmp
-        in
-        swap ();
-        match evaluate (Array.to_list current_order) with
-        | exception Scheduler.Unschedulable _ -> swap () (* revert *)
-        | candidate ->
-            incr evaluations;
-            let delta =
-              float_of_int
-                (candidate.Schedule.makespan - !current.Schedule.makespan)
+  let make_chain c =
+    let cache = Eval_cache.create ~access system base_config in
+    Eval_cache.seed cache initial;
+    {
+      rng = Rng.create (chain_seed seed c);
+      order = Array.copy initial_order;
+      cache;
+      current = initial;
+      best = initial;
+      (* Temperature ladder: chain c starts 2^c hotter, so higher
+         chains explore while chain 0 refines. *)
+      temperature = temperature0 *. (2.0 ** float_of_int c);
+      evaluations = 0;
+      accepted = 0;
+    }
+  in
+  let all_chains = List.init chains make_chain in
+  let exchanges = ref 0 in
+  if chains = 1 then run_segment ~cooling (List.hd all_chains) iterations
+  else begin
+    (* Chains are batched round-robin over at most the recommended
+       domain count; the outcome depends only on the chain states at
+       the exchange barriers, never on how they were batched, so the
+       result is identical on any machine. *)
+    let workers = Domains.clamp chains in
+    let remaining = ref iterations in
+    while !remaining > 0 do
+      let span = min exchange_period !remaining in
+      remaining := !remaining - span;
+      if workers = 1 then
+        List.iter (fun ch -> run_segment ~cooling ch span) all_chains
+      else
+        List.init workers (fun d ->
+            let slice =
+              List.filteri (fun c _ -> c mod workers = d) all_chains
             in
-            let accept =
-              delta <= 0.0
-              || !temperature > 0.0
-                 && Rng.float rng < exp (-.delta /. !temperature)
-            in
-            if accept then begin
-              incr accepted;
-              current := candidate;
-              if
-                candidate.Schedule.makespan < !best.Schedule.makespan
-              then best := candidate
-            end
-            else swap () (* revert *)
-      end;
-      temperature := !temperature *. cooling
-    done;
+            Domain.spawn (fun () ->
+                List.iter (fun ch -> run_segment ~cooling ch span) slice))
+        |> List.iter Domain.join;
+      (* Best-exchange: every chain strictly worse than the global
+         best restarts its walk there (keeping its own temperature —
+         the tempering part). *)
+      let global_best =
+        List.fold_left
+          (fun acc ch -> if makespan ch.best < makespan acc then ch.best else acc)
+          (List.hd all_chains).best (List.tl all_chains)
+      in
+      if !remaining > 0 then
+        List.iter
+          (fun ch ->
+            if makespan ch.current > makespan global_best then begin
+              incr exchanges;
+              ch.current <- global_best;
+              Array.blit (Scheduler.trace_order global_best) 0 ch.order 0 n;
+              Eval_cache.seed ch.cache global_best
+            end)
+          all_chains
+    done
+  end;
+  let best =
+    List.fold_left
+      (fun acc ch -> if makespan ch.best < makespan acc then ch.best else acc)
+      (List.hd all_chains).best (List.tl all_chains)
+  in
   {
-    schedule = !best;
+    schedule = Scheduler.trace_schedule best;
     initial_makespan;
-    evaluations = !evaluations;
-    accepted = !accepted;
+    evaluations =
+      List.fold_left (fun acc ch -> acc + ch.evaluations) 1 all_chains;
+    accepted = List.fold_left (fun acc ch -> acc + ch.accepted) 0 all_chains;
+    chains;
+    exchanges = !exchanges;
   }

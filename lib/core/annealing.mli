@@ -1,4 +1,4 @@
-(** Simulated annealing over test orderings.
+(** Simulated annealing over test orderings, with parallel tempering.
 
     The greedy engine commits cores in a fixed visiting order; the
     paper derives that order from distances to the resources.  This
@@ -6,16 +6,30 @@
     positions, each candidate order is evaluated by running the
     (deterministic) engine, and worse moves are accepted with the usual
     Metropolis probability under a geometric cooling schedule.
+    Candidate evaluation goes through {!Eval_cache}: a swap at position
+    [p] re-schedules only the suffix from the divergence event, and a
+    revert is a cache hit instead of a re-run.
+
+    With [chains > 1] the search becomes parallel tempering: K
+    independent chains, deterministically seeded from the base seed
+    and started on a ×2-per-chain temperature ladder, run on OCaml
+    domains and exchange their best order every [exchange_period]
+    iterations (a chain strictly worse than the global best restarts
+    its walk there, keeping its own temperature).  The outcome is a
+    function of the parameters only — never of the machine's domain
+    count.
 
     Sits between the O(ms) greedy heuristic and the exponential
     {!Exhaustive} search: a few hundred engine evaluations buy most of
     the available improvement on mid-size systems. *)
 
 type result = {
-  schedule : Schedule.t;  (** best schedule found *)
+  schedule : Schedule.t;  (** best schedule found across all chains *)
   initial_makespan : int;  (** the heuristic-order (greedy) makespan *)
-  evaluations : int;  (** engine runs performed *)
+  evaluations : int;  (** engine runs performed, summed over chains *)
   accepted : int;  (** moves accepted (including uphill ones) *)
+  chains : int;  (** tempering chains run *)
+  exchanges : int;  (** best-exchange adoptions between chains *)
 }
 
 val improvement_pct : result -> float
@@ -29,16 +43,24 @@ val schedule :
   ?initial_temperature:float ->
   ?cooling:float ->
   ?seed:int64 ->
+  ?chains:int ->
+  ?exchange_period:int ->
+  ?access:Test_access.table ->
   reuse:int ->
   System.t ->
   result
 (** Run the search.  Defaults: [Greedy] inner policy, BIST, no power
-    limit, [iterations = 400], [initial_temperature] = 2% of the
-    initial makespan, [cooling = 0.99] per iteration, [seed = 0x5AL].
-    Fully deterministic for fixed arguments.  The result is never worse
-    than the plain heuristic order.
+    limit, [iterations = 400] (per chain), [initial_temperature] = 2%
+    of the initial makespan, [cooling = 0.99] per iteration,
+    [seed = 0x5AL], [chains = 1], [exchange_period = 50].  Fully
+    deterministic for fixed arguments; [chains = 1] reproduces the
+    historical sequential annealer move for move.  The result is never
+    worse than the plain heuristic order.  [access] shares a
+    precomputed table as in {!Planner.reuse_sweep}; a mismatched table
+    is ignored.
 
     @raise Scheduler.Unschedulable if even the initial order cannot be
     scheduled.
-    @raise Invalid_argument for non-positive [iterations], [cooling]
-    outside (0, 1], or negative temperature. *)
+    @raise Invalid_argument for non-positive [iterations], [chains] or
+    [exchange_period], [cooling] outside (0, 1], or negative
+    temperature. *)

@@ -1,0 +1,2 @@
+let clamp requested =
+  max 1 (min requested (Domain.recommended_domain_count ()))

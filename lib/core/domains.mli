@@ -1,0 +1,14 @@
+(** Shared domain-count policy for the Domain fan-outs.
+
+    OCaml 5 domains are heavyweight (one systhread + minor heap each),
+    so every parallel driver in the tree — {!Planner.reuse_sweep}, the
+    {!Annealing} tempering chains, the serve worker pool — clamps its
+    requested parallelism the same way instead of each inventing its
+    own. *)
+
+val clamp : int -> int
+(** [clamp requested] is [requested] bounded to
+    [1 .. Domain.recommended_domain_count ()].  Counts above the
+    recommendation cannot run in parallel anyway and only add spawn
+    and contention overhead; results never depend on the domain count,
+    so clamping is invisible to callers. *)

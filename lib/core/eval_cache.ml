@@ -1,0 +1,108 @@
+type snapshot = {
+  evaluations : int;
+  full_runs : int;
+  resumed : int;
+  exact_hits : int;
+}
+
+type t = {
+  system : System.t;
+  cfg : Scheduler.config;
+  access : Test_access.table;
+  (* One arena per cache: a cache already serves exactly one search
+     chain (it is not domain-safe), which is the ownership contract
+     [Scheduler.workspace] asks for. *)
+  workspace : Scheduler.workspace;
+  capacity : int;
+  mutable traces : Scheduler.trace list;  (* most recently used first *)
+  mutable evaluations : int;
+  mutable full_runs : int;
+  mutable resumed : int;
+  mutable exact_hits : int;
+}
+
+let create ?(capacity = 4) ?access system cfg =
+  if capacity < 1 then invalid_arg "Eval_cache.create: capacity must be >= 1";
+  let application = cfg.Scheduler.application in
+  let access =
+    match access with
+    | Some tbl when Test_access.table_for tbl ~system ~application -> tbl
+    | Some _ | None -> Test_access.table ~application system
+  in
+  {
+    system;
+    cfg = { cfg with Scheduler.order = None };
+    access;
+    workspace = Scheduler.workspace ();
+    capacity;
+    traces = [];
+    evaluations = 0;
+    full_runs = 0;
+    resumed = 0;
+    exact_hits = 0;
+  }
+
+let access t = t.access
+let traces t = t.traces
+
+let stats t =
+  {
+    evaluations = t.evaluations;
+    full_runs = t.full_runs;
+    resumed = t.resumed;
+    exact_hits = t.exact_hits;
+  }
+
+(* Keep [trace] at the front; drop the least recently used entry
+   beyond the capacity. *)
+let remember t trace =
+  let rest = List.filter (fun tr -> tr != trace) t.traces in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | tr :: rest -> tr :: take (n - 1) rest
+  in
+  t.traces <- trace :: take (t.capacity - 1) rest
+
+let seed t trace =
+  if not (Scheduler.trace_matches trace ~system:t.system t.cfg) then
+    invalid_arg
+      "Eval_cache.seed: trace was produced for another system or \
+       configuration";
+  remember t trace
+
+let evaluate t order =
+  t.evaluations <- t.evaluations + 1;
+  (* Rank entries by how many commits [resume] would replay verbatim,
+     not by shared-prefix length: a trace with a shorter prefix but a
+     narrower changed window can be far cheaper to resume from.  Ties
+     keep the most recently used entry. *)
+  let best =
+    List.fold_left
+      (fun acc tr ->
+        let g = Scheduler.resume_gain tr order in
+        match acc with
+        | Some (_, best_g) when best_g >= g -> acc
+        | _ -> Some (tr, g))
+      None t.traces
+  in
+  match best with
+  | Some (tr, g) when g = max_int ->
+      t.exact_hits <- t.exact_hits + 1;
+      remember t tr;
+      tr
+  | Some (tr, _) ->
+      t.resumed <- t.resumed + 1;
+      let tr' = Scheduler.resume ~workspace:t.workspace tr order in
+      remember t tr';
+      tr'
+  | None ->
+      t.full_runs <- t.full_runs + 1;
+      let tr =
+        Scheduler.run_traced ~workspace:t.workspace ~access:t.access t.system
+          { t.cfg with Scheduler.order = Some (Array.to_list order) }
+      in
+      remember t tr;
+      tr
+
+let schedule t order = Scheduler.trace_schedule (evaluate t order)

@@ -1,0 +1,62 @@
+(** Prefix-keyed evaluation cache over {!Scheduler} traces.
+
+    The search drivers ({!Annealing}, the order-space branch-and-bound
+    in {!Exhaustive}) evaluate many orders that agree on long
+    prefixes: a swap move changes nothing before its first swapped
+    position, permutations are enumerated in lexicographic order, and
+    a rejected move's revert is the previous order verbatim.  The
+    cache keeps the most recent traces for one (system, configuration)
+    key; each evaluation finds the cached trace with the longest
+    common order prefix and {!Scheduler.resume}s it, which is
+    byte-identical to a from-scratch run at a fraction of the work.
+    An identical order is a pure lookup. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?access:Test_access.table -> System.t ->
+  Scheduler.config -> t
+(** A cache for evaluations of one system under one configuration
+    (the [order] field of the configuration is ignored — it is the
+    quantity being searched).  [capacity] (default 4) bounds the
+    retained traces, evicted least-recently-used.  [access] shares a
+    precomputed table as in {!Planner.reuse_sweep}: a table built for
+    a different system or application is ignored and a fresh one built
+    instead.
+
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val evaluate : t -> int array -> Scheduler.trace
+(** Evaluate one order (not mutated; traces copy it).  Exact hits
+    return the cached trace; otherwise the best-prefix trace is
+    resumed, or a full run performed on an empty cache.
+
+    @raise Scheduler.Unschedulable as {!Scheduler.run} (nothing is
+    cached for the failed order).
+    @raise Invalid_argument if [order] is not a permutation of the
+    configured module set. *)
+
+val schedule : t -> int array -> Schedule.t
+(** [Scheduler.trace_schedule (evaluate t order)]. *)
+
+val seed : t -> Scheduler.trace -> unit
+(** Insert a trace produced elsewhere (e.g. the shared initial
+    evaluation of the tempering chains, or a best-exchange import).
+    @raise Invalid_argument if the trace belongs to another system or
+    configuration. *)
+
+val traces : t -> Scheduler.trace list
+(** Retained traces, most recently used first — the branch-and-bound
+    reads these to prune with {!Scheduler.prefix_bound}. *)
+
+val access : t -> Test_access.table
+(** The access table every evaluation shares. *)
+
+type snapshot = {
+  evaluations : int;  (** {!evaluate} calls *)
+  full_runs : int;  (** evaluated from scratch (cold cache) *)
+  resumed : int;  (** evaluated by prefix resume *)
+  exact_hits : int;  (** returned a cached trace unchanged *)
+}
+
+val stats : t -> snapshot

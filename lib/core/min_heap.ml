@@ -10,6 +10,7 @@ let create ?(capacity = 16) () =
 
 let length h = h.len
 let is_empty h = h.len = 0
+let clear h = h.len <- 0
 
 let grow h =
   let cap = 2 * Array.length h.keys in

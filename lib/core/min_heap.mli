@@ -23,3 +23,7 @@ val peek : t -> (int * int) option
 
 val length : t -> int
 val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empty the heap, keeping the backing arrays' capacity — for arenas
+    that reuse one heap across many runs. *)

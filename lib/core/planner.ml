@@ -39,11 +39,7 @@ let schedule ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
 let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
     ?power_limit_pct ?max_reuse ?(domains = 1) ?access system =
   if domains < 1 then invalid_arg "Planner.reuse_sweep: domains must be >= 1";
-  (* Never spawn more domains than the runtime recommends: OCaml 5
-     domains are heavyweight (one systhread + minor heap each), and
-     oversubscription only adds contention.  The result is identical
-     for any domain count, so clamping is invisible to callers. *)
-  let domains = min domains (Domain.recommended_domain_count ()) in
+  let domains = Domains.clamp domains in
   let max_reuse =
     match max_reuse with
     | Some n -> n

@@ -27,7 +27,9 @@ let plan_of_sessions sessions =
     sessions;
   let sessions =
     List.sort
-      (fun a b -> Stdlib.compare (a.start, a.module_id) (b.start, b.module_id))
+      (fun a b ->
+        let c = Int.compare a.start b.start in
+        if c <> 0 then c else Int.compare a.module_id b.module_id)
       sessions
   in
   let makespan = List.fold_left (fun acc s -> max acc s.finish) 0 sessions in
@@ -101,6 +103,22 @@ let schedule system config =
   in
   let pending = ref jobs in
   let cost_cache = Hashtbl.create 128 in
+  (* The chunked costs are computed on the fly rather than read from
+     an access table, so the calendar's channel ids are interned
+     here. *)
+  let channel_ids : (Link.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let channels_of links =
+    Array.of_list
+      (List.map
+         (fun l ->
+           match Hashtbl.find_opt channel_ids l with
+           | Some c -> c
+           | None ->
+               let c = Hashtbl.length channel_ids in
+               Hashtbl.add channel_ids l c;
+               c)
+         links)
+  in
   let cost ~patterns module_id source sink =
     let key = (patterns, module_id, source, sink) in
     match Hashtbl.find_opt cost_cache key with
@@ -110,6 +128,7 @@ let schedule system config =
           Test_access.cost ~patterns system ~application:config.application
             ~module_id ~source ~sink
         in
+        let c = (c, channels_of c.Test_access.links) in
         Hashtbl.add cost_cache key c;
         c
   in
@@ -143,18 +162,21 @@ let schedule system config =
                 else None)
               idle)
           idle
-        |> List.sort (fun (_, _, a) (_, _, b) -> Stdlib.compare a b)
+        |> List.sort (fun (_, _, a) (_, _, b) -> Int.compare a b)
       in
       let commit (src, snk, _) =
-        let c = cost ~patterns:job.chunk_patterns job.job_module src.endpoint snk.endpoint in
+        let c, channels =
+          cost ~patterns:job.chunk_patterns job.job_module src.endpoint
+            snk.endpoint
+        in
         let finish = now + c.Test_access.duration in
         if
-          Reservation.is_free calendar c.Test_access.links ~start:now ~finish
+          Reservation.is_free calendar channels ~start:now ~finish
           && Power_monitor.fits monitor ~start:now ~finish
                ~power:c.Test_access.power
         then begin
-          Reservation.reserve calendar ~owner:job.job_module
-            c.Test_access.links ~start:now ~finish;
+          Reservation.reserve calendar ~owner:job.job_module channels
+            ~start:now ~finish;
           Power_monitor.add monitor ~start:now ~finish
             ~power:c.Test_access.power;
           src.avail <- Some finish;

@@ -22,5 +22,10 @@ let order system ~reuse =
   in
   System.module_ids system
   |> List.map (fun id -> (key id, id))
-  |> List.sort (fun (ka, _) (kb, _) -> Stdlib.compare ka kb)
+  |> List.sort (fun ((da, ba, ia), _) ((db, bb, ib), _) ->
+         let c = Int.compare da db in
+         if c <> 0 then c
+         else
+           let c = Int.compare ba bb in
+           if c <> 0 then c else Int.compare ia ib)
   |> List.map snd

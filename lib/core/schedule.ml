@@ -23,7 +23,9 @@ let of_entries entries =
     entries;
   let entries =
     List.sort
-      (fun a b -> Stdlib.compare (a.start, a.module_id) (b.start, b.module_id))
+      (fun a b ->
+        let c = Int.compare a.start b.start in
+        if c <> 0 then c else Int.compare a.module_id b.module_id)
       entries
   in
   let makespan = List.fold_left (fun acc e -> max acc e.finish) 0 entries in

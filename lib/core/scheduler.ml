@@ -37,37 +37,207 @@ let pp_policy ppf = function
    idle from. *)
 let not_pooled = -1
 
-let run ?access system config =
-  let table =
-    match access with
-    | Some t ->
-        if not (Test_access.table_for t ~system ~application:config.application)
-        then
-          invalid_arg
-            "Scheduler.run: access table was built for another system or \
-             application";
-        t
-    | None -> Test_access.table ~application:config.application system
+(* ------------------------------------------------------------------ *)
+(* Commit traces                                                      *)
+
+(* One committed test, with enough context to replay it without a
+   candidate search or an [is_free] revalidation: the slot indices it
+   occupied, the position of its module in the evaluated order, and
+   the channel ids it booked (shared with the access table, never
+   mutated). *)
+type commit = {
+  c_entry : Schedule.entry;
+  c_src : int;
+  c_snk : int;
+  c_pos : int;
+  c_channels : int array;
+}
+
+type trace = {
+  t_system : System.t;
+  t_access : Test_access.table;
+  t_config : config;  (* with [order = None]; the order lives in [t_order] *)
+  t_order : int array;
+  t_commits : commit array;  (* chronological: starts are nondecreasing *)
+  t_schedule : Schedule.t;
+  (* Final power ledger, kept so [resume] can restore any commit-prefix
+     snapshot by truncation (never mutated once the trace is built). *)
+  t_monitor : Power_monitor.t;
+}
+
+let trace_schedule t = t.t_schedule
+let trace_order t = Array.copy t.t_order
+let trace_length t = Array.length t.t_order
+
+let trace_matches t ~system cfg =
+  Test_access.table_for t.t_access ~system ~application:cfg.application
+  && t.t_config = { cfg with order = None }
+
+let trace_lcp t order =
+  let n = min (Array.length t.t_order) (Array.length order) in
+  let i = ref 0 in
+  while !i < n && t.t_order.(!i) = order.(!i) do incr i done;
+  !i
+
+(* Last position at which [order] still differs from the traced order;
+   -1 when they agree everywhere (callers only use it when they
+   don't). *)
+let trace_last_diff t order =
+  let i = ref (min (Array.length t.t_order) (Array.length order) - 1) in
+  while !i >= 0 && t.t_order.(!i) = order.(!i) do decr i done;
+  !i
+
+(* Index of the first traced commit whose order position falls in the
+   changed window [[p, hi]] — the earliest point at which a run of the
+   new order can diverge from the traced one (see the exactness note
+   above [resume]).  -1 if no commit does (only possible when the
+   window is empty). *)
+let divergence_stop t ~p ~hi =
+  let stop = ref (-1) in
+  (try
+     Array.iteri
+       (fun k c ->
+         if c.c_pos >= p && c.c_pos <= hi then begin
+           stop := k;
+           raise Exit
+         end)
+       t.t_commits
+   with Exit -> ());
+  !stop
+
+(* Largest finish over the commits shared by every order agreeing with
+   the traced one on its first [prefix_len] positions.  Commits logged
+   before the first commit of a module at position >= [prefix_len]
+   replay identically in all such runs (attempts proceed in order
+   position, and failed attempts are side-effect-free), so their
+   maximal finish lower-bounds every makespan in the subtree — the
+   pruning rule of the order-space branch-and-bound. *)
+let prefix_bound t ~prefix_len =
+  let bound = ref t.t_config.start_time in
+  (try
+     Array.iter
+       (fun c ->
+         if c.c_pos >= prefix_len then raise Exit;
+         if c.c_entry.Schedule.finish > !bound then
+           bound := c.c_entry.Schedule.finish)
+       t.t_commits
+   with Exit -> ());
+  !bound
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                       *)
+
+(* The full mutable state of one evaluation, snapshotted implicitly by
+   the commit log: every field below is a pure function of the commit
+   prefix applied so far, which is what makes [resume] possible. *)
+type engine = {
+  e_system : System.t;
+  e_table : Test_access.table;
+  e_config : config;
+  e_order : int array;
+  e_endpoints : Resource.endpoint array;
+  e_n : int;
+  e_tix : int array;  (* slot index -> table endpoint index *)
+  e_proc_slot : (int, int) Hashtbl.t;
+  e_pos : (int, int) Hashtbl.t;  (* module id -> position in e_order *)
+  e_avail : int array;
+  e_releases : Min_heap.t;
+  e_calendar : Reservation.t;
+  e_monitor : Power_monitor.t;
+  mutable e_now : int;
+  mutable e_committed : Schedule.entry list;
+  mutable e_commits : commit list;  (* reversed chronological log *)
+}
+
+let resolve_table ?access ~application system =
+  match access with
+  | Some t ->
+      if not (Test_access.table_for t ~system ~application) then
+        invalid_arg
+          "Scheduler.run: access table was built for another system or \
+           application";
+      t
+  | None -> Test_access.table ~application system
+
+let wanted_modules system config =
+  match config.modules with
+  | None -> System.module_ids system
+  | Some ids ->
+      List.iter
+        (fun id ->
+          if not (Nocplan_itc02.Soc.mem system.System.soc id) then
+            invalid_arg
+              (Printf.sprintf "Scheduler.run: unknown module %d" id))
+        ids;
+      List.sort_uniq Int.compare ids
+
+(* Membership check instead of sort-and-compare: O(n) and
+   allocation-light, which matters because search drivers validate an
+   order on every single evaluation. *)
+let check_permutation ~wanted order =
+  let remaining = Hashtbl.create (max 1 (List.length wanted)) in
+  List.iter (fun id -> Hashtbl.replace remaining id ()) wanted;
+  let consumed =
+    List.for_all
+      (fun id ->
+        Hashtbl.mem remaining id
+        && begin
+             Hashtbl.remove remaining id;
+             true
+           end)
+      order
   in
+  if not (consumed && Hashtbl.length remaining = 0) then
+    invalid_arg
+      "Scheduler.run: order must be a permutation of the scheduled module ids"
+
+(* The evaluation arena: every engine part that does not depend on the
+   evaluated order, reusable across evaluations of one (system, table,
+   config) triple.  Search drivers evaluate thousands of orders
+   against a single configuration, and rebuilding the endpoint
+   resolution, availability array, release heap and — above all — the
+   reservation calendar per evaluation dominated the cost of short
+   incremental runs. *)
+type arena = {
+  a_system : System.t;
+  a_table : Test_access.table;
+  a_config : config;  (* with [order = None], like [e_config] *)
+  a_endpoints : Resource.endpoint array;
+  a_n : int;
+  a_tix : int array;
+  a_proc_slot : (int, int) Hashtbl.t;
+  a_avail0 : int array;  (* availability at [config.start_time] *)
+  a_avail : int array;
+  a_pos : (int, int) Hashtbl.t;
+  a_releases : Min_heap.t;
+  a_calendar : Reservation.t;
+}
+
+(* A workspace owns at most one arena (the last configuration it
+   served).  Engines borrow the arena's mutable state, so a workspace
+   must never serve two live engines at once — one workspace per
+   search chain, never shared across domains. *)
+type workspace = { mutable w_arena : arena option }
+
+let workspace () = { w_arena = None }
+
+let build_arena ~table system config =
   let endpoints =
     Array.of_list (Resource.all_endpoints system ~reuse:config.reuse)
   in
   let n = Array.length endpoints in
-  (* Slot index -> table endpoint index, resolved once. *)
   let tix = Array.map (Test_access.endpoint_id table) endpoints in
   let pretested = Hashtbl.create (max 1 (List.length config.pretested)) in
   List.iter (fun id -> Hashtbl.replace pretested id ()) config.pretested;
-  let avail = Array.make (max 1 n) not_pooled in
+  let avail0 = Array.make (max 1 n) not_pooled in
   Array.iteri
     (fun i endpoint ->
       match endpoint with
       | Resource.External_in _ | Resource.External_out _ ->
-          avail.(i) <- config.start_time
+          avail0.(i) <- config.start_time
       | Resource.Processor id ->
-          if Hashtbl.mem pretested id then avail.(i) <- config.start_time)
+          if Hashtbl.mem pretested id then avail0.(i) <- config.start_time)
     endpoints;
-  (* Processor module id -> slot index, for the pool-join on test
-     completion. *)
   let proc_slot = Hashtbl.create (max 1 n) in
   Array.iteri
     (fun i endpoint ->
@@ -75,156 +245,214 @@ let run ?access system config =
       | Resource.Processor id -> Hashtbl.replace proc_slot id i
       | Resource.External_in _ | Resource.External_out _ -> ())
     endpoints;
-  (* Endpoint-release event queue.  Every future availability time is
-     pushed when assigned; popped entries are validated against the
-     current slot state, so stale (overwritten) times are discarded. *)
-  let releases = Min_heap.create () in
-  let now = ref config.start_time in
-  let set_avail i time =
-    avail.(i) <- time;
-    if time > !now then Min_heap.push releases ~key:time ~value:i
+  {
+    a_system = system;
+    a_table = table;
+    a_config = { config with order = None };
+    a_endpoints = endpoints;
+    a_n = n;
+    a_tix = tix;
+    a_proc_slot = proc_slot;
+    a_avail0 = avail0;
+    a_avail = Array.copy avail0;
+    a_pos = Hashtbl.create 32;
+    a_releases = Min_heap.create ();
+    a_calendar = Reservation.create ();
+  }
+
+let make_engine ?workspace ~table system config order =
+  let cfg = { config with order = None } in
+  let arena =
+    match workspace with
+    | Some { w_arena = Some a }
+      when a.a_table == table && a.a_system == system && a.a_config = cfg ->
+        (* Reset in place: capacities (calendar storage, heap arrays)
+           stay warm from the previous evaluation. *)
+        Array.blit a.a_avail0 0 a.a_avail 0 (Array.length a.a_avail0);
+        Min_heap.clear a.a_releases;
+        Reservation.clear a.a_calendar;
+        Hashtbl.reset a.a_pos;
+        a
+    | Some w ->
+        let a = build_arena ~table system config in
+        w.w_arena <- Some a;
+        a
+    | None -> build_arena ~table system config
   in
-  let calendar = Reservation.create () in
-  let monitor = Power_monitor.create ~limit:config.power_limit in
-  let committed = ref [] in
-  let wanted =
-    match config.modules with
-    | None -> System.module_ids system
-    | Some ids ->
-        List.iter
-          (fun id ->
-            if not (Nocplan_itc02.Soc.mem system.System.soc id) then
-              invalid_arg
-                (Printf.sprintf "Scheduler.run: unknown module %d" id))
-          ids;
-        List.sort_uniq Stdlib.compare ids
+  Array.iteri (fun p id -> Hashtbl.replace arena.a_pos id p) order;
+  {
+    e_system = system;
+    e_table = table;
+    e_config = cfg;
+    e_order = order;
+    e_endpoints = arena.a_endpoints;
+    e_n = arena.a_n;
+    e_tix = arena.a_tix;
+    e_proc_slot = arena.a_proc_slot;
+    e_pos = arena.a_pos;
+    e_avail = arena.a_avail;
+    e_releases = arena.a_releases;
+    e_calendar = arena.a_calendar;
+    e_monitor = Power_monitor.create ~limit:config.power_limit;
+    e_now = config.start_time;
+    e_committed = [];
+    e_commits = [];
+  }
+
+let set_avail e i time =
+  e.e_avail.(i) <- time;
+  if time > e.e_now then Min_heap.push e.e_releases ~key:time ~value:i
+
+let try_commit e ~now module_id row (i, j, _avail) =
+  let src = e.e_tix.(i) and snk = e.e_tix.(j) in
+  let c = Test_access.cost_ix e.e_table ~row ~src ~snk in
+  let channels = Test_access.channels_ix e.e_table ~row ~src ~snk in
+  let finish = now + c.Test_access.duration in
+  if
+    Reservation.is_free e.e_calendar channels ~start:now ~finish
+    && Power_monitor.fits e.e_monitor ~start:now ~finish
+         ~power:c.Test_access.power
+  then begin
+    Reservation.reserve e.e_calendar ~owner:module_id channels ~start:now
+      ~finish;
+    Power_monitor.add e.e_monitor ~start:now ~finish ~power:c.Test_access.power;
+    set_avail e i finish;
+    set_avail e j finish;
+    let entry =
+      {
+        Schedule.module_id;
+        source = e.e_endpoints.(i);
+        sink = e.e_endpoints.(j);
+        start = now;
+        finish;
+        power = c.Test_access.power;
+        links = c.Test_access.links;
+      }
+    in
+    e.e_committed <- entry :: e.e_committed;
+    e.e_commits <-
+      { c_entry = entry; c_src = i; c_snk = j;
+        c_pos = Hashtbl.find e.e_pos module_id; c_channels = channels }
+      :: e.e_commits;
+    Log.debug (fun m ->
+        m "t=%d: start module %d on %a -> %a (finish %d, power %.1f)" now
+          module_id Resource.pp e.e_endpoints.(i) Resource.pp e.e_endpoints.(j)
+          finish c.Test_access.power);
+    (* A freshly tested reusable processor joins the pool when its
+       test completes. *)
+    (match System.processor_of_module e.e_system module_id with
+    | Some _ -> (
+        match Hashtbl.find_opt e.e_proc_slot module_id with
+        | Some k -> set_avail e k finish
+        | None -> (* beyond the reuse horizon: tested but not reused *) ())
+    | None -> ());
+    true
+  end
+  else false
+
+(* Candidate (source, sink) slot pairs for one core among the
+   eligible slots [slots.(0 .. k-1)] (ascending slot order), each with
+   the time both ends are idle.  Pairs rejected by the admission table
+   (role compatibility, faulty links on the XY paths, decompression
+   memory) are dropped here.  Built source-major in slot order,
+   matching the visiting order the greedy tie-break depends on. *)
+let pairs_of e ~row slots k =
+  let avail = e.e_avail and tix = e.e_tix in
+  let candidates = ref [] in
+  for a = k - 1 downto 0 do
+    let i = slots.(a) in
+    for b = k - 1 downto 0 do
+      let j = slots.(b) in
+      if Test_access.feasible_ix e.e_table ~row ~src:tix.(i) ~snk:tix.(j)
+      then candidates := (i, j, max avail.(i) avail.(j)) :: !candidates
+    done
+  done;
+  !candidates
+
+(* One scheduling attempt for one core at time [now].  Returns true
+   if the core was started. *)
+let attempt_greedy e ~slots ~k ~now module_id =
+  let row = Test_access.module_row e.e_table module_id in
+  (* "The greedy behavior ... forces it to select the first test
+     interface available": order pairs by how early they became
+     idle. *)
+  let candidates =
+    List.stable_sort
+      (fun (_, _, a) (_, _, b) -> Int.compare a b)
+      (pairs_of e ~row slots k)
   in
-  let initial_order =
-    match config.order with
-    | None ->
-        let wanted_set = Hashtbl.create (List.length wanted) in
-        List.iter (fun id -> Hashtbl.replace wanted_set id ()) wanted;
-        List.filter
-          (fun id -> Hashtbl.mem wanted_set id)
-          (Priority.order system ~reuse:config.reuse)
-    | Some order ->
-        if List.sort Stdlib.compare order <> wanted then
-          invalid_arg
-            "Scheduler.run: order must be a permutation of the scheduled \
-             module ids";
-        order
+  List.exists (try_commit e ~now module_id row) candidates
+
+let attempt_lookahead e ~slots ~k ~now module_id =
+  let row = Test_access.module_row e.e_table module_id in
+  let estimated_finish (i, j, avail) =
+    let c =
+      Test_access.cost_ix e.e_table ~row ~src:e.e_tix.(i) ~snk:e.e_tix.(j)
+    in
+    max now avail + c.Test_access.duration
   in
-  let pending = ref initial_order in
-  let try_commit ~now module_id row (i, j, _avail) =
-    let c = Test_access.cost_ix table ~row ~src:tix.(i) ~snk:tix.(j) in
-    let finish = now + c.Test_access.duration in
-    if
-      Reservation.is_free calendar c.Test_access.links ~start:now ~finish
-      && Power_monitor.fits monitor ~start:now ~finish
-           ~power:c.Test_access.power
-    then begin
-      Reservation.reserve calendar ~owner:module_id c.Test_access.links
-        ~start:now ~finish;
-      Power_monitor.add monitor ~start:now ~finish ~power:c.Test_access.power;
-      set_avail i finish;
-      set_avail j finish;
-      let entry =
-        {
-          Schedule.module_id;
-          source = endpoints.(i);
-          sink = endpoints.(j);
-          start = now;
-          finish;
-          power = c.Test_access.power;
-          links = c.Test_access.links;
-        }
-      in
-      committed := entry :: !committed;
-      Log.debug (fun m ->
-          m "t=%d: start module %d on %a -> %a (finish %d, power %.1f)" now
-            module_id Resource.pp endpoints.(i) Resource.pp endpoints.(j)
-            finish c.Test_access.power);
-      (* A freshly tested reusable processor joins the pool when its
-         test completes. *)
-      (match System.processor_of_module system module_id with
-      | Some _ -> (
-          match Hashtbl.find_opt proc_slot module_id with
-          | Some k -> set_avail k finish
-          | None -> (* beyond the reuse horizon: tested but not reused *) ())
-      | None -> ());
-      true
-    end
-    else false
+  let candidates =
+    pairs_of e ~row slots k
+    |> List.map (fun pair -> (estimated_finish pair, pair))
+    |> List.stable_sort (fun (fa, _) (fb, _) -> Int.compare fa fb)
+    |> List.map snd
   in
-  (* Candidate (source, sink) slot pairs for one core among the slots
-     accepted by [eligible], each with the time both ends are idle.
-     Pairs rejected by the admission table (role compatibility, faulty
-     links on the XY paths, decompression memory) are dropped here.
-     Built source-major in slot order, matching the visiting order the
-     greedy tie-break depends on. *)
-  let pairs_of ~row eligible =
-    let candidates = ref [] in
-    for i = n - 1 downto 0 do
-      if eligible avail.(i) then
-        for j = n - 1 downto 0 do
-          if
-            eligible avail.(j)
-            && Test_access.feasible_ix table ~row ~src:tix.(i) ~snk:tix.(j)
-          then candidates := (i, j, max avail.(i) avail.(j)) :: !candidates
-        done
+  (* Take candidates in completion order; commit the first idle one,
+     but stop as soon as the best remaining pair is still busy —
+     waiting for it beats settling for a worse pair. *)
+  let rec go = function
+    | [] -> false
+    | ((_, _, avail) as pair) :: rest ->
+        if avail > now then false
+        else if try_commit e ~now module_id row pair then true
+        else go rest
+  in
+  go candidates
+
+let event_loop e pending0 =
+  (* The eligible-slot set is a function of the availability array and
+     the current time, both of which change only on a commit or an
+     event advance — so it is computed once per quiescent stretch and
+     shared by every pending module's attempt, instead of rescanning
+     all slots (most attempts fail) per attempt. *)
+  let eligible =
+    match e.e_config.policy with
+    | Greedy -> fun a -> a <> not_pooled && a <= e.e_now
+    | Lookahead -> fun a -> a <> not_pooled
+  in
+  let slots = Array.make (max 1 e.e_n) 0 in
+  let k = ref 0 in
+  let stale = ref true in
+  let refresh () =
+    k := 0;
+    for i = 0 to e.e_n - 1 do
+      if eligible e.e_avail.(i) then begin
+        slots.(!k) <- i;
+        incr k
+      end
     done;
-    !candidates
-  in
-  (* One scheduling attempt for one core at time [now].  Returns true
-     if the core was started. *)
-  let attempt_greedy ~now module_id =
-    let row = Test_access.module_row table module_id in
-    (* "The greedy behavior ... forces it to select the first test
-       interface available": order pairs by how early they became
-       idle. *)
-    let candidates =
-      List.stable_sort
-        (fun (_, _, a) (_, _, b) -> Stdlib.compare a b)
-        (pairs_of ~row (fun a -> a <> not_pooled && a <= now))
-    in
-    List.exists (try_commit ~now module_id row) candidates
-  in
-  let attempt_lookahead ~now module_id =
-    let row = Test_access.module_row table module_id in
-    let estimated_finish (i, j, avail) =
-      let c = Test_access.cost_ix table ~row ~src:tix.(i) ~snk:tix.(j) in
-      max now avail + c.Test_access.duration
-    in
-    let candidates =
-      pairs_of ~row (fun a -> a <> not_pooled)
-      |> List.map (fun pair -> (estimated_finish pair, pair))
-      |> List.stable_sort (fun (fa, _) (fb, _) -> Stdlib.compare fa fb)
-      |> List.map snd
-    in
-    (* Take candidates in completion order; commit the first idle one,
-       but stop as soon as the best remaining pair is still busy —
-       waiting for it beats settling for a worse pair. *)
-    let rec go = function
-      | [] -> false
-      | ((_, _, avail) as pair) :: rest ->
-          if avail > now then false
-          else if try_commit ~now module_id row pair then true
-          else go rest
-    in
-    go candidates
+    stale := false
   in
   let attempt =
-    match config.policy with
-    | Greedy -> attempt_greedy
-    | Lookahead -> attempt_lookahead
+    let go =
+      match e.e_config.policy with
+      | Greedy -> attempt_greedy e
+      | Lookahead -> attempt_lookahead e
+    in
+    fun ~now id ->
+      if !stale then refresh ();
+      let committed = go ~slots ~k:!k ~now id in
+      if committed then stale := true;
+      committed
   in
+  let pending = ref pending0 in
   let guard = ref 0 in
   while !pending <> [] do
     incr guard;
     if !guard > 10_000_000 then
       raise (Unschedulable "scheduler did not converge");
     let scheduled, still_pending =
-      List.partition (fun id -> attempt ~now:!now id) !pending
+      List.partition (fun id -> attempt ~now:e.e_now id) !pending
     in
     ignore scheduled;
     pending := still_pending;
@@ -233,22 +461,170 @@ let run ?access system config =
          that still matches its slot's availability (later bookings
          overwrite earlier release times, leaving stale entries). *)
       let rec next_event () =
-        match Min_heap.pop releases with
+        match Min_heap.pop e.e_releases with
         | None -> None
         | Some (time, i) ->
-            if time > !now && avail.(i) = time then Some time
+            if time > e.e_now && e.e_avail.(i) = time then Some time
             else next_event ()
       in
       match next_event () with
-      | Some t -> now := t
+      | Some t ->
+          e.e_now <- t;
+          stale := true
       | None ->
           raise
             (Unschedulable
                (Printf.sprintf
                   "no progress at t=%d with %d cores pending (power limit too \
                    tight or no resources)"
-                  !now
+                  e.e_now
                   (List.length !pending)))
     end
-  done;
-  Schedule.of_entries !committed
+  done
+
+let finish_trace e =
+  {
+    t_system = e.e_system;
+    t_access = e.e_table;
+    t_config = e.e_config;
+    t_order = e.e_order;
+    t_commits = Array.of_list (List.rev e.e_commits);
+    t_schedule = Schedule.of_entries e.e_committed;
+    t_monitor = e.e_monitor;
+  }
+
+let run_traced ?workspace ?access system config =
+  let table = resolve_table ?access ~application:config.application system in
+  let wanted = wanted_modules system config in
+  let initial_order =
+    match config.order with
+    | None ->
+        let wanted_set = Hashtbl.create (max 1 (List.length wanted)) in
+        List.iter (fun id -> Hashtbl.replace wanted_set id ()) wanted;
+        List.filter
+          (fun id -> Hashtbl.mem wanted_set id)
+          (Priority.order system ~reuse:config.reuse)
+    | Some order ->
+        check_permutation ~wanted order;
+        order
+  in
+  let e =
+    make_engine ?workspace ~table system config (Array.of_list initial_order)
+  in
+  event_loop e initial_order;
+  finish_trace e
+
+let run ?access system config = (run_traced ?access system config).t_schedule
+
+(* ------------------------------------------------------------------ *)
+(* Prefix resume                                                      *)
+
+(* Re-apply a traced commit's effects.  The calendar booking goes
+   through the unchecked [Reservation.restore] (the trace proves the
+   window free), and the power ledger is not touched here: [resume]
+   restores it wholesale with [Power_monitor.copy_truncated], because
+   the kept entries are exactly those of the replayed commits (commits
+   apply in nondecreasing start order, and the cut is at a start
+   time).  Direct array writes instead of [set_avail]: the release
+   heap is rebuilt in one pass after the replay. *)
+let replay_commit e c =
+  let entry = c.c_entry in
+  Reservation.restore e.e_calendar ~owner:entry.Schedule.module_id
+    c.c_channels ~start:entry.Schedule.start ~finish:entry.Schedule.finish;
+  e.e_avail.(c.c_src) <- entry.Schedule.finish;
+  e.e_avail.(c.c_snk) <- entry.Schedule.finish;
+  (match System.processor_of_module e.e_system entry.Schedule.module_id with
+  | Some _ -> (
+      match Hashtbl.find_opt e.e_proc_slot entry.Schedule.module_id with
+      | Some k -> e.e_avail.(k) <- entry.Schedule.finish
+      | None -> ())
+  | None -> ());
+  e.e_committed <- entry :: e.e_committed;
+  e.e_commits <-
+    { c with c_pos = Hashtbl.find e.e_pos entry.Schedule.module_id }
+    :: e.e_commits
+
+(* Why this is exact (and not just approximate): let [[p, hi]] be the
+   smallest position window containing every position where the new
+   order differs from the traced one.  Outside the window the two
+   orders place the same module at the same position, so any two
+   modules not both inside the window keep their relative order.
+   Within every event, modules are attempted in order position and a
+   failed attempt leaves no state behind, so the two runs evolve
+   commit for commit identically as long as every committing module
+   sits outside the window: such a commit is seen (or not seen) by any
+   later attempt identically in both runs, because position
+   comparisons against a position < p or > hi do not depend on how the
+   window itself is arranged.  The first place the runs can diverge is
+   therefore the event at which the first module at a position inside
+   [[p, hi]] commits.  Replaying the commits that start strictly
+   before that event, restoring the calendar and power ledger by
+   truncation, jumping to the divergence event and re-entering the
+   normal loop reproduces the from-scratch run byte for byte — the
+   "incremental evaluation" property test pins this across systems,
+   policies and power limits. *)
+
+let resume ?workspace trace order =
+  let order = Array.copy order in
+  check_permutation
+    ~wanted:(Array.to_list trace.t_order)
+    (Array.to_list order);
+  let p = trace_lcp trace order in
+  if p = Array.length order then trace
+  else begin
+    (* First traced commit of a module inside the changed window; one
+       exists because every position commits exactly once. *)
+    let hi = trace_last_diff trace order in
+    let s = divergence_stop trace ~p ~hi in
+    assert (s >= 0);
+    let t_star = trace.t_commits.(s).c_entry.Schedule.start in
+    let e0 =
+      make_engine ?workspace ~table:trace.t_access trace.t_system
+        trace.t_config order
+    in
+    (* Restore the shared-prefix power ledger by truncating the
+       trace's final one: the entries starting before [t_star] are
+       exactly those of the commits replayed below (which rebuild the
+       calendar side themselves through [Reservation.restore]). *)
+    let mon = Power_monitor.copy_truncated trace.t_monitor ~before:t_star in
+    let e = { e0 with e_monitor = mon } in
+    let committed = Hashtbl.create (max 1 s) in
+    let k = ref 0 in
+    while !k < s && trace.t_commits.(!k).c_entry.Schedule.start < t_star do
+      let c = trace.t_commits.(!k) in
+      replay_commit e c;
+      Hashtbl.replace committed c.c_entry.Schedule.module_id ();
+      incr k
+    done;
+    e.e_now <- t_star;
+    for i = 0 to e.e_n - 1 do
+      if e.e_avail.(i) > t_star then
+        Min_heap.push e.e_releases ~key:e.e_avail.(i) ~value:i
+    done;
+    let pending =
+      List.filter
+        (fun id -> not (Hashtbl.mem committed id))
+        (Array.to_list order)
+    in
+    event_loop e pending;
+    finish_trace e
+  end
+
+let resume_gain trace order =
+  let p = trace_lcp trace order in
+  if p = Array.length order && p = Array.length trace.t_order then max_int
+  else begin
+    let hi = trace_last_diff trace order in
+    let s = divergence_stop trace ~p ~hi in
+    if s < 0 then 0
+    else begin
+      let t_star = trace.t_commits.(s).c_entry.Schedule.start in
+      let g = ref 0 in
+      while
+        !g < s && trace.t_commits.(!g).c_entry.Schedule.start < t_star
+      do
+        incr g
+      done;
+      !g
+    end
+  end

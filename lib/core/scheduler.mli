@@ -70,4 +70,83 @@ val run : ?access:Test_access.table -> System.t -> config -> Schedule.t
     @raise Invalid_argument if [reuse] is out of range, or if [access]
     was built for a different system or application. *)
 
+type trace
+(** A completed evaluation together with its commit log: the evaluated
+    order, every committed test in chronological order (tagged with
+    the slot pair it occupied and its module's order position), and
+    the resulting schedule.  Traces are immutable and safe to share
+    across domains; they are what makes evaluations resumable. *)
+
+type workspace
+(** A reusable evaluation arena: the order-independent engine state
+    (endpoint resolution, availability array, release heap,
+    reservation calendar) of the last evaluation it served, reset in
+    place instead of rebuilt when the next evaluation targets the same
+    system, access table and configuration.  Search drivers evaluate
+    thousands of orders against one configuration, where the per-run
+    setup allocation otherwise dominates short incremental runs.
+
+    A workspace serves one evaluation at a time — keep one per search
+    chain and never share it across domains. *)
+
+val workspace : unit -> workspace
+(** A fresh, empty workspace.  Passing it is always optional and never
+    changes results, only allocation. *)
+
+val run_traced :
+  ?workspace:workspace -> ?access:Test_access.table -> System.t -> config ->
+  trace
+(** Like {!run}, but keep the commit log so later evaluations of
+    orders sharing a prefix can {!resume} instead of re-running.
+    Raises as {!run}. *)
+
+val resume : ?workspace:workspace -> trace -> int array -> trace
+(** [resume trace order] evaluates [order] by replaying the traced
+    commits that precede the divergence event — the start time of the
+    first traced commit at an order position inside the smallest
+    window [[p, hi]] containing every position where [order] differs —
+    and re-entering the normal event loop there.  The result is
+    byte-identical to running [order] from scratch under the trace's
+    configuration (attempts proceed in order position within an event
+    and failed attempts are side-effect-free, so the replayed history
+    is shared by both runs; commits outside the window are seen
+    identically by every later attempt).  Returns [trace] itself when
+    [order] equals the traced order.
+
+    @raise Unschedulable as {!run}.
+    @raise Invalid_argument if [order] is not a permutation of the
+    traced module set. *)
+
+val resume_gain : trace -> int array -> int
+(** Number of traced commits {!resume} would replay verbatim for
+    [order] ([max_int] when [order] equals the traced order, so exact
+    hits always win).  {!Eval_cache} ranks its entries with this to
+    resume from the cheapest trace, not merely the longest shared
+    prefix. *)
+
+val trace_schedule : trace -> Schedule.t
+val trace_order : trace -> int array
+(** A copy of the evaluated order. *)
+
+val trace_length : trace -> int
+(** Number of modules in the evaluated order. *)
+
+val trace_lcp : trace -> int array -> int
+(** Length of the longest common prefix of the traced order and the
+    argument. *)
+
+val trace_matches : trace -> system:System.t -> config -> bool
+(** Whether the trace was produced for this system (physically) and an
+    equal configuration, ignoring [order] — the cache-validity check
+    of {!Eval_cache}. *)
+
+val prefix_bound : trace -> prefix_len:int -> int
+(** A lower bound on the makespan of {e every} order agreeing with the
+    traced one on its first [prefix_len] positions: the largest finish
+    among traced commits logged before the first commit at a position
+    >= [prefix_len] (those commits replay identically in all such
+    runs).  Nondecreasing in [prefix_len]; at [prefix_len = 0] it
+    degenerates to the configured start time. *)
+
 val pp_policy : policy Fmt.t
+

@@ -268,6 +268,10 @@ type table = {
   route_bits : bool array;  (** row-major [module][source][sink] *)
   memory_bits : bool array;  (** row-major [module][source] *)
   costs : cost option array;  (** [None] on an invalid source/sink pair *)
+  channels : int array array;
+      (** row-major [module][source][sink]: the dense channel ids of
+          the pair's path links (empty on an invalid pair), numbered
+          per table for the {!Nocplan_noc.Reservation} calendar *)
 }
 
 let table ?(application = Processor.Bist) system =
@@ -287,6 +291,23 @@ let table ?(application = Processor.Bist) system =
   let route_bits = Array.make cells false in
   let memory_bits = Array.make (List.length module_ids * n) false in
   let costs = Array.make (max 1 cells) None in
+  let channels = Array.make (max 1 cells) [||] in
+  (* Dense per-table channel numbering: every distinct link routed
+     over by any (module, source, sink) pair gets one id, in first-use
+     order — the reservation calendar indexes by it. *)
+  let channel_ids : (Link.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let channels_of links =
+    Array.of_list
+      (List.map
+         (fun l ->
+           match Hashtbl.find_opt channel_ids l with
+           | Some c -> c
+           | None ->
+               let c = Hashtbl.length channel_ids in
+               Hashtbl.add channel_ids l c;
+               c)
+         links)
+  in
   let no_failed = Link.Set.is_empty system.System.failed_links in
   List.iteri
     (fun row module_id ->
@@ -354,10 +375,12 @@ let table ?(application = Processor.Bist) system =
               if Resource.valid_pair ~source ~sink then begin
                 let sleg = Option.get source_legs.(si) in
                 let kleg = Option.get sink_legs.(ki) in
-                costs.(idx) <-
-                  Some
-                    (combine_legs system ~m ~shift_cycles
-                       ~pattern_count:m.Module_def.patterns sleg kleg);
+                let c =
+                  combine_legs system ~m ~shift_cycles
+                    ~pattern_count:m.Module_def.patterns sleg kleg
+                in
+                costs.(idx) <- Some c;
+                channels.(idx) <- channels_of c.links;
                 feasible_bits.(idx) <-
                   route_bits.(idx) && memory_bits.((row * n) + si)
               end)
@@ -375,6 +398,7 @@ let table ?(application = Processor.Bist) system =
     route_bits;
     memory_bits;
     costs;
+    channels;
   }
 
 let table_for t ~system ~application =
@@ -404,6 +428,9 @@ let cost_ix t ~row ~src ~snk =
   match t.costs.((row * t.width * t.width) + (src * t.width) + snk) with
   | Some c -> c
   | None -> invalid_arg "Test_access.cost_ix: invalid source/sink pair"
+
+let channels_ix t ~row ~src ~snk =
+  t.channels.((row * t.width * t.width) + (src * t.width) + snk)
 
 let table_feasible t ~module_id ~source ~sink =
   feasible_ix t ~row:(module_row t module_id) ~src:(endpoint_id t source)

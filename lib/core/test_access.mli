@@ -177,4 +177,11 @@ val module_row : table -> int -> int
 val feasible_ix : table -> row:int -> src:int -> snk:int -> bool
 val cost_ix : table -> row:int -> src:int -> snk:int -> cost
 
+val channels_ix : table -> row:int -> src:int -> snk:int -> int array
+(** Dense channel ids of the links of [cost_ix] (empty on an invalid
+    pair): the key set the {!Nocplan_noc.Reservation} calendar indexes
+    by.  Ids are assigned per table, so a calendar must only ever be
+    queried with channels of one table — the scheduler ties both to
+    one engine. *)
+
 val pp_cost : cost Fmt.t

@@ -51,7 +51,7 @@ type pkt_state = {
 
 let run config packets =
   let ids = List.map (fun (p : Packet.t) -> p.id) packets in
-  let sorted_ids = List.sort_uniq Stdlib.compare ids in
+  let sorted_ids = List.sort_uniq Int.compare ids in
   if List.length sorted_ids <> List.length ids then
     invalid_arg "Flit_sim.run: duplicate packet ids";
   List.iter
@@ -83,9 +83,10 @@ let run config packets =
   let states =
     List.sort
       (fun a b ->
-        Stdlib.compare
-          (a.pkt.Packet.inject_time, a.pkt.Packet.id)
-          (b.pkt.Packet.inject_time, b.pkt.Packet.id))
+        let c =
+          Int.compare a.pkt.Packet.inject_time b.pkt.Packet.inject_time
+        in
+        if c <> 0 then c else Int.compare a.pkt.Packet.id b.pkt.Packet.id)
       states
   in
   let channels : (Link.t, chan_state) Hashtbl.t = Hashtbl.create 64 in
@@ -223,7 +224,6 @@ let run config packets =
                     * Xy_routing.routers_on_route config.topology
                         ~src:s.pkt.Packet.src ~dst:s.pkt.Packet.dst);
            })
-    |> List.sort (fun a b ->
-           Stdlib.compare a.packet.Packet.id b.packet.Packet.id)
+    |> List.sort (fun a b -> Int.compare a.packet.Packet.id b.packet.Packet.id)
   in
   { deliveries; cycles = finished }

@@ -1,8 +1,9 @@
 type booking = { owner : int; start : int; finish : int }
 
-(* Per-link calendar: bookings in parallel growable arrays, sorted by
-   start time.  Reserved intervals never overlap, so the finish times
-   are sorted too and every query reduces to one binary search. *)
+(* Per-channel calendar: bookings in parallel growable arrays, sorted
+   by start time.  Reserved intervals never overlap, so the finish
+   times are sorted too and every query reduces to one binary
+   search. *)
 type cal = {
   mutable starts : int array;
   mutable finishes : int array;
@@ -10,9 +11,24 @@ type cal = {
   mutable len : int;
 }
 
-type t = { mutable by_link : cal Link.Map.t }
+(* Channels are the caller's dense nonnegative ids, so the calendar is
+   a plain array indexed by channel — the scheduler probes it inside
+   its inner candidate loop, where even a hashed lookup per link was
+   measurable.  Untouched channels share one immutable empty calendar
+   that is swapped for a private one on first booking. *)
+type t = { mutable cals : cal array }
 
-let create () = { by_link = Link.Map.empty }
+let empty_cal = { starts = [||]; finishes = [||]; owners = [||]; len = 0 }
+let create () = { cals = Array.make 16 empty_cal }
+
+let cal_at t c = if c < Array.length t.cals then t.cals.(c) else empty_cal
+
+(* Forget every booking but keep each channel's private calendar and
+   its capacity: a cleared calendar re-books without allocating, which
+   is what makes reusing one calendar across thousands of scheduler
+   evaluations worthwhile. *)
+let clear t =
+  Array.iter (fun cal -> if cal != empty_cal then cal.len <- 0) t.cals
 
 let fresh_cal () =
   {
@@ -21,6 +37,22 @@ let fresh_cal () =
     owners = Array.make 8 0;
     len = 0;
   }
+
+(* The private, writable calendar of a channel, growing the channel
+   array as needed. *)
+let writable_cal t c =
+  if c >= Array.length t.cals then begin
+    let cals = Array.make (max (c + 1) (2 * Array.length t.cals)) empty_cal in
+    Array.blit t.cals 0 cals 0 (Array.length t.cals);
+    t.cals <- cals
+  end;
+  let cal = t.cals.(c) in
+  if cal != empty_cal then cal
+  else begin
+    let cal = fresh_cal () in
+    t.cals.(c) <- cal;
+    cal
+  end
 
 (* Index of the first booking that ends after [time] — the only one
    that can overlap a window starting at [time].  Binary search over
@@ -37,37 +69,37 @@ let cal_free cal ~start ~finish =
   let i = first_ending_after cal start in
   i >= cal.len || cal.starts.(i) >= finish
 
-let is_free t links ~start ~finish =
+let is_free t channels ~start ~finish =
   start >= finish
-  || List.for_all
-       (fun link ->
-         match Link.Map.find_opt link t.by_link with
-         | None -> true
-         | Some cal -> cal_free cal ~start ~finish)
-       links
+  ||
+  let n = Array.length channels in
+  let ok = ref true and i = ref 0 in
+  while !ok && !i < n do
+    ok := cal_free (cal_at t channels.(!i)) ~start ~finish;
+    incr i
+  done;
+  !ok
 
-let conflicts t links ~start ~finish =
+let conflicts t channels ~start ~finish =
   if start >= finish then []
   else
     List.concat_map
-      (fun link ->
-        match Link.Map.find_opt link t.by_link with
-        | None -> []
-        | Some cal ->
-            let rec go i acc =
-              if i >= cal.len || cal.starts.(i) >= finish then List.rev acc
-              else
-                let b =
-                  {
-                    owner = cal.owners.(i);
-                    start = cal.starts.(i);
-                    finish = cal.finishes.(i);
-                  }
-                in
-                go (i + 1) ((link, b) :: acc)
+      (fun c ->
+        let cal = cal_at t c in
+        let rec go i acc =
+          if i >= cal.len || cal.starts.(i) >= finish then List.rev acc
+          else
+            let b =
+              {
+                owner = cal.owners.(i);
+                start = cal.starts.(i);
+                finish = cal.finishes.(i);
+              }
             in
-            go (first_ending_after cal start) [])
-      links
+            go (i + 1) ((c, b) :: acc)
+        in
+        go (first_ending_after cal start) [])
+      (Array.to_list channels)
 
 let ensure_capacity cal =
   if cal.len = Array.length cal.starts then begin
@@ -97,26 +129,30 @@ let cal_insert cal ~owner ~start ~finish =
   cal.owners.(i) <- owner;
   cal.len <- cal.len + 1
 
-let reserve t ~owner links ~start ~finish =
+let reserve t ~owner channels ~start ~finish =
   if start < 0 || finish < start then
     invalid_arg "Reservation.reserve: bad interval";
-  if not (is_free t links ~start ~finish) then
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Reservation.reserve: negative channel")
+    channels;
+  if not (is_free t channels ~start ~finish) then
     invalid_arg "Reservation.reserve: window is not free";
   if start < finish then
-    List.iter
-      (fun link ->
-        let cal =
-          match Link.Map.find_opt link t.by_link with
-          | Some cal -> cal
-          | None ->
-              let cal = fresh_cal () in
-              t.by_link <- Link.Map.add link cal t.by_link;
-              cal
-        in
-        cal_insert cal ~owner ~start ~finish)
-      links
+    Array.iter
+      (fun c -> cal_insert (writable_cal t c) ~owner ~start ~finish)
+      channels
 
-let next_free_time t links ~from ~duration =
+(* Re-booking a window already proven free (a traced commit being
+   replayed) skips the [is_free] revalidation of [reserve]: the
+   scheduler's prefix resume re-applies hundreds of bookings per
+   search step, and each is non-overlapping by construction. *)
+let restore t ~owner channels ~start ~finish =
+  if start < finish then
+    Array.iter
+      (fun c -> cal_insert (writable_cal t c) ~owner ~start ~finish)
+      channels
+
+let next_free_time t channels ~from ~duration =
   if duration <= 0 then from
   else begin
     (* Fixpoint: any booking overlapping the candidate window pushes
@@ -128,28 +164,24 @@ let next_free_time t links ~from ~duration =
     let moved = ref true in
     while !moved do
       moved := false;
-      List.iter
-        (fun link ->
-          match Link.Map.find_opt link t.by_link with
-          | None -> ()
-          | Some cal ->
-              let i = first_ending_after cal !candidate in
-              if i < cal.len && cal.starts.(i) < !candidate + duration then begin
-                candidate := cal.finishes.(i);
-                moved := true
-              end)
-        links
+      Array.iter
+        (fun c ->
+          let cal = cal_at t c in
+          let i = first_ending_after cal !candidate in
+          if i < cal.len && cal.starts.(i) < !candidate + duration then begin
+            candidate := cal.finishes.(i);
+            moved := true
+          end)
+        channels
     done;
     !candidate
   end
 
-let bookings t link =
-  match Link.Map.find_opt link t.by_link with
-  | None -> []
-  | Some cal ->
-      List.init cal.len (fun i ->
-          {
-            owner = cal.owners.(i);
-            start = cal.starts.(i);
-            finish = cal.finishes.(i);
-          })
+let bookings t channel =
+  let cal = cal_at t channel in
+  List.init cal.len (fun i ->
+      {
+        owner = cal.owners.(i);
+        start = cal.starts.(i);
+        finish = cal.finishes.(i);
+      })

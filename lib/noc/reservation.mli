@@ -4,7 +4,14 @@
     test (circuit-style occupancy: the stream of pattern packets is
     continuous).  The scheduler uses this calendar to decide whether a
     candidate (source, CUT, sink) assignment is conflict-free and to
-    book it.  Intervals are half-open [[start, finish)]. *)
+    book it.  Intervals are half-open [[start, finish)].
+
+    Channels are identified by dense nonnegative integers assigned by
+    the caller (the access table numbers each distinct {!Link.t} it
+    routes over), so every probe is an array index — the calendar sits
+    inside the scheduler's innermost candidate loop, where a keyed
+    lookup per link dominated the evaluation cost.  Never-booked
+    channels are implicitly free, whatever their id. *)
 
 type t
 
@@ -16,23 +23,37 @@ type booking = {
 
 val create : unit -> t
 
-val is_free : t -> Link.t list -> start:int -> finish:int -> bool
-(** No booked interval on any of the links overlaps [[start, finish)].
-    An empty interval ([start >= finish]) is always free. *)
+val clear : t -> unit
+(** Drop every booking but keep the per-channel storage, so the next
+    run re-books without allocating.  Callers that reuse one calendar
+    across runs (the scheduler's evaluation arena) depend on this
+    being O(channels touched so far). *)
 
-val conflicts : t -> Link.t list -> start:int -> finish:int ->
-  (Link.t * booking) list
+val is_free : t -> int array -> start:int -> finish:int -> bool
+(** No booked interval on any of the channels overlaps
+    [[start, finish)].  An empty interval ([start >= finish]) is
+    always free. *)
+
+val conflicts : t -> int array -> start:int -> finish:int ->
+  (int * booking) list
 (** All bookings overlapping the window, for diagnostics. *)
 
-val reserve : t -> owner:int -> Link.t list -> start:int -> finish:int -> unit
-(** Book the links for the window.
-    @raise Invalid_argument if [start < 0] or [finish < start], or if
-    the window is not free (callers must check first — booking a
-    conflicting window is a scheduler bug). *)
+val reserve : t -> owner:int -> int array -> start:int -> finish:int -> unit
+(** Book the channels for the window.
+    @raise Invalid_argument if [start < 0] or [finish < start], if a
+    channel id is negative, or if the window is not free (callers must
+    check first — booking a conflicting window is a scheduler bug). *)
 
-val next_free_time : t -> Link.t list -> from:int -> duration:int -> int
+val restore : t -> owner:int -> int array -> start:int -> finish:int -> unit
+(** [reserve] minus the [is_free] revalidation, for re-applying a
+    booking already known to be conflict-free — the scheduler's prefix
+    resume replays traced commits with it.  Booking a window that is
+    {e not} free corrupts the calendar's sorted invariant silently, so
+    only traced history may go through here. *)
+
+val next_free_time : t -> int array -> from:int -> duration:int -> int
 (** Earliest [t >= from] such that [[t, t + duration)] is free on all
-    links.  With a finite number of bookings this always exists. *)
+    channels.  With a finite number of bookings this always exists. *)
 
-val bookings : t -> Link.t -> booking list
-(** Bookings on one link, sorted by start time. *)
+val bookings : t -> int -> booking list
+(** Bookings on one channel, sorted by start time. *)

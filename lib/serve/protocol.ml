@@ -3,7 +3,7 @@ module Proc = Nocplan_proc
 
 let version = 1
 
-type op = Plan | Sweep | Validate | Metrics
+type op = Plan | Sweep | Validate | Anneal | Metrics
 
 type request = {
   id : Json.t;
@@ -14,6 +14,9 @@ type request = {
   power_pct : float option;
   reuse : int option;
   max_reuse : int option;
+  iterations : int option;
+  seed : int option;
+  chains : int option;
   deadline_ms : float option;
 }
 
@@ -23,6 +26,7 @@ let op_label = function
   | Plan -> "plan"
   | Sweep -> "sweep"
   | Validate -> "validate"
+  | Anneal -> "anneal"
   | Metrics -> "metrics"
 
 let error_kind_label = function
@@ -55,6 +59,7 @@ let parse_request line =
     | Some "plan" -> Ok Plan
     | Some "sweep" -> Ok Sweep
     | Some "validate" -> Ok Validate
+    | Some "anneal" -> Ok Anneal
     | Some "metrics" -> Ok Metrics
     | Some other -> Error (Printf.sprintf "unknown op %S" other)
     | None -> Error "missing op field"
@@ -92,6 +97,9 @@ let parse_request line =
   let* plasmas = int_opt "plasmas" in
   let* reuse = int_opt "reuse" in
   let* max_reuse = int_opt "max_reuse" in
+  let* iterations = int_opt "iterations" in
+  let* seed = int_opt "seed" in
+  let* chains = int_opt "chains" in
   let* power_pct = float_opt "power_pct" in
   let* deadline_ms = float_opt "deadline_ms" in
   let soc_text = Json.str_field "soc" json in
@@ -122,6 +130,9 @@ let parse_request line =
       power_pct;
       reuse;
       max_reuse;
+      iterations;
+      seed;
+      chains;
       deadline_ms;
     }
 

@@ -8,7 +8,7 @@
     {v
     { "v": 1,                  // optional, defaults to 1
       "id": "r1",              // echoed verbatim (any JSON value)
-      "op": "plan",            // plan | sweep | validate | metrics
+      "op": "plan",            // plan | sweep | validate | anneal | metrics
       "system": "d695_leon",   // builtin system or corpus benchmark
       "soc": "Soc x\n...",     // inline description, instead of system
       "width": 4, "height": 4, // mesh dims (non-builtin systems)
@@ -16,8 +16,11 @@
       "policy": "greedy",      // or "lookahead"
       "application": "bist",   // or "decompress"
       "power_pct": 25.0,       // power limit, % of total core power
-      "reuse": 3,              // plan/validate (default: all)
+      "reuse": 3,              // plan/validate/anneal (default: all)
       "max_reuse": 6,          // sweep (default: all)
+      "iterations": 250,       // anneal (default 400)
+      "seed": 90,              // anneal RNG seed (default 0x5A)
+      "chains": 4,             // anneal tempering chains (default 1)
       "deadline_ms": 5000 }    // per-request deadline
     v}
 
@@ -41,7 +44,7 @@
 
 val version : int
 
-type op = Plan | Sweep | Validate | Metrics
+type op = Plan | Sweep | Validate | Anneal | Metrics
 
 type request = {
   id : Json.t;  (** echoed verbatim; [Null] when absent *)
@@ -52,6 +55,9 @@ type request = {
   power_pct : float option;
   reuse : int option;
   max_reuse : int option;
+  iterations : int option;  (** [Anneal] per-chain iteration budget *)
+  seed : int option;  (** [Anneal] RNG seed *)
+  chains : int option;  (** [Anneal] tempering chains *)
   deadline_ms : float option;
 }
 

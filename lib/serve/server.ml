@@ -28,6 +28,7 @@ type listener = {
   path : string;
   accept_thread : Thread.t;
   stopping : bool Atomic.t;
+  closed : bool Atomic.t;
 }
 
 let handle_connection service fd =
@@ -96,21 +97,32 @@ let listen service ~path =
   Log.info (fun m -> m "listening on %s" path);
   let stopping = Atomic.make false in
   let accept_thread = Thread.create (accept_loop service ~fd ~stopping) () in
-  { fd; path; accept_thread; stopping }
+  { fd; path; accept_thread; stopping; closed = Atomic.make false }
 
 let stop listener =
   if not (Atomic.exchange listener.stopping true) then begin
-    (* Wake the blocking accept with a throwaway connection, then pull
-       the socket out from under it. *)
+    (* Wake the blocked accept with [shutdown] on the listening
+       socket: the sleeping accept fails immediately (EINVAL on
+       Linux), which the loop treats as exit.  Closing the fd here
+       instead would be a race — [close] does not wake a thread
+       already parked in accept, and the freed fd number could be
+       reused by a concurrent thread before the loop's next accept
+       call.  The fd is closed in [wait], after the loop has exited.
+       A throwaway connection doubles as the waker on platforms where
+       shutting down a listening socket does not fail its accept. *)
+    (try Unix.shutdown listener.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
     (try
        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
        (try Unix.connect fd (ADDR_UNIX listener.path)
         with Unix.Unix_error _ -> ());
        Unix.close fd
      with Unix.Unix_error _ -> ());
-    (try Unix.close listener.fd with Unix.Unix_error _ -> ());
     (try Unix.unlink listener.path with Unix.Unix_error _ | Sys_error _ -> ());
     Log.info (fun m -> m "listener on %s stopped" listener.path)
   end
 
-let wait listener = Thread.join listener.accept_thread
+let wait listener =
+  Thread.join listener.accept_thread;
+  if not (Atomic.exchange listener.closed true) then
+    try Unix.close listener.fd with Unix.Unix_error _ -> ()

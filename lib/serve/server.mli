@@ -21,10 +21,12 @@ val listen : Service.t -> path:string -> listener
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val stop : listener -> unit
-(** Stop accepting, close the listening socket and remove the socket
-    file.  Established connections are left to finish their in-flight
-    lines.  Idempotent. *)
+(** Stop accepting: shut down the listening socket (waking the accept
+    loop) and remove the socket file.  Established connections are
+    left to finish their in-flight lines.  The socket descriptor
+    itself is closed by {!wait}, once the accept loop has exited.
+    Idempotent. *)
 
 val wait : listener -> unit
 (** Block until the accept loop has exited (after {!stop}, or a fatal
-    accept error). *)
+    accept error), then close the listening descriptor. *)

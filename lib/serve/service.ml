@@ -62,7 +62,7 @@ let point ~access system ~policy ~application ~power_limit ~reuse =
 let execute t (req : Protocol.request) ~check =
   match req.op with
   | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
-  | Protocol.Plan | Protocol.Validate | Protocol.Sweep -> (
+  | Protocol.Plan | Protocol.Validate | Protocol.Sweep | Protocol.Anneal -> (
       let spec =
         match req.spec with
         | Some s -> s
@@ -128,6 +128,36 @@ let execute t (req : Protocol.request) ~check =
                       ("valid", Json.Bool valid);
                       ("makespan", Json.Int sched.Core.Schedule.makespan);
                       ("violations", Json.List violations);
+                    ],
+                  cache )
+          | Protocol.Anneal ->
+              let reuse = Option.value req.reuse ~default:all in
+              let iterations = Option.value req.iterations ~default:400 in
+              let seed =
+                Int64.of_int (Option.value req.seed ~default:0x5A)
+              in
+              let chains = Option.value req.chains ~default:1 in
+              let r =
+                Core.Annealing.schedule ~policy ~application ~power_limit
+                  ~iterations ~seed ~chains ~access ~reuse system
+              in
+              Ok
+                ( Json.Obj
+                    [
+                      ( "makespan",
+                        Json.Int
+                          r.Core.Annealing.schedule.Core.Schedule.makespan );
+                      ( "initial_makespan",
+                        Json.Int r.Core.Annealing.initial_makespan );
+                      ( "improvement_pct",
+                        Json.Float
+                          (Float.round
+                             (Core.Annealing.improvement_pct r *. 100.)
+                          /. 100.) );
+                      ("evaluations", Json.Int r.Core.Annealing.evaluations);
+                      ("accepted", Json.Int r.Core.Annealing.accepted);
+                      ("chains", Json.Int r.Core.Annealing.chains);
+                      ("exchanges", Json.Int r.Core.Annealing.exchanges);
                     ],
                   cache )
           | Protocol.Sweep ->

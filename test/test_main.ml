@@ -46,6 +46,7 @@ let () =
       ("preemptive", Test_preemptive.suite);
       ("fault-aware planning", Test_faults.suite);
       ("annealing", Test_annealing.suite);
+      ("incremental evaluation", Test_incremental.suite);
       ("metrics and vcd", Test_metrics_vcd.suite);
       ("bus baseline", Test_bus_baseline.suite);
       ("replanning", Test_replan.suite);

@@ -241,6 +241,36 @@ let test_service_unschedulable_kind () =
     (field "kind" (field "error" resp) = Json.String "unschedulable");
   Serve.Service.shutdown service
 
+let test_service_anneal_matches_direct () =
+  (* The anneal op is deterministic for fixed parameters, so the served
+     numbers must equal a direct in-process run. *)
+  let system = d695 () in
+  let expected =
+    Core.Annealing.schedule ~iterations:30 ~seed:7L ~chains:2 ~reuse:2 system
+  in
+  let service = Serve.Service.create ~workers:1 () in
+  let resp =
+    parse_response
+      (Serve.Service.request service
+         "{\"op\": \"anneal\", \"system\": \"d695_leon\", \"reuse\": 2, \
+          \"iterations\": 30, \"seed\": 7, \"chains\": 2}")
+  in
+  Alcotest.(check bool) "ok" true (field "ok" resp = Json.Bool true);
+  let result = field "result" resp in
+  Alcotest.(check bool) "makespan matches direct" true
+    (field "makespan" result
+    = Json.Int expected.Core.Annealing.schedule.Core.Schedule.makespan);
+  Alcotest.(check bool) "initial makespan matches direct" true
+    (field "initial_makespan" result
+    = Json.Int expected.Core.Annealing.initial_makespan);
+  Alcotest.(check bool) "evaluations match direct" true
+    (field "evaluations" result = Json.Int expected.Core.Annealing.evaluations);
+  Alcotest.(check bool) "chains echoed" true
+    (field "chains" result = Json.Int expected.Core.Annealing.chains);
+  Alcotest.(check bool) "exchanges match direct" true
+    (field "exchanges" result = Json.Int expected.Core.Annealing.exchanges);
+  Serve.Service.shutdown service
+
 (* --- socket transport, end to end ---------------------------------- *)
 
 let socket_path =
@@ -402,6 +432,8 @@ let suite =
       test_service_overload;
     Alcotest.test_case "service reports unschedulable" `Quick
       test_service_unschedulable_kind;
+    Alcotest.test_case "service anneal matches direct" `Quick
+      test_service_anneal_matches_direct;
     Alcotest.test_case "socket: concurrent clients match direct" `Quick
       test_socket_concurrent_clients_match_direct;
     Alcotest.test_case "socket: sweep and validate match direct" `Quick

@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test bench bench-json check examples clean doc
+.PHONY: all build test bench bench-json check examples clean doc doc-lint
 
 all: build
 
@@ -18,12 +18,27 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --smoke
 
-# The tier-1 gate plus a benchmark smoke run producing the JSON and
-# checking it against the committed baseline (skip the regression gate
-# with NOCPLAN_BENCH_GATE=off on unrelated machines).
+# API docs via odoc when it is installed; skipped with a notice
+# otherwise (the CI image does not ship odoc).
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc && echo "doc: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
+	fi
+
+# Keep README/OBSERVABILITY fences and cross-links honest against the
+# real CLI; builds @doc too when odoc is present.
+doc-lint:
+	sh tools/doc_lint.sh
+
+# The tier-1 gate plus doc lint plus a benchmark smoke run producing
+# the JSON and checking it against the committed baseline (skip the
+# regression gate with NOCPLAN_BENCH_GATE=off on unrelated machines).
 check:
 	dune build @all
 	dune runtest
+	sh tools/doc_lint.sh
 	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:

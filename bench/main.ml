@@ -562,6 +562,45 @@ let annealing () =
     "@.(*) certified optima are only tractable on small fixtures — see A7.@."
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead                                                    *)
+
+module Obs = Nocplan_obs
+
+(* The observability layer promises near-zero cost when disabled: with
+   no collector installed every emitter reduces to one atomic load.
+   Time the same reuse sweep with tracing off, under a Spans collector
+   and under a Decisions collector.  The disabled number is the one
+   the figure-1 regression gate pins; the other two quantify what
+   [--trace] and [--explain] cost when actually requested. *)
+let tracing_overhead systems =
+  section "obs: tracing overhead on the d695_leon reuse sweep";
+  let system = List.assoc "d695_leon" systems in
+  let access = Test_access.table system in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let sweep () = ignore (Planner.reuse_sweep ~access system) in
+  let off = time sweep in
+  let spans =
+    time (fun () -> ignore (Obs.Trace.with_collector sweep))
+  in
+  let decisions =
+    time (fun () ->
+        ignore (Obs.Trace.with_collector ~level:Obs.Trace.Decisions sweep))
+  in
+  let pct v = 100.0 *. ((v /. off) -. 1.0) in
+  Fmt.pr "disabled  %.4f s@." off;
+  Fmt.pr "spans     %.4f s (%+.1f%%)@." spans (pct spans);
+  Fmt.pr "decisions %.4f s (%+.1f%%)@." decisions (pct decisions)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                    *)
 
 let timing_benchmarks systems =
@@ -1014,6 +1053,7 @@ let () =
     timed "A7:optimality_gap" optimality_gap;
     timed "A12:annealing" annealing
   end;
+  timed "obs:tracing_overhead" (fun () -> tracing_overhead systems);
   if not !smoke then timed "bechamel" (fun () -> timing_benchmarks systems);
   let figure1_seconds, panels =
     figure1_timing systems ~reps:(if !smoke then 1 else 3)

@@ -10,6 +10,7 @@ module Noc = Nocplan_noc
 module Proc = Nocplan_proc
 module Core = Nocplan_core
 module Serve = Nocplan_serve
+module Obs = Nocplan_obs
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -111,6 +112,36 @@ let reuse_arg =
   Arg.(value & opt (some int) None & info [ "reuse" ] ~docv:"N"
          ~doc:"Number of processors reused for test (default: all).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record trace spans and write them to $(docv) as Chrome \
+               trace-event JSON (open in chrome://tracing or Perfetto).")
+
+(* Traced CLI runs want real time on the trace axis; tests that pin
+   event structure use the library's deterministic default clock. *)
+let wall_clock () =
+  let epoch = Unix.gettimeofday () in
+  fun () -> (Unix.gettimeofday () -. epoch) *. 1e6
+
+(* Run [f] under a trace collector when [trace] (a Chrome JSON output
+   path) or [decisions] (--explain) asks for one; return [f]'s result
+   with the collected events.  The trace file is written on success. *)
+let with_tracing ?(decisions = false) trace f =
+  if trace = None && not decisions then (f (), [])
+  else begin
+    let level = if decisions then Obs.Trace.Decisions else Obs.Trace.Spans in
+    let result, events =
+      Obs.Trace.with_collector ~level ~clock:(wall_clock ()) f
+    in
+    (match trace with
+    | Some path ->
+        Obs.Chrome.to_file path events;
+        Fmt.epr "nocplan: trace written to %s (%d events)@." path
+          (List.length events)
+    | None -> ());
+    (result, events)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* show                                                               *)
 
@@ -134,7 +165,7 @@ let show_cmd =
 
 let plan_cmd =
   let run spec width height leons plasmas policy application power reuse gantt
-      resources json csv =
+      resources json csv trace explain =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
@@ -144,17 +175,18 @@ let plan_cmd =
           | None -> List.length system.Core.System.processors
         in
         match
-          Core.Planner.schedule ~policy ~application ?power_limit_pct:power
-            ~reuse system
+          with_tracing ~decisions:explain trace (fun () ->
+              Core.Planner.schedule ~policy ~application
+                ?power_limit_pct:power ~reuse system)
         with
         | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | sched when json ->
+        | sched, _ when json ->
             print_string (Core.Export.schedule_json system sched);
             0
-        | sched when csv ->
+        | sched, _ when csv ->
             print_string (Core.Export.schedule_csv system sched);
             0
-        | sched ->
+        | sched, events ->
             Fmt.pr "%a@." Core.Schedule.pp sched;
             if gantt then
               print_string (Core.Gantt.render system sched);
@@ -174,6 +206,9 @@ let plan_cmd =
                 Fmt.pr "@[<v>schedule INVALID:@,%a@]@."
                   (Fmt.list ~sep:Fmt.cut Core.Schedule.pp_violation)
                   vs);
+            if explain then
+              Fmt.pr "@.%a@." Core.Explain.pp_report
+                (Core.Explain.decisions_of_events events);
             0)
   in
   let gantt_arg =
@@ -189,10 +224,18 @@ let plan_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit the schedule as CSV.")
   in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print the scheduler's decision log: every commit with its \
+                 full candidate set, flagging greedy-anomaly commits where a \
+                 busy external pair would have finished earlier than the \
+                 processor chosen.")
+  in
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-          $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg)
+          $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg
+          $ trace_arg $ explain_arg)
   in
   Cmd.v (cmd_info "plan" ~doc:"Produce and validate one test schedule.") term
 
@@ -243,7 +286,7 @@ let stats_cmd =
 
 let anneal_cmd =
   let run spec width height leons plasmas power reuse iterations seed chains
-      exchange =
+      exchange trace =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
@@ -258,12 +301,13 @@ let anneal_cmd =
             power
         in
         match
-          Core.Annealing.schedule ~power_limit ~iterations
-            ~seed:(Int64.of_int seed) ~chains ~exchange_period:exchange ~reuse
-            system
+          with_tracing trace (fun () ->
+              Core.Annealing.schedule ~power_limit ~iterations
+                ~seed:(Int64.of_int seed) ~chains ~exchange_period:exchange
+                ~reuse system)
         with
         | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | r ->
+        | r, _ ->
             Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
             Fmt.pr
               "greedy order %d -> annealed %d (%.1f%% better; %d engine \
@@ -294,7 +338,7 @@ let anneal_cmd =
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
-          $ seed_arg $ chains_arg $ exchange_arg)
+          $ seed_arg $ chains_arg $ exchange_arg $ trace_arg)
   in
   Cmd.v
     (cmd_info "anneal"
@@ -419,16 +463,17 @@ let optimal_cmd =
 (* sweep                                                              *)
 
 let sweep_cmd =
-  let run spec width height leons plasmas policy application power csv =
+  let run spec width height leons plasmas policy application power csv trace =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
         match
-          Core.Planner.reuse_sweep ~policy ~application ?power_limit_pct:power
-            system
+          with_tracing trace (fun () ->
+              Core.Planner.reuse_sweep ~policy ~application
+                ?power_limit_pct:power system)
         with
         | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | sweep ->
+        | sweep, _ ->
             if csv then print_string (Core.Report.sweep_csv sweep)
             else begin
               Fmt.pr "%a@." Core.Planner.pp_sweep sweep;
@@ -442,7 +487,7 @@ let sweep_cmd =
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-          $ csv_arg)
+          $ csv_arg $ trace_arg)
   in
   Cmd.v
     (cmd_info "sweep"
@@ -583,7 +628,7 @@ let corpus_cmd =
 (* serve                                                              *)
 
 let serve_cmd =
-  let run socket workers queue cache verbosity =
+  let run socket workers queue cache verbosity trace =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level
       (Some
@@ -591,6 +636,22 @@ let serve_cmd =
          | [] -> Logs.Warning
          | [ _ ] -> Logs.Info
          | _ -> Logs.Debug));
+    (* The serve trace covers the whole service lifetime — admission,
+       queue wait, per-worker request spans — and is written once the
+       listener winds down. *)
+    let finish_trace =
+      match trace with
+      | None -> fun () -> ()
+      | Some path ->
+          let collector = Obs.Trace.collector ~clock:(wall_clock ()) () in
+          Obs.Trace.install collector;
+          fun () ->
+            Obs.Trace.uninstall ();
+            let events = Obs.Trace.events collector in
+            Obs.Chrome.to_file path events;
+            Fmt.epr "nocplan: trace written to %s (%d events)@." path
+              (List.length events)
+    in
     (match socket with
     | None ->
         let service =
@@ -621,6 +682,7 @@ let serve_cmd =
         in
         Serve.Server.wait listener;
         Serve.Service.shutdown service);
+    finish_trace ();
     0
   in
   let socket_arg =
@@ -648,7 +710,7 @@ let serve_cmd =
   in
   let term =
     Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-          $ verbose_arg)
+          $ verbose_arg $ trace_arg)
   in
   Cmd.v
     (cmd_info "serve"

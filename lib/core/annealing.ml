@@ -1,4 +1,5 @@
 module Rng = Nocplan_itc02.Data_gen.Rng
+module Trace = Nocplan_obs.Trace
 
 type result = {
   schedule : Schedule.t;
@@ -18,6 +19,7 @@ let improvement_pct r =
 (* One tempering chain: its own generator, temperature, order buffer
    and evaluation cache; traces flow between chains read-only. *)
 type chain = {
+  index : int;  (** position in the temperature ladder, for tracing *)
   rng : Rng.t;
   order : int array;
   cache : Eval_cache.t;
@@ -45,6 +47,10 @@ let chain_seed base c =
    the evaluation goes through the prefix cache, which is
    result-identical to a from-scratch run. *)
 let run_segment ~cooling ch iterations =
+  Trace.span "anneal.segment"
+    ~attrs:
+      [ ("chain", Trace.Int ch.index); ("iterations", Trace.Int iterations) ]
+  @@ fun () ->
   let n = Array.length ch.order in
   if n >= 2 then
     for _ = 1 to iterations do
@@ -121,6 +127,7 @@ let schedule ?(policy = Scheduler.Greedy)
     let cache = Eval_cache.create ~access system base_config in
     Eval_cache.seed cache initial;
     {
+      index = c;
       rng = Rng.create (chain_seed seed c);
       order = Array.copy initial_order;
       cache;
@@ -135,6 +142,14 @@ let schedule ?(policy = Scheduler.Greedy)
   in
   let all_chains = List.init chains make_chain in
   let exchanges = ref 0 in
+  Trace.span "anneal.run"
+    ~attrs:
+      [
+        ("chains", Trace.Int chains);
+        ("iterations", Trace.Int iterations);
+        ("initial_makespan", Trace.Int initial_makespan);
+      ]
+  @@ fun () ->
   if chains = 1 then run_segment ~cooling (List.hd all_chains) iterations
   else begin
     (* Chains are batched round-robin over at most the recommended
@@ -164,16 +179,27 @@ let schedule ?(policy = Scheduler.Greedy)
           (fun acc ch -> if makespan ch.best < makespan acc then ch.best else acc)
           (List.hd all_chains).best (List.tl all_chains)
       in
-      if !remaining > 0 then
+      if !remaining > 0 then begin
+        let adopted = ref 0 in
         List.iter
           (fun ch ->
             if makespan ch.current > makespan global_best then begin
               incr exchanges;
+              incr adopted;
               ch.current <- global_best;
               Array.blit (Scheduler.trace_order global_best) 0 ch.order 0 n;
               Eval_cache.seed ch.cache global_best
             end)
-          all_chains
+          all_chains;
+        if Trace.enabled () then
+          Trace.instant "anneal.exchange"
+            ~attrs:
+              [
+                ("best", Trace.Int (makespan global_best));
+                ("adopted", Trace.Int !adopted);
+                ("remaining", Trace.Int !remaining);
+              ]
+      end
     done
   end;
   let best =

@@ -86,18 +86,28 @@ let evaluate t order =
         | _ -> Some (tr, g))
       None t.traces
   in
+  let module Trace = Nocplan_obs.Trace in
   match best with
   | Some (tr, g) when g = max_int ->
       t.exact_hits <- t.exact_hits + 1;
+      if Trace.enabled () then Trace.instant "eval.hit";
       remember t tr;
       tr
-  | Some (tr, _) ->
+  | Some (tr, g) ->
       t.resumed <- t.resumed + 1;
+      if Trace.enabled () then
+        Trace.instant "eval.resume"
+          ~attrs:
+            [
+              ("gain", Trace.Int g);
+              ("modules", Trace.Int (Array.length order));
+            ];
       let tr' = Scheduler.resume ~workspace:t.workspace tr order in
       remember t tr';
       tr'
   | None ->
       t.full_runs <- t.full_runs + 1;
+      if Trace.enabled () then Trace.instant "eval.full";
       let tr =
         Scheduler.run_traced ~workspace:t.workspace ~access:t.access t.system
           { t.cfg with Scheduler.order = Some (Array.to_list order) }

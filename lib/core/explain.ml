@@ -1,0 +1,127 @@
+module Trace = Nocplan_obs.Trace
+
+type candidate = {
+  source : string;
+  sink : string;
+  source_is_processor : bool;
+  sink_is_processor : bool;
+  ready : int;
+  duration : int;
+  est_finish : int;
+  eligible : bool;
+  chosen : bool;
+}
+
+type decision = {
+  module_id : int;
+  time : int;
+  policy : string;
+  candidates : candidate list;
+}
+
+let req_int ev key = Option.value (Trace.attr_int ev key) ~default:0
+let req_bool ev key = Option.value (Trace.attr_bool ev key) ~default:false
+let req_str ev key = Option.value (Trace.attr_string ev key) ~default:""
+
+let candidate_of_event ev =
+  {
+    source = req_str ev "source";
+    sink = req_str ev "sink";
+    source_is_processor = req_bool ev "source_processor";
+    sink_is_processor = req_bool ev "sink_processor";
+    ready = req_int ev "ready";
+    duration = req_int ev "duration";
+    est_finish = req_int ev "est_finish";
+    eligible = req_bool ev "eligible";
+    chosen = req_bool ev "chosen";
+  }
+
+(* The scheduler emits, per commit, one [scheduler.decision] instant
+   followed by its [scheduler.candidate] instants — contiguous because
+   a single engine runs single-threaded.  Anything else in the stream
+   (spans, commits, conflicts) is skipped. *)
+let decisions_of_events events =
+  let rec take_candidates acc n = function
+    | ev :: rest
+      when n > 0 && ev.Trace.name = "scheduler.candidate" ->
+        take_candidates (candidate_of_event ev :: acc) (n - 1) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ev :: rest when ev.Trace.name = "scheduler.decision" ->
+        let n = req_int ev "candidates" in
+        let candidates, rest = take_candidates [] n rest in
+        let d =
+          {
+            module_id = req_int ev "module";
+            time = req_int ev "t";
+            policy = req_str ev "policy";
+            candidates;
+          }
+        in
+        go (d :: acc) rest
+    | _ :: rest -> go acc rest
+  in
+  go [] events
+
+let chosen d = List.find_opt (fun c -> c.chosen) d.candidates
+
+let anomaly d =
+  match chosen d with
+  | None -> None
+  | Some w ->
+      if not (w.source_is_processor || w.sink_is_processor) then None
+      else
+        List.fold_left
+          (fun best c ->
+            if
+              (not c.chosen)
+              && (not c.source_is_processor)
+              && (not c.sink_is_processor)
+              && c.ready > d.time
+              && c.est_finish < w.est_finish
+            then
+              match best with
+              | Some (_, b) when b.est_finish <= c.est_finish -> best
+              | _ -> Some (w, c)
+            else best)
+          None d.candidates
+
+let plan ?policy ?application ?(power_limit = None) ~reuse system =
+  let config = Scheduler.config ?policy ?application ~power_limit ~reuse () in
+  let sched, events =
+    Trace.with_collector ~level:Trace.Decisions (fun () ->
+        Scheduler.run system config)
+  in
+  (sched, decisions_of_events events)
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "%s -> %s (ready %d, duration %d, finish %d)" c.source c.sink
+    c.ready c.duration c.est_finish
+
+let pp_decision ppf d =
+  (match chosen d with
+  | Some w ->
+      Fmt.pf ppf "@[<h>t=%-9d module %-3d [%s] chose %a of %d candidates@]"
+        d.time d.module_id d.policy pp_candidate w
+        (List.length d.candidates)
+  | None ->
+      Fmt.pf ppf "@[<h>t=%-9d module %-3d [%s] (no winner recorded)@]" d.time
+        d.module_id d.policy);
+  match anomaly d with
+  | None -> ()
+  | Some (w, better) ->
+      Fmt.pf ppf
+        "@,@[<h>  ANOMALY: external pair %a was busy at t=%d but would have \
+         finished %d earlier@]"
+        pp_candidate better d.time
+        (w.est_finish - better.est_finish)
+
+let pp_report ppf decisions =
+  let anomalies = List.filter (fun d -> anomaly d <> None) decisions in
+  Fmt.pf ppf "@[<v>%a@,%d decisions, %d greedy-anomaly commit%s@]"
+    (Fmt.list ~sep:Fmt.cut pp_decision)
+    decisions (List.length decisions)
+    (List.length anomalies)
+    (if List.length anomalies = 1 then "" else "s")

@@ -1,0 +1,62 @@
+(** Decision explanations.
+
+    Reconstructs the scheduler's decision log — one entry per
+    committed test, with the {e full} candidate set the policy ranked
+    (busy pairs included) — from a [Decisions]-level
+    {!Nocplan_obs.Trace} event stream, and names the commits
+    exhibiting the paper's greedy anomaly: a processor endpoint idle
+    right now chosen over an external-interface pair that was busy at
+    commit time but would have finished the test earlier.
+
+    This is the machinery behind [nocplan plan --explain]. *)
+
+type candidate = {
+  source : string;  (** endpoint, pretty-printed by {!Resource.pp} *)
+  sink : string;
+  source_is_processor : bool;
+  sink_is_processor : bool;
+  ready : int;  (** when both endpoints are (or will be) idle *)
+  duration : int;  (** test duration on this pair *)
+  est_finish : int;  (** [max now ready + duration] *)
+  eligible : bool;  (** idle at commit time — all greedy ever admits *)
+  chosen : bool;
+}
+
+type decision = {
+  module_id : int;
+  time : int;  (** commit time *)
+  policy : string;
+  candidates : candidate list;  (** every feasible pooled pair *)
+}
+
+val decisions_of_events : Nocplan_obs.Trace.event list -> decision list
+(** The decision log of an event stream recorded at the [Decisions]
+    level (events from other levels yield an empty log). *)
+
+val chosen : decision -> candidate option
+(** The committed candidate.  Always [Some] for decisions produced by
+    the scheduler. *)
+
+val anomaly : decision -> (candidate * candidate) option
+(** [Some (winner, better)] when the decision exhibits the greedy
+    anomaly: the chosen pair touches a processor, while [better] — an
+    all-external pair that was still busy ([ready > time]) — would
+    have finished strictly earlier.  [better] is the earliest-finishing
+    such pair. *)
+
+val plan :
+  ?policy:Scheduler.policy ->
+  ?application:Nocplan_proc.Processor.application ->
+  ?power_limit:float option ->
+  reuse:int ->
+  System.t ->
+  Schedule.t * decision list
+(** Run one schedule under a private [Decisions]-level collector and
+    return it with its decision log.  Raises as {!Scheduler.run}. *)
+
+val pp_decision : decision Fmt.t
+(** One line per decision plus, when {!anomaly} fires, an [ANOMALY]
+    line naming the faster-but-later external pair. *)
+
+val pp_report : decision list Fmt.t
+(** Every decision, then a summary counting the anomalies. *)

@@ -1,4 +1,5 @@
 module Processor = Nocplan_proc.Processor
+module Trace = Nocplan_obs.Trace
 
 type point = {
   reuse : int;
@@ -57,8 +58,32 @@ let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
     | Some _ | None -> Test_access.table ~application system
   in
   let evaluate reuse =
-    fst (run_point ~access system ~policy ~application ~power_limit ~reuse)
+    if not (Trace.enabled ()) then
+      fst (run_point ~access system ~policy ~application ~power_limit ~reuse)
+    else begin
+      Trace.begin_span "planner.point" ~attrs:[ ("reuse", Trace.Int reuse) ];
+      match
+        fst (run_point ~access system ~policy ~application ~power_limit ~reuse)
+      with
+      | p ->
+          Trace.end_span "planner.point"
+            ~attrs:[ ("makespan", Trace.Int p.makespan) ];
+          p
+      | exception exn ->
+          Trace.end_span "planner.point" ~attrs:[ ("raised", Trace.Bool true) ];
+          raise exn
+    end
   in
+  Trace.span "planner.sweep"
+    ~attrs:
+      [
+        ( "system",
+          Trace.String system.System.soc.Nocplan_itc02.Soc.name );
+        ("policy", Trace.String (Fmt.str "%a" Scheduler.pp_policy policy));
+        ("points", Trace.Int (max_reuse + 1));
+        ("domains", Trace.Int domains);
+      ]
+  @@ fun () ->
   let points =
     if domains = 1 then List.init (max_reuse + 1) evaluate
     else begin
@@ -97,6 +122,8 @@ let power_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
   in
   List.map
     (fun pct ->
+      Trace.span "planner.power_point" ~attrs:[ ("pct", Trace.Float pct) ]
+      @@ fun () ->
       let power_limit = absolute_limit system (Some pct) in
       ( pct,
         fst (run_point ~access system ~policy ~application ~power_limit ~reuse)

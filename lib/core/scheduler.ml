@@ -1,5 +1,6 @@
 module Reservation = Nocplan_noc.Reservation
 module Processor = Nocplan_proc.Processor
+module Trace = Nocplan_obs.Trace
 
 let log_src =
   Logs.Src.create "nocplan.scheduler" ~doc:"Test scheduler decisions"
@@ -338,6 +339,17 @@ let try_commit e ~now module_id row (i, j, _avail) =
         m "t=%d: start module %d on %a -> %a (finish %d, power %.1f)" now
           module_id Resource.pp e.e_endpoints.(i) Resource.pp e.e_endpoints.(j)
           finish c.Test_access.power);
+    if Trace.enabled () then
+      Trace.instant "scheduler.commit"
+        ~attrs:
+          [
+            ("module", Trace.Int module_id);
+            ("source", Trace.String (Fmt.str "%a" Resource.pp e.e_endpoints.(i)));
+            ("sink", Trace.String (Fmt.str "%a" Resource.pp e.e_endpoints.(j)));
+            ("start", Trace.Int now);
+            ("finish", Trace.Int finish);
+            ("power", Trace.Float c.Test_access.power);
+          ];
     (* A freshly tested reusable processor joins the pool when its
        test completes. *)
     (match System.processor_of_module e.e_system module_id with
@@ -369,6 +381,78 @@ let pairs_of e ~row slots k =
   done;
   !candidates
 
+(* ------------------------------------------------------------------ *)
+(* Decision log                                                       *)
+
+let is_processor = function
+  | Resource.Processor _ -> true
+  | Resource.External_in _ | Resource.External_out _ -> false
+
+(* One decision-log candidate: a feasible pooled pair, busy or not.
+   Captured {e before} the winning commit mutates the availability
+   array, so every ready time is the one the policy actually saw. *)
+type cand = { d_i : int; d_j : int; d_ready : int; d_dur : int }
+
+(* Every feasible pair over the pooled slots — not just the subset the
+   greedy policy admits (idle right now).  The paper's anomaly is
+   precisely a faster external pair that was busy at commit time, so
+   the decision log must record what the policy refused to look at.
+   Only built at the [Decisions] trace level. *)
+let all_candidates e ~row =
+  let acc = ref [] in
+  for i = e.e_n - 1 downto 0 do
+    if e.e_avail.(i) <> not_pooled then
+      for j = e.e_n - 1 downto 0 do
+        if
+          e.e_avail.(j) <> not_pooled
+          && Test_access.feasible_ix e.e_table ~row ~src:e.e_tix.(i)
+               ~snk:e.e_tix.(j)
+        then begin
+          let c =
+            Test_access.cost_ix e.e_table ~row ~src:e.e_tix.(i)
+              ~snk:e.e_tix.(j)
+          in
+          acc :=
+            {
+              d_i = i;
+              d_j = j;
+              d_ready = max e.e_avail.(i) e.e_avail.(j);
+              d_dur = c.Test_access.duration;
+            }
+            :: !acc
+        end
+      done
+  done;
+  !acc
+
+let emit_decision e ~now module_id ~policy cands ~winner:(wi, wj) =
+  Trace.instant "scheduler.decision"
+    ~attrs:
+      [
+        ("module", Trace.Int module_id);
+        ("t", Trace.Int now);
+        ("policy", Trace.String policy);
+        ("candidates", Trace.Int (List.length cands));
+      ];
+  List.iter
+    (fun c ->
+      let src = e.e_endpoints.(c.d_i) and snk = e.e_endpoints.(c.d_j) in
+      Trace.instant "scheduler.candidate"
+        ~attrs:
+          [
+            ("module", Trace.Int module_id);
+            ("source", Trace.String (Fmt.str "%a" Resource.pp src));
+            ("sink", Trace.String (Fmt.str "%a" Resource.pp snk));
+            ("source_processor", Trace.Bool (is_processor src));
+            ("sink_processor", Trace.Bool (is_processor snk));
+            ("ready", Trace.Int c.d_ready);
+            ("duration", Trace.Int c.d_dur);
+            ("est_finish", Trace.Int (max now c.d_ready + c.d_dur));
+            ("eligible", Trace.Bool (c.d_ready <= now));
+            ("chosen", Trace.Bool (c.d_i = wi && c.d_j = wj));
+          ])
+    cands
+
 (* One scheduling attempt for one core at time [now].  Returns true
    if the core was started. *)
 let attempt_greedy e ~slots ~k ~now module_id =
@@ -381,7 +465,21 @@ let attempt_greedy e ~slots ~k ~now module_id =
       (fun (_, _, a) (_, _, b) -> Int.compare a b)
       (pairs_of e ~row slots k)
   in
-  List.exists (try_commit e ~now module_id row) candidates
+  (* The decision log needs the pre-commit availability picture. *)
+  let shadow = if Trace.decisions () then Some (all_candidates e ~row) else None in
+  let rec pick = function
+    | [] -> None
+    | pair :: rest ->
+        if try_commit e ~now module_id row pair then Some pair else pick rest
+  in
+  match pick candidates with
+  | None -> false
+  | Some (wi, wj, _) ->
+      (match shadow with
+      | Some all ->
+          emit_decision e ~now module_id ~policy:"greedy" all ~winner:(wi, wj)
+      | None -> ());
+      true
 
 let attempt_lookahead e ~slots ~k ~now module_id =
   let row = Test_access.module_row e.e_table module_id in
@@ -397,17 +495,26 @@ let attempt_lookahead e ~slots ~k ~now module_id =
     |> List.stable_sort (fun (fa, _) (fb, _) -> Int.compare fa fb)
     |> List.map snd
   in
+  let shadow = if Trace.decisions () then Some (all_candidates e ~row) else None in
   (* Take candidates in completion order; commit the first idle one,
      but stop as soon as the best remaining pair is still busy —
      waiting for it beats settling for a worse pair. *)
   let rec go = function
-    | [] -> false
+    | [] -> None
     | ((_, _, avail) as pair) :: rest ->
-        if avail > now then false
-        else if try_commit e ~now module_id row pair then true
+        if avail > now then None
+        else if try_commit e ~now module_id row pair then Some pair
         else go rest
   in
-  go candidates
+  match go candidates with
+  | None -> false
+  | Some (wi, wj, _) ->
+      (match shadow with
+      | Some all ->
+          emit_decision e ~now module_id ~policy:"lookahead" all
+            ~winner:(wi, wj)
+      | None -> ());
+      true
 
 let event_loop e pending0 =
   (* The eligible-slot set is a function of the availability array and
@@ -470,6 +577,8 @@ let event_loop e pending0 =
       match next_event () with
       | Some t ->
           e.e_now <- t;
+          if Trace.decisions () then
+            Trace.instant "scheduler.advance" ~attrs:[ ("t", Trace.Int t) ];
           stale := true
       | None ->
           raise
@@ -494,25 +603,48 @@ let finish_trace e =
   }
 
 let run_traced ?workspace ?access system config =
-  let table = resolve_table ?access ~application:config.application system in
-  let wanted = wanted_modules system config in
-  let initial_order =
-    match config.order with
-    | None ->
-        let wanted_set = Hashtbl.create (max 1 (List.length wanted)) in
-        List.iter (fun id -> Hashtbl.replace wanted_set id ()) wanted;
-        List.filter
-          (fun id -> Hashtbl.mem wanted_set id)
-          (Priority.order system ~reuse:config.reuse)
-    | Some order ->
-        check_permutation ~wanted order;
-        order
+  let go () =
+    let table = resolve_table ?access ~application:config.application system in
+    let wanted = wanted_modules system config in
+    let initial_order =
+      match config.order with
+      | None ->
+          let wanted_set = Hashtbl.create (max 1 (List.length wanted)) in
+          List.iter (fun id -> Hashtbl.replace wanted_set id ()) wanted;
+          List.filter
+            (fun id -> Hashtbl.mem wanted_set id)
+            (Priority.order system ~reuse:config.reuse)
+      | Some order ->
+          check_permutation ~wanted order;
+          order
+    in
+    let e =
+      make_engine ?workspace ~table system config (Array.of_list initial_order)
+    in
+    event_loop e initial_order;
+    finish_trace e
   in
-  let e =
-    make_engine ?workspace ~table system config (Array.of_list initial_order)
-  in
-  event_loop e initial_order;
-  finish_trace e
+  if not (Trace.enabled ()) then go ()
+  else begin
+    Trace.begin_span "scheduler.run"
+      ~attrs:
+        [
+          ("policy", Trace.String (Fmt.str "%a" pp_policy config.policy));
+          ("reuse", Trace.Int config.reuse);
+        ];
+    match go () with
+    | tr ->
+        Trace.end_span "scheduler.run"
+          ~attrs:
+            [
+              ("makespan", Trace.Int tr.t_schedule.Schedule.makespan);
+              ("commits", Trace.Int (Array.length tr.t_commits));
+            ];
+        tr
+    | exception exn ->
+        Trace.end_span "scheduler.run" ~attrs:[ ("raised", Trace.Bool true) ];
+        raise exn
+  end
 
 let run ?access system config = (run_traced ?access system config).t_schedule
 
@@ -572,42 +704,63 @@ let resume ?workspace trace order =
   let p = trace_lcp trace order in
   if p = Array.length order then trace
   else begin
-    (* First traced commit of a module inside the changed window; one
-       exists because every position commits exactly once. *)
-    let hi = trace_last_diff trace order in
-    let s = divergence_stop trace ~p ~hi in
-    assert (s >= 0);
-    let t_star = trace.t_commits.(s).c_entry.Schedule.start in
-    let e0 =
-      make_engine ?workspace ~table:trace.t_access trace.t_system
-        trace.t_config order
+    let go () =
+      (* First traced commit of a module inside the changed window; one
+         exists because every position commits exactly once. *)
+      let hi = trace_last_diff trace order in
+      let s = divergence_stop trace ~p ~hi in
+      assert (s >= 0);
+      let t_star = trace.t_commits.(s).c_entry.Schedule.start in
+      let e0 =
+        make_engine ?workspace ~table:trace.t_access trace.t_system
+          trace.t_config order
+      in
+      (* Restore the shared-prefix power ledger by truncating the
+         trace's final one: the entries starting before [t_star] are
+         exactly those of the commits replayed below (which rebuild the
+         calendar side themselves through [Reservation.restore]). *)
+      let mon = Power_monitor.copy_truncated trace.t_monitor ~before:t_star in
+      let e = { e0 with e_monitor = mon } in
+      let committed = Hashtbl.create (max 1 s) in
+      let k = ref 0 in
+      while !k < s && trace.t_commits.(!k).c_entry.Schedule.start < t_star do
+        let c = trace.t_commits.(!k) in
+        replay_commit e c;
+        Hashtbl.replace committed c.c_entry.Schedule.module_id ();
+        incr k
+      done;
+      if Trace.enabled () then
+        Trace.instant "scheduler.replay"
+          ~attrs:
+            [ ("commits", Trace.Int !k); ("divergence_t", Trace.Int t_star) ];
+      e.e_now <- t_star;
+      for i = 0 to e.e_n - 1 do
+        if e.e_avail.(i) > t_star then
+          Min_heap.push e.e_releases ~key:e.e_avail.(i) ~value:i
+      done;
+      let pending =
+        List.filter
+          (fun id -> not (Hashtbl.mem committed id))
+          (Array.to_list order)
+      in
+      event_loop e pending;
+      finish_trace e
     in
-    (* Restore the shared-prefix power ledger by truncating the
-       trace's final one: the entries starting before [t_star] are
-       exactly those of the commits replayed below (which rebuild the
-       calendar side themselves through [Reservation.restore]). *)
-    let mon = Power_monitor.copy_truncated trace.t_monitor ~before:t_star in
-    let e = { e0 with e_monitor = mon } in
-    let committed = Hashtbl.create (max 1 s) in
-    let k = ref 0 in
-    while !k < s && trace.t_commits.(!k).c_entry.Schedule.start < t_star do
-      let c = trace.t_commits.(!k) in
-      replay_commit e c;
-      Hashtbl.replace committed c.c_entry.Schedule.module_id ();
-      incr k
-    done;
-    e.e_now <- t_star;
-    for i = 0 to e.e_n - 1 do
-      if e.e_avail.(i) > t_star then
-        Min_heap.push e.e_releases ~key:e.e_avail.(i) ~value:i
-    done;
-    let pending =
-      List.filter
-        (fun id -> not (Hashtbl.mem committed id))
-        (Array.to_list order)
-    in
-    event_loop e pending;
-    finish_trace e
+    if not (Trace.enabled ()) then go ()
+    else begin
+      Trace.begin_span "scheduler.resume"
+        ~attrs:[ ("modules", Trace.Int (Array.length order)) ];
+      match go () with
+      | tr ->
+          Trace.end_span "scheduler.resume"
+            ~attrs:
+              [ ("makespan", Trace.Int tr.t_schedule.Schedule.makespan) ];
+          tr
+      | exception exn ->
+          Trace.end_span "scheduler.resume"
+            ~attrs:[ ("raised", Trace.Bool true) ];
+          raise exn
+    end
   end
 
 let resume_gain trace order =

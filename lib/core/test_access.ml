@@ -275,6 +275,15 @@ type table = {
 }
 
 let table ?(application = Processor.Bist) system =
+  Nocplan_obs.Trace.span "access.table"
+    ~attrs:
+      [
+        ( "system",
+          Nocplan_obs.Trace.String system.System.soc.Soc.name );
+        ( "modules",
+          Nocplan_obs.Trace.Int (Soc.module_count system.System.soc) );
+      ]
+  @@ fun () ->
   let endpoints =
     Array.of_list
       (Resource.all_endpoints system

@@ -69,6 +69,25 @@ let cal_free cal ~start ~finish =
   let i = first_ending_after cal start in
   i >= cal.len || cal.starts.(i) >= finish
 
+(* Decisions-level diagnostics for a failed probe: the first booking
+   blocking the window on [channel].  Off the fast path — only reached
+   when the probe already failed and a collector asked for decision
+   events. *)
+let emit_conflict t channel ~start ~finish =
+  let cal = cal_at t channel in
+  let i = first_ending_after cal start in
+  if i < cal.len then
+    Nocplan_obs.Trace.instant "noc.reservation.conflict"
+      ~attrs:
+        [
+          ("channel", Nocplan_obs.Trace.Int channel);
+          ("owner", Nocplan_obs.Trace.Int cal.owners.(i));
+          ("busy_start", Nocplan_obs.Trace.Int cal.starts.(i));
+          ("busy_finish", Nocplan_obs.Trace.Int cal.finishes.(i));
+          ("start", Nocplan_obs.Trace.Int start);
+          ("finish", Nocplan_obs.Trace.Int finish);
+        ]
+
 let is_free t channels ~start ~finish =
   start >= finish
   ||
@@ -78,6 +97,8 @@ let is_free t channels ~start ~finish =
     ok := cal_free (cal_at t channels.(!i)) ~start ~finish;
     incr i
   done;
+  if (not !ok) && Nocplan_obs.Trace.decisions () then
+    emit_conflict t channels.(!i - 1) ~start ~finish;
   !ok
 
 let conflicts t channels ~start ~finish =

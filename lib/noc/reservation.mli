@@ -32,7 +32,11 @@ val clear : t -> unit
 val is_free : t -> int array -> start:int -> finish:int -> bool
 (** No booked interval on any of the channels overlaps
     [[start, finish)].  An empty interval ([start >= finish]) is
-    always free. *)
+    always free.  When a {!Nocplan_obs.Trace} collector is installed
+    at the [Decisions] level, a failed probe emits one
+    [noc.reservation.conflict] instant naming the blocking booking —
+    with no collector the probe is branch-free beyond one atomic
+    load. *)
 
 val conflicts : t -> int array -> start:int -> finish:int ->
   (int * booking) list

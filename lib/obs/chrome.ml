@@ -1,0 +1,77 @@
+(* Hand-rolled rendering: obs sits below the serve library that owns
+   the repo's JSON codec, and the trace-event subset is tiny — objects,
+   strings, numbers and booleans, all built here. *)
+
+let add_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.3f" f)
+
+let add_value b = function
+  | Trace.Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Trace.Int i -> Buffer.add_string b (string_of_int i)
+  | Trace.Float f -> add_float b f
+  | Trace.String s -> add_string b s
+
+let phase_letter = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+
+let add_event b (ev : Trace.event) =
+  Buffer.add_string b "{\"name\":";
+  add_string b ev.Trace.name;
+  Buffer.add_string b ",\"cat\":\"nocplan\",\"ph\":\"";
+  Buffer.add_string b (phase_letter ev.Trace.phase);
+  Buffer.add_string b "\",\"ts\":";
+  add_float b ev.Trace.ts;
+  Buffer.add_string b ",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int ev.Trace.tid);
+  (match ev.Trace.phase with
+  | Trace.Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | _ -> ());
+  (match ev.Trace.attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_string b k;
+          Buffer.add_char b ':';
+          add_value b v)
+        attrs;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_string events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_event b ev)
+    events;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let to_file path events =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string events))

@@ -1,0 +1,23 @@
+(** Chrome trace-event export.
+
+    Renders a {!Trace.event} list as the JSON object format of the
+    Chrome trace-event specification, so a [--trace out.json] run
+    opens directly in [chrome://tracing] or Perfetto:
+
+    {v
+    { "traceEvents":
+        [ { "name": "scheduler.run", "cat": "nocplan", "ph": "B",
+            "ts": 12.0, "pid": 1, "tid": 0,
+            "args": { "policy": "greedy", "reuse": 2 } },
+          ... ],
+      "displayTimeUnit": "ms" }
+    v}
+
+    Phases map 1:1: [Begin]→["B"], [End]→["E"], [Instant]→["i"] (with
+    thread scope ["s": "t"]), [Counter]→["C"].  Timestamps are the
+    collector clock's microseconds; attrs become ["args"]. *)
+
+val to_string : Trace.event list -> string
+(** The complete JSON document, ending in a newline. *)
+
+val to_file : string -> Trace.event list -> unit

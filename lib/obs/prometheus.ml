@@ -1,0 +1,108 @@
+type kind = Counter | Gauge | Summary
+
+type sample = {
+  suffix : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+let sample ?(suffix = "") ?(labels = []) value = { suffix; labels; value }
+
+type metric = {
+  name : string;
+  help : string option;
+  kind : kind;
+  samples : sample list;
+}
+
+let valid_name ?(allow_colon = true) name =
+  name <> ""
+  && String.for_all (fun c -> c <> ':' || allow_colon) name
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let metric ?help kind ~name samples =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Prometheus.metric: invalid name %S" name);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (l, _) ->
+          if not (valid_name ~allow_colon:false l) then
+            invalid_arg
+              (Printf.sprintf "Prometheus.metric: invalid label name %S" l))
+        s.labels)
+    samples;
+  { name; help; kind; samples }
+
+let kind_label = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Summary -> "summary"
+
+(* HELP text: backslash and newline escaped; label values additionally
+   escape the double quote (the format's two escaping contexts). *)
+let escape_help s =
+  String.concat ""
+    (List.map
+       (function '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let escape_label_value s =
+  String.concat ""
+    (List.map
+       (function
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | '"' -> "\\\""
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let add_float b f =
+  if Float.is_nan f then Buffer.add_string b "NaN"
+  else if f = Float.infinity then Buffer.add_string b "+Inf"
+  else if f = Float.neg_infinity then Buffer.add_string b "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%g" f)
+
+let render metrics =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      (match m.help with
+      | Some h ->
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" m.name (escape_help h))
+      | None -> ());
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" m.name (kind_label m.kind));
+      List.iter
+        (fun s ->
+          Buffer.add_string b m.name;
+          Buffer.add_string b s.suffix;
+          (match s.labels with
+          | [] -> ()
+          | labels ->
+              Buffer.add_char b '{';
+              List.iteri
+                (fun i (l, v) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Buffer.add_string b l;
+                  Buffer.add_string b "=\"";
+                  Buffer.add_string b (escape_label_value v);
+                  Buffer.add_char b '"')
+                labels;
+              Buffer.add_char b '}');
+          Buffer.add_char b ' ';
+          add_float b s.value;
+          Buffer.add_char b '\n')
+        m.samples)
+    metrics;
+  Buffer.contents b

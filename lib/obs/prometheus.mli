@@ -1,0 +1,46 @@
+(** Prometheus text exposition.
+
+    A minimal renderer of the Prometheus text format (version 0.0.4):
+    metric families with [# HELP]/[# TYPE] headers and one sample line
+    per label set.  The planning service answers its [prometheus] op
+    with this, so the server scrapes like any other target:
+
+    {v
+    # HELP nocplan_requests_total Responses by outcome.
+    # TYPE nocplan_requests_total counter
+    nocplan_requests_total{outcome="served"} 12
+    nocplan_request_latency_ms{quantile="0.5"} 18.4
+    nocplan_request_latency_ms_count 12
+    v}
+
+    Summaries follow the convention above: quantile samples on the
+    base name plus [_count]/[_sum] suffixed samples, all declared by
+    one [summary] TYPE line.  Empty reservoirs simply omit the
+    quantile samples — absent is the Prometheus idiom for "no
+    observations", never a quantile of zero samples. *)
+
+type kind = Counter | Gauge | Summary
+
+type sample = {
+  suffix : string;  (** appended to the family name, e.g. ["_count"] *)
+  labels : (string * string) list;
+  value : float;
+}
+
+val sample : ?suffix:string -> ?labels:(string * string) list -> float -> sample
+
+type metric = {
+  name : string;
+  help : string option;
+  kind : kind;
+  samples : sample list;
+}
+
+val metric : ?help:string -> kind -> name:string -> sample list -> metric
+(** @raise Invalid_argument if [name] or a label name is not a valid
+    Prometheus identifier ([[a-zA-Z_:][a-zA-Z0-9_:]*] for metric
+    names, no colon for label names). *)
+
+val render : metric list -> string
+(** The exposition document; each family renders its [# HELP] (when
+    given), [# TYPE], then its samples in order. *)

@@ -1,0 +1,146 @@
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type phase = Begin | End | Instant | Counter
+
+type event = {
+  seq : int;
+  name : string;
+  phase : phase;
+  ts : float;
+  tid : int;
+  attrs : (string * value) list;
+}
+
+type level = Spans | Decisions
+
+type collector = {
+  mutex : Mutex.t;
+  clock : unit -> float;
+  mutable ticks : float;  (* the deterministic default clock *)
+  mutable events_rev : event list;
+  mutable next_seq : int;
+}
+
+(* The installed sink, plus two dedicated flags so the disabled-path
+   guard is a single atomic load (reading the option would box the
+   comparison; the flags are what the scheduler's inner loops poll). *)
+let installed : collector option Atomic.t = Atomic.make None
+let spans_on = Atomic.make false
+let decisions_on = Atomic.make false
+
+let deterministic_clock c () =
+  c.ticks <- c.ticks +. 1.0;
+  c.ticks
+
+let collector ?clock () =
+  let rec c =
+    {
+      mutex = Mutex.create ();
+      clock =
+        (match clock with
+        | Some f -> f
+        | None -> fun () -> deterministic_clock c ());
+      ticks = 0.0;
+      events_rev = [];
+      next_seq = 0;
+    }
+  in
+  c
+
+let events c =
+  Mutex.lock c.mutex;
+  let evs = List.rev c.events_rev in
+  Mutex.unlock c.mutex;
+  evs
+
+let install ?(level = Spans) c =
+  Atomic.set installed (Some c);
+  Atomic.set decisions_on (level = Decisions);
+  Atomic.set spans_on true
+
+let uninstall () =
+  Atomic.set spans_on false;
+  Atomic.set decisions_on false;
+  Atomic.set installed None
+
+let enabled () = Atomic.get spans_on
+let decisions () = Atomic.get decisions_on
+
+let emit ?(attrs = []) phase name =
+  match Atomic.get installed with
+  | None -> ()
+  | Some c ->
+      let tid = (Domain.self () :> int) in
+      Mutex.lock c.mutex;
+      let ev =
+        { seq = c.next_seq; name; phase; ts = c.clock (); tid; attrs }
+      in
+      c.next_seq <- c.next_seq + 1;
+      c.events_rev <- ev :: c.events_rev;
+      Mutex.unlock c.mutex
+
+let begin_span ?attrs name = emit ?attrs Begin name
+let end_span ?attrs name = emit ?attrs End name
+let instant ?attrs name = emit ?attrs Instant name
+let counter ?attrs name = emit ?attrs Counter name
+
+let span ?attrs name f =
+  if not (enabled ()) then f ()
+  else begin
+    emit ?attrs Begin name;
+    match f () with
+    | v ->
+        emit End name;
+        v
+    | exception exn ->
+        emit ~attrs:[ ("raised", Bool true) ] End name;
+        raise exn
+  end
+
+let with_collector ?level ?clock f =
+  let previous = Atomic.get installed
+  and previous_decisions = Atomic.get decisions_on in
+  let c = collector ?clock () in
+  install ?level c;
+  let restore () =
+    match previous with
+    | None -> uninstall ()
+    | Some p ->
+        install
+          ~level:(if previous_decisions then Decisions else Spans)
+          p
+  in
+  match f () with
+  | v ->
+      restore ();
+      (v, events c)
+  | exception exn ->
+      restore ();
+      raise exn
+
+let attr ev key = List.assoc_opt key ev.attrs
+
+let attr_int ev key =
+  match attr ev key with Some (Int i) -> Some i | _ -> None
+
+let attr_bool ev key =
+  match attr ev key with Some (Bool b) -> Some b | _ -> None
+
+let attr_string ev key =
+  match attr ev key with Some (String s) -> Some s | _ -> None
+
+let pp_value ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | String s -> Fmt.pf ppf "%S" s
+
+let pp_phase ppf p =
+  Fmt.string ppf
+    (match p with Begin -> "B" | End -> "E" | Instant -> "i" | Counter -> "C")
+
+let pp_event ppf ev =
+  Fmt.pf ppf "@[<h>%a %s%a@]" pp_phase ev.phase ev.name
+    (Fmt.list ~sep:Fmt.nop (fun ppf (k, v) ->
+         Fmt.pf ppf " %s=%a" k pp_value v))
+    ev.attrs

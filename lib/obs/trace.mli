@@ -1,0 +1,96 @@
+(** Structured trace spans.
+
+    A process-global event stream the planning layers emit into when —
+    and only when — a {!collector} is installed.  With no collector
+    the emitters reduce to one atomic load and a branch, so
+    instrumented hot paths cost nothing in production runs (the bench
+    regression gate pins this).
+
+    Events are deterministic {e in structure}: names, nesting, thread
+    ids under a single domain and attribute keys/values depend only on
+    the computation, while wall-clock time is isolated in the [ts]
+    field — and the default collector clock is a deterministic
+    per-collector tick counter, so golden tests can pin whole event
+    sequences.  Callers that want real time (the CLI's [--trace])
+    install a [Unix.gettimeofday]-based clock explicitly.
+
+    Two verbosity levels: [Spans] records the span skeleton (runs,
+    sweeps, chains, cache outcomes, commits); [Decisions] additionally
+    records per-commit candidate sets and reservation conflicts — the
+    input of [plan --explain] — at a cost that scales with the
+    scheduler's inner candidate loop. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type phase =
+  | Begin  (** span start; paired with the next matching [End] *)
+  | End
+  | Instant  (** a point event *)
+  | Counter  (** a sampled numeric series (attrs hold the values) *)
+
+type event = {
+  seq : int;  (** global emission order, 0-based per collector *)
+  name : string;
+  phase : phase;
+  ts : float;  (** microseconds on the collector's clock *)
+  tid : int;  (** emitting domain id *)
+  attrs : (string * value) list;
+}
+
+type level = Spans | Decisions
+
+type collector
+(** A mutex-protected event sink; safe to emit into from any domain. *)
+
+val collector : ?clock:(unit -> float) -> unit -> collector
+(** A fresh collector.  [clock] defaults to a deterministic counter
+    that advances by one microsecond per event. *)
+
+val events : collector -> event list
+(** Events collected so far, in emission ([seq]) order. *)
+
+val install : ?level:level -> collector -> unit
+(** Make [collector] the process-global sink (default level:
+    [Spans]).  Replaces any previously installed collector. *)
+
+val uninstall : unit -> unit
+
+val enabled : unit -> bool
+(** A collector is installed.  The fast guard: call sites building
+    non-trivial attribute lists should test this first. *)
+
+val decisions : unit -> bool
+(** A collector is installed at the [Decisions] level. *)
+
+val emit : ?attrs:(string * value) list -> phase -> string -> unit
+(** Emit one event; a no-op when no collector is installed. *)
+
+val begin_span : ?attrs:(string * value) list -> string -> unit
+val end_span : ?attrs:(string * value) list -> string -> unit
+val instant : ?attrs:(string * value) list -> string -> unit
+val counter : ?attrs:(string * value) list -> string -> unit
+
+val span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f ()] in a [Begin]/[End] pair; the [End]
+    carries [("raised", Bool true)] if [f] raises.  When no collector
+    is installed this is exactly [f ()]. *)
+
+val with_collector :
+  ?level:level -> ?clock:(unit -> float) -> (unit -> 'a) -> 'a * event list
+(** Run [f] under a fresh installed collector, then restore whatever
+    was installed before (also on exceptions) and return [f]'s result
+    with the collected events. *)
+
+(** {1 Reading events back} *)
+
+val attr : event -> string -> value option
+val attr_int : event -> string -> int option
+val attr_bool : event -> string -> bool option
+val attr_string : event -> string -> string option
+
+val pp_value : value Fmt.t
+val pp_phase : phase Fmt.t
+
+val pp_event : event Fmt.t
+(** One line: phase, name, attrs — no [seq]/[ts]/[tid], so the output
+    is the deterministic structure golden tests compare. *)

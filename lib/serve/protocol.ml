@@ -3,7 +3,7 @@ module Proc = Nocplan_proc
 
 let version = 1
 
-type op = Plan | Sweep | Validate | Anneal | Metrics
+type op = Plan | Sweep | Validate | Anneal | Metrics | Prometheus
 
 type request = {
   id : Json.t;
@@ -28,6 +28,7 @@ let op_label = function
   | Validate -> "validate"
   | Anneal -> "anneal"
   | Metrics -> "metrics"
+  | Prometheus -> "prometheus"
 
 let error_kind_label = function
   | Parse -> "parse"
@@ -61,6 +62,7 @@ let parse_request line =
     | Some "validate" -> Ok Validate
     | Some "anneal" -> Ok Anneal
     | Some "metrics" -> Ok Metrics
+    | Some "prometheus" -> Ok Prometheus
     | Some other -> Error (Printf.sprintf "unknown op %S" other)
     | None -> Error "missing op field"
   in
@@ -106,7 +108,7 @@ let parse_request line =
   let system = Json.str_field "system" json in
   let* spec =
     match (op, system, soc_text) with
-    | Metrics, _, _ -> Ok None
+    | (Metrics | Prometheus), _, _ -> Ok None
     | _, None, None -> Error "missing system (or inline soc) field"
     | _, system, soc_text ->
         Ok

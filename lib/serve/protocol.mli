@@ -8,7 +8,8 @@
     {v
     { "v": 1,                  // optional, defaults to 1
       "id": "r1",              // echoed verbatim (any JSON value)
-      "op": "plan",            // plan | sweep | validate | anneal | metrics
+      "op": "plan",            // plan | sweep | validate | anneal
+                               //   | metrics | prometheus
       "system": "d695_leon",   // builtin system or corpus benchmark
       "soc": "Soc x\n...",     // inline description, instead of system
       "width": 4, "height": 4, // mesh dims (non-builtin systems)
@@ -40,16 +41,27 @@
     Error kinds: [parse] (malformed request or system description),
     [unschedulable] (the planner proved the instance infeasible),
     [timeout] (deadline exceeded), [overload] (queue full — retry
-    later), [internal]. *)
+    later), [internal].
+
+    {b Observability ops.}  [metrics] and [prometheus] are answered
+    inline by the admission thread (never queued), so they cannot be
+    starved by planning traffic.  [metrics] returns the stats
+    snapshot as JSON; its [latency_ms] field is [null] until at least
+    one {e queued} planning request has been served — inline ops do
+    not feed the latency reservoir, and quantiles of zero samples are
+    never fabricated.  [prometheus] returns the same data (plus
+    per-worker utilization) as a Prometheus text-exposition document
+    in the [result] string, ready for a scrape pipeline. *)
 
 val version : int
 
-type op = Plan | Sweep | Validate | Anneal | Metrics
+type op = Plan | Sweep | Validate | Anneal | Metrics | Prometheus
 
 type request = {
   id : Json.t;  (** echoed verbatim; [Null] when absent *)
   op : op;
-  spec : Sysbuild.spec option;  (** [None] only for [Metrics] *)
+  spec : Sysbuild.spec option;
+      (** [None] only for [Metrics] and [Prometheus] *)
   policy : Nocplan_core.Scheduler.policy;
   application : Nocplan_proc.Processor.application;
   power_pct : float option;

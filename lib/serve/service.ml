@@ -1,4 +1,6 @@
 module Core = Nocplan_core
+module Trace = Nocplan_obs.Trace
+module Prom = Nocplan_obs.Prometheus
 
 let log_src =
   Logs.Src.create "nocplan.serve" ~doc:"Planning service requests"
@@ -20,6 +22,11 @@ type t = {
   queue : job Job_queue.t;
   cache : Table_cache.t;
   stats : Stats.t;
+  created_at : float;
+  (* Per-worker utilization, indexed by worker; written lock-free from
+     the worker domains, read by the prometheus exposition. *)
+  worker_busy_us : int Atomic.t array;
+  worker_jobs : int Atomic.t array;
   mutable workers : unit Domain.t list;
   (* Requests admitted but not yet responded to, for [drain]. *)
   pending_mutex : Mutex.t;
@@ -36,6 +43,76 @@ let snapshot t =
     ~cache_misses:(Table_cache.misses t.cache)
     ~queue_depth:(Job_queue.depth t.queue)
     ~workers:(List.length t.workers)
+
+(* Prometheus text exposition (format 0.0.4) over the same snapshot
+   the [metrics] op serves.  When the latency reservoir is empty the
+   summary carries no quantile samples — only [_count] — instead of
+   fabricating zeros (see {!Stats.record_inline}). *)
+let prometheus_text t =
+  let s = snapshot t in
+  let outcome label v = Prom.sample ~labels:[ ("outcome", label) ] v in
+  let per_worker arr =
+    Array.to_list
+      (Array.mapi
+         (fun i (a : int Atomic.t) ->
+           ( i,
+             Prom.sample
+               ~labels:[ ("worker", string_of_int i) ]
+               (float_of_int (Atomic.get a)) ))
+         arr)
+    |> List.map snd
+  in
+  let latency =
+    let count =
+      match s.Stats.latency with None -> 0 | Some q -> q.Stats.count
+    in
+    (match s.Stats.latency with
+    | None -> []
+    | Some q ->
+        [
+          Prom.sample ~labels:[ ("quantile", "0.5") ] q.Stats.p50_ms;
+          Prom.sample ~labels:[ ("quantile", "0.9") ] q.Stats.p90_ms;
+          Prom.sample ~labels:[ ("quantile", "0.99") ] q.Stats.p99_ms;
+          Prom.sample ~labels:[ ("quantile", "1") ] q.Stats.max_ms;
+        ])
+    @ [ Prom.sample ~suffix:"_count" (float_of_int count) ]
+  in
+  Prom.render
+    [
+      Prom.metric ~help:"Requests by outcome." Prom.Counter
+        ~name:"nocplan_requests_total"
+        [
+          outcome "served" (float_of_int s.Stats.served);
+          outcome "failed" (float_of_int s.Stats.failed);
+          outcome "rejected" (float_of_int s.Stats.rejected);
+          outcome "timeout" (float_of_int s.Stats.timeouts);
+        ];
+      Prom.metric ~help:"Access-table cache hits." Prom.Counter
+        ~name:"nocplan_cache_hits_total"
+        [ Prom.sample (float_of_int s.Stats.cache_hits) ];
+      Prom.metric ~help:"Access-table cache misses." Prom.Counter
+        ~name:"nocplan_cache_misses_total"
+        [ Prom.sample (float_of_int s.Stats.cache_misses) ];
+      Prom.metric ~help:"Jobs waiting in the admission queue." Prom.Gauge
+        ~name:"nocplan_queue_depth"
+        [ Prom.sample (float_of_int s.Stats.queue_depth) ];
+      Prom.metric ~help:"Planning worker domains." Prom.Gauge
+        ~name:"nocplan_workers"
+        [ Prom.sample (float_of_int s.Stats.workers) ];
+      Prom.metric ~help:"Seconds since the service started." Prom.Gauge
+        ~name:"nocplan_uptime_seconds"
+        [ Prom.sample (Unix.gettimeofday () -. t.created_at) ];
+      Prom.metric ~help:"Jobs completed, per worker." Prom.Counter
+        ~name:"nocplan_worker_jobs_total" (per_worker t.worker_jobs);
+      Prom.metric
+        ~help:"Microseconds spent executing jobs, per worker." Prom.Counter
+        ~name:"nocplan_worker_busy_microseconds_total"
+        (per_worker t.worker_busy_us);
+      Prom.metric
+        ~help:
+          "End-to-end latency of queued planning requests (enqueue to \
+           response)." Prom.Summary ~name:"nocplan_request_latency_ms" latency;
+    ]
 
 (* One sweep point, mirroring Planner.run_point: schedule, re-validate
    independently, record the peak power. *)
@@ -62,6 +139,7 @@ let point ~access system ~policy ~application ~power_limit ~reuse =
 let execute t (req : Protocol.request) ~check =
   match req.op with
   | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
+  | Protocol.Prometheus -> Ok (Json.String (prometheus_text t), `None)
   | Protocol.Plan | Protocol.Validate | Protocol.Sweep | Protocol.Anneal -> (
       let spec =
         match req.spec with
@@ -69,15 +147,19 @@ let execute t (req : Protocol.request) ~check =
         | None -> invalid_arg "Service.execute: planning request without spec"
       in
       check ();
-      match Sysbuild.build spec with
+      match Trace.span "serve.build" (fun () -> Sysbuild.build spec) with
       | Error msg -> Error (Protocol.Parse, msg)
       | Ok system -> (
           check ();
           let system, access, hit =
-            Table_cache.find_or_build t.cache system
-              ~application:req.application
+            Trace.span "serve.table" (fun () ->
+                Table_cache.find_or_build t.cache system
+                  ~application:req.application)
           in
           let cache = if hit then `Hit else `Miss in
+          if Trace.enabled () then
+            Trace.instant "serve.cache"
+              ~attrs:[ ("hit", Trace.Bool hit) ];
           check ();
           let power_limit =
             Option.map
@@ -86,8 +168,11 @@ let execute t (req : Protocol.request) ~check =
           in
           let all = List.length system.Core.System.processors in
           let policy = req.policy and application = req.application in
+          Trace.span "serve.solve"
+            ~attrs:[ ("op", Trace.String (Protocol.op_label req.op)) ]
+          @@ fun () ->
           match req.op with
-          | Protocol.Metrics -> assert false
+          | Protocol.Metrics | Protocol.Prometheus -> assert false
           | Protocol.Plan ->
               let reuse = Option.value req.reuse ~default:all in
               let config =
@@ -190,13 +275,22 @@ let finish_pending t =
   Condition.broadcast t.pending_cond;
   Mutex.unlock t.pending_mutex
 
-let run_job t job =
+let run_job t ~worker job =
   let req = job.req in
+  let started_at = Unix.gettimeofday () in
   let check () =
     match job.deadline with
     | Some d when Unix.gettimeofday () > d -> raise Expired
     | _ -> ()
   in
+  if Trace.enabled () then
+    Trace.begin_span "serve.request"
+      ~attrs:
+        [
+          ("op", Trace.String (Protocol.op_label req.op));
+          ("worker", Trace.Int worker);
+          ("queue_wait_ms", Trace.Float ((started_at -. job.enqueued_at) *. 1e3));
+        ];
   let outcome, response =
     match execute t req ~check with
     | Ok (result, cache) ->
@@ -220,8 +314,25 @@ let run_job t job =
           Protocol.error_response ~id:req.id Protocol.Internal
             (Printexc.to_string exn) )
   in
-  let latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
+  let now = Unix.gettimeofday () in
+  let latency_ms = (now -. job.enqueued_at) *. 1e3 in
+  Atomic.fetch_and_add t.worker_busy_us.(worker)
+    (int_of_float ((now -. started_at) *. 1e6))
+  |> ignore;
+  Atomic.incr t.worker_jobs.(worker);
   Stats.record t.stats outcome ~latency_ms;
+  if Trace.enabled () then
+    Trace.end_span "serve.request"
+      ~attrs:
+        [
+          ( "outcome",
+            Trace.String
+              (match outcome with
+              | Stats.Served -> "served"
+              | Stats.Failed -> "failed"
+              | Stats.Rejected -> "rejected"
+              | Stats.Timed_out -> "timeout") );
+        ];
   Log.info (fun m ->
       m "%s %s in %.1f ms" (Protocol.op_label req.op)
         (match outcome with
@@ -236,12 +347,12 @@ let run_job t job =
          m "dropping response (client gone?): %s" (Printexc.to_string exn)));
   finish_pending t
 
-let worker_loop t () =
+let worker_loop t worker () =
   let rec loop () =
     match Job_queue.pop t.queue with
     | None -> ()
     | Some job ->
-        run_job t job;
+        run_job t ~worker job;
         loop ()
   in
   loop ()
@@ -265,6 +376,9 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
       queue = Job_queue.create ~capacity:queue_capacity;
       cache = Table_cache.create ~capacity:cache_capacity;
       stats = Stats.create ();
+      created_at = Unix.gettimeofday ();
+      worker_busy_us = Array.init workers (fun _ -> Atomic.make 0);
+      worker_jobs = Array.init workers (fun _ -> Atomic.make 0);
       workers = [];
       pending_mutex = Mutex.create ();
       pending_cond = Condition.create ();
@@ -272,7 +386,7 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
       stopped = false;
     }
   in
-  t.workers <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t.workers <- List.init workers (fun i -> Domain.spawn (worker_loop t i));
   Log.info (fun m ->
       m "service up: %d workers, queue %d, cache %d" workers queue_capacity
         cache_capacity);
@@ -286,15 +400,28 @@ let handle_line t line respond =
       Log.warn (fun m -> m "bad request: %s" msg);
       respond (Protocol.error_response ~id:Json.Null Protocol.Parse msg)
   | Ok req -> (
+      if Trace.enabled () then
+        Trace.instant "serve.admit"
+          ~attrs:
+            [
+              ("op", Trace.String (Protocol.op_label req.Protocol.op));
+              ("queue_depth", Trace.Int (Job_queue.depth t.queue));
+            ];
       match req.Protocol.op with
-      | Protocol.Metrics ->
-          (* Served inline so observability survives planner overload. *)
+      | (Protocol.Metrics | Protocol.Prometheus) as op ->
+          (* Served inline so observability survives planner overload.
+             Counted without feeding the latency reservoir — the
+             quantiles describe queued planning work only. *)
+          Stats.record_inline t.stats;
+          let result =
+            match op with
+            | Protocol.Metrics -> Stats.snapshot_json (snapshot t)
+            | _ -> Json.String (prometheus_text t)
+          in
           let elapsed_ms = (Unix.gettimeofday () -. now) *. 1e3 in
-          Stats.record t.stats Stats.Served ~latency_ms:elapsed_ms;
           respond
-            (Protocol.ok_response ~id:req.Protocol.id ~op:req.Protocol.op
-               ~cache:`None ~elapsed_ms
-               (Stats.snapshot_json (snapshot t)))
+            (Protocol.ok_response ~id:req.Protocol.id ~op ~cache:`None
+               ~elapsed_ms result)
       | _ ->
           let deadline =
             Option.map (fun ms -> now +. (ms /. 1e3)) req.Protocol.deadline_ms

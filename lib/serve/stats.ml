@@ -31,6 +31,13 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Inline-served observability requests ([metrics], [prometheus])
+   count as served but must not feed the latency reservoir: their
+   near-zero latencies would drag down the planner quantiles the
+   reservoir exists to report. *)
+let record_inline t =
+  locked t (fun () -> t.served <- t.served + 1)
+
 let record t outcome ~latency_ms =
   locked t (fun () ->
       match outcome with

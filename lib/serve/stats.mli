@@ -22,6 +22,13 @@ val record : t -> outcome -> latency_ms:float -> unit
 (** Thread-safe.  The latency feeds the quantile reservoir only for
     [Served]. *)
 
+val record_inline : t -> unit
+(** Count an inline-served observability request ([metrics],
+    [prometheus]) as [Served] {e without} touching the latency
+    reservoir: the quantiles report queued planning work only, and
+    stay [None] (JSON [null]) until such a request has been served —
+    they are never computed over zero samples. *)
+
 type quantiles = {
   count : int;  (** observations currently in the reservoir *)
   p50_ms : float;

@@ -54,4 +54,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("gantt and report", Test_gantt_report.suite);
       ("planning service", Test_serve.suite);
+      ("observability", Test_obs.suite);
     ]

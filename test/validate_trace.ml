@@ -1,0 +1,59 @@
+(* Standalone checker for Chrome trace-event files written by
+   [nocplan --trace].  Exits non-zero unless the file parses as JSON
+   and satisfies the trace-event contract: a [traceEvents] array whose
+   rows all carry name/cat/ph/ts/pid/tid with a known phase, and whose
+   Begin/End events balance per (pid, tid, name). *)
+
+module Json = Nocplan_serve.Json
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: validate_trace FILE"
+  in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let json =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> fail "%s: not JSON: %s" path e
+  in
+  let rows =
+    match Json.member "traceEvents" json with
+    | Some (Json.List rows) -> rows
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  let depth : (int * int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let str f =
+        match Json.str_field f row with
+        | Some s -> s
+        | None -> fail "%s: row without %s: %s" path f (Json.to_string row)
+      in
+      let num f =
+        match Json.float_field f row with
+        | Some v -> v
+        | None -> fail "%s: row without %s: %s" path f (Json.to_string row)
+      in
+      let name = str "name" and ph = str "ph" in
+      ignore (str "cat");
+      ignore (num "ts");
+      let key = (int_of_float (num "pid"), int_of_float (num "tid"), name) in
+      match ph with
+      | "B" -> Hashtbl.replace depth key
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt depth key))
+      | "E" ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth key) in
+          if d < 1 then fail "%s: unbalanced E for %s" path name;
+          Hashtbl.replace depth key (d - 1)
+      | "i" | "C" -> ()
+      | other -> fail "%s: unknown phase %S" path other)
+    rows;
+  Hashtbl.iter
+    (fun (_, _, name) d ->
+      if d <> 0 then fail "%s: unbalanced B for %s" path name)
+    depth;
+  Fmt.pr "%s: %d trace events ok@." path (List.length rows)

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Documentation lint: keep the prose honest against the real CLI.
+#
+#   1. Every `nocplan <subcommand>` mentioned inside a fenced code
+#      block of README.md / OBSERVABILITY.md must be a real
+#      subcommand of the built binary.
+#   2. Every markdown file the README links to must exist.
+#   3. OBSERVABILITY.md must be reachable from README.md (the span
+#      taxonomy is documentation-as-contract for the golden tests).
+#   4. If odoc is installed, `dune build @doc` must succeed; when it
+#      is not installed the check is skipped with a notice (the CI
+#      image does not ship odoc).
+#
+# Run from the repository root: `make doc-lint` or `sh tools/doc_lint.sh`.
+
+set -eu
+
+fail=0
+err() { echo "doc-lint: $1" >&2; fail=1; }
+
+BIN=_build/default/bin/nocplan.exe
+if [ ! -x "$BIN" ]; then
+  echo "doc-lint: building $BIN" >&2
+  dune build bin/nocplan.exe
+fi
+
+# -- 1. CLI subcommands referenced in code fences ---------------------------
+
+# COMMANDS section of --help=plain: subcommand names are the first
+# word of indented entries.
+subcommands=$("$BIN" --help=plain 2>/dev/null \
+  | awk '/^COMMANDS/{s=1;next} /^[A-Z]/{s=0} s && /^       [a-z]/{print $1}' \
+  | sort -u)
+[ -n "$subcommands" ] || { err "could not extract subcommands from $BIN --help"; }
+
+for doc in README.md OBSERVABILITY.md; do
+  [ -f "$doc" ] || { err "$doc missing"; continue; }
+  # Words following `nocplan` / `nocplan.exe --` inside ``` fences.
+  mentioned=$(awk '/^```/{f=!f;next} f' "$doc" \
+    | grep -oE 'nocplan(\.exe)?( --)? [a-z][a-z0-9-]*' \
+    | awk '{print $NF}' | sort -u || true)
+  for cmd in $mentioned; do
+    if ! printf '%s\n' "$subcommands" | grep -qx "$cmd"; then
+      err "$doc references unknown subcommand 'nocplan $cmd'"
+    fi
+  done
+done
+
+# -- 2. Local markdown links from the README --------------------------------
+
+for target in $(grep -oE '\]\([A-Za-z0-9_./-]+\.md\)' README.md \
+                  | sed 's/^](//; s/)$//' | sort -u); do
+  [ -f "$target" ] || err "README.md links to missing file $target"
+done
+
+# -- 3. OBSERVABILITY.md reachable from README ------------------------------
+
+grep -q 'OBSERVABILITY\.md' README.md \
+  || err "README.md does not link OBSERVABILITY.md"
+grep -q 'OBSERVABILITY\.md' DESIGN.md \
+  || err "DESIGN.md does not reference OBSERVABILITY.md"
+
+# -- 4. odoc (optional) ------------------------------------------------------
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "doc-lint: odoc found, building @doc" >&2
+  dune build @doc || err "dune build @doc failed"
+else
+  echo "doc-lint: odoc not installed, skipping API-doc build" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-lint: FAILED" >&2
+  exit 1
+fi
+echo "doc-lint: ok"

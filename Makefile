@@ -1,6 +1,7 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test bench bench-json check examples clean doc doc-lint
+.PHONY: all build test bench bench-json check examples clean doc doc-lint \
+        coverage
 
 all: build
 
@@ -32,6 +33,23 @@ doc:
 doc-lint:
 	sh tools/doc_lint.sh
 
+# Test coverage via bisect_ppx when it is installed; skipped with a
+# notice otherwise (the CI image does not ship bisect_ppx).  Every
+# library carries an (instrumentation (backend bisect_ppx)) stanza,
+# which dune resolves only when --instrument-with is passed, so plain
+# builds never need the package.
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  rm -rf _coverage && \
+	  BISECT_FILE=$$PWD/_coverage/bisect dune runtest --force \
+	    --instrument-with bisect_ppx && \
+	  bisect-ppx-report html --coverage-path _coverage -o _coverage/html && \
+	  bisect-ppx-report summary --coverage-path _coverage && \
+	  echo "coverage: _coverage/html/index.html"; \
+	else \
+	  echo "coverage: bisect_ppx not installed, skipping (opam install bisect_ppx)"; \
+	fi
+
 # The tier-1 gate plus doc lint plus a benchmark smoke run producing
 # the JSON and checking it against the committed baseline (skip the
 # regression gate with NOCPLAN_BENCH_GATE=off on unrelated machines).
@@ -39,6 +57,7 @@ check:
 	dune build @all
 	dune runtest
 	sh tools/doc_lint.sh
+	$(MAKE) coverage
 	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:

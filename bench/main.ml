@@ -562,6 +562,67 @@ let annealing () =
     "@.(*) certified optima are only tractable on small fixtures — see A7.@."
 
 (* ------------------------------------------------------------------ *)
+(* A20: joint order+placement annealing                                *)
+
+type placement_row = {
+  pl_system : string;
+  pl_order_only : int;
+  pl_joint : int;
+  pl_placement_evals : int;
+  pl_placement_accepted : int;
+  pl_seconds : float;
+}
+
+(* Filled by [placement_annealing] for the JSON artefact and the gate
+   (joint makespans are deterministic: equal-or-better, no tolerance). *)
+let placement_rows : placement_row list ref = ref []
+
+let placement_annealing () =
+  section
+    "anneal:placement — joint order+placement annealing (mesh vs torus, \
+     same seed and budget)";
+  Fmt.pr "%-18s %-12s %-12s %-10s %-10s@." "system" "order-only" "joint"
+    "tile-swaps" "seconds";
+  placement_rows :=
+    List.map
+      (fun (name, system) ->
+        let reuse = List.length system.System.processors in
+        let iterations = 150 and seed = 7L in
+        let order_only =
+          Annealing.schedule ~iterations ~seed ~chains:1 ~reuse system
+        in
+        let t0 = Unix.gettimeofday () in
+        (* Chain 0 stays order-only, so the joint run is never worse
+           than the order-only one under the same seed; the comparison
+           isolates what the placement dimension itself buys. *)
+        let joint =
+          Annealing.schedule ~iterations ~seed ~chains:2
+            ~exchange_period:(iterations + 1) ~placement_moves:0.3 ~reuse
+            system
+        in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let oo = order_only.Annealing.schedule.Schedule.makespan in
+        let jm = joint.Annealing.schedule.Schedule.makespan in
+        Fmt.pr "%-18s %-12d %-12d %-10d %-10.4f@." name oo jm
+          joint.Annealing.placement_accepted seconds;
+        {
+          pl_system = name;
+          pl_order_only = oo;
+          pl_joint = jm;
+          pl_placement_evals = joint.Annealing.placement_evals;
+          pl_placement_accepted = joint.Annealing.placement_accepted;
+          pl_seconds = seconds;
+        })
+      [
+        ("d695_leon", Experiments.d695_leon ());
+        ("d695_leon_torus", Experiments.torus_variant (Experiments.d695_leon ()));
+      ];
+  Fmt.pr
+    "@.on the torus the order-only walk mostly rearranges equal path \
+     lengths; moving cores across the wraparound is where the remaining \
+     test time lives.@."
+
+(* ------------------------------------------------------------------ *)
 (* Tracing overhead                                                    *)
 
 module Obs = Nocplan_obs
@@ -858,6 +919,17 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load =
         (json_escape r.an_system) r.an_greedy r.an_lookahead r.an_annealed
         r.an_evaluations r.an_seconds)
     !anneal_rows;
+  Buffer.add_string buf "\n  ],\n  \"placement_annealing\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    {\"system\": \"%s\", \"order_only\": %d, \"joint\": %d, \
+         \"placement_evals\": %d, \"placement_accepted\": %d, \"seconds\": \
+         %.4f}"
+        (json_escape r.pl_system) r.pl_order_only r.pl_joint
+        r.pl_placement_evals r.pl_placement_accepted r.pl_seconds)
+    !placement_rows;
   Buffer.add_string buf "\n  ],\n  \"experiments\": [\n";
   List.iteri
     (fun i (name, seconds) ->
@@ -951,7 +1023,7 @@ let run_gate ~baseline_path ~figure1_seconds =
               | Some base, Some fresh -> check_seconds name ~base ~fresh
               | None, _ -> fail "baseline lacks experiment %s" name
               | Some _, None -> fail "this run did not time %s" name)
-            [ "A7:optimality_gap"; "A12:annealing" ];
+            [ "A7:optimality_gap"; "A12:annealing"; "anneal:placement" ];
           (match Serve.Json.member "annealing" baseline with
           | Some (Serve.Json.List entries) ->
               List.iter
@@ -976,6 +1048,38 @@ let run_gate ~baseline_path ~figure1_seconds =
                   | None -> fail "baseline lacks annealing row %s" r.an_system)
                 !anneal_rows
           | Some _ | None -> fail "baseline lacks the annealing section");
+          (match Serve.Json.member "placement_annealing" baseline with
+          | Some (Serve.Json.List entries) ->
+              List.iter
+                (fun r ->
+                  match
+                    List.find_map
+                      (fun e ->
+                        if Serve.Json.str_field "system" e = Some r.pl_system
+                        then Serve.Json.int_field "joint" e
+                        else None)
+                      entries
+                  with
+                  | Some base ->
+                      if r.pl_joint > base then
+                        fail
+                          "joint anneal makespan %s: %d vs baseline %d (must \
+                           be equal or better)"
+                          r.pl_system r.pl_joint base
+                      else if r.pl_joint > r.pl_order_only then
+                        fail
+                          "joint anneal %s: %d worse than its own order-only \
+                           run %d"
+                          r.pl_system r.pl_joint r.pl_order_only
+                      else
+                        Fmt.pr "gate: %-24s joint %d (baseline %d) ok@."
+                          r.pl_system r.pl_joint base
+                  | None ->
+                      fail "baseline lacks placement_annealing row %s"
+                        r.pl_system)
+                !placement_rows
+          | Some _ | None -> fail "baseline lacks the placement_annealing \
+                                   section");
           (match !failures with
           | [] -> Fmt.pr "gate: PASS vs %s@." baseline_path
           | fs ->
@@ -1040,6 +1144,7 @@ let () =
     timed "A10:flit_width_sweep" flit_width_sweep;
     timed "A11:fault_sweep" fault_sweep;
     timed "A12:annealing" annealing;
+    timed "anneal:placement" placement_annealing;
     timed "A13:bus_vs_noc" bus_vs_noc;
     timed "A14:mesh_vs_torus" mesh_vs_torus;
     timed "A15:corpus_sweep" corpus_sweep;
@@ -1049,9 +1154,10 @@ let () =
     timed "A19:coverage_curve" coverage_curve
   end;
   if !smoke then begin
-    (* The regression gate needs these two timings even in smoke mode. *)
+    (* The regression gate needs these timings even in smoke mode. *)
     timed "A7:optimality_gap" optimality_gap;
-    timed "A12:annealing" annealing
+    timed "A12:annealing" annealing;
+    timed "anneal:placement" placement_annealing
   end;
   timed "obs:tracing_overhead" (fun () -> tracing_overhead systems);
   if not !smoke then timed "bechamel" (fun () -> timing_benchmarks systems);

@@ -286,38 +286,47 @@ let stats_cmd =
 
 let anneal_cmd =
   let run spec width height leons plasmas power reuse iterations seed chains
-      exchange trace =
-    match load_system ~spec ~width ~height ~leons ~plasmas with
-    | Error msg -> parse_fail msg
-    | Ok system -> (
-        let reuse =
-          match reuse with
-          | Some r -> r
-          | None -> List.length system.Core.System.processors
-        in
-        let power_limit =
-          Option.map
-            (fun pct -> Core.System.power_limit_of_pct system ~pct)
-            power
-        in
-        match
-          with_tracing trace (fun () ->
-              Core.Annealing.schedule ~power_limit ~iterations
-                ~seed:(Int64.of_int seed) ~chains ~exchange_period:exchange
-                ~reuse system)
-        with
-        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | r, _ ->
-            Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
-            Fmt.pr
-              "greedy order %d -> annealed %d (%.1f%% better; %d engine \
-               evaluations, %d accepted moves, %d chains, %d exchanges)@."
-              r.Core.Annealing.initial_makespan
-              r.Core.Annealing.schedule.Core.Schedule.makespan
-              (Core.Annealing.improvement_pct r)
-              r.Core.Annealing.evaluations r.Core.Annealing.accepted
-              r.Core.Annealing.chains r.Core.Annealing.exchanges;
-            0)
+      exchange placement_moves trace =
+    if placement_moves < 0.0 || placement_moves > 1.0 then
+      parse_fail "--placement-moves must be within [0, 1]"
+    else
+      match load_system ~spec ~width ~height ~leons ~plasmas with
+      | Error msg -> parse_fail msg
+      | Ok system -> (
+          let reuse =
+            match reuse with
+            | Some r -> r
+            | None -> List.length system.Core.System.processors
+          in
+          let power_limit =
+            Option.map
+              (fun pct -> Core.System.power_limit_of_pct system ~pct)
+              power
+          in
+          match
+            with_tracing trace (fun () ->
+                Core.Annealing.schedule ~power_limit ~iterations
+                  ~seed:(Int64.of_int seed) ~chains ~exchange_period:exchange
+                  ~placement_moves ~reuse system)
+          with
+          | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
+          | r, _ ->
+              Fmt.pr "%a@." Core.Schedule.pp r.Core.Annealing.schedule;
+              Fmt.pr
+                "greedy order %d -> annealed %d (%.1f%% better; %d engine \
+                 evaluations, %d accepted moves, %d chains, %d exchanges)@."
+                r.Core.Annealing.initial_makespan
+                r.Core.Annealing.schedule.Core.Schedule.makespan
+                (Core.Annealing.improvement_pct r)
+                r.Core.Annealing.evaluations r.Core.Annealing.accepted
+                r.Core.Annealing.chains r.Core.Annealing.exchanges;
+              if r.Core.Annealing.placement_evals > 0 then
+                Fmt.pr
+                  "placement moves: %d evaluated, %d accepted (joint \
+                   order+placement search)@."
+                  r.Core.Annealing.placement_evals
+                  r.Core.Annealing.placement_accepted;
+              0)
   in
   let iterations_arg =
     Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N"
@@ -335,10 +344,16 @@ let anneal_cmd =
     Arg.(value & opt int 50 & info [ "exchange" ] ~docv:"N"
            ~doc:"Iterations between best-exchanges across chains.")
   in
+  let placement_arg =
+    Arg.(value & opt float 0.0 & info [ "placement-moves" ] ~docv:"RATIO"
+           ~doc:"Probability in [0, 1] that a move swaps two module tiles \
+                 instead of two order positions (0 = order-only annealing; \
+                 processors and IO ports stay pinned).")
+  in
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ power_arg $ reuse_arg $ iterations_arg
-          $ seed_arg $ chains_arg $ exchange_arg $ trace_arg)
+          $ seed_arg $ chains_arg $ exchange_arg $ placement_arg $ trace_arg)
   in
   Cmd.v
     (cmd_info "anneal"

@@ -3,24 +3,34 @@ module Trace = Nocplan_obs.Trace
 
 type result = {
   schedule : Schedule.t;
+  system : System.t;
   initial_makespan : int;
   evaluations : int;
   accepted : int;
+  placement_evals : int;
+  placement_accepted : int;
   chains : int;
   exchanges : int;
 }
 
 let improvement_pct r =
-  100.0
-  *. (1.0
-     -. float_of_int r.schedule.Schedule.makespan
-        /. float_of_int r.initial_makespan)
+  if r.initial_makespan = 0 then 0.0
+  else
+    100.0
+    *. (1.0
+       -. float_of_int r.schedule.Schedule.makespan
+          /. float_of_int r.initial_makespan)
 
 (* One tempering chain: its own generator, temperature, order buffer
-   and evaluation cache; traces flow between chains read-only. *)
+   and evaluation cache; traces flow between chains read-only.  The
+   chain's current *system* (its placement) lives in its current
+   trace; [swappable] — the non-pinned module ids eligible for tile
+   swaps — is placement-invariant and shared by every chain. *)
 type chain = {
   index : int;  (** position in the temperature ladder, for tracing *)
   rng : Rng.t;
+  ratio : float;  (** probability that a move is a placement swap *)
+  swappable : int array;
   order : int array;
   cache : Eval_cache.t;
   mutable current : Scheduler.trace;
@@ -28,6 +38,8 @@ type chain = {
   mutable temperature : float;
   mutable evaluations : int;
   mutable accepted : int;
+  mutable placement_evals : int;
+  mutable placement_accepted : int;
 }
 
 let makespan trace = (Scheduler.trace_schedule trace).Schedule.makespan
@@ -41,9 +53,65 @@ let chain_seed base c =
   if c = 0 then base
   else Int64.add base (Int64.mul (Int64.of_int c) 0x9E3779B97F4A7C15L)
 
-(* [iterations] annealing moves on one chain.  For a single chain this
-   is, move for move, the historical sequential annealer: same
-   generator consumption, same Metropolis rule, same cooling — only
+(* The Metropolis rule, shared by both move classes.  Consumes one
+   [Rng.float] draw only on an uphill candidate at positive
+   temperature — the same consumption pattern as the historical
+   order-only annealer. *)
+let metropolis ch candidate =
+  let delta = float_of_int (makespan candidate - makespan ch.current) in
+  delta <= 0.0
+  || ch.temperature > 0.0 && Rng.float ch.rng < exp (-.delta /. ch.temperature)
+
+(* One placement move: swap the tiles of two random non-pinned
+   modules, rebuild only their access-table rows, and re-evaluate the
+   current order on the mutated system by verified replay
+   ([Scheduler.resume_onto]).  Nothing is mutated until acceptance —
+   [System.swap_tiles] and [Test_access.table_rebuild] are functional
+   — so a rejection simply drops the candidate. *)
+let placement_move ch =
+  let ns = Array.length ch.swappable in
+  let a = ch.swappable.(Rng.int ch.rng ~bound:ns) in
+  let b = ch.swappable.(Rng.int ch.rng ~bound:ns) in
+  if a <> b then begin
+    let sys = System.swap_tiles (Scheduler.trace_system ch.current) a b in
+    let access =
+      Test_access.table_rebuild
+        (Scheduler.trace_access ch.current)
+        ~system:sys ~affected:[ a; b ]
+    in
+    match
+      Scheduler.resume_onto ch.current ~system:sys ~access ~affected:[ a; b ]
+    with
+    | exception Scheduler.Unschedulable _ -> ()
+    | candidate ->
+        ch.evaluations <- ch.evaluations + 1;
+        ch.placement_evals <- ch.placement_evals + 1;
+        let accept = metropolis ch candidate in
+        if Trace.enabled () then
+          Trace.instant "anneal.move"
+            ~attrs:
+              [
+                ("move", Trace.String "placement");
+                ("chain", Trace.Int ch.index);
+                ("accepted", Trace.Bool accept);
+                ("makespan", Trace.Int (makespan candidate));
+              ];
+        if accept then begin
+          ch.accepted <- ch.accepted + 1;
+          ch.placement_accepted <- ch.placement_accepted + 1;
+          ch.current <- candidate;
+          (* The candidate trace carries the mutated system and its
+             rebuilt table; rebasing keeps the cache's key — and every
+             later order move — on the chain's current placement. *)
+          Eval_cache.rebase ch.cache candidate;
+          if makespan candidate < makespan ch.best then ch.best <- candidate
+        end
+  end
+
+(* [iterations] annealing moves on one chain.  For a single chain with
+   [ratio = 0] this is, move for move, the historical sequential
+   annealer: same generator consumption (the ratio gate draws nothing
+   when the ratio is zero), same Metropolis rule, same cooling — only
    the evaluation goes through the prefix cache, which is
    result-identical to a from-scratch run. *)
 let run_segment ~cooling ch iterations =
@@ -52,36 +120,36 @@ let run_segment ~cooling ch iterations =
       [ ("chain", Trace.Int ch.index); ("iterations", Trace.Int iterations) ]
   @@ fun () ->
   let n = Array.length ch.order in
-  if n >= 2 then
+  let ns = Array.length ch.swappable in
+  if n >= 2 || (ch.ratio > 0.0 && ns >= 2) then
     for _ = 1 to iterations do
-      let i = Rng.int ch.rng ~bound:n in
-      let j = Rng.int ch.rng ~bound:n in
-      if i <> j then begin
-        let swap () =
-          let tmp = ch.order.(i) in
-          ch.order.(i) <- ch.order.(j);
-          ch.order.(j) <- tmp
-        in
-        swap ();
-        match Eval_cache.evaluate ch.cache ch.order with
-        | exception Scheduler.Unschedulable _ -> swap () (* revert *)
-        | candidate ->
-            ch.evaluations <- ch.evaluations + 1;
-            let delta =
-              float_of_int (makespan candidate - makespan ch.current)
-            in
-            let accept =
-              delta <= 0.0
-              || ch.temperature > 0.0
-                 && Rng.float ch.rng < exp (-.delta /. ch.temperature)
-            in
-            if accept then begin
-              ch.accepted <- ch.accepted + 1;
-              ch.current <- candidate;
-              if makespan candidate < makespan ch.best then
-                ch.best <- candidate
-            end
-            else swap () (* revert *)
+      let placement =
+        ch.ratio > 0.0 && ns >= 2 && Rng.float ch.rng < ch.ratio
+      in
+      if placement then placement_move ch
+      else if n >= 2 then begin
+        let i = Rng.int ch.rng ~bound:n in
+        let j = Rng.int ch.rng ~bound:n in
+        if i <> j then begin
+          let swap () =
+            let tmp = ch.order.(i) in
+            ch.order.(i) <- ch.order.(j);
+            ch.order.(j) <- tmp
+          in
+          swap ();
+          match Eval_cache.evaluate ch.cache ch.order with
+          | exception Scheduler.Unschedulable _ -> swap () (* revert *)
+          | candidate ->
+              ch.evaluations <- ch.evaluations + 1;
+              let accept = metropolis ch candidate in
+              if accept then begin
+                ch.accepted <- ch.accepted + 1;
+                ch.current <- candidate;
+                if makespan candidate < makespan ch.best then
+                  ch.best <- candidate
+              end
+              else swap () (* revert *)
+        end
       end;
       ch.temperature <- ch.temperature *. cooling
     done
@@ -89,14 +157,16 @@ let run_segment ~cooling ch iterations =
 let schedule ?(policy = Scheduler.Greedy)
     ?(application = Nocplan_proc.Processor.Bist) ?(power_limit = None)
     ?(iterations = 400) ?initial_temperature ?(cooling = 0.99)
-    ?(seed = 0x5AL) ?(chains = 1) ?(exchange_period = 50) ?access ~reuse
-    system =
+    ?(seed = 0x5AL) ?(chains = 1) ?(exchange_period = 50)
+    ?(placement_moves = 0.0) ?access ~reuse system =
   if iterations < 1 then invalid_arg "Annealing.schedule: iterations < 1";
   if cooling <= 0.0 || cooling > 1.0 then
     invalid_arg "Annealing.schedule: cooling must be in (0, 1]";
   if chains < 1 then invalid_arg "Annealing.schedule: chains < 1";
   if exchange_period < 1 then
     invalid_arg "Annealing.schedule: exchange_period < 1";
+  if placement_moves < 0.0 || placement_moves > 1.0 then
+    invalid_arg "Annealing.schedule: placement_moves must be within [0, 1]";
   (* One access table for all engine evaluations across every chain:
      the cost model does not depend on the test order being searched,
      and the table is immutable, so the Domain fan-out can share it. *)
@@ -123,12 +193,29 @@ let schedule ?(policy = Scheduler.Greedy)
         t
     | None -> 0.02 *. float_of_int initial_makespan
   in
+  (* Tile-swap candidates: every scheduled module that is not a pinned
+     processor.  Placement-invariant (swapping never changes the set),
+     so one sorted array serves every chain and every move. *)
+  let swappable =
+    Array.of_list
+      (List.filter
+         (fun id -> not (System.is_processor_module system id))
+         (System.module_ids system))
+  in
   let make_chain c =
     let cache = Eval_cache.create ~access system base_config in
     Eval_cache.seed cache initial;
     {
       index = c;
       rng = Rng.create (chain_seed seed c);
+      (* Chain 0 of a multi-chain run stays a pure order annealer: the
+         coldest rung of the ladder then reproduces the order-only
+         trajectory bit for bit, which makes the joint result provably
+         no worse than order-only annealing under the same seed — and
+         gives the exchange a placement-free reference walk.  A single
+         chain applies the full ratio. *)
+      ratio = (if chains > 1 && c = 0 then 0.0 else placement_moves);
+      swappable;
       order = Array.copy initial_order;
       cache;
       current = initial;
@@ -138,6 +225,8 @@ let schedule ?(policy = Scheduler.Greedy)
       temperature = temperature0 *. (2.0 ** float_of_int c);
       evaluations = 0;
       accepted = 0;
+      placement_evals = 0;
+      placement_accepted = 0;
     }
   in
   let all_chains = List.init chains make_chain in
@@ -188,7 +277,10 @@ let schedule ?(policy = Scheduler.Greedy)
               incr adopted;
               ch.current <- global_best;
               Array.blit (Scheduler.trace_order global_best) 0 ch.order 0 n;
-              Eval_cache.seed ch.cache global_best
+              (* The global best may carry another chain's placement;
+                 [rebase] adopts system and table along with the trace
+                 (and is exactly [seed] when the system is shared). *)
+              Eval_cache.rebase ch.cache global_best
             end)
           all_chains;
         if Trace.enabled () then
@@ -209,10 +301,17 @@ let schedule ?(policy = Scheduler.Greedy)
   in
   {
     schedule = Scheduler.trace_schedule best;
+    system = Scheduler.trace_system best;
     initial_makespan;
     evaluations =
       List.fold_left (fun acc ch -> acc + ch.evaluations) 1 all_chains;
     accepted = List.fold_left (fun acc ch -> acc + ch.accepted) 0 all_chains;
+    placement_evals =
+      List.fold_left (fun acc ch -> acc + ch.placement_evals) 0 all_chains;
+    placement_accepted =
+      List.fold_left
+        (fun acc ch -> acc + ch.placement_accepted)
+        0 all_chains;
     chains;
     exchanges = !exchanges;
   }

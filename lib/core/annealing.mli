@@ -1,4 +1,5 @@
-(** Simulated annealing over test orderings, with parallel tempering.
+(** Simulated annealing over test orderings — and, optionally, over
+    the placement itself — with parallel tempering.
 
     The greedy engine commits cores in a fixed visiting order; the
     paper derives that order from distances to the resources.  This
@@ -10,12 +11,30 @@
     [p] re-schedules only the suffix from the divergence event, and a
     revert is a cache hit instead of a re-run.
 
+    With [placement_moves > 0] the walk becomes {e joint}: each
+    iteration is, with that probability, a {b placement swap} — the
+    tiles of two random non-pinned modules are exchanged
+    ({!System.swap_tiles}; processors and IO ports stay where they
+    are) — and otherwise the usual order swap.  A placement swap
+    invalidates only the two modules' rows of the access table, which
+    {!Test_access.table_rebuild} recomputes incrementally, and the
+    candidate is evaluated by {!Scheduler.resume_onto}: the schedule
+    prefix predating the first affected commit is replayed, the rest
+    re-run.  On torus topologies, where wraparound halves worst-case
+    hop counts, the placement dimension is where the remaining test
+    time lives — an order-only anneal of a torus system mostly
+    rearranges equal path lengths.
+
     With [chains > 1] the search becomes parallel tempering: K
     independent chains, deterministically seeded from the base seed
     and started on a ×2-per-chain temperature ladder, run on OCaml
-    domains and exchange their best order every [exchange_period]
-    iterations (a chain strictly worse than the global best restarts
-    its walk there, keeping its own temperature).  The outcome is a
+    domains and exchange their best (order, placement) pair every
+    [exchange_period] iterations (a chain strictly worse than the
+    global best restarts its walk there — adopting order, system and
+    table — keeping its own temperature).  Chain 0 of a multi-chain
+    run anneals the order only, so the coldest rung reproduces the
+    order-only trajectory exactly and the joint result is never worse
+    than order-only annealing under the same seed.  The outcome is a
     function of the parameters only — never of the machine's domain
     count.
 
@@ -25,15 +44,22 @@
 
 type result = {
   schedule : Schedule.t;  (** best schedule found across all chains *)
+  system : System.t;
+      (** the system the best schedule belongs to: the input system
+          under placement-less annealing, a placement-mutated copy of
+          it when a placement move won *)
   initial_makespan : int;  (** the heuristic-order (greedy) makespan *)
   evaluations : int;  (** engine runs performed, summed over chains *)
   accepted : int;  (** moves accepted (including uphill ones) *)
+  placement_evals : int;  (** placement-swap candidates evaluated *)
+  placement_accepted : int;  (** placement swaps accepted *)
   chains : int;  (** tempering chains run *)
   exchanges : int;  (** best-exchange adoptions between chains *)
 }
 
 val improvement_pct : result -> float
-(** Reduction of the best makespan relative to the initial one. *)
+(** Reduction of the best makespan relative to the initial one; 0 when
+    the initial makespan is 0 (a degenerate empty system). *)
 
 val schedule :
   ?policy:Scheduler.policy ->
@@ -45,6 +71,7 @@ val schedule :
   ?seed:int64 ->
   ?chains:int ->
   ?exchange_period:int ->
+  ?placement_moves:float ->
   ?access:Test_access.table ->
   reuse:int ->
   System.t ->
@@ -52,15 +79,21 @@ val schedule :
 (** Run the search.  Defaults: [Greedy] inner policy, BIST, no power
     limit, [iterations = 400] (per chain), [initial_temperature] = 2%
     of the initial makespan, [cooling = 0.99] per iteration,
-    [seed = 0x5AL], [chains = 1], [exchange_period = 50].  Fully
+    [seed = 0x5AL], [chains = 1], [exchange_period = 50],
+    [placement_moves = 0.0] (order-only — byte-identical to the
+    historical annealer, consuming the same generator stream).  Fully
     deterministic for fixed arguments; [chains = 1] reproduces the
     historical sequential annealer move for move.  The result is never
     worse than the plain heuristic order.  [access] shares a
     precomputed table as in {!Planner.reuse_sweep}; a mismatched table
     is ignored.
 
+    [placement_moves] is the probability that an iteration swaps two
+    module tiles instead of two order positions; with [chains > 1],
+    chain 0 keeps annealing the order only (see above).
+
     @raise Scheduler.Unschedulable if even the initial order cannot be
     scheduled.
     @raise Invalid_argument for non-positive [iterations], [chains] or
-    [exchange_period], [cooling] outside (0, 1], or negative
-    temperature. *)
+    [exchange_period], [cooling] outside (0, 1], negative
+    temperature, or [placement_moves] outside [0, 1]. *)

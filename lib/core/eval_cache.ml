@@ -6,9 +6,12 @@ type snapshot = {
 }
 
 type t = {
-  system : System.t;
+  (* [system]/[access] are the cache's key; mutable because a placement
+     move rebases the whole cache onto the mutated system ({!rebase}) —
+     every retained trace always belongs to the current key. *)
+  mutable system : System.t;
   cfg : Scheduler.config;
-  access : Test_access.table;
+  mutable access : Test_access.table;
   (* One arena per cache: a cache already serves exactly one search
      chain (it is not domain-safe), which is the ownership contract
      [Scheduler.workspace] asks for. *)
@@ -70,6 +73,23 @@ let seed t trace =
       "Eval_cache.seed: trace was produced for another system or \
        configuration";
   remember t trace
+
+let rebase t trace =
+  let system = Scheduler.trace_system trace in
+  (* Against the trace's own system this reduces to the configuration
+     check (a trace's access table always matches its system). *)
+  if not (Scheduler.trace_matches trace ~system t.cfg) then
+    invalid_arg "Eval_cache.rebase: trace was produced under another \
+                 configuration";
+  let access = Scheduler.trace_access trace in
+  if system == t.system && access == t.access then remember t trace
+  else begin
+    (* The key changed: every retained trace belongs to the old
+       placement and must not be resumed under the new one. *)
+    t.system <- system;
+    t.access <- access;
+    t.traces <- [ trace ]
+  end
 
 let evaluate t order =
   t.evaluations <- t.evaluations + 1;

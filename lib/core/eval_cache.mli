@@ -45,6 +45,18 @@ val seed : t -> Scheduler.trace -> unit
     @raise Invalid_argument if the trace belongs to another system or
     configuration. *)
 
+val rebase : t -> Scheduler.trace -> unit
+(** Adopt [trace] {e together with its system and access table} as the
+    cache's new key.  When the trace belongs to the cache's current
+    system this is exactly {!seed}; when it belongs to a different one
+    (an accepted placement move, or a tempering exchange importing a
+    chain's mutated placement) the retained traces — all evaluated
+    under the old placement — are dropped and the cache restarts from
+    [trace] alone.  Statistics survive; the evaluation arena
+    re-validates itself on the next run.
+    @raise Invalid_argument if the trace's configuration (ignoring
+    order) differs from the cache's. *)
+
 val traces : t -> Scheduler.trace list
 (** Retained traces, most recently used first — the branch-and-bound
     reads these to prune with {!Scheduler.prefix_bound}. *)

@@ -47,6 +47,15 @@ let spread topology ~pinned ids =
 let coord t id = Int_map.find id t.by_module
 let mem t id = Int_map.mem id t.by_module
 
+let swap t a b =
+  match (Int_map.find_opt a t.by_module, Int_map.find_opt b t.by_module) with
+  | Some ca, Some cb ->
+      { by_module = Int_map.add a cb (Int_map.add b ca t.by_module) }
+  | None, _ ->
+      invalid_arg (Printf.sprintf "Placement.swap: module %d is not placed" a)
+  | _, None ->
+      invalid_arg (Printf.sprintf "Placement.swap: module %d is not placed" b)
+
 let modules_at t c =
   Int_map.fold
     (fun id coord acc -> if Coord.equal coord c then id :: acc else acc)

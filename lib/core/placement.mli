@@ -28,6 +28,12 @@ val spread :
 val coord : t -> int -> Nocplan_noc.Coord.t
 (** @raise Not_found if the module is not placed. *)
 
+val swap : t -> int -> int -> t
+(** [swap t a b] exchanges the tiles of modules [a] and [b]; every
+    other assignment is untouched.  The move class of the joint
+    order+placement annealer ({!Annealing}).
+    @raise Invalid_argument if either module is not placed. *)
+
 val mem : t -> int -> bool
 val modules_at : t -> Nocplan_noc.Coord.t -> int list
 val module_ids : t -> int list

@@ -135,6 +135,20 @@ let processor_of_module t id =
 let is_processor_module t id = Option.is_some (processor_of_module t id)
 let module_ids t = Soc.module_ids t.soc
 
+let swap_tiles t a b =
+  if a = b then invalid_arg "System.swap_tiles: modules must be distinct";
+  List.iter
+    (fun id ->
+      if is_processor_module t id then
+        invalid_arg
+          (Printf.sprintf
+             "System.swap_tiles: module %d is a pinned processor" id))
+    [ a; b ];
+  (* [Placement.swap] validates that both ids are placed; processors
+     (checked above) and IO ports (not modules) keep their tiles, so
+     the [processors] list and its coords stay consistent. *)
+  { t with placement = Placement.swap t.placement a b }
+
 let with_failed_links t links =
   { t with failed_links = Link.Set.union t.failed_links (Link.Set.of_list links) }
 

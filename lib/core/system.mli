@@ -89,6 +89,15 @@ val power_limit_of_pct : t -> pct:float -> float
 val with_failed_links : t -> Nocplan_noc.Link.t list -> t
 (** The same system with these channels additionally marked faulty. *)
 
+val swap_tiles : t -> int -> int -> t
+(** [swap_tiles t a b] is the same system with the tiles of modules [a]
+    and [b] exchanged — the placement move of the joint annealer.
+    Everything else (including the pinned processors and IO ports) is
+    untouched, so an access table for [t] stays correct for every
+    module other than [a] and [b] ({!Test_access.table_rebuild}).
+    @raise Invalid_argument if the modules are equal, unplaced, or if
+    either is a processor self-test module (processors are pinned). *)
+
 val fingerprint : t -> string
 (** Hex digest of a canonical serialization of everything that affects
     planning: the SoC (every module's terminals, scan chains, patterns,

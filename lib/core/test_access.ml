@@ -272,7 +272,112 @@ type table = {
       (** row-major [module][source][sink]: the dense channel ids of
           the pair's path links (empty on an invalid pair), numbered
           per table for the {!Nocplan_noc.Reservation} calendar *)
+  channel_ids : (Link.t, int) Hashtbl.t;
+      (** the dense numbering itself, link -> channel id in first-use
+          order.  Kept so {!table_rebuild} can extend the numbering of
+          its base table instead of renumbering: a calendar populated
+          under the base table stays valid under the rebuilt one. *)
 }
+
+(* Dense per-table channel numbering: every distinct link routed over
+   by any (module, source, sink) pair gets one id, in first-use order —
+   the reservation calendar indexes by it. *)
+let channels_of_links t links =
+  Array.of_list
+    (List.map
+       (fun l ->
+         match Hashtbl.find_opt t.channel_ids l with
+         | Some c -> c
+         | None ->
+             let c = Hashtbl.length t.channel_ids in
+             Hashtbl.add t.channel_ids l c;
+             c)
+       links)
+
+(* Fill one module's row of the table — every (source, sink) cell plus
+   the per-source memory bits.  Shared by {!table} (every row, in order)
+   and {!table_rebuild} (affected rows only). *)
+let fill_row t row module_id =
+  let system = t.table_system in
+  let application = t.table_application in
+  let endpoints = t.endpoints in
+  let n = t.width in
+  let no_failed = Link.Set.is_empty system.System.failed_links in
+  let m = Soc.find system.System.soc module_id in
+  (* The expensive per-module invariants, computed once. *)
+  let wrapper = Wrapper.design ~width:system.System.flit_width m in
+  let footprint =
+    match application with
+    | Processor.Bist -> 0
+    | Processor.Decompression -> decompression_footprint_of_wrapper m wrapper
+  in
+  let cut = System.coord_of_module system module_id in
+  let flits_in = wrapper.Wrapper.scan_in_max + 1 in
+  let flits_out = wrapper.Wrapper.scan_out_max + 1 in
+  let shift_cycles = Wrapper.pattern_cycles wrapper in
+  (* Per-endpoint path legs, computed once per (module, endpoint)
+     instead of once per (module, source, sink) triple. *)
+  let source_legs =
+    Array.map
+      (fun e ->
+        if Resource.can_source e then
+          Some (source_leg system ~application ~cut ~flits_in e)
+        else None)
+      endpoints
+  in
+  let sink_legs =
+    Array.map
+      (fun e ->
+        if Resource.can_sink e then Some (sink_leg system ~cut ~flits_out e)
+        else None)
+      endpoints
+  in
+  (* Route survivability of each path leg, for any endpoint — the
+     validator probes arbitrary (source, sink) combinations, so
+     these cover even endpoints that cannot legally play the role. *)
+  let topology = system.System.topology in
+  let link_ok l = not (Link.Set.mem l system.System.failed_links) in
+  let in_route_ok =
+    if no_failed then Array.make n true
+    else
+      Array.map
+        (fun e ->
+          List.for_all link_ok
+            (Xy.links topology ~src:(Resource.coord system e) ~dst:cut))
+        endpoints
+  in
+  let out_route_ok =
+    if no_failed then Array.make n true
+    else
+      Array.map
+        (fun e ->
+          List.for_all link_ok
+            (Xy.links topology ~src:cut ~dst:(Resource.coord system e)))
+        endpoints
+  in
+  let base = row * n * n in
+  Array.iteri
+    (fun si source ->
+      t.memory_bits.((row * n) + si) <-
+        memory_feasible_of_footprint system ~application ~footprint ~source;
+      Array.iteri
+        (fun ki sink ->
+          let idx = base + (si * n) + ki in
+          t.route_bits.(idx) <- in_route_ok.(si) && out_route_ok.(ki);
+          if Resource.valid_pair ~source ~sink then begin
+            let sleg = Option.get source_legs.(si) in
+            let kleg = Option.get sink_legs.(ki) in
+            let c =
+              combine_legs system ~m ~shift_cycles
+                ~pattern_count:m.Module_def.patterns sleg kleg
+            in
+            t.costs.(idx) <- Some c;
+            t.channels.(idx) <- channels_of_links t c.links;
+            t.feasible_bits.(idx) <-
+              t.route_bits.(idx) && t.memory_bits.((row * n) + si)
+          end)
+        endpoints)
+    endpoints
 
 let table ?(application = Processor.Bist) system =
   Nocplan_obs.Trace.span "access.table"
@@ -296,119 +401,88 @@ let table ?(application = Processor.Bist) system =
   let module_rows = Hashtbl.create (List.length module_ids) in
   List.iteri (fun row id -> Hashtbl.replace module_rows id row) module_ids;
   let cells = List.length module_ids * n * n in
-  let feasible_bits = Array.make cells false in
-  let route_bits = Array.make cells false in
-  let memory_bits = Array.make (List.length module_ids * n) false in
-  let costs = Array.make (max 1 cells) None in
-  let channels = Array.make (max 1 cells) [||] in
-  (* Dense per-table channel numbering: every distinct link routed
-     over by any (module, source, sink) pair gets one id, in first-use
-     order — the reservation calendar indexes by it. *)
-  let channel_ids : (Link.t, int) Hashtbl.t = Hashtbl.create 64 in
-  let channels_of links =
-    Array.of_list
-      (List.map
-         (fun l ->
-           match Hashtbl.find_opt channel_ids l with
-           | Some c -> c
-           | None ->
-               let c = Hashtbl.length channel_ids in
-               Hashtbl.add channel_ids l c;
-               c)
-         links)
+  let t =
+    {
+      table_system = system;
+      table_application = application;
+      endpoints;
+      endpoint_ids;
+      module_rows;
+      width = n;
+      feasible_bits = Array.make cells false;
+      route_bits = Array.make cells false;
+      memory_bits = Array.make (List.length module_ids * n) false;
+      costs = Array.make (max 1 cells) None;
+      channels = Array.make (max 1 cells) [||];
+      channel_ids = Hashtbl.create 64;
+    }
   in
-  let no_failed = Link.Set.is_empty system.System.failed_links in
-  List.iteri
-    (fun row module_id ->
-      let m = Soc.find system.System.soc module_id in
-      (* The expensive per-module invariants, computed once. *)
-      let wrapper = Wrapper.design ~width:system.System.flit_width m in
-      let footprint =
-        match application with
-        | Processor.Bist -> 0
-        | Processor.Decompression -> decompression_footprint_of_wrapper m wrapper
-      in
-      let cut = System.coord_of_module system module_id in
-      let flits_in = wrapper.Wrapper.scan_in_max + 1 in
-      let flits_out = wrapper.Wrapper.scan_out_max + 1 in
-      let shift_cycles = Wrapper.pattern_cycles wrapper in
-      (* Per-endpoint path legs, computed once per (module, endpoint)
-         instead of once per (module, source, sink) triple. *)
-      let source_legs =
-        Array.map
-          (fun e ->
-            if Resource.can_source e then
-              Some (source_leg system ~application ~cut ~flits_in e)
-            else None)
-          endpoints
-      in
-      let sink_legs =
-        Array.map
-          (fun e ->
-            if Resource.can_sink e then Some (sink_leg system ~cut ~flits_out e)
-            else None)
-          endpoints
-      in
-      (* Route survivability of each path leg, for any endpoint — the
-         validator probes arbitrary (source, sink) combinations, so
-         these cover even endpoints that cannot legally play the role. *)
-      let topology = system.System.topology in
-      let link_ok l = not (Link.Set.mem l system.System.failed_links) in
-      let in_route_ok =
-        if no_failed then Array.make n true
-        else
-          Array.map
-            (fun e ->
-              List.for_all link_ok
-                (Xy.links topology ~src:(Resource.coord system e) ~dst:cut))
-            endpoints
-      in
-      let out_route_ok =
-        if no_failed then Array.make n true
-        else
-          Array.map
-            (fun e ->
-              List.for_all link_ok
-                (Xy.links topology ~src:cut ~dst:(Resource.coord system e)))
-            endpoints
-      in
-      let base = row * n * n in
-      Array.iteri
-        (fun si source ->
-          memory_bits.((row * n) + si) <-
-            memory_feasible_of_footprint system ~application ~footprint ~source;
-          Array.iteri
-            (fun ki sink ->
-              let idx = base + (si * n) + ki in
-              route_bits.(idx) <- in_route_ok.(si) && out_route_ok.(ki);
-              if Resource.valid_pair ~source ~sink then begin
-                let sleg = Option.get source_legs.(si) in
-                let kleg = Option.get sink_legs.(ki) in
-                let c =
-                  combine_legs system ~m ~shift_cycles
-                    ~pattern_count:m.Module_def.patterns sleg kleg
-                in
-                costs.(idx) <- Some c;
-                channels.(idx) <- channels_of c.links;
-                feasible_bits.(idx) <-
-                  route_bits.(idx) && memory_bits.((row * n) + si)
-              end)
-            endpoints)
-        endpoints)
-    module_ids;
-  {
-    table_system = system;
-    table_application = application;
-    endpoints;
-    endpoint_ids;
-    module_rows;
-    width = n;
-    feasible_bits;
-    route_bits;
-    memory_bits;
-    costs;
-    channels;
-  }
+  List.iteri (fun row module_id -> fill_row t row module_id) module_ids;
+  t
+
+let table_rebuild base ~system ~affected =
+  Nocplan_obs.Trace.span "access.rebuild"
+    ~attrs:
+      [
+        ("system", Nocplan_obs.Trace.String system.System.soc.Soc.name);
+        ("affected", Nocplan_obs.Trace.Int (List.length affected));
+      ]
+  @@ fun () ->
+  let old = base.table_system in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem base.module_rows id) then
+        invalid_arg
+          (Printf.sprintf "Test_access.table_rebuild: unknown module %d" id))
+    affected;
+  (* The contract: [system] differs from the base's system only in the
+     placement of the [affected] modules.  Endpoints are pinned
+     (processors and IO ports keep their tiles), so the endpoint set,
+     its numbering and every unaffected module's row carry over; the
+     checks below keep a buggy caller from silently trusting stale
+     rows. *)
+  Hashtbl.iter
+    (fun id _row ->
+      if
+        (not (List.mem id affected))
+        && not
+             (Coord.equal
+                (System.coord_of_module system id)
+                (System.coord_of_module old id))
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Test_access.table_rebuild: module %d moved but is not affected"
+             id))
+    base.module_rows;
+  List.iter
+    (fun (p : System.placed_processor) ->
+      if
+        not
+          (Coord.equal p.System.coord
+             (System.coord_of_module system p.System.module_id))
+      then invalid_arg "Test_access.table_rebuild: a processor moved")
+    system.System.processors;
+  let t =
+    {
+      base with
+      table_system = system;
+      feasible_bits = Array.copy base.feasible_bits;
+      route_bits = Array.copy base.route_bits;
+      memory_bits = Array.copy base.memory_bits;
+      costs = Array.copy base.costs;
+      channels = Array.copy base.channels;
+      (* Copy, then extend: links already numbered keep their ids, so
+         reservations recorded under the base table's numbering remain
+         meaningful; genuinely new links (routes touching the new
+         tiles) are appended in first-use order. *)
+      channel_ids = Hashtbl.copy base.channel_ids;
+    }
+  in
+  List.iter
+    (fun id -> fill_row t (Hashtbl.find t.module_rows id) id)
+    (List.sort_uniq compare affected);
+  t
 
 let table_for t ~system ~application =
   t.table_system == system && t.table_application = application

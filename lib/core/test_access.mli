@@ -116,6 +116,24 @@ val table :
     against every endpoint pair at full reuse (the endpoint set of any
     smaller reuse count is a subset).  Default application: [Bist]. *)
 
+val table_rebuild : table -> system:System.t -> affected:int list -> table
+(** [table_rebuild base ~system ~affected] is the access table of
+    [system] — a copy of [base] with only the [affected] modules' rows
+    recomputed.  [system] must differ from [base]'s system solely in
+    the placement of the [affected] (non-processor) modules, e.g. via
+    {!System.swap_tiles}: every other module's cut coordinate and every
+    endpoint keep their tiles, so their rows are bit-identical and are
+    carried over.  The dense channel numbering {e extends} the base's
+    (already-seen links keep their ids; links first routed over by the
+    new placement get fresh ids), so a reservation calendar or commit
+    trace recorded under [base] stays meaningful under the result —
+    the property {!Scheduler.resume_onto} relies on.  Cost: O(table
+    copy) + O(|affected| · endpoints²) instead of a full rebuild's
+    O(modules · endpoints²) wrapper designs.
+    @raise Invalid_argument if an affected id is unknown, or if a
+    module outside [affected] (or a processor) sits on a different tile
+    in [system] than in the base table's system. *)
+
 val table_for :
   table ->
   system:System.t ->

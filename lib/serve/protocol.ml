@@ -17,6 +17,7 @@ type request = {
   iterations : int option;
   seed : int option;
   chains : int option;
+  placement_moves : float option;
   deadline_ms : float option;
 }
 
@@ -103,6 +104,13 @@ let parse_request line =
   let* seed = int_opt "seed" in
   let* chains = int_opt "chains" in
   let* power_pct = float_opt "power_pct" in
+  let* placement_moves = float_opt "placement_moves" in
+  let* () =
+    match placement_moves with
+    | Some r when r < 0.0 || r > 1.0 ->
+        Error "field \"placement_moves\" must be within [0, 1]"
+    | _ -> Ok ()
+  in
   let* deadline_ms = float_opt "deadline_ms" in
   let soc_text = Json.str_field "soc" json in
   let system = Json.str_field "system" json in
@@ -135,6 +143,7 @@ let parse_request line =
       iterations;
       seed;
       chains;
+      placement_moves;
       deadline_ms;
     }
 

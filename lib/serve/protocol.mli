@@ -22,6 +22,7 @@
       "iterations": 250,       // anneal (default 400)
       "seed": 90,              // anneal RNG seed (default 0x5A)
       "chains": 4,             // anneal tempering chains (default 1)
+      "placement_moves": 0.3,  // anneal tile-swap move ratio (default 0)
       "deadline_ms": 5000 }    // per-request deadline
     v}
 
@@ -70,6 +71,9 @@ type request = {
   iterations : int option;  (** [Anneal] per-chain iteration budget *)
   seed : int option;  (** [Anneal] RNG seed *)
   chains : int option;  (** [Anneal] tempering chains *)
+  placement_moves : float option;
+      (** [Anneal] probability in [0, 1] that a move swaps two module
+          tiles instead of two order positions (default 0: order-only) *)
   deadline_ms : float option;
 }
 

@@ -222,9 +222,13 @@ let execute t (req : Protocol.request) ~check =
                 Int64.of_int (Option.value req.seed ~default:0x5A)
               in
               let chains = Option.value req.chains ~default:1 in
+              let placement_moves =
+                Option.value req.placement_moves ~default:0.0
+              in
               let r =
                 Core.Annealing.schedule ~policy ~application ~power_limit
-                  ~iterations ~seed ~chains ~access ~reuse system
+                  ~iterations ~seed ~chains ~placement_moves ~access ~reuse
+                  system
               in
               Ok
                 ( Json.Obj
@@ -241,6 +245,10 @@ let execute t (req : Protocol.request) ~check =
                           /. 100.) );
                       ("evaluations", Json.Int r.Core.Annealing.evaluations);
                       ("accepted", Json.Int r.Core.Annealing.accepted);
+                      ( "placement_evals",
+                        Json.Int r.Core.Annealing.placement_evals );
+                      ( "placement_accepted",
+                        Json.Int r.Core.Annealing.placement_accepted );
                       ("chains", Json.Int r.Core.Annealing.chains);
                       ("exchanges", Json.Int r.Core.Annealing.exchanges);
                     ],

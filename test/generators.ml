@@ -1,0 +1,132 @@
+(* Shared QCheck generators for the test suite: random benchmarks,
+   topologies (meshes and tori), latencies and whole systems — with
+   random core counts, optionally pinned processor tiles and power
+   budgets — so the suites draw from one distribution instead of each
+   hand-rolling its own fixtures. *)
+
+module Itc02 = Nocplan_itc02
+module Noc = Nocplan_noc
+module Proc = Nocplan_proc
+module Core = Nocplan_core
+
+open QCheck2.Gen
+
+let scan_chains_gen =
+  let chain = int_range 1 400 in
+  list_size (int_range 0 12) chain
+
+let module_gen =
+  let* id = int_range 1 500 in
+  let* inputs = int_range 0 300 in
+  let* outputs = int_range 0 300 in
+  let* bidirs = int_range 0 30 in
+  let* scan_chains = scan_chains_gen in
+  let* patterns = int_range 1 800 in
+  (* Modules need at least one terminal or scan cell to be testable. *)
+  let inputs =
+    if inputs + outputs + bidirs + List.length scan_chains = 0 then 1
+    else inputs
+  in
+  return
+    (Itc02.Module_def.make ~bidirs ~id ~name:(Printf.sprintf "m%d" id)
+       ~inputs ~outputs ~scan_chains ~patterns ())
+
+(* A benchmark with distinct, consecutive ids. *)
+let soc_gen =
+  let* n = int_range 1 12 in
+  let* modules = list_repeat n module_gen in
+  let renumbered =
+    List.mapi
+      (fun i (m : Itc02.Module_def.t) ->
+        Itc02.Module_def.make ~bidirs:m.Itc02.Module_def.bidirs
+          ~test_power:m.Itc02.Module_def.test_power ~id:(i + 1)
+          ~name:m.Itc02.Module_def.name ~inputs:m.Itc02.Module_def.inputs
+          ~outputs:m.Itc02.Module_def.outputs
+          ~scan_chains:m.Itc02.Module_def.scan_chains
+          ~patterns:m.Itc02.Module_def.patterns ())
+      modules
+  in
+  return (Itc02.Soc.make ~name:"gen" ~modules:renumbered)
+
+let topology_gen =
+  let* width = int_range 1 6 in
+  let* height = int_range 1 6 in
+  return (Noc.Topology.make ~width ~height)
+
+let torus_topology_gen =
+  let* width = int_range 1 6 in
+  let* height = int_range 1 6 in
+  return (Noc.Topology.torus ~width ~height)
+
+let any_topology_gen = oneof [ topology_gen; torus_topology_gen ]
+
+let coord_in topology =
+  let* x = int_range 0 (topology.Noc.Topology.width - 1) in
+  let* y = int_range 0 (topology.Noc.Topology.height - 1) in
+  return (Noc.Coord.make ~x ~y)
+
+let latency_gen =
+  let* routing_latency = int_range 0 8 in
+  let* flow_latency = int_range 1 4 in
+  return (Noc.Latency.make ~routing_latency ~flow_latency)
+
+(* A power budget as the paper states them: a percentage of the sum of
+   all module test powers, or no limit.  Loose enough that generated
+   instances stay schedulable in the common case; callers that accept
+   [Unschedulable] can tighten it. *)
+let power_pct_gen = oneofl [ None; Some 40.0; Some 70.0; Some 100.0 ]
+
+let processors_gen =
+  let* n_leon = int_range 0 2 in
+  let* n_plasma = int_range 0 2 in
+  return
+    (List.init n_leon (fun _ -> Proc.Processor.leon ~id:1)
+    @ List.init n_plasma (fun _ -> Proc.Processor.plasma ~id:1))
+
+(* A small random system suitable for end-to-end scheduler tests:
+   2..5-wide mesh, up to 2+2 processors at their default (evenly
+   spread) tiles, IO ports at opposite corners.  The historical
+   distribution most suites were written against. *)
+let system_gen =
+  let* soc = soc_gen in
+  let* width = int_range 2 5 in
+  let* height = int_range 2 5 in
+  let topology = Noc.Topology.make ~width ~height in
+  let* processors = processors_gen in
+  let input = Noc.Coord.make ~x:0 ~y:0 in
+  let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
+  return
+    (Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
+       ~io_outputs:[ output ] ())
+
+(* The widened distribution: mesh or torus, and with probability 1/2
+   the processors are pinned to random (distinct) tiles instead of the
+   builder's evenly spaced default — placement-annealing suites need
+   pinned processors to stay pinned wherever they start. *)
+let system_gen_any =
+  let* soc = soc_gen in
+  let* width = int_range 2 5 in
+  let* height = int_range 2 5 in
+  let* torus = bool in
+  let topology =
+    if torus then Noc.Topology.torus ~width ~height
+    else Noc.Topology.make ~width ~height
+  in
+  let* processors = processors_gen in
+  let* pin = bool in
+  let* processor_tiles =
+    let n = List.length processors in
+    if (not pin) || n = 0 then return None
+    else
+      (* [n] distinct tiles: consecutive row-major indices from a
+         random offset (n <= 4 <= tile count). *)
+      let tiles = Array.of_list (Noc.Topology.coords topology) in
+      let len = Array.length tiles in
+      let* off = int_range 0 (len - 1) in
+      return (Some (List.init n (fun i -> tiles.((off + i) mod len))))
+  in
+  let input = Noc.Coord.make ~x:0 ~y:0 in
+  let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
+  return
+    (Core.System.build ?processor_tiles ~soc ~topology ~processors
+       ~io_inputs:[ input ] ~io_outputs:[ output ] ())

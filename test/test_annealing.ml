@@ -30,7 +30,7 @@ let test_result_validates () =
     Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit:None
       ~reuse:1 r.Annealing.schedule
   with
-  | Ok () -> ()
+  | Ok () -> assert_schedule_invariants sys r.Annealing.schedule
   | Error vs ->
       Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
 
@@ -51,7 +51,7 @@ let test_with_power_limit () =
     Schedule.validate sys ~application:Proc.Processor.Bist ~power_limit
       ~reuse:1 r.Annealing.schedule
   with
-  | Ok () -> ()
+  | Ok () -> assert_schedule_invariants ~power_limit sys r.Annealing.schedule
   | Error vs ->
       Alcotest.failf "invalid: %a" (Fmt.list Schedule.pp_violation) vs
 
@@ -97,6 +97,7 @@ let prop_valid_on_random_systems =
       Result.is_ok
         (Schedule.validate sys ~application:Proc.Processor.Bist
            ~power_limit:None ~reuse r.Annealing.schedule)
+      && schedule_invariant_errors sys r.Annealing.schedule = []
       && r.Annealing.schedule.Schedule.makespan <= r.Annealing.initial_makespan)
 
 let suite =

@@ -46,6 +46,7 @@ let () =
       ("preemptive", Test_preemptive.suite);
       ("fault-aware planning", Test_faults.suite);
       ("annealing", Test_annealing.suite);
+      ("placement annealing", Test_anneal_placement.suite);
       ("incremental evaluation", Test_incremental.suite);
       ("metrics and vcd", Test_metrics_vcd.suite);
       ("bus baseline", Test_bus_baseline.suite);
@@ -54,5 +55,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("gantt and report", Test_gantt_report.suite);
       ("planning service", Test_serve.suite);
+      ("planning service fuzz", Test_serve_fuzz.suite);
       ("observability", Test_obs.suite);
     ]

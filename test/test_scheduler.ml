@@ -12,12 +12,15 @@ let run ?(policy = Scheduler.Greedy) ?(application = Proc.Processor.Bist)
 
 let assert_valid ?(application = Proc.Processor.Bist) ~power_limit ~reuse sys
     sched =
-  match Schedule.validate sys ~application ~power_limit ~reuse sched with
+  (match Schedule.validate sys ~application ~power_limit ~reuse sched with
   | Ok () -> ()
   | Error vs ->
       Alcotest.failf "invalid schedule: %a"
         (Fmt.list ~sep:Fmt.comma Schedule.pp_violation)
-        vs
+        vs);
+  (* And through the test suite's own naive checker, so the production
+     validator is never the sole witness. *)
+  assert_schedule_invariants ~power_limit sys sched
 
 let test_baseline_serializes () =
   (* One external pair and no processors: tests cannot overlap, so the
@@ -118,7 +121,7 @@ let prop_schedules_always_valid =
           match
             Schedule.validate sys ~application ~power_limit ~reuse sched
           with
-          | Ok () -> true
+          | Ok () -> schedule_invariant_errors ~power_limit sys sched = []
           | Error _ -> false)
       | exception Scheduler.Unschedulable _ ->
           (* Only acceptable when a tight percentage limit makes a

@@ -1,4 +1,6 @@
-(* Shared helpers and QCheck generators for the test suite. *)
+(* Shared helpers for the test suite.  The QCheck generators live in
+   {!Generators}; the historical [Util.*] names are aliased here so
+   older suites keep reading naturally. *)
 
 module Itc02 = Nocplan_itc02
 module Noc = Nocplan_noc
@@ -9,76 +11,15 @@ let qcheck ?count name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ?count ~name gen prop)
 
-(* --- generators ---------------------------------------------------- *)
+(* --- generators (see generators.ml) -------------------------------- *)
 
-open QCheck2.Gen
-
-let scan_chains_gen =
-  let chain = int_range 1 400 in
-  list_size (int_range 0 12) chain
-
-let module_gen =
-  let* id = int_range 1 500 in
-  let* inputs = int_range 0 300 in
-  let* outputs = int_range 0 300 in
-  let* bidirs = int_range 0 30 in
-  let* scan_chains = scan_chains_gen in
-  let* patterns = int_range 1 800 in
-  (* Modules need at least one terminal or scan cell to be testable. *)
-  let inputs = if inputs + outputs + bidirs + List.length scan_chains = 0 then 1 else inputs in
-  return
-    (Itc02.Module_def.make ~bidirs ~id ~name:(Printf.sprintf "m%d" id)
-       ~inputs ~outputs ~scan_chains ~patterns ())
-
-(* A benchmark with distinct, consecutive ids. *)
-let soc_gen =
-  let* n = int_range 1 12 in
-  let* modules = list_repeat n module_gen in
-  let renumbered =
-    List.mapi
-      (fun i (m : Itc02.Module_def.t) ->
-        Itc02.Module_def.make ~bidirs:m.Itc02.Module_def.bidirs
-          ~test_power:m.Itc02.Module_def.test_power ~id:(i + 1)
-          ~name:m.Itc02.Module_def.name ~inputs:m.Itc02.Module_def.inputs
-          ~outputs:m.Itc02.Module_def.outputs
-          ~scan_chains:m.Itc02.Module_def.scan_chains
-          ~patterns:m.Itc02.Module_def.patterns ())
-      modules
-  in
-  return (Itc02.Soc.make ~name:"gen" ~modules:renumbered)
-
-let topology_gen =
-  let* width = int_range 1 6 in
-  let* height = int_range 1 6 in
-  return (Noc.Topology.make ~width ~height)
-
-let coord_in topology =
-  let* x = int_range 0 (topology.Noc.Topology.width - 1) in
-  let* y = int_range 0 (topology.Noc.Topology.height - 1) in
-  return (Noc.Coord.make ~x ~y)
-
-let latency_gen =
-  let* routing_latency = int_range 0 8 in
-  let* flow_latency = int_range 1 4 in
-  return (Noc.Latency.make ~routing_latency ~flow_latency)
-
-(* A small random system suitable for end-to-end scheduler tests. *)
-let system_gen =
-  let* soc = soc_gen in
-  let* width = int_range 2 5 in
-  let* height = int_range 2 5 in
-  let topology = Noc.Topology.make ~width ~height in
-  let* n_leon = int_range 0 2 in
-  let* n_plasma = int_range 0 2 in
-  let processors =
-    List.init n_leon (fun _ -> Proc.Processor.leon ~id:1)
-    @ List.init n_plasma (fun _ -> Proc.Processor.plasma ~id:1)
-  in
-  let input = Noc.Coord.make ~x:0 ~y:0 in
-  let output = Noc.Coord.make ~x:(width - 1) ~y:(height - 1) in
-  return
-    (Core.System.build ~soc ~topology ~processors ~io_inputs:[ input ]
-       ~io_outputs:[ output ] ())
+let scan_chains_gen = Generators.scan_chains_gen
+let module_gen = Generators.module_gen
+let soc_gen = Generators.soc_gen
+let topology_gen = Generators.topology_gen
+let coord_in = Generators.coord_in
+let latency_gen = Generators.latency_gen
+let system_gen = Generators.system_gen
 
 (* --- tiny fixed fixtures ------------------------------------------- *)
 
@@ -103,3 +44,102 @@ let small_system ?(processors = [ Proc.Processor.leon ~id:1 ]) () =
     ~io_inputs:[ Noc.Coord.make ~x:0 ~y:0 ]
     ~io_outputs:[ Noc.Coord.make ~x:2 ~y:2 ]
     ()
+
+(* --- schedule invariants ------------------------------------------- *)
+
+(* An intentionally naive re-check of the safety invariants every
+   schedule must satisfy, shared by the scheduler, annealing and
+   placement suites.  It deliberately duplicates (a subset of)
+   [Core.Schedule.validate] with the dumbest possible O(n^2)
+   pairwise-overlap logic and no cost model, so that a bug in the
+   production validator cannot vouch for a bug in the schedulers. *)
+
+let overlap (a : Core.Schedule.entry) (b : Core.Schedule.entry) =
+  (* Half-open windows [start, finish): back-to-back tests may share
+     resources. *)
+  a.Core.Schedule.start < b.Core.Schedule.finish
+  && b.Core.Schedule.start < a.Core.Schedule.finish
+
+let schedule_invariant_errors ?(power_limit = None) ?modules system
+    (s : Core.Schedule.t) =
+  let errors = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let entries = Array.of_list s.Core.Schedule.entries in
+  (* 1. Every module tested exactly once. *)
+  let wanted =
+    match modules with Some l -> l | None -> Core.System.module_ids system
+  in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Core.Schedule.entry) ->
+      Hashtbl.replace seen e.Core.Schedule.module_id
+        (1
+        + Option.value ~default:0
+            (Hashtbl.find_opt seen e.Core.Schedule.module_id)))
+    entries;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt seen id with
+      | Some 1 -> ()
+      | None -> fail "module %d is never tested" id
+      | Some n -> fail "module %d is tested %d times" id n)
+    wanted;
+  Array.iter
+    (fun (e : Core.Schedule.entry) ->
+      if not (List.mem e.Core.Schedule.module_id wanted) then
+        fail "module %d is tested but not part of the system"
+          e.Core.Schedule.module_id)
+    entries;
+  (* 2. No two overlapping tests share a link or an endpoint. *)
+  let n = Array.length entries in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = entries.(i) and b = entries.(j) in
+      if overlap a b then begin
+        let la = Noc.Link.Set.of_list a.Core.Schedule.links
+        and lb = Noc.Link.Set.of_list b.Core.Schedule.links in
+        Noc.Link.Set.iter
+          (fun l ->
+            fail "modules %d and %d overlap in time and both reserve %a"
+              a.Core.Schedule.module_id b.Core.Schedule.module_id Noc.Link.pp
+              l)
+          (Noc.Link.Set.inter la lb);
+        List.iter
+          (fun ep ->
+            if
+              ep = b.Core.Schedule.source || ep = b.Core.Schedule.sink
+            then
+              fail "modules %d and %d overlap in time and share an endpoint"
+                a.Core.Schedule.module_id b.Core.Schedule.module_id)
+          [ a.Core.Schedule.source; a.Core.Schedule.sink ]
+      end
+    done
+  done;
+  (* 3. Instantaneous power within the limit.  Total power is
+     piecewise constant, changing only when a test starts, so checking
+     at every start instant covers every instant. *)
+  (match power_limit with
+  | None -> ()
+  | Some limit ->
+      Array.iter
+        (fun (e : Core.Schedule.entry) ->
+          let t = e.Core.Schedule.start in
+          let total =
+            Array.fold_left
+              (fun acc (o : Core.Schedule.entry) ->
+                if o.Core.Schedule.start <= t && t < o.Core.Schedule.finish
+                then acc +. o.Core.Schedule.power
+                else acc)
+              0.0 entries
+          in
+          if total > limit +. 1e-6 then
+            fail "power %.2f exceeds limit %.2f at t=%d" total limit t)
+        entries);
+  List.rev !errors
+
+let assert_schedule_invariants ?power_limit ?modules system s =
+  match schedule_invariant_errors ?power_limit ?modules system s with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "schedule violates invariants:\n- %s"
+        (String.concat "\n- " errs)

@@ -1,7 +1,7 @@
 # Convenience targets; dune does the real work.
 
 .PHONY: all build test bench bench-json check examples clean doc doc-lint \
-        coverage
+        coverage serve-smoke
 
 all: build
 
@@ -50,6 +50,28 @@ coverage:
 	  echo "coverage: bisect_ppx not installed, skipping (opam install bisect_ppx)"; \
 	fi
 
+# Live-socket smoke: boot the real server, replay the committed
+# request script through test/serve_replay.py and check the response
+# shape (10 responses, the two bad requests refused).  Skipped with a
+# notice when python3 is missing.
+serve-smoke: build
+	@if command -v python3 >/dev/null 2>&1; then \
+	  sock=$$(mktemp -u /tmp/nocplan-smoke.XXXXXX.sock); \
+	  dune exec bin/nocplan.exe -- serve --socket $$sock & pid=$$!; \
+	  for i in $$(seq 1 50); do [ -S $$sock ] && break; sleep 0.1; done; \
+	  out=$$(python3 test/serve_replay.py $$sock test/serve_smoke.jsonl); \
+	  kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	  lines=$$(printf '%s\n' "$$out" | grep -c '"id"'); \
+	  oks=$$(printf '%s\n' "$$out" | grep -c '"ok": true'); \
+	  if [ "$$lines" -eq 10 ] && [ "$$oks" -eq 8 ]; then \
+	    echo "serve-smoke: 10 responses, 8 ok, 2 refused — pass"; \
+	  else \
+	    echo "serve-smoke: FAIL ($$lines responses, $$oks ok)"; exit 1; \
+	  fi; \
+	else \
+	  echo "serve-smoke: python3 not installed, skipping"; \
+	fi
+
 # The tier-1 gate plus doc lint plus a benchmark smoke run producing
 # the JSON and checking it against the committed baseline (skip the
 # regression gate with NOCPLAN_BENCH_GATE=off on unrelated machines).
@@ -58,6 +80,7 @@ check:
 	dune runtest
 	sh tools/doc_lint.sh
 	$(MAKE) coverage
+	$(MAKE) serve-smoke
 	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:

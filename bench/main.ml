@@ -802,6 +802,96 @@ let service_load ~requests ~clients =
     load_stats = stats;
   }
 
+(* Repeat traffic: many clients asking the identical question — the
+   dashboard-refresh / CI-fanout shape the request path is built for.
+   Run the same workload twice, with coalescing on and off, on
+   otherwise identical services: the ratio is what admission-time
+   coalescing (plus cross-request warm starts) buys. *)
+
+type repeat_result = {
+  rt_requests : int;
+  rt_clients : int;
+  rt_workers : int;
+  rt_coalesced_seconds : float;
+  rt_uncoalesced_seconds : float;
+  rt_coalesced : int;  (* requests answered by another request's solve *)
+  rt_warm_hits : int;
+  rt_failures : int;
+}
+
+(* PR-5 recorded 18 req/s on this workload (every identical request
+   solved from scratch); the rebuilt request path must hold >= 10x
+   that, and coalescing must beat its own uncoalesced twin >= 5x. *)
+let pr5_repeat_req_per_s = 18.0
+let repeat_speedup_floor = 5.0
+let repeat_req_per_s_floor = 10.0 *. pr5_repeat_req_per_s
+
+let repeat_traffic ~requests ~clients =
+  section
+    (Printf.sprintf "serve: repeat traffic (%d identical requests, %d clients)"
+       requests clients);
+  let line =
+    "{\"op\": \"anneal\", \"system\": \"d695_leon\", \"reuse\": 3, \
+     \"iterations\": 250}"
+  in
+  let ok_marker = "\"ok\": true" in
+  let contains_ok resp =
+    let n = String.length resp and m = String.length ok_marker in
+    let rec at i = i + m <= n && (String.sub resp i m = ok_marker || at (i + 1)) in
+    at 0
+  in
+  let workers = max 1 (Domain.recommended_domain_count () - 1) in
+  let run ~coalescing =
+    let service =
+      Serve.Service.create ~workers ~coalescing
+        ~queue_capacity:(max 64 requests) ()
+    in
+    let failures = Atomic.make 0 in
+    let worker count =
+      for _ = 1 to count do
+        if not (contains_ok (Serve.Service.request service line)) then
+          Atomic.incr failures
+      done
+    in
+    let per_client = requests / clients and extra = requests mod clients in
+    let slices =
+      List.init clients (fun c -> per_client + if c < extra then 1 else 0)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.map (fun s -> Thread.create worker s) slices in
+    List.iter Thread.join threads;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let stats = Serve.Service.stats service in
+    Serve.Service.shutdown service;
+    (seconds, stats, Atomic.get failures)
+  in
+  let coalesced_seconds, cstats, cfail = run ~coalescing:true in
+  let uncoalesced_seconds, _ustats, ufail = run ~coalescing:false in
+  let coalesced =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 cstats.Serve.Stats.coalesced
+  in
+  let failures = cfail + ufail in
+  Fmt.pr
+    "coalesced: %.3f s (%.0f req/s), %d of %d requests attached, %d warm \
+     hits@."
+    coalesced_seconds
+    (float_of_int requests /. coalesced_seconds)
+    coalesced requests cstats.Serve.Stats.warm_hits;
+  Fmt.pr "uncoalesced: %.3f s (%.0f req/s); speedup %.1fx@."
+    uncoalesced_seconds
+    (float_of_int requests /. uncoalesced_seconds)
+    (uncoalesced_seconds /. coalesced_seconds);
+  {
+    rt_requests = requests;
+    rt_clients = clients;
+    rt_workers = workers;
+    rt_coalesced_seconds = coalesced_seconds;
+    rt_uncoalesced_seconds = uncoalesced_seconds;
+    rt_coalesced = coalesced;
+    rt_warm_hits = cstats.Serve.Stats.warm_hits;
+    rt_failures = failures;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable artefact (BENCH_nocplan.json)                      *)
 
@@ -866,7 +956,7 @@ let json_points buf points =
     points;
   Buffer.add_char buf ']'
 
-let write_json path ~smoke ~figure1_seconds ~panels ~load =
+let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
@@ -905,10 +995,23 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load =
   | Some q ->
       Printf.bprintf buf
         "    \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
-         \"max\": %.3f}\n"
+         \"max\": %.3f},\n"
         q.Serve.Stats.p50_ms q.Serve.Stats.p90_ms q.Serve.Stats.p99_ms
         q.Serve.Stats.max_ms
-  | None -> Buffer.add_string buf "    \"latency_ms\": null\n");
+  | None -> Buffer.add_string buf "    \"latency_ms\": null,\n");
+  Printf.bprintf buf
+    "    \"repeat\": {\"requests\": %d, \"clients\": %d, \"workers\": %d, \
+     \"coalesced_seconds\": %.4f, \"coalesced_req_per_s\": %.1f, \
+     \"uncoalesced_seconds\": %.4f, \"uncoalesced_req_per_s\": %.1f, \
+     \"speedup\": %.2f, \"coalesced\": %d, \"warm_hits\": %d, \"failures\": \
+     %d}\n"
+    repeat.rt_requests repeat.rt_clients repeat.rt_workers
+    repeat.rt_coalesced_seconds
+    (float_of_int repeat.rt_requests /. repeat.rt_coalesced_seconds)
+    repeat.rt_uncoalesced_seconds
+    (float_of_int repeat.rt_requests /. repeat.rt_uncoalesced_seconds)
+    (repeat.rt_uncoalesced_seconds /. repeat.rt_coalesced_seconds)
+    repeat.rt_coalesced repeat.rt_warm_hits repeat.rt_failures;
   Buffer.add_string buf "  },\n  \"annealing\": [\n";
   List.iteri
     (fun i r ->
@@ -956,7 +1059,7 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load =
    annealed makespans are deterministic, so they must be equal or
    better, with no tolerance.  NOCPLAN_BENCH_GATE=off skips the gate
    (for machines unrelated to the one that recorded the baseline). *)
-let run_gate ~baseline_path ~figure1_seconds =
+let run_gate ~baseline_path ~figure1_seconds ~repeat =
   match Sys.getenv_opt "NOCPLAN_BENCH_GATE" with
   | Some "off" ->
       Fmt.pr "@.gate: skipped (NOCPLAN_BENCH_GATE=off)@.";
@@ -1080,6 +1183,31 @@ let run_gate ~baseline_path ~figure1_seconds =
                 !placement_rows
           | Some _ | None -> fail "baseline lacks the placement_annealing \
                                    section");
+          (* Repeat-traffic floors are absolute properties of this run,
+             not baseline comparisons: coalescing must beat its own
+             uncoalesced twin, and throughput must hold the 10x margin
+             over the PR-5 request path (18 req/s recorded on this
+             machine). *)
+          let repeat_req_per_s =
+            float_of_int repeat.rt_requests /. repeat.rt_coalesced_seconds
+          in
+          let repeat_speedup =
+            repeat.rt_uncoalesced_seconds /. repeat.rt_coalesced_seconds
+          in
+          if repeat_speedup < repeat_speedup_floor then
+            fail "serve repeat: coalesced only %.1fx uncoalesced (floor %.0fx)"
+              repeat_speedup repeat_speedup_floor
+          else
+            Fmt.pr "gate: %-24s %.1fx uncoalesced (floor %.0fx) ok@."
+              "serve repeat speedup" repeat_speedup repeat_speedup_floor;
+          if repeat_req_per_s < repeat_req_per_s_floor then
+            fail "serve repeat: %.0f req/s under floor %.0f (10x PR-5's %.0f)"
+              repeat_req_per_s repeat_req_per_s_floor pr5_repeat_req_per_s
+          else
+            Fmt.pr "gate: %-24s %.0f req/s (floor %.0f) ok@."
+              "serve repeat throughput" repeat_req_per_s repeat_req_per_s_floor;
+          if repeat.rt_failures > 0 then
+            fail "serve repeat: %d failed responses" repeat.rt_failures;
           (match !failures with
           | [] -> Fmt.pr "gate: PASS vs %s@." baseline_path
           | fs ->
@@ -1174,8 +1302,13 @@ let () =
       (fun () ->
         service_load ~requests ~clients:(max 1 (min requests !load_clients)))
   in
-  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load;
+  let repeat_requests = if !smoke then 120 else 240 in
+  let repeat =
+    timed "serve:repeat"
+      (fun () -> repeat_traffic ~requests:repeat_requests ~clients:32)
+  in
+  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load ~repeat;
   match !gate_path with
   | None -> ()
   | Some baseline_path ->
-      if not (run_gate ~baseline_path ~figure1_seconds) then exit 1
+      if not (run_gate ~baseline_path ~figure1_seconds ~repeat) then exit 1

@@ -643,7 +643,8 @@ let corpus_cmd =
 (* serve                                                              *)
 
 let serve_cmd =
-  let run socket workers queue cache verbosity trace =
+  let run socket tcp tcp_ro workers queue cache warm no_coalesce verbosity
+      trace trace_ring =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level
       (Some
@@ -651,31 +652,37 @@ let serve_cmd =
          | [] -> Logs.Warning
          | [ _ ] -> Logs.Info
          | _ -> Logs.Debug));
-    (* The serve trace covers the whole service lifetime — admission,
-       queue wait, per-worker request spans — and is written once the
-       listener winds down. *)
+    (* The serve trace is bounded: a fixed-size ring of events whose
+       overflow batches stream straight into the trace file, so memory
+       stays at one ring's worth however long the server runs. *)
     let finish_trace =
       match trace with
       | None -> fun () -> ()
       | Some path ->
-          let collector = Obs.Trace.collector ~clock:(wall_clock ()) () in
+          let stream = Obs.Chrome.stream path in
+          let collector =
+            Obs.Trace.collector ~clock:(wall_clock ()) ~capacity:trace_ring
+              ~on_flush:(Obs.Chrome.stream_events stream)
+              ()
+          in
           Obs.Trace.install collector;
           fun () ->
             Obs.Trace.uninstall ();
-            let events = Obs.Trace.events collector in
-            Obs.Chrome.to_file path events;
-            Fmt.epr "nocplan: trace written to %s (%d events)@." path
-              (List.length events)
+            Obs.Trace.flush collector;
+            let n = Obs.Chrome.close_stream stream in
+            Fmt.epr "nocplan: trace written to %s (%d events)@." path n
     in
-    (match socket with
-    | None ->
-        let service =
-          Serve.Service.create ?workers ~queue_capacity:queue
-            ~cache_capacity:cache ()
-        in
+    let make_service () =
+      Serve.Service.create ?workers ~queue_capacity:queue
+        ~cache_capacity:cache ~warm_capacity:warm
+        ~coalescing:(not no_coalesce) ()
+    in
+    (match (socket, tcp, tcp_ro) with
+    | None, None, None ->
+        let service = make_service () in
         Serve.Server.serve_stdio service;
         Serve.Service.shutdown service
-    | Some path ->
+    | _ ->
         (* Take SIGINT/SIGTERM synchronously in a dedicated thread.  A
            Sys.Signal_handle callback only runs at an OCaml safepoint,
            and an idle server has every thread blocked in accept or a
@@ -683,27 +690,70 @@ let serve_cmd =
            the signals here, before any worker or handler thread is
            spawned, makes every descendant inherit the mask. *)
         ignore (Thread.sigmask SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
-        let service =
-          Serve.Service.create ?workers ~queue_capacity:queue
-            ~cache_capacity:cache ()
+        let service = make_service () in
+        let listeners =
+          (match socket with
+          | Some path -> [ Serve.Server.listen service ~path ]
+          | None -> [])
+          @ (match tcp with
+            | Some (host, port) ->
+                [ Serve.Server.listen_tcp service ~host ~port ]
+            | None -> [])
+          @
+          match tcp_ro with
+          | Some (host, port) ->
+              [ Serve.Server.listen_tcp ~read_only:true service ~host ~port ]
+          | None -> []
         in
-        let listener = Serve.Server.listen service ~path in
         let _stopper =
           Thread.create
             (fun () ->
               ignore (Thread.wait_signal [ Sys.sigint; Sys.sigterm ]);
-              Serve.Server.stop listener)
+              List.iter Serve.Server.stop listeners)
             ()
         in
-        Serve.Server.wait listener;
+        List.iter Serve.Server.wait listeners;
         Serve.Service.shutdown service);
     finish_trace ();
     0
+  in
+  let hostport =
+    let parse s =
+      let default_host = "127.0.0.1" in
+      let of_port p =
+        match int_of_string_opt p with
+        | Some port when port >= 0 && port < 65536 -> Ok port
+        | _ -> Error (`Msg (Printf.sprintf "bad port %S" p))
+      in
+      match String.rindex_opt s ':' with
+      | None -> Result.map (fun port -> (default_host, port)) (of_port s)
+      | Some i ->
+          let host = String.sub s 0 i in
+          let host = if host = "" then default_host else host in
+          Result.map
+            (fun port -> (host, port))
+            (of_port (String.sub s (i + 1) (String.length s - i - 1)))
+    in
+    let print ppf (host, port) = Fmt.pf ppf "%s:%d" host port in
+    Arg.conv (parse, print)
   in
   let socket_arg =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
                  serving stdin/stdout.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some hostport) None & info [ "tcp" ] ~docv:"[HOST:]PORT"
+           ~doc:"Also listen on TCP at $(docv) (host defaults to \
+                 127.0.0.1; port 0 picks a free one).")
+  in
+  let tcp_ro_arg =
+    Arg.(value & opt (some hostport) None
+         & info [ "tcp-ro" ] ~docv:"[HOST:]PORT"
+             ~doc:"Also listen on TCP at $(docv) in read-only mode: metrics \
+                   and prometheus ops are served, planning ops are refused \
+                   with a read_only error — safe to expose to a scrape \
+                   pipeline.")
   in
   let workers_arg =
     Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
@@ -719,19 +769,36 @@ let serve_cmd =
     Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N"
            ~doc:"Access-table cache capacity (systems retained).")
   in
+  let warm_arg =
+    Arg.(value & opt int 32 & info [ "warm" ] ~docv:"N"
+           ~doc:"Warm-start cache capacity: best annealing traces retained \
+                 across requests, keyed by system and configuration (0 \
+                 disables).")
+  in
+  let no_coalesce_arg =
+    Arg.(value & flag & info [ "no-coalesce" ]
+           ~doc:"Give every request its own solve instead of attaching \
+                 identical concurrent requests to one in-flight job.")
+  in
   let verbose_arg =
     Arg.(value & flag_all & info [ "v"; "verbose" ]
            ~doc:"Log requests to stderr (repeat for debug logging).")
   in
+  let trace_ring_arg =
+    Arg.(value & opt int 4096 & info [ "trace-ring" ] ~docv:"N"
+           ~doc:"Trace ring capacity: events buffered in memory between \
+                 flushes to the --trace file.")
+  in
   let term =
-    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-          $ verbose_arg $ trace_arg)
+    Term.(const run $ socket_arg $ tcp_arg $ tcp_ro_arg $ workers_arg
+          $ queue_arg $ cache_arg $ warm_arg $ no_coalesce_arg $ verbose_arg
+          $ trace_arg $ trace_ring_arg)
   in
   Cmd.v
     (cmd_info "serve"
        ~doc:
          "Run the concurrent planning service: JSON-lines requests over \
-          stdin/stdout or a Unix-domain socket.")
+          stdin/stdout, a Unix-domain socket, and/or TCP.")
     term
 
 let main =

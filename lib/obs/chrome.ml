@@ -75,3 +75,37 @@ let to_string events =
 let to_file path events =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (to_string events))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (streaming) writer                                     *)
+
+type stream = {
+  oc : Out_channel.t;
+  mutable written : int;  (* events written so far *)
+  mutable closed : bool;
+}
+
+let stream path =
+  let oc = Out_channel.open_text path in
+  Out_channel.output_string oc "{\"traceEvents\":[";
+  { oc; written = 0; closed = false }
+
+let stream_events s events =
+  if s.closed then invalid_arg "Chrome.stream_events: stream closed";
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      if s.written > 0 then Buffer.add_string b ",\n";
+      add_event b ev;
+      s.written <- s.written + 1)
+    events;
+  Out_channel.output_string s.oc (Buffer.contents b);
+  Out_channel.flush s.oc
+
+let close_stream s =
+  if not s.closed then begin
+    s.closed <- true;
+    Out_channel.output_string s.oc "],\"displayTimeUnit\":\"ms\"}\n";
+    Out_channel.close s.oc
+  end;
+  s.written

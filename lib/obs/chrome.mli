@@ -21,3 +21,28 @@ val to_string : Trace.event list -> string
 (** The complete JSON document, ending in a newline. *)
 
 val to_file : string -> Trace.event list -> unit
+
+(** {1 Streaming}
+
+    For long-running processes ([nocplan serve --trace]) the
+    whole-lifetime event list would grow without bound; instead the
+    collector is created with a capacity and an [on_flush] that
+    appends each batch here, so memory stays at one ring's worth while
+    the file grows incrementally.  The document on disk is the same
+    trace-event JSON as {!to_file} once {!close_stream} has run; both
+    Chrome and Perfetto also accept a file cut short before the
+    closing bracket (a crashed server still leaves a loadable
+    trace). *)
+
+type stream
+
+val stream : string -> stream
+(** Open [path] (truncating) and write the document preamble. *)
+
+val stream_events : stream -> Trace.event list -> unit
+(** Append a batch of events and flush the channel.
+    @raise Invalid_argument after {!close_stream}. *)
+
+val close_stream : stream -> int
+(** Write the document epilogue and close the file; returns the total
+    number of events written.  Idempotent. *)

@@ -17,8 +17,12 @@ type collector = {
   mutex : Mutex.t;
   clock : unit -> float;
   mutable ticks : float;  (* the deterministic default clock *)
-  mutable events_rev : event list;
+  buffered : event Queue.t;  (* oldest first *)
+  capacity : int option;  (* None: unbounded (the historical default) *)
+  on_flush : (event list -> unit) option;
   mutable next_seq : int;
+  mutable dropped : int;
+  mutable flushed : int;
 }
 
 (* The installed sink, plus two dedicated flags so the disabled-path
@@ -32,7 +36,10 @@ let deterministic_clock c () =
   c.ticks <- c.ticks +. 1.0;
   c.ticks
 
-let collector ?clock () =
+let collector ?clock ?capacity ?on_flush () =
+  (match capacity with
+  | Some n when n < 1 -> invalid_arg "Trace.collector: capacity must be >= 1"
+  | _ -> ());
   let rec c =
     {
       mutex = Mutex.create ();
@@ -41,17 +48,52 @@ let collector ?clock () =
         | Some f -> f
         | None -> fun () -> deterministic_clock c ());
       ticks = 0.0;
-      events_rev = [];
+      buffered = Queue.create ();
+      capacity;
+      on_flush;
       next_seq = 0;
+      dropped = 0;
+      flushed = 0;
     }
   in
   c
 
+let drain_locked c =
+  let batch = List.of_seq (Queue.to_seq c.buffered) in
+  Queue.clear c.buffered;
+  batch
+
 let events c =
   Mutex.lock c.mutex;
-  let evs = List.rev c.events_rev in
+  let evs = List.of_seq (Queue.to_seq c.buffered) in
   Mutex.unlock c.mutex;
   evs
+
+let flush c =
+  match c.on_flush with
+  | None -> ()
+  | Some f ->
+      Mutex.lock c.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock c.mutex)
+        (fun () ->
+          match drain_locked c with
+          | [] -> ()
+          | batch ->
+              c.flushed <- c.flushed + List.length batch;
+              f batch)
+
+let dropped c =
+  Mutex.lock c.mutex;
+  let n = c.dropped in
+  Mutex.unlock c.mutex;
+  n
+
+let flushed c =
+  Mutex.lock c.mutex;
+  let n = c.flushed in
+  Mutex.unlock c.mutex;
+  n
 
 let install ?(level = Spans) c =
   Atomic.set installed (Some c);
@@ -76,7 +118,24 @@ let emit ?(attrs = []) phase name =
         { seq = c.next_seq; name; phase; ts = c.clock (); tid; attrs }
       in
       c.next_seq <- c.next_seq + 1;
-      c.events_rev <- ev :: c.events_rev;
+      Queue.push ev c.buffered;
+      (match c.capacity with
+      | Some cap -> (
+          match c.on_flush with
+          | Some f when Queue.length c.buffered >= cap ->
+              (* Flushed under the collector mutex so batches reach the
+                 sink in emission order; the sink must not emit. *)
+              let batch = drain_locked c in
+              c.flushed <- c.flushed + List.length batch;
+              f batch
+          | Some _ -> ()
+          | None ->
+              (* Ring mode: overwrite the oldest event. *)
+              if Queue.length c.buffered > cap then begin
+                ignore (Queue.pop c.buffered);
+                c.dropped <- c.dropped + 1
+              end)
+      | None -> ());
       Mutex.unlock c.mutex
 
 let begin_span ?attrs name = emit ?attrs Begin name

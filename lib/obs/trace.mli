@@ -42,12 +42,43 @@ type level = Spans | Decisions
 type collector
 (** A mutex-protected event sink; safe to emit into from any domain. *)
 
-val collector : ?clock:(unit -> float) -> unit -> collector
+val collector :
+  ?clock:(unit -> float) ->
+  ?capacity:int ->
+  ?on_flush:(event list -> unit) ->
+  unit ->
+  collector
 (** A fresh collector.  [clock] defaults to a deterministic counter
-    that advances by one microsecond per event. *)
+    that advances by one microsecond per event.
+
+    [capacity] bounds the in-memory buffer (default: unbounded, the
+    historical whole-lifetime behaviour).  When the buffer reaches
+    [capacity]:
+    - with [on_flush], the whole buffer is handed to [on_flush] (in
+      emission order) and cleared — the periodic-flush mode a
+      long-running server streams its trace with.  [on_flush] runs
+      under the collector mutex so batches reach the sink in order;
+      it must not emit events itself.
+    - without [on_flush], an emission that would exceed [capacity]
+      drops the oldest buffered event (ring mode) and counts it in
+      {!dropped}: {!events} is always the newest [capacity] events.
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val events : collector -> event list
-(** Events collected so far, in emission ([seq]) order. *)
+(** Events currently buffered (flushed / ring-dropped events are
+    gone), in emission ([seq]) order. *)
+
+val flush : collector -> unit
+(** Hand any buffered events to [on_flush] now and clear the buffer
+    (e.g. at shutdown, for the final partial batch).  A no-op without
+    [on_flush]. *)
+
+val dropped : collector -> int
+(** Events discarded by ring mode so far. *)
+
+val flushed : collector -> int
+(** Events handed to [on_flush] so far. *)
 
 val install : ?level:level -> collector -> unit
 (** Make [collector] the process-global sink (default level:

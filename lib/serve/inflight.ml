@@ -1,0 +1,39 @@
+type 'a entry = {
+  key : string;
+  mutable waiters : 'a list;  (* reversed arrival order *)
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable entries : 'a entry list;
+}
+
+let create () = { mutex = Mutex.create (); entries = [] }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let claim t ~key waiter =
+  locked t (fun () ->
+      match List.find_opt (fun e -> e.key = key) t.entries with
+      | Some e ->
+          e.waiters <- waiter :: e.waiters;
+          `Attached
+      | None ->
+          t.entries <- { key; waiters = [] } :: t.entries;
+          `Leader)
+
+let release t ~key =
+  locked t (fun () ->
+      match List.find_opt (fun e -> e.key = key) t.entries with
+      | None -> []
+      | Some e ->
+          t.entries <- List.filter (fun x -> x.key <> key) t.entries;
+          List.rev e.waiters)
+
+let keys t = locked t (fun () -> List.length t.entries)
+
+let waiting t =
+  locked t (fun () ->
+      List.fold_left (fun acc e -> acc + List.length e.waiters) 0 t.entries)

@@ -1,0 +1,35 @@
+(** In-flight request registry for admission-time coalescing.
+
+    The first request to {!claim} a key becomes its {e leader} and
+    runs the solve; every identical request arriving while the leader
+    is still in flight {!claim}s the same key, is told [`Attached],
+    and parks itself as a waiter.  When the leader's verdict is ready
+    it {!release}s the key, collecting the waiters to answer with the
+    shared result.  A request arriving after the release starts a new
+    claim — coalescing joins {e concurrent} work only, it is not a
+    response cache.
+
+    The registry is generic in the waiter type so it can be exercised
+    directly by tests; the service stores its queued-job records.
+    All operations are serialized by an internal mutex. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val claim : 'a t -> key:string -> 'a -> [ `Leader | `Attached ]
+(** [`Leader]: the key was free and is now claimed; the waiter
+    argument is {e not} recorded (the leader answers itself).
+    [`Attached]: the key is in flight; the waiter is parked and will
+    be returned by the matching {!release}. *)
+
+val release : 'a t -> key:string -> 'a list
+(** End the key's flight, returning its parked waiters in arrival
+    order (empty if none attached).  Releasing an unclaimed key
+    returns []. *)
+
+val keys : 'a t -> int
+(** Keys currently in flight. *)
+
+val waiting : 'a t -> int
+(** Parked waiters summed over all keys. *)

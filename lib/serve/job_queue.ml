@@ -49,3 +49,4 @@ let close t =
       Condition.broadcast t.nonempty)
 
 let depth t = locked t (fun () -> Queue.length t.items)
+let capacity t = t.capacity

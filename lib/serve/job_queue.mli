@@ -27,3 +27,7 @@ val close : 'a t -> unit
 
 val depth : 'a t -> int
 (** Current number of queued items. *)
+
+val capacity : 'a t -> int
+(** The bound the queue was created with — paired with {!depth} it
+    makes queue pressure a reportable ratio. *)

@@ -21,7 +21,13 @@ type request = {
   deadline_ms : float option;
 }
 
-type error_kind = Parse | Unschedulable | Timeout | Overload | Internal
+type error_kind =
+  | Parse
+  | Unschedulable
+  | Timeout
+  | Overload
+  | Readonly
+  | Internal
 
 let op_label = function
   | Plan -> "plan"
@@ -36,6 +42,7 @@ let error_kind_label = function
   | Unschedulable -> "unschedulable"
   | Timeout -> "timeout"
   | Overload -> "overload"
+  | Readonly -> "read_only"
   | Internal -> "internal"
 
 let ( let* ) = Result.bind
@@ -147,8 +154,67 @@ let parse_request line =
       deadline_ms;
     }
 
-let ok_response ~id ~op ~cache ~elapsed_ms result =
-  let fields =
+(* Requests that may coalesce hash to a canonical signature covering
+   every result-shaping field — the op, the full system spec and all
+   solver parameters — but not the client-chosen [id].  Observability
+   ops are answered inline (nothing to coalesce), and a request
+   carrying a deadline never coalesces: attaching it to another
+   request's solve would let a leader's timeout fail followers that
+   asked for a different (or no) deadline. *)
+let coalesce_key req =
+  match req.op with
+  | Metrics | Prometheus -> None
+  | Plan | Sweep | Validate | Anneal -> (
+      match req.deadline_ms with
+      | Some _ -> None
+      | None ->
+          let b = Buffer.create 256 in
+          let add s =
+            Buffer.add_string b s;
+            Buffer.add_char b '\x00'
+          in
+          let add_int_opt v =
+            add (match v with None -> "-" | Some i -> string_of_int i)
+          in
+          add (op_label req.op);
+          (match req.spec with
+          | None -> add "-"
+          | Some s ->
+              add s.Sysbuild.system;
+              add (Option.value s.Sysbuild.soc_text ~default:"");
+              add_int_opt s.Sysbuild.width;
+              add_int_opt s.Sysbuild.height;
+              add (string_of_int s.Sysbuild.leons);
+              add (string_of_int s.Sysbuild.plasmas));
+          add
+            (match req.policy with
+            | Core.Scheduler.Greedy -> "greedy"
+            | Core.Scheduler.Lookahead -> "lookahead");
+          add
+            (match req.application with
+            | Proc.Processor.Bist -> "bist"
+            | Proc.Processor.Decompression -> "decompress");
+          add
+            (match req.power_pct with
+            | None -> "-"
+            | Some f -> Printf.sprintf "%h" f);
+          add_int_opt req.reuse;
+          add_int_opt req.max_reuse;
+          add_int_opt req.iterations;
+          add_int_opt req.seed;
+          add_int_opt req.chains;
+          (match req.placement_moves with
+          | None -> add "-"
+          | Some f -> add (Printf.sprintf "%h" f));
+          Some (Digest.to_hex (Digest.string (Buffer.contents b))))
+
+(* The response is delivered as chunks whose concatenation is the
+   line: the (small) envelope head, the result payload, and the
+   closing brace.  A [Json.Raw] result — how multi-megabyte sweep and
+   plan payloads arrive here — is spliced through untouched instead of
+   being copied into a second envelope-sized buffer. *)
+let ok_response ~id ~op ~cache ?(coalesced = false) ~elapsed_ms result =
+  let head_fields =
     [
       ("v", Json.Int version);
       ("id", id);
@@ -159,12 +225,17 @@ let ok_response ~id ~op ~cache ~elapsed_ms result =
       | `Hit -> [ ("cache", Json.String "hit") ]
       | `Miss -> [ ("cache", Json.String "miss") ]
       | `None -> [])
-    @ [
-        ("elapsed_ms", Json.Float (Float.round (elapsed_ms *. 1000.) /. 1000.));
-        ("result", result);
-      ]
+    @ (if coalesced then [ ("coalesced", Json.Bool true) ] else [])
+    @ [ ("elapsed_ms", Json.Float (Float.round (elapsed_ms *. 1000.) /. 1000.)) ]
   in
-  Json.to_string (Json.Obj fields)
+  let head = Json.to_string (Json.Obj head_fields) in
+  (* Reopen the head object and splice the result in as its last
+     field, byte-identical to rendering the whole object at once. *)
+  let head = String.sub head 0 (String.length head - 1) in
+  let payload =
+    match result with Json.Raw s -> s | v -> Json.to_string v
+  in
+  [ head ^ ", \"result\": "; payload; "}" ]
 
 let error_response ~id kind message =
   Json.to_string

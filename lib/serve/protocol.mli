@@ -42,17 +42,26 @@
     Error kinds: [parse] (malformed request or system description),
     [unschedulable] (the planner proved the instance infeasible),
     [timeout] (deadline exceeded), [overload] (queue full — retry
-    later), [internal].
+    later), [read_only] (a planning op sent to a read-only listener),
+    [internal].
+
+    {b Coalescing.}  Identical planning requests in flight at the same
+    time are solved once: later arrivals attach to the running job and
+    receive its verdict under their own [id] and [elapsed_ms], marked
+    with ["coalesced": true].  Identity is the {!coalesce_key} digest —
+    every result-shaping field, not the [id] — and requests carrying a
+    [deadline_ms] are exempt (they always get their own job).
 
     {b Observability ops.}  [metrics] and [prometheus] are answered
     inline by the admission thread (never queued), so they cannot be
     starved by planning traffic.  [metrics] returns the stats
-    snapshot as JSON; its [latency_ms] field is [null] until at least
-    one {e queued} planning request has been served — inline ops do
-    not feed the latency reservoir, and quantiles of zero samples are
-    never fabricated.  [prometheus] returns the same data (plus
-    per-worker utilization) as a Prometheus text-exposition document
-    in the [result] string, ready for a scrape pipeline. *)
+    snapshot as JSON; inline-served requests feed the same latency
+    reservoir as queued ones, so [latency_ms] reflects everything the
+    server answered (quantiles of zero samples are still never
+    fabricated — the field is [null] until the first response).
+    [prometheus] returns the same data (plus per-worker utilization)
+    as a Prometheus text-exposition document in the [result] string,
+    ready for a scrape pipeline. *)
 
 val version : int
 
@@ -82,16 +91,34 @@ val parse_request : string -> (request, string) result
     (minor protocol evolutions stay compatible); an unsupported ["v"]
     is an error. *)
 
-type error_kind = Parse | Unschedulable | Timeout | Overload | Internal
+type error_kind =
+  | Parse
+  | Unschedulable
+  | Timeout
+  | Overload
+  | Readonly
+  | Internal
+
+val coalesce_key : request -> string option
+(** The request's coalescing signature: a digest of the op, system
+    spec and every solver parameter (not the [id]).  Two requests with
+    equal keys are guaranteed the same verdict, so one solve can serve
+    both.  [None] for observability ops and for requests carrying a
+    [deadline_ms]. *)
 
 val ok_response :
   id:Json.t ->
   op:op ->
   cache:[ `Hit | `Miss | `None ] ->
+  ?coalesced:bool ->
   elapsed_ms:float ->
   Json.t ->
-  string
-(** Render a success response line (no trailing newline). *)
+  string list
+(** Render a success response line (no trailing newline) as chunks
+    whose concatenation is the line.  A [Json.Raw] result is passed
+    through as its own chunk, so a multi-megabyte payload is never
+    copied into an envelope-sized buffer; transports write the chunks
+    back-to-back. *)
 
 val error_response : id:Json.t -> error_kind -> string -> string
 val op_label : op -> string

@@ -5,9 +5,9 @@ module Log = (val Logs.src_log Service.log_src)
 
 let serve_stdio service =
   let out_mutex = Mutex.create () in
-  let respond line =
+  let respond chunks =
     Mutex.lock out_mutex;
-    print_string line;
+    List.iter print_string chunks;
     print_newline ();
     flush stdout;
     Mutex.unlock out_mutex
@@ -21,29 +21,30 @@ let serve_stdio service =
   Service.drain service
 
 (* ------------------------------------------------------------------ *)
-(* Unix-domain socket transport                                       *)
+(* Socket transports: Unix-domain and TCP                             *)
 
 type listener = {
   fd : Unix.file_descr;
-  path : string;
+  kind : [ `Unix of string | `Tcp of Unix.sockaddr ];
+  read_only : bool;
   accept_thread : Thread.t;
   stopping : bool Atomic.t;
   closed : bool Atomic.t;
 }
 
-let handle_connection service fd =
+let handle_connection service ~read_only fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let out_mutex = Mutex.create () in
   let closed = Atomic.make false in
-  let respond line =
+  let respond chunks =
     Mutex.lock out_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_mutex)
       (fun () ->
         if not (Atomic.get closed) then begin
           try
-            output_string oc line;
+            List.iter (output_string oc) chunks;
             output_char oc '\n';
             flush oc
           with Sys_error _ | Unix.Unix_error _ ->
@@ -54,7 +55,8 @@ let handle_connection service fd =
   (try
      while true do
        let line = input_line ic in
-       if String.trim line <> "" then Service.handle_line service line respond
+       if String.trim line <> "" then
+         Service.handle_line ~read_only service line respond
      done
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
   (* Give in-flight jobs their chance to respond before the channel
@@ -63,7 +65,7 @@ let handle_connection service fd =
   Atomic.set closed true;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop service ~fd:listen_fd ~stopping () =
+let accept_loop service ~read_only ~fd:listen_fd ~stopping () =
   let rec loop () =
     match Unix.accept listen_fd with
     | fd, _ ->
@@ -72,7 +74,7 @@ let accept_loop service ~fd:listen_fd ~stopping () =
           loop ())
         else begin
           Log.debug (fun m -> m "accepted connection");
-          ignore (Thread.create (handle_connection service) fd);
+          ignore (Thread.create (handle_connection service ~read_only) fd);
           loop ()
         end
     | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
@@ -83,9 +85,19 @@ let accept_loop service ~fd:listen_fd ~stopping () =
   in
   loop ()
 
-let listen service ~path =
-  (try Sys.signal Sys.sigpipe Sys.Signal_ignore |> ignore
-   with Invalid_argument _ -> ());
+let ignore_sigpipe () =
+  try Sys.signal Sys.sigpipe Sys.Signal_ignore |> ignore
+  with Invalid_argument _ -> ()
+
+let spawn_listener service ~read_only ~fd ~kind =
+  let stopping = Atomic.make false in
+  let accept_thread =
+    Thread.create (accept_loop service ~read_only ~fd ~stopping) ()
+  in
+  { fd; kind; read_only; accept_thread; stopping; closed = Atomic.make false }
+
+let listen ?(read_only = false) service ~path =
+  ignore_sigpipe ();
   if Sys.file_exists path then Unix.unlink path;
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   (try
@@ -94,10 +106,43 @@ let listen service ~path =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  Log.info (fun m -> m "listening on %s" path);
-  let stopping = Atomic.make false in
-  let accept_thread = Thread.create (accept_loop service ~fd ~stopping) () in
-  { fd; path; accept_thread; stopping; closed = Atomic.make false }
+  Log.info (fun m ->
+      m "listening on %s%s" path (if read_only then " (read-only)" else ""));
+  spawn_listener service ~read_only ~fd ~kind:(`Unix path)
+
+let listen_tcp ?(read_only = false) service ~host ~port =
+  ignore_sigpipe ();
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      invalid_arg (Printf.sprintf "Server.listen_tcp: bad address %S" host)
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (* Re-read the bound address: port 0 asks the kernel to pick one. *)
+  let bound = Unix.getsockname fd in
+  (match bound with
+  | Unix.ADDR_INET (a, p) ->
+      Log.info (fun m ->
+          m "listening on %s:%d%s"
+            (Unix.string_of_inet_addr a)
+            p
+            (if read_only then " (read-only)" else ""))
+  | _ -> ());
+  spawn_listener service ~read_only ~fd ~kind:(`Tcp bound)
+
+let port listener =
+  match listener.kind with
+  | `Tcp (Unix.ADDR_INET (_, p)) -> Some p
+  | _ -> None
+
+let read_only listener = listener.read_only
 
 let stop listener =
   if not (Atomic.exchange listener.stopping true) then begin
@@ -112,14 +157,30 @@ let stop listener =
        shutting down a listening socket does not fail its accept. *)
     (try Unix.shutdown listener.fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
-    (try
-       let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-       (try Unix.connect fd (ADDR_UNIX listener.path)
-        with Unix.Unix_error _ -> ());
-       Unix.close fd
-     with Unix.Unix_error _ -> ());
-    (try Unix.unlink listener.path with Unix.Unix_error _ | Sys_error _ -> ());
-    Log.info (fun m -> m "listener on %s stopped" listener.path)
+    (match listener.kind with
+    | `Unix path ->
+        (try
+           let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+           (try Unix.connect fd (ADDR_UNIX path)
+            with Unix.Unix_error _ -> ());
+           Unix.close fd
+         with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+        Log.info (fun m -> m "listener on %s stopped" path)
+    | `Tcp bound ->
+        (try
+           let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+           let target =
+             (* A wildcard bind is reachable through loopback. *)
+             match bound with
+             | Unix.ADDR_INET (a, p) when a = Unix.inet_addr_any ->
+                 Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+             | other -> other
+           in
+           (try Unix.connect fd target with Unix.Unix_error _ -> ());
+           Unix.close fd
+         with Unix.Unix_error _ -> ());
+        Log.info (fun m -> m "tcp listener stopped"))
   end
 
 let wait listener =

@@ -1,9 +1,18 @@
-(** Transports for the planning service: stdio and Unix-domain socket.
+(** Transports for the planning service: stdio, Unix-domain socket and
+    TCP.
 
-    Both speak the JSON-lines protocol of {!Protocol}: one request per
+    All speak the JSON-lines protocol of {!Protocol}: one request per
     line in, one response per line out.  Responses from the worker pool
     are interleaved as they complete, so they may arrive out of request
-    order — clients correlate by [id]. *)
+    order — clients correlate by [id].  A service can be behind any
+    number of listeners at once (the CLI runs a Unix socket and an
+    optional TCP port against the same worker pool), each with its own
+    access mode.
+
+    {b Read-only listeners.}  A listener created with [~read_only:true]
+    answers [metrics] and [prometheus] but refuses planning ops with a
+    [read_only] error — the shape of a scrape endpoint that can be
+    exposed beyond the blast radius of the read-write socket. *)
 
 val serve_stdio : Service.t -> unit
 (** Read request lines from [stdin] until EOF, writing responses to
@@ -12,7 +21,7 @@ val serve_stdio : Service.t -> unit
 
 type listener
 
-val listen : Service.t -> path:string -> listener
+val listen : ?read_only:bool -> Service.t -> path:string -> listener
 (** Bind and listen on a Unix-domain socket at [path] (any stale
     socket file there is removed first), accepting connections on a
     background thread.  Each connection is handled by its own thread
@@ -20,12 +29,26 @@ val listen : Service.t -> path:string -> listener
     only loses its own responses.
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
+val listen_tcp :
+  ?read_only:bool -> Service.t -> host:string -> port:int -> listener
+(** Bind and listen on [host:port] ([host] a dotted/IPv6 address
+    literal; [port = 0] lets the kernel pick — read it back with
+    {!port}).  Same per-connection handling as {!listen}.
+    @raise Invalid_argument if [host] is not an address literal.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val port : listener -> int option
+(** The TCP listener's bound port; [None] for a Unix-domain
+    listener. *)
+
+val read_only : listener -> bool
+
 val stop : listener -> unit
 (** Stop accepting: shut down the listening socket (waking the accept
-    loop) and remove the socket file.  Established connections are
-    left to finish their in-flight lines.  The socket descriptor
-    itself is closed by {!wait}, once the accept loop has exited.
-    Idempotent. *)
+    loop) and, for a Unix-domain listener, remove the socket file.
+    Established connections are left to finish their in-flight lines.
+    The socket descriptor itself is closed by {!wait}, once the accept
+    loop has exited.  Idempotent. *)
 
 val wait : listener -> unit
 (** Block until the accept loop has exited (after {!stop}, or a fatal

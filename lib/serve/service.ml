@@ -13,14 +13,18 @@ exception Expired
 
 type job = {
   req : Protocol.request;
-  respond : string -> unit;
+  respond : string list -> unit;
   enqueued_at : float;
   deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+  coalesce_key : string option;  (* None: this job never coalesces *)
 }
 
 type t = {
   queue : job Job_queue.t;
   cache : Table_cache.t;
+  warm : Warm_start.t;
+  inflight : job Inflight.t;
+  coalescing : bool;
   stats : Stats.t;
   created_at : float;
   (* Per-worker utilization, indexed by worker; written lock-free from
@@ -41,7 +45,10 @@ type t = {
 let snapshot t =
   Stats.snapshot t.stats ~cache_hits:(Table_cache.hits t.cache)
     ~cache_misses:(Table_cache.misses t.cache)
+    ~warm_hits:(Warm_start.hits t.warm)
+    ~warm_misses:(Warm_start.misses t.warm)
     ~queue_depth:(Job_queue.depth t.queue)
+    ~queue_capacity:(Job_queue.capacity t.queue)
     ~workers:(List.length t.workers)
 
 (* Prometheus text exposition (format 0.0.4) over the same snapshot
@@ -93,9 +100,26 @@ let prometheus_text t =
       Prom.metric ~help:"Access-table cache misses." Prom.Counter
         ~name:"nocplan_cache_misses_total"
         [ Prom.sample (float_of_int s.Stats.cache_misses) ];
+      Prom.metric
+        ~help:"Requests served by another request's in-flight solve."
+        Prom.Counter ~name:"nocplan_coalesced_total"
+        (List.map
+           (fun (op, n) ->
+             Prom.sample ~labels:[ ("op", op) ] (float_of_int n))
+           s.Stats.coalesced);
+      Prom.metric ~help:"Anneal searches seeded from the warm-start cache."
+        Prom.Counter ~name:"nocplan_warm_hits_total"
+        [ Prom.sample (float_of_int s.Stats.warm_hits) ];
+      Prom.metric ~help:"Anneal searches started cold." Prom.Counter
+        ~name:"nocplan_warm_misses_total"
+        [ Prom.sample (float_of_int s.Stats.warm_misses) ];
       Prom.metric ~help:"Jobs waiting in the admission queue." Prom.Gauge
         ~name:"nocplan_queue_depth"
         [ Prom.sample (float_of_int s.Stats.queue_depth) ];
+      Prom.metric
+        ~help:"Admission queue bound; depth/capacity is queue pressure."
+        Prom.Gauge ~name:"nocplan_queue_capacity"
+        [ Prom.sample (float_of_int s.Stats.queue_capacity) ];
       Prom.metric ~help:"Planning worker domains." Prom.Gauge
         ~name:"nocplan_workers"
         [ Prom.sample (float_of_int s.Stats.workers) ];
@@ -225,11 +249,36 @@ let execute t (req : Protocol.request) ~check =
               let placement_moves =
                 Option.value req.placement_moves ~default:0.0
               in
+              (* The warm-start key covers exactly what trace validity
+                 depends on: the physical system (via the table-cache
+                 key — a cache hit hands back the one shared instance)
+                 and the configuration fields [trace_matches] compares.
+                 Search-shape parameters (iterations, seed, chains) are
+                 deliberately absent: any search of the same instance
+                 can resume from any other's best. *)
+              let warm_key =
+                Printf.sprintf "%s|%s|%s|%d"
+                  (Table_cache.key system ~application)
+                  (match policy with
+                  | Core.Scheduler.Greedy -> "greedy"
+                  | Core.Scheduler.Lookahead -> "lookahead")
+                  (match req.power_pct with
+                  | None -> "-"
+                  | Some pct -> Printf.sprintf "%h" pct)
+                  reuse
+              in
+              let warm_start = Warm_start.find t.warm ~key:warm_key in
               let r =
                 Core.Annealing.schedule ~policy ~application ~power_limit
-                  ~iterations ~seed ~chains ~placement_moves ~access ~reuse
-                  system
+                  ~iterations ~seed ~chains ~placement_moves ~access
+                  ?warm_start ~reuse system
               in
+              (* A placement-mutated winner belongs to a system no
+                 later request will hold physically — only traces of
+                 the cached instance are worth remembering. *)
+              if r.Core.Annealing.system == system then
+                Warm_start.note t.warm ~key:warm_key
+                  r.Core.Annealing.best_trace;
               Ok
                 ( Json.Obj
                     [
@@ -243,6 +292,8 @@ let execute t (req : Protocol.request) ~check =
                           (Float.round
                              (Core.Annealing.improvement_pct r *. 100.)
                           /. 100.) );
+                      ( "warm_start",
+                        Json.Bool r.Core.Annealing.warm_started );
                       ("evaluations", Json.Int r.Core.Annealing.evaluations);
                       ("accepted", Json.Int r.Core.Annealing.accepted);
                       ( "placement_evals",
@@ -283,6 +334,46 @@ let finish_pending t =
   Condition.broadcast t.pending_cond;
   Mutex.unlock t.pending_mutex
 
+(* Render the shared verdict into one job's own envelope (its [id],
+   its [elapsed_ms], its [coalesced] marker), record its outcome and
+   answer it.  Called once for the job that ran the solve and once per
+   request that coalesced onto it. *)
+let deliver t ~coalesced job verdict =
+  let req = job.req in
+  let outcome, response =
+    match verdict with
+    | `Good (result, cache) ->
+        let elapsed_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
+        ( Stats.Served,
+          Protocol.ok_response ~id:req.id ~op:req.op ~cache ~coalesced
+            ~elapsed_ms result )
+    | `Bad (kind, msg) ->
+        let outcome =
+          match kind with
+          | Protocol.Timeout -> Stats.Timed_out
+          | _ -> Stats.Failed
+        in
+        (outcome, [ Protocol.error_response ~id:req.id kind msg ])
+  in
+  let latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
+  Stats.record t.stats outcome ~latency_ms;
+  if coalesced then
+    Stats.record_coalesced t.stats ~op:(Protocol.op_label req.op);
+  Log.info (fun m ->
+      m "%s %s%s in %.1f ms" (Protocol.op_label req.op)
+        (match outcome with
+        | Stats.Served -> "served"
+        | Stats.Failed -> "failed"
+        | Stats.Rejected -> "rejected"
+        | Stats.Timed_out -> "timed out")
+        (if coalesced then " (coalesced)" else "")
+        latency_ms);
+  (try job.respond response
+   with exn ->
+     Log.warn (fun m ->
+         m "dropping response (client gone?): %s" (Printexc.to_string exn)));
+  finish_pending t
+
 let run_job t ~worker job =
   let req = job.req in
   let started_at = Unix.gettimeofday () in
@@ -299,61 +390,43 @@ let run_job t ~worker job =
           ("worker", Trace.Int worker);
           ("queue_wait_ms", Trace.Float ((started_at -. job.enqueued_at) *. 1e3));
         ];
-  let outcome, response =
+  let verdict =
     match execute t req ~check with
-    | Ok (result, cache) ->
-        let elapsed_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
-        ( Stats.Served,
-          Protocol.ok_response ~id:req.id ~op:req.op ~cache ~elapsed_ms result
-        )
-    | Error (kind, msg) ->
-        (Stats.Failed, Protocol.error_response ~id:req.id kind msg)
-    | exception Expired ->
-        ( Stats.Timed_out,
-          Protocol.error_response ~id:req.id Protocol.Timeout
-            "deadline exceeded" )
+    | Ok (result, cache) -> `Good (result, cache)
+    | Error (kind, msg) -> `Bad (kind, msg)
+    | exception Expired -> `Bad (Protocol.Timeout, "deadline exceeded")
     | exception Core.Scheduler.Unschedulable msg ->
-        ( Stats.Failed,
-          Protocol.error_response ~id:req.id Protocol.Unschedulable msg )
-    | exception Invalid_argument msg ->
-        (Stats.Failed, Protocol.error_response ~id:req.id Protocol.Parse msg)
-    | exception exn ->
-        ( Stats.Failed,
-          Protocol.error_response ~id:req.id Protocol.Internal
-            (Printexc.to_string exn) )
+        `Bad (Protocol.Unschedulable, msg)
+    | exception Invalid_argument msg -> `Bad (Protocol.Parse, msg)
+    | exception exn -> `Bad (Protocol.Internal, Printexc.to_string exn)
   in
   let now = Unix.gettimeofday () in
-  let latency_ms = (now -. job.enqueued_at) *. 1e3 in
   Atomic.fetch_and_add t.worker_busy_us.(worker)
     (int_of_float ((now -. started_at) *. 1e6))
   |> ignore;
   Atomic.incr t.worker_jobs.(worker);
-  Stats.record t.stats outcome ~latency_ms;
   if Trace.enabled () then
     Trace.end_span "serve.request"
       ~attrs:
         [
           ( "outcome",
             Trace.String
-              (match outcome with
-              | Stats.Served -> "served"
-              | Stats.Failed -> "failed"
-              | Stats.Rejected -> "rejected"
-              | Stats.Timed_out -> "timeout") );
+              (match verdict with
+              | `Good _ -> "served"
+              | `Bad (Protocol.Timeout, _) -> "timeout"
+              | `Bad _ -> "failed") );
         ];
-  Log.info (fun m ->
-      m "%s %s in %.1f ms" (Protocol.op_label req.op)
-        (match outcome with
-        | Stats.Served -> "served"
-        | Stats.Failed -> "failed"
-        | Stats.Rejected -> "rejected"
-        | Stats.Timed_out -> "timed out")
-        latency_ms);
-  (try job.respond response
-   with exn ->
-     Log.warn (fun m ->
-         m "dropping response (client gone?): %s" (Printexc.to_string exn)));
-  finish_pending t
+  (* Release the key BEFORE answering anyone: once a client has seen
+     this verdict it may immediately send the same request again, and
+     that request must become a fresh solve (with a now-warm cache),
+     not attach to a flight that already finished. *)
+  let waiters =
+    match job.coalesce_key with
+    | None -> []
+    | Some key -> Inflight.release t.inflight ~key
+  in
+  deliver t ~coalesced:false job verdict;
+  List.iter (fun waiter -> deliver t ~coalesced:true waiter verdict) waiters
 
 let worker_loop t worker () =
   let rec loop () =
@@ -368,7 +441,8 @@ let worker_loop t worker () =
 (* ------------------------------------------------------------------ *)
 (* Admission                                                          *)
 
-let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
+let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8)
+    ?(warm_capacity = 32) ?(coalescing = true) () =
   let recommended = Domain.recommended_domain_count () in
   let workers =
     match workers with
@@ -383,6 +457,9 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
     {
       queue = Job_queue.create ~capacity:queue_capacity;
       cache = Table_cache.create ~capacity:cache_capacity;
+      warm = Warm_start.create ~capacity:warm_capacity;
+      inflight = Inflight.create ();
+      coalescing;
       stats = Stats.create ();
       created_at = Unix.gettimeofday ();
       worker_busy_us = Array.init workers (fun _ -> Atomic.make 0);
@@ -400,13 +477,13 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8) () =
         cache_capacity);
   t
 
-let handle_line t line respond =
+let handle_line ?(read_only = false) t line respond =
   let now = Unix.gettimeofday () in
   match Protocol.parse_request line with
   | Error msg ->
       Stats.record t.stats Stats.Failed ~latency_ms:0.0;
       Log.warn (fun m -> m "bad request: %s" msg);
-      respond (Protocol.error_response ~id:Json.Null Protocol.Parse msg)
+      respond [ Protocol.error_response ~id:Json.Null Protocol.Parse msg ]
   | Ok req -> (
       if Trace.enabled () then
         Trace.instant "serve.admit"
@@ -417,10 +494,12 @@ let handle_line t line respond =
             ];
       match req.Protocol.op with
       | (Protocol.Metrics | Protocol.Prometheus) as op ->
-          (* Served inline so observability survives planner overload.
-             Counted without feeding the latency reservoir — the
-             quantiles describe queued planning work only. *)
-          Stats.record_inline t.stats;
+          (* Served inline so observability survives planner overload
+             — and read-only listeners: scraping never needs write
+             access.  Recorded first so the snapshot being rendered
+             already counts this request. *)
+          Stats.record_inline t.stats
+            ~latency_ms:((Unix.gettimeofday () -. now) *. 1e3);
           let result =
             match op with
             | Protocol.Metrics -> Stats.snapshot_json (snapshot t)
@@ -430,33 +509,82 @@ let handle_line t line respond =
           respond
             (Protocol.ok_response ~id:req.Protocol.id ~op ~cache:`None
                ~elapsed_ms result)
-      | _ ->
+      | _ when read_only ->
+          Stats.record t.stats Stats.Rejected ~latency_ms:0.0;
+          Log.warn (fun m ->
+              m "rejecting %s: read-only listener"
+                (Protocol.op_label req.Protocol.op));
+          respond
+            [
+              Protocol.error_response ~id:req.Protocol.id Protocol.Readonly
+                "read-only listener: planning ops are not accepted here";
+            ]
+      | _ -> (
           let deadline =
             Option.map (fun ms -> now +. (ms /. 1e3)) req.Protocol.deadline_ms
           in
-          let job = { req; respond; enqueued_at = now; deadline } in
+          let coalesce_key =
+            if t.coalescing then Protocol.coalesce_key req else None
+          in
+          let job = { req; respond; enqueued_at = now; deadline; coalesce_key } in
           Mutex.lock t.pending_mutex;
           t.pending <- t.pending + 1;
           Mutex.unlock t.pending_mutex;
-          if not (Job_queue.push t.queue job) then begin
-            finish_pending t;
-            Stats.record t.stats Stats.Rejected ~latency_ms:0.0;
-            Log.warn (fun m ->
-                m "rejecting %s: queue full (depth %d)"
-                  (Protocol.op_label req.Protocol.op)
-                  (Job_queue.depth t.queue));
-            respond
-              (Protocol.error_response ~id:req.Protocol.id Protocol.Overload
-                 "queue full, retry later")
-          end)
+          let admit_leader () =
+            if not (Job_queue.push t.queue job) then begin
+              (* The key (if any) dies with its rejected leader:
+                 whoever attached in the meantime is bounced too,
+                 each under its own envelope. *)
+              let bounced =
+                match coalesce_key with
+                | None -> [ job ]
+                | Some key -> job :: Inflight.release t.inflight ~key
+              in
+              Log.warn (fun m ->
+                  m "rejecting %s: queue full (depth %d, %d bounced)"
+                    (Protocol.op_label req.Protocol.op)
+                    (Job_queue.depth t.queue)
+                    (List.length bounced));
+              List.iter
+                (fun j ->
+                  Stats.record t.stats Stats.Rejected ~latency_ms:0.0;
+                  (try
+                     j.respond
+                       [
+                         Protocol.error_response ~id:j.req.Protocol.id
+                           Protocol.Overload "queue full, retry later";
+                       ]
+                   with exn ->
+                     Log.warn (fun m ->
+                         m "dropping rejection (client gone?): %s"
+                           (Printexc.to_string exn)));
+                  finish_pending t)
+                bounced
+            end
+          in
+          match coalesce_key with
+          | None -> admit_leader ()
+          | Some key -> (
+              match Inflight.claim t.inflight ~key job with
+              | `Leader -> admit_leader ()
+              | `Attached ->
+                  (* Parked on the identical in-flight request; the
+                     leader's worker will answer us. *)
+                  if Trace.enabled () then
+                    Trace.instant "serve.coalesce"
+                      ~attrs:
+                        [
+                          ( "op",
+                            Trace.String (Protocol.op_label req.Protocol.op) );
+                        ])))
 
-let request t line =
+let request ?read_only t line =
   let result = ref None in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
-  handle_line t line (fun response ->
+  handle_line ?read_only t line (fun chunks ->
       Mutex.lock mutex;
-      result := Some response;
+      result := Some (String.concat "" chunks);
       Condition.signal cond;
       Mutex.unlock mutex);
   Mutex.lock mutex;

@@ -17,6 +17,18 @@
     is the cancellation granularity — it is never interrupted
     mid-flight.
 
+    {b Coalescing.}  Identical planning requests in flight at the same
+    time ({!Protocol.coalesce_key}) are solved once: the first becomes
+    the job, later arrivals park on it ({!Inflight}) and are answered
+    with the shared verdict under their own envelope, marked
+    [coalesced].  Requests carrying a deadline are exempt.
+
+    {b Warm starts.}  Each completed anneal's best trace is remembered
+    per (system, configuration) key ({!Warm_start}); the next anneal of
+    the same instance resumes from it instead of the cold heuristic
+    order, and can only improve on it.  The response says which with
+    its [warm_start] field.
+
     {b Observability.}  Every response is counted ({!Stats});
     [metrics] requests are answered inline (never queued, so they
     cannot be starved by planning traffic) with the current snapshot.
@@ -28,22 +40,34 @@ val log_src : Logs.Src.t
 (** The [nocplan.serve] log source, shared with the transports. *)
 
 val create :
-  ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int -> unit -> t
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?warm_capacity:int ->
+  ?coalescing:bool ->
+  unit ->
+  t
 (** Start the worker pool.  [workers] defaults to
     [max 1 (Domain.recommended_domain_count () - 1)] (one domain is
     left to the callers feeding the queue) and is clamped to
     [Domain.recommended_domain_count ()]; [queue_capacity] defaults to
     64 (0 is allowed and rejects everything — the backpressure test
-    hook); [cache_capacity] defaults to 8.
+    hook); [cache_capacity] defaults to 8; [warm_capacity] defaults to
+    32 (0 disables cross-request warm starts); [coalescing] defaults
+    to [true] (false gives every request its own solve — the
+    uncoalesced baseline the bench compares against).
     @raise Invalid_argument on a negative capacity or [workers < 1]. *)
 
-val handle_line : t -> string -> (string -> unit) -> unit
+val handle_line : ?read_only:bool -> t -> string -> (string list -> unit) -> unit
 (** Process one request line.  [respond] is called exactly once with
-    the response line (no newline): synchronously for [metrics],
-    parse errors and overload rejections; from a worker domain
-    otherwise.  [respond] must therefore be thread-safe. *)
+    the response line as chunks (concatenate; no newline):
+    synchronously for [metrics], parse errors and overload rejections;
+    from a worker domain otherwise.  [respond] must therefore be
+    thread-safe.  With [read_only] (a listener flag, not a service
+    one) planning ops are refused with a [read_only] error; [metrics]
+    and [prometheus] are still served. *)
 
-val request : t -> string -> string
+val request : ?read_only:bool -> t -> string -> string
 (** Blocking convenience wrapper around {!handle_line}: submit and
     wait for the response. *)
 

@@ -8,6 +8,7 @@ type t = {
   mutable failed : int;
   mutable rejected : int;
   mutable timeouts : int;
+  coalesced : (string, int) Hashtbl.t;  (* op label -> attached requests *)
   latencies : float array;  (* circular buffer of recent served latencies *)
   mutable filled : int;  (* entries in use, <= reservoir_size *)
   mutable next : int;  (* next write position *)
@@ -22,6 +23,7 @@ let create () =
     failed = 0;
     rejected = 0;
     timeouts = 0;
+    coalesced = Hashtbl.create 7;
     latencies = Array.make reservoir_size 0.0;
     filled = 0;
     next = 0;
@@ -31,24 +33,35 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let push_latency t latency_ms =
+  t.latencies.(t.next) <- latency_ms;
+  t.next <- (t.next + 1) mod reservoir_size;
+  t.filled <- min (t.filled + 1) reservoir_size
+
 (* Inline-served observability requests ([metrics], [prometheus])
-   count as served but must not feed the latency reservoir: their
-   near-zero latencies would drag down the planner quantiles the
-   reservoir exists to report. *)
-let record_inline t =
-  locked t (fun () -> t.served <- t.served + 1)
+   feed the same reservoir as queued work: the quantiles describe
+   everything the server answered, so a scrape-heavy deployment sees
+   its real (bimodal) latency profile instead of a planner-only
+   one. *)
+let record_inline t ~latency_ms =
+  locked t (fun () ->
+      t.served <- t.served + 1;
+      push_latency t latency_ms)
 
 let record t outcome ~latency_ms =
   locked t (fun () ->
       match outcome with
       | Served ->
           t.served <- t.served + 1;
-          t.latencies.(t.next) <- latency_ms;
-          t.next <- (t.next + 1) mod reservoir_size;
-          t.filled <- min (t.filled + 1) reservoir_size
+          push_latency t latency_ms
       | Failed -> t.failed <- t.failed + 1
       | Rejected -> t.rejected <- t.rejected + 1
       | Timed_out -> t.timeouts <- t.timeouts + 1)
+
+let record_coalesced t ~op =
+  locked t (fun () ->
+      let n = Option.value (Hashtbl.find_opt t.coalesced op) ~default:0 in
+      Hashtbl.replace t.coalesced op (n + 1))
 
 type quantiles = {
   count : int;
@@ -63,9 +76,13 @@ type snapshot = {
   failed : int;
   rejected : int;
   timeouts : int;
+  coalesced : (string * int) list;
   cache_hits : int;
   cache_misses : int;
+  warm_hits : int;
+  warm_misses : int;
   queue_depth : int;
+  queue_capacity : int;
   workers : int;
   latency : quantiles option;
 }
@@ -85,7 +102,8 @@ let quantiles_of sorted =
     max_ms = sorted.(n - 1);
   }
 
-let snapshot t ~cache_hits ~cache_misses ~queue_depth ~workers =
+let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
+    ~queue_depth ~queue_capacity ~workers =
   locked t (fun () ->
       let latency =
         if t.filled = 0 then None
@@ -95,14 +113,22 @@ let snapshot t ~cache_hits ~cache_misses ~queue_depth ~workers =
           Some (quantiles_of sample)
         end
       in
+      let coalesced =
+        Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.coalesced []
+        |> List.sort compare
+      in
       {
         served = t.served;
         failed = t.failed;
         rejected = t.rejected;
         timeouts = t.timeouts;
+        coalesced;
         cache_hits;
         cache_misses;
+        warm_hits;
+        warm_misses;
         queue_depth;
+        queue_capacity;
         workers;
         latency;
       })
@@ -114,9 +140,14 @@ let snapshot_json s =
       ("failed", Json.Int s.failed);
       ("rejected", Json.Int s.rejected);
       ("timeouts", Json.Int s.timeouts);
+      ( "coalesced",
+        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) s.coalesced) );
       ("cache_hits", Json.Int s.cache_hits);
       ("cache_misses", Json.Int s.cache_misses);
+      ("warm_hits", Json.Int s.warm_hits);
+      ("warm_misses", Json.Int s.warm_misses);
       ("queue_depth", Json.Int s.queue_depth);
+      ("queue_capacity", Json.Int s.queue_capacity);
       ("workers", Json.Int s.workers);
     ]
   in

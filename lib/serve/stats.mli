@@ -22,12 +22,15 @@ val record : t -> outcome -> latency_ms:float -> unit
 (** Thread-safe.  The latency feeds the quantile reservoir only for
     [Served]. *)
 
-val record_inline : t -> unit
+val record_inline : t -> latency_ms:float -> unit
 (** Count an inline-served observability request ([metrics],
-    [prometheus]) as [Served] {e without} touching the latency
-    reservoir: the quantiles report queued planning work only, and
-    stay [None] (JSON [null]) until such a request has been served —
-    they are never computed over zero samples. *)
+    [prometheus]) as [Served], feeding its latency into the same
+    reservoir as queued work: the quantiles describe every response
+    the server produced, not just planning traffic. *)
+
+val record_coalesced : t -> op:string -> unit
+(** Count one request (by op label) that attached to another
+    request's in-flight solve instead of getting its own. *)
 
 type quantiles = {
   count : int;  (** observations currently in the reservoir *)
@@ -42,15 +45,28 @@ type snapshot = {
   failed : int;
   rejected : int;
   timeouts : int;
+  coalesced : (string * int) list;
+      (** per-op count of requests served by another request's solve,
+          sorted by op label *)
   cache_hits : int;
   cache_misses : int;
+  warm_hits : int;  (** anneal runs seeded from the warm-start cache *)
+  warm_misses : int;
   queue_depth : int;
+  queue_capacity : int;
   workers : int;
   latency : quantiles option;  (** [None] until a request is served *)
 }
 
 val snapshot :
-  t -> cache_hits:int -> cache_misses:int -> queue_depth:int -> workers:int ->
+  t ->
+  cache_hits:int ->
+  cache_misses:int ->
+  warm_hits:int ->
+  warm_misses:int ->
+  queue_depth:int ->
+  queue_capacity:int ->
+  workers:int ->
   snapshot
 
 val snapshot_json : snapshot -> Json.t

@@ -23,12 +23,15 @@ let app_tag = function
   | Proc.Processor.Bist -> "bist"
   | Proc.Processor.Decompression -> "decompress"
 
+let key system ~application =
+  Core.System.fingerprint system ^ "/" ^ app_tag application
+
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let find_or_build t system ~application =
-  let key = Core.System.fingerprint system ^ "/" ^ app_tag application in
+  let key = key system ~application in
   locked t (fun () ->
       match List.find_opt (fun e -> e.key = key) t.entries with
       | Some e ->

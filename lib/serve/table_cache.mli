@@ -35,6 +35,16 @@ val find_or_build :
     happens while holding the cache lock, so concurrent requests for
     the same system build the table exactly once. *)
 
+val key :
+  Nocplan_core.System.t ->
+  application:Nocplan_proc.Processor.application ->
+  string
+(** The cache key for a system/application pair — the system
+    fingerprint plus an application tag.  Exposed so sibling caches
+    (the service's warm-start cache) key their entries consistently
+    with this one: two requests that share a table entry share the
+    prefix of their warm-start key too. *)
+
 val hits : t -> int
 val misses : t -> int
 val length : t -> int

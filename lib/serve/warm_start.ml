@@ -1,0 +1,60 @@
+module Core = Nocplan_core
+
+type entry = {
+  key : string;
+  trace : Core.Scheduler.trace;
+  makespan : int;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable entries : entry list;  (* most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then
+    invalid_arg "Warm_start.create: capacity must be >= 0";
+  { capacity; mutex = Mutex.create (); entries = []; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t ~key =
+  locked t (fun () ->
+      match List.find_opt (fun e -> e.key = key) t.entries with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          t.entries <- e :: List.filter (fun x -> x.key <> key) t.entries;
+          Some e.trace
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let note t ~key trace =
+  let makespan =
+    (Core.Scheduler.trace_schedule trace).Core.Schedule.makespan
+  in
+  locked t (fun () ->
+      if t.capacity > 0 then
+        match List.find_opt (fun e -> e.key = key) t.entries with
+        | Some e when e.makespan <= makespan ->
+            (* The cached order is at least as good — keep it, but
+               refresh its recency so live keys outlast idle ones. *)
+            t.entries <- e :: List.filter (fun x -> x.key <> key) t.entries
+        | Some _ | None ->
+            let e = { key; trace; makespan } in
+            let rest = List.filter (fun x -> x.key <> key) t.entries in
+            let kept =
+              if List.length rest >= t.capacity then
+                List.filteri (fun i _ -> i < t.capacity - 1) rest
+              else rest
+            in
+            t.entries <- e :: kept)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let length t = locked t (fun () -> List.length t.entries)

@@ -1,0 +1,41 @@
+(** Cross-request warm-start cache: the best known annealing trace per
+    (system, configuration) key.
+
+    An anneal request that matches an earlier one restates a search
+    the server has already run.  This LRU remembers each completed
+    anneal's winning trace ({!Nocplan_core.Annealing.result}'s
+    [best_trace]) keyed by {!Table_cache.key} plus the
+    configuration-relevant parameters, and hands it back to seed the
+    next search of the same instance — which then starts at (and can
+    only improve on) the cached makespan instead of the cold heuristic
+    order.
+
+    Warm traces are only valid against the {e physical} system they
+    were produced from; the service guarantees this by keying off the
+    table cache, whose hits return the one shared system instance.
+    {!note} keeps the better of the stored and offered trace, so the
+    cache is monotone: a key's makespan never regresses.
+
+    All operations are serialized by an internal mutex; the cache is
+    shared by every worker domain. *)
+
+type t
+
+val create : capacity:int -> t
+(** Keep at most [capacity] traces, evicting the least recently used.
+    [capacity = 0] disables the cache ({!find} always misses, {!note}
+    is a no-op).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val find : t -> key:string -> Nocplan_core.Scheduler.trace option
+(** The best known trace for [key], refreshing its recency.  Counts a
+    hit or miss either way. *)
+
+val note : t -> key:string -> Nocplan_core.Scheduler.trace -> unit
+(** Offer a completed search's best trace for [key].  Kept only if it
+    beats (strictly) the stored makespan, or the key is new; either
+    way the key becomes most recently used. *)
+
+val hits : t -> int
+val misses : t -> int
+val length : t -> int

@@ -157,6 +157,76 @@ let test_chrome_escapes_strings () =
   | Error e -> Alcotest.failf "escaped export does not parse: %s" e
   | Ok _ -> ()
 
+(* --- bounded collectors -------------------------------------------- *)
+
+let with_installed c f =
+  Trace.install c;
+  Fun.protect ~finally:Trace.uninstall f
+
+let test_ring_keeps_newest () =
+  let c = Trace.collector ~capacity:3 () in
+  with_installed c (fun () ->
+      List.iter (fun n -> Trace.instant n) [ "a"; "b"; "c"; "d"; "e" ]);
+  Alcotest.(check (list string)) "newest survive" [ "c"; "d"; "e" ]
+    (List.map (fun (ev : Trace.event) -> ev.name) (Trace.events c));
+  Alcotest.(check int) "oldest dropped" 2 (Trace.dropped c);
+  Alcotest.(check int) "nothing flushed" 0 (Trace.flushed c);
+  (* Sequence numbers keep counting across drops, so a reader can tell
+     a gap from a quiet stretch. *)
+  Alcotest.(check (list int)) "seq keeps counting" [ 2; 3; 4 ]
+    (List.map (fun (ev : Trace.event) -> ev.seq) (Trace.events c))
+
+let test_flush_sink_gets_everything () =
+  let batches = ref [] in
+  let c =
+    Trace.collector ~capacity:2
+      ~on_flush:(fun batch -> batches := batch :: !batches)
+      ()
+  in
+  with_installed c (fun () ->
+      List.iter (fun n -> Trace.instant n) [ "a"; "b"; "c"; "d"; "e" ]);
+  Trace.flush c;
+  let names =
+    List.rev_map (List.map (fun (ev : Trace.event) -> ev.name)) !batches
+  in
+  Alcotest.(check (list (list string)))
+    "two full batches plus the final partial"
+    [ [ "a"; "b" ]; [ "c"; "d" ]; [ "e" ] ]
+    names;
+  Alcotest.(check int) "all five flushed" 5 (Trace.flushed c);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped c);
+  Alcotest.(check (list string)) "buffer empty after flush" []
+    (List.map (fun (ev : Trace.event) -> ev.name) (Trace.events c));
+  (* Flushing an empty collector is a no-op, not an empty batch. *)
+  Trace.flush c;
+  Alcotest.(check int) "idempotent flush" 5 (Trace.flushed c)
+
+let test_chrome_stream_matches_batch_export () =
+  let path = Filename.temp_file "nocplan_stream" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let stream = Obs.Chrome.stream path in
+  let c =
+    Trace.collector ~capacity:2 ~on_flush:(Obs.Chrome.stream_events stream) ()
+  in
+  with_installed c (fun () ->
+      List.iter (fun n -> Trace.instant n) [ "a"; "b"; "c"; "d"; "e" ]);
+  Trace.flush c;
+  let written = Obs.Chrome.close_stream stream in
+  Alcotest.(check int) "writer counts every event" 5 written;
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "streamed export does not parse: %s" e
+  | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List rows) ->
+          Alcotest.(check (list (option string))) "rows in emission order"
+            [ Some "a"; Some "b"; Some "c"; Some "d"; Some "e" ]
+            (List.map (Json.str_field "name") rows)
+      | _ -> Alcotest.fail "no traceEvents array")
+
 (* --- prometheus exposition ----------------------------------------- *)
 
 let test_prometheus_render () =
@@ -272,10 +342,11 @@ let test_serve_prometheus_monotonic () =
             | None -> Alcotest.failf "bad sample value in %S" line))
     (String.split_on_char '\n' body)
 
-(* Inline observability requests must not feed the latency reservoir:
-   after any number of them, [latency_ms] stays null and the summary
-   has no quantile samples. *)
-let test_inline_ops_leave_latency_null () =
+(* Inline observability requests feed the same latency reservoir as
+   queued work: the very first scrape seeds the quantiles, and each
+   inline response is its own sample (counted at record time, so a
+   metrics response already includes itself). *)
+let test_inline_ops_feed_latency () =
   let service = Serve.Service.create ~workers:1 () in
   Fun.protect ~finally:(fun () -> Serve.Service.shutdown service) @@ fun () ->
   let latency_of r =
@@ -286,19 +357,26 @@ let test_inline_ops_leave_latency_null () =
   ignore (prometheus_body service);
   ignore (prometheus_body service);
   let metrics = response {|{"id": 3, "op": "metrics"}|} service in
-  Alcotest.(check bool) "latency null after inline ops" true
-    (latency_of metrics = Some Json.Null);
-  Alcotest.(check bool) "no quantiles yet" false
-    (contains (prometheus_body service) "quantile=");
+  let count =
+    match latency_of metrics with
+    | Some (Json.Obj fields) -> (
+        match List.assoc_opt "count" fields with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.fail "latency_ms without a count field")
+    | other ->
+        Alcotest.failf "latency still %s after inline ops"
+          (match other with Some Json.Null -> "null" | _ -> "missing")
+  in
+  Alcotest.(check int) "three inline samples, self included" 3 count;
+  Alcotest.(check bool) "quantiles exposed by inline traffic" true
+    (contains (prometheus_body service) "quantile=\"0.5\"");
   ignore
     (response {|{"id": 4, "op": "plan", "system": "d695_leon", "reuse": 1}|}
        service);
   let metrics = response {|{"id": 5, "op": "metrics"}|} service in
   (match latency_of metrics with
   | Some (Json.Obj _) -> ()
-  | _ -> Alcotest.fail "latency still null after a planning request");
-  Alcotest.(check bool) "quantiles exposed" true
-    (contains (prometheus_body service) "quantile=\"0.5\"")
+  | _ -> Alcotest.fail "latency lost after a planning request")
 
 (* --- explain -------------------------------------------------------- *)
 
@@ -400,6 +478,12 @@ let suite =
       test_structure_identical_across_runs;
     Alcotest.test_case "chrome export is valid trace-event JSON" `Quick
       test_chrome_export_is_valid_json;
+    Alcotest.test_case "ring collector keeps newest events" `Quick
+      test_ring_keeps_newest;
+    Alcotest.test_case "flush collector hands sink everything" `Quick
+      test_flush_sink_gets_everything;
+    Alcotest.test_case "streamed chrome export matches batch" `Quick
+      test_chrome_stream_matches_batch_export;
     Alcotest.test_case "chrome export escapes strings" `Quick
       test_chrome_escapes_strings;
     Alcotest.test_case "prometheus text exposition" `Quick
@@ -410,8 +494,8 @@ let suite =
       test_prometheus_empty_summary_omits_quantiles;
     Alcotest.test_case "serve prometheus counters are monotonic" `Quick
       test_serve_prometheus_monotonic;
-    Alcotest.test_case "inline ops leave latency null" `Quick
-      test_inline_ops_leave_latency_null;
+    Alcotest.test_case "inline ops feed the latency reservoir" `Quick
+      test_inline_ops_feed_latency;
     Alcotest.test_case "explain on a small system" `Quick
       test_explain_small_system;
     Alcotest.test_case "explain finds the p22810 greedy anomaly" `Slow

@@ -410,6 +410,237 @@ let test_socket_deadline_does_not_kill_server () =
           Alcotest.(check bool) "timeout counted" true
             (field "timeouts" (field "result" metrics) = Json.Int 1)))
 
+(* --- coalescing ----------------------------------------------------- *)
+
+let parse_req line = Result.get_ok (Serve.Protocol.parse_request line)
+
+let test_coalesce_key_semantics () =
+  let key line = Serve.Protocol.coalesce_key (parse_req line) in
+  let base = {|{"id": 1, "op": "anneal", "system": "d695_leon", "reuse": 2}|} in
+  (* The id is not part of the identity: two clients asking the same
+     question share a key. *)
+  Alcotest.(check bool) "id excluded" true
+    (key base
+    = key {|{"id": "other", "op": "anneal", "system": "d695_leon", "reuse": 2}|});
+  (* Every result-shaping field is. *)
+  List.iter
+    (fun variant ->
+      Alcotest.(check bool) ("distinct: " ^ variant) false
+        (key base = key variant))
+    [
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 3}|};
+      {|{"op": "anneal", "system": "p22810_leon", "reuse": 2}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "seed": 7}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "policy": "lookahead"}|};
+      {|{"op": "plan", "system": "d695_leon", "reuse": 2}|};
+    ];
+  (* Deadlines opt out: a leader's timeout must never fail followers. *)
+  Alcotest.(check bool) "deadline exempt" true
+    (key {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "deadline_ms": 50}|}
+    = None);
+  Alcotest.(check bool) "observability ops exempt" true
+    (key {|{"op": "metrics"}|} = None)
+
+let test_inflight_registry () =
+  let r = Serve.Inflight.create () in
+  Alcotest.(check bool) "first claim leads" true
+    (Serve.Inflight.claim r ~key:"k" 1 = `Leader);
+  Alcotest.(check bool) "second attaches" true
+    (Serve.Inflight.claim r ~key:"k" 2 = `Attached);
+  Alcotest.(check bool) "third attaches" true
+    (Serve.Inflight.claim r ~key:"k" 3 = `Attached);
+  Alcotest.(check bool) "other key leads" true
+    (Serve.Inflight.claim r ~key:"k2" 9 = `Leader);
+  Alcotest.(check int) "two keys in flight" 2 (Serve.Inflight.keys r);
+  Alcotest.(check int) "two waiters parked" 2 (Serve.Inflight.waiting r);
+  Alcotest.(check (list int)) "release returns arrival order" [ 2; 3 ]
+    (Serve.Inflight.release r ~key:"k");
+  Alcotest.(check (list int)) "released key is free" []
+    (Serve.Inflight.release r ~key:"k");
+  Alcotest.(check bool) "and can be claimed again" true
+    (Serve.Inflight.claim r ~key:"k" 4 = `Leader)
+
+let test_socket_coalesced_identical_requests () =
+  (* N identical anneal requests down one connection, workers = 1: the
+     first becomes the (queued) leader and solves; the rest must attach
+     to it, not solve.  Exactly one response lacks the coalesced
+     marker, all results are byte-identical, and the stats counters
+     agree. *)
+  let n = 6 in
+  with_server (fun path ->
+      with_client path (fun ic oc ->
+          for i = 0 to n - 1 do
+            output_string oc
+              (Printf.sprintf
+                 "{\"id\": %d, \"op\": \"anneal\", \"system\": \
+                  \"d695_leon\", \"reuse\": 2, \"iterations\": 150}\n"
+                 i)
+          done;
+          flush oc;
+          let responses = List.init n (fun _ -> parse_response (input_line ic)) in
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "ok" true (field "ok" r = Json.Bool true))
+            responses;
+          let leaders, followers =
+            List.partition
+              (fun r -> Json.member "coalesced" r = None)
+              responses
+          in
+          Alcotest.(check int) "exactly one solve ran" 1 (List.length leaders);
+          Alcotest.(check int) "rest coalesced" (n - 1) (List.length followers);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "coalesced marker" true
+                (field "coalesced" r = Json.Bool true))
+            followers;
+          (* One solve, one verdict: every response carries the same
+             result bytes (and the leader's cache marker). *)
+          let expected = result_string (List.hd leaders) in
+          List.iter
+            (fun r ->
+              Alcotest.(check string) "results byte-identical" expected
+                (result_string r))
+            responses;
+          let metrics = roundtrip ic oc "{\"op\": \"metrics\"}" in
+          let result = field "result" metrics in
+          Alcotest.(check bool) "coalesce counter" true
+            (field "anneal" (field "coalesced" result) = Json.Int (n - 1));
+          Alcotest.(check bool) "one table build" true
+            (field "cache_misses" result = Json.Int 1)))
+
+(* --- warm starts across requests ------------------------------------ *)
+
+let test_service_warm_start_across_requests () =
+  let service = Serve.Service.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Service.shutdown service) @@ fun () ->
+  let anneal seed =
+    let resp =
+      parse_response
+        (Serve.Service.request service
+           (Printf.sprintf
+              "{\"op\": \"anneal\", \"system\": \"d695_leon\", \"reuse\": 2, \
+               \"iterations\": 100, \"seed\": %d}"
+              seed))
+    in
+    let result = field "result" resp in
+    ( field "warm_start" result,
+      match field "makespan" result with
+      | Json.Int m -> m
+      | _ -> Alcotest.fail "makespan not an int" )
+  in
+  let warm1, m1 = anneal 1 in
+  Alcotest.(check bool) "first run is cold" true (warm1 = Json.Bool false);
+  (* A different seed is a different search of the same instance: it
+     must resume from the first run's best and never do worse. *)
+  let warm2, m2 = anneal 2 in
+  Alcotest.(check bool) "second run warm" true (warm2 = Json.Bool true);
+  Alcotest.(check bool) "never worse than cached best" true (m2 <= m1);
+  (* A different configuration is a different key: cold again. *)
+  let resp =
+    parse_response
+      (Serve.Service.request service
+         "{\"op\": \"anneal\", \"system\": \"d695_leon\", \"reuse\": 3, \
+          \"iterations\": 100}")
+  in
+  Alcotest.(check bool) "other reuse is cold" true
+    (field "warm_start" (field "result" resp) = Json.Bool false);
+  let metrics = parse_response (Serve.Service.request service "{\"op\": \"metrics\"}") in
+  let result = field "result" metrics in
+  Alcotest.(check bool) "one warm hit" true
+    (field "warm_hits" result = Json.Int 1);
+  Alcotest.(check bool) "two warm misses" true
+    (field "warm_misses" result = Json.Int 2)
+
+let test_warm_start_lru_monotone () =
+  let sys = Util.small_system () in
+  let trace_of_order order =
+    Core.Scheduler.run_traced sys
+      (Core.Scheduler.config ~reuse:1 ?order ())
+  in
+  let best = trace_of_order None in
+  let lru = Serve.Warm_start.create ~capacity:2 in
+  Alcotest.(check bool) "miss on empty" true
+    (Serve.Warm_start.find lru ~key:"k" = None);
+  Serve.Warm_start.note lru ~key:"k" best;
+  (match Serve.Warm_start.find lru ~key:"k" with
+  | Some t ->
+      Alcotest.(check int) "stored trace" (* same schedule *)
+        (Core.Scheduler.trace_schedule best).Core.Schedule.makespan
+        (Core.Scheduler.trace_schedule t).Core.Schedule.makespan
+  | None -> Alcotest.fail "note then find missed");
+  Alcotest.(check int) "hits" 1 (Serve.Warm_start.hits lru);
+  Alcotest.(check int) "misses" 1 (Serve.Warm_start.misses lru);
+  (* Capacity 0 disables the cache entirely. *)
+  let off = Serve.Warm_start.create ~capacity:0 in
+  Serve.Warm_start.note off ~key:"k" best;
+  Alcotest.(check bool) "disabled cache never stores" true
+    (Serve.Warm_start.find off ~key:"k" = None);
+  Alcotest.(check int) "disabled cache stays empty" 0
+    (Serve.Warm_start.length off)
+
+(* --- TCP and read-only listeners ------------------------------------ *)
+
+let with_tcp_client port f =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f ic oc)
+
+let test_tcp_and_read_only_listener () =
+  let service = Serve.Service.create ~workers:1 () in
+  let rw = Serve.Server.listen_tcp service ~host:"127.0.0.1" ~port:0 in
+  let ro =
+    Serve.Server.listen_tcp ~read_only:true service ~host:"127.0.0.1" ~port:0
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop rw;
+      Serve.Server.stop ro;
+      Serve.Server.wait rw;
+      Serve.Server.wait ro;
+      Serve.Service.shutdown service)
+  @@ fun () ->
+  let rw_port = Option.get (Serve.Server.port rw) in
+  let ro_port = Option.get (Serve.Server.port ro) in
+  Alcotest.(check bool) "kernel picked distinct ports" true
+    (rw_port <> ro_port && rw_port > 0);
+  Alcotest.(check bool) "read_only reported" true (Serve.Server.read_only ro);
+  with_tcp_client rw_port (fun ic oc ->
+      let plan =
+        roundtrip ic oc
+          "{\"id\": 1, \"op\": \"plan\", \"system\": \"d695_leon\", \
+           \"reuse\": 1}"
+      in
+      Alcotest.(check bool) "plan over tcp served" true
+        (field "ok" plan = Json.Bool true));
+  with_tcp_client ro_port (fun ic oc ->
+      let metrics = roundtrip ic oc "{\"id\": 2, \"op\": \"metrics\"}" in
+      Alcotest.(check bool) "metrics on read-only listener" true
+        (field "ok" metrics = Json.Bool true);
+      let prom = roundtrip ic oc "{\"id\": 3, \"op\": \"prometheus\"}" in
+      Alcotest.(check bool) "prometheus on read-only listener" true
+        (field "ok" prom = Json.Bool true);
+      let plan =
+        roundtrip ic oc
+          "{\"id\": 4, \"op\": \"plan\", \"system\": \"d695_leon\", \
+           \"reuse\": 1}"
+      in
+      Alcotest.(check bool) "planning refused" true
+        (field "ok" plan = Json.Bool false);
+      Alcotest.(check bool) "read_only error kind" true
+        (field "kind" (field "error" plan) = Json.String "read_only"));
+  (* The refusal is counted as a rejection, visible over the
+     read-write path. *)
+  let metrics =
+    parse_response (Serve.Service.request service "{\"op\": \"metrics\"}")
+  in
+  Alcotest.(check bool) "refusal counted as rejected" true
+    (field "rejected" (field "result" metrics) = Json.Int 1)
+
 let suite =
   [
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
@@ -440,4 +671,15 @@ let suite =
       test_socket_sweep_and_validate_match_direct;
     Alcotest.test_case "socket: deadline does not kill server" `Quick
       test_socket_deadline_does_not_kill_server;
+    Alcotest.test_case "coalesce key semantics" `Quick
+      test_coalesce_key_semantics;
+    Alcotest.test_case "inflight registry" `Quick test_inflight_registry;
+    Alcotest.test_case "socket: identical requests coalesce to one solve"
+      `Quick test_socket_coalesced_identical_requests;
+    Alcotest.test_case "warm start carries across requests" `Quick
+      test_service_warm_start_across_requests;
+    Alcotest.test_case "warm start lru monotone and bounded" `Quick
+      test_warm_start_lru_monotone;
+    Alcotest.test_case "tcp and read-only listeners" `Quick
+      test_tcp_and_read_only_listener;
   ]

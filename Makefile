@@ -1,7 +1,7 @@
 # Convenience targets; dune does the real work.
 
 .PHONY: all build test bench bench-json check examples clean doc doc-lint \
-        coverage serve-smoke
+        coverage serve-smoke fault-smoke
 
 all: build
 
@@ -72,6 +72,13 @@ serve-smoke: build
 	  echo "serve-smoke: python3 not installed, skipping"; \
 	fi
 
+# Seeded fault-injection smoke on d695: the gate exits non-zero if any
+# replanned schedule violates the independent fault invariants or the
+# availability curve is not monotone in the fault rate.
+fault-smoke: build
+	dune exec bin/nocplan.exe -- faults d695_leon \
+	  --rates 0,0.05,0.1,0.2 --seed 7 --gate
+
 # The tier-1 gate plus doc lint plus a benchmark smoke run producing
 # the JSON and checking it against the committed baseline (skip the
 # regression gate with NOCPLAN_BENCH_GATE=off on unrelated machines).
@@ -81,6 +88,7 @@ check:
 	sh tools/doc_lint.sh
 	$(MAKE) coverage
 	$(MAKE) serve-smoke
+	$(MAKE) fault-smoke
 	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:

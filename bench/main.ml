@@ -802,6 +802,108 @@ let service_load ~requests ~clients =
     load_stats = stats;
   }
 
+(* Multi-process TCP stress: real sockets, real processes.  The bench
+   binary re-executes itself with the internal [--tcp-client] flag, so
+   every client has its own runtime and GC; unlike the in-process load
+   above, the numbers include accept handling, per-connection threads
+   and line framing — the path an external tool actually hits. *)
+
+type tcp_result = {
+  tcp_requests : int;
+  tcp_clients : int;
+  tcp_seconds : float;
+  tcp_failures : int;
+}
+
+let tcp_request_line i =
+  Printf.sprintf
+    "{\"id\": %d, \"op\": \"plan\", \"system\": \"d695_leon\", \"reuse\": %d}"
+    i (i mod 7)
+
+(* Child-process entry: connect, fire [count] plan requests, read the
+   responses back and exit with the number of not-ok responses (capped
+   to stay a valid exit status). *)
+let tcp_client_main spec =
+  match String.split_on_char ':' spec with
+  | [ host; port; count; offset ] ->
+      let port = int_of_string port in
+      let count = int_of_string count in
+      let offset = int_of_string offset in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      for k = 0 to count - 1 do
+        output_string oc (tcp_request_line (offset + k));
+        output_char oc '\n'
+      done;
+      flush oc;
+      let ok_marker = "\"ok\": true" in
+      let contains_ok resp =
+        let n = String.length resp and m = String.length ok_marker in
+        let rec at i =
+          i + m <= n && (String.sub resp i m = ok_marker || at (i + 1))
+        in
+        at 0
+      in
+      let failures = ref 0 in
+      (try
+         for _ = 1 to count do
+           if not (contains_ok (input_line ic)) then incr failures
+         done
+       with End_of_file -> failures := count);
+      Unix.close sock;
+      exit (min !failures 100)
+  | _ ->
+      prerr_endline "bench: bad --tcp-client spec (HOST:PORT:COUNT:OFFSET)";
+      exit 2
+
+let tcp_load ~requests ~clients =
+  section
+    (Printf.sprintf "serve: TCP load (%d requests, %d client processes)"
+       requests clients);
+  let service = Serve.Service.create ~queue_capacity:(max 64 requests) () in
+  let listener = Serve.Server.listen_tcp service ~host:"127.0.0.1" ~port:0 in
+  let port =
+    match Serve.Server.port listener with Some p -> p | None -> assert false
+  in
+  let per_client = requests / clients and extra = requests mod clients in
+  let t0 = Unix.gettimeofday () in
+  let pids =
+    List.init clients (fun c ->
+        let count = per_client + if c < extra then 1 else 0 in
+        let offset = (c * per_client) + min c extra in
+        Unix.create_process Sys.executable_name
+          [|
+            Sys.executable_name;
+            "--tcp-client";
+            Printf.sprintf "127.0.0.1:%d:%d:%d" port count offset;
+          |]
+          Unix.stdin Unix.stdout Unix.stderr)
+  in
+  let failures =
+    List.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED n -> acc + n
+        | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> acc + 1)
+      0 pids
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Serve.Server.stop listener;
+  Serve.Server.wait listener;
+  Serve.Service.shutdown service;
+  Fmt.pr "%d requests over %d processes in %.3f s (%.1f req/s), %d failed@."
+    requests clients seconds
+    (float_of_int requests /. seconds)
+    failures;
+  {
+    tcp_requests = requests;
+    tcp_clients = clients;
+    tcp_seconds = seconds;
+    tcp_failures = failures;
+  }
+
 (* Repeat traffic: many clients asking the identical question — the
    dashboard-refresh / CI-fanout shape the request path is built for.
    Run the same workload twice, with coalescing on and off, on
@@ -893,6 +995,87 @@ let repeat_traffic ~requests ~clients =
   }
 
 (* ------------------------------------------------------------------ *)
+(* fault: availability under seeded injection                          *)
+
+module Fault = Nocplan_fault
+
+type fault_avail_row = {
+  fa_system : string;
+  fa_seed : int;
+  fa_points : Fault.Injector.point list;
+}
+
+(* The deterministic availability / makespan-degradation curve of the
+   fault subsystem: one seeded campaign per rate, nested fault sets, so
+   the curve is monotone by construction (the fault-smoke gate checks
+   the same property from the CLI).  Smoke keeps it to d695. *)
+let fault_availability ~smoke systems =
+  section "fault: availability under seeded injection (rate sweep)";
+  let names =
+    if smoke then [ "d695_leon" ] else [ "d695_leon"; "p22810_leon" ]
+  in
+  let rates = [ 0.0; 0.05; 0.1; 0.15; 0.2 ] in
+  let seed = 7 in
+  List.map
+    (fun name ->
+      let system = List.assoc name systems in
+      let reuse = List.length system.System.processors in
+      let points = Fault.Injector.sweep ~reuse ~seed ~rates system in
+      Fmt.pr "%s (seed %d):@." name seed;
+      List.iter
+        (fun (p, _) -> Fmt.pr "  %a@." Fault.Injector.pp_point p)
+        points;
+      { fa_system = name; fa_seed = seed; fa_points = List.map fst points })
+    names
+
+(* ------------------------------------------------------------------ *)
+(* fault: detour table-build overhead                                  *)
+
+type detour_cost = {
+  dc_faults : int;
+  dc_xy_seconds : float;
+  dc_detour_seconds : float;
+}
+
+(* What fault awareness costs at table-build time: the full access
+   table through a detour table with a drawn fault set, against the
+   plain XY build.  Best of 5 each; the ratio is the number that
+   matters (the BFS tables themselves are microseconds — the wrapper
+   pricing dominates both builds). *)
+let detour_overhead () =
+  section "fault: detour vs XY access-table build (d695_leon)";
+  let system = Experiments.d695_leon () in
+  let topology = system.System.topology in
+  let faults =
+    Fault.Injector.fault_set_of
+      (List.map
+         (fun (e : Fault.Injector.event) -> e.Fault.Injector.target)
+         (Fault.Injector.draw ~seed:7 ~rate:0.05 ~horizon:1000 topology))
+  in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let xy = best (fun () -> ignore (Test_access.table system)) in
+  let detour =
+    best (fun () ->
+        let t = Fault.Detour.table topology faults in
+        ignore (Test_access.table ~route:(Fault.Detour.route_fn t) system))
+  in
+  Fmt.pr "xy build     %.4f s@." xy;
+  Fmt.pr "detour build %.4f s (%.2fx, %d faults)@." detour (detour /. xy)
+    (Fault.Detour.fault_count faults);
+  { dc_faults = Fault.Detour.fault_count faults;
+    dc_xy_seconds = xy;
+    dc_detour_seconds = detour }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artefact (BENCH_nocplan.json)                      *)
 
 (* Figure-1 wall time of the SEED scheduler (commit b8727be), recorded
@@ -956,7 +1139,8 @@ let json_points buf points =
     points;
   Buffer.add_char buf ']'
 
-let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat =
+let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~tcp
+    ~fault_rows ~detour =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
@@ -1004,7 +1188,7 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat =
      \"coalesced_seconds\": %.4f, \"coalesced_req_per_s\": %.1f, \
      \"uncoalesced_seconds\": %.4f, \"uncoalesced_req_per_s\": %.1f, \
      \"speedup\": %.2f, \"coalesced\": %d, \"warm_hits\": %d, \"failures\": \
-     %d}\n"
+     %d},\n"
     repeat.rt_requests repeat.rt_clients repeat.rt_workers
     repeat.rt_coalesced_seconds
     (float_of_int repeat.rt_requests /. repeat.rt_coalesced_seconds)
@@ -1012,7 +1196,36 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat =
     (float_of_int repeat.rt_requests /. repeat.rt_uncoalesced_seconds)
     (repeat.rt_uncoalesced_seconds /. repeat.rt_coalesced_seconds)
     repeat.rt_coalesced repeat.rt_warm_hits repeat.rt_failures;
-  Buffer.add_string buf "  },\n  \"annealing\": [\n";
+  Printf.bprintf buf
+    "    \"tcp\": {\"requests\": %d, \"clients\": %d, \"seconds\": %.4f, \
+     \"requests_per_second\": %.1f, \"failures\": %d}\n"
+    tcp.tcp_requests tcp.tcp_clients tcp.tcp_seconds
+    (float_of_int tcp.tcp_requests /. tcp.tcp_seconds)
+    tcp.tcp_failures;
+  Buffer.add_string buf "  },\n  \"fault\": {\n    \"availability\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf "      {\"system\": \"%s\", \"seed\": %d, \"points\": ["
+        (json_escape r.fa_system) r.fa_seed;
+      List.iteri
+        (fun j (p : Fault.Injector.point) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf
+            "{\"rate\": %.3f, \"injected\": %d, \"availability\": %.4f, \
+             \"makespan\": %d, \"abandoned\": %d, \"replans\": %d}"
+            p.Fault.Injector.rate p.Fault.Injector.injected
+            p.Fault.Injector.availability p.Fault.Injector.makespan
+            p.Fault.Injector.abandoned_count p.Fault.Injector.replans)
+        r.fa_points;
+      Buffer.add_string buf "]}")
+    fault_rows;
+  Printf.bprintf buf
+    "\n    ],\n    \"detour_overhead\": {\"faults\": %d, \"xy_seconds\": \
+     %.4f, \"detour_seconds\": %.4f, \"ratio\": %.2f}\n  },\n  \"annealing\": \
+     [\n"
+    detour.dc_faults detour.dc_xy_seconds detour.dc_detour_seconds
+    (detour.dc_detour_seconds /. detour.dc_xy_seconds);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -1242,6 +1455,9 @@ let () =
         Arg.String (fun p -> gate_path := Some p),
         "PATH fail (exit 1) if this run regresses >25% against the recorded \
          baseline artefact" );
+      ( "--tcp-client",
+        Arg.String tcp_client_main,
+        "SPEC internal: run as a TCP load client (HOST:PORT:COUNT:OFFSET)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--smoke] [--json PATH] [--load N] [--clients N] [--gate BASELINE]";
@@ -1307,7 +1523,17 @@ let () =
     timed "serve:repeat"
       (fun () -> repeat_traffic ~requests:repeat_requests ~clients:32)
   in
-  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load ~repeat;
+  let tcp =
+    timed "serve:tcp" (fun () ->
+        tcp_load ~requests:(if !smoke then 48 else 160) ~clients:4)
+  in
+  let fault_rows =
+    timed "fault:availability" (fun () ->
+        fault_availability ~smoke:!smoke systems)
+  in
+  let detour = timed "fault:detour_overhead" detour_overhead in
+  write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load ~repeat
+    ~tcp ~fault_rows ~detour;
   match !gate_path with
   | None -> ()
   | Some baseline_path ->

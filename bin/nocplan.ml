@@ -9,6 +9,7 @@ module Itc02 = Nocplan_itc02
 module Noc = Nocplan_noc
 module Proc = Nocplan_proc
 module Core = Nocplan_core
+module Fault = Nocplan_fault
 module Serve = Nocplan_serve
 module Obs = Nocplan_obs
 open Cmdliner
@@ -640,6 +641,155 @@ let corpus_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                             *)
+
+let faults_cmd =
+  let run spec width height leons plasmas policy application power reuse
+      rates seed selftest csv gate trace =
+    match load_system ~spec ~width ~height ~leons ~plasmas with
+    | Error msg -> parse_fail msg
+    | Ok system -> (
+        let reuse =
+          match reuse with
+          | Some r -> r
+          | None -> List.length system.Core.System.processors
+        in
+        let power_limit =
+          Option.map
+            (fun pct -> Core.System.power_limit_of_pct system ~pct)
+            power
+        in
+        let topology = system.Core.System.topology in
+        match
+          with_tracing trace (fun () ->
+              let sweep =
+                Fault.Injector.sweep ~policy ~application ~power_limit ~reuse
+                  ~seed ~rates system
+              in
+              (* Independent per-step validation: every replanned
+                 schedule must route only over healthy resources. *)
+              let violations =
+                List.concat_map
+                  (fun (_, r) ->
+                    List.concat_map
+                      (fun (s : Fault.Injector.step) ->
+                        match
+                          Fault.Recover.validate ~application ~reuse
+                            ~at:s.Fault.Injector.at
+                            ~faults:s.Fault.Injector.faults system
+                            s.Fault.Injector.outcome
+                        with
+                        | Ok () -> []
+                        | Error vs -> vs)
+                      r.Fault.Injector.steps)
+                  sweep
+              in
+              (sweep, violations))
+        with
+        | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
+        | (sweep, violations), _ ->
+            if selftest then begin
+              let params = Fault.Selftest.params () in
+              let config =
+                Core.Scheduler.config ~policy ~application ~power_limit ~reuse
+                  ()
+              in
+              let baseline = Core.Scheduler.run system config in
+              let interleaved =
+                Fault.Selftest.schedule ~policy:Fault.Selftest.Interleaved
+                  params system config
+              in
+              let eager =
+                Fault.Selftest.schedule ~policy:Fault.Selftest.Eager params
+                  system config
+              in
+              Fmt.pr
+                "self-test (router %d, link %d, %d lanes, horizon %d): \
+                 trusted %d, interleaved %d, eager %d@."
+                params.Fault.Selftest.router_test
+                params.Fault.Selftest.link_test params.Fault.Selftest.lanes
+                (Fault.Selftest.horizon params topology)
+                baseline.Core.Schedule.makespan
+                interleaved.Core.Schedule.makespan
+                eager.Core.Schedule.makespan
+            end;
+            if csv then begin
+              Fmt.pr "rate,faults,replans,abandoned,availability,makespan@.";
+              List.iter
+                (fun ((p : Fault.Injector.point), _) ->
+                  Fmt.pr "%.3f,%d,%d,%d,%.4f,%d@." p.Fault.Injector.rate
+                    p.Fault.Injector.injected p.Fault.Injector.replans
+                    p.Fault.Injector.abandoned_count
+                    p.Fault.Injector.availability p.Fault.Injector.makespan)
+                sweep
+            end
+            else
+              List.iter
+                (fun ((p : Fault.Injector.point), _) ->
+                  Fmt.pr "%a@." Fault.Injector.pp_point p)
+                sweep;
+            let monotone =
+              let rec ok = function
+                | (a : Fault.Injector.point) :: (b :: _ as rest) ->
+                    a.Fault.Injector.availability
+                    >= b.Fault.Injector.availability
+                    && ok rest
+                | [ _ ] | [] -> true
+              in
+              ok (List.map fst sweep)
+            in
+            if violations <> [] then
+              Fmt.pr "@[<v>invariant violations:@,%a@]@."
+                (Fmt.list ~sep:Fmt.cut Fault.Recover.pp_violation)
+                violations;
+            if not monotone then
+              Fmt.pr "availability curve is not monotone in fault rate@.";
+            if gate && (violations <> [] || not monotone) then begin
+              Fmt.epr "nocplan: faults gate failed@.";
+              1
+            end
+            else 0)
+  in
+  let rates_arg =
+    let doc = "Comma-separated fault rates in [0, 1] to sweep." in
+    Arg.(value
+         & opt (list float) [ 0.0; 0.05; 0.1; 0.15; 0.2 ]
+         & info [ "rates" ] ~docv:"R1,R2,..." ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Deterministic fault-injection seed.")
+  in
+  let selftest_arg =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Also report the network health phase: makespans under \
+                 eager (test-first) and interleaved (test-on-demand) router \
+                 self-test gating next to the trusted-network baseline.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the curve as CSV.")
+  in
+  let gate_arg =
+    Arg.(value & flag & info [ "gate" ]
+           ~doc:"Exit non-zero if any replanned schedule violates the \
+                 independent fault invariants or the availability curve is \
+                 not monotone in the fault rate (CI smoke gate).")
+  in
+  let term =
+    Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
+          $ plasmas_arg $ policy_arg $ application_arg $ power_arg
+          $ reuse_arg $ rates_arg $ seed_arg $ selftest_arg $ csv_arg
+          $ gate_arg $ trace_arg)
+  in
+  Cmd.v
+    (cmd_info "faults"
+       ~doc:
+         "Seeded fault-injection campaigns: kill routers and links \
+          mid-session, replan over detour routes, and report the \
+          availability / makespan-degradation curve.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                              *)
 
 let serve_cmd =
@@ -816,6 +966,7 @@ let main =
       anneal_cmd;
       generate_cmd;
       corpus_cmd;
+      faults_cmd;
       serve_cmd;
     ]
 

@@ -29,6 +29,25 @@ val after_fault :
 (** [after_fault ~reuse ~at ~failed system schedule] re-plans
     [schedule] assuming the [failed] channels died at time [at].
 
+    The kept/voided split is by {e time only}: an entry is kept iff it
+    finished at or before [at] ([finish <= at]), voided otherwise —
+    whether or not its paths touch a failed channel.  Two pinned
+    consequences:
+    - a [failed] link {e no stream occupies} still voids every test in
+      flight at [at] and re-plans its modules on the degraded NoC (the
+      diagnosis interrupts the session; it does not selectively kill
+      streams), and with [failed = []] the voided tests are re-planned
+      on the intact NoC;
+    - an [at] at or past the schedule's makespan keeps everything:
+      [voided] and [replanned] are empty and [makespan] equals the
+      original (nothing was in flight, so nothing is re-planned —
+      faults after the session only matter to the next one).
+
+    Re-planning prices the remainder under the same deterministic XY
+    routing on the degraded system; for fault-{e aware} detour routing
+    and graceful abandonment of unreachable modules, see
+    [Nocplan_fault.Recover].
+
     @raise Scheduler.Unschedulable if the degraded NoC cannot reach
     some remaining core.
     @raise Invalid_argument if [at < 0]. *)

@@ -18,13 +18,19 @@ type config = {
   start_time : int;
   modules : int list option;
   pretested : int list;
+  link_ready : (Nocplan_noc.Link.t * int) list;
 }
 
 let config ?(policy = Greedy) ?(application = Processor.Bist)
     ?(power_limit = None) ?order ?(start_time = 0) ?modules
-    ?(pretested = []) ~reuse () =
+    ?(pretested = []) ?(link_ready = []) ~reuse () =
   if start_time < 0 then invalid_arg "Scheduler.config: negative start_time";
-  { policy; application; reuse; power_limit; order; start_time; modules; pretested }
+  List.iter
+    (fun (_, t) ->
+      if t < 0 then invalid_arg "Scheduler.config: negative link_ready time")
+    link_ready;
+  { policy; application; reuse; power_limit; order; start_time; modules;
+    pretested; link_ready }
 
 exception Unschedulable of string
 
@@ -147,6 +153,12 @@ type engine = {
   e_releases : Min_heap.t;
   e_calendar : Reservation.t;
   e_monitor : Power_monitor.t;
+  (* Link health gates: a channel is unusable before its ready time
+     (its router self-test has not passed yet).  Empty in the common
+     case; the gate times also sit in [e_releases] as sentinel events
+     (value [e_n], outside the slot range) so the loop advances to a
+     gate opening even when no endpoint releases. *)
+  e_gates : (Nocplan_noc.Link.t, int) Hashtbl.t;
   mutable e_now : int;
   mutable e_committed : Schedule.entry list;
   mutable e_commits : commit list;  (* reversed chronological log *)
@@ -283,28 +295,57 @@ let make_engine ?workspace ~table system config order =
     | None -> build_arena ~table system config
   in
   Array.iteri (fun p id -> Hashtbl.replace arena.a_pos id p) order;
-  {
-    e_system = system;
-    e_table = table;
-    e_config = cfg;
-    e_order = order;
-    e_endpoints = arena.a_endpoints;
-    e_n = arena.a_n;
-    e_tix = arena.a_tix;
-    e_proc_slot = arena.a_proc_slot;
-    e_pos = arena.a_pos;
-    e_avail = arena.a_avail;
-    e_releases = arena.a_releases;
-    e_calendar = arena.a_calendar;
-    e_monitor = Power_monitor.create ~limit:config.power_limit;
-    e_now = config.start_time;
-    e_committed = [];
-    e_commits = [];
-  }
+  let gates = Hashtbl.create (max 1 (List.length cfg.link_ready)) in
+  List.iter
+    (fun (l, t) ->
+      match Hashtbl.find_opt gates l with
+      | Some t' when t' >= t -> ()
+      | _ -> Hashtbl.replace gates l t)
+    cfg.link_ready;
+  let e =
+    {
+      e_system = system;
+      e_table = table;
+      e_config = cfg;
+      e_order = order;
+      e_endpoints = arena.a_endpoints;
+      e_n = arena.a_n;
+      e_tix = arena.a_tix;
+      e_proc_slot = arena.a_proc_slot;
+      e_pos = arena.a_pos;
+      e_avail = arena.a_avail;
+      e_releases = arena.a_releases;
+      e_calendar = arena.a_calendar;
+      e_monitor = Power_monitor.create ~limit:config.power_limit;
+      e_now = config.start_time;
+      e_committed = [];
+      e_commits = [];
+      e_gates = gates;
+    }
+  in
+  (* Sentinel wake-ups at every gate opening still ahead of the start
+     time; [value = e_n] marks them as non-slot events for the
+     staleness filter. *)
+  Hashtbl.iter
+    (fun _ t -> if t > e.e_now then Min_heap.push e.e_releases ~key:t ~value:e.e_n)
+    gates;
+  e
 
 let set_avail e i time =
   e.e_avail.(i) <- time;
   if time > e.e_now then Min_heap.push e.e_releases ~key:time ~value:i
+
+(* Whether every channel of the candidate's path has passed its
+   self-test by [now].  Gate times are static, so a closed gate only
+   delays the pair — the sentinel events keep the loop advancing. *)
+let gates_open e ~now links =
+  Hashtbl.length e.e_gates = 0
+  || List.for_all
+       (fun l ->
+         match Hashtbl.find_opt e.e_gates l with
+         | Some ready -> ready <= now
+         | None -> true)
+       links
 
 let try_commit e ~now module_id row (i, j, _avail) =
   let src = e.e_tix.(i) and snk = e.e_tix.(j) in
@@ -312,7 +353,8 @@ let try_commit e ~now module_id row (i, j, _avail) =
   let channels = Test_access.channels_ix e.e_table ~row ~src ~snk in
   let finish = now + c.Test_access.duration in
   if
-    Reservation.is_free e.e_calendar channels ~start:now ~finish
+    gates_open e ~now c.Test_access.links
+    && Reservation.is_free e.e_calendar channels ~start:now ~finish
     && Power_monitor.fits e.e_monitor ~start:now ~finish
          ~power:c.Test_access.power
   then begin
@@ -573,7 +615,12 @@ let event_loop e pending0 =
         match Min_heap.pop e.e_releases with
         | None -> None
         | Some (time, i) ->
-            if time > e.e_now && e.e_avail.(i) = time then Some time
+            (* Sentinel gate events ([i = e_n]) carry no slot to
+               cross-check; slot events must still match their slot's
+               availability (later bookings overwrite earlier release
+               times, leaving stale entries). *)
+            if time > e.e_now && (i >= e.e_n || e.e_avail.(i) = time) then
+              Some time
             else next_event ()
       in
       match next_event () with
@@ -864,6 +911,11 @@ let resume_onto ?workspace trace ~system ~access ~affected =
         let a = e.e_avail.(i) in
         if a > t && a < !best then best := a
       done;
+      (* Gate openings are events too (the heap's sentinels are not
+         consulted here). *)
+      Hashtbl.iter
+        (fun _ r -> if r > t && r < !best then best := r)
+        e.e_gates;
       if !best = max_int then None else Some !best
     in
     let remaining () =

@@ -37,6 +37,13 @@ type config = {
   pretested : int list;
       (** processor module ids already tested before [start_time]:
           their endpoints are available immediately *)
+  link_ready : (Nocplan_noc.Link.t * int) list;
+      (** network health gates: a channel listed here may not carry
+          test traffic before its ready time — the instant its router
+          self-test passes ({!Nocplan_fault.Selftest} produces these).
+          Unlisted channels are ready from the start; an empty list
+          (the default) is the classic trusted-TAM behaviour,
+          bit-identical to schedules produced before gates existed. *)
 }
 
 val config :
@@ -47,11 +54,14 @@ val config :
   ?start_time:int ->
   ?modules:int list ->
   ?pretested:int list ->
+  ?link_ready:(Nocplan_noc.Link.t * int) list ->
   reuse:int ->
   unit ->
   config
 (** Defaults: [Greedy], [Bist], no power limit, {!Priority} order,
-    [start_time = 0], all modules, nothing pretested. *)
+    [start_time = 0], all modules, nothing pretested, no link gates.
+    @raise Invalid_argument on a negative [start_time] or a negative
+    [link_ready] time. *)
 
 exception Unschedulable of string
 (** Raised when no progress is possible — e.g. a single core's power

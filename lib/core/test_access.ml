@@ -77,46 +77,57 @@ type sink_leg = {
   drain : int;
 }
 
-let source_leg system ~application ~cut ~flits_in source =
-  let src = Resource.coord system source in
+(* Both leg builders price an explicit router path (adjacent tiles,
+   inclusive): the XY path in the classic case, a detour path when the
+   table carries a custom route function.  Hops and the channel set
+   fall out of the path itself, so the wormhole model prices a longer
+   detour honestly (more fill, more routing setup, more routers). *)
+let source_leg_of_route system ~application ~flits_in source route_in =
   let latency = system.System.latency in
   let flow = Latency.stream_cycle_per_flit latency in
   let routing = latency.Latency.routing_latency in
-  let topology = system.System.topology in
   let gen_overhead, src_setup, src_power =
     source_profile system ~application source
   in
-  let hops_in = Xy.hops topology ~src ~dst:cut in
+  let hops_in = List.length route_in - 1 in
   {
     gen_overhead;
     src_setup;
     src_power;
-    links_in = Link.Set.of_list (Xy.links topology ~src ~dst:cut);
-    route_in = Xy.route topology ~src ~dst:cut;
+    links_in = Link.Set.of_list (Xy.links_of_route route_in);
+    route_in;
     fill_in = Latency.header_latency latency ~hops:hops_in;
     transport_in = ((hops_in + 2) * routing) + (flits_in * flow);
   }
 
-let sink_leg system ~cut ~flits_out sink =
-  let snk = Resource.coord system sink in
+let source_leg system ~application ~cut ~flits_in source =
+  let src = Resource.coord system source in
+  source_leg_of_route system ~application ~flits_in source
+    (Xy.route system.System.topology ~src ~dst:cut)
+
+let sink_leg_of_route system ~flits_out sink route_out =
   let latency = system.System.latency in
   let flow = Latency.stream_cycle_per_flit latency in
   let routing = latency.Latency.routing_latency in
-  let topology = system.System.topology in
   let sink_overhead, sink_setup, sink_power = sink_profile system sink in
-  let hops_out = Xy.hops topology ~src:cut ~dst:snk in
+  let hops_out = List.length route_out - 1 in
   {
     sink_overhead;
     sink_setup;
     sink_power;
-    links_out = Link.Set.of_list (Xy.links topology ~src:cut ~dst:snk);
-    route_out = Xy.route topology ~src:cut ~dst:snk;
+    links_out = Link.Set.of_list (Xy.links_of_route route_out);
+    route_out;
     fill_out = Latency.header_latency latency ~hops:hops_out;
     transport_out = ((hops_out + 2) * routing) + (flits_out * flow);
     (* After the last pattern slot the final response still drains
        through the sink path. *)
     drain = flits_out * flow;
   }
+
+let sink_leg system ~cut ~flits_out sink =
+  let snk = Resource.coord system sink in
+  sink_leg_of_route system ~flits_out sink
+    (Xy.route system.System.topology ~src:cut ~dst:snk)
 
 let combine_legs system ~m ~shift_cycles ~pattern_count sleg kleg =
   let paths_shared =
@@ -257,9 +268,16 @@ let feasible system ~application ~module_id ~source ~sink =
 (* ------------------------------------------------------------------ *)
 (* Precomputed access table                                           *)
 
+type route_fn = src:Coord.t -> dst:Coord.t -> Coord.t list option
+
 type table = {
   table_system : System.t;
   table_application : Processor.application;
+  table_route : route_fn option;
+      (** custom unicast routing (fault-aware detours); [None] means
+          deterministic XY.  [Some f] with [f] returning [None] marks
+          the (src, dst) pair unreachable: every cell needing that leg
+          is infeasible with no cost. *)
   endpoints : Resource.endpoint array;
   endpoint_ids : (Resource.endpoint, int) Hashtbl.t;
   module_rows : (int, int) Hashtbl.t;
@@ -317,44 +335,57 @@ let fill_row t row module_id =
   let shift_cycles = Wrapper.pattern_cycles wrapper in
   (* Per-endpoint path legs, computed once per (module, endpoint)
      instead of once per (module, source, sink) triple. *)
-  let source_legs =
+  let topology = system.System.topology in
+  let resolve ~src ~dst =
+    match t.table_route with
+    | None -> Some (Xy.route topology ~src ~dst)
+    | Some f -> f ~src ~dst
+  in
+  let in_routes =
     Array.map
-      (fun e ->
-        if Resource.can_source e then
-          Some (source_leg system ~application ~cut ~flits_in e)
-        else None)
+      (fun e -> resolve ~src:(Resource.coord system e) ~dst:cut)
+      endpoints
+  in
+  let out_routes =
+    Array.map
+      (fun e -> resolve ~src:cut ~dst:(Resource.coord system e))
+      endpoints
+  in
+  let source_legs =
+    Array.mapi
+      (fun i e ->
+        match in_routes.(i) with
+        | Some r when Resource.can_source e ->
+            Some (source_leg_of_route system ~application ~flits_in e r)
+        | Some _ | None -> None)
       endpoints
   in
   let sink_legs =
-    Array.map
-      (fun e ->
-        if Resource.can_sink e then Some (sink_leg system ~cut ~flits_out e)
-        else None)
+    Array.mapi
+      (fun i e ->
+        match out_routes.(i) with
+        | Some r when Resource.can_sink e ->
+            Some (sink_leg_of_route system ~flits_out e r)
+        | Some _ | None -> None)
       endpoints
   in
   (* Route survivability of each path leg, for any endpoint — the
      validator probes arbitrary (source, sink) combinations, so
-     these cover even endpoints that cannot legally play the role. *)
-  let topology = system.System.topology in
+     these cover even endpoints that cannot legally play the role.
+     Under a custom router a leg survives iff the router produced a
+     path (which must itself avoid the faulty channels). *)
   let link_ok l = not (Link.Set.mem l system.System.failed_links) in
-  let in_route_ok =
-    if no_failed then Array.make n true
+  let leg_ok routes =
+    if no_failed && Option.is_none t.table_route then Array.make n true
     else
       Array.map
-        (fun e ->
-          List.for_all link_ok
-            (Xy.links topology ~src:(Resource.coord system e) ~dst:cut))
-        endpoints
+        (function
+          | None -> false
+          | Some r -> List.for_all link_ok (Xy.links_of_route r))
+        routes
   in
-  let out_route_ok =
-    if no_failed then Array.make n true
-    else
-      Array.map
-        (fun e ->
-          List.for_all link_ok
-            (Xy.links topology ~src:cut ~dst:(Resource.coord system e)))
-        endpoints
-  in
+  let in_route_ok = leg_ok in_routes in
+  let out_route_ok = leg_ok out_routes in
   let base = row * n * n in
   Array.iteri
     (fun si source ->
@@ -365,21 +396,28 @@ let fill_row t row module_id =
           let idx = base + (si * n) + ki in
           t.route_bits.(idx) <- in_route_ok.(si) && out_route_ok.(ki);
           if Resource.valid_pair ~source ~sink then begin
-            let sleg = Option.get source_legs.(si) in
-            let kleg = Option.get sink_legs.(ki) in
-            let c =
-              combine_legs system ~m ~shift_cycles
-                ~pattern_count:m.Module_def.patterns sleg kleg
-            in
-            t.costs.(idx) <- Some c;
-            t.channels.(idx) <- channels_of_links t c.links;
-            t.feasible_bits.(idx) <-
-              t.route_bits.(idx) && t.memory_bits.((row * n) + si)
+            match (source_legs.(si), sink_legs.(ki)) with
+            | Some sleg, Some kleg ->
+                let c =
+                  combine_legs system ~m ~shift_cycles
+                    ~pattern_count:m.Module_def.patterns sleg kleg
+                in
+                t.costs.(idx) <- Some c;
+                t.channels.(idx) <- channels_of_links t c.links;
+                t.feasible_bits.(idx) <-
+                  t.route_bits.(idx) && t.memory_bits.((row * n) + si)
+            | _ ->
+                (* A leg is unreachable under the custom router: the
+                   pair has no path, hence no cost.  Explicit resets so
+                   {!table_rebuild} rows forget their previous state. *)
+                t.costs.(idx) <- None;
+                t.channels.(idx) <- [||];
+                t.feasible_bits.(idx) <- false
           end)
         endpoints)
     endpoints
 
-let table ?(application = Processor.Bist) system =
+let table ?(application = Processor.Bist) ?route system =
   Nocplan_obs.Trace.span "access.table"
     ~attrs:
       [
@@ -405,6 +443,7 @@ let table ?(application = Processor.Bist) system =
     {
       table_system = system;
       table_application = application;
+      table_route = route;
       endpoints;
       endpoint_ids;
       module_rows;

@@ -110,11 +110,32 @@ val memory_feasible :
 
 type table
 
+type route_fn =
+  src:Nocplan_noc.Coord.t ->
+  dst:Nocplan_noc.Coord.t ->
+  Nocplan_noc.Coord.t list option
+(** A unicast routing function: the router path from [src] to [dst]
+    (adjacent tiles, inclusive of both; [Some [src]] when they are
+    equal), or [None] when [dst] is unreachable from [src].  Paths
+    must avoid the system's [failed_links] — the table trusts them. *)
+
 val table :
-  ?application:Nocplan_proc.Processor.application -> System.t -> table
+  ?application:Nocplan_proc.Processor.application ->
+  ?route:route_fn ->
+  System.t ->
+  table
 (** Precompute feasibility and cost for every module of the system
     against every endpoint pair at full reuse (the endpoint set of any
-    smaller reuse count is a subset).  Default application: [Bist]. *)
+    smaller reuse count is a subset).  Default application: [Bist].
+
+    [route] overrides the deterministic XY routing with a custom
+    (e.g. fault-aware detour, {!Nocplan_fault.Detour}) path function:
+    every leg is priced along the path it returns — longer detours
+    honestly cost more fill, routing setup and router power — and a
+    [None] leg makes every pair needing it infeasible, with no cost
+    and no channels.  With no faults a detour router that returns the
+    XY paths yields a bit-identical table.  {!table_rebuild} carries
+    the route function over. *)
 
 val table_rebuild : table -> system:System.t -> affected:int list -> table
 (** [table_rebuild base ~system ~affected] is the access table of

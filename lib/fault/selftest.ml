@@ -1,0 +1,60 @@
+module Coord = Nocplan_noc.Coord
+module Link = Nocplan_noc.Link
+module Topology = Nocplan_noc.Topology
+module Scheduler = Nocplan_core.Scheduler
+
+type policy = Eager | Interleaved
+
+let policy_label = function Eager -> "eager" | Interleaved -> "interleaved"
+let pp_policy ppf p = Fmt.string ppf (policy_label p)
+
+type params = { router_test : int; link_test : int; lanes : int }
+
+let params ?(router_test = 2000) ?(link_test = 500) ?(lanes = 4) () =
+  if router_test < 0 then
+    invalid_arg "Selftest.params: negative router_test";
+  if link_test < 0 then invalid_arg "Selftest.params: negative link_test";
+  if lanes < 1 then invalid_arg "Selftest.params: lanes < 1";
+  { router_test; link_test; lanes }
+
+(* Router BISTs run in waves of [lanes] concurrent engines, in
+   row-major router order; router i's verdict lands at the end of its
+   wave.  A channel's own test starts once every router it touches has
+   passed. *)
+let router_done p topology c =
+  ((Topology.index topology c / p.lanes) + 1) * p.router_test
+
+let link_done p topology = function
+  | Link.Inject c | Link.Eject c -> router_done p topology c + p.link_test
+  | Link.Channel (a, b) ->
+      max (router_done p topology a) (router_done p topology b) + p.link_test
+
+let all_links topology =
+  List.concat_map
+    (fun c ->
+      Link.Inject c :: Link.Eject c
+      :: List.map (Link.channel c) (Topology.neighbors topology c))
+    (Topology.coords topology)
+
+let horizon p topology =
+  List.fold_left
+    (fun acc l -> max acc (link_done p topology l))
+    0 (all_links topology)
+
+let ready_times ?(policy = Interleaved) p topology =
+  let links = all_links topology in
+  match policy with
+  | Interleaved -> List.map (fun l -> (l, link_done p topology l)) links
+  | Eager ->
+      (* test-first: no test traffic until the whole network has
+         passed — the conservative health phase the makespan
+         comparison benchmarks Interleaved against *)
+      let h = horizon p topology in
+      List.map (fun l -> (l, h)) links
+
+let gate ?policy p topology config =
+  { config with Scheduler.link_ready = ready_times ?policy p topology }
+
+let schedule ?access ?policy p system config =
+  Scheduler.run ?access system
+    (gate ?policy p system.Nocplan_core.System.topology config)

@@ -1,0 +1,75 @@
+(** Router and link self-test scheduling.
+
+    Before the NoC can be trusted as a test access mechanism, the
+    network itself must be tested: each router runs a BIST of its
+    switching fabric, then each channel (inter-router and local
+    inject/eject ports) runs a link test once both its end routers
+    have passed.  This module models that health phase as per-channel
+    ready times and feeds them to the scheduler's [link_ready] gates —
+    a channel carries no test traffic before its gate opens.
+
+    Two policies:
+    - {!Eager} — test-first: no core test starts before the whole
+      network has passed (every gate opens at the common {!horizon}).
+    - {!Interleaved} — test-on-demand: each channel opens the moment
+      its own chain of self-tests completes, so core tests in
+      already-verified regions overlap the remaining health phase. *)
+
+type policy = Eager | Interleaved
+
+val policy_label : policy -> string
+val pp_policy : policy Fmt.t
+
+type params = private { router_test : int; link_test : int; lanes : int }
+(** [router_test]: cycles of one router BIST; [link_test]: cycles of
+    one channel test; [lanes]: how many router BISTs run concurrently
+    (wave width). *)
+
+val params : ?router_test:int -> ?link_test:int -> ?lanes:int -> unit -> params
+(** Defaults: 2000-cycle router BIST, 500-cycle link test, 4 lanes.
+    @raise Invalid_argument on a negative test length or [lanes < 1]. *)
+
+val router_done : params -> Nocplan_noc.Topology.t -> Nocplan_noc.Coord.t -> int
+(** The instant this router's BIST verdict is available: routers run
+    in waves of [lanes] in row-major order. *)
+
+val link_done : params -> Nocplan_noc.Topology.t -> Nocplan_noc.Link.t -> int
+(** The instant this channel's own test completes: the latest verdict
+    among the routers it touches, plus the link test itself. *)
+
+val all_links : Nocplan_noc.Topology.t -> Nocplan_noc.Link.t list
+(** Every channel of the topology: per-tile inject and eject ports
+    plus all directed inter-router channels (wraparounds included on
+    tori). *)
+
+val horizon : params -> Nocplan_noc.Topology.t -> int
+(** The instant the whole network has passed — the common gate time of
+    the {!Eager} policy. *)
+
+val ready_times :
+  ?policy:policy ->
+  params ->
+  Nocplan_noc.Topology.t ->
+  (Nocplan_noc.Link.t * int) list
+(** Per-channel gate times under the policy (default {!Interleaved}) —
+    the value for {!Nocplan_core.Scheduler.config}'s [link_ready]. *)
+
+val gate :
+  ?policy:policy ->
+  params ->
+  Nocplan_noc.Topology.t ->
+  Nocplan_core.Scheduler.config ->
+  Nocplan_core.Scheduler.config
+(** The configuration with its [link_ready] replaced by
+    {!ready_times}. *)
+
+val schedule :
+  ?access:Nocplan_core.Test_access.table ->
+  ?policy:policy ->
+  params ->
+  Nocplan_core.System.t ->
+  Nocplan_core.Scheduler.config ->
+  Nocplan_core.Schedule.t
+(** {!Nocplan_core.Scheduler.run} under {!gate}: the core test
+    schedule with the health phase folded in.  Raises as
+    [Scheduler.run]. *)

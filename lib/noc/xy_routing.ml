@@ -30,12 +30,21 @@ let route topology ~src ~dst =
 
 let hops topology ~src ~dst = Topology.distance topology src dst
 
-let links topology ~src ~dst =
-  let routers = route topology ~src ~dst in
-  let rec channels = function
-    | a :: (b :: _ as rest) -> Link.channel a b :: channels rest
-    | [ _ ] | [] -> []
-  in
-  (Link.Inject src :: channels routers) @ [ Link.Eject dst ]
+let links_of_route routers =
+  match routers with
+  | [] -> invalid_arg "Xy_routing.links_of_route: empty route"
+  | src :: _ ->
+      let rec channels = function
+        | a :: (b :: _ as rest) -> Link.channel a b :: channels rest
+        | [ _ ] | [] -> []
+      in
+      let rec last = function
+        | [ c ] -> c
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      (Link.Inject src :: channels routers) @ [ Link.Eject (last routers) ]
+
+let links topology ~src ~dst = links_of_route (route topology ~src ~dst)
 
 let routers_on_route topology ~src ~dst = hops topology ~src ~dst + 1

@@ -15,6 +15,14 @@ val hops : Topology.t -> src:Coord.t -> dst:Coord.t -> int
 (** Number of inter-router channels on the route, i.e.
     {!Topology.distance}. *)
 
+val links_of_route : Coord.t list -> Link.t list
+(** The occupied channel list of a stream along an arbitrary router
+    path (adjacent coordinates, inclusive of both tiles): [Inject]
+    at the head, each inter-router channel in path order, [Eject] at
+    the last router.  [links] is this applied to {!route}; detour
+    routers ({!Nocplan_fault.Detour}) use it for their non-XY paths.
+    @raise Invalid_argument on an empty route. *)
+
 val links : Topology.t -> src:Coord.t -> dst:Coord.t -> Link.t list
 (** The full occupied channel list of a stream from the tile at [src]
     to the tile at [dst]: [Inject src], each inter-router channel in

@@ -1,9 +1,10 @@
 module Core = Nocplan_core
 module Proc = Nocplan_proc
+module Noc = Nocplan_noc
 
 let version = 1
 
-type op = Plan | Sweep | Validate | Anneal | Metrics | Prometheus
+type op = Plan | Sweep | Validate | Anneal | Replan | Preempt | Metrics | Prometheus
 
 type request = {
   id : Json.t;
@@ -18,11 +19,16 @@ type request = {
   seed : int option;
   chains : int option;
   placement_moves : float option;
+  max_sessions : int option;
+  at : int option;
+  fault_routers : Noc.Coord.t list;
+  fault_links : Noc.Link.t list;
   deadline_ms : float option;
 }
 
 type error_kind =
   | Parse
+  | Invalid
   | Unschedulable
   | Timeout
   | Overload
@@ -34,11 +40,14 @@ let op_label = function
   | Sweep -> "sweep"
   | Validate -> "validate"
   | Anneal -> "anneal"
+  | Replan -> "replan"
+  | Preempt -> "preempt"
   | Metrics -> "metrics"
   | Prometheus -> "prometheus"
 
 let error_kind_label = function
   | Parse -> "parse"
+  | Invalid -> "invalid"
   | Unschedulable -> "unschedulable"
   | Timeout -> "timeout"
   | Overload -> "overload"
@@ -47,20 +56,66 @@ let error_kind_label = function
 
 let ( let* ) = Result.bind
 
+(* "x,y" *)
+let parse_coord s =
+  let bad () =
+    Error (Printf.sprintf "bad coordinate %S (expected \"x,y\")" s)
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [ x; y ] -> (
+      match
+        (int_of_string_opt (String.trim x), int_of_string_opt (String.trim y))
+      with
+      | Some x, Some y when x >= 0 && y >= 0 -> Ok (Noc.Coord.make ~x ~y)
+      | _ -> bad ())
+  | _ -> bad ()
+
+(* "x1,y1>x2,y2" (directed channel), "inject:x,y" or "eject:x,y"
+   (local port) *)
+let parse_fault_link s =
+  let s = String.trim s in
+  match String.index_opt s ':' with
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let* c = parse_coord (String.sub s (i + 1) (String.length s - i - 1)) in
+      match kind with
+      | "inject" -> Ok (Noc.Link.Inject c)
+      | "eject" -> Ok (Noc.Link.Eject c)
+      | _ -> Error (Printf.sprintf "bad link %S (unknown port kind %S)" s kind))
+  | None -> (
+      match String.index_opt s '>' with
+      | Some i ->
+          let* a = parse_coord (String.sub s 0 i) in
+          let* b =
+            parse_coord (String.sub s (i + 1) (String.length s - i - 1))
+          in
+          if Noc.Coord.equal a b then
+            Error (Printf.sprintf "bad link %S (identical endpoints)" s)
+          else Ok (Noc.Link.channel a b)
+      | None ->
+          Error
+            (Printf.sprintf
+               "bad link %S (expected \"x1,y1>x2,y2\", \"inject:x,y\" or \
+                \"eject:x,y\")"
+               s))
+
 let parse_request line =
-  let* json = Json.parse line in
+  let parse_err r = Result.map_error (fun msg -> (Parse, msg)) r in
+  let invalid_err r = Result.map_error (fun msg -> (Invalid, msg)) r in
+  let* json = parse_err (Json.parse line) in
   let* () =
     match json with
     | Json.Obj _ -> Ok ()
-    | _ -> Error "request must be a JSON object"
+    | _ -> Error (Parse, "request must be a JSON object")
   in
   let* () =
     match Json.member "v" json with
     | None | Some (Json.Int 1) -> Ok ()
     | Some v ->
         Error
-          (Printf.sprintf "unsupported protocol version %s (this server: %d)"
-             (Json.to_string v) version)
+          ( Parse,
+            Printf.sprintf "unsupported protocol version %s (this server: %d)"
+              (Json.to_string v) version )
   in
   let id = Option.value (Json.member "id" json) ~default:Json.Null in
   let* op =
@@ -69,37 +124,57 @@ let parse_request line =
     | Some "sweep" -> Ok Sweep
     | Some "validate" -> Ok Validate
     | Some "anneal" -> Ok Anneal
+    | Some "replan" -> Ok Replan
+    | Some "preempt" -> Ok Preempt
     | Some "metrics" -> Ok Metrics
     | Some "prometheus" -> Ok Prometheus
-    | Some other -> Error (Printf.sprintf "unknown op %S" other)
-    | None -> Error "missing op field"
+    | Some other -> Error (Parse, Printf.sprintf "unknown op %S" other)
+    | None -> Error (Parse, "missing op field")
   in
   let* policy =
     match Json.str_field "policy" json with
     | None -> Ok Core.Scheduler.Greedy
     | Some "greedy" -> Ok Core.Scheduler.Greedy
     | Some "lookahead" -> Ok Core.Scheduler.Lookahead
-    | Some other -> Error (Printf.sprintf "unknown policy %S" other)
+    | Some other -> Error (Parse, Printf.sprintf "unknown policy %S" other)
   in
   let* application =
     match Json.str_field "application" json with
     | None -> Ok Proc.Processor.Bist
     | Some "bist" -> Ok Proc.Processor.Bist
     | Some "decompress" -> Ok Proc.Processor.Decompression
-    | Some other -> Error (Printf.sprintf "unknown application %S" other)
+    | Some other ->
+        Error (Parse, Printf.sprintf "unknown application %S" other)
   in
   let int_opt name =
     match Json.member name json with
     | None | Some Json.Null -> Ok None
     | Some (Json.Int i) -> Ok (Some i)
-    | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+    | Some _ ->
+        Error (Parse, Printf.sprintf "field %S must be an integer" name)
   in
   let float_opt name =
     match Json.member name json with
     | None | Some Json.Null -> Ok None
     | Some (Json.Int i) -> Ok (Some (float_of_int i))
     | Some (Json.Float f) -> Ok (Some f)
-    | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+    | Some _ -> Error (Parse, Printf.sprintf "field %S must be a number" name)
+  in
+  let str_list name =
+    match Json.member name json with
+    | None | Some Json.Null -> Ok []
+    | Some (Json.List items) ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match item with
+            | Json.String s -> Ok (s :: acc)
+            | _ ->
+                Error
+                  (Parse, Printf.sprintf "field %S must be a list of strings" name))
+          items (Ok [])
+    | Some _ ->
+        Error (Parse, Printf.sprintf "field %S must be a list of strings" name)
   in
   let* width = int_opt "width" in
   let* height = int_opt "height" in
@@ -115,16 +190,48 @@ let parse_request line =
   let* () =
     match placement_moves with
     | Some r when r < 0.0 || r > 1.0 ->
-        Error "field \"placement_moves\" must be within [0, 1]"
+        Error (Parse, "field \"placement_moves\" must be within [0, 1]")
     | _ -> Ok ()
   in
+  let* max_sessions = int_opt "max_sessions" in
+  let* () =
+    match max_sessions with
+    | Some n when n < 1 -> Error (Invalid, "field \"max_sessions\" must be >= 1")
+    | _ -> Ok ()
+  in
+  let* at = int_opt "at" in
+  let* () =
+    match at with
+    | Some n when n < 0 -> Error (Invalid, "field \"at\" must be >= 0")
+    | _ -> Ok ()
+  in
+  let* router_strs = str_list "failed_routers" in
+  let* fault_routers =
+    invalid_err
+      (List.fold_right
+         (fun s acc ->
+           Result.bind acc (fun acc ->
+               Result.map (fun c -> c :: acc) (parse_coord s)))
+         router_strs (Ok []))
+  in
+  let* link_strs = str_list "failed_links" in
+  let* fault_links =
+    invalid_err
+      (List.fold_right
+         (fun s acc ->
+           Result.bind acc (fun acc ->
+               Result.map (fun l -> l :: acc) (parse_fault_link s)))
+         link_strs (Ok []))
+  in
+  let fault_routers = List.sort_uniq Noc.Coord.compare fault_routers in
+  let fault_links = List.sort_uniq Noc.Link.compare fault_links in
   let* deadline_ms = float_opt "deadline_ms" in
   let soc_text = Json.str_field "soc" json in
   let system = Json.str_field "system" json in
   let* spec =
     match (op, system, soc_text) with
     | (Metrics | Prometheus), _, _ -> Ok None
-    | _, None, None -> Error "missing system (or inline soc) field"
+    | _, None, None -> Error (Parse, "missing system (or inline soc) field")
     | _, system, soc_text ->
         Ok
           (Some
@@ -151,6 +258,10 @@ let parse_request line =
       seed;
       chains;
       placement_moves;
+      max_sessions;
+      at;
+      fault_routers;
+      fault_links;
       deadline_ms;
     }
 
@@ -164,7 +275,7 @@ let parse_request line =
 let coalesce_key req =
   match req.op with
   | Metrics | Prometheus -> None
-  | Plan | Sweep | Validate | Anneal -> (
+  | Plan | Sweep | Validate | Anneal | Replan | Preempt -> (
       match req.deadline_ms with
       | Some _ -> None
       | None ->
@@ -206,6 +317,11 @@ let coalesce_key req =
           (match req.placement_moves with
           | None -> add "-"
           | Some f -> add (Printf.sprintf "%h" f));
+          add_int_opt req.max_sessions;
+          add_int_opt req.at;
+          List.iter (fun c -> add (Fmt.str "%a" Noc.Coord.pp c)) req.fault_routers;
+          add "|";
+          List.iter (fun l -> add (Fmt.str "%a" Noc.Link.pp l)) req.fault_links;
           Some (Digest.to_hex (Digest.string (Buffer.contents b))))
 
 (* The response is delivered as chunks whose concatenation is the

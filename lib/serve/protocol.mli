@@ -9,6 +9,7 @@
     { "v": 1,                  // optional, defaults to 1
       "id": "r1",              // echoed verbatim (any JSON value)
       "op": "plan",            // plan | sweep | validate | anneal
+                               //   | replan | preempt
                                //   | metrics | prometheus
       "system": "d695_leon",   // builtin system or corpus benchmark
       "soc": "Soc x\n...",     // inline description, instead of system
@@ -23,6 +24,11 @@
       "seed": 90,              // anneal RNG seed (default 0x5A)
       "chains": 4,             // anneal tempering chains (default 1)
       "placement_moves": 0.3,  // anneal tile-swap move ratio (default 0)
+      "max_sessions": 3,       // preempt: session split bound (>= 1)
+      "at": 5000,              // replan: fault event instant (>= 0)
+      "failed_routers": ["1,1"],          // replan: dead routers
+      "failed_links": ["0,0>0,1",         // replan: dead channels and
+                       "inject:2,0"],     //   local ports
       "deadline_ms": 5000 }    // per-request deadline
     v}
 
@@ -40,10 +46,24 @@
     v}
 
     Error kinds: [parse] (malformed request or system description),
-    [unschedulable] (the planner proved the instance infeasible),
-    [timeout] (deadline exceeded), [overload] (queue full — retry
-    later), [read_only] (a planning op sent to a read-only listener),
-    [internal].
+    [invalid] (a well-formed request carrying an out-of-domain value:
+    [max_sessions < 1], a negative [at], a malformed or out-of-mesh
+    fault target), [unschedulable] (the planner proved the instance
+    infeasible), [timeout] (deadline exceeded), [overload] (queue full
+    — retry later), [read_only] (a planning op sent to a read-only
+    listener), [internal].
+
+    {b Fault ops.}  [replan] schedules the spec fault-free, then
+    replays the given fault event against it at instant [at]: routers
+    in [failed_routers] ("x,y") and channels in [failed_links]
+    ("x1,y1>x2,y2" directed, "inject:x,y" / "eject:x,y" local ports)
+    die; finished tests are kept, in-flight ones voided, the remainder
+    re-planned over fault-aware detour routes, and modules left
+    without any healthy test path are abandoned.  The result reports
+    the kept/voided/replanned/abandoned split, the availability (the
+    fraction of modules still testable) and an independent validation
+    verdict.  [preempt] plans with the preemptive scheduler, splitting
+    each core's pattern set into at most [max_sessions] sessions.
 
     {b Coalescing.}  Identical planning requests in flight at the same
     time are solved once: later arrivals attach to the running job and
@@ -65,7 +85,15 @@
 
 val version : int
 
-type op = Plan | Sweep | Validate | Anneal | Metrics | Prometheus
+type op =
+  | Plan
+  | Sweep
+  | Validate
+  | Anneal
+  | Replan
+  | Preempt
+  | Metrics
+  | Prometheus
 
 type request = {
   id : Json.t;  (** echoed verbatim; [Null] when absent *)
@@ -83,21 +111,32 @@ type request = {
   placement_moves : float option;
       (** [Anneal] probability in [0, 1] that a move swaps two module
           tiles instead of two order positions (default 0: order-only) *)
+  max_sessions : int option;
+      (** [Preempt] per-core session bound, [>= 1] (default 3) *)
+  at : int option;  (** [Replan] fault event instant (default 0) *)
+  fault_routers : Nocplan_noc.Coord.t list;
+      (** [Replan] dead routers — parsed, sorted, deduplicated *)
+  fault_links : Nocplan_noc.Link.t list;  (** [Replan] dead channels *)
   deadline_ms : float option;
 }
 
-val parse_request : string -> (request, string) result
-(** Parse and validate one request line.  Unknown fields are ignored
-    (minor protocol evolutions stay compatible); an unsupported ["v"]
-    is an error. *)
-
 type error_kind =
   | Parse
+  | Invalid
+      (** well-formed request, out-of-domain value ([max_sessions < 1],
+          negative [at], malformed or out-of-mesh fault target) *)
   | Unschedulable
   | Timeout
   | Overload
   | Readonly
   | Internal
+
+val parse_request : string -> (request, error_kind * string) result
+(** Parse and validate one request line.  Unknown fields are ignored
+    (minor protocol evolutions stay compatible); an unsupported ["v"]
+    is an error.  Structural problems are [Parse] errors;
+    out-of-domain values ([max_sessions < 1], a negative [at], a
+    malformed fault target string) are [Invalid]. *)
 
 val coalesce_key : request -> string option
 (** The request's coalescing signature: a digest of the op, system

@@ -1,4 +1,6 @@
 module Core = Nocplan_core
+module Noc = Nocplan_noc
+module Fault = Nocplan_fault
 module Trace = Nocplan_obs.Trace
 module Prom = Nocplan_obs.Prometheus
 
@@ -107,6 +109,16 @@ let prometheus_text t =
            (fun (op, n) ->
              Prom.sample ~labels:[ ("op", op) ] (float_of_int n))
            s.Stats.coalesced);
+      Prom.metric ~help:"Fault targets handled by replan requests."
+        Prom.Counter ~name:"nocplan_fault_events_total"
+        [ Prom.sample (float_of_int s.Stats.fault_events) ];
+      Prom.metric ~help:"Replan requests that reached fault recovery."
+        Prom.Counter ~name:"nocplan_fault_replans_total"
+        [ Prom.sample (float_of_int s.Stats.fault_replans) ];
+      Prom.metric
+        ~help:"Modules left without a test path by replan requests."
+        Prom.Counter ~name:"nocplan_fault_abandoned_total"
+        [ Prom.sample (float_of_int s.Stats.fault_abandoned) ];
       Prom.metric ~help:"Anneal searches seeded from the warm-start cache."
         Prom.Counter ~name:"nocplan_warm_hits_total"
         [ Prom.sample (float_of_int s.Stats.warm_hits) ];
@@ -164,7 +176,8 @@ let execute t (req : Protocol.request) ~check =
   match req.op with
   | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
   | Protocol.Prometheus -> Ok (Json.String (prometheus_text t), `None)
-  | Protocol.Plan | Protocol.Validate | Protocol.Sweep | Protocol.Anneal -> (
+  | Protocol.Plan | Protocol.Validate | Protocol.Sweep | Protocol.Anneal
+  | Protocol.Replan | Protocol.Preempt -> (
       let spec =
         match req.spec with
         | Some s -> s
@@ -304,6 +317,121 @@ let execute t (req : Protocol.request) ~check =
                       ("exchanges", Json.Int r.Core.Annealing.exchanges);
                     ],
                   cache )
+          | Protocol.Preempt -> (
+              let reuse = Option.value req.reuse ~default:all in
+              let max_sessions = Option.value req.max_sessions ~default:3 in
+              let pconfig =
+                Core.Preemptive.config ~application ~power_limit ~max_sessions
+                  ~reuse ()
+              in
+              match Core.Preemptive.schedule system pconfig with
+              | plan ->
+                  check ();
+                  let valid =
+                    match
+                      Core.Preemptive.validate system ~application ~power_limit
+                        ~reuse plan
+                    with
+                    | Ok () -> true
+                    | Error _ -> false
+                  in
+                  Ok
+                    ( Json.Obj
+                        [
+                          ( "makespan",
+                            Json.Int plan.Core.Preemptive.makespan );
+                          ( "sessions",
+                            Json.Int
+                              (List.length plan.Core.Preemptive.sessions) );
+                          ( "modules",
+                            Json.Int
+                              (List.length (Core.System.module_ids system)) );
+                          ("max_sessions", Json.Int max_sessions);
+                          ("valid", Json.Bool valid);
+                        ],
+                      cache )
+              | exception Invalid_argument msg ->
+                  Error (Protocol.Invalid, msg))
+          | Protocol.Replan -> (
+              let reuse = Option.value req.reuse ~default:all in
+              let at = Option.value req.at ~default:0 in
+              let topology = system.Core.System.topology in
+              let router_ob =
+                List.find_opt
+                  (fun c -> not (Noc.Topology.in_bounds topology c))
+                  req.fault_routers
+              in
+              let link_ob =
+                List.find_opt
+                  (fun l ->
+                    List.exists
+                      (fun c -> not (Noc.Topology.in_bounds topology c))
+                      (Noc.Link.routers l))
+                  req.fault_links
+              in
+              match (router_ob, link_ob) with
+              | Some c, _ ->
+                  Error
+                    ( Protocol.Invalid,
+                      Fmt.str "failed router %a is outside the mesh"
+                        Noc.Coord.pp c )
+              | None, Some l ->
+                  Error
+                    ( Protocol.Invalid,
+                      Fmt.str "failed link %a is outside the mesh" Noc.Link.pp
+                        l )
+              | None, None ->
+                  let config =
+                    Core.Scheduler.config ~policy ~application ~power_limit
+                      ~reuse ()
+                  in
+                  let baseline = Core.Scheduler.run ~access system config in
+                  check ();
+                  let faults =
+                    Fault.Detour.fault_set ~routers:req.fault_routers
+                      ~links:req.fault_links ()
+                  in
+                  let outcome =
+                    Fault.Recover.after ~policy ~application ~power_limit
+                      ~reuse ~at ~faults system baseline
+                  in
+                  Stats.record_fault t.stats
+                    ~events:(Fault.Detour.fault_count faults)
+                    ~abandoned:(List.length outcome.Fault.Recover.abandoned);
+                  check ();
+                  let valid =
+                    match
+                      Fault.Recover.validate ~application ~reuse ~at ~faults
+                        system outcome
+                    with
+                    | Ok () -> true
+                    | Error _ -> false
+                  in
+                  Ok
+                    ( Json.Obj
+                        [
+                          ( "baseline_makespan",
+                            Json.Int baseline.Core.Schedule.makespan );
+                          ("makespan", Json.Int outcome.Fault.Recover.makespan);
+                          ( "kept",
+                            Json.Int (List.length outcome.Fault.Recover.kept)
+                          );
+                          ( "voided",
+                            Json.Int
+                              (List.length outcome.Fault.Recover.voided) );
+                          ( "replanned",
+                            Json.Int
+                              (List.length outcome.Fault.Recover.replanned) );
+                          ( "abandoned",
+                            Json.List
+                              (List.map
+                                 (fun id -> Json.Int id)
+                                 outcome.Fault.Recover.abandoned) );
+                          ( "availability",
+                            Json.Float outcome.Fault.Recover.availability );
+                          ("valid", Json.Bool valid);
+                        ],
+                      cache ))
           | Protocol.Sweep ->
               let max_reuse =
                 min all (Option.value req.max_reuse ~default:all)
@@ -480,10 +608,10 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8)
 let handle_line ?(read_only = false) t line respond =
   let now = Unix.gettimeofday () in
   match Protocol.parse_request line with
-  | Error msg ->
+  | Error (kind, msg) ->
       Stats.record t.stats Stats.Failed ~latency_ms:0.0;
       Log.warn (fun m -> m "bad request: %s" msg);
-      respond [ Protocol.error_response ~id:Json.Null Protocol.Parse msg ]
+      respond [ Protocol.error_response ~id:Json.Null kind msg ]
   | Ok req -> (
       if Trace.enabled () then
         Trace.instant "serve.admit"

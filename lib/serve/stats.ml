@@ -9,6 +9,9 @@ type t = {
   mutable rejected : int;
   mutable timeouts : int;
   coalesced : (string, int) Hashtbl.t;  (* op label -> attached requests *)
+  mutable fault_events : int;  (* fault targets handled by replan ops *)
+  mutable fault_replans : int;  (* replan ops that reached recovery *)
+  mutable fault_abandoned : int;  (* modules given up across them *)
   latencies : float array;  (* circular buffer of recent served latencies *)
   mutable filled : int;  (* entries in use, <= reservoir_size *)
   mutable next : int;  (* next write position *)
@@ -24,6 +27,9 @@ let create () =
     rejected = 0;
     timeouts = 0;
     coalesced = Hashtbl.create 7;
+    fault_events = 0;
+    fault_replans = 0;
+    fault_abandoned = 0;
     latencies = Array.make reservoir_size 0.0;
     filled = 0;
     next = 0;
@@ -63,6 +69,12 @@ let record_coalesced t ~op =
       let n = Option.value (Hashtbl.find_opt t.coalesced op) ~default:0 in
       Hashtbl.replace t.coalesced op (n + 1))
 
+let record_fault t ~events ~abandoned =
+  locked t (fun () ->
+      t.fault_events <- t.fault_events + events;
+      t.fault_replans <- t.fault_replans + 1;
+      t.fault_abandoned <- t.fault_abandoned + abandoned)
+
 type quantiles = {
   count : int;
   p50_ms : float;
@@ -77,6 +89,9 @@ type snapshot = {
   rejected : int;
   timeouts : int;
   coalesced : (string * int) list;
+  fault_events : int;
+  fault_replans : int;
+  fault_abandoned : int;
   cache_hits : int;
   cache_misses : int;
   warm_hits : int;
@@ -123,6 +138,9 @@ let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
         rejected = t.rejected;
         timeouts = t.timeouts;
         coalesced;
+        fault_events = t.fault_events;
+        fault_replans = t.fault_replans;
+        fault_abandoned = t.fault_abandoned;
         cache_hits;
         cache_misses;
         warm_hits;
@@ -142,6 +160,9 @@ let snapshot_json s =
       ("timeouts", Json.Int s.timeouts);
       ( "coalesced",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) s.coalesced) );
+      ("fault_events", Json.Int s.fault_events);
+      ("fault_replans", Json.Int s.fault_replans);
+      ("fault_abandoned", Json.Int s.fault_abandoned);
       ("cache_hits", Json.Int s.cache_hits);
       ("cache_misses", Json.Int s.cache_misses);
       ("warm_hits", Json.Int s.warm_hits);

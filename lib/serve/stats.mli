@@ -32,6 +32,11 @@ val record_coalesced : t -> op:string -> unit
 (** Count one request (by op label) that attached to another
     request's in-flight solve instead of getting its own. *)
 
+val record_fault : t -> events:int -> abandoned:int -> unit
+(** Count one [replan] request that reached fault recovery: [events]
+    fault targets were injected and [abandoned] modules were left
+    without a test path. *)
+
 type quantiles = {
   count : int;  (** observations currently in the reservoir *)
   p50_ms : float;
@@ -48,6 +53,9 @@ type snapshot = {
   coalesced : (string * int) list;
       (** per-op count of requests served by another request's solve,
           sorted by op label *)
+  fault_events : int;  (** fault targets handled by [replan] requests *)
+  fault_replans : int;  (** [replan] requests that reached recovery *)
+  fault_abandoned : int;  (** modules abandoned across them *)
   cache_hits : int;
   cache_misses : int;
   warm_hits : int;  (** anneal runs seeded from the warm-start cache *)

@@ -45,6 +45,9 @@ let () =
       ("experiment builders", Test_experiment_builders.suite);
       ("preemptive", Test_preemptive.suite);
       ("fault-aware planning", Test_faults.suite);
+      ("detour routing", Test_detour.suite);
+      ("network self-test", Test_selftest.suite);
+      ("fault injection", Test_fault_inject.suite);
       ("annealing", Test_annealing.suite);
       ("placement annealing", Test_anneal_placement.suite);
       ("incremental evaluation", Test_incremental.suite);

@@ -70,6 +70,71 @@ let test_fault_forces_detour () =
         (List.exists (Link.equal (List.hd failed)) e.Schedule.links))
     r.Replan.replanned
 
+let test_unoccupied_failed_link_still_voids_in_flight () =
+  (* Pinned semantics: the kept/voided split is by time only.  A
+     failed link no stream occupies still voids every test in flight
+     at the event (the diagnosis interrupts the session), and the
+     voided modules are re-planned on the degraded NoC. *)
+  let sys, sched = fixture () in
+  let at = sched.Schedule.makespan / 2 in
+  let occupied =
+    List.concat_map (fun (e : Schedule.entry) -> e.Schedule.links)
+      sched.Schedule.entries
+  in
+  let all_channels =
+    let topology = sys.System.topology in
+    List.concat_map
+      (fun i ->
+        let a = Nocplan_noc.Topology.of_index topology i in
+        List.map
+          (fun b -> Link.channel a b)
+          (Nocplan_noc.Topology.neighbors topology a))
+      (List.init
+         (topology.Nocplan_noc.Topology.width
+         * topology.Nocplan_noc.Topology.height)
+         Fun.id)
+  in
+  let unused =
+    List.find
+      (fun l -> not (List.exists (Link.equal l) occupied))
+      all_channels
+  in
+  let r = Replan.after_fault ~reuse:1 ~at ~failed:[ unused ] sys sched in
+  let r_empty = Replan.after_fault ~reuse:1 ~at ~failed:[] sys sched in
+  (* Same time-only split as the no-fault event... *)
+  Alcotest.(check int) "same kept count"
+    (List.length r_empty.Replan.kept)
+    (List.length r.Replan.kept);
+  Alcotest.(check int) "same voided count"
+    (List.length r_empty.Replan.voided)
+    (List.length r.Replan.voided);
+  (* ...with every in-flight test voided, not selectively killed. *)
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Alcotest.(check bool) "in-flight entry voided" true
+        (e.Schedule.finish <= at
+        || List.exists
+             (fun (v : Schedule.entry) ->
+               v.Schedule.module_id = e.Schedule.module_id)
+             r.Replan.voided))
+    sched.Schedule.entries;
+  assert_valid sys ~reuse:1 ~at ~failed:[ unused ] r
+
+let test_event_past_makespan_with_faults_keeps_everything () =
+  (* Pinned semantics: an [at] at or past the makespan keeps
+     everything even when links did fail — nothing was in flight, so
+     the fault only matters to the next session. *)
+  let sys, sched = fixture () in
+  let failed = [ Link.channel (c 1 0) (c 2 0) ] in
+  let r =
+    Replan.after_fault ~reuse:1 ~at:(sched.Schedule.makespan + 7) ~failed sys
+      sched
+  in
+  Alcotest.(check int) "nothing voided" 0 (List.length r.Replan.voided);
+  Alcotest.(check int) "nothing replanned" 0 (List.length r.Replan.replanned);
+  Alcotest.(check int) "makespan unchanged" sched.Schedule.makespan
+    r.Replan.makespan
+
 let test_pretested_processors_not_retested () =
   (* If the processor's own test completed before the event, the
      replanned part may use it immediately and must not test it
@@ -145,6 +210,10 @@ let suite =
       test_event_after_completion_keeps_everything;
     Alcotest.test_case "event at zero" `Quick test_event_at_zero_is_a_fresh_plan;
     Alcotest.test_case "fault forces detour" `Quick test_fault_forces_detour;
+    Alcotest.test_case "unoccupied failed link still voids in-flight" `Quick
+      test_unoccupied_failed_link_still_voids_in_flight;
+    Alcotest.test_case "event past makespan with faults" `Quick
+      test_event_past_makespan_with_faults_keeps_everything;
     Alcotest.test_case "pretested processors reused" `Quick
       test_pretested_processors_not_retested;
     Alcotest.test_case "validator rejects doctored results" `Quick

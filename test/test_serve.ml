@@ -189,7 +189,7 @@ let test_protocol_validation () =
       "{\"id\": \"r1\", \"op\": \"plan\", \"system\": \"d695_leon\", \
        \"reuse\": 2, \"power_pct\": 25, \"deadline_ms\": 100}"
   with
-  | Error e -> Alcotest.failf "rejected valid request: %s" e
+  | Error (_, msg) -> Alcotest.failf "rejected valid request: %s" msg
   | Ok req ->
       Alcotest.(check string) "op" "plan" (Serve.Protocol.op_label req.Serve.Protocol.op);
       Alcotest.(check (option int)) "reuse" (Some 2) req.Serve.Protocol.reuse;
@@ -197,6 +197,51 @@ let test_protocol_validation () =
         (Some 25.0) req.Serve.Protocol.power_pct;
       Alcotest.(check (option (float 1e-9))) "deadline" (Some 100.0)
         req.Serve.Protocol.deadline_ms
+
+let test_protocol_fault_fields () =
+  (* Structural breakage is [parse]; well-formed requests carrying
+     out-of-domain values are [invalid]. *)
+  let kind line =
+    match Serve.Protocol.parse_request line with
+    | Error (k, _) -> k
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  Alcotest.(check bool) "max_sessions 0 is invalid" true
+    (kind "{\"op\": \"preempt\", \"system\": \"x\", \"max_sessions\": 0}"
+    = Serve.Protocol.Invalid);
+  Alcotest.(check bool) "negative at is invalid" true
+    (kind "{\"op\": \"replan\", \"system\": \"x\", \"at\": -1}"
+    = Serve.Protocol.Invalid);
+  Alcotest.(check bool) "malformed link is invalid" true
+    (kind
+       "{\"op\": \"replan\", \"system\": \"x\", \"failed_links\": \
+        [\"1,0-2,0\"]}"
+    = Serve.Protocol.Invalid);
+  Alcotest.(check bool) "self-loop channel is invalid" true
+    (kind
+       "{\"op\": \"replan\", \"system\": \"x\", \"failed_links\": \
+        [\"1,0>1,0\"]}"
+    = Serve.Protocol.Invalid);
+  Alcotest.(check bool) "non-numeric coordinate is invalid" true
+    (kind
+       "{\"op\": \"replan\", \"system\": \"x\", \"failed_routers\": \
+        [\"a,b\"]}"
+    = Serve.Protocol.Invalid);
+  match
+    Serve.Protocol.parse_request
+      "{\"op\": \"replan\", \"system\": \"d695_leon\", \"reuse\": 2, \"at\": \
+       500, \"failed_routers\": [\"1,1\"], \"failed_links\": [\"1,0>2,0\", \
+       \"inject:0,0\", \"eject:3,3\"]}"
+  with
+  | Error (_, msg) -> Alcotest.failf "rejected valid replan: %s" msg
+  | Ok req ->
+      Alcotest.(check string) "op" "replan"
+        (Serve.Protocol.op_label req.Serve.Protocol.op);
+      Alcotest.(check (option int)) "at" (Some 500) req.Serve.Protocol.at;
+      Alcotest.(check int) "one failed router" 1
+        (List.length req.Serve.Protocol.fault_routers);
+      Alcotest.(check int) "three failed links" 3
+        (List.length req.Serve.Protocol.fault_links)
 
 (* --- service (in-process) ------------------------------------------ *)
 
@@ -410,6 +455,55 @@ let test_socket_deadline_does_not_kill_server () =
           Alcotest.(check bool) "timeout counted" true
             (field "timeouts" (field "result" metrics) = Json.Int 1)))
 
+let test_service_preempt_and_replan () =
+  let service = Serve.Service.create ~workers:1 ~queue_capacity:8 () in
+  let resp =
+    parse_response
+      (Serve.Service.request service
+         "{\"id\": 1, \"op\": \"preempt\", \"system\": \"d695_leon\", \
+          \"reuse\": 2, \"max_sessions\": 2}")
+  in
+  Alcotest.(check bool) "preempt ok" true (field "ok" resp = Json.Bool true);
+  let result = field "result" resp in
+  Alcotest.(check bool) "preemptive plan validates" true
+    (field "valid" result = Json.Bool true);
+  (* max_sessions caps the split per core: the total session count
+     lies between one per module and max_sessions per module. *)
+  (match (field "sessions" result, field "modules" result) with
+  | Json.Int sessions, Json.Int modules ->
+      Alcotest.(check bool) "session count within per-core cap" true
+        (sessions >= modules && sessions <= modules * 2)
+  | _ -> Alcotest.fail "sessions/modules not ints");
+  let replan =
+    parse_response
+      (Serve.Service.request service
+         "{\"id\": 2, \"op\": \"replan\", \"system\": \"d695_leon\", \
+          \"reuse\": 3, \"at\": 50000, \"failed_links\": [\"1,0>2,0\"]}")
+  in
+  Alcotest.(check bool) "replan ok" true (field "ok" replan = Json.Bool true);
+  let r = field "result" replan in
+  Alcotest.(check bool) "recovery validates" true
+    (field "valid" r = Json.Bool true);
+  (match field "availability" r with
+  | Json.Float a ->
+      Alcotest.(check bool) "availability in range" true (a >= 0.0 && a <= 1.0)
+  | _ -> Alcotest.fail "availability not a float");
+  let oob =
+    parse_response
+      (Serve.Service.request service
+         "{\"id\": 3, \"op\": \"replan\", \"system\": \"d695_leon\", \
+          \"failed_routers\": [\"9,9\"]}")
+  in
+  Alcotest.(check bool) "out-of-bounds router refused" true
+    (field "kind" (field "error" oob) = Json.String "invalid");
+  (* The fault counters flowed into the stats snapshot. *)
+  let metrics =
+    parse_response (Serve.Service.request service "{\"op\": \"metrics\"}")
+  in
+  Alcotest.(check bool) "fault replans counted" true
+    (field "fault_replans" (field "result" metrics) = Json.Int 1);
+  Serve.Service.shutdown service
+
 (* --- coalescing ----------------------------------------------------- *)
 
 let parse_req line = Result.get_ok (Serve.Protocol.parse_request line)
@@ -433,6 +527,10 @@ let test_coalesce_key_semantics () =
       {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "seed": 7}|};
       {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "policy": "lookahead"}|};
       {|{"op": "plan", "system": "d695_leon", "reuse": 2}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "max_sessions": 2}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "at": 500}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "failed_links": ["1,0>2,0"]}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "failed_routers": ["1,1"]}|};
     ];
   (* Deadlines opt out: a leader's timeout must never fail followers. *)
   Alcotest.(check bool) "deadline exempt" true
@@ -659,6 +757,10 @@ let suite =
     Alcotest.test_case "job queue drains after close" `Quick
       test_queue_drains_after_close;
     Alcotest.test_case "protocol validation" `Quick test_protocol_validation;
+    Alcotest.test_case "protocol fault fields" `Quick
+      test_protocol_fault_fields;
+    Alcotest.test_case "service preempt and replan" `Quick
+      test_service_preempt_and_replan;
     Alcotest.test_case "service overload backpressure" `Quick
       test_service_overload;
     Alcotest.test_case "service reports unschedulable" `Quick

@@ -52,7 +52,9 @@ coverage:
 
 # Live-socket smoke: boot the real server, replay the committed
 # request script through test/serve_replay.py and check the response
-# shape (10 responses, the two bad requests refused).  Skipped with a
+# shape (14 responses — including the batch-compatible plan/validate
+# tail with distinct seeds and a warm-opt-out anneal — with the two
+# bad requests refused).  Skipped with a
 # notice when python3 is missing.
 serve-smoke: build
 	@if command -v python3 >/dev/null 2>&1; then \
@@ -63,8 +65,8 @@ serve-smoke: build
 	  kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	  lines=$$(printf '%s\n' "$$out" | grep -c '"id"'); \
 	  oks=$$(printf '%s\n' "$$out" | grep -c '"ok": true'); \
-	  if [ "$$lines" -eq 10 ] && [ "$$oks" -eq 8 ]; then \
-	    echo "serve-smoke: 10 responses, 8 ok, 2 refused — pass"; \
+	  if [ "$$lines" -eq 14 ] && [ "$$oks" -eq 12 ]; then \
+	    echo "serve-smoke: 14 responses, 12 ok, 2 refused — pass"; \
 	  else \
 	    echo "serve-smoke: FAIL ($$lines responses, $$oks ok)"; exit 1; \
 	  fi; \

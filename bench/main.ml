@@ -802,17 +802,21 @@ let service_load ~requests ~clients =
     load_stats = stats;
   }
 
-(* Multi-process TCP stress: real sockets, real processes.  The bench
-   binary re-executes itself with the internal [--tcp-client] flag, so
-   every client has its own runtime and GC; unlike the in-process load
-   above, the numbers include accept handling, per-connection threads
-   and line framing — the path an external tool actually hits. *)
+(* TCP stress: real sockets, one OS thread per client, every client
+   holding its own live connection for the whole run (default 100
+   concurrent connections) and doing synchronous request/response
+   rounds, so each observes true per-request latency.  Unlike the
+   in-process load above, the numbers include accept handling,
+   per-connection server threads and line framing — the path an
+   external tool actually hits. *)
 
 type tcp_result = {
   tcp_requests : int;
   tcp_clients : int;
   tcp_seconds : float;
   tcp_failures : int;
+  tcp_client_p50 : float array;  (* per-client latency quantiles, ms *)
+  tcp_client_p99 : float array;
 }
 
 let tcp_request_line i =
@@ -820,88 +824,77 @@ let tcp_request_line i =
     "{\"id\": %d, \"op\": \"plan\", \"system\": \"d695_leon\", \"reuse\": %d}"
     i (i mod 7)
 
-(* Child-process entry: connect, fire [count] plan requests, read the
-   responses back and exit with the number of not-ok responses (capped
-   to stay a valid exit status). *)
-let tcp_client_main spec =
-  match String.split_on_char ':' spec with
-  | [ host; port; count; offset ] ->
-      let port = int_of_string port in
-      let count = int_of_string count in
-      let offset = int_of_string offset in
-      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-      let ic = Unix.in_channel_of_descr sock in
-      let oc = Unix.out_channel_of_descr sock in
-      for k = 0 to count - 1 do
-        output_string oc (tcp_request_line (offset + k));
-        output_char oc '\n'
-      done;
-      flush oc;
-      let ok_marker = "\"ok\": true" in
-      let contains_ok resp =
-        let n = String.length resp and m = String.length ok_marker in
-        let rec at i =
-          i + m <= n && (String.sub resp i m = ok_marker || at (i + 1))
-        in
-        at 0
-      in
-      let failures = ref 0 in
-      (try
-         for _ = 1 to count do
-           if not (contains_ok (input_line ic)) then incr failures
-         done
-       with End_of_file -> failures := count);
-      Unix.close sock;
-      exit (min !failures 100)
-  | _ ->
-      prerr_endline "bench: bad --tcp-client spec (HOST:PORT:COUNT:OFFSET)";
-      exit 2
+(* Nearest-rank quantile on a sorted sample; 0 on an empty one (a
+   client that got no requests when clients > requests). *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
 
 let tcp_load ~requests ~clients =
   section
-    (Printf.sprintf "serve: TCP load (%d requests, %d client processes)"
+    (Printf.sprintf "serve: TCP stress (%d requests, %d concurrent connections)"
        requests clients);
   let service = Serve.Service.create ~queue_capacity:(max 64 requests) () in
   let listener = Serve.Server.listen_tcp service ~host:"127.0.0.1" ~port:0 in
   let port =
     match Serve.Server.port listener with Some p -> p | None -> assert false
   in
+  let ok_marker = "\"ok\": true" in
+  let contains_ok resp =
+    let n = String.length resp and m = String.length ok_marker in
+    let rec at i = i + m <= n && (String.sub resp i m = ok_marker || at (i + 1)) in
+    at 0
+  in
   let per_client = requests / clients and extra = requests mod clients in
+  let failures = Atomic.make 0 in
+  let p50 = Array.make clients 0.0 in
+  let p99 = Array.make clients 0.0 in
+  let client c =
+    let count = per_client + if c < extra then 1 else 0 in
+    let offset = (c * per_client) + min c extra in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    let latencies = Array.make count 0.0 in
+    for k = 0 to count - 1 do
+      let t0 = Unix.gettimeofday () in
+      output_string oc (tcp_request_line (offset + k));
+      output_char oc '\n';
+      flush oc;
+      (match input_line ic with
+      | resp -> if not (contains_ok resp) then Atomic.incr failures
+      | exception End_of_file -> Atomic.incr failures);
+      latencies.(k) <- (Unix.gettimeofday () -. t0) *. 1e3
+    done;
+    Unix.close sock;
+    Array.sort compare latencies;
+    p50.(c) <- percentile latencies 0.50;
+    p99.(c) <- percentile latencies 0.99
+  in
   let t0 = Unix.gettimeofday () in
-  let pids =
-    List.init clients (fun c ->
-        let count = per_client + if c < extra then 1 else 0 in
-        let offset = (c * per_client) + min c extra in
-        Unix.create_process Sys.executable_name
-          [|
-            Sys.executable_name;
-            "--tcp-client";
-            Printf.sprintf "127.0.0.1:%d:%d:%d" port count offset;
-          |]
-          Unix.stdin Unix.stdout Unix.stderr)
-  in
-  let failures =
-    List.fold_left
-      (fun acc pid ->
-        match Unix.waitpid [] pid with
-        | _, Unix.WEXITED n -> acc + n
-        | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> acc + 1)
-      0 pids
-  in
+  let threads = List.init clients (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
   let seconds = Unix.gettimeofday () -. t0 in
   Serve.Server.stop listener;
   Serve.Server.wait listener;
   Serve.Service.shutdown service;
-  Fmt.pr "%d requests over %d processes in %.3f s (%.1f req/s), %d failed@."
+  let worst a = Array.fold_left max 0.0 a in
+  Fmt.pr "%d requests over %d connections in %.3f s (%.1f req/s), %d failed@."
     requests clients seconds
     (float_of_int requests /. seconds)
-    failures;
+    (Atomic.get failures);
+  Fmt.pr "per-client latency: worst p50 %.2f ms, worst p99 %.2f ms@."
+    (worst p50) (worst p99);
   {
     tcp_requests = requests;
     tcp_clients = clients;
     tcp_seconds = seconds;
-    tcp_failures = failures;
+    tcp_failures = Atomic.get failures;
+    tcp_client_p50 = p50;
+    tcp_client_p99 = p99;
   }
 
 (* Repeat traffic: many clients asking the identical question — the
@@ -992,6 +985,104 @@ let repeat_traffic ~requests ~clients =
     rt_coalesced = coalesced;
     rt_warm_hits = cstats.Serve.Stats.warm_hits;
     rt_failures = failures;
+  }
+
+(* Distinct compatible traffic: many clients asking *different*
+   questions about the same SoC — the shape coalescing cannot touch
+   (every request carries a unique [seed], so no two coalesce keys are
+   ever equal; the solver ignores seeds for plan/validate) but batching
+   and the shared evaluation-cache registry are built for.  The
+   workload cycles plan and validate over four reuse budgets of
+   p93791_leon under the lookahead policy — the most expensive builtin
+   solves — so the runtime is dominated by scheduler work the shared
+   caches can actually elide.
+   Run twice on the same worker pool — with batching + shared caches
+   on, then with both off (the PR-6 request path) — the ratio is what
+   this layer buys. *)
+
+type batch_result = {
+  bt_requests : int;
+  bt_clients : int;
+  bt_workers : int;
+  bt_batched_seconds : float;
+  bt_unbatched_seconds : float;
+  bt_batched : int;  (* requests served through shared batch passes *)
+  bt_batches : int;
+  bt_shared_hits : int;  (* solves resuming a resident shared cache *)
+  bt_failures : int;
+}
+
+let batch_speedup_floor = 2.0
+
+let batch_traffic ~requests ~clients =
+  section
+    (Printf.sprintf
+       "serve: distinct compatible traffic (%d requests, %d clients)"
+       requests clients);
+  let line i =
+    let reuse = 2 * (1 + (i mod 4)) in
+    let op = if i mod 2 = 0 then "plan" else "validate" in
+    Printf.sprintf
+      "{\"id\": %d, \"op\": \"%s\", \"system\": \"p93791_leon\", \"policy\": \
+       \"lookahead\", \"reuse\": %d, \"seed\": %d}"
+      i op reuse i
+  in
+  let ok_marker = "\"ok\": true" in
+  let contains_ok resp =
+    let n = String.length resp and m = String.length ok_marker in
+    let rec at i = i + m <= n && (String.sub resp i m = ok_marker || at (i + 1)) in
+    at 0
+  in
+  let workers = max 1 (Domain.recommended_domain_count () - 1) in
+  let run ~batching =
+    let service =
+      Serve.Service.create ~workers ~batching
+        ~shared_capacity:(if batching then 16 else 0)
+        ~queue_capacity:(max 64 requests) ()
+    in
+    let failures = Atomic.make 0 in
+    let worker (offset, count) =
+      for k = 0 to count - 1 do
+        if not (contains_ok (Serve.Service.request service (line (offset + k))))
+        then Atomic.incr failures
+      done
+    in
+    let per_client = requests / clients and extra = requests mod clients in
+    let slices =
+      List.init clients (fun c ->
+          ( (c * per_client) + min c extra,
+            per_client + if c < extra then 1 else 0 ))
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.map (fun s -> Thread.create worker s) slices in
+    List.iter Thread.join threads;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let stats = Serve.Service.stats service in
+    Serve.Service.shutdown service;
+    (seconds, stats, Atomic.get failures)
+  in
+  let batched_seconds, bstats, bfail = run ~batching:true in
+  let unbatched_seconds, _ustats, ufail = run ~batching:false in
+  Fmt.pr
+    "batched: %.3f s (%.0f req/s), %d requests in %d batch passes, %d shared \
+     cache hits@."
+    batched_seconds
+    (float_of_int requests /. batched_seconds)
+    bstats.Serve.Stats.batched bstats.Serve.Stats.batches
+    bstats.Serve.Stats.shared_cache_hits;
+  Fmt.pr "unbatched: %.3f s (%.0f req/s); speedup %.1fx@." unbatched_seconds
+    (float_of_int requests /. unbatched_seconds)
+    (unbatched_seconds /. batched_seconds);
+  {
+    bt_requests = requests;
+    bt_clients = clients;
+    bt_workers = workers;
+    bt_batched_seconds = batched_seconds;
+    bt_unbatched_seconds = unbatched_seconds;
+    bt_batched = bstats.Serve.Stats.batched;
+    bt_batches = bstats.Serve.Stats.batches;
+    bt_shared_hits = bstats.Serve.Stats.shared_cache_hits;
+    bt_failures = bfail + ufail;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1139,7 +1230,7 @@ let json_points buf points =
     points;
   Buffer.add_char buf ']'
 
-let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~tcp
+let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~batch ~tcp
     ~fault_rows ~detour =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
@@ -1197,11 +1288,32 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~tcp
     (repeat.rt_uncoalesced_seconds /. repeat.rt_coalesced_seconds)
     repeat.rt_coalesced repeat.rt_warm_hits repeat.rt_failures;
   Printf.bprintf buf
+    "    \"batch\": {\"requests\": %d, \"clients\": %d, \"workers\": %d, \
+     \"batched_seconds\": %.4f, \"batched_req_per_s\": %.1f, \
+     \"unbatched_seconds\": %.4f, \"unbatched_req_per_s\": %.1f, \
+     \"speedup\": %.2f, \"batched\": %d, \"batches\": %d, \
+     \"shared_cache_hits\": %d, \"failures\": %d},\n"
+    batch.bt_requests batch.bt_clients batch.bt_workers
+    batch.bt_batched_seconds
+    (float_of_int batch.bt_requests /. batch.bt_batched_seconds)
+    batch.bt_unbatched_seconds
+    (float_of_int batch.bt_requests /. batch.bt_unbatched_seconds)
+    (batch.bt_unbatched_seconds /. batch.bt_batched_seconds)
+    batch.bt_batched batch.bt_batches batch.bt_shared_hits batch.bt_failures;
+  Printf.bprintf buf
     "    \"tcp\": {\"requests\": %d, \"clients\": %d, \"seconds\": %.4f, \
-     \"requests_per_second\": %.1f, \"failures\": %d}\n"
+     \"requests_per_second\": %.1f, \"failures\": %d,\n      \
+     \"per_client_latency_ms\": ["
     tcp.tcp_requests tcp.tcp_clients tcp.tcp_seconds
     (float_of_int tcp.tcp_requests /. tcp.tcp_seconds)
     tcp.tcp_failures;
+  Array.iteri
+    (fun i p50 ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf "{\"p50\": %.3f, \"p99\": %.3f}" p50
+        tcp.tcp_client_p99.(i))
+    tcp.tcp_client_p50;
+  Buffer.add_string buf "]}\n";
   Buffer.add_string buf "  },\n  \"fault\": {\n    \"availability\": [\n";
   List.iteri
     (fun i r ->
@@ -1272,7 +1384,7 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~tcp
    annealed makespans are deterministic, so they must be equal or
    better, with no tolerance.  NOCPLAN_BENCH_GATE=off skips the gate
    (for machines unrelated to the one that recorded the baseline). *)
-let run_gate ~baseline_path ~figure1_seconds ~repeat =
+let run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp =
   match Sys.getenv_opt "NOCPLAN_BENCH_GATE" with
   | Some "off" ->
       Fmt.pr "@.gate: skipped (NOCPLAN_BENCH_GATE=off)@.";
@@ -1421,6 +1533,32 @@ let run_gate ~baseline_path ~figure1_seconds ~repeat =
               "serve repeat throughput" repeat_req_per_s repeat_req_per_s_floor;
           if repeat.rt_failures > 0 then
             fail "serve repeat: %d failed responses" repeat.rt_failures;
+          (* Batch floors, likewise absolute: distinct compatible
+             traffic must hold >= 2x its unbatched twin on the same
+             worker pool, with the shared evaluation-cache registry
+             actually carrying state across requests. *)
+          let batch_speedup =
+            batch.bt_unbatched_seconds /. batch.bt_batched_seconds
+          in
+          if batch_speedup < batch_speedup_floor then
+            fail "serve batch: batched only %.1fx unbatched (floor %.0fx)"
+              batch_speedup batch_speedup_floor
+          else
+            Fmt.pr "gate: %-24s %.1fx unbatched (floor %.0fx) ok@."
+              "serve batch speedup" batch_speedup batch_speedup_floor;
+          if batch.bt_shared_hits = 0 then
+            fail "serve batch: shared evaluation cache never hit"
+          else
+            Fmt.pr "gate: %-24s %d shared cache hits ok@." "serve batch"
+              batch.bt_shared_hits;
+          if batch.bt_failures > 0 then
+            fail "serve batch: %d failed responses" batch.bt_failures;
+          if tcp.tcp_failures > 0 then
+            fail "serve tcp: %d failed responses under %d-connection stress"
+              tcp.tcp_failures tcp.tcp_clients
+          else
+            Fmt.pr "gate: %-24s %d connections, 0 failures ok@." "serve tcp"
+              tcp.tcp_clients;
           (match !failures with
           | [] -> Fmt.pr "gate: PASS vs %s@." baseline_path
           | fs ->
@@ -1434,6 +1572,7 @@ let () =
   let gate_path = ref None in
   let load_requests = ref None in
   let load_clients = ref 4 in
+  let tcp_clients = ref 100 in
   Arg.parse
     [
       ( "--smoke",
@@ -1455,12 +1594,13 @@ let () =
         Arg.String (fun p -> gate_path := Some p),
         "PATH fail (exit 1) if this run regresses >25% against the recorded \
          baseline artefact" );
-      ( "--tcp-client",
-        Arg.String tcp_client_main,
-        "SPEC internal: run as a TCP load client (HOST:PORT:COUNT:OFFSET)" );
+      ( "--tcp-clients",
+        Arg.Set_int tcp_clients,
+        "N concurrent TCP stress connections (default 100)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke] [--json PATH] [--load N] [--clients N] [--gate BASELINE]";
+    "bench [--smoke] [--json PATH] [--load N] [--clients N] [--tcp-clients N] \
+     [--gate BASELINE]";
   Fmt.pr "nocplan reproduction harness%s@."
     (if !smoke then " (smoke)" else "");
   let systems =
@@ -1523,9 +1663,16 @@ let () =
     timed "serve:repeat"
       (fun () -> repeat_traffic ~requests:repeat_requests ~clients:32)
   in
+  let batch =
+    timed "serve:batch" (fun () ->
+        batch_traffic
+          ~requests:(if !smoke then 168 else 336)
+          ~clients:28)
+  in
   let tcp =
+    let clients = max 1 !tcp_clients in
     timed "serve:tcp" (fun () ->
-        tcp_load ~requests:(if !smoke then 48 else 160) ~clients:4)
+        tcp_load ~requests:(max (2 * clients) 200) ~clients)
   in
   let fault_rows =
     timed "fault:availability" (fun () ->
@@ -1533,8 +1680,9 @@ let () =
   in
   let detour = timed "fault:detour_overhead" detour_overhead in
   write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load ~repeat
-    ~tcp ~fault_rows ~detour;
+    ~batch ~tcp ~fault_rows ~detour;
   match !gate_path with
   | None -> ()
   | Some baseline_path ->
-      if not (run_gate ~baseline_path ~figure1_seconds ~repeat) then exit 1
+      if not (run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp)
+      then exit 1

@@ -793,8 +793,8 @@ let faults_cmd =
 (* serve                                                              *)
 
 let serve_cmd =
-  let run socket tcp tcp_ro workers queue cache warm no_coalesce verbosity
-      trace trace_ring =
+  let run socket tcp tcp_ro workers queue cache warm no_coalesce no_batch
+      batch_limit shared verbosity trace trace_ring =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level
       (Some
@@ -825,7 +825,8 @@ let serve_cmd =
     let make_service () =
       Serve.Service.create ?workers ~queue_capacity:queue
         ~cache_capacity:cache ~warm_capacity:warm
-        ~coalescing:(not no_coalesce) ()
+        ~coalescing:(not no_coalesce) ~batching:(not no_batch) ~batch_limit
+        ~shared_capacity:shared ()
     in
     (match (socket, tcp, tcp_ro) with
     | None, None, None ->
@@ -930,6 +931,22 @@ let serve_cmd =
            ~doc:"Give every request its own solve instead of attaching \
                  identical concurrent requests to one in-flight job.")
   in
+  let no_batch_arg =
+    Arg.(value & flag & info [ "no-batch" ]
+           ~doc:"Run every job alone instead of draining distinct but \
+                 compatible queued requests (same system and configuration \
+                 modulo order) onto one worker pass.")
+  in
+  let batch_limit_arg =
+    Arg.(value & opt int 16 & info [ "batch-limit" ] ~docv:"N"
+           ~doc:"Maximum requests grouped onto one batch pass (>= 2).")
+  in
+  let shared_arg =
+    Arg.(value & opt int 8 & info [ "shared" ] ~docv:"N"
+           ~doc:"Shared evaluation-cache registry capacity: per-(system, \
+                 configuration) prefix-trace caches reused across requests \
+                 (0 disables).")
+  in
   let verbose_arg =
     Arg.(value & flag_all & info [ "v"; "verbose" ]
            ~doc:"Log requests to stderr (repeat for debug logging).")
@@ -941,8 +958,9 @@ let serve_cmd =
   in
   let term =
     Term.(const run $ socket_arg $ tcp_arg $ tcp_ro_arg $ workers_arg
-          $ queue_arg $ cache_arg $ warm_arg $ no_coalesce_arg $ verbose_arg
-          $ trace_arg $ trace_ring_arg)
+          $ queue_arg $ cache_arg $ warm_arg $ no_coalesce_arg $ no_batch_arg
+          $ batch_limit_arg $ shared_arg $ verbose_arg $ trace_arg
+          $ trace_ring_arg)
   in
   Cmd.v
     (cmd_info "serve"

@@ -160,7 +160,7 @@ let schedule ?(policy = Scheduler.Greedy)
     ?(application = Nocplan_proc.Processor.Bist) ?(power_limit = None)
     ?(iterations = 400) ?initial_temperature ?(cooling = 0.99)
     ?(seed = 0x5AL) ?(chains = 1) ?(exchange_period = 50)
-    ?(placement_moves = 0.0) ?access ?warm_start ~reuse system =
+    ?(placement_moves = 0.0) ?access ?warm_start ?eval_cache ~reuse system =
   if iterations < 1 then invalid_arg "Annealing.schedule: iterations < 1";
   if cooling <= 0.0 || cooling > 1.0 then
     invalid_arg "Annealing.schedule: cooling must be in (0, 1]";
@@ -225,8 +225,24 @@ let schedule ?(policy = Scheduler.Greedy)
          (fun id -> not (System.is_processor_module system id))
          (System.module_ids system))
   in
+  (* Cross-request cache sharing: a caller-owned cache for the same
+     system and configuration is adopted as chain 0's evaluation cache,
+     so this search resumes the prefix traces earlier searches left
+     behind (and leaves its own for the next one).  Like [access] and
+     [warm_start], a mismatched cache is ignored.  Results are
+     unaffected either way: every evaluation through the cache is
+     byte-identical to a from-scratch run. *)
+  let adopted =
+    match eval_cache with
+    | Some c when Eval_cache.matches c ~system base_config -> Some c
+    | Some _ | None -> None
+  in
   let make_chain c =
-    let cache = Eval_cache.create ~access system base_config in
+    let cache =
+      match adopted with
+      | Some cache when c = 0 -> cache
+      | _ -> Eval_cache.create ~access system base_config
+    in
     Eval_cache.seed cache initial;
     {
       index = c;

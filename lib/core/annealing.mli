@@ -81,6 +81,7 @@ val schedule :
   ?placement_moves:float ->
   ?access:Test_access.table ->
   ?warm_start:Scheduler.trace ->
+  ?eval_cache:Eval_cache.t ->
   reuse:int ->
   System.t ->
   result
@@ -111,6 +112,18 @@ val schedule :
     Note that a warm start changes the search trajectory (the walk
     explores around the warmed order), trading bit-for-bit
     reproducibility of the cold run for convergence.
+
+    [eval_cache] lends a caller-owned {!Eval_cache} (for the same
+    physical system and configuration modulo order) to chain 0 for
+    the duration of the search: its retained prefix traces serve this
+    search's evaluations, and the traces this search produces are left
+    in it for the next caller.  The search result is unaffected —
+    cached evaluation is byte-identical to from-scratch evaluation —
+    except in speed.  A mismatched cache is silently ignored.  The
+    caller must not touch the cache until [schedule] returns, and
+    should note that accepted placement moves {!Eval_cache.rebase} it
+    onto the mutated system (check {!Eval_cache.system} before reusing
+    it for the original one).
 
     @raise Scheduler.Unschedulable if even the initial order cannot be
     scheduled.

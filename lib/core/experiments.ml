@@ -164,12 +164,14 @@ let d695_leon_faulty ~failures ~seed =
   in
   System.with_failed_links system (draw [] channels failures)
 
-let all () =
+let builders =
   [
-    ("d695_leon", d695_leon ());
-    ("p22810_leon", p22810_leon ());
-    ("p93791_leon", p93791_leon ());
-    ("d695_mixed", d695_mixed ());
-    ("p22810_mixed", p22810_mixed ());
-    ("p93791_mixed", p93791_mixed ());
+    ("d695_leon", d695_leon);
+    ("p22810_leon", p22810_leon);
+    ("p93791_leon", p93791_leon);
+    ("d695_mixed", d695_mixed);
+    ("p22810_mixed", p22810_mixed);
+    ("p93791_mixed", p93791_mixed);
   ]
+
+let all () = List.map (fun (name, build) -> (name, build ())) builders

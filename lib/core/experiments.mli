@@ -28,6 +28,12 @@ val p93791_mixed : unit -> System.t
 val all : unit -> (string * System.t) list
 (** All six systems with their names. *)
 
+val builders : (string * (unit -> System.t)) list
+(** The same six systems as named constructors, for callers that want
+    one system without building the other five (the serve request
+    path resolves every request's system by name — building all six
+    per request cost more than the solve). *)
+
 val d695_leon_with_io : ports:int -> System.t
 (** d695_leon with [ports] external input interfaces along the north
     edge and [ports] output interfaces along the south edge — the

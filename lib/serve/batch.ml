@@ -1,0 +1,68 @@
+module Core = Nocplan_core
+module Proc = Nocplan_proc
+
+(* Compatibility is "these requests solve on the same (system,
+   configuration-modulo-order) key": the spec, the scheduling
+   configuration fields, and nothing request-private.  Search
+   parameters (iterations, seed, chains, placement_moves, warm) stay
+   out — two anneals with different seeds still share the system's
+   access table and evaluation cache, which is exactly what one pass
+   amortizes.  Grouping never merges results (each request is executed
+   and answered individually), so the key is a performance hint, not a
+   correctness boundary. *)
+let key (req : Protocol.request) =
+  match req.op with
+  | Protocol.Sweep | Protocol.Replan | Protocol.Preempt | Protocol.Metrics
+  | Protocol.Prometheus ->
+      None
+  | Protocol.Plan | Protocol.Validate | Protocol.Anneal -> (
+      match req.deadline_ms with
+      | Some _ ->
+          (* A deadline request never waits on a batch it did not ask
+             to join: batching reorders the queue, and pulling other
+             work ahead of a deadline-carrying request could expire
+             it.  Mirrors the coalescing exemption. *)
+          None
+      | None ->
+          let b = Buffer.create 128 in
+          let add s =
+            Buffer.add_string b s;
+            Buffer.add_char b '\x00'
+          in
+          (match req.spec with
+          | None -> add "-"
+          | Some s ->
+              add s.Sysbuild.system;
+              add (Option.value s.Sysbuild.soc_text ~default:"");
+              add
+                (match s.Sysbuild.width with
+                | None -> "-"
+                | Some i -> string_of_int i);
+              add
+                (match s.Sysbuild.height with
+                | None -> "-"
+                | Some i -> string_of_int i);
+              add (string_of_int s.Sysbuild.leons);
+              add (string_of_int s.Sysbuild.plasmas));
+          add
+            (match req.policy with
+            | Core.Scheduler.Greedy -> "greedy"
+            | Core.Scheduler.Lookahead -> "lookahead");
+          add
+            (match req.application with
+            | Proc.Processor.Bist -> "bist"
+            | Proc.Processor.Decompression -> "decompress");
+          add
+            (match req.power_pct with
+            | None -> "-"
+            | Some f -> Printf.sprintf "%h" f);
+          add
+            (match req.reuse with
+            | None -> "-"
+            | Some i -> string_of_int i);
+          Some (Digest.to_hex (Digest.string (Buffer.contents b))))
+
+let compatible a b =
+  match (key a, key b) with
+  | Some ka, Some kb -> String.equal ka kb
+  | _ -> false

@@ -1,0 +1,25 @@
+(** Cross-request batching: the compatibility key.
+
+    Coalescing (see {!Protocol.coalesce_key}) merges {e identical}
+    simultaneous requests into one solve.  Batching is the next rung:
+    {e distinct but compatible} requests — same system and scheduler
+    configuration modulo order, any op among plan/validate/anneal, any
+    search parameters — are drained from the queue onto one worker
+    pass.  Run back to back on one worker they hit the same access
+    table, the same shared evaluation cache and the same warm-start
+    entries without ever bouncing that state between workers, which is
+    where the throughput comes from; each request is still executed
+    and answered individually, so responses are byte-identical to
+    sequential service. *)
+
+val key : Protocol.request -> string option
+(** The request's compatibility signature: a digest of the system spec
+    and the configuration-modulo-order fields (policy, application,
+    power_pct, reuse) — {e not} the op or the search parameters.
+    [None] for requests that never batch: sweep/replan/preempt (their
+    solves don't share per-(system, config) state), observability ops,
+    and any request carrying a [deadline_ms] (batching reorders the
+    queue; a deadline request keeps its place). *)
+
+val compatible : Protocol.request -> Protocol.request -> bool
+(** Both requests have keys and the keys are equal. *)

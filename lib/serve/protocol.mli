@@ -24,6 +24,7 @@
       "seed": 90,              // anneal RNG seed (default 0x5A)
       "chains": 4,             // anneal tempering chains (default 1)
       "placement_moves": 0.3,  // anneal tile-swap move ratio (default 0)
+      "warm": false,           // anneal: opt out of warm starts
       "max_sessions": 3,       // preempt: session split bound (>= 1)
       "at": 5000,              // replan: fault event instant (>= 0)
       "failed_routers": ["1,1"],          // replan: dead routers
@@ -38,6 +39,12 @@
       "cache": "hit",          // access-table cache: hit | miss
       "elapsed_ms": 12.5, "result": { ... } }
     v}
+
+    A response served from a shared batch pass additionally carries
+    ["batched": true, "batch_size": n] (the number of requests the
+    pass grouped); a coalesced follower carries ["coalesced": true].
+    These markers describe scheduling, not the verdict — the [result]
+    payload is byte-identical to sequential, unbatched service.
 
     Error response:
     {v
@@ -111,6 +118,10 @@ type request = {
   placement_moves : float option;
       (** [Anneal] probability in [0, 1] that a move swaps two module
           tiles instead of two order positions (default 0: order-only) *)
+  warm : bool option;
+      (** [Anneal] warm-start opt-out: [Some false] searches cold,
+          ignoring the server's cross-request warm-start LRU (the
+          result is still noted for later requests).  Default: warm. *)
   max_sessions : int option;
       (** [Preempt] per-core session bound, [>= 1] (default 3) *)
   at : int option;  (** [Replan] fault event instant (default 0) *)
@@ -150,6 +161,7 @@ val ok_response :
   op:op ->
   cache:[ `Hit | `Miss | `None ] ->
   ?coalesced:bool ->
+  ?batch_size:int ->
   elapsed_ms:float ->
   Json.t ->
   string list
@@ -157,7 +169,8 @@ val ok_response :
     whose concatenation is the line.  A [Json.Raw] result is passed
     through as its own chunk, so a multi-megabyte payload is never
     copied into an envelope-sized buffer; transports write the chunks
-    back-to-back. *)
+    back-to-back.  [batch_size >= 2] marks the response as served from
+    a shared batch pass of that size. *)
 
 val error_response : id:Json.t -> error_kind -> string -> string
 val op_label : op -> string

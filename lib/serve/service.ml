@@ -19,6 +19,7 @@ type job = {
   enqueued_at : float;
   deadline : float option;  (* absolute, Unix.gettimeofday clock *)
   coalesce_key : string option;  (* None: this job never coalesces *)
+  batch_key : string option;  (* None: this job never batches *)
 }
 
 type t = {
@@ -27,6 +28,8 @@ type t = {
   warm : Warm_start.t;
   inflight : job Inflight.t;
   coalescing : bool;
+  batch_limit : int;  (* max jobs per batch pass; 1 disables batching *)
+  shared : Core.Eval_cache.Shared.registry option;
   stats : Stats.t;
   created_at : float;
   (* Per-worker utilization, indexed by worker; written lock-free from
@@ -45,10 +48,16 @@ type t = {
 (* Request execution                                                  *)
 
 let snapshot t =
+  let shared_cache_hits, shared_cache_misses =
+    match t.shared with
+    | None -> (0, 0)
+    | Some r -> (Core.Eval_cache.Shared.hits r, Core.Eval_cache.Shared.misses r)
+  in
   Stats.snapshot t.stats ~cache_hits:(Table_cache.hits t.cache)
     ~cache_misses:(Table_cache.misses t.cache)
     ~warm_hits:(Warm_start.hits t.warm)
-    ~warm_misses:(Warm_start.misses t.warm)
+    ~warm_misses:(Warm_start.misses t.warm) ~shared_cache_hits
+    ~shared_cache_misses
     ~queue_depth:(Job_queue.depth t.queue)
     ~queue_capacity:(Job_queue.capacity t.queue)
     ~workers:(List.length t.workers)
@@ -125,6 +134,13 @@ let prometheus_text t =
       Prom.metric ~help:"Anneal searches started cold." Prom.Counter
         ~name:"nocplan_warm_misses_total"
         [ Prom.sample (float_of_int s.Stats.warm_misses) ];
+      Prom.metric ~help:"Requests served through shared batch passes."
+        Prom.Counter ~name:"nocplan_batched_total"
+        [ Prom.sample (float_of_int s.Stats.batched) ];
+      Prom.metric
+        ~help:"Solves that resumed a resident shared evaluation cache."
+        Prom.Counter ~name:"nocplan_shared_cache_hits_total"
+        [ Prom.sample (float_of_int s.Stats.shared_cache_hits) ];
       Prom.metric ~help:"Jobs waiting in the admission queue." Prom.Gauge
         ~name:"nocplan_queue_depth"
         [ Prom.sample (float_of_int s.Stats.queue_depth) ];
@@ -172,6 +188,57 @@ let point ~access system ~policy ~application ~power_limit ~reuse =
     validated;
   }
 
+(* The per-instance key covers exactly what cross-request solver state
+   (warm-start traces, shared evaluation caches) depends on: the
+   physical system (via the table-cache key — a cache hit hands back
+   the one shared instance) and the configuration fields
+   [Scheduler.trace_matches] compares.  Search-shape parameters
+   (iterations, seed, chains) are deliberately absent: any search of
+   the same instance can resume from any other's work. *)
+let instance_key system ~application ~policy ~power_pct ~reuse =
+  Printf.sprintf "%s|%s|%s|%d"
+    (Table_cache.key system ~application)
+    (match policy with
+    | Core.Scheduler.Greedy -> "greedy"
+    | Core.Scheduler.Lookahead -> "lookahead")
+    (match power_pct with
+    | None -> "-"
+    | Some pct -> Printf.sprintf "%h" pct)
+    reuse
+
+(* Run one solve with exclusive ownership of the shared evaluation
+   cache registered under [key] (a fresh one on a miss), returning the
+   cache to the registry afterwards — also on Unschedulable/Expired,
+   which leave the cache valid.  A cache rebased onto a
+   placement-mutated system (an accepted anneal placement move) is
+   dropped instead: no later request resolves to that instance. *)
+let with_shared_cache t ~key ~access system config f =
+  match t.shared with
+  | None -> f None
+  | Some registry ->
+      let cache, hit =
+        Core.Eval_cache.Shared.checkout registry ~key ~access system config
+      in
+      if hit && Trace.enabled () then Trace.instant "cache.shared_hit";
+      Fun.protect
+        ~finally:(fun () ->
+          if Core.Eval_cache.system cache == system then
+            Core.Eval_cache.Shared.checkin registry ~key cache)
+        (fun () -> f (Some cache))
+
+(* One engine run on the configured (heuristic) order, through the
+   shared cache when the registry is on.  [Eval_cache.evaluate] is
+   byte-identical to [Scheduler.run] — with no explicit order the
+   scheduler visits [Priority.order] — so repeats of a configuration
+   across requests become exact cache hits that skip the run
+   entirely, at no observable difference in the response. *)
+let heuristic_schedule t ~key ~access system config ~reuse =
+  with_shared_cache t ~key ~access system config (function
+    | None -> Core.Scheduler.run ~access system config
+    | Some cache ->
+        let order = Array.of_list (Core.Priority.order system ~reuse) in
+        Core.Eval_cache.schedule cache order)
+
 let execute t (req : Protocol.request) ~check =
   match req.op with
   | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
@@ -216,7 +283,11 @@ let execute t (req : Protocol.request) ~check =
                 Core.Scheduler.config ~policy ~application ~power_limit ~reuse
                   ()
               in
-              let sched = Core.Scheduler.run ~access system config in
+              let key =
+                instance_key system ~application ~policy
+                  ~power_pct:req.power_pct ~reuse
+              in
+              let sched = heuristic_schedule t ~key ~access system config ~reuse in
               (* Export documents end in a newline; the protocol is
                  one line per response, so splice them trimmed. *)
               Ok
@@ -228,7 +299,11 @@ let execute t (req : Protocol.request) ~check =
                 Core.Scheduler.config ~policy ~application ~power_limit ~reuse
                   ()
               in
-              let sched = Core.Scheduler.run ~access system config in
+              let key =
+                instance_key system ~application ~policy
+                  ~power_pct:req.power_pct ~reuse
+              in
+              let sched = heuristic_schedule t ~key ~access system config ~reuse in
               check ();
               let valid, violations =
                 match
@@ -262,29 +337,33 @@ let execute t (req : Protocol.request) ~check =
               let placement_moves =
                 Option.value req.placement_moves ~default:0.0
               in
-              (* The warm-start key covers exactly what trace validity
-                 depends on: the physical system (via the table-cache
-                 key — a cache hit hands back the one shared instance)
-                 and the configuration fields [trace_matches] compares.
-                 Search-shape parameters (iterations, seed, chains) are
-                 deliberately absent: any search of the same instance
-                 can resume from any other's best. *)
               let warm_key =
-                Printf.sprintf "%s|%s|%s|%d"
-                  (Table_cache.key system ~application)
-                  (match policy with
-                  | Core.Scheduler.Greedy -> "greedy"
-                  | Core.Scheduler.Lookahead -> "lookahead")
-                  (match req.power_pct with
-                  | None -> "-"
-                  | Some pct -> Printf.sprintf "%h" pct)
-                  reuse
+                instance_key system ~application ~policy
+                  ~power_pct:req.power_pct ~reuse
               in
-              let warm_start = Warm_start.find t.warm ~key:warm_key in
+              (* "warm": false searches cold on request — the server's
+                 warm-start LRU is skipped (the result is still noted
+                 below, so later warm requests benefit). *)
+              let warm_start =
+                if Option.value req.warm ~default:true then
+                  Warm_start.find t.warm ~key:warm_key
+                else None
+              in
+              let config =
+                Core.Scheduler.config ~policy ~application ~power_limit ~reuse
+                  ()
+              in
               let r =
-                Core.Annealing.schedule ~policy ~application ~power_limit
-                  ~iterations ~seed ~chains ~placement_moves ~access
-                  ?warm_start ~reuse system
+                (* Chain 0 borrows the shared cache for the search:
+                   prefix traces left by earlier requests on this
+                   instance serve its evaluations, and this search's
+                   traces stay behind for the next one.  Results are
+                   unaffected (cached evaluation is byte-identical). *)
+                with_shared_cache t ~key:warm_key ~access system config
+                  (fun eval_cache ->
+                    Core.Annealing.schedule ~policy ~application ~power_limit
+                      ~iterations ~seed ~chains ~placement_moves ~access
+                      ?warm_start ?eval_cache ~reuse system)
               in
               (* A placement-mutated winner belongs to a system no
                  later request will hold physically — only traces of
@@ -466,7 +545,7 @@ let finish_pending t =
    its [elapsed_ms], its [coalesced] marker), record its outcome and
    answer it.  Called once for the job that ran the solve and once per
    request that coalesced onto it. *)
-let deliver t ~coalesced job verdict =
+let deliver t ~coalesced ?batch_size job verdict =
   let req = job.req in
   let outcome, response =
     match verdict with
@@ -474,7 +553,7 @@ let deliver t ~coalesced job verdict =
         let elapsed_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
         ( Stats.Served,
           Protocol.ok_response ~id:req.id ~op:req.op ~cache ~coalesced
-            ~elapsed_ms result )
+            ?batch_size ~elapsed_ms result )
     | `Bad (kind, msg) ->
         let outcome =
           match kind with
@@ -502,7 +581,7 @@ let deliver t ~coalesced job verdict =
          m "dropping response (client gone?): %s" (Printexc.to_string exn)));
   finish_pending t
 
-let run_job t ~worker job =
+let run_job t ~worker ?batch_size job =
   let req = job.req in
   let started_at = Unix.gettimeofday () in
   let check () =
@@ -553,15 +632,43 @@ let run_job t ~worker job =
     | None -> []
     | Some key -> Inflight.release t.inflight ~key
   in
-  deliver t ~coalesced:false job verdict;
+  deliver t ~coalesced:false ?batch_size job verdict;
   List.iter (fun waiter -> deliver t ~coalesced:true waiter verdict) waiters
 
+(* After popping a job, pull every queued request compatible with it
+   (same {!Batch.key}) onto this worker's pass and run them back to
+   back, each answered under its own envelope.  Consecutive execution
+   on one worker keeps the instance's shared state — access table,
+   shared evaluation cache, warm-start entries — checked out once per
+   pass in the common case instead of bouncing between workers. *)
 let worker_loop t worker () =
   let rec loop () =
     match Job_queue.pop t.queue with
     | None -> ()
     | Some job ->
-        run_job t ~worker job;
+        (match job.batch_key with
+        | Some key when t.batch_limit > 1 -> (
+            let followers =
+              Job_queue.drain_matching ~limit:(t.batch_limit - 1) t.queue
+                (fun j ->
+                  match j.batch_key with
+                  | Some k -> String.equal k key
+                  | None -> false)
+            in
+            match followers with
+            | [] -> run_job t ~worker job
+            | _ :: _ ->
+                let group = job :: followers in
+                let size = List.length group in
+                Stats.record_batch t.stats ~size;
+                Trace.span "serve.batch"
+                  ~attrs:
+                    [ ("size", Trace.Int size); ("worker", Trace.Int worker) ]
+                  (fun () ->
+                    List.iter
+                      (fun j -> run_job t ~worker ~batch_size:size j)
+                      group))
+        | _ -> run_job t ~worker job);
         loop ()
   in
   loop ()
@@ -570,7 +677,13 @@ let worker_loop t worker () =
 (* Admission                                                          *)
 
 let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8)
-    ?(warm_capacity = 32) ?(coalescing = true) () =
+    ?(warm_capacity = 32) ?(coalescing = true) ?(batching = true)
+    ?(batch_limit = 16) ?(shared_capacity = 8) () =
+  if batch_limit < 2 then
+    invalid_arg "Service.create: batch_limit must be >= 2";
+  if shared_capacity < 0 then
+    invalid_arg "Service.create: shared_capacity must be >= 0";
+  let batch_limit = if batching then batch_limit else 1 in
   let recommended = Domain.recommended_domain_count () in
   let workers =
     match workers with
@@ -588,6 +701,10 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 8)
       warm = Warm_start.create ~capacity:warm_capacity;
       inflight = Inflight.create ();
       coalescing;
+      batch_limit;
+      shared =
+        (if shared_capacity = 0 then None
+         else Some (Core.Eval_cache.Shared.registry ~capacity:shared_capacity ()));
       stats = Stats.create ();
       created_at = Unix.gettimeofday ();
       worker_busy_us = Array.init workers (fun _ -> Atomic.make 0);
@@ -654,7 +771,10 @@ let handle_line ?(read_only = false) t line respond =
           let coalesce_key =
             if t.coalescing then Protocol.coalesce_key req else None
           in
-          let job = { req; respond; enqueued_at = now; deadline; coalesce_key } in
+          let batch_key = if t.batch_limit > 1 then Batch.key req else None in
+          let job =
+            { req; respond; enqueued_at = now; deadline; coalesce_key; batch_key }
+          in
           Mutex.lock t.pending_mutex;
           t.pending <- t.pending + 1;
           Mutex.unlock t.pending_mutex;

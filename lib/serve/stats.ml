@@ -9,6 +9,8 @@ type t = {
   mutable rejected : int;
   mutable timeouts : int;
   coalesced : (string, int) Hashtbl.t;  (* op label -> attached requests *)
+  mutable batched : int;  (* requests served through shared batch passes *)
+  mutable batches : int;  (* batch passes of size >= 2 *)
   mutable fault_events : int;  (* fault targets handled by replan ops *)
   mutable fault_replans : int;  (* replan ops that reached recovery *)
   mutable fault_abandoned : int;  (* modules given up across them *)
@@ -27,6 +29,8 @@ let create () =
     rejected = 0;
     timeouts = 0;
     coalesced = Hashtbl.create 7;
+    batched = 0;
+    batches = 0;
     fault_events = 0;
     fault_replans = 0;
     fault_abandoned = 0;
@@ -69,6 +73,11 @@ let record_coalesced t ~op =
       let n = Option.value (Hashtbl.find_opt t.coalesced op) ~default:0 in
       Hashtbl.replace t.coalesced op (n + 1))
 
+let record_batch t ~size =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched <- t.batched + size)
+
 let record_fault t ~events ~abandoned =
   locked t (fun () ->
       t.fault_events <- t.fault_events + events;
@@ -89,6 +98,8 @@ type snapshot = {
   rejected : int;
   timeouts : int;
   coalesced : (string * int) list;
+  batched : int;
+  batches : int;
   fault_events : int;
   fault_replans : int;
   fault_abandoned : int;
@@ -96,6 +107,8 @@ type snapshot = {
   cache_misses : int;
   warm_hits : int;
   warm_misses : int;
+  shared_cache_hits : int;
+  shared_cache_misses : int;
   queue_depth : int;
   queue_capacity : int;
   workers : int;
@@ -118,7 +131,8 @@ let quantiles_of sorted =
   }
 
 let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
-    ~queue_depth ~queue_capacity ~workers =
+    ~shared_cache_hits ~shared_cache_misses ~queue_depth ~queue_capacity
+    ~workers =
   locked t (fun () ->
       let latency =
         if t.filled = 0 then None
@@ -138,6 +152,8 @@ let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
         rejected = t.rejected;
         timeouts = t.timeouts;
         coalesced;
+        batched = t.batched;
+        batches = t.batches;
         fault_events = t.fault_events;
         fault_replans = t.fault_replans;
         fault_abandoned = t.fault_abandoned;
@@ -145,6 +161,8 @@ let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
         cache_misses;
         warm_hits;
         warm_misses;
+        shared_cache_hits;
+        shared_cache_misses;
         queue_depth;
         queue_capacity;
         workers;
@@ -160,6 +178,8 @@ let snapshot_json s =
       ("timeouts", Json.Int s.timeouts);
       ( "coalesced",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) s.coalesced) );
+      ("batched", Json.Int s.batched);
+      ("batches", Json.Int s.batches);
       ("fault_events", Json.Int s.fault_events);
       ("fault_replans", Json.Int s.fault_replans);
       ("fault_abandoned", Json.Int s.fault_abandoned);
@@ -167,6 +187,8 @@ let snapshot_json s =
       ("cache_misses", Json.Int s.cache_misses);
       ("warm_hits", Json.Int s.warm_hits);
       ("warm_misses", Json.Int s.warm_misses);
+      ("shared_cache_hits", Json.Int s.shared_cache_hits);
+      ("shared_cache_misses", Json.Int s.shared_cache_misses);
       ("queue_depth", Json.Int s.queue_depth);
       ("queue_capacity", Json.Int s.queue_capacity);
       ("workers", Json.Int s.workers);

@@ -32,6 +32,10 @@ val record_coalesced : t -> op:string -> unit
 (** Count one request (by op label) that attached to another
     request's in-flight solve instead of getting its own. *)
 
+val record_batch : t -> size:int -> unit
+(** Count one shared batch pass grouping [size >= 2] compatible
+    requests; all [size] members count as batched. *)
+
 val record_fault : t -> events:int -> abandoned:int -> unit
 (** Count one [replan] request that reached fault recovery: [events]
     fault targets were injected and [abandoned] modules were left
@@ -53,6 +57,8 @@ type snapshot = {
   coalesced : (string * int) list;
       (** per-op count of requests served by another request's solve,
           sorted by op label *)
+  batched : int;  (** requests served through shared batch passes *)
+  batches : int;  (** batch passes of size >= 2 *)
   fault_events : int;  (** fault targets handled by [replan] requests *)
   fault_replans : int;  (** [replan] requests that reached recovery *)
   fault_abandoned : int;  (** modules abandoned across them *)
@@ -60,6 +66,9 @@ type snapshot = {
   cache_misses : int;
   warm_hits : int;  (** anneal runs seeded from the warm-start cache *)
   warm_misses : int;
+  shared_cache_hits : int;
+      (** solves that resumed a resident shared evaluation cache *)
+  shared_cache_misses : int;  (** solves that built a fresh one *)
   queue_depth : int;
   queue_capacity : int;
   workers : int;
@@ -72,6 +81,8 @@ val snapshot :
   cache_misses:int ->
   warm_hits:int ->
   warm_misses:int ->
+  shared_cache_hits:int ->
+  shared_cache_misses:int ->
   queue_depth:int ->
   queue_capacity:int ->
   workers:int ->

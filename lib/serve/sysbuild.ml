@@ -15,7 +15,28 @@ type spec = {
 let spec ?soc_text ?width ?height ?(leons = 0) ?(plasmas = 0) system =
   { system; soc_text; width; height; leons; plasmas }
 
-let builtin_system name = List.assoc_opt name (Core.Experiments.all ())
+(* Builtin systems are immutable once built (the serve path already
+   hands one shared instance per fingerprint to every request through
+   [Table_cache]), so build each at most once per process: repeated
+   construction cost more than a hot-table solve.  The mutex guards
+   first-build races between worker domains. *)
+let builtin_mutex = Mutex.create ()
+let builtin_built : (string, Core.System.t) Hashtbl.t = Hashtbl.create 8
+
+let builtin_system name =
+  match List.assoc_opt name Core.Experiments.builders with
+  | None -> None
+  | Some build ->
+      Mutex.lock builtin_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock builtin_mutex)
+        (fun () ->
+          match Hashtbl.find_opt builtin_built name with
+          | Some system -> Some system
+          | None ->
+              let system = build () in
+              Hashtbl.add builtin_built name system;
+              Some system)
 
 let assemble ~soc ~width ~height ~leons ~plasmas =
   if leons < 0 || plasmas < 0 then
@@ -66,6 +87,5 @@ let build s =
                    "%s is neither a builtin system (%s) nor a corpus \
                     benchmark (%s)"
                    s.system
-                   (String.concat ", "
-                      (List.map fst (Core.Experiments.all ())))
+                   (String.concat ", " (List.map fst Core.Experiments.builders))
                    (String.concat ", " Itc02.Benchmarks.names))))

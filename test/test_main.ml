@@ -59,5 +59,6 @@ let () =
       ("gantt and report", Test_gantt_report.suite);
       ("planning service", Test_serve.suite);
       ("planning service fuzz", Test_serve_fuzz.suite);
+      ("planning service batching", Test_serve_batch.suite);
       ("observability", Test_obs.suite);
     ]

@@ -531,6 +531,14 @@ let test_coalesce_key_semantics () =
       {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "at": 500}|};
       {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "failed_links": ["1,0>2,0"]}|};
       {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "failed_routers": ["1,1"]}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "iterations": 500}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "chains": 3}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "placement_moves": 0.4}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "warm": false}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "power_pct": 50}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "application": "decompress"}|};
+      {|{"op": "anneal", "system": "d695", "leons": 2, "reuse": 2}|};
+      {|{"op": "anneal", "system": "d695", "leons": 2, "width": 5, "reuse": 2}|};
     ];
   (* Deadlines opt out: a leader's timeout must never fail followers. *)
   Alcotest.(check bool) "deadline exempt" true
@@ -606,6 +614,261 @@ let test_socket_coalesced_identical_requests () =
             (field "anneal" (field "coalesced" result) = Json.Int (n - 1));
           Alcotest.(check bool) "one table build" true
             (field "cache_misses" result = Json.Int 1)))
+
+(* --- batching -------------------------------------------------------- *)
+
+let test_batch_key_semantics () =
+  let key line = Serve.Batch.key (parse_req line) in
+  let base = {|{"id": 1, "op": "plan", "system": "d695_leon", "reuse": 2}|} in
+  (* Search parameters stay out of the compatibility key: distinct
+     questions about the same (system, configuration) pair share one
+     batch pass. *)
+  List.iter
+    (fun variant ->
+      Alcotest.(check bool) ("compatible: " ^ variant) true
+        (key base <> None && key base = key variant))
+    [
+      {|{"id": 2, "op": "plan", "system": "d695_leon", "reuse": 2}|};
+      {|{"op": "validate", "system": "d695_leon", "reuse": 2}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "seed": 9}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "iterations": 60, "chains": 2}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "warm": false}|};
+      {|{"op": "anneal", "system": "d695_leon", "reuse": 2, "placement_moves": 0.3}|};
+    ];
+  (* Everything that picks a different (system, configuration) key
+     must land in a different group. *)
+  List.iter
+    (fun variant ->
+      Alcotest.(check bool) ("incompatible: " ^ variant) false
+        (key base = key variant))
+    [
+      {|{"op": "plan", "system": "d695_leon", "reuse": 3}|};
+      {|{"op": "plan", "system": "p22810_leon", "reuse": 2}|};
+      {|{"op": "plan", "system": "d695_leon", "reuse": 2, "policy": "lookahead"}|};
+      {|{"op": "plan", "system": "d695_leon", "reuse": 2, "power_pct": 50}|};
+      {|{"op": "plan", "system": "d695_leon", "reuse": 2, "application": "decompress"}|};
+      {|{"op": "plan", "system": "d695", "leons": 2, "reuse": 2}|};
+    ];
+  (* Deadline requests must not be reordered behind a batch, and the
+     stateful / observability ops never batch. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("exempt: " ^ line) true (key line = None))
+    [
+      {|{"op": "plan", "system": "d695_leon", "reuse": 2, "deadline_ms": 50}|};
+      {|{"op": "sweep", "system": "d695_leon", "max_reuse": 2}|};
+      {|{"op": "replan", "system": "d695_leon", "at": 100, "failed_links": ["1,0>2,0"]}|};
+      {|{"op": "preempt", "system": "d695_leon", "max_sessions": 2}|};
+      {|{"op": "metrics"}|};
+    ];
+  Alcotest.(check bool) "compatible helper agrees" true
+    (Serve.Batch.compatible (parse_req base)
+       (parse_req {|{"op": "validate", "system": "d695_leon", "reuse": 2}|}));
+  Alcotest.(check bool) "exempt never compatible with itself" false
+    (let m = parse_req {|{"op": "metrics"}|} in
+     Serve.Batch.compatible m m)
+
+let test_job_queue_drain_matching () =
+  let q = Serve.Job_queue.create ~capacity:8 in
+  List.iter (fun i -> ignore (Serve.Job_queue.push q i)) [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check (list int)) "takes matches in order, bounded" [ 2; 4 ]
+    (Serve.Job_queue.drain_matching ~limit:2 q (fun i -> i mod 2 = 0));
+  Alcotest.(check (list int)) "no match, no change" []
+    (Serve.Job_queue.drain_matching q (fun i -> i > 100));
+  (* The survivors keep their relative order. *)
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Serve.Job_queue.pop q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Serve.Job_queue.pop q);
+  Alcotest.(check (list int)) "drain the rest" [ 5; 6 ]
+    (Serve.Job_queue.drain_matching q (fun _ -> true));
+  Alcotest.(check int) "empty" 0 (Serve.Job_queue.depth q)
+
+(* --- shared evaluation-cache registry -------------------------------- *)
+
+let test_shared_registry_checkout_checkin () =
+  let system = Util.small_system () in
+  let cfg = Core.Scheduler.config ~reuse:1 () in
+  let r = Core.Eval_cache.Shared.registry ~capacity:2 () in
+  let cache, hit = Core.Eval_cache.Shared.checkout r ~key:"k" system cfg in
+  Alcotest.(check bool) "first checkout misses" false hit;
+  let order = Array.of_list (Core.Priority.order system ~reuse:1) in
+  let direct = Core.Scheduler.run system { cfg with Core.Scheduler.order = None } in
+  let via = Core.Eval_cache.schedule cache order in
+  Alcotest.(check int) "cache evaluation byte-identical" direct.Core.Schedule.makespan
+    via.Core.Schedule.makespan;
+  Core.Eval_cache.Shared.checkin r ~key:"k" cache;
+  let cache2, hit2 = Core.Eval_cache.Shared.checkout r ~key:"k" system cfg in
+  Alcotest.(check bool) "second checkout hits" true hit2;
+  Alcotest.(check bool) "same cache instance back" true (cache2 == cache);
+  (* The resident trace makes the next evaluation an exact hit. *)
+  ignore (Core.Eval_cache.schedule cache2 order);
+  Alcotest.(check bool) "trace survived the round trip" true
+    ((Core.Eval_cache.stats cache2).Core.Eval_cache.exact_hits >= 1);
+  Core.Eval_cache.Shared.checkin r ~key:"k" cache2;
+  (* A stale key — same string, different physical system instance —
+     must start fresh: resuming another instance's traces is unsound. *)
+  let twin = Util.small_system () in
+  let cache3, hit3 = Core.Eval_cache.Shared.checkout r ~key:"k" twin cfg in
+  Alcotest.(check bool) "stale instance misses" false hit3;
+  Alcotest.(check bool) "fresh cache for the new instance" true
+    (cache3 != cache);
+  Alcotest.(check int) "hits counted" 1 (Core.Eval_cache.Shared.hits r);
+  Alcotest.(check int) "misses counted" 2 (Core.Eval_cache.Shared.misses r)
+
+let test_shared_registry_concurrent_checkout_merges () =
+  let system = Util.small_system () in
+  let cfg = Core.Scheduler.config ~reuse:1 () in
+  let r = Core.Eval_cache.Shared.registry ~capacity:2 () in
+  (* Two workers want the same key at once: each gets its own cache
+     (exclusive ownership), and the second check-in folds its traces
+     into the resident instead of clobbering it. *)
+  let a, _ = Core.Eval_cache.Shared.checkout r ~key:"k" system cfg in
+  let b, hit_b = Core.Eval_cache.Shared.checkout r ~key:"k" system cfg in
+  Alcotest.(check bool) "concurrent checkout gets a fresh cache" false hit_b;
+  let order = Array.of_list (Core.Priority.order system ~reuse:1) in
+  ignore (Core.Eval_cache.schedule b order);
+  Core.Eval_cache.Shared.checkin r ~key:"k" a;
+  Core.Eval_cache.Shared.checkin r ~key:"k" b;
+  Alcotest.(check int) "one resident per key" 1
+    (Core.Eval_cache.Shared.length r);
+  (* The resident (a) inherited b's trace: its next evaluation of the
+     same order is an exact hit, not a run. *)
+  let c, hit_c = Core.Eval_cache.Shared.checkout r ~key:"k" system cfg in
+  Alcotest.(check bool) "resident survives" true (hit_c && c == a);
+  ignore (Core.Eval_cache.schedule c order);
+  Alcotest.(check bool) "merged trace hits exactly" true
+    ((Core.Eval_cache.stats c).Core.Eval_cache.exact_hits >= 1)
+
+let test_shared_registry_eviction () =
+  let system = Util.small_system () in
+  let cfg = Core.Scheduler.config ~reuse:1 () in
+  let r = Core.Eval_cache.Shared.registry ~capacity:2 () in
+  List.iter
+    (fun key ->
+      let cache, _ = Core.Eval_cache.Shared.checkout r ~key system cfg in
+      Core.Eval_cache.Shared.checkin r ~key cache)
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "capacity bounds residents" 2
+    (Core.Eval_cache.Shared.length r);
+  (* "a" was the least recently used: it is the one gone. *)
+  let _, hit_b = Core.Eval_cache.Shared.checkout r ~key:"b" system cfg in
+  Alcotest.(check bool) "recent key resident" true hit_b;
+  let _, hit_a = Core.Eval_cache.Shared.checkout r ~key:"a" system cfg in
+  Alcotest.(check bool) "oldest key evicted" false hit_a
+
+let test_annealing_adopts_matching_cache () =
+  let system = d695 () in
+  let run ?eval_cache () =
+    Core.Annealing.schedule ~iterations:40 ~seed:11L ?eval_cache ~reuse:2
+      system
+  in
+  let plain = run () in
+  (* A matching cache changes nothing observable: every evaluation
+     through it is byte-identical to a from-scratch run. *)
+  let cfg = Core.Scheduler.config ~reuse:2 () in
+  let warmed = Core.Eval_cache.create system cfg in
+  ignore
+    (Core.Eval_cache.schedule warmed
+       (Array.of_list (Core.Priority.order system ~reuse:2)));
+  let through = run ~eval_cache:warmed () in
+  Alcotest.(check int) "same makespan"
+    plain.Core.Annealing.schedule.Core.Schedule.makespan
+    through.Core.Annealing.schedule.Core.Schedule.makespan;
+  Alcotest.(check int) "same initial makespan"
+    plain.Core.Annealing.initial_makespan
+    through.Core.Annealing.initial_makespan;
+  Alcotest.(check int) "same evaluation count" plain.Core.Annealing.evaluations
+    through.Core.Annealing.evaluations;
+  (* A cache for another configuration is ignored, not adopted. *)
+  let mismatched =
+    Core.Eval_cache.create system (Core.Scheduler.config ~reuse:1 ())
+  in
+  let ignored = run ~eval_cache:mismatched () in
+  Alcotest.(check int) "mismatched cache ignored"
+    plain.Core.Annealing.schedule.Core.Schedule.makespan
+    ignored.Core.Annealing.schedule.Core.Schedule.makespan;
+  Alcotest.(check int) "mismatched cache left empty" 0
+    (List.length (Core.Eval_cache.traces mismatched))
+
+let test_socket_batched_compatible_requests () =
+  (* One slow anneal occupies the single worker while four compatible
+     plans (distinct seeds, so coalescing cannot merge them) pile up
+     behind it: the next pop drains them as one batch.  Every response
+     stays byte-identical to the sequential answer, and the envelope
+     carries the batch markers. *)
+  with_server (fun path ->
+      with_client path (fun ic oc ->
+          output_string oc
+            "{\"id\": 0, \"op\": \"anneal\", \"system\": \"d695_leon\", \
+             \"reuse\": 3, \"iterations\": 2000}\n";
+          for i = 1 to 4 do
+            output_string oc
+              (Printf.sprintf
+                 "{\"id\": %d, \"op\": \"plan\", \"system\": \"d695_leon\", \
+                  \"reuse\": 2, \"seed\": %d}\n"
+                 i i)
+          done;
+          flush oc;
+          let responses = List.init 5 (fun _ -> parse_response (input_line ic)) in
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "ok" true (field "ok" r = Json.Bool true))
+            responses;
+          let plans =
+            List.filter (fun r -> field "op" r = Json.String "plan") responses
+          in
+          Alcotest.(check int) "four plans answered" 4 (List.length plans);
+          let expected = result_string (List.hd plans) in
+          List.iter
+            (fun r ->
+              Alcotest.(check string) "plans byte-identical" expected
+                (result_string r))
+            plans;
+          let batched =
+            List.filter (fun r -> Json.member "batched" r = Some (Json.Bool true))
+              plans
+          in
+          Alcotest.(check int) "all four share one batch pass" 4
+            (List.length batched);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "batch size marker" true
+                (field "batch_size" r = Json.Int 4))
+            batched;
+          let metrics = roundtrip ic oc "{\"op\": \"metrics\"}" in
+          let result = field "result" metrics in
+          Alcotest.(check bool) "batched counter" true
+            (field "batched" result = Json.Int 4);
+          Alcotest.(check bool) "batches counter" true
+            (field "batches" result = Json.Int 1);
+          (match field "shared_cache_hits" result with
+          | Json.Int n -> Alcotest.(check bool) "shared cache carried" true (n >= 3)
+          | _ -> Alcotest.fail "shared_cache_hits not an int")))
+
+let test_service_warm_false_disables_warm_start () =
+  let service = Serve.Service.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Serve.Service.shutdown service) @@ fun () ->
+  let anneal extra =
+    let resp =
+      parse_response
+        (Serve.Service.request service
+           (Printf.sprintf
+              "{\"op\": \"anneal\", \"system\": \"d695_leon\", \"reuse\": 2, \
+               \"iterations\": 60, \"seed\": 4%s}"
+              extra))
+    in
+    Alcotest.(check bool) "ok" true (field "ok" resp = Json.Bool true);
+    result_string resp
+  in
+  let cold = anneal "" in
+  (* The repeat opts out of the warm LRU: same cold trajectory, and no
+     warm hit is counted. *)
+  Alcotest.(check string) "warm:false repeats the cold run" cold
+    (anneal ", \"warm\": false");
+  let metrics =
+    parse_response (Serve.Service.request service "{\"op\": \"metrics\"}")
+  in
+  Alcotest.(check bool) "no warm hits" true
+    (field "warm_hits" (field "result" metrics) = Json.Int 0)
 
 (* --- warm starts across requests ------------------------------------ *)
 
@@ -776,6 +1039,21 @@ let suite =
     Alcotest.test_case "coalesce key semantics" `Quick
       test_coalesce_key_semantics;
     Alcotest.test_case "inflight registry" `Quick test_inflight_registry;
+    Alcotest.test_case "batch key semantics" `Quick test_batch_key_semantics;
+    Alcotest.test_case "job queue drain matching" `Quick
+      test_job_queue_drain_matching;
+    Alcotest.test_case "shared registry checkout and checkin" `Quick
+      test_shared_registry_checkout_checkin;
+    Alcotest.test_case "shared registry concurrent checkout merges" `Quick
+      test_shared_registry_concurrent_checkout_merges;
+    Alcotest.test_case "shared registry eviction" `Quick
+      test_shared_registry_eviction;
+    Alcotest.test_case "annealing adopts matching eval cache" `Quick
+      test_annealing_adopts_matching_cache;
+    Alcotest.test_case "socket: compatible requests batch to one pass" `Quick
+      test_socket_batched_compatible_requests;
+    Alcotest.test_case "warm:false disables the warm start" `Quick
+      test_service_warm_false_disables_warm_start;
     Alcotest.test_case "socket: identical requests coalesce to one solve"
       `Quick test_socket_coalesced_identical_requests;
     Alcotest.test_case "warm start carries across requests" `Quick

@@ -562,6 +562,79 @@ let annealing () =
     "@.(*) certified optima are only tractable on small fixtures — see A7.@."
 
 (* ------------------------------------------------------------------ *)
+(* backend: greedy vs binpack, solo and raced                          *)
+
+type backend_row = {
+  bk_system : string;
+  bk_greedy : int;
+  bk_binpack : int;
+  bk_race : int;
+  bk_winner : string;
+  bk_binpack_valid : bool;
+  bk_greedy_seconds : float;
+  bk_binpack_seconds : float;
+  bk_race_seconds : float;
+}
+
+(* Filled by [backend_race] for the JSON artefact and the gate: race
+   must never return a worse test time than greedy alone (it includes
+   greedy and ties break in its favour), and every binpack schedule
+   must pass the independent validator. *)
+let backend_rows : backend_row list ref = ref []
+
+let backend_race systems =
+  section "backend: greedy vs binpack vs race (test time and wall clock)";
+  Fmt.pr "%-14s %-10s %-10s %-10s %-8s %-9s %-9s %-9s@." "system" "greedy"
+    "binpack" "race" "winner" "greedy_s" "binpack_s" "race_s";
+  backend_rows :=
+    List.map
+      (fun (name, system) ->
+        let reuse = List.length system.System.processors in
+        let access = Test_access.table system in
+        let config = Scheduler.config ~reuse () in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let greedy_sched, greedy_seconds =
+          time (fun () -> Backend.solve Backend.greedy ~access system config)
+        in
+        let binpack_sched, binpack_seconds =
+          time (fun () -> Backend.solve Backend.binpack ~access system config)
+        in
+        let binpack_valid =
+          Schedule.validate ~access system ~application:config.application
+            ~power_limit:config.power_limit ~reuse binpack_sched
+          = Ok ()
+        in
+        let outcome, race_seconds =
+          time (fun () ->
+              Backend.race ~clock:Unix.gettimeofday ~access system config)
+        in
+        let row =
+          {
+            bk_system = name;
+            bk_greedy = greedy_sched.Schedule.makespan;
+            bk_binpack = binpack_sched.Schedule.makespan;
+            bk_race = outcome.Backend.schedule.Schedule.makespan;
+            bk_winner = outcome.Backend.winner;
+            bk_binpack_valid = binpack_valid;
+            bk_greedy_seconds = greedy_seconds;
+            bk_binpack_seconds = binpack_seconds;
+            bk_race_seconds = race_seconds;
+          }
+        in
+        Fmt.pr "%-14s %-10d %-10d %-10d %-8s %-9.4f %-9.4f %-9.4f@." name
+          row.bk_greedy row.bk_binpack row.bk_race row.bk_winner
+          greedy_seconds binpack_seconds race_seconds;
+        row)
+      systems;
+  Fmt.pr
+    "@.race wall clock pays one extra domain per backend; its test time is \
+     min over the valid results, so it can only match or beat greedy.@."
+
+(* ------------------------------------------------------------------ *)
 (* A20: joint order+placement annealing                                *)
 
 type placement_row = {
@@ -1358,6 +1431,18 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~batch ~tcp
         (json_escape r.pl_system) r.pl_order_only r.pl_joint
         r.pl_placement_evals r.pl_placement_accepted r.pl_seconds)
     !placement_rows;
+  Buffer.add_string buf "\n  ],\n  \"backend\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    {\"system\": \"%s\", \"greedy\": %d, \"binpack\": %d, \"race\": \
+         %d, \"winner\": \"%s\", \"binpack_valid\": %b, \"greedy_seconds\": \
+         %.4f, \"binpack_seconds\": %.4f, \"race_seconds\": %.4f}"
+        (json_escape r.bk_system) r.bk_greedy r.bk_binpack r.bk_race
+        (json_escape r.bk_winner) r.bk_binpack_valid r.bk_greedy_seconds
+        r.bk_binpack_seconds r.bk_race_seconds)
+    !backend_rows;
   Buffer.add_string buf "\n  ],\n  \"experiments\": [\n";
   List.iteri
     (fun i (name, seconds) ->
@@ -1508,6 +1593,27 @@ let run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp =
                 !placement_rows
           | Some _ | None -> fail "baseline lacks the placement_annealing \
                                    section");
+          (* Backend checks are absolute properties of this run: race
+             includes greedy among its racers and breaks ties in its
+             favour, so a race result worse than greedy alone is a
+             correctness bug, not a performance drift; and every
+             binpack schedule must clear the independent validator. *)
+          if !backend_rows = [] then
+            fail "backend: no rows recorded (backend_race did not run)";
+          List.iter
+            (fun r ->
+              if r.bk_race > r.bk_greedy then
+                fail
+                  "backend race %s: makespan %d worse than greedy alone %d \
+                   (race must never lose to a racer it contains)"
+                  r.bk_system r.bk_race r.bk_greedy
+              else
+                Fmt.pr "gate: %-24s race %d <= greedy %d ok@."
+                  ("backend " ^ r.bk_system) r.bk_race r.bk_greedy;
+              if not r.bk_binpack_valid then
+                fail "backend binpack %s: schedule failed the validator"
+                  r.bk_system)
+            !backend_rows;
           (* Repeat-traffic floors are absolute properties of this run,
              not baseline comparisons: coalescing must beat its own
              uncoalesced twin, and throughput must hold the 10x margin
@@ -1643,6 +1749,8 @@ let () =
     timed "A12:annealing" annealing;
     timed "anneal:placement" placement_annealing
   end;
+  (* Both modes: the gate's race-vs-greedy check needs the rows. *)
+  timed "backend:race" (fun () -> backend_race systems);
   timed "obs:tracing_overhead" (fun () -> tracing_overhead systems);
   if not !smoke then timed "bechamel" (fun () -> timing_benchmarks systems);
   let figure1_seconds, panels =

@@ -118,6 +118,14 @@ let trace_arg =
          ~doc:"Record trace spans and write them to $(docv) as Chrome \
                trace-event JSON (open in chrome://tracing or Perfetto).")
 
+let backend_arg =
+  let backend_conv = Arg.enum [ ("greedy", `Greedy); ("binpack", `Binpack); ("race", `Race) ] in
+  Arg.(value & opt backend_conv `Greedy & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Planning backend: greedy (the paper's event-driven list \
+               scheduler), binpack (rectangle bin packing: shelf heuristic, \
+               best-fit decreasing), or race (run every registered backend \
+               concurrently on Domains and keep the best valid plan).")
+
 (* Traced CLI runs want real time on the trace axis; tests that pin
    event structure use the library's deterministic default clock. *)
 let wall_clock () =
@@ -164,9 +172,20 @@ let show_cmd =
 (* ------------------------------------------------------------------ *)
 (* plan                                                               *)
 
+let pp_attempt ppf (a : Core.Backend.attempt) =
+  match a.Core.Backend.outcome with
+  | Ok s ->
+      Fmt.pf ppf "  %-8s makespan %8d  %s  %.3fs" a.Core.Backend.backend
+        s.Core.Schedule.makespan
+        (if a.Core.Backend.valid then "valid  " else "INVALID")
+        a.Core.Backend.latency_s
+  | Error msg ->
+      Fmt.pf ppf "  %-8s failed: %s  (%.3fs)" a.Core.Backend.backend msg
+        a.Core.Backend.latency_s
+
 let plan_cmd =
-  let run spec width height leons plasmas policy application power reuse gantt
-      resources json csv trace explain =
+  let run spec width height leons plasmas policy application power reuse
+      backend gantt resources json csv trace explain =
     match load_system ~spec ~width ~height ~leons ~plasmas with
     | Error msg -> parse_fail msg
     | Ok system -> (
@@ -175,29 +194,52 @@ let plan_cmd =
           | Some r -> r
           | None -> List.length system.Core.System.processors
         in
-        match
-          with_tracing ~decisions:explain trace (fun () ->
-              Core.Planner.schedule ~policy ~application
-                ?power_limit_pct:power ~reuse system)
-        with
+        let power_limit =
+          Option.map
+            (fun pct -> Core.System.power_limit_of_pct system ~pct)
+            power
+        in
+        let solve () =
+          match backend with
+          | `Greedy ->
+              ( Core.Backend.solve Core.Backend.greedy system
+                  (Core.Scheduler.config ~policy ~application ~power_limit
+                     ~reuse ()),
+                None )
+          | `Binpack ->
+              ( Core.Backend.solve Core.Backend.binpack system
+                  (Core.Scheduler.config ~policy ~application ~power_limit
+                     ~reuse ()),
+                None )
+          | `Race ->
+              let outcome =
+                Core.Backend.race ~clock:Unix.gettimeofday system
+                  (Core.Scheduler.config ~policy ~application ~power_limit
+                     ~reuse ())
+              in
+              (outcome.Core.Backend.schedule, Some outcome)
+        in
+        match with_tracing ~decisions:explain trace solve with
         | exception Core.Scheduler.Unschedulable msg -> plan_fail msg
-        | sched, _ when json ->
+        | (sched, _), _ when json ->
             print_string (Core.Export.schedule_json system sched);
             0
-        | sched, _ when csv ->
+        | (sched, _), _ when csv ->
             print_string (Core.Export.schedule_csv system sched);
             0
-        | sched, events ->
+        | (sched, race_outcome), events ->
+            (match race_outcome with
+            | Some o ->
+                Fmt.pr "@[<v>backend race: winner %s@,%a@]@."
+                  o.Core.Backend.winner
+                  (Fmt.list ~sep:Fmt.cut pp_attempt)
+                  o.Core.Backend.attempts
+            | None -> ());
             Fmt.pr "%a@." Core.Schedule.pp sched;
             if gantt then
               print_string (Core.Gantt.render system sched);
             if resources then
               print_string (Core.Gantt.render_resources system ~reuse sched);
-            let power_limit =
-              Option.map
-                (fun pct -> Core.System.power_limit_of_pct system ~pct)
-                power
-            in
             (match
                Core.Schedule.validate system ~application ~power_limit ~reuse
                  sched
@@ -235,8 +277,8 @@ let plan_cmd =
   let term =
     Term.(const run $ system_spec $ width_arg $ height_arg $ leons_arg
           $ plasmas_arg $ policy_arg $ application_arg $ power_arg
-          $ reuse_arg $ gantt_arg $ resources_arg $ json_arg $ csv_arg
-          $ trace_arg $ explain_arg)
+          $ reuse_arg $ backend_arg $ gantt_arg $ resources_arg $ json_arg
+          $ csv_arg $ trace_arg $ explain_arg)
   in
   Cmd.v (cmd_info "plan" ~doc:"Produce and validate one test schedule.") term
 

@@ -1,0 +1,243 @@
+module Noc = Nocplan_noc
+module Trace = Nocplan_obs.Trace
+
+let log_src =
+  Logs.Src.create "nocplan.binpack" ~doc:"Bin-packing scheduler decisions"
+
+module Log = (val Logs.src_log log_src)
+
+(* One packed rectangle candidate: the pair it sits on and its cost. *)
+type candidate = {
+  cd_source : Resource.endpoint;
+  cd_sink : Resource.endpoint;
+  cd_cost : Test_access.cost;
+}
+
+let ensure_table ?access system ~application =
+  match access with
+  | Some t ->
+      if not (Test_access.table_for t ~system ~application) then
+        invalid_arg
+          "Binpack.schedule: access table built for a different system or \
+           application";
+      t
+  | None -> Test_access.table ~application system
+
+(* The latest opening time among the candidate's gated channels, or
+   the shelf start when none are gated: the first shelf instant this
+   rectangle may occupy. *)
+let gate_ready gates links ~start =
+  List.fold_left
+    (fun acc l ->
+      match Hashtbl.find_opt gates l with
+      | Some t -> max acc t
+      | None -> acc)
+    start links
+
+let pack ?access system (config : Scheduler.config) =
+  let application = config.application and reuse = config.reuse in
+  if reuse < 0 || reuse > List.length system.System.processors then
+    invalid_arg "Binpack.schedule: reuse out of range";
+  let table = ensure_table ?access system ~application in
+  let endpoints = Array.of_list (Resource.all_endpoints system ~reuse) in
+  let n_ep = Array.length endpoints in
+  (* Self-test gates: a channel may not carry test traffic before its
+     ready time.  Duplicate listings keep the latest time, matching
+     the event-driven engine's conservative reading. *)
+  let gates = Hashtbl.create 16 in
+  List.iter
+    (fun (l, t) ->
+      match Hashtbl.find_opt gates l with
+      | Some t' when t' >= t -> ()
+      | _ -> Hashtbl.replace gates l t)
+    config.link_ready;
+  (* Processor readiness: module id -> instant its endpoint may serve.
+     Pretested processors are ready from the start; the rest become
+     ready when their own test is packed. *)
+  let proc_ready = Hashtbl.create 8 in
+  List.iter
+    (fun id -> Hashtbl.replace proc_ready id config.start_time)
+    config.pretested;
+  let endpoint_ready ep ~now =
+    match ep with
+    | Resource.External_in _ | Resource.External_out _ -> true
+    | Resource.Processor id -> (
+        match Hashtbl.find_opt proc_ready id with
+        | Some t -> t <= now
+        | None -> false)
+  in
+  let modules =
+    match config.modules with
+    | Some l -> l
+    | None -> System.module_ids system
+  in
+  (* Rectangle height for the decreasing sort: the cheapest duration
+     achievable over any feasible pair.  A module with no feasible
+     pair at all can never be packed, whatever the shelf. *)
+  let min_duration id =
+    let best = ref max_int in
+    for i = 0 to n_ep - 1 do
+      for j = 0 to n_ep - 1 do
+        let source = endpoints.(i) and sink = endpoints.(j) in
+        if
+          Resource.valid_pair ~source ~sink
+          && Test_access.table_feasible table ~module_id:id ~source ~sink
+        then begin
+          let c = Test_access.table_cost table ~module_id:id ~source ~sink in
+          if c.Test_access.duration < !best then best := c.Test_access.duration
+        end
+      done
+    done;
+    if !best = max_int then
+      raise
+        (Scheduler.Unschedulable
+           (Fmt.str "binpack: module %d has no feasible (source, sink) pair"
+              id));
+    !best
+  in
+  let sorted =
+    (* Best-fit decreasing: tallest rectangles first, ids break ties
+       so the packing is deterministic. *)
+    List.sort
+      (fun (_, da) (_, db) -> if da <> db then compare db da else 0)
+      (List.map (fun id -> (id, min_duration id)) modules)
+    |> List.map fst
+  in
+  let entries = ref [] in
+  let remaining = ref sorted in
+  let now = ref config.start_time in
+  let shelves = ref 0 in
+  while !remaining <> [] do
+    (* One shelf: every test starts at [!now] on pairwise-disjoint
+       endpoints and channels, under the running power sum. *)
+    let used_ep = Array.make n_ep false in
+    let used_links = ref Noc.Link.Set.empty in
+    let power_used = ref 0.0 in
+    let placed = ref [] in
+    let rest = ref [] in
+    List.iter
+      (fun id ->
+        (* Best-fit within the shelf: the admissible pair minimizing
+           the rectangle height, then the narrowest footprint, then
+           endpoint indices for determinism. *)
+        let best = ref None in
+        for i = 0 to n_ep - 1 do
+          for j = 0 to n_ep - 1 do
+            if not (used_ep.(i) || used_ep.(j)) then begin
+              let source = endpoints.(i) and sink = endpoints.(j) in
+              if
+                Resource.valid_pair ~source ~sink
+                && endpoint_ready source ~now:!now
+                && endpoint_ready sink ~now:!now
+                && Test_access.table_feasible table ~module_id:id ~source
+                     ~sink
+              then begin
+                let c =
+                  Test_access.table_cost table ~module_id:id ~source ~sink
+                in
+                let fits_power =
+                  match config.power_limit with
+                  | None -> true
+                  | Some limit -> !power_used +. c.Test_access.power <= limit
+                in
+                let links_free =
+                  List.for_all
+                    (fun l -> not (Noc.Link.Set.mem l !used_links))
+                    c.Test_access.links
+                in
+                let gates_open =
+                  gate_ready gates c.Test_access.links ~start:!now <= !now
+                in
+                if fits_power && links_free && gates_open then
+                  let width = List.length c.Test_access.links in
+                  let better =
+                    match !best with
+                    | None -> true
+                    | Some (_, bc) ->
+                        c.Test_access.duration < bc.cd_cost.Test_access.duration
+                        || (c.Test_access.duration
+                              = bc.cd_cost.Test_access.duration
+                           && width < List.length bc.cd_cost.Test_access.links)
+                  in
+                  if better then
+                    best :=
+                      Some ((i, j), { cd_source = source; cd_sink = sink;
+                                      cd_cost = c })
+              end
+            end
+          done
+        done;
+        match !best with
+        | None -> rest := id :: !rest
+        | Some ((i, j), cd) ->
+            used_ep.(i) <- true;
+            used_ep.(j) <- true;
+            List.iter
+              (fun l -> used_links := Noc.Link.Set.add l !used_links)
+              cd.cd_cost.Test_access.links;
+            power_used := !power_used +. cd.cd_cost.Test_access.power;
+            let finish = !now + cd.cd_cost.Test_access.duration in
+            let entry =
+              {
+                Schedule.module_id = id;
+                source = cd.cd_source;
+                sink = cd.cd_sink;
+                start = !now;
+                finish;
+                power = cd.cd_cost.Test_access.power;
+                links = cd.cd_cost.Test_access.links;
+              }
+            in
+            entries := entry :: !entries;
+            placed := entry :: !placed;
+            (* A packed processor self-test releases its endpoint to
+               every shelf opening at or after its finish. *)
+            if System.processor_of_module system id <> None then
+              Hashtbl.replace proc_ready id finish;
+            Log.debug (fun m ->
+                m "shelf %d (t=%d): module %d on %a -> %a (finish %d)"
+                  !shelves !now id Resource.pp cd.cd_source Resource.pp
+                  cd.cd_sink finish))
+      !remaining;
+    (match !placed with
+    | [] ->
+        (* Nothing fit at this instant.  The only state that changes
+           without a placement is a self-test gate opening later —
+           advance to the next opening, or give up. *)
+        let next_gate =
+          Hashtbl.fold
+            (fun _ t acc -> if t > !now && t < acc then t else acc)
+            gates max_int
+        in
+        if next_gate = max_int then
+          raise
+            (Scheduler.Unschedulable
+               (Fmt.str
+                  "binpack: no module packable at t=%d (power limit %a, %d \
+                   modules left)"
+                  !now
+                  Fmt.(option ~none:(any "none") float)
+                  config.power_limit
+                  (List.length !remaining)))
+        else now := next_gate
+    | placed ->
+        incr shelves;
+        let shelf_end =
+          List.fold_left (fun acc e -> max acc e.Schedule.finish) !now placed
+        in
+        if Trace.enabled () then
+          Trace.instant "binpack.shelf"
+            ~attrs:
+              [
+                ("shelf", Trace.Int (!shelves - 1));
+                ("start", Trace.Int !now);
+                ("finish", Trace.Int shelf_end);
+                ("packed", Trace.Int (List.length placed));
+              ];
+        now := shelf_end);
+    remaining := List.rev !rest
+  done;
+  (Schedule.of_entries (List.rev !entries), !shelves)
+
+let schedule ?access system config = fst (pack ?access system config)
+let shelf_count system config = snd (pack system config)

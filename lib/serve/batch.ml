@@ -52,6 +52,11 @@ let key (req : Protocol.request) =
             (match req.application with
             | Proc.Processor.Bist -> "bist"
             | Proc.Processor.Decompression -> "decompress");
+          (* Different backends produce different plans; a batch pass
+             must never hand one member another backend's result
+             context (and the response's "backend" field is shaped by
+             it). *)
+          add (Option.value req.backend ~default:"-");
           add
             (match req.power_pct with
             | None -> "-"

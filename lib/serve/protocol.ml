@@ -12,6 +12,7 @@ type request = {
   spec : Sysbuild.spec option;
   policy : Core.Scheduler.policy;
   application : Proc.Processor.application;
+  backend : string option;
   power_pct : float option;
   reuse : int option;
   max_reuse : int option;
@@ -147,6 +148,26 @@ let parse_request line =
     | Some other ->
         Error (Parse, Printf.sprintf "unknown application %S" other)
   in
+  let* backend =
+    match Json.str_field "backend" json with
+    | None -> Ok None
+    | Some name -> (
+        match op with
+        | Plan | Validate ->
+            if name = "race" || Option.is_some (Core.Backend.find name) then
+              Ok (Some name)
+            else
+              Error
+                ( Invalid,
+                  Printf.sprintf
+                    "unknown backend %S (known: %s, race)" name
+                    (String.concat ", " (Core.Backend.names ())) )
+        | _ ->
+            Error
+              ( Invalid,
+                "field \"backend\" only applies to plan and validate requests"
+              ))
+  in
   let int_opt name =
     match Json.member name json with
     | None | Some Json.Null -> Ok None
@@ -260,6 +281,7 @@ let parse_request line =
       spec;
       policy;
       application;
+      backend;
       power_pct;
       reuse;
       max_reuse;
@@ -315,6 +337,9 @@ let coalesce_key req =
             (match req.application with
             | Proc.Processor.Bist -> "bist"
             | Proc.Processor.Decompression -> "decompress");
+          (* [backend] shapes the plan itself, so requests asking
+             different backends must never share a solve. *)
+          add (Option.value req.backend ~default:"-");
           add
             (match req.power_pct with
             | None -> "-"
@@ -343,8 +368,8 @@ let coalesce_key req =
    closing brace.  A [Json.Raw] result — how multi-megabyte sweep and
    plan payloads arrive here — is spliced through untouched instead of
    being copied into a second envelope-sized buffer. *)
-let ok_response ~id ~op ~cache ?(coalesced = false) ?batch_size ~elapsed_ms
-    result =
+let ok_response ~id ~op ~cache ?(coalesced = false) ?backend ?batch_size
+    ~elapsed_ms result =
   let head_fields =
     [
       ("v", Json.Int version);
@@ -356,6 +381,9 @@ let ok_response ~id ~op ~cache ?(coalesced = false) ?batch_size ~elapsed_ms
       | `Hit -> [ ("cache", Json.String "hit") ]
       | `Miss -> [ ("cache", Json.String "miss") ]
       | `None -> [])
+    @ (match backend with
+      | Some name -> [ ("backend", Json.String name) ]
+      | None -> [])
     @ (if coalesced then [ ("coalesced", Json.Bool true) ] else [])
     @ (match batch_size with
       | Some n when n >= 2 ->

@@ -17,6 +17,8 @@
       "leons": 2, "plasmas": 0,// processors to embed (default 0)
       "policy": "greedy",      // or "lookahead"
       "application": "bist",   // or "decompress"
+      "backend": "race",       // plan/validate: greedy | binpack | race
+
       "power_pct": 25.0,       // power limit, % of total core power
       "reuse": 3,              // plan/validate/anneal (default: all)
       "max_reuse": 6,          // sweep (default: all)
@@ -37,6 +39,8 @@
     {v
     { "v": 1, "id": "r1", "ok": true, "op": "plan",
       "cache": "hit",          // access-table cache: hit | miss
+      "backend": "greedy",     // plan/validate: solver that produced
+                               //   the plan (race: the winner)
       "elapsed_ms": 12.5, "result": { ... } }
     v}
 
@@ -45,6 +49,18 @@
     pass grouped); a coalesced follower carries ["coalesced": true].
     These markers describe scheduling, not the verdict — the [result]
     payload is byte-identical to sequential, unbatched service.
+
+    {b Backends.}  [plan] and [validate] accept a ["backend"] field
+    naming a planning backend ([greedy] — the default, [binpack] — the
+    rectangle bin-packing formulation, or [race] — every registered
+    backend runs concurrently on its own domain and the best valid
+    plan wins, never worse than greedy alone).  Every plan/validate
+    response — batched ones included — names the solver that produced
+    its plan in ["backend"]; per-backend solve counts, win counts and
+    total latency appear in the [metrics] snapshot ([backend_solves],
+    [backend_wins], [backend_latency_ms]) and as
+    [nocplan_backend_*] Prometheus series.  Naming [backend] on any
+    other op is refused as [invalid].
 
     Error response:
     {v
@@ -109,6 +125,10 @@ type request = {
       (** [None] only for [Metrics] and [Prometheus] *)
   policy : Nocplan_core.Scheduler.policy;
   application : Nocplan_proc.Processor.application;
+  backend : string option;
+      (** [Plan]/[Validate] planning backend: a registered
+          {!Nocplan_core.Backend} name or ["race"]; [None] means the
+          default greedy path *)
   power_pct : float option;
   reuse : int option;
   max_reuse : int option;
@@ -161,6 +181,7 @@ val ok_response :
   op:op ->
   cache:[ `Hit | `Miss | `None ] ->
   ?coalesced:bool ->
+  ?backend:string ->
   ?batch_size:int ->
   elapsed_ms:float ->
   Json.t ->
@@ -170,7 +191,9 @@ val ok_response :
     through as its own chunk, so a multi-megabyte payload is never
     copied into an envelope-sized buffer; transports write the chunks
     back-to-back.  [batch_size >= 2] marks the response as served from
-    a shared batch pass of that size. *)
+    a shared batch pass of that size; [backend] names the solver whose
+    plan the response carries (set for every plan/validate response,
+    batched and coalesced ones included). *)
 
 val error_response : id:Json.t -> error_kind -> string -> string
 val op_label : op -> string

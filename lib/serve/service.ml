@@ -128,6 +128,25 @@ let prometheus_text t =
         ~help:"Modules left without a test path by replan requests."
         Prom.Counter ~name:"nocplan_fault_abandoned_total"
         [ Prom.sample (float_of_int s.Stats.fault_abandoned) ];
+      Prom.metric ~help:"Planning-backend solve attempts (race: one per racer)."
+        Prom.Counter ~name:"nocplan_backend_solves_total"
+        (List.map
+           (fun (b, n) ->
+             Prom.sample ~labels:[ ("backend", b) ] (float_of_int n))
+           s.Stats.backend_solves);
+      Prom.metric
+        ~help:"Plans returned to clients, by producing backend (race: winner)."
+        Prom.Counter ~name:"nocplan_backend_wins_total"
+        (List.map
+           (fun (b, n) ->
+             Prom.sample ~labels:[ ("backend", b) ] (float_of_int n))
+           s.Stats.backend_wins);
+      Prom.metric
+        ~help:"Total planning-backend solve wall-clock, milliseconds."
+        Prom.Counter ~name:"nocplan_backend_latency_ms_total"
+        (List.map
+           (fun (b, ms) -> Prom.sample ~labels:[ ("backend", b) ] ms)
+           s.Stats.backend_latency_ms);
       Prom.metric ~help:"Anneal searches seeded from the warm-start cache."
         Prom.Counter ~name:"nocplan_warm_hits_total"
         [ Prom.sample (float_of_int s.Stats.warm_hits) ];
@@ -239,10 +258,62 @@ let heuristic_schedule t ~key ~access system config ~reuse =
         let order = Array.of_list (Core.Priority.order system ~reuse) in
         Core.Eval_cache.schedule cache order)
 
+(* Dispatch one plan/validate solve to the requested backend and name
+   the solver that produced the plan.  The default (greedy) path keeps
+   going through the shared evaluation cache — exact repeats skip the
+   engine — while "binpack" solves directly and "race" runs every
+   registered backend on its own domain and keeps the best valid plan.
+   Every attempt is recorded per backend (a race records one per
+   racer); the win counter tracks whose plan clients actually get. *)
+let backend_schedule t ~key ~access system config ~reuse backend =
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let sched = f () in
+    Stats.record_backend t.stats ~backend:name
+      ~latency_ms:((Unix.gettimeofday () -. t0) *. 1e3);
+    sched
+  in
+  match backend with
+  | None | Some "greedy" ->
+      let sched =
+        timed "greedy" (fun () ->
+            heuristic_schedule t ~key ~access system config ~reuse)
+      in
+      Stats.record_backend_win t.stats ~backend:"greedy";
+      (sched, "greedy")
+  | Some "race" ->
+      let outcome =
+        Core.Backend.race ~clock:Unix.gettimeofday ~access system config
+      in
+      List.iter
+        (fun (a : Core.Backend.attempt) ->
+          Stats.record_backend t.stats ~backend:a.Core.Backend.backend
+            ~latency_ms:(a.Core.Backend.latency_s *. 1e3))
+        outcome.Core.Backend.attempts;
+      Stats.record_backend_win t.stats
+        ~backend:outcome.Core.Backend.winner;
+      (outcome.Core.Backend.schedule, outcome.Core.Backend.winner)
+  | Some name -> (
+      (* Parse already refused unknown names; a registry change
+         between parse and execution surfaces as a parse error. *)
+      match Core.Backend.find name with
+      | None -> invalid_arg (Printf.sprintf "unknown backend %S" name)
+      | Some b ->
+          let sched =
+            timed name (fun () -> Core.Backend.solve b ~access system config)
+          in
+          Stats.record_backend_win t.stats ~backend:name;
+          (sched, name))
+
+(* [execute] answers [Ok (result, cache, backend)]: the payload, the
+   access-table cache verdict, and — for plan/validate — the name of
+   the planning backend that produced the plan, threaded all the way
+   into the response envelope (batched and coalesced deliveries
+   included). *)
 let execute t (req : Protocol.request) ~check =
   match req.op with
-  | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None)
-  | Protocol.Prometheus -> Ok (Json.String (prometheus_text t), `None)
+  | Protocol.Metrics -> Ok (Stats.snapshot_json (snapshot t), `None, None)
+  | Protocol.Prometheus -> Ok (Json.String (prometheus_text t), `None, None)
   | Protocol.Plan | Protocol.Validate | Protocol.Sweep | Protocol.Anneal
   | Protocol.Replan | Protocol.Preempt -> (
       let spec =
@@ -287,12 +358,16 @@ let execute t (req : Protocol.request) ~check =
                 instance_key system ~application ~policy
                   ~power_pct:req.power_pct ~reuse
               in
-              let sched = heuristic_schedule t ~key ~access system config ~reuse in
+              let sched, backend =
+                backend_schedule t ~key ~access system config ~reuse
+                  req.backend
+              in
               (* Export documents end in a newline; the protocol is
                  one line per response, so splice them trimmed. *)
               Ok
                 ( Json.Raw (String.trim (Core.Export.schedule_json system sched)),
-                  cache )
+                  cache,
+                  Some backend )
           | Protocol.Validate ->
               let reuse = Option.value req.reuse ~default:all in
               let config =
@@ -303,7 +378,10 @@ let execute t (req : Protocol.request) ~check =
                 instance_key system ~application ~policy
                   ~power_pct:req.power_pct ~reuse
               in
-              let sched = heuristic_schedule t ~key ~access system config ~reuse in
+              let sched, backend =
+                backend_schedule t ~key ~access system config ~reuse
+                  req.backend
+              in
               check ();
               let valid, violations =
                 match
@@ -326,7 +404,8 @@ let execute t (req : Protocol.request) ~check =
                       ("makespan", Json.Int sched.Core.Schedule.makespan);
                       ("violations", Json.List violations);
                     ],
-                  cache )
+                  cache,
+                  Some backend )
           | Protocol.Anneal ->
               let reuse = Option.value req.reuse ~default:all in
               let iterations = Option.value req.iterations ~default:400 in
@@ -395,7 +474,8 @@ let execute t (req : Protocol.request) ~check =
                       ("chains", Json.Int r.Core.Annealing.chains);
                       ("exchanges", Json.Int r.Core.Annealing.exchanges);
                     ],
-                  cache )
+                  cache,
+                  None )
           | Protocol.Preempt -> (
               let reuse = Option.value req.reuse ~default:all in
               let max_sessions = Option.value req.max_sessions ~default:3 in
@@ -428,7 +508,8 @@ let execute t (req : Protocol.request) ~check =
                           ("max_sessions", Json.Int max_sessions);
                           ("valid", Json.Bool valid);
                         ],
-                      cache )
+                      cache,
+                      None )
               | exception Invalid_argument msg ->
                   Error (Protocol.Invalid, msg))
           | Protocol.Replan -> (
@@ -510,7 +591,8 @@ let execute t (req : Protocol.request) ~check =
                             Json.Float outcome.Fault.Recover.availability );
                           ("valid", Json.Bool valid);
                         ],
-                      cache ))
+                      cache,
+                      None ))
           | Protocol.Sweep ->
               let max_reuse =
                 min all (Option.value req.max_reuse ~default:all)
@@ -530,7 +612,10 @@ let execute t (req : Protocol.request) ~check =
                   points;
                 }
               in
-              Ok (Json.Raw (String.trim (Core.Export.sweep_json sweep)), cache)))
+              Ok
+                ( Json.Raw (String.trim (Core.Export.sweep_json sweep)),
+                  cache,
+                  None )))
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                            *)
@@ -549,11 +634,11 @@ let deliver t ~coalesced ?batch_size job verdict =
   let req = job.req in
   let outcome, response =
     match verdict with
-    | `Good (result, cache) ->
+    | `Good (result, cache, backend) ->
         let elapsed_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1e3 in
         ( Stats.Served,
           Protocol.ok_response ~id:req.id ~op:req.op ~cache ~coalesced
-            ?batch_size ~elapsed_ms result )
+            ?backend ?batch_size ~elapsed_ms result )
     | `Bad (kind, msg) ->
         let outcome =
           match kind with
@@ -599,7 +684,7 @@ let run_job t ~worker ?batch_size job =
         ];
   let verdict =
     match execute t req ~check with
-    | Ok (result, cache) -> `Good (result, cache)
+    | Ok (result, cache, backend) -> `Good (result, cache, backend)
     | Error (kind, msg) -> `Bad (kind, msg)
     | exception Expired -> `Bad (Protocol.Timeout, "deadline exceeded")
     | exception Core.Scheduler.Unschedulable msg ->

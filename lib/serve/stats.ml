@@ -9,6 +9,9 @@ type t = {
   mutable rejected : int;
   mutable timeouts : int;
   coalesced : (string, int) Hashtbl.t;  (* op label -> attached requests *)
+  backend_solves : (string, int) Hashtbl.t;  (* backend -> solve attempts *)
+  backend_wins : (string, int) Hashtbl.t;  (* backend -> plans returned *)
+  backend_latency : (string, float) Hashtbl.t;  (* backend -> total ms *)
   mutable batched : int;  (* requests served through shared batch passes *)
   mutable batches : int;  (* batch passes of size >= 2 *)
   mutable fault_events : int;  (* fault targets handled by replan ops *)
@@ -29,6 +32,9 @@ let create () =
     rejected = 0;
     timeouts = 0;
     coalesced = Hashtbl.create 7;
+    backend_solves = Hashtbl.create 7;
+    backend_wins = Hashtbl.create 7;
+    backend_latency = Hashtbl.create 7;
     batched = 0;
     batches = 0;
     fault_events = 0;
@@ -73,6 +79,20 @@ let record_coalesced t ~op =
       let n = Option.value (Hashtbl.find_opt t.coalesced op) ~default:0 in
       Hashtbl.replace t.coalesced op (n + 1))
 
+let bump tbl key n =
+  Hashtbl.replace tbl key (Option.value (Hashtbl.find_opt tbl key) ~default:0 + n)
+
+let record_backend t ~backend ~latency_ms =
+  locked t (fun () ->
+      bump t.backend_solves backend 1;
+      let total =
+        Option.value (Hashtbl.find_opt t.backend_latency backend) ~default:0.0
+      in
+      Hashtbl.replace t.backend_latency backend (total +. latency_ms))
+
+let record_backend_win t ~backend =
+  locked t (fun () -> bump t.backend_wins backend 1)
+
 let record_batch t ~size =
   locked t (fun () ->
       t.batches <- t.batches + 1;
@@ -98,6 +118,9 @@ type snapshot = {
   rejected : int;
   timeouts : int;
   coalesced : (string * int) list;
+  backend_solves : (string * int) list;
+  backend_wins : (string * int) list;
+  backend_latency_ms : (string * float) list;
   batched : int;
   batches : int;
   fault_events : int;
@@ -142,16 +165,20 @@ let snapshot t ~cache_hits ~cache_misses ~warm_hits ~warm_misses
           Some (quantiles_of sample)
         end
       in
-      let coalesced =
-        Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.coalesced []
+      let sorted_bindings tbl =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
         |> List.sort compare
       in
+      let coalesced = sorted_bindings t.coalesced in
       {
         served = t.served;
         failed = t.failed;
         rejected = t.rejected;
         timeouts = t.timeouts;
         coalesced;
+        backend_solves = sorted_bindings t.backend_solves;
+        backend_wins = sorted_bindings t.backend_wins;
+        backend_latency_ms = sorted_bindings t.backend_latency;
         batched = t.batched;
         batches = t.batches;
         fault_events = t.fault_events;
@@ -178,6 +205,16 @@ let snapshot_json s =
       ("timeouts", Json.Int s.timeouts);
       ( "coalesced",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) s.coalesced) );
+      ( "backend_solves",
+        Json.Obj (List.map (fun (b, n) -> (b, Json.Int n)) s.backend_solves) );
+      ( "backend_wins",
+        Json.Obj (List.map (fun (b, n) -> (b, Json.Int n)) s.backend_wins) );
+      ( "backend_latency_ms",
+        Json.Obj
+          (List.map
+             (fun (b, ms) ->
+               (b, Json.Float (Float.round (ms *. 1000.) /. 1000.)))
+             s.backend_latency_ms) );
       ("batched", Json.Int s.batched);
       ("batches", Json.Int s.batches);
       ("fault_events", Json.Int s.fault_events);

@@ -36,6 +36,15 @@ val record_batch : t -> size:int -> unit
 (** Count one shared batch pass grouping [size >= 2] compatible
     requests; all [size] members count as batched. *)
 
+val record_backend : t -> backend:string -> latency_ms:float -> unit
+(** Count one planning-backend solve attempt (by backend name) and add
+    its wall-clock latency to that backend's running total.  A [race]
+    request records one attempt per racing backend. *)
+
+val record_backend_win : t -> backend:string -> unit
+(** Count one plan actually returned to a client as produced by this
+    backend — for a race, the winner only. *)
+
 val record_fault : t -> events:int -> abandoned:int -> unit
 (** Count one [replan] request that reached fault recovery: [events]
     fault targets were injected and [abandoned] modules were left
@@ -57,6 +66,12 @@ type snapshot = {
   coalesced : (string * int) list;
       (** per-op count of requests served by another request's solve,
           sorted by op label *)
+  backend_solves : (string * int) list;
+      (** per-backend solve attempts, sorted by backend name *)
+  backend_wins : (string * int) list;
+      (** per-backend plans returned to clients (race: winners only) *)
+  backend_latency_ms : (string * float) list;
+      (** per-backend total solve wall-clock, milliseconds *)
   batched : int;  (** requests served through shared batch passes *)
   batches : int;  (** batch passes of size >= 2 *)
   fault_events : int;  (** fault targets handled by [replan] requests *)

@@ -60,5 +60,7 @@ let () =
       ("planning service", Test_serve.suite);
       ("planning service fuzz", Test_serve_fuzz.suite);
       ("planning service batching", Test_serve_batch.suite);
+      ("planning backends", Test_backend.suite);
+      ("planning service backends", Test_serve_backend.suite);
       ("observability", Test_obs.suite);
     ]

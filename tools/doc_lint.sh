@@ -4,6 +4,10 @@
 #   1. Every `nocplan <subcommand>` mentioned inside a fenced code
 #      block of README.md / OBSERVABILITY.md must be a real
 #      subcommand of the built binary.
+#   1b. The CLI flag surface and the README must agree both ways:
+#      every option flag declared by any subcommand's --help is
+#      documented in README.md, and every --flag used in a fenced
+#      nocplan example is a real flag (--help/--version exempt).
 #   2. Every markdown file the README links to must exist.
 #   3. OBSERVABILITY.md must be reachable from README.md (the span
 #      taxonomy is documentation-as-contract for the golden tests).
@@ -44,6 +48,37 @@ for doc in README.md OBSERVABILITY.md; do
       err "$doc references unknown subcommand 'nocplan $cmd'"
     fi
   done
+done
+
+# -- 1b. CLI flags: --help and the README must agree ------------------------
+
+# Union of declared option flags across every subcommand's help page.
+# Declaration lines are exactly 7-space indented ("       --flag=VAL" or
+# "       -x VAL, --flag=VAL"); deeper-indented description prose is
+# excluded so a doc string mentioning another flag cannot declare it.
+cli_flags=$(for cmd in $subcommands; do
+    "$BIN" "$cmd" --help=plain 2>/dev/null \
+      | grep -E '^       -' \
+      | grep -oE -e '--[a-z][a-z0-9-]*'
+  done | sort -u | grep -vE '^--(help|version)$' || true)
+[ -n "$cli_flags" ] || err "could not extract option flags from $BIN help pages"
+
+# Forward: every real flag is documented somewhere in the README.  The
+# word boundary keeps --trace from being satisfied by --trace-ring.
+for f in $cli_flags; do
+  grep -qE -e "(^|[^a-z0-9-])$f([^a-z0-9-]|\$)" README.md \
+    || err "README.md does not document CLI flag $f"
+done
+
+# Reverse: every --flag used in a fenced nocplan example is real.
+readme_flags=$(awk '/^```/{f=!f;next} f && /nocplan/' README.md \
+  | grep -oE -e '--[a-z][a-z0-9-]*' | sort -u || true)
+for f in $readme_flags; do
+  case "$f" in
+    --help|--version) continue ;;
+  esac
+  printf '%s\n' "$cli_flags" | grep -qx -e "$f" \
+    || err "README.md fenced example uses unknown CLI flag $f"
 done
 
 # -- 2. Local markdown links from the README --------------------------------

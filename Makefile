@@ -1,7 +1,7 @@
 # Convenience targets; dune does the real work.
 
 .PHONY: all build test bench bench-json check examples clean doc doc-lint \
-        coverage serve-smoke fault-smoke
+        coverage serve-smoke fault-smoke corpus-smoke testplan-lint
 
 all: build
 
@@ -81,6 +81,18 @@ fault-smoke: build
 	dune exec bin/nocplan.exe -- faults d695_leon \
 	  --rates 0,0.05,0.1,0.2 --seed 7 --gate
 
+# dvsim-style testplan/registry cross-check: unknown suite references
+# and unreferenced suites both fail the build.
+testplan-lint: build
+	sh tools/testplan_lint.sh
+
+# Corpus smoke: a small seed-pinned synthetic corpus through the full
+# checked-in testplan on two domains; exits non-zero if any testpoint
+# reports a failed check (or the testplan itself has drifted).
+corpus-smoke: testplan-lint
+	dune exec bin/nocplan.exe -- verify --testplan test/testplan.json \
+	  --count 12 --jobs 2 --seed 7
+
 # The tier-1 gate plus doc lint plus a benchmark smoke run producing
 # the JSON and checking it against the committed baseline (skip the
 # regression gate with NOCPLAN_BENCH_GATE=off on unrelated machines).
@@ -91,6 +103,7 @@ check:
 	$(MAKE) coverage
 	$(MAKE) serve-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) corpus-smoke
 	dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json --gate BENCH_nocplan.json
 
 examples:

@@ -1171,8 +1171,11 @@ type fault_avail_row = {
 
 (* The deterministic availability / makespan-degradation curve of the
    fault subsystem: one seeded campaign per rate, nested fault sets, so
-   the curve is monotone by construction (the fault-smoke gate checks
-   the same property from the CLI).  Smoke keeps it to d695. *)
+   the injected count is monotone by construction.  Availability is
+   monotone on these benchmark seeds too (the fault-smoke gate checks
+   that from the CLI), though replan dynamics mean that is not a
+   theorem — see the corpus fault_monotonicity suite.  Smoke keeps it
+   to d695. *)
 let fault_availability ~smoke systems =
   section "fault: availability under seeded injection (rate sweep)";
   let names =
@@ -1240,6 +1243,86 @@ let detour_overhead () =
     dc_detour_seconds = detour }
 
 (* ------------------------------------------------------------------ *)
+(* corpus:sweep — Domain-parallel testplan verification                *)
+
+module Corpus_lib = Nocplan_corpus
+
+type corpus_row = {
+  co_systems : int;
+  co_jobs : int;
+  co_seq_seconds : float;
+  co_par_seconds : float;
+  co_failures : int;
+  co_checks : int;
+}
+
+(* The verify engine must scale: running the checked-in testplan over a
+   synthetic corpus on all recommended domains has to beat the same run
+   on one domain by >= 2x wherever >= 4 domains are available (the gate
+   below self-skips on smaller machines, where the comparison would
+   only measure spawn overhead), and no check may fail either way. *)
+let corpus_speedup_floor = 2.0
+
+let corpus_testplan_sweep ~smoke =
+  section "corpus:sweep — testplan verification, 1 domain vs all";
+  let path =
+    List.find_opt Sys.file_exists
+      [ "test/testplan.json"; "testplan.json"; "../test/testplan.json" ]
+  in
+  match path with
+  | None ->
+      Fmt.pr "testplan.json not found from %s — skipping@." (Sys.getcwd ());
+      None
+  | Some path -> (
+      match Corpus_lib.Testplan.load path with
+      | Error msg ->
+          Fmt.pr "cannot load %s: %s — skipping@." path msg;
+          None
+      | Ok testplan ->
+          let count = if smoke then 48 else 144 in
+          let items = Corpus_lib.Corpus.generate ~seed:11L ~count in
+          let jobs = Core.Domains.clamp max_int in
+          let timed_run jobs =
+            let t0 = Unix.gettimeofday () in
+            let report =
+              Corpus_lib.Runner.run ~jobs ~clock:Unix.gettimeofday ~testplan
+                items
+            in
+            (report, Unix.gettimeofday () -. t0)
+          in
+          let seq, seq_seconds = timed_run 1 in
+          let par, par_seconds = timed_run jobs in
+          let totals (r : Corpus_lib.Runner.report) =
+            List.fold_left
+              (fun (fails, checks) (p : Corpus_lib.Runner.point) ->
+                ( fails + p.Corpus_lib.Runner.fail,
+                  checks + Corpus_lib.Runner.coverage p ))
+              (0, 0) r.Corpus_lib.Runner.points
+          in
+          let seq_fails, seq_checks = totals seq in
+          let par_fails, par_checks = totals par in
+          Fmt.pr "%-10s %-8s %-10s %-10s@." "domains" "systems" "checks"
+            "seconds";
+          Fmt.pr "%-10d %-8d %-10d %-10.3f@." 1 count seq_checks seq_seconds;
+          Fmt.pr "%-10d %-8d %-10d %-10.3f@." jobs count par_checks
+            par_seconds;
+          Fmt.pr "speedup %.2fx on %d domain(s), %d failed checks@."
+            (seq_seconds /. par_seconds)
+            jobs (seq_fails + par_fails);
+          if seq_checks <> par_checks then
+            Fmt.pr "WARNING: domain count changed the check count (%d vs %d)@."
+              seq_checks par_checks;
+          Some
+            {
+              co_systems = count;
+              co_jobs = jobs;
+              co_seq_seconds = seq_seconds;
+              co_par_seconds = par_seconds;
+              co_failures = seq_fails + par_fails;
+              co_checks = par_checks;
+            })
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artefact (BENCH_nocplan.json)                      *)
 
 (* Figure-1 wall time of the SEED scheduler (commit b8727be), recorded
@@ -1304,7 +1387,7 @@ let json_points buf points =
   Buffer.add_char buf ']'
 
 let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~batch ~tcp
-    ~fault_rows ~detour =
+    ~fault_rows ~detour ~corpus =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "{\n  \"schema\": \"nocplan-bench/1\",\n";
   Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
@@ -1407,10 +1490,20 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~batch ~tcp
     fault_rows;
   Printf.bprintf buf
     "\n    ],\n    \"detour_overhead\": {\"faults\": %d, \"xy_seconds\": \
-     %.4f, \"detour_seconds\": %.4f, \"ratio\": %.2f}\n  },\n  \"annealing\": \
-     [\n"
+     %.4f, \"detour_seconds\": %.4f, \"ratio\": %.2f}\n  },\n"
     detour.dc_faults detour.dc_xy_seconds detour.dc_detour_seconds
     (detour.dc_detour_seconds /. detour.dc_xy_seconds);
+  (match corpus with
+  | Some c ->
+      Printf.bprintf buf
+        "  \"corpus\": {\"systems\": %d, \"jobs\": %d, \
+         \"sequential_seconds\": %.4f, \"parallel_seconds\": %.4f, \
+         \"speedup\": %.2f, \"checks\": %d, \"failures\": %d},\n"
+        c.co_systems c.co_jobs c.co_seq_seconds c.co_par_seconds
+        (c.co_seq_seconds /. c.co_par_seconds)
+        c.co_checks c.co_failures
+  | None -> Buffer.add_string buf "  \"corpus\": null,\n");
+  Buffer.add_string buf "  \"annealing\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -1469,7 +1562,7 @@ let write_json path ~smoke ~figure1_seconds ~panels ~load ~repeat ~batch ~tcp
    annealed makespans are deterministic, so they must be equal or
    better, with no tolerance.  NOCPLAN_BENCH_GATE=off skips the gate
    (for machines unrelated to the one that recorded the baseline). *)
-let run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp =
+let run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp ~corpus =
   match Sys.getenv_opt "NOCPLAN_BENCH_GATE" with
   | Some "off" ->
       Fmt.pr "@.gate: skipped (NOCPLAN_BENCH_GATE=off)@.";
@@ -1665,6 +1758,35 @@ let run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp =
           else
             Fmt.pr "gate: %-24s %d connections, 0 failures ok@." "serve tcp"
               tcp.tcp_clients;
+          (* Corpus checks are absolute properties of this run: every
+             testplan check must pass on every domain count, and the
+             Domain-parallel run must hold the speedup floor wherever
+             enough domains exist for the comparison to mean anything
+             (single- and dual-core machines self-skip it). *)
+          (match corpus with
+          | None -> fail "corpus: sweep did not run (no testplan found?)"
+          | Some c ->
+              if c.co_failures > 0 then
+                fail "corpus: %d failed checks across %d systems"
+                  c.co_failures c.co_systems
+              else if c.co_checks = 0 then
+                fail "corpus: sweep ran no checks"
+              else
+                Fmt.pr "gate: %-24s %d checks, 0 failures ok@." "corpus sweep"
+                  c.co_checks;
+              let speedup = c.co_seq_seconds /. c.co_par_seconds in
+              if c.co_jobs >= 4 then
+                if speedup < corpus_speedup_floor then
+                  fail
+                    "corpus: %.2fx speedup on %d domains (floor %.0fx)"
+                    speedup c.co_jobs corpus_speedup_floor
+                else
+                  Fmt.pr "gate: %-24s %.2fx on %d domains (floor %.0fx) ok@."
+                    "corpus speedup" speedup c.co_jobs corpus_speedup_floor
+              else
+                Fmt.pr
+                  "gate: %-24s skipped (%d domain(s) available, need 4)@."
+                  "corpus speedup" c.co_jobs);
           (match !failures with
           | [] -> Fmt.pr "gate: PASS vs %s@." baseline_path
           | fs ->
@@ -1787,10 +1909,15 @@ let () =
         fault_availability ~smoke:!smoke systems)
   in
   let detour = timed "fault:detour_overhead" detour_overhead in
+  let corpus =
+    timed "corpus:sweep" (fun () -> corpus_testplan_sweep ~smoke:!smoke)
+  in
   write_json !json_path ~smoke:!smoke ~figure1_seconds ~panels ~load ~repeat
-    ~batch ~tcp ~fault_rows ~detour;
+    ~batch ~tcp ~fault_rows ~detour ~corpus;
   match !gate_path with
   | None -> ()
   | Some baseline_path ->
-      if not (run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp)
+      if not
+           (run_gate ~baseline_path ~figure1_seconds ~repeat ~batch ~tcp
+              ~corpus)
       then exit 1

@@ -12,6 +12,7 @@ module Core = Nocplan_core
 module Fault = Nocplan_fault
 module Serve = Nocplan_serve
 module Obs = Nocplan_obs
+module Corpus = Nocplan_corpus
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -659,8 +660,16 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* corpus                                                             *)
 
+let corpus_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Deterministic corpus seed (generate/describe).")
+
+let corpus_count_arg =
+  Arg.(value & opt int 16 & info [ "count" ] ~docv:"N"
+         ~doc:"Number of synthetic systems to draw (generate/describe).")
+
 let corpus_cmd =
-  let run () =
+  let list_embedded () =
     Fmt.pr "%-10s %-8s %-12s %-14s %-12s@." "name" "modules" "scan cells"
       "test bits" "total power";
     List.iter
@@ -678,9 +687,195 @@ let corpus_cmd =
       (Itc02.Benchmarks.all ());
     0
   in
+  let describe items =
+    Fmt.pr "%a@." Corpus.Corpus.pp_header ();
+    List.iter (fun item -> Fmt.pr "%a@." Corpus.Corpus.pp_row item) items;
+    Fmt.pr "corpus digest: %s@." (Corpus.Corpus.digest items);
+    0
+  in
+  let generate items out =
+    match out with
+    | None -> parse_fail "corpus generate needs --out DIR"
+    | Some dir -> (
+        match
+          if Sys.file_exists dir then
+            if Sys.is_directory dir then Ok ()
+            else Error (dir ^ " exists and is not a directory")
+          else begin
+            Unix.mkdir dir 0o755;
+            Ok ()
+          end
+        with
+        | Error msg -> parse_fail msg
+        | exception Unix.Unix_error (e, _, _) ->
+            parse_fail (dir ^ ": " ^ Unix.error_message e)
+        | Ok () ->
+            List.iter
+              (fun (item : Corpus.Corpus.item) ->
+                Itc02.Printer.to_file
+                  (Filename.concat dir (item.Corpus.Corpus.name ^ ".soc"))
+                  item.Corpus.Corpus.soc)
+              items;
+            Out_channel.with_open_text (Filename.concat dir "MANIFEST.csv")
+              (fun oc ->
+                Out_channel.output_string oc Corpus.Corpus.csv_header;
+                Out_channel.output_char oc '\n';
+                List.iter
+                  (fun item ->
+                    Out_channel.output_string oc (Corpus.Corpus.csv_row item);
+                    Out_channel.output_char oc '\n')
+                  items);
+            Fmt.pr "wrote %d systems and MANIFEST.csv to %s (digest %s)@."
+              (List.length items) dir
+              (Corpus.Corpus.digest items);
+            0)
+  in
+  let run action seed count out =
+    match action with
+    | `List -> list_embedded ()
+    | `Describe | `Generate -> (
+        match Corpus.Corpus.generate ~seed:(Int64.of_int seed) ~count with
+        | exception Invalid_argument msg -> parse_fail msg
+        | items -> (
+            match action with
+            | `Describe -> describe items
+            | _ -> generate items out))
+  in
+  let action_arg =
+    let actions =
+      [ ("list", `List); ("describe", `Describe); ("generate", `Generate) ]
+    in
+    Arg.(value & pos 0 (enum actions) `List
+         & info [] ~docv:"ACTION"
+             ~doc:
+               "$(docv) is $(b,list) (default: the embedded ITC'02 \
+                benchmarks), $(b,describe) (draw a seeded synthetic corpus \
+                and print its table and digest) or $(b,generate) (write the \
+                drawn systems and a MANIFEST.csv to --out).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory the generated corpus is written to.")
+  in
   Cmd.v
-    (cmd_info "corpus" ~doc:"List the embedded ITC'02 benchmark corpus.")
-    Term.(const run $ const ())
+    (cmd_info "corpus"
+       ~doc:
+         "List the embedded ITC'02 benchmark corpus, or draw a deterministic \
+          synthetic SoC corpus (describe/generate).")
+    Term.(const run $ action_arg $ corpus_seed_arg $ corpus_count_arg
+          $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+
+let verify_cmd =
+  let run testplan seed count jobs shard csv out lint trace =
+    match Corpus.Testplan.load testplan with
+    | Error msg -> parse_fail ("testplan: " ^ msg)
+    | Ok plan -> (
+        match Corpus.Testplan.lint ~suites:(Corpus.Suites.names ()) plan with
+        | _ :: _ as errors ->
+            List.iter (fun e -> Fmt.epr "nocplan: testplan: %s@." e) errors;
+            exit_parse
+        | [] ->
+            if lint then begin
+              Fmt.pr "testplan %s: %d testpoints over %d property suites, \
+                      lint clean@."
+                plan.Corpus.Testplan.name
+                (List.length plan.Corpus.Testplan.testpoints)
+                (List.length (Corpus.Suites.names ()));
+              0
+            end
+            else begin
+              let items =
+                Corpus.Corpus.generate ~seed:(Int64.of_int seed) ~count
+              in
+              match
+                match shard with
+                | None -> Ok items
+                | Some (k, n) -> (
+                    match Corpus.Runner.shard ~k ~n items with
+                    | sharded -> Ok sharded
+                    | exception Invalid_argument msg -> Error msg)
+              with
+              | Error msg -> parse_fail msg
+              | Ok items ->
+                  let epoch = Unix.gettimeofday () in
+                  let clock () = Unix.gettimeofday () -. epoch in
+                  let report, _events =
+                    with_tracing trace (fun () ->
+                        Corpus.Runner.run ~jobs ?shard_of:shard ~clock
+                          ~testplan:plan items)
+                  in
+                  if csv then Fmt.pr "%s@." (Corpus.Runner.csv report)
+                  else Fmt.pr "%a@." Corpus.Runner.pp_report report;
+                  Option.iter
+                    (fun path ->
+                      Out_channel.with_open_text path (fun oc ->
+                          Out_channel.output_string oc
+                            (Serve.Json.to_string
+                               (Corpus.Runner.to_json
+                                  ~seed:(Int64.of_int seed) report));
+                          Out_channel.output_char oc '\n');
+                      Fmt.pr "summary written to %s@." path)
+                    out;
+                  if Corpus.Runner.ok report then 0 else 1
+            end)
+  in
+  let testplan_arg =
+    Arg.(required & opt (some string) None & info [ "testplan" ] ~docv:"FILE"
+           ~doc:"Machine-parseable testplan (JSON) mapping testpoints to \
+                 property suites.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains the corpus sweep fans out over (clamped to \
+                 the recommended domain count).")
+  in
+  let shard_conv =
+    let parse s =
+      match String.split_on_char '/' s with
+      | [ k; n ] -> (
+          match (int_of_string_opt k, int_of_string_opt n) with
+          | Some k, Some n -> Ok (k, n)
+          | _ -> Error (`Msg "expected K/N, e.g. 2/4"))
+      | _ -> Error (`Msg "expected K/N, e.g. 2/4")
+    in
+    Arg.conv (parse, fun ppf (k, n) -> Fmt.pf ppf "%d/%d" k n)
+  in
+  let shard_arg =
+    Arg.(value & opt (some shard_conv) None & info [ "shard" ] ~docv:"K/N"
+           ~doc:"Verify only the K-th of N disjoint corpus shards (CI \
+                 fan-out); the N shards cover the corpus exactly.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Print per-testpoint counts as CSV instead of the table.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON summary artifact to $(docv).")
+  in
+  let lint_arg =
+    Arg.(value & flag & info [ "lint" ]
+           ~doc:"Only cross-check the testplan against the property-suite \
+                 registry (both ways) and exit.")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N"
+           ~doc:"Corpus size to draw before sharding.")
+  in
+  let term =
+    Term.(const run $ testplan_arg $ corpus_seed_arg $ count_arg $ jobs_arg
+          $ shard_arg $ csv_arg $ out_arg $ lint_arg $ trace_arg)
+  in
+  Cmd.v
+    (cmd_info "verify"
+       ~doc:
+         "Run every testplan testpoint's property suites over a seeded \
+          synthetic corpus, Domain-parallel, and report per-testpoint \
+          pass/fail/coverage counts.")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                             *)
@@ -1026,6 +1221,7 @@ let main =
       anneal_cmd;
       generate_cmd;
       corpus_cmd;
+      verify_cmd;
       faults_cmd;
       serve_cmd;
     ]

@@ -1,0 +1,48 @@
+type row = {
+  label : string;
+  outcome : (Backend.outcome, string) result;
+}
+
+let race_row ?clock ?backends ?access ~label system config =
+  match Backend.race ?clock ?backends ?access system config with
+  | outcome -> { label; outcome = Ok outcome }
+  | exception Scheduler.Unschedulable msg -> { label; outcome = Error msg }
+  | exception Invalid_argument msg -> { label; outcome = Error msg }
+
+let sweep ?(domains = 1) ?clock ?backends instances =
+  Domains.map ~domains
+    (fun (label, system, config) ->
+      race_row ?clock ?backends ~label system config)
+    instances
+
+let greedy_attempt (o : Backend.outcome) =
+  List.find_opt
+    (fun (a : Backend.attempt) -> a.Backend.backend = "greedy")
+    o.Backend.attempts
+
+let greedy_makespan row =
+  match row.outcome with
+  | Error _ -> None
+  | Ok o -> (
+      match greedy_attempt o with
+      | Some { Backend.outcome = Ok s; _ } -> Some s.Schedule.makespan
+      | Some { Backend.outcome = Error _; _ } | None -> None)
+
+let race_never_worse row =
+  match row.outcome with
+  | Error _ -> true
+  | Ok o -> (
+      match greedy_makespan row with
+      | None -> true
+      | Some greedy -> o.Backend.schedule.Schedule.makespan <= greedy)
+
+let all_backends_valid row =
+  match row.outcome with
+  | Error _ -> false
+  | Ok o ->
+      List.for_all
+        (fun (a : Backend.attempt) ->
+          match a.Backend.outcome with
+          | Error _ -> true (* raised, nothing to validate *)
+          | Ok _ -> a.Backend.valid)
+        o.Backend.attempts

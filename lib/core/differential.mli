@@ -1,0 +1,63 @@
+(** Differential backend sweeps — the corpus-facing runner.
+
+    One {!row} per planning instance: every backend in the registry is
+    raced through {!Backend.race} (one domain per backend, independent
+    {!Schedule.validate} on every produced schedule), and the row keeps
+    the full per-backend attempt list so callers can assert the two
+    registry-wide identities the bench gates pin:
+
+    - {e race never worse}: the race winner's makespan is no larger
+      than greedy's whenever greedy produced a schedule (greedy is the
+      tie-break head of the backend list);
+    - {e every backend validator-clean}: each backend either raised
+      [Unschedulable] or produced a schedule that passes the
+      independent validator.
+
+    {!sweep} runs many labelled instances, fanned out over Domains via
+    {!Domains.map}; each instance's race spawns its own per-backend
+    domains, which is fine — domains nest. *)
+
+type row = {
+  label : string;  (** caller-chosen instance name *)
+  outcome : (Backend.outcome, string) result;
+      (** the race outcome, or the aggregated failure message when no
+          backend produced a valid schedule ([Scheduler.Unschedulable]
+          and [Invalid_argument] are caught; anything else propagates) *)
+}
+
+val race_row :
+  ?clock:(unit -> float) ->
+  ?backends:Backend.t list ->
+  ?access:Test_access.table ->
+  label:string ->
+  System.t ->
+  Scheduler.config ->
+  row
+(** Race every backend on one instance.  Arguments as {!Backend.race}
+    ([clock] defaults to [Sys.time] — this library does not link
+    unix). *)
+
+val sweep :
+  ?domains:int ->
+  ?clock:(unit -> float) ->
+  ?backends:Backend.t list ->
+  (string * System.t * Scheduler.config) list ->
+  row list
+(** [sweep instances] is one {!race_row} per [(label, system, config)],
+    in input order, evaluated on up to [Domains.clamp domains] domains
+    (default 1). *)
+
+val race_never_worse : row -> bool
+(** The race winner's makespan is [<=] the greedy attempt's makespan.
+    Vacuously true when greedy raised, or when the whole race failed
+    (there is no winner to compare). *)
+
+val all_backends_valid : row -> bool
+(** Every attempt either failed ([Error]) or produced a schedule that
+    passed the independent validator — i.e. no backend emitted an
+    invalid schedule.  [false] when the race itself failed: a corpus
+    instance is constructed to be schedulable, so a registry-wide
+    failure is a defect, not a skip. *)
+
+val greedy_makespan : row -> int option
+(** The greedy attempt's makespan, when greedy produced a schedule. *)

@@ -1,2 +1,24 @@
 let clamp requested =
   max 1 (min requested (Domain.recommended_domain_count ()))
+
+let map ?(domains = 1) f items =
+  let domains = clamp domains in
+  if domains = 1 then List.map f items
+  else begin
+    (* Round-robin slices keep per-domain work balanced when item cost
+       correlates with position (e.g. corpora generated in size order),
+       and reassembly by index restores input order exactly. *)
+    let indexed = List.mapi (fun i x -> (i, x)) items in
+    let slices =
+      List.init domains (fun d ->
+          List.filter (fun (i, _) -> i mod domains = d) indexed)
+    in
+    let workers =
+      List.map
+        (fun slice ->
+          Domain.spawn (fun () -> List.map (fun (i, x) -> (i, f x)) slice))
+        slices
+    in
+    let results = List.concat_map Domain.join workers in
+    List.map (fun (i, _) -> List.assoc i results) indexed
+  end

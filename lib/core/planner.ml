@@ -84,27 +84,10 @@ let reuse_sweep ?(policy = Scheduler.Greedy) ?(application = Processor.Bist)
         ("domains", Trace.Int domains);
       ]
   @@ fun () ->
+  (* The points are independent: {!Domains.map} fans them out
+     round-robin over the worker domains and reassembles in order. *)
   let points =
-    if domains = 1 then List.init (max_reuse + 1) evaluate
-    else begin
-      (* The points are independent: fan them out round-robin over the
-         worker domains and reassemble in order. *)
-      let reuses = List.init (max_reuse + 1) Fun.id in
-      let slices =
-        List.init domains (fun d ->
-            List.filter (fun r -> r mod domains = d) reuses)
-      in
-      let workers =
-        List.map
-          (fun slice ->
-            Domain.spawn (fun () -> List.map (fun r -> (r, evaluate r)) slice))
-          slices
-      in
-      let results = List.concat_map Domain.join workers in
-      List.map
-        (fun r -> List.assoc r results)
-        reuses
-    end
+    Domains.map ~domains evaluate (List.init (max_reuse + 1) Fun.id)
   in
   {
     system_name = system.System.soc.Nocplan_itc02.Soc.name;

@@ -1,0 +1,22 @@
+(** Naive, independent schedule invariant checker.
+
+    An intentionally dumb re-check of the safety invariants every
+    schedule must satisfy, shared by the test suites (historically
+    [test/util.ml], which now delegates here) and by the corpus
+    [schedule_invariants] property suite.  It deliberately duplicates
+    (a subset of) {!Nocplan_core.Schedule.validate} with the simplest
+    possible O(n²) pairwise-overlap logic and no cost model, so that a
+    bug in the production validator cannot vouch for a bug in the
+    schedulers. *)
+
+val schedule_invariant_errors :
+  ?power_limit:float option ->
+  ?modules:int list ->
+  Nocplan_core.System.t ->
+  Nocplan_core.Schedule.t ->
+  string list
+(** Human-readable violation messages; [[]] means the schedule passes.
+    Checks: every wanted module tested exactly once (default: the
+    whole system), no two time-overlapping tests share a link or an
+    endpoint, and instantaneous power stays within [power_limit] when
+    one is given. *)

@@ -1,0 +1,94 @@
+module Json = Nocplan_serve.Json
+
+type testpoint = { name : string; desc : string; suites : string list }
+type t = { name : string; testpoints : testpoint list }
+
+let ( let* ) = Result.bind
+
+let field_str name json =
+  match Json.str_field name json with
+  | Some s when s <> "" -> Ok s
+  | Some _ -> Error (Printf.sprintf "empty %S field" name)
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let parse_testpoint json =
+  let* name = field_str "name" json in
+  let* desc = field_str "desc" json in
+  let* suites =
+    match Json.member "suites" json with
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            match s with
+            | Json.String s when s <> "" -> Ok (s :: acc)
+            | _ ->
+                Error
+                  (Printf.sprintf "testpoint %S: suites must be strings" name))
+          (Ok []) l
+        |> Result.map List.rev
+    | Some _ | None ->
+        Error (Printf.sprintf "testpoint %S: missing \"suites\" array" name)
+  in
+  if suites = [] then
+    Error (Printf.sprintf "testpoint %S references no suites" name)
+  else Ok { name; desc; suites }
+
+let of_string text =
+  let* json = Json.parse text in
+  let* name = field_str "name" json in
+  let* testpoints =
+    match Json.member "testpoints" json with
+    | Some (Json.List (_ :: _ as l)) ->
+        List.fold_left
+          (fun acc tp ->
+            let* acc = acc in
+            let* tp = parse_testpoint tp in
+            Ok (tp :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+    | Some _ | None -> Error "missing non-empty \"testpoints\" array"
+  in
+  let rec dup : testpoint list -> string option = function
+    | [] -> None
+    | tp :: rest ->
+        if List.exists (fun (o : testpoint) -> o.name = tp.name) rest then
+          Some tp.name
+        else dup rest
+  in
+  match dup testpoints with
+  | Some n -> Error (Printf.sprintf "duplicate testpoint name %S" n)
+  | None -> Ok { name; testpoints }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let lint ~suites t =
+  let unknown =
+    List.concat_map
+      (fun (tp : testpoint) ->
+        List.filter_map
+          (fun s ->
+            if List.mem s suites then None
+            else
+              Some
+                (Printf.sprintf
+                   "testpoint %S names unknown property suite %S" tp.name s))
+          tp.suites)
+      t.testpoints
+  in
+  let unreferenced =
+    List.filter_map
+      (fun s ->
+        if
+          List.exists (fun tp -> List.mem s tp.suites) t.testpoints
+        then None
+        else
+          Some
+            (Printf.sprintf
+               "property suite %S is not referenced by any testpoint" s))
+      suites
+  in
+  unknown @ unreferenced

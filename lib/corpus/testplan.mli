@@ -1,0 +1,32 @@
+(** Machine-parseable testplan: named testpoints mapped to property
+    suites, dvsim-testplanner style.
+
+    The checked-in plan ([test/testplan.json]) is the document of
+    record for what the corpus sweep verifies; {!lint} keeps it honest
+    against the implemented suite registry in both directions — a
+    testpoint may not name a suite that does not exist, and a suite
+    may not be left unreferenced by every testpoint. *)
+
+type testpoint = {
+  name : string;
+  desc : string;  (** one-line intent, carried into reports *)
+  suites : string list;  (** {!Suites} registry names, at least one *)
+}
+
+type t = { name : string; testpoints : testpoint list }
+
+val of_string : string -> (t, string) result
+(** Parse a testplan document:
+    [{"name": ..., "testpoints": [{"name", "desc", "suites"}...]}].
+    Structural errors (missing fields, wrong types, empty or duplicate
+    testpoint names) are reported here; cross-checks against the suite
+    registry belong to {!lint}. *)
+
+val load : string -> (t, string) result
+(** {!of_string} over a file's contents; IO errors become [Error]. *)
+
+val lint : suites:string list -> t -> string list
+(** Coverage annotation both ways: one message per testpoint
+    referencing an unknown suite, and one per registered suite no
+    testpoint references.  [[]] means the plan and the registry
+    agree. *)

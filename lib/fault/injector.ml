@@ -34,8 +34,10 @@ let draw ~seed ~rate ~horizon topology =
   let rng = Rng.create (Int64.of_int seed) in
   (* One permutation and one time per candidate, drawn up front: a
      higher rate takes a longer prefix of the same sequence, so the
-     fault sets of a sweep are nested — the availability curve is
-     monotone in rate by construction, not by luck. *)
+     fault sets of a sweep are nested and the injected count is
+     monotone in rate by construction.  (Availability is not: replans
+     caused by the extra faults can reorder work around later shared
+     faults.) *)
   for i = n - 1 downto 1 do
     let j = Rng.int rng ~bound:(i + 1) in
     let tmp = targets.(i) in

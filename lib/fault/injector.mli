@@ -8,8 +8,13 @@
     Everything is deterministic in the seed: {!draw} makes one seeded
     permutation of all candidate targets plus one time per target, and
     a rate takes a prefix of that sequence.  Fault sets at increasing
-    rates are therefore {e nested}, which is what makes the
-    availability curve of a {!sweep} monotone by construction. *)
+    rates are therefore {e nested}, so the {e injected fault count} of
+    a {!sweep} is monotone by construction.  Availability usually falls
+    with the rate too, but that is not guaranteed: an extra early fault
+    triggers a replan that can move a module ahead of a later shared
+    fault which would have abandoned it at the lower rate, so
+    availability can locally rise (corpus sweeps hit this on roughly
+    0.5% of synthetic systems). *)
 
 type target =
   | Router of Nocplan_noc.Coord.t

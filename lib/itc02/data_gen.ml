@@ -36,6 +36,11 @@ module Rng = struct
   let bool t p = float t < p
 end
 
+type power_profile =
+  | Toggle
+  | Scaled of { lo : float; hi : float }
+  | Hotspot of { count : int; factor : float }
+
 type profile = {
   name : string;
   seed : int64;
@@ -101,7 +106,44 @@ let to_module ~id ~scale d =
     ~scan_chains:(chain_lengths ~cells ~chains:d.d_chains)
     ~patterns:d.d_patterns ()
 
-let generate profile =
+let with_test_power (m : Module_def.t) test_power =
+  Module_def.make ~bidirs:m.Module_def.bidirs ~test_power
+    ?parent:m.Module_def.parent ~id:m.Module_def.id ~name:m.Module_def.name
+    ~inputs:m.Module_def.inputs ~outputs:m.Module_def.outputs
+    ~scan_chains:m.Module_def.scan_chains ~patterns:m.Module_def.patterns ()
+
+(* Reshape the default toggle-proportional powers.  [Toggle] draws
+   nothing from [rng], so adding the knob leaves every historical
+   profile's output byte-identical. *)
+let apply_power rng power modules =
+  match power with
+  | Toggle -> modules
+  | Scaled { lo; hi } ->
+      if lo <= 0.0 || hi < lo then
+        invalid_arg "Data_gen.generate: bad Scaled power range";
+      List.map
+        (fun (m : Module_def.t) ->
+          let f = lo +. (Rng.float rng *. (hi -. lo)) in
+          with_test_power m (m.Module_def.test_power *. f))
+        modules
+  | Hotspot { count; factor } ->
+      if count < 1 || factor <= 0.0 then
+        invalid_arg "Data_gen.generate: bad Hotspot power profile";
+      let n = List.length modules in
+      let count = min count n in
+      (* Distinct hotspot indices, drawn deterministically. *)
+      let chosen = Hashtbl.create count in
+      while Hashtbl.length chosen < count do
+        Hashtbl.replace chosen (Rng.int rng ~bound:n) ()
+      done;
+      List.mapi
+        (fun i (m : Module_def.t) ->
+          if Hashtbl.mem chosen i then
+            with_test_power m (m.Module_def.test_power *. factor)
+          else m)
+        modules
+
+let generate ?(power = Toggle) profile =
   if profile.scan_modules < 1 then
     invalid_arg "Data_gen.generate: need at least one scan module";
   if profile.comb_modules < 0 then
@@ -137,4 +179,5 @@ let generate profile =
   in
   let draws = interleave scan_draws comb_draws [] in
   let modules = List.mapi (fun i d -> to_module ~id:(i + 1) ~scale d) draws in
+  let modules = apply_power rng power modules in
   Soc.make ~name:profile.name ~modules

@@ -9,6 +9,20 @@
     is fully deterministic: the same profile always yields the same
     benchmark.  See DESIGN.md, "Substitutions". *)
 
+(** How per-module test power is assigned.  The default, [Toggle], is
+    the historical toggle-proportional estimate
+    ({!Module_def.estimated_power}); the other profiles reshape it so
+    a corpus can exercise power-constrained scheduling beyond the
+    uniform case. *)
+type power_profile =
+  | Toggle  (** toggle-proportional defaults, unchanged *)
+  | Scaled of { lo : float; hi : float }
+      (** every module's power multiplied by an independent uniform
+          draw in [\[lo, hi\]]; requires [0 < lo <= hi] *)
+  | Hotspot of { count : int; factor : float }
+      (** [count] distinct randomly chosen modules draw [factor]× their
+          toggle estimate; requires [count >= 1] and [factor > 0] *)
+
 type profile = {
   name : string;
   seed : int64;
@@ -21,13 +35,22 @@ type profile = {
   max_patterns : int;  (** log-uniform pattern count range *)
 }
 
-val generate : profile -> Soc.t
+val generate : ?power:power_profile -> profile -> Soc.t
 (** Generate the benchmark described by [profile].  Module ids are
     assigned 1..n with scan and combinational cores interleaved
-    deterministically.
+    deterministically.  [power] (default {!Toggle}) reshapes the
+    per-module test powers after the structural draw; [Toggle] consumes
+    no PRNG state, so historical profiles generate byte-identical
+    benchmarks whether or not the argument is given.
 
-    @raise Invalid_argument if the profile has no modules or
-    non-positive ranges. *)
+    Generation depends only on the profile (and [power]): the PRNG is
+    self-contained, every draw happens in a fixed order, and no
+    hash-table or physical ordering leaks into the output — the same
+    profile yields a byte-identical benchmark on every run and
+    platform (pinned by the golden digest test).
+
+    @raise Invalid_argument if the profile has no modules,
+    non-positive ranges, or a malformed [power] profile. *)
 
 (** {1 Raw PRNG}
 

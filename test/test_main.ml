@@ -62,5 +62,6 @@ let () =
       ("planning service batching", Test_serve_batch.suite);
       ("planning backends", Test_backend.suite);
       ("planning service backends", Test_serve_backend.suite);
+      ("corpus and testplan", Test_corpus.suite);
       ("observability", Test_obs.suite);
     ]

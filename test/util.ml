@@ -47,95 +47,11 @@ let small_system ?(processors = [ Proc.Processor.leon ~id:1 ]) () =
 
 (* --- schedule invariants ------------------------------------------- *)
 
-(* An intentionally naive re-check of the safety invariants every
-   schedule must satisfy, shared by the scheduler, annealing and
-   placement suites.  It deliberately duplicates (a subset of)
-   [Core.Schedule.validate] with the dumbest possible O(n^2)
-   pairwise-overlap logic and no cost model, so that a bug in the
-   production validator cannot vouch for a bug in the schedulers. *)
+(* The intentionally naive independent re-check lives in
+   [Nocplan_corpus.Invariants] now, shared between these suites and
+   the corpus testplan engine; the historical name stays. *)
 
-let overlap (a : Core.Schedule.entry) (b : Core.Schedule.entry) =
-  (* Half-open windows [start, finish): back-to-back tests may share
-     resources. *)
-  a.Core.Schedule.start < b.Core.Schedule.finish
-  && b.Core.Schedule.start < a.Core.Schedule.finish
-
-let schedule_invariant_errors ?(power_limit = None) ?modules system
-    (s : Core.Schedule.t) =
-  let errors = ref [] in
-  let fail fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
-  let entries = Array.of_list s.Core.Schedule.entries in
-  (* 1. Every module tested exactly once. *)
-  let wanted =
-    match modules with Some l -> l | None -> Core.System.module_ids system
-  in
-  let seen = Hashtbl.create 16 in
-  Array.iter
-    (fun (e : Core.Schedule.entry) ->
-      Hashtbl.replace seen e.Core.Schedule.module_id
-        (1
-        + Option.value ~default:0
-            (Hashtbl.find_opt seen e.Core.Schedule.module_id)))
-    entries;
-  List.iter
-    (fun id ->
-      match Hashtbl.find_opt seen id with
-      | Some 1 -> ()
-      | None -> fail "module %d is never tested" id
-      | Some n -> fail "module %d is tested %d times" id n)
-    wanted;
-  Array.iter
-    (fun (e : Core.Schedule.entry) ->
-      if not (List.mem e.Core.Schedule.module_id wanted) then
-        fail "module %d is tested but not part of the system"
-          e.Core.Schedule.module_id)
-    entries;
-  (* 2. No two overlapping tests share a link or an endpoint. *)
-  let n = Array.length entries in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a = entries.(i) and b = entries.(j) in
-      if overlap a b then begin
-        let la = Noc.Link.Set.of_list a.Core.Schedule.links
-        and lb = Noc.Link.Set.of_list b.Core.Schedule.links in
-        Noc.Link.Set.iter
-          (fun l ->
-            fail "modules %d and %d overlap in time and both reserve %a"
-              a.Core.Schedule.module_id b.Core.Schedule.module_id Noc.Link.pp
-              l)
-          (Noc.Link.Set.inter la lb);
-        List.iter
-          (fun ep ->
-            if
-              ep = b.Core.Schedule.source || ep = b.Core.Schedule.sink
-            then
-              fail "modules %d and %d overlap in time and share an endpoint"
-                a.Core.Schedule.module_id b.Core.Schedule.module_id)
-          [ a.Core.Schedule.source; a.Core.Schedule.sink ]
-      end
-    done
-  done;
-  (* 3. Instantaneous power within the limit.  Total power is
-     piecewise constant, changing only when a test starts, so checking
-     at every start instant covers every instant. *)
-  (match power_limit with
-  | None -> ()
-  | Some limit ->
-      Array.iter
-        (fun (e : Core.Schedule.entry) ->
-          let t = e.Core.Schedule.start in
-          let total =
-            Array.fold_left
-              (fun acc (o : Core.Schedule.entry) ->
-                if o.Core.Schedule.start <= t && t < o.Core.Schedule.finish
-                then acc +. o.Core.Schedule.power
-                else acc)
-              0.0 entries
-          in
-          if total > limit +. 1e-6 then
-            fail "power %.2f exceeds limit %.2f at t=%d" total limit t)
-        entries);
-  List.rev !errors
+let schedule_invariant_errors = Nocplan_corpus.Invariants.schedule_invariant_errors
 
 let assert_schedule_invariants ?power_limit ?modules system s =
   match schedule_invariant_errors ?power_limit ?modules system s with

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Cross-check test/testplan.json against the compiled property-suite
+# registry, dvsim-style coverage annotation both ways: a testpoint
+# naming a suite that does not exist fails, and a registered suite no
+# testpoint references fails too (silent coverage loss).  The check
+# itself lives in the binary (`nocplan verify --lint`), so the lint
+# can never drift from the parser or the registry it guards.
+set -e
+cd "$(dirname "$0")/.."
+dune build bin/nocplan.exe
+exec dune exec bin/nocplan.exe -- verify --testplan test/testplan.json --lint
